@@ -1,0 +1,151 @@
+//! The benchmark frame (Figure 5-B): browse stored benchmark results per
+//! dataset, compare methods on any measure, and compare the number of
+//! labels each method needed — CamAL's headline advantage.
+//!
+//! The frame renders a [`BenchmarkTable`] (produced by the `ds-bench`
+//! harness and saved as JSON), so the app never retrains anything here.
+
+use crate::plot::table;
+use ds_metrics::aggregate::BenchmarkTable;
+use ds_metrics::Measures;
+
+/// Render the per-dataset results grid (element B.1): one row per
+/// (appliance, method), detection and localization F1 plus the selected
+/// measure.
+pub fn render_dataset(bench: &BenchmarkTable, dataset: &str, measure: &str) -> String {
+    let cells = bench.for_dataset(dataset);
+    if cells.is_empty() {
+        return format!("no benchmark results for dataset {dataset:?}\n");
+    }
+    let mut rows = Vec::new();
+    for c in &cells {
+        let det = c.detection.by_name(measure).unwrap_or(f64::NAN);
+        let loc = c.localization.by_name(measure).unwrap_or(f64::NAN);
+        rows.push(vec![
+            c.appliance.clone(),
+            c.method.clone(),
+            format!("{det:.3}"),
+            format!("{loc:.3}"),
+            format!("{}", c.labels_used),
+        ]);
+    }
+    let mut out = format!("── Benchmark: {dataset} (measure: {measure}) ──\n");
+    out.push_str(&table(
+        &["Appliance", "Method", "Detection", "Localization", "Labels"],
+        &rows,
+    ));
+    out
+}
+
+/// Render the label-efficiency comparison (element B.2): methods ranked by
+/// mean localization F1, with the labels they consumed.
+pub fn render_label_comparison(bench: &BenchmarkTable) -> String {
+    let means = bench.method_means();
+    if means.is_empty() {
+        return "no benchmark results loaded\n".to_string();
+    }
+    let mut entries: Vec<(String, Measures, u64)> = means
+        .into_iter()
+        .map(|(method, m)| {
+            let labels: u64 = bench
+                .for_method(&method)
+                .iter()
+                .map(|c| c.labels_used)
+                .max()
+                .unwrap_or(0);
+            (method, m, labels)
+        })
+        .collect();
+    entries.sort_by(|a, b| b.1.f1.partial_cmp(&a.1.f1).expect("f1 finite"));
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|(method, m, labels)| {
+            vec![
+                method.clone(),
+                format!("{:.3}", m.f1),
+                format!("{labels}"),
+            ]
+        })
+        .collect();
+    let mut out = String::from("── Comparison with SotA NILM approaches ──\n");
+    out.push_str(&table(&["Method", "Mean localization F1", "Labels needed"], &rows));
+    if let (Some(first), Some(last)) = (entries.first(), entries.last()) {
+        out.push_str(&format!(
+            "\nbest method: {} (F1 {:.3}, {} labels); least efficient: {}\n",
+            first.0, first.1.f1, first.2, last.0
+        ));
+    }
+    out
+}
+
+/// Load a benchmark table from a JSON file written by the `ds-bench`
+/// harness.
+pub fn load_table(path: &std::path::Path) -> Result<BenchmarkTable, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    serde_json::from_str(&json).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_metrics::aggregate::BenchmarkCell;
+
+    fn sample_table() -> BenchmarkTable {
+        let mut t = BenchmarkTable::new();
+        for (method, f1, labels) in [("CamAL", 0.8, 100u64), ("FCN", 0.7, 520_000), ("WeakSliding", 0.35, 100)] {
+            t.push(BenchmarkCell {
+                dataset: "IDEAL".into(),
+                appliance: "Dishwasher".into(),
+                method: method.into(),
+                detection: Measures {
+                    f1: f1 + 0.1,
+                    accuracy: 0.9,
+                    ..Measures::default()
+                },
+                localization: Measures {
+                    f1,
+                    ..Measures::default()
+                },
+                labels_used: labels,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn dataset_grid_renders() {
+        let t = sample_table();
+        let out = render_dataset(&t, "IDEAL", "F1");
+        assert!(out.contains("Benchmark: IDEAL"));
+        assert!(out.contains("CamAL"));
+        assert!(out.contains("0.800"));
+        assert!(out.contains("520000"));
+        let missing = render_dataset(&t, "REFIT", "F1");
+        assert!(missing.contains("no benchmark results"));
+    }
+
+    #[test]
+    fn label_comparison_ranks_by_f1() {
+        let t = sample_table();
+        let out = render_label_comparison(&t);
+        let camal_pos = out.find("CamAL").unwrap();
+        let fcn_pos = out.find("FCN").unwrap();
+        let weak_pos = out.find("WeakSliding").unwrap();
+        assert!(camal_pos < fcn_pos && fcn_pos < weak_pos, "ranking broken:\n{out}");
+        assert!(out.contains("best method: CamAL"));
+        let empty = render_label_comparison(&BenchmarkTable::new());
+        assert!(empty.contains("no benchmark results"));
+    }
+
+    #[test]
+    fn load_table_round_trip() {
+        let dir = std::env::temp_dir().join("ds_app_bench_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.json");
+        std::fs::write(&path, serde_json::to_string(&sample_table()).unwrap()).unwrap();
+        let t = load_table(&path).unwrap();
+        assert_eq!(t.cells.len(), 3);
+        std::fs::remove_file(&path).ok();
+        assert!(load_table(&dir.join("missing.json")).is_err());
+    }
+}

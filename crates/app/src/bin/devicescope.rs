@@ -1,0 +1,138 @@
+//! The DeviceScope terminal application.
+//!
+//! ```text
+//! devicescope                          # interactive REPL (fast models)
+//! devicescope --quality                # interactive REPL (paper-scale models)
+//! devicescope --bench table.json      # preload a benchmark table for B frames
+//! devicescope scenario 1|2|3           # run a §IV demonstration scenario
+//! devicescope render <dataset> <house> # one-shot playground render
+//! ```
+
+use ds_app::repl::Repl;
+use ds_app::state::{AppConfig, AppState};
+use ds_app::{benchmark_frame, playground, scenarios};
+use ds_datasets::ApplianceKind;
+use ds_metrics::aggregate::BenchmarkTable;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quality = false;
+    let mut bench_path: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quality" => quality = true,
+            "--bench" => bench_path = it.next(),
+            "--help" | "-h" => {
+                println!("{}", Repl::help());
+                return ExitCode::SUCCESS;
+            }
+            _ => positional.push(arg),
+        }
+    }
+
+    let config = if quality {
+        AppConfig::default()
+    } else {
+        // Responsive defaults: small ensemble, few epochs — good enough for
+        // interactive exploration; pass --quality for paper-scale models.
+        AppConfig {
+            camal: ds_camal::CamalConfig {
+                kernel_sizes: vec![5, 9],
+                channels: vec![8, 16],
+                train: ds_neural::train::TrainConfig {
+                    epochs: 10,
+                    ..ds_neural::train::TrainConfig::default()
+                },
+                ..ds_camal::CamalConfig::default()
+            },
+            houses: 4,
+            days: 4,
+        }
+    };
+
+    let bench: Option<BenchmarkTable> = match bench_path {
+        Some(path) => match benchmark_frame::load_table(std::path::Path::new(&path)) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("failed to load benchmark table {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let mut state = AppState::new(config);
+    match positional.first().map(String::as_str) {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut repl = Repl::new(state, bench);
+            if let Err(e) = repl.run(stdin.lock(), stdout.lock()) {
+                eprintln!("io error: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Some("scenario") => {
+            let which = positional.get(1).map(String::as_str).unwrap_or("1");
+            let result = match which {
+                "1" => scenarios::scenario_1(&mut state).map_err(|e| e.to_string()),
+                "2" => {
+                    let kind = positional
+                        .get(2)
+                        .and_then(|s| ApplianceKind::parse(s))
+                        .unwrap_or(ApplianceKind::Kettle);
+                    scenarios::scenario_2(&mut state, kind).map_err(|e| e.to_string())
+                }
+                "3" => match &bench {
+                    Some(b) => Ok(scenarios::scenario_3(
+                        b,
+                        positional.get(2).map(String::as_str).unwrap_or("UKDALE"),
+                        "F1",
+                    )),
+                    None => Err("scenario 3 needs --bench <table.json>".to_string()),
+                },
+                other => Err(format!("unknown scenario {other:?}")),
+            };
+            emit(result)
+        }
+        Some("render") => {
+            let dataset = positional.get(1).cloned().unwrap_or_else(|| "UKDALE".into());
+            let house: u32 = positional
+                .get(2)
+                .and_then(|h| h.parse().ok())
+                .or_else(|| {
+                    ds_datasets::DatasetPreset::parse(&dataset)
+                        .and_then(|p| state.browsable_houses(p).first().copied())
+                })
+                .unwrap_or(0);
+            let result = state
+                .load(&dataset, house)
+                .and_then(|()| playground::render(&mut state))
+                .map_err(|e| e.to_string());
+            emit(result)
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}; try --help");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn emit(result: Result<String, String>) -> ExitCode {
+    match result {
+        Ok(text) => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(text.as_bytes());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

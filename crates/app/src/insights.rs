@@ -1,0 +1,192 @@
+//! Consumption insights — the paper's closing motivation: *"DeviceScope
+//! enables electricity suppliers to easily identify which appliances the
+//! customer owns and their typical usage […] It also helps customers save
+//! significantly by identifying over-consuming devices."*
+//!
+//! From a predicted (or ground-truth) status series and the appliance's
+//! typical draw, this view estimates per-appliance usage time, energy and
+//! share of the household total, and ranks the heaviest consumers.
+
+use crate::plot::table;
+use ds_datasets::ApplianceKind;
+use ds_timeseries::{StatusSeries, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Estimated usage of one appliance over an analysis span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplianceUsage {
+    /// The appliance.
+    pub appliance: String,
+    /// Number of distinct activations (ON segments).
+    pub activations: usize,
+    /// Total ON time in minutes.
+    pub on_minutes: f64,
+    /// Estimated energy in kWh (ON time × typical draw, or the exact
+    /// integral when a submetered channel is supplied).
+    pub energy_kwh: f64,
+    /// Share of the household's aggregate energy, in `[0, 1]`.
+    pub share_of_total: f64,
+}
+
+/// Estimate usage from a predicted status series.
+///
+/// When `channel` (the submetered power) is available the energy is exact;
+/// otherwise it is `on-time × typical power` — what a deployed system can
+/// do from localization alone.
+pub fn appliance_usage(
+    kind: ApplianceKind,
+    status: &StatusSeries,
+    aggregate: &TimeSeries,
+    channel: Option<&TimeSeries>,
+) -> ApplianceUsage {
+    let interval_h = status.interval_secs() as f64 / 3600.0;
+    let on_minutes = status.on_count() as f64 * status.interval_secs() as f64 / 60.0;
+    let energy_kwh = match channel {
+        Some(ch) => ch.energy_wh() / 1000.0,
+        None => {
+            let on_hours = status.on_count() as f64 * interval_h;
+            // Mean draw while ON ≈ 60% of peak for cycling appliances.
+            on_hours * kind.typical_peak_w() as f64 * 0.6 / 1000.0
+        }
+    };
+    let total_kwh = (aggregate.energy_wh() / 1000.0).max(1e-9);
+    ApplianceUsage {
+        appliance: kind.name().to_string(),
+        activations: status.on_segments().len(),
+        on_minutes,
+        energy_kwh,
+        share_of_total: (energy_kwh / total_kwh).clamp(0.0, 1.0),
+    }
+}
+
+/// Rank a set of usage estimates by energy, descending.
+pub fn rank_by_energy(mut usages: Vec<ApplianceUsage>) -> Vec<ApplianceUsage> {
+    usages.sort_by(|a, b| b.energy_kwh.partial_cmp(&a.energy_kwh).expect("finite"));
+    usages
+}
+
+/// Render the insights view.
+pub fn render(usages: &[ApplianceUsage], total_kwh: f64) -> String {
+    let mut out = format!(
+        "── Consumption insights ── household total: {total_kwh:.1} kWh ──\n"
+    );
+    if usages.is_empty() {
+        out.push_str("no appliances analyzed yet — select some in the playground\n");
+        return out;
+    }
+    let ranked = rank_by_energy(usages.to_vec());
+    let rows: Vec<Vec<String>> = ranked
+        .iter()
+        .map(|u| {
+            vec![
+                u.appliance.clone(),
+                u.activations.to_string(),
+                format!("{:.0}", u.on_minutes),
+                format!("{:.2}", u.energy_kwh),
+                format!("{:.0}%", u.share_of_total * 100.0),
+            ]
+        })
+        .collect();
+    out.push_str(&table(
+        &["Appliance", "Uses", "On (min)", "Energy (kWh)", "Share"],
+        &rows,
+    ));
+    if let Some(top) = ranked.first() {
+        if top.energy_kwh > 0.0 {
+            out.push_str(&format!(
+                "\nheaviest consumer: {} ({:.2} kWh — {:.0}% of the household total)\n",
+                top.appliance,
+                top.energy_kwh,
+                top.share_of_total * 100.0
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(states: Vec<u8>) -> StatusSeries {
+        StatusSeries::from_states(0, 60, states)
+    }
+
+    #[test]
+    fn usage_from_status_only() {
+        // 30 ON minutes out of 120, kettle.
+        let mut states = vec![0u8; 120];
+        states[10..40].fill(1);
+        let agg = TimeSeries::from_values(0, 60, vec![1000.0; 120]);
+        let u = appliance_usage(ApplianceKind::Kettle, &status(states), &agg, None);
+        assert_eq!(u.activations, 1);
+        assert!((u.on_minutes - 30.0).abs() < 1e-9);
+        // 0.5h × 2800W × 0.6 = 0.84 kWh.
+        assert!((u.energy_kwh - 0.84).abs() < 1e-6, "{}", u.energy_kwh);
+        // Aggregate total = 2 kWh; share = 0.42.
+        assert!((u.share_of_total - 0.42).abs() < 1e-6);
+    }
+
+    #[test]
+    fn usage_with_channel_is_exact() {
+        let mut states = vec![0u8; 60];
+        states[0..30].fill(1);
+        let mut channel = TimeSeries::zeros(0, 60, 60);
+        channel.values_mut()[0..30].fill(2000.0);
+        let agg = TimeSeries::from_values(0, 60, vec![2500.0; 60]);
+        let u = appliance_usage(
+            ApplianceKind::Dishwasher,
+            &status(states),
+            &agg,
+            Some(&channel),
+        );
+        assert!((u.energy_kwh - 1.0).abs() < 1e-6); // 2000W × 0.5h
+    }
+
+    #[test]
+    fn ranking_orders_by_energy() {
+        let mk = |name: &str, e: f64| ApplianceUsage {
+            appliance: name.into(),
+            activations: 1,
+            on_minutes: 1.0,
+            energy_kwh: e,
+            share_of_total: 0.1,
+        };
+        let ranked = rank_by_energy(vec![mk("A", 0.5), mk("B", 2.0), mk("C", 1.0)]);
+        let names: Vec<&str> = ranked.iter().map(|u| u.appliance.as_str()).collect();
+        assert_eq!(names, vec!["B", "C", "A"]);
+    }
+
+    #[test]
+    fn render_reports_heaviest() {
+        let usages = vec![
+            ApplianceUsage {
+                appliance: "Shower".into(),
+                activations: 2,
+                on_minutes: 20.0,
+                energy_kwh: 2.8,
+                share_of_total: 0.4,
+            },
+            ApplianceUsage {
+                appliance: "Kettle".into(),
+                activations: 5,
+                on_minutes: 15.0,
+                energy_kwh: 0.7,
+                share_of_total: 0.1,
+            },
+        ];
+        let out = render(&usages, 7.0);
+        assert!(out.contains("heaviest consumer: Shower"));
+        assert!(out.contains("40%"));
+        let empty = render(&[], 7.0);
+        assert!(empty.contains("no appliances analyzed"));
+    }
+
+    #[test]
+    fn zero_total_does_not_divide_by_zero() {
+        let agg = TimeSeries::zeros(0, 60, 10);
+        let u = appliance_usage(ApplianceKind::Kettle, &status(vec![1; 10]), &agg, None);
+        assert!(u.share_of_total.is_finite());
+        assert!(u.share_of_total <= 1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ds-app
+//!
+//! The DeviceScope application (paper §III–§IV), reimplemented as a
+//! terminal program with the same information architecture as the Streamlit
+//! original:
+//!
+//! - **Playground frame** (Figure 5-A): browse a consumption series in
+//!   6 h / 12 h / 1 day windows with Prev/Next, overlay predicted appliance
+//!   status strips ([`playground`]), inspect per-device ground truth
+//!   ([`perdevice`]) and per-member detection probabilities
+//!   ([`probabilities`]).
+//! - **Benchmark frame** (Figure 5-B): browse detection/localization
+//!   measures per dataset × appliance × method, and compare methods by the
+//!   number of labels they needed ([`benchmark_frame`]).
+//! - **Demonstration scenarios** (§IV): the three guided walkthroughs
+//!   ([`scenarios`]), with the appliance-pattern expander ([`patterns`]).
+//! - **Consumption insights** ([`insights`]): the per-appliance energy
+//!   breakdown motivating the paper's conclusion (identify over-consuming
+//!   devices).
+//!
+//! Rendering is plain text ([`plot`]), so every view is deterministic and
+//! unit-testable; the `devicescope` binary wires the views to an
+//! interactive REPL ([`repl`]).
+
+pub mod benchmark_frame;
+pub mod insights;
+pub mod patterns;
+pub mod perdevice;
+pub mod playground;
+pub mod plot;
+pub mod probabilities;
+pub mod repl;
+pub mod scenarios;
+pub mod state;
+
+pub use state::AppState;

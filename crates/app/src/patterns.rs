@@ -1,0 +1,84 @@
+//! The appliance-pattern expander of Scenario 2: *"we will ask the user to
+//! open the expander below the time series, depicting examples of appliance
+//! patterns."* Renders a typical signature of each appliance (drawn from
+//! the same generative models the simulator uses) so the user learns what
+//! to look for in the aggregate.
+
+use crate::plot::line_chart;
+use ds_datasets::ApplianceKind;
+use ds_timeseries::TimeSeries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A representative activation profile of the appliance at 1-minute
+/// resolution, deterministic in `seed`.
+pub fn example_signature(kind: ApplianceKind, seed: u64) -> TimeSeries {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let profile = kind.sample_activation(&mut rng, 60);
+    // Pad with a little context on each side so the shape reads clearly.
+    let pad = (profile.len() / 4).clamp(2, 30);
+    let mut values = vec![0.0f32; pad];
+    values.extend_from_slice(&profile);
+    values.extend(std::iter::repeat_n(0.0f32, pad));
+    TimeSeries::from_values(0, 60, values)
+}
+
+/// Render the expander for one appliance.
+pub fn render_one(kind: ApplianceKind, seed: u64) -> String {
+    let sig = example_signature(kind, seed);
+    let duration_min = sig.len() as u32 - 2 * ((sig.len() / 4).clamp(2, 30) as u32);
+    let mut out = format!(
+        "▼ {} — typical pattern (~{} min, peak ~{:.1} kW)\n",
+        kind.name(),
+        duration_min,
+        kind.typical_peak_w() / 1000.0
+    );
+    out.push_str(&line_chart(&sig, 64, 7));
+    out
+}
+
+/// Render the full expander (all five appliances).
+pub fn render_all(seed: u64) -> String {
+    let mut out = String::from("── Appliance pattern examples ──\n\n");
+    for (i, kind) in ApplianceKind::ALL.into_iter().enumerate() {
+        out.push_str(&render_one(kind, seed.wrapping_add(i as u64)));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_are_padded_and_deterministic() {
+        let a = example_signature(ApplianceKind::Kettle, 7);
+        let b = example_signature(ApplianceKind::Kettle, 7);
+        assert_eq!(a, b);
+        // Zero context on both ends.
+        assert_eq!(a.values()[0], 0.0);
+        assert_eq!(*a.values().last().unwrap(), 0.0);
+        // The peak sits inside.
+        let peak = a.values().iter().cloned().fold(0.0f32, f32::max);
+        assert!(peak > 2000.0);
+        let c = example_signature(ApplianceKind::Kettle, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn render_mentions_power_and_duration() {
+        let out = render_one(ApplianceKind::Shower, 1);
+        assert!(out.contains("Shower"));
+        assert!(out.contains("kW"));
+        assert!(out.contains('█'));
+    }
+
+    #[test]
+    fn render_all_covers_every_appliance() {
+        let out = render_all(3);
+        for kind in ApplianceKind::ALL {
+            assert!(out.contains(kind.name()), "missing {}", kind.name());
+        }
+    }
+}

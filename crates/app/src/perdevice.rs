@@ -1,0 +1,77 @@
+//! The per-device view (Figure 5-A.2): ground-truth appliance consumption
+//! and status next to the predicted localization, so the user can compare
+//! their guess — and CamAL's — with reality.
+
+use crate::plot::{line_chart, status_strip};
+use crate::playground::{CHART_HEIGHT, CHART_WIDTH};
+use crate::state::{AppError, AppState};
+use ds_datasets::ApplianceKind;
+
+/// Render the per-device view for one appliance in the current window.
+pub fn render(state: &mut AppState, kind: ApplianceKind) -> Result<String, AppError> {
+    let mut out = String::new();
+    out.push_str(&format!("── Per device: {} ──\n", kind.name()));
+    match state.current_channel(kind)? {
+        Some(channel) => {
+            out.push_str("ground-truth appliance power:\n");
+            out.push_str(&line_chart(&channel, CHART_WIDTH, CHART_HEIGHT / 2));
+        }
+        None => {
+            out.push_str("this household does not own the appliance\n");
+        }
+    }
+    let truth = state.current_truth(kind)?;
+    out.push_str(&format!(
+        "truth     {}\n",
+        status_strip(&truth, CHART_WIDTH)
+    ));
+    // Predicted localization of this appliance.
+    let window = state.current_window()?;
+    let clean: Vec<f32> = window
+        .values()
+        .iter()
+        .map(|v| if v.is_nan() { 0.0 } else { *v })
+        .collect();
+    let loc = state.model(kind)?.localize(&clean);
+    out.push_str(&format!(
+        "predicted {}\n",
+        status_strip(&loc.status, CHART_WIDTH)
+    ));
+    let m = ds_metrics::localization::score_status(&loc.status, &truth);
+    out.push_str(&format!(
+        "window localization: acc {:.2}  bacc {:.2}  precision {:.2}  recall {:.2}  f1 {:.2}\n",
+        m.accuracy, m.balanced_accuracy, m.precision, m.recall, m.f1
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::AppConfig;
+    use ds_datasets::DatasetPreset;
+    use ds_timeseries::window::WindowLength;
+
+    #[test]
+    fn renders_truth_and_prediction() {
+        let mut state = AppState::new(AppConfig::fast_test());
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        let view = render(&mut state, ApplianceKind::Kettle).unwrap();
+        assert!(view.contains("Per device: Kettle"));
+        assert!(view.contains("truth"));
+        assert!(view.contains("predicted"));
+        assert!(view.contains("window localization"));
+        // Either the power chart or the non-possession note must appear.
+        assert!(
+            view.contains("ground-truth appliance power") || view.contains("does not own")
+        );
+    }
+
+    #[test]
+    fn requires_loaded_series() {
+        let mut state = AppState::new(AppConfig::fast_test());
+        assert!(render(&mut state, ApplianceKind::Shower).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! The playground frame (Figure 5-A.1): the aggregate window chart with
+//! Prev/Next paging and, when appliances are selected, the predicted status
+//! strip of each appliance under the chart.
+
+use crate::plot::{line_chart, status_strip};
+use crate::state::{AppError, AppState};
+
+/// Chart width in columns used by every playground view.
+pub const CHART_WIDTH: usize = 72;
+/// Chart height in rows.
+pub const CHART_HEIGHT: usize = 10;
+
+/// Render the playground frame for the current window.
+pub fn render(state: &mut AppState) -> Result<String, AppError> {
+    let window = state.current_window()?;
+    let (idx, count) = state.page()?;
+    let dataset = state.dataset.map(|d| d.name()).unwrap_or("?");
+    let house = state.house_id.unwrap_or(0);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "── Playground ── dataset {dataset}, house {house}, window {}/{} ({}) ──\n",
+        idx + 1,
+        count,
+        state.window_length.label()
+    ));
+    out.push_str(&line_chart(&window, CHART_WIDTH, CHART_HEIGHT));
+    if !state.selected.is_empty() {
+        out.push_str("\npredicted appliance status (CamAL):\n");
+        for (kind, loc) in state.localize_selected()? {
+            let marker = if loc.detection.detected { "✓" } else { " " };
+            out.push_str(&format!(
+                "{marker} {:<16} {}  p={:.2}\n",
+                kind.name(),
+                &status_strip(&loc.status, CHART_WIDTH),
+                loc.detection.probability
+            ));
+        }
+    }
+    out.push_str("\n[prev] [next]  window length: 6h | 12h | 1d\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::AppConfig;
+    use ds_datasets::DatasetPreset;
+    use ds_timeseries::window::WindowLength;
+
+    fn loaded_app() -> AppState {
+        let mut state = AppState::new(AppConfig::fast_test());
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        state
+    }
+
+    #[test]
+    fn renders_header_and_chart() {
+        let mut state = loaded_app();
+        let view = render(&mut state).unwrap();
+        assert!(view.contains("Playground"));
+        assert!(view.contains("UKDALE"));
+        assert!(view.contains("window 1/"));
+        assert!(view.contains("6 hours"));
+        assert!(view.contains('█'));
+        assert!(view.contains("[prev] [next]"));
+    }
+
+    #[test]
+    fn renders_status_strips_for_selected() {
+        let mut state = loaded_app();
+        state.toggle_appliance("kettle").unwrap();
+        let view = render(&mut state).unwrap();
+        assert!(view.contains("predicted appliance status"));
+        assert!(view.contains("Kettle"));
+        assert!(view.contains("p="));
+    }
+
+    #[test]
+    fn paging_changes_header() {
+        let mut state = loaded_app();
+        let v1 = render(&mut state).unwrap();
+        state.next().unwrap();
+        let v2 = render(&mut state).unwrap();
+        assert!(v1.contains("window 1/"));
+        assert!(v2.contains("window 2/"));
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn requires_loaded_series() {
+        let mut state = AppState::new(AppConfig::fast_test());
+        assert!(render(&mut state).is_err());
+    }
+}

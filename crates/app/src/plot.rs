@@ -1,0 +1,210 @@
+//! Plain-text rendering primitives: line charts, status strips, bars.
+//!
+//! All functions return `String`s (no direct terminal writes), keeping the
+//! views deterministic and testable.
+
+use ds_timeseries::time::format_compact;
+use ds_timeseries::TimeSeries;
+
+/// Render a power window as an ASCII line chart of `width × height` cells.
+///
+/// Values are bucket-averaged to `width` columns; missing buckets render as
+/// `·` on the baseline. The y-axis is annotated with the max and min watts.
+pub fn line_chart(series: &TimeSeries, width: usize, height: usize) -> String {
+    let width = width.clamp(8, 200);
+    let height = height.clamp(3, 40);
+    let values = series.values();
+    if values.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    // Bucket to `width` columns.
+    let mut cols: Vec<Option<f32>> = Vec::with_capacity(width);
+    for c in 0..width {
+        let lo = c * values.len() / width;
+        let hi = (((c + 1) * values.len()) / width).max(lo + 1).min(values.len());
+        let present: Vec<f32> = values[lo..hi].iter().copied().filter(|v| !v.is_nan()).collect();
+        if present.is_empty() {
+            cols.push(None);
+        } else {
+            cols.push(Some(present.iter().sum::<f32>() / present.len() as f32));
+        }
+    }
+    let max = cols.iter().flatten().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let min = cols.iter().flatten().cloned().fold(f32::INFINITY, f32::min);
+    let (max, min) = if max.is_finite() { (max, min) } else { (1.0, 0.0) };
+    let range = (max - min).max(1e-6);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (c, col) in cols.iter().enumerate() {
+        match col {
+            Some(v) => {
+                let level = ((v - min) / range * (height - 1) as f32).round() as usize;
+                let row = height - 1 - level.min(height - 1);
+                grid[row][c] = '█';
+                // Fill below the marker for a solid profile.
+                for r in grid.iter_mut().skip(row + 1) {
+                    r[c] = '│';
+                }
+            }
+            None => grid[height - 1][c] = '·',
+        }
+    }
+    let mut out = String::with_capacity((width + 16) * (height + 2));
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{max:>8.0}W ")
+        } else if r == height - 1 {
+            format!("{min:>8.0}W ")
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>10}{} … {}\n",
+        "",
+        format_compact(series.start()),
+        format_compact(series.timestamp_at(series.len().saturating_sub(1)))
+    ));
+    out
+}
+
+/// Render a 0/1 status as a strip of `width` characters (`█` on, `─` off).
+/// A bucket is ON if any sample inside it is ON.
+pub fn status_strip(states: &[u8], width: usize) -> String {
+    let width = width.clamp(8, 200);
+    if states.is_empty() {
+        return "─".repeat(width);
+    }
+    (0..width)
+        .map(|c| {
+            let lo = c * states.len() / width;
+            let hi = (((c + 1) * states.len()) / width).max(lo + 1).min(states.len());
+            if states[lo..hi].contains(&1) {
+                '█'
+            } else {
+                '─'
+            }
+        })
+        .collect()
+}
+
+/// Render a probability in `[0,1]` as a labelled bar of `width` cells.
+pub fn probability_bar(label: &str, p: f32, width: usize) -> String {
+    let width = width.clamp(4, 100);
+    let filled = ((p.clamp(0.0, 1.0)) * width as f32).round() as usize;
+    format!(
+        "{label:<18} [{}{}] {:.2}",
+        "#".repeat(filled),
+        "-".repeat(width - filled),
+        p
+    )
+}
+
+/// Render a simple aligned table from rows of cells.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&render_row(
+        headers.iter().map(|h| h.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_shows_peak_at_top() {
+        let mut values = vec![0.0f32; 80];
+        values[40] = 1000.0;
+        let ts = TimeSeries::from_values(0, 60, values);
+        let chart = line_chart(&ts, 80, 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].contains("1000W"));
+        assert!(lines[0].contains('█'), "peak missing from top row");
+        assert!(lines.last().unwrap().contains("d0 00:00"));
+    }
+
+    #[test]
+    fn line_chart_marks_missing() {
+        let values = vec![f32::NAN; 60];
+        let ts = TimeSeries::from_values(0, 60, values);
+        let chart = line_chart(&ts, 30, 5);
+        assert!(chart.contains('·'));
+    }
+
+    #[test]
+    fn line_chart_handles_constant_and_empty() {
+        let ts = TimeSeries::from_values(0, 60, vec![5.0; 10]);
+        let chart = line_chart(&ts, 20, 4);
+        assert!(chart.contains('█'));
+        let empty = TimeSeries::from_values(0, 60, vec![]);
+        assert_eq!(line_chart(&empty, 20, 4), "(empty series)\n");
+    }
+
+    #[test]
+    fn status_strip_buckets_any_on() {
+        let mut states = vec![0u8; 100];
+        states[50] = 1;
+        let strip = status_strip(&states, 10);
+        assert_eq!(strip.chars().count(), 10);
+        assert_eq!(strip.chars().filter(|&c| c == '█').count(), 1);
+        assert_eq!(strip.chars().nth(5).unwrap(), '█');
+        assert_eq!(status_strip(&[], 10).chars().count(), 10);
+    }
+
+    #[test]
+    fn probability_bar_scales() {
+        let bar = probability_bar("Kettle", 0.5, 10);
+        assert!(bar.contains("#####-----"));
+        assert!(bar.contains("0.50"));
+        let full = probability_bar("Shower", 1.0, 10);
+        assert!(full.contains("##########"));
+        let clamped = probability_bar("x", 2.0, 10);
+        assert!(clamped.contains("##########"));
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["Method", "F1"],
+            &[
+                vec!["CamAL".into(), "0.91".into()],
+                vec!["WeakSliding".into(), "0.41".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with("Method"));
+        assert!(lines[2].starts_with("CamAL"));
+        // Columns align: "F1" header column position matches values.
+        let f1_col = lines[0].find("F1").unwrap();
+        assert_eq!(lines[2][f1_col..].trim(), "0.91");
+        assert_eq!(lines[3][f1_col..].trim(), "0.41");
+    }
+}

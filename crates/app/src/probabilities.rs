@@ -1,0 +1,68 @@
+//! The model-detection-probabilities view (Figure 5-A.3): per-member and
+//! ensemble probabilities for each selected appliance in the current window.
+
+use crate::plot::probability_bar;
+use crate::state::{AppError, AppState};
+
+/// Render the probabilities view for all selected appliances.
+pub fn render(state: &mut AppState) -> Result<String, AppError> {
+    if state.selected.is_empty() {
+        return Ok("select at least one appliance to see detection probabilities\n".into());
+    }
+    let window = state.current_window()?;
+    let clean: Vec<f32> = window
+        .values()
+        .iter()
+        .map(|v| if v.is_nan() { 0.0 } else { *v })
+        .collect();
+    let selected = state.selected.clone();
+    let mut out = String::from("── Model detection probabilities ──\n");
+    for kind in selected {
+        let detection = state.model(kind)?.detect(&clean);
+        out.push_str(&format!("{}\n", kind.name()));
+        for (kernel, p) in &detection.member_probabilities {
+            out.push_str(&format!(
+                "  {}\n",
+                probability_bar(&format!("ResNet k={kernel}"), *p, 30)
+            ));
+        }
+        out.push_str(&format!(
+            "  {}  {}\n",
+            probability_bar("ensemble", detection.probability, 30),
+            if detection.detected { "DETECTED" } else { "not detected" }
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::AppConfig;
+    use ds_datasets::DatasetPreset;
+    use ds_timeseries::window::WindowLength;
+
+    #[test]
+    fn renders_member_bars() {
+        let mut state = AppState::new(AppConfig::fast_test());
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        state.toggle_appliance("kettle").unwrap();
+        let view = render(&mut state).unwrap();
+        assert!(view.contains("Model detection probabilities"));
+        assert!(view.contains("ResNet k=3")); // fast_test kernels are {3,5}
+        assert!(view.contains("ResNet k=5"));
+        assert!(view.contains("ensemble"));
+        assert!(view.contains("DETECTED") || view.contains("not detected"));
+    }
+
+    #[test]
+    fn empty_selection_prompts_user() {
+        let mut state = AppState::new(AppConfig::fast_test());
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        let view = render(&mut state).unwrap();
+        assert!(view.contains("select at least one appliance"));
+    }
+}

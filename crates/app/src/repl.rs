@@ -1,0 +1,325 @@
+//! The interactive command loop wiring the views together. Commands map
+//! one-to-one onto the GUI's widgets (select boxes, Prev/Next buttons,
+//! tabs), so the demo scenarios can be followed verbatim.
+
+use crate::state::{AppError, AppState};
+use crate::{benchmark_frame, perdevice, playground, probabilities, scenarios};
+use ds_datasets::ApplianceKind;
+use ds_metrics::aggregate::BenchmarkTable;
+use ds_timeseries::window::WindowLength;
+use std::io::{BufRead, Write};
+
+/// The REPL over an app state and an optional preloaded benchmark table.
+pub struct Repl {
+    state: AppState,
+    bench: Option<BenchmarkTable>,
+}
+
+/// Outcome of executing one command.
+pub enum Outcome {
+    /// Text to print.
+    Output(String),
+    /// The user asked to exit.
+    Quit,
+}
+
+impl Repl {
+    /// Create a REPL.
+    pub fn new(state: AppState, bench: Option<BenchmarkTable>) -> Repl {
+        Repl { state, bench }
+    }
+
+    /// The help text.
+    pub fn help() -> &'static str {
+        "DeviceScope commands:\n\
+         \x20 datasets                 list available datasets\n\
+         \x20 houses <dataset>         list browsable (test) houses\n\
+         \x20 info <dataset>           dataset statistics\n\
+         \x20 load <dataset> <house>   load a consumption series\n\
+         \x20 window <6h|12h|1d>       set the window length\n\
+         \x20 next | prev              page through the series\n\
+         \x20 show                     render the playground frame\n\
+         \x20 select <appliance>       toggle an appliance overlay\n\
+         \x20 perdevice <appliance>    ground truth vs prediction\n\
+         \x20 probs                    model detection probabilities\n\
+         \x20 patterns [appliance]     example appliance signatures\n\
+         \x20 insights                 per-appliance energy breakdown\n\
+         \x20 benchmark <dataset> [measure]   benchmark frame (B.1)\n\
+         \x20 labels                   label-efficiency comparison (B.2)\n\
+         \x20 scenario <1|2|3>         run a demonstration scenario\n\
+         \x20 help                     this text\n\
+         \x20 quit                     exit\n"
+    }
+
+    /// Execute one command line.
+    pub fn execute(&mut self, line: &str) -> Outcome {
+        match self.dispatch(line) {
+            Ok(Some(text)) => Outcome::Output(text),
+            Ok(None) => Outcome::Quit,
+            Err(e) => Outcome::Output(format!("error: {e}\n")),
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<Option<String>, AppError> {
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let arg1 = parts.next();
+        let arg2 = parts.next();
+        Ok(Some(match cmd {
+            "" => String::new(),
+            "help" => Self::help().to_string(),
+            "quit" | "exit" => return Ok(None),
+            "datasets" => format!("{}\n", self.state.dataset_names().join(", ")),
+            "info" => {
+                let name = arg1.ok_or_else(|| AppError::UnknownDataset("".into()))?;
+                let preset = ds_datasets::DatasetPreset::parse(name)
+                    .ok_or_else(|| AppError::UnknownDataset(name.to_string()))?;
+                let stats = self.state.dataset_stats(preset);
+                ds_datasets::stats::render(&stats)
+            }
+            "houses" => {
+                let name = arg1.ok_or_else(|| AppError::UnknownDataset("".into()))?;
+                let preset = ds_datasets::DatasetPreset::parse(name)
+                    .ok_or_else(|| AppError::UnknownDataset(name.to_string()))?;
+                let houses = self.state.browsable_houses(preset);
+                format!(
+                    "test houses of {}: {}\n",
+                    preset.name(),
+                    houses
+                        .iter()
+                        .map(|h| h.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+            "load" => {
+                let name = arg1.ok_or_else(|| AppError::UnknownDataset("".into()))?;
+                let house: u32 = arg2
+                    .and_then(|h| h.parse().ok())
+                    .ok_or(AppError::UnknownHouse(u32::MAX))?;
+                self.state.load(name, house)?;
+                format!("loaded {name} house {house}\n{}", playground::render(&mut self.state)?)
+            }
+            "window" => {
+                let length = match arg1 {
+                    Some("6h") => WindowLength::SixHours,
+                    Some("12h") => WindowLength::TwelveHours,
+                    Some("1d") | Some("24h") => WindowLength::OneDay,
+                    other => {
+                        return Ok(Some(format!(
+                            "unknown window length {:?} (use 6h, 12h or 1d)\n",
+                            other.unwrap_or("")
+                        )))
+                    }
+                };
+                self.state.set_window_length(length)?;
+                playground::render(&mut self.state)?
+            }
+            "next" => {
+                let moved = self.state.next()?;
+                let view = playground::render(&mut self.state)?;
+                if moved {
+                    view
+                } else {
+                    format!("(already at the last window)\n{view}")
+                }
+            }
+            "prev" => {
+                let moved = self.state.prev()?;
+                let view = playground::render(&mut self.state)?;
+                if moved {
+                    view
+                } else {
+                    format!("(already at the first window)\n{view}")
+                }
+            }
+            "show" => playground::render(&mut self.state)?,
+            "select" => {
+                let name = arg1.ok_or_else(|| AppError::UnknownAppliance("".into()))?;
+                let on = self.state.toggle_appliance(name)?;
+                format!(
+                    "{} {}\n{}",
+                    name,
+                    if on { "selected" } else { "deselected" },
+                    playground::render(&mut self.state)?
+                )
+            }
+            "perdevice" => {
+                let name = arg1.ok_or_else(|| AppError::UnknownAppliance("".into()))?;
+                let kind = ApplianceKind::parse(name)
+                    .ok_or_else(|| AppError::UnknownAppliance(name.to_string()))?;
+                perdevice::render(&mut self.state, kind)?
+            }
+            "probs" => probabilities::render(&mut self.state)?,
+            "patterns" => match arg1 {
+                Some(name) => match ApplianceKind::parse(name) {
+                    Some(kind) => crate::patterns::render_one(kind, 42),
+                    None => return Err(AppError::UnknownAppliance(name.to_string())),
+                },
+                None => crate::patterns::render_all(42),
+            },
+            "insights" => {
+                if self.state.selected.is_empty() {
+                    "select at least one appliance first (select <appliance>)\n".into()
+                } else {
+                    let (usages, total) = self.state.insights()?;
+                    crate::insights::render(&usages, total)
+                }
+            }
+            "benchmark" => match (&self.bench, arg1) {
+                (Some(bench), Some(dataset)) => {
+                    benchmark_frame::render_dataset(bench, dataset, arg2.unwrap_or("F1"))
+                }
+                (Some(_), None) => "usage: benchmark <dataset> [measure]\n".into(),
+                (None, _) => "no benchmark table loaded (run the ds-bench harness first, \
+                              then start with --bench <table.json>)\n"
+                    .into(),
+            },
+            "labels" => match &self.bench {
+                Some(bench) => benchmark_frame::render_label_comparison(bench),
+                None => "no benchmark table loaded\n".into(),
+            },
+            "scenario" => match arg1 {
+                Some("1") => scenarios::scenario_1(&mut self.state)?,
+                Some("2") => {
+                    let kind = arg2
+                        .and_then(ApplianceKind::parse)
+                        .unwrap_or(ApplianceKind::Kettle);
+                    scenarios::scenario_2(&mut self.state, kind)?
+                }
+                Some("3") => match &self.bench {
+                    Some(bench) => scenarios::scenario_3(bench, arg2.unwrap_or("UKDALE"), "F1"),
+                    None => "scenario 3 needs a benchmark table (--bench <table.json>)\n".into(),
+                },
+                _ => "usage: scenario <1|2|3> [appliance|dataset]\n".into(),
+            },
+            other => format!("unknown command {other:?} — type 'help'\n"),
+        }))
+    }
+
+    /// Run the interactive loop over the given reader/writer.
+    pub fn run(&mut self, input: impl BufRead, mut output: impl Write) -> std::io::Result<()> {
+        writeln!(output, "DeviceScope — type 'help' for commands")?;
+        write!(output, "> ")?;
+        output.flush()?;
+        for line in input.lines() {
+            let line = line?;
+            match self.execute(&line) {
+                Outcome::Output(text) => {
+                    write!(output, "{text}")?;
+                }
+                Outcome::Quit => break,
+            }
+            write!(output, "> ")?;
+            output.flush()?;
+        }
+        writeln!(output)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::AppConfig;
+
+    fn repl() -> Repl {
+        Repl::new(AppState::new(AppConfig::fast_test()), None)
+    }
+
+    fn run(repl: &mut Repl, cmd: &str) -> String {
+        match repl.execute(cmd) {
+            Outcome::Output(s) => s,
+            Outcome::Quit => "<quit>".into(),
+        }
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        let mut r = repl();
+        assert!(run(&mut r, "help").contains("DeviceScope commands"));
+        assert!(run(&mut r, "frobnicate").contains("unknown command"));
+        assert_eq!(run(&mut r, ""), "");
+        assert_eq!(run(&mut r, "quit"), "<quit>");
+    }
+
+    #[test]
+    fn full_session_flow() {
+        let mut r = repl();
+        assert!(run(&mut r, "datasets").contains("UKDALE"));
+        let houses = run(&mut r, "houses ukdale");
+        assert!(houses.contains("test houses of UKDALE"));
+        let first_house: u32 = houses
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!(run(&mut r, &format!("load UKDALE {first_house}")).contains("Playground"));
+        assert!(run(&mut r, "window 6h").contains("6 hours"));
+        assert!(run(&mut r, "next").contains("window 2/"));
+        assert!(run(&mut r, "prev").contains("window 1/"));
+        assert!(run(&mut r, "prev").contains("already at the first"));
+        assert!(run(&mut r, "select kettle").contains("kettle selected"));
+        assert!(run(&mut r, "probs").contains("ensemble"));
+        assert!(run(&mut r, "perdevice kettle").contains("Per device"));
+    }
+
+    #[test]
+    fn patterns_and_insights_commands() {
+        let mut r = repl();
+        // Patterns work without a loaded series.
+        let all = run(&mut r, "patterns");
+        assert!(all.contains("Kettle") && all.contains("Shower"));
+        let one = run(&mut r, "patterns dishwasher");
+        assert!(one.contains("Dishwasher — typical pattern"));
+        assert!(run(&mut r, "patterns toaster").contains("error"));
+        // Insights need a selection and a loaded series.
+        assert!(run(&mut r, "insights").contains("select at least one"));
+        let houses = run(&mut r, "houses ukdale");
+        let first: u32 = houses
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        run(&mut r, &format!("load UKDALE {first}"));
+        run(&mut r, "window 6h");
+        run(&mut r, "select kettle");
+        let insights = run(&mut r, "insights");
+        assert!(insights.contains("Consumption insights"), "{insights}");
+        assert!(insights.contains("Kettle"));
+        assert!(insights.contains("kWh"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut r = repl();
+        assert!(run(&mut r, "load MARS 1").contains("error"));
+        assert!(run(&mut r, "next").contains("error"));
+        assert!(run(&mut r, "select fridge").contains("error"));
+        assert!(run(&mut r, "window 3h").contains("unknown window length"));
+        assert!(run(&mut r, "benchmark UKDALE").contains("no benchmark table"));
+        assert!(run(&mut r, "labels").contains("no benchmark table"));
+        assert!(run(&mut r, "scenario 9").contains("usage"));
+    }
+
+    #[test]
+    fn run_loop_reads_until_quit() {
+        let mut r = repl();
+        let input = b"datasets\nquit\n" as &[u8];
+        let mut output = Vec::new();
+        r.run(input, &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        assert!(text.contains("DeviceScope"));
+        assert!(text.contains("UKDALE"));
+    }
+}

@@ -1,0 +1,120 @@
+//! The three demonstration scenarios of §IV, as scripted walkthroughs that
+//! drive the real views (nothing is mocked: scenario text interleaves with
+//! live renders of the frames).
+
+use crate::state::{AppError, AppState};
+use crate::{benchmark_frame, perdevice, playground, probabilities};
+use ds_datasets::{ApplianceKind, DatasetPreset};
+use ds_metrics::aggregate::BenchmarkTable;
+
+/// Scenario 1 — *A blind guess*: load a series and show only the aggregate
+/// window, challenging the user to guess which appliances ran.
+pub fn scenario_1(state: &mut AppState) -> Result<String, AppError> {
+    let mut out = String::from(
+        "═══ Scenario 1: A blind guess ═══\n\
+         Look at the aggregate consumption below. Which appliances do you\n\
+         think were used, and when? (No help this time — that is the point:\n\
+         NILM without supervision is hard.)\n\n",
+    );
+    ensure_loaded(state)?;
+    state.selected.clear();
+    out.push_str(&playground::render(state)?);
+    out.push_str("\nWhen you have made your guess, move on to scenario 2.\n");
+    Ok(out)
+}
+
+/// Scenario 2 — *A second guess with appliance patterns*: the same window
+/// with CamAL's predicted localization and the per-device ground truth.
+pub fn scenario_2(state: &mut AppState, kind: ApplianceKind) -> Result<String, AppError> {
+    let mut out = String::from(
+        "═══ Scenario 2: A second guess with appliance patterns ═══\n\
+         Now the expander shows an example pattern, CamAL's estimated\n\
+         localization, and finally the ground truth from the submeter.\n\n",
+    );
+    ensure_loaded(state)?;
+    out.push_str(&crate::patterns::render_one(kind, 42));
+    out.push('\n');
+    if !state.selected.contains(&kind) {
+        state.selected.push(kind);
+    }
+    out.push_str(&playground::render(state)?);
+    out.push('\n');
+    out.push_str(&probabilities::render(state)?);
+    out.push('\n');
+    out.push_str(&perdevice::render(state, kind)?);
+    Ok(out)
+}
+
+/// Scenario 3 — *Compare CamAL performance*: the benchmark frame over a
+/// results table produced by the `ds-bench` harness.
+pub fn scenario_3(bench: &BenchmarkTable, dataset: &str, measure: &str) -> String {
+    let mut out = String::from(
+        "═══ Scenario 3: Compare CamAL performance ═══\n\
+         The benchmark page compares the 7 methods (5 seq2seq NILM networks,\n\
+         the weakly supervised baseline, and CamAL) on detection and\n\
+         localization measures — and on how many labels each needs.\n\n",
+    );
+    out.push_str(&benchmark_frame::render_dataset(bench, dataset, measure));
+    out.push('\n');
+    out.push_str(&benchmark_frame::render_label_comparison(bench));
+    out
+}
+
+fn ensure_loaded(state: &mut AppState) -> Result<(), AppError> {
+    if state.current_window().is_ok() {
+        return Ok(());
+    }
+    let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+    let house = *houses.first().expect("presets always have test houses");
+    state.load("UKDALE", house)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::AppConfig;
+    use ds_metrics::aggregate::BenchmarkCell;
+    use ds_metrics::Measures;
+    use ds_timeseries::window::WindowLength;
+
+    #[test]
+    fn scenario_1_hides_predictions() {
+        let mut state = AppState::new(AppConfig::fast_test());
+        let out = scenario_1(&mut state).unwrap();
+        assert!(out.contains("Scenario 1"));
+        assert!(out.contains('█'));
+        assert!(!out.contains("predicted appliance status"));
+    }
+
+    #[test]
+    fn scenario_2_shows_prediction_and_truth() {
+        let mut state = AppState::new(AppConfig::fast_test());
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        let out = scenario_2(&mut state, ApplianceKind::Kettle).unwrap();
+        assert!(out.contains("Scenario 2"));
+        assert!(out.contains("Kettle — typical pattern"));
+        assert!(out.contains("predicted appliance status"));
+        assert!(out.contains("Per device: Kettle"));
+        assert!(out.contains("Model detection probabilities"));
+    }
+
+    #[test]
+    fn scenario_3_renders_benchmark() {
+        let mut t = BenchmarkTable::new();
+        t.push(BenchmarkCell {
+            dataset: "IDEAL".into(),
+            appliance: "Dishwasher".into(),
+            method: "CamAL".into(),
+            detection: Measures::default(),
+            localization: Measures {
+                f1: 0.7,
+                ..Measures::default()
+            },
+            labels_used: 42,
+        });
+        let out = scenario_3(&t, "IDEAL", "F1");
+        assert!(out.contains("Scenario 3"));
+        assert!(out.contains("Benchmark: IDEAL"));
+        assert!(out.contains("CamAL"));
+    }
+}

@@ -1,0 +1,385 @@
+//! The application state machine behind every DeviceScope view: dataset
+//! selection, series loading, window navigation, appliance selection, and
+//! the lazily trained per-(dataset, appliance) CamAL models.
+
+use ds_camal::{Camal, CamalConfig};
+use ds_datasets::labels::Corpus;
+use ds_datasets::{ApplianceKind, Catalog, DatasetPreset};
+use ds_timeseries::window::{WindowCursor, WindowLength};
+use ds_timeseries::TimeSeries;
+use std::collections::BTreeMap;
+
+/// Application-wide configuration.
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    /// CamAL hyper-parameters used for on-demand training.
+    pub camal: CamalConfig,
+    /// Houses per generated dataset (small by default for responsiveness).
+    pub houses: u32,
+    /// Days per generated dataset.
+    pub days: u32,
+}
+
+impl Default for AppConfig {
+    fn default() -> Self {
+        AppConfig {
+            camal: CamalConfig::default(),
+            houses: 6,
+            days: 7,
+        }
+    }
+}
+
+impl AppConfig {
+    /// A configuration small enough for unit tests and quick demos.
+    pub fn fast_test() -> AppConfig {
+        AppConfig {
+            camal: CamalConfig::fast_test(),
+            houses: 4,
+            days: 2,
+        }
+    }
+}
+
+/// Errors surfaced to the user by the app.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppError {
+    /// The dataset name is not in the catalog.
+    UnknownDataset(String),
+    /// The house id is not in the selected dataset.
+    UnknownHouse(u32),
+    /// An operation needed a loaded series.
+    NothingLoaded,
+    /// The appliance name did not parse.
+    UnknownAppliance(String),
+    /// The series is too short for the requested window length.
+    WindowTooLong(String),
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::UnknownDataset(d) => write!(f, "unknown dataset {d:?} (try UKDALE, REFIT, IDEAL)"),
+            AppError::UnknownHouse(h) => write!(f, "house {h} not found in the selected dataset"),
+            AppError::NothingLoaded => write!(f, "load a series first (load <dataset> <house>)"),
+            AppError::UnknownAppliance(a) => write!(f, "unknown appliance {a:?}"),
+            AppError::WindowTooLong(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+/// The DeviceScope application state.
+pub struct AppState {
+    config: AppConfig,
+    catalog: Catalog,
+    models: BTreeMap<(String, &'static str, usize), Camal>,
+    /// Currently selected dataset.
+    pub dataset: Option<DatasetPreset>,
+    /// Currently loaded house.
+    pub house_id: Option<u32>,
+    cursor: Option<WindowCursor>,
+    /// Current window length.
+    pub window_length: WindowLength,
+    /// Appliances the user selected for status overlay.
+    pub selected: Vec<ApplianceKind>,
+}
+
+impl AppState {
+    /// Create the app with its dataset catalog.
+    pub fn new(config: AppConfig) -> AppState {
+        let catalog = Catalog::tiny(config.houses, config.days);
+        AppState {
+            config,
+            catalog,
+            models: BTreeMap::new(),
+            dataset: None,
+            house_id: None,
+            cursor: None,
+            window_length: WindowLength::TwelveHours,
+            selected: Vec::new(),
+        }
+    }
+
+    /// Dataset names offered in the sidebar.
+    pub fn dataset_names(&self) -> Vec<&'static str> {
+        self.catalog.names()
+    }
+
+    /// House ids available for browsing in `dataset` — the *test* houses,
+    /// honoring the paper's rule that demo series come from houses never
+    /// used in training.
+    pub fn browsable_houses(&mut self, dataset: DatasetPreset) -> Vec<u32> {
+        self.catalog
+            .get(dataset)
+            .test_houses()
+            .iter()
+            .map(|h| h.id())
+            .collect()
+    }
+
+    /// Summary statistics of a dataset (the app's info panel).
+    pub fn dataset_stats(&mut self, preset: DatasetPreset) -> ds_datasets::stats::DatasetStats {
+        ds_datasets::stats::summarize(self.catalog.get(preset))
+    }
+
+    /// Load a house's aggregate series for browsing.
+    pub fn load(&mut self, dataset_name: &str, house_id: u32) -> Result<(), AppError> {
+        let preset = DatasetPreset::parse(dataset_name)
+            .ok_or_else(|| AppError::UnknownDataset(dataset_name.to_string()))?;
+        let ds = self.catalog.get(preset);
+        let house = ds.house(house_id).ok_or(AppError::UnknownHouse(house_id))?;
+        let series = house.aggregate().clone();
+        self.cursor = Some(self.make_cursor(series)?);
+        self.dataset = Some(preset);
+        self.house_id = Some(house_id);
+        Ok(())
+    }
+
+    fn make_cursor(&self, series: TimeSeries) -> Result<WindowCursor, AppError> {
+        WindowCursor::new(series, self.window_length)
+            .map_err(|e| AppError::WindowTooLong(e.to_string()))
+    }
+
+    /// Change the window length, preserving the loaded series.
+    pub fn set_window_length(&mut self, length: WindowLength) -> Result<(), AppError> {
+        self.window_length = length;
+        if let Some(cursor) = self.cursor.take() {
+            let series = cursor.series().clone();
+            self.cursor = Some(self.make_cursor(series)?);
+        }
+        Ok(())
+    }
+
+    /// Move to the next window. Returns whether the view changed.
+    #[allow(clippy::should_implement_trait)] // "Next" is the GUI button, not an iterator
+    pub fn next(&mut self) -> Result<bool, AppError> {
+        Ok(self.cursor.as_mut().ok_or(AppError::NothingLoaded)?.next())
+    }
+
+    /// Move to the previous window. Returns whether the view changed.
+    pub fn prev(&mut self) -> Result<bool, AppError> {
+        Ok(self.cursor.as_mut().ok_or(AppError::NothingLoaded)?.prev())
+    }
+
+    /// `(current index, window count)` of the pager.
+    pub fn page(&self) -> Result<(usize, usize), AppError> {
+        let c = self.cursor.as_ref().ok_or(AppError::NothingLoaded)?;
+        Ok((c.index(), c.count()))
+    }
+
+    /// The currently displayed window.
+    pub fn current_window(&self) -> Result<TimeSeries, AppError> {
+        Ok(self.cursor.as_ref().ok_or(AppError::NothingLoaded)?.current())
+    }
+
+    /// Toggle an appliance in the overlay selection; returns its new state.
+    pub fn toggle_appliance(&mut self, name: &str) -> Result<bool, AppError> {
+        let kind = ApplianceKind::parse(name)
+            .ok_or_else(|| AppError::UnknownAppliance(name.to_string()))?;
+        if let Some(pos) = self.selected.iter().position(|&k| k == kind) {
+            self.selected.remove(pos);
+            Ok(false)
+        } else {
+            self.selected.push(kind);
+            Ok(true)
+        }
+    }
+
+    /// Ground-truth status of `kind` for the current window (evaluation /
+    /// per-device view only, exactly like the paper's per-device tab).
+    pub fn current_truth(&mut self, kind: ApplianceKind) -> Result<Vec<u8>, AppError> {
+        let (preset, house_id) = self.loaded()?;
+        let (lo, len) = self.current_range()?;
+        let ds = self.catalog.get(preset);
+        let house = ds.house(house_id).ok_or(AppError::UnknownHouse(house_id))?;
+        let status = house.status(kind);
+        Ok(status.states()[lo..lo + len].to_vec())
+    }
+
+    /// Ground-truth submetered power of `kind` for the current window.
+    pub fn current_channel(&mut self, kind: ApplianceKind) -> Result<Option<TimeSeries>, AppError> {
+        let (preset, house_id) = self.loaded()?;
+        let (lo, len) = self.current_range()?;
+        let ds = self.catalog.get(preset);
+        let house = ds.house(house_id).ok_or(AppError::UnknownHouse(house_id))?;
+        Ok(house.channel(kind).map(|ch| ch.slice(lo, lo + len).expect("cursor range is valid")))
+    }
+
+    fn loaded(&self) -> Result<(DatasetPreset, u32), AppError> {
+        match (self.dataset, self.house_id) {
+            (Some(d), Some(h)) => Ok((d, h)),
+            _ => Err(AppError::NothingLoaded),
+        }
+    }
+
+    fn current_range(&self) -> Result<(usize, usize), AppError> {
+        let c = self.cursor.as_ref().ok_or(AppError::NothingLoaded)?;
+        Ok((c.index() * c.window_size(), c.window_size()))
+    }
+
+    /// The CamAL model for `(current dataset, kind)` at the current window
+    /// length, training it on the dataset's *train* houses on first use.
+    pub fn model(&mut self, kind: ApplianceKind) -> Result<&Camal, AppError> {
+        let (preset, _) = self.loaded()?;
+        let window_samples = self
+            .window_length
+            .samples(self.current_window()?.interval_secs());
+        let key = (preset.name().to_string(), kind.slug(), window_samples);
+        if !self.models.contains_key(&key) {
+            let ds = self.catalog.get(preset);
+            let mut corpus = Corpus::build(ds, kind, window_samples);
+            corpus.balance_train(3);
+            let model = Camal::train(&corpus, &self.config.camal);
+            self.models.insert(key.clone(), model);
+        }
+        Ok(self.models.get(&key).expect("inserted above"))
+    }
+
+    /// The full submetered channel of `kind` for the loaded house (None if
+    /// not possessed) — used by the insights view for exact energy.
+    pub fn full_channel(&mut self, kind: ApplianceKind) -> Result<Option<TimeSeries>, AppError> {
+        let (preset, house_id) = self.loaded()?;
+        let ds = self.catalog.get(preset);
+        let house = ds.house(house_id).ok_or(AppError::UnknownHouse(house_id))?;
+        Ok(house.channel(kind).cloned())
+    }
+
+    /// Consumption insights over the whole loaded series: predicted usage of
+    /// every selected appliance (see [`crate::insights`]). Returns the usage
+    /// records and the household total in kWh.
+    pub fn insights(&mut self) -> Result<(Vec<crate::insights::ApplianceUsage>, f64), AppError> {
+        let cursor = self.cursor.as_ref().ok_or(AppError::NothingLoaded)?;
+        let series = cursor.series().clone();
+        let window = cursor.window_size();
+        let total_kwh = series.energy_wh() / 1000.0;
+        let selected = self.selected.clone();
+        let mut usages = Vec::with_capacity(selected.len());
+        for kind in selected {
+            let channel = self.full_channel(kind)?;
+            let model = self.model(kind)?;
+            let status = model.predict_status_series(&series, window);
+            usages.push(crate::insights::appliance_usage(
+                kind,
+                &status,
+                &series,
+                channel.as_ref(),
+            ));
+        }
+        Ok((usages, total_kwh))
+    }
+
+    /// Localize every selected appliance in the current window.
+    pub fn localize_selected(
+        &mut self,
+    ) -> Result<Vec<(ApplianceKind, ds_camal::Localization)>, AppError> {
+        let window = self.current_window()?;
+        let selected = self.selected.clone();
+        let mut out = Vec::with_capacity(selected.len());
+        for kind in selected {
+            let values: Vec<f32> = window.values().to_vec();
+            // Impute tiny display gaps with zeros so the pipeline runs; the
+            // training path never sees imputed windows.
+            let clean: Vec<f32> = values.iter().map(|v| if v.is_nan() { 0.0 } else { *v }).collect();
+            let model = self.model(kind)?;
+            out.push((kind, model.localize(&clean)));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> AppState {
+        AppState::new(AppConfig::fast_test())
+    }
+
+    #[test]
+    fn dataset_listing() {
+        let state = app();
+        assert_eq!(state.dataset_names(), vec!["UKDALE", "REFIT", "IDEAL"]);
+    }
+
+    #[test]
+    fn load_and_navigate() {
+        let mut state = app();
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        assert!(!houses.is_empty());
+        state.load("UKDALE", houses[0]).unwrap();
+        let (idx, count) = state.page().unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(count, 2 * 2); // 2 days of 12h windows
+        assert!(state.next().unwrap());
+        assert_eq!(state.page().unwrap().0, 1);
+        assert!(state.prev().unwrap());
+        assert!(!state.prev().unwrap());
+        let w = state.current_window().unwrap();
+        assert_eq!(w.len(), 720);
+    }
+
+    #[test]
+    fn load_failures() {
+        let mut state = app();
+        assert_eq!(
+            state.load("NOPE", 0),
+            Err(AppError::UnknownDataset("NOPE".into()))
+        );
+        assert_eq!(state.load("UKDALE", 99), Err(AppError::UnknownHouse(99)));
+        assert_eq!(state.next(), Err(AppError::NothingLoaded));
+        assert_eq!(state.current_window().unwrap_err(), AppError::NothingLoaded);
+    }
+
+    #[test]
+    fn window_length_switch_preserves_series() {
+        let mut state = app();
+        let houses = state.browsable_houses(DatasetPreset::RefitLike);
+        state.load("REFIT", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        assert_eq!(state.current_window().unwrap().len(), 360);
+        state.set_window_length(WindowLength::OneDay).unwrap();
+        assert_eq!(state.current_window().unwrap().len(), 1440);
+    }
+
+    #[test]
+    fn appliance_toggle() {
+        let mut state = app();
+        assert!(state.toggle_appliance("kettle").unwrap());
+        assert!(state.toggle_appliance("Dishwasher").unwrap());
+        assert_eq!(state.selected.len(), 2);
+        assert!(!state.toggle_appliance("kettle").unwrap());
+        assert_eq!(state.selected, vec![ApplianceKind::Dishwasher]);
+        assert!(state.toggle_appliance("fridge").is_err());
+    }
+
+    #[test]
+    fn truth_and_channel_access() {
+        let mut state = app();
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        let truth = state.current_truth(ApplianceKind::Kettle).unwrap();
+        assert_eq!(truth.len(), 720);
+        // Channel exists iff the house possesses the appliance.
+        let ch = state.current_channel(ApplianceKind::Kettle).unwrap();
+        let ds = state.catalog.get(DatasetPreset::UkdaleLike);
+        let possesses = ds.house(houses[0]).unwrap().possesses(ApplianceKind::Kettle);
+        assert_eq!(ch.is_some(), possesses);
+    }
+
+    #[test]
+    fn model_training_is_cached_and_localization_runs() {
+        let mut state = app();
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        state.toggle_appliance("kettle").unwrap();
+        let out = state.localize_selected().unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].1.status.len(), 360);
+        // Second call hits the cache (no retraining): just verify it works.
+        let out2 = state.localize_selected().unwrap();
+        assert_eq!(out2[0].1.status, out[0].1.status);
+    }
+}

@@ -1,0 +1,55 @@
+//! Fuzz-style property tests of the text renderers: no input — including
+//! NaN-ridden, constant, or extreme series — may panic or produce
+//! malformed output.
+
+use ds_app::plot::{line_chart, probability_bar, status_strip, table};
+use ds_timeseries::TimeSeries;
+use proptest::prelude::*;
+
+fn messy_values() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (-1.0e6f32..1.0e6).boxed(),
+            1 => Just(f32::NAN).boxed(),
+            1 => Just(0.0f32).boxed(),
+        ],
+        0..500,
+    )
+}
+
+proptest! {
+    #[test]
+    fn line_chart_never_panics(values in messy_values(), w in 0usize..300, h in 0usize..60) {
+        let ts = TimeSeries::from_values(0, 60, values);
+        let chart = line_chart(&ts, w, h);
+        prop_assert!(!chart.is_empty());
+        // Every line is bounded by the clamped width plus the axis label.
+        for line in chart.lines() {
+            prop_assert!(line.chars().count() <= 200 + 12, "line too long");
+        }
+    }
+
+    #[test]
+    fn status_strip_has_requested_width(states in prop::collection::vec(0u8..2, 0..400), w in 0usize..300) {
+        let strip = status_strip(&states, w);
+        let expected = w.clamp(8, 200);
+        prop_assert_eq!(strip.chars().count(), expected);
+        prop_assert!(strip.chars().all(|c| c == '█' || c == '─'));
+    }
+
+    #[test]
+    fn probability_bar_handles_any_float(p in prop::num::f32::ANY, w in 0usize..200) {
+        // NaN and infinities must render, not panic.
+        let bar = probability_bar("x", p, w);
+        prop_assert!(bar.contains('['));
+        prop_assert!(bar.contains(']'));
+    }
+
+    #[test]
+    fn table_never_panics(
+        rows in prop::collection::vec(prop::collection::vec(".{0,20}", 0..5), 0..10)
+    ) {
+        let out = table(&["A", "B", "C"], &rows);
+        prop_assert!(out.lines().count() >= 2);
+    }
+}

@@ -1,0 +1,186 @@
+//! The five strong-label seq2seq architectures of the benchmark.
+//!
+//! All map `[B, 1, L]` aggregate windows to `[B, 1, L]` status logits and
+//! are built from the same substrate layers; they differ in the inductive
+//! bias the NILM literature associates with each family.
+
+use crate::seqnet::{SeqLayer, SeqNet};
+use ds_neural::activations::ReLU;
+use ds_neural::batchnorm::BatchNorm1d;
+use ds_neural::conv::Conv1d;
+
+fn conv(i: usize, o: usize, k: usize, seed: u64) -> SeqLayer {
+    SeqLayer::Conv(Conv1d::new(i, o, k, seed))
+}
+
+fn dconv(i: usize, o: usize, k: usize, d: usize, seed: u64) -> SeqLayer {
+    SeqLayer::Conv(Conv1d::dilated(i, o, k, d, seed))
+}
+
+fn bn(c: usize) -> SeqLayer {
+    SeqLayer::Bn(BatchNorm1d::new(c))
+}
+
+fn relu() -> SeqLayer {
+    SeqLayer::Relu(ReLU::new())
+}
+
+/// Classic fully convolutional seq2seq: kernels 9 → 5 → 3, 1×1 head.
+pub fn fcn(seed: u64) -> SeqNet {
+    SeqNet::new(vec![
+        conv(1, 16, 9, seed),
+        bn(16),
+        relu(),
+        conv(16, 16, 5, seed + 1),
+        bn(16),
+        relu(),
+        conv(16, 8, 3, seed + 2),
+        bn(8),
+        relu(),
+        conv(8, 1, 1, seed + 3),
+    ])
+}
+
+/// Denoising-autoencoder style: widen → channel bottleneck → widen,
+/// following Kelly & Knottenbelt's DAE (pooling replaced by the bottleneck,
+/// see `DESIGN.md`).
+pub fn dae(seed: u64) -> SeqNet {
+    SeqNet::new(vec![
+        conv(1, 16, 5, seed),
+        bn(16),
+        relu(),
+        conv(16, 4, 3, seed + 1), // bottleneck
+        bn(4),
+        relu(),
+        conv(4, 16, 3, seed + 2),
+        bn(16),
+        relu(),
+        conv(16, 1, 5, seed + 3),
+    ])
+}
+
+/// Multi-scale "UNet-style" network: a narrow-kernel deep branch and a
+/// wide-kernel shallow branch processed in parallel and summed, then fused.
+/// Stands in for UNet-NILM's encoder/decoder skip structure without
+/// pooling (equivalent receptive-field coverage).
+pub fn unet_ms(seed: u64) -> SeqNet {
+    let narrow = SeqNet::new(vec![
+        conv(1, 12, 3, seed),
+        bn(12),
+        relu(),
+        conv(12, 12, 3, seed + 1),
+        bn(12),
+        relu(),
+    ]);
+    let wide = SeqNet::new(vec![conv(1, 12, 15, seed + 2), bn(12), relu()]);
+    SeqNet::new(vec![
+        SeqLayer::ParallelSum(vec![narrow, wide]),
+        conv(12, 8, 3, seed + 3),
+        bn(8),
+        relu(),
+        conv(8, 1, 1, seed + 4),
+    ])
+}
+
+/// Dilated temporal convolution network: dilation 1 → 2 → 4 → 8 with k=3,
+/// covering a ~31-sample receptive field with few parameters.
+pub fn tcn(seed: u64) -> SeqNet {
+    SeqNet::new(vec![
+        dconv(1, 12, 3, 1, seed),
+        bn(12),
+        relu(),
+        dconv(12, 12, 3, 2, seed + 1),
+        bn(12),
+        relu(),
+        dconv(12, 12, 3, 4, seed + 2),
+        bn(12),
+        relu(),
+        dconv(12, 12, 3, 8, seed + 3),
+        bn(12),
+        relu(),
+        conv(12, 1, 1, seed + 4),
+    ])
+}
+
+/// Seq2Point-style pointwise CNN: small receptive field, local decisions —
+/// the sliding-window point estimator recast as a dense stack.
+pub fn seq2point(seed: u64) -> SeqNet {
+    SeqNet::new(vec![
+        conv(1, 20, 5, seed),
+        bn(20),
+        relu(),
+        conv(20, 16, 3, seed + 1),
+        bn(16),
+        relu(),
+        conv(16, 1, 1, seed + 2),
+    ])
+}
+
+/// All five architectures with their benchmark display names.
+pub fn all_architectures(seed: u64) -> Vec<(&'static str, SeqNet)> {
+    vec![
+        ("FCN", fcn(seed)),
+        ("DAE", dae(seed.wrapping_add(100))),
+        ("UNet-MS", unet_ms(seed.wrapping_add(200))),
+        ("TCN", tcn(seed.wrapping_add(300))),
+        ("Seq2Point", seq2point(seed.wrapping_add(400))),
+    ]
+}
+
+/// Build one architecture by display name.
+pub fn by_name(name: &str, seed: u64) -> Option<SeqNet> {
+    match name {
+        "FCN" => Some(fcn(seed)),
+        "DAE" => Some(dae(seed)),
+        "UNet-MS" => Some(unet_ms(seed)),
+        "TCN" => Some(tcn(seed)),
+        "Seq2Point" => Some(seq2point(seed)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_neural::VisitParams;
+
+    #[test]
+    fn five_architectures_exist() {
+        let archs = all_architectures(0);
+        assert_eq!(archs.len(), 5);
+        let names: Vec<&str> = archs.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, crate::STRONG_BASELINES.to_vec());
+    }
+
+    #[test]
+    fn by_name_matches_catalog() {
+        for name in crate::STRONG_BASELINES {
+            assert!(by_name(name, 1).is_some(), "missing {name}");
+        }
+        assert!(by_name("BiLSTM", 1).is_none());
+    }
+
+    #[test]
+    fn architectures_have_distinct_parameter_counts() {
+        let mut counts = Vec::new();
+        for (name, mut net) in all_architectures(0) {
+            let n = net.param_count();
+            assert!(n > 50, "{name} suspiciously small: {n}");
+            counts.push(n);
+        }
+        counts.sort_unstable();
+        counts.dedup();
+        assert!(counts.len() >= 4, "architectures too similar: {counts:?}");
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let mut a = fcn(5);
+        let mut b = fcn(5);
+        let mut av = Vec::new();
+        let mut bv = Vec::new();
+        a.visit_params(&mut |p, _| av.extend_from_slice(p));
+        b.visit_params(&mut |p, _| bv.extend_from_slice(p));
+        assert_eq!(av, bv);
+    }
+}

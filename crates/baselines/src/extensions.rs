@@ -1,0 +1,136 @@
+//! Extension methods beyond the paper's 7-method benchmark — reference
+//! points the demo's "margins of improvement" discussion (§IV, scenario 3)
+//! calls for.
+//!
+//! [`EdgeHeuristic`] is the classic training-free event-matching detector
+//! (Hart 1992): find steep power edges near the appliance's typical draw,
+//! pair rises with falls, and call the paired spans activations. It
+//! consumes **zero** labels, making it the floor every learned method must
+//! beat — and a natural extra row for the benchmark table.
+
+use crate::traits::{Localizer, WindowPrediction};
+use ds_datasets::ApplianceKind;
+use ds_metrics::labels::Supervision;
+use ds_timeseries::events::{detect_edges, pair_events, segments_to_status};
+use ds_timeseries::TimeSeries;
+
+/// A training-free edge-matching localizer tuned by appliance metadata
+/// only (typical power and plausible duration) — no labels at all.
+#[derive(Debug, Clone)]
+pub struct EdgeHeuristic {
+    /// Target appliance (sets the power band and duration cap).
+    pub appliance: ApplianceKind,
+    /// Relative tolerance when matching rise and fall magnitudes.
+    pub tolerance: f32,
+}
+
+impl EdgeHeuristic {
+    /// Heuristic for one appliance with the default tolerance.
+    pub fn new(appliance: ApplianceKind) -> EdgeHeuristic {
+        EdgeHeuristic {
+            appliance,
+            tolerance: 0.3,
+        }
+    }
+
+    /// Minimum edge magnitude: half the appliance's typical draw.
+    fn min_delta_w(&self) -> f32 {
+        self.appliance.typical_peak_w() * 0.5
+    }
+
+    /// Longest plausible activation, in samples (at 1-minute resolution).
+    fn max_len(&self) -> usize {
+        match self.appliance {
+            ApplianceKind::Kettle => 8,
+            ApplianceKind::Microwave => 12,
+            ApplianceKind::Dishwasher => 150,
+            ApplianceKind::WashingMachine => 140,
+            ApplianceKind::Shower => 20,
+        }
+    }
+}
+
+impl Localizer for EdgeHeuristic {
+    fn name(&self) -> &str {
+        "EdgeHeuristic"
+    }
+
+    fn supervision(&self) -> Supervision {
+        // Consumes zero labels; weak is the closest category (label count
+        // is reported as 0 by the harness since it never trains).
+        Supervision::Weak
+    }
+
+    fn predict(&self, window: &[f32]) -> WindowPrediction {
+        let series = TimeSeries::from_values(0, 60, window.to_vec());
+        let edges = detect_edges(&series, self.min_delta_w());
+        let segments = pair_events(&edges, self.min_delta_w(), self.tolerance, self.max_len());
+        let status = segments_to_status(&segments, window.len());
+        let any = status.iter().any(|&s| s == 1);
+        WindowPrediction {
+            probability: if any { 0.9 } else { 0.1 },
+            status,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kettle_pulse_is_found() {
+        let h = EdgeHeuristic::new(ApplianceKind::Kettle);
+        let mut window = vec![150.0f32; 60];
+        window[20..24].fill(150.0 + 2800.0);
+        let pred = h.predict(&window);
+        assert!(pred.probability > 0.5);
+        assert_eq!(pred.status[20..24], [1, 1, 1, 1]);
+        assert_eq!(pred.status.iter().map(|&s| s as usize).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn flat_window_stays_off() {
+        let h = EdgeHeuristic::new(ApplianceKind::Shower);
+        let pred = h.predict(&vec![200.0; 120]);
+        assert!(pred.probability < 0.5);
+        assert!(pred.status.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn wrong_magnitude_is_rejected() {
+        // A 500 W event is far below a shower's 8.5 kW signature.
+        let h = EdgeHeuristic::new(ApplianceKind::Shower);
+        let mut window = vec![100.0f32; 60];
+        window[10..15].fill(600.0);
+        let pred = h.predict(&window);
+        assert!(pred.status.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn duration_cap_rejects_endless_events() {
+        let h = EdgeHeuristic::new(ApplianceKind::Kettle);
+        let mut window = vec![100.0f32; 120];
+        // "Kettle-magnitude" plateau lasting an hour: not a kettle.
+        window[10..80].fill(2900.0);
+        let pred = h.predict(&window);
+        assert!(
+            pred.status.iter().all(|&s| s == 0),
+            "70-minute kettle should be rejected"
+        );
+    }
+
+    #[test]
+    fn works_on_simulated_house() {
+        use ds_datasets::{Dataset, DatasetConfig, DatasetPreset};
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 2, 2));
+        let house = &ds.houses()[0];
+        let h = EdgeHeuristic::new(ApplianceKind::Kettle);
+        let values: Vec<f32> = house.aggregate().values()[..720]
+            .iter()
+            .map(|v| if v.is_nan() { 0.0 } else { *v })
+            .collect();
+        let pred = h.predict(&values);
+        assert_eq!(pred.status.len(), 720);
+    }
+}

@@ -1,0 +1,49 @@
+//! # ds-baselines
+//!
+//! The six baseline methods of the DeviceScope benchmark (paper §II-C and
+//! §III: *"6 baselines in total in addition to CamAL"*):
+//!
+//! **Five strong-label seq2seq NILM networks** — each consumes one label
+//! *per timestep* when training and outputs a per-timestep ON probability:
+//!
+//! | Name        | Architecture (all on `ds-neural`)                           |
+//! |-------------|--------------------------------------------------------------|
+//! | `FCN`       | classic fully convolutional stack, kernels 9→5→3             |
+//! | `DAE`       | channel-bottleneck (denoising-autoencoder style) stack        |
+//! | `UNet-MS`   | multi-scale: narrow (k3) and wide (k15) branches, summed      |
+//! | `TCN`       | dilated temporal convolutions, dilation 1→2→4→8               |
+//! | `Seq2Point` | small-receptive-field pointwise CNN (local decisions)         |
+//!
+//! These follow the canonical convolutional NILM lineage (Kelly &
+//! Knottenbelt's DAE/Seq2Point, FCN seq2seq, UNet-NILM, TCN variants);
+//! pooling/unpooling in UNet is replaced by an equivalent-receptive-field
+//! multi-scale sum (documented substitution — see `DESIGN.md`).
+//!
+//! **One weakly supervised baseline** — [`weak_sliding::WeakSliding`]: a
+//! window classifier trained exactly like a CamAL ensemble member (weak
+//! labels only), but localizing by brute-force *sliding sub-window scoring*
+//! instead of CAM explainability. This is the natural "classifier without
+//! explainability" counterpart the paper compares against, and its coarse
+//! granularity is what CamAL's 2.2× localization-F1 advantage comes from.
+//!
+//! Every method implements [`traits::Localizer`], the interface the
+//! benchmark harness and the app drive. Beyond the paper's seven methods,
+//! [`extensions`] adds a zero-label event-matching heuristic
+//! ([`extensions::EdgeHeuristic`]) as the training-free floor.
+
+pub mod archs;
+pub mod extensions;
+pub mod seqnet;
+pub mod strong;
+pub mod traits;
+pub mod weak_sliding;
+
+pub use strong::StrongLocalizer;
+pub use traits::{Localizer, WindowPrediction};
+pub use weak_sliding::WeakSliding;
+
+/// Display names of the five strong-label baselines, in benchmark order.
+pub const STRONG_BASELINES: [&str; 5] = ["FCN", "DAE", "UNet-MS", "TCN", "Seq2Point"];
+
+/// Display name of the weakly supervised baseline.
+pub const WEAK_BASELINE: &str = "WeakSliding";

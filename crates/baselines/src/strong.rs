@@ -1,0 +1,145 @@
+//! The strong-label localizer wrapper: fits a seq2seq architecture on
+//! per-timestep labels and serves [`Localizer`] predictions.
+//!
+//! This is the method family of the paper's Figure 3 whose training cost is
+//! measured in *timestep labels*: every training window contributes
+//! `window_len` labels to the budget.
+
+use crate::seqnet::{train_seq2seq, SeqNet, SeqTrainConfig};
+use crate::traits::{Localizer, WindowPrediction};
+use ds_datasets::labels::Corpus;
+use ds_metrics::labels::Supervision;
+use ds_neural::activations::sigmoid;
+use ds_neural::tensor::Tensor;
+
+/// A trained strong-label seq2seq method.
+#[derive(Debug, Clone)]
+pub struct StrongLocalizer {
+    name: String,
+    net: SeqNet,
+    /// Per-timestep probability threshold for status.
+    pub status_threshold: f32,
+    /// Number of training windows actually consumed (after the budget cap).
+    pub windows_used: usize,
+    /// Window length the model was trained on.
+    pub window_samples: usize,
+}
+
+impl StrongLocalizer {
+    /// Fit `net` on a corpus using at most `max_windows` training windows
+    /// (the label-budget knob of Figure 3; `None` uses everything).
+    pub fn fit(
+        name: impl Into<String>,
+        mut net: SeqNet,
+        corpus: &Corpus,
+        max_windows: Option<usize>,
+        cfg: &SeqTrainConfig,
+    ) -> StrongLocalizer {
+        let take = max_windows
+            .unwrap_or(corpus.train.len())
+            .min(corpus.train.len())
+            .max(1);
+        let windows: Vec<Vec<f32>> = corpus.train[..take]
+            .iter()
+            .map(|w| ds_camal::z_normalize_window(&w.values))
+            .collect();
+        let targets: Vec<Vec<u8>> = corpus.train[..take].iter().map(|w| w.strong.clone()).collect();
+        train_seq2seq(&mut net, &windows, &targets, cfg);
+        StrongLocalizer {
+            name: name.into(),
+            net,
+            status_threshold: 0.5,
+            windows_used: take,
+            window_samples: corpus.window_samples,
+        }
+    }
+
+    /// Labels consumed for training (strong supervision: windows × length).
+    pub fn labels_used(&self) -> u64 {
+        Supervision::Strong.labels_consumed(self.windows_used, self.window_samples)
+    }
+
+    /// Per-timestep ON probabilities for one raw window.
+    pub fn predict_probs(&self, window: &[f32]) -> Vec<f32> {
+        let normalized = ds_camal::z_normalize_window(window);
+        let x = Tensor::from_windows(std::slice::from_ref(&normalized));
+        let logits = self.net.infer(&x);
+        logits.row(0, 0).iter().map(|&z| sigmoid(z)).collect()
+    }
+}
+
+impl Localizer for StrongLocalizer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn supervision(&self) -> Supervision {
+        Supervision::Strong
+    }
+
+    fn predict(&self, window: &[f32]) -> WindowPrediction {
+        let probs = self.predict_probs(window);
+        let status: Vec<u8> = probs
+            .iter()
+            .map(|&p| u8::from(p > self.status_threshold))
+            .collect();
+        // Window-level detection: the strongest per-timestep evidence.
+        let probability = probs.iter().cloned().fold(0.0f32, f32::max);
+        WindowPrediction {
+            probability,
+            status,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archs;
+    use ds_datasets::labels::Corpus;
+    use ds_datasets::{ApplianceKind, Dataset, DatasetConfig, DatasetPreset};
+
+    fn corpus() -> Corpus {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+        let mut c = Corpus::build(&ds, ApplianceKind::Kettle, 120);
+        c.balance_train(2);
+        c
+    }
+
+    #[test]
+    fn fit_and_predict_shapes() {
+        let c = corpus();
+        let model = StrongLocalizer::fit("FCN", archs::fcn(1), &c, None, &SeqTrainConfig::fast());
+        assert_eq!(model.name(), "FCN");
+        assert_eq!(model.supervision(), Supervision::Strong);
+        let w = &c.test[0];
+        let pred = model.predict(&w.values);
+        assert_eq!(pred.status.len(), w.values.len());
+        assert!((0.0..=1.0).contains(&pred.probability));
+        assert!(pred.status.iter().all(|&s| s <= 1));
+    }
+
+    #[test]
+    fn budget_caps_label_consumption() {
+        let c = corpus();
+        let full = StrongLocalizer::fit("FCN", archs::fcn(1), &c, None, &SeqTrainConfig::fast());
+        let capped =
+            StrongLocalizer::fit("FCN", archs::fcn(1), &c, Some(2), &SeqTrainConfig::fast());
+        assert_eq!(capped.windows_used, 2);
+        assert_eq!(capped.labels_used(), 2 * 120);
+        assert!(full.labels_used() > capped.labels_used());
+        // Budget larger than the corpus saturates.
+        let over =
+            StrongLocalizer::fit("FCN", archs::fcn(1), &c, Some(10_000), &SeqTrainConfig::fast());
+        assert_eq!(over.windows_used, c.train.len());
+    }
+
+    #[test]
+    fn probabilities_are_sigmoid_outputs() {
+        let c = corpus();
+        let model =
+            StrongLocalizer::fit("TCN", archs::tcn(3), &c, Some(4), &SeqTrainConfig::fast());
+        let probs = model.predict_probs(&c.test[0].values);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}

@@ -1,0 +1,69 @@
+//! The common interface every benchmarked method implements.
+
+use ds_metrics::labels::Supervision;
+
+/// A method's output for one window: a window-level detection probability
+/// and a per-timestep binary status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowPrediction {
+    /// Probability that the appliance is present in the window.
+    pub probability: f32,
+    /// Predicted per-timestep status (0/1), same length as the window.
+    pub status: Vec<u8>,
+}
+
+impl WindowPrediction {
+    /// All-off prediction of the given length.
+    pub fn all_off(len: usize, probability: f32) -> WindowPrediction {
+        WindowPrediction {
+            probability,
+            status: vec![0; len],
+        }
+    }
+}
+
+/// A trained appliance detector + localizer, as driven by the benchmark
+/// harness and the DeviceScope app.
+pub trait Localizer: Send + Sync {
+    /// Display name (appears in the benchmark frame).
+    fn name(&self) -> &str;
+
+    /// Label style the method consumed for training.
+    fn supervision(&self) -> Supervision;
+
+    /// Predict detection probability and per-timestep status for one raw
+    /// window (watts).
+    fn predict(&self, window: &[f32]) -> WindowPrediction;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_off_prediction() {
+        let p = WindowPrediction::all_off(4, 0.2);
+        assert_eq!(p.status, vec![0; 4]);
+        assert_eq!(p.probability, 0.2);
+    }
+
+    // Localizer is object-safe: the harness stores Box<dyn Localizer>.
+    #[test]
+    fn trait_is_object_safe() {
+        struct Dummy;
+        impl Localizer for Dummy {
+            fn name(&self) -> &str {
+                "dummy"
+            }
+            fn supervision(&self) -> Supervision {
+                Supervision::Weak
+            }
+            fn predict(&self, window: &[f32]) -> WindowPrediction {
+                WindowPrediction::all_off(window.len(), 0.0)
+            }
+        }
+        let boxed: Box<dyn Localizer> = Box::new(Dummy);
+        assert_eq!(boxed.name(), "dummy");
+        assert_eq!(boxed.predict(&[1.0, 2.0]).status.len(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests of the baseline methods' structural invariants.
+
+use ds_baselines::seqnet::{SeqTrainConfig, train_seq2seq};
+use ds_baselines::{archs, Localizer, WeakSliding};
+use ds_neural::tensor::Tensor;
+use ds_neural::{ResNet, ResNetConfig};
+use proptest::prelude::*;
+
+fn window_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.0f32..8_000.0, 24..160)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_architecture_is_shape_preserving(window in window_strategy(), seed in 0u64..50) {
+        let x = Tensor::from_windows(&[window.clone()]);
+        for (name, net) in archs::all_architectures(seed) {
+            let y = net.infer(&x);
+            prop_assert_eq!(y.shape(), (1, 1, window.len()), "{}", name);
+            prop_assert!(y.data.iter().all(|v| v.is_finite()), "{} produced NaN", name);
+        }
+    }
+
+    #[test]
+    fn weak_sliding_prediction_invariants(window in window_strategy(), seed in 0u64..50) {
+        let net = ResNet::new(ResNetConfig::tiny(5, seed));
+        let sub = (window.len() / 4).max(2);
+        let model = WeakSliding::from_parts(net, sub, sub / 2 + 1);
+        let pred = model.predict(&window);
+        prop_assert_eq!(pred.status.len(), window.len());
+        prop_assert!((0.0..=1.0).contains(&pred.probability));
+        prop_assert!(pred.status.iter().all(|&s| s <= 1));
+        // If the window-level detector did not fire, nothing is localized.
+        if pred.probability <= model.detection_threshold {
+            prop_assert!(pred.status.iter().all(|&s| s == 0));
+        }
+    }
+
+    #[test]
+    fn seq2seq_training_stays_finite(
+        seed in 0u64..20,
+        n_windows in 4usize..10,
+        len in 16usize..48,
+    ) {
+        // Random-but-seeded corpus: training must never diverge to NaN.
+        let windows: Vec<Vec<f32>> = (0..n_windows)
+            .map(|i| {
+                (0..len)
+                    .map(|j| (((i * 31 + j * 7 + seed as usize) % 23) as f32) / 23.0)
+                    .collect()
+            })
+            .collect();
+        let targets: Vec<Vec<u8>> = (0..n_windows)
+            .map(|i| (0..len).map(|j| u8::from((i + j) % 5 == 0)).collect())
+            .collect();
+        let mut net = archs::seq2point(seed);
+        let losses = train_seq2seq(&mut net, &windows, &targets, &SeqTrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            ..SeqTrainConfig::default()
+        });
+        prop_assert!(losses.iter().all(|l| l.is_finite()));
+    }
+}

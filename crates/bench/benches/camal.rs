@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the CamAL pipeline itself: ensemble inference,
+//! CAM extraction, and full localization per window — the costs behind the
+//! app's interactivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_camal::{Camal, CamalConfig, ResNetEnsemble};
+use ds_neural::tensor::Tensor;
+use std::hint::black_box;
+
+fn pipeline_config(members: usize) -> CamalConfig {
+    CamalConfig {
+        kernel_sizes: [5usize, 7, 9, 15][..members].to_vec(),
+        channels: vec![16, 32],
+        ..CamalConfig::default()
+    }
+}
+
+fn window(len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let base = 120.0 + 30.0 * ((i as f32) / 40.0).sin();
+            if i % 97 < 4 {
+                base + 2400.0
+            } else {
+                base
+            }
+        })
+        .collect()
+}
+
+fn detection_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("camal_detect_6h_window");
+    for members in [1usize, 2, 4] {
+        let model = Camal::from_parts(
+            ResNetEnsemble::untrained(&pipeline_config(members)),
+            pipeline_config(members),
+        );
+        let w = window(360);
+        group.bench_with_input(BenchmarkId::from_parameter(members), &members, |b, _| {
+            b.iter(|| black_box(model.detect(black_box(&w))));
+        });
+    }
+    group.finish();
+}
+
+fn localization_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("camal_localize");
+    for len in [360usize, 720, 1440] {
+        let cfg = pipeline_config(4);
+        let model = Camal::from_parts(ResNetEnsemble::untrained(&cfg), cfg);
+        let w = window(len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(model.localize(black_box(&w))));
+        });
+    }
+    group.finish();
+}
+
+fn ensemble_batch_bench(c: &mut Criterion) {
+    let cfg = pipeline_config(4);
+    let ensemble = ResNetEnsemble::untrained(&cfg);
+    let windows: Vec<Vec<f32>> = (0..8)
+        .map(|i| {
+            window(360)
+                .into_iter()
+                .map(|v| v + i as f32)
+                .collect::<Vec<f32>>()
+                .iter()
+                .map(|v| (v - 150.0) / 400.0)
+                .collect()
+        })
+        .collect();
+    let x = Tensor::from_windows(&windows);
+    c.bench_function("ensemble_predict_batch8_6h", |b| {
+        b.iter(|| black_box(ensemble.predict(black_box(&x))));
+    });
+}
+
+criterion_group!(
+    benches,
+    detection_bench,
+    localization_bench,
+    ensemble_batch_bench
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion entries that exercise each paper experiment end-to-end at
+//! test fidelity — one bench per figure/table, so `cargo bench` touches
+//! every artifact of the reproduction (FIG3, TAB-BENCH, CLAIMS, ablations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_bench::experiments::{ablations, claims, fig3, table};
+use ds_bench::methods::MethodName;
+use ds_bench::SpeedPreset;
+use ds_datasets::{ApplianceKind, DatasetPreset};
+use std::hint::black_box;
+
+fn fig3_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("fig3_label_efficiency_test_fidelity", |b| {
+        b.iter(|| {
+            let cfg = fig3::Fig3Config {
+                preset: DatasetPreset::IdealLike,
+                appliance: ApplianceKind::Dishwasher,
+                budgets: vec![2],
+                speed: SpeedPreset::Test,
+            };
+            black_box(fig3::run(&cfg))
+        });
+    });
+    group.finish();
+}
+
+fn table_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("benchmark_table_cell_camal", |b| {
+        b.iter(|| {
+            let cfg = table::TableConfig {
+                presets: vec![DatasetPreset::UkdaleLike],
+                appliances: vec![ApplianceKind::Kettle],
+                methods: vec![MethodName::Camal],
+                speed: SpeedPreset::Test,
+            };
+            black_box(table::run(&cfg))
+        });
+    });
+    group.finish();
+}
+
+fn claims_bench(c: &mut Criterion) {
+    // Claims computation itself is pure arithmetic over a Fig3 result.
+    let cfg = fig3::Fig3Config {
+        preset: DatasetPreset::UkdaleLike,
+        appliance: ApplianceKind::Kettle,
+        budgets: vec![2],
+        speed: SpeedPreset::Test,
+    };
+    let result = fig3::run(&cfg);
+    c.bench_function("claims_compute", |b| {
+        b.iter(|| black_box(claims::compute(black_box(&result))));
+    });
+}
+
+fn ablations_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.bench_function("ablation_variant_list", |b| {
+        b.iter(|| black_box(ablations::variants(SpeedPreset::Test)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig3_bench, table_bench, claims_bench, ablations_bench);
+criterion_main!(benches);

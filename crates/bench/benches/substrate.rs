@@ -1,0 +1,128 @@
+//! Criterion microbenchmarks of the substrates: convolution (the hot path
+//! of every model), batch-norm, windowing, resampling, and the household
+//! simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_datasets::noise::NoiseModel;
+use ds_datasets::{ApplianceKind, House, HouseConfig};
+use ds_neural::batchnorm::BatchNorm1d;
+use ds_neural::conv::Conv1d;
+use ds_neural::tensor::Tensor;
+use ds_timeseries::resample::{resample, DownsampleAgg, UpsampleFill};
+use ds_timeseries::window::{subsequences_complete, WindowLength};
+use ds_timeseries::TimeSeries;
+use std::hint::black_box;
+
+fn conv1d_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv1d_forward");
+    // One paper-scale layer: 16->32 channels over a 6 h window.
+    for &kernel in &[5usize, 9, 15] {
+        let conv = Conv1d::new(16, 32, kernel, 1);
+        let x = Tensor::from_data(
+            1,
+            16,
+            360,
+            (0..16 * 360).map(|i| (i % 97) as f32 * 0.01).collect(),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(kernel), &kernel, |b, _| {
+            b.iter(|| black_box(conv.infer(black_box(&x))));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("conv1d_backward");
+    let mut conv = Conv1d::new(16, 16, 9, 1);
+    let x = Tensor::from_data(
+        4,
+        16,
+        360,
+        (0..4 * 16 * 360).map(|i| (i % 89) as f32 * 0.01).collect(),
+    );
+    let y = conv.forward(&x, true);
+    group.bench_function("k9_b4", |b| {
+        b.iter(|| black_box(conv.backward(black_box(&y))));
+    });
+    group.finish();
+}
+
+fn batchnorm_bench(c: &mut Criterion) {
+    let mut bn = BatchNorm1d::new(32);
+    let x = Tensor::from_data(
+        8,
+        32,
+        360,
+        (0..8 * 32 * 360).map(|i| (i % 61) as f32 * 0.02).collect(),
+    );
+    c.bench_function("batchnorm_train_forward", |b| {
+        b.iter(|| black_box(bn.forward(black_box(&x), true)));
+    });
+}
+
+fn windowing_bench(c: &mut Criterion) {
+    // 30 days of 1-minute readings with sparse gaps.
+    let mut values: Vec<f32> = (0..30 * 1440).map(|i| (i % 500) as f32).collect();
+    for i in (0..values.len()).step_by(977) {
+        values[i] = f32::NAN;
+    }
+    let ts = TimeSeries::from_values(0, 60, values);
+    c.bench_function("subsequences_complete_30d", |b| {
+        b.iter(|| black_box(subsequences_complete(black_box(&ts), 360, 360).unwrap()));
+    });
+    c.bench_function("window_iter_30d", |b| {
+        b.iter(|| {
+            let n = ts.windows(WindowLength::SixHours).count();
+            black_box(n)
+        });
+    });
+}
+
+fn resample_bench(c: &mut Criterion) {
+    // One day at UK-DALE's native 6 s rate, to the paper's 1-minute rate.
+    let values: Vec<f32> = (0..14_400).map(|i| (i % 300) as f32).collect();
+    let ts = TimeSeries::from_values(0, 6, values);
+    c.bench_function("resample_6s_to_1min_day", |b| {
+        b.iter(|| {
+            black_box(
+                resample(
+                    black_box(&ts),
+                    60,
+                    DownsampleAgg::Mean,
+                    UpsampleFill::ForwardFill,
+                )
+                .unwrap(),
+            )
+        });
+    });
+}
+
+fn simulator_bench(c: &mut Criterion) {
+    c.bench_function("simulate_house_week", |b| {
+        b.iter(|| {
+            let config = HouseConfig {
+                house_id: 1,
+                start: 0,
+                days: 7,
+                interval_secs: 60,
+                appliances: ApplianceKind::ALL.to_vec(),
+                usage_scale: 1.0,
+                noise: NoiseModel {
+                    sigma_w: 8.0,
+                    dropout_start_prob: 0.0005,
+                    dropout_mean_len: 8.0,
+                    quantize_w: 1.0,
+                },
+            };
+            black_box(House::simulate(config, 42))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    conv1d_bench,
+    batchnorm_bench,
+    windowing_bench,
+    resample_bench,
+    simulator_bench
+);
+criterion_main!(benches);

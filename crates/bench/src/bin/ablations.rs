@@ -1,0 +1,57 @@
+//! Runs the CamAL design-choice ablations (`DESIGN.md` §5).
+//!
+//! ```text
+//! ablations [--speed test|default|full] [--dataset <name>]
+//!           [--appliance <name>] [--out ablations.json]
+//! ```
+
+use ds_bench::experiments::ablations;
+use ds_bench::SpeedPreset;
+use ds_datasets::{ApplianceKind, DatasetPreset};
+
+fn main() {
+    let mut speed = SpeedPreset::Default;
+    let mut dataset = DatasetPreset::UkdaleLike;
+    let mut appliance = ApplianceKind::Dishwasher;
+    let mut out_path = String::from("ablations.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--speed" => {
+                speed = args
+                    .next()
+                    .and_then(|s| SpeedPreset::parse(&s))
+                    .unwrap_or(SpeedPreset::Default)
+            }
+            "--dataset" => {
+                if let Some(d) = args.next().and_then(|s| DatasetPreset::parse(&s)) {
+                    dataset = d;
+                }
+            }
+            "--appliance" => {
+                if let Some(a) = args.next().and_then(|s| ApplianceKind::parse(&s)) {
+                    appliance = a;
+                }
+            }
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    eprintln!(
+        "running ablations: {} / {} at {:?} fidelity",
+        appliance.name(),
+        dataset.name(),
+        speed
+    );
+    let report = ablations::run(dataset, appliance, speed);
+    print!("{}", ablations::render(&report));
+    if let Err(e) = ds_bench::report::write_json(&report, &out_path) {
+        eprintln!("failed to write {out_path}: {e}");
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+}

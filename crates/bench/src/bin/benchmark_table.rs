@@ -1,0 +1,83 @@
+//! Regenerates the **benchmark frame grid** (§III / Figure 5-B.1):
+//! detection + localization measures per dataset × appliance × method.
+//! The JSON output feeds the DeviceScope app (`devicescope --bench`).
+//!
+//! ```text
+//! benchmark_table [--speed test|default|full] [--dataset <name>]
+//!                 [--full-grid] [--out benchmark_table.json]
+//! ```
+//!
+//! By default one dataset (UKDALE-like) is run; `--full-grid` runs all
+//! three presets (slower).
+
+use ds_bench::experiments::table::{self, TableConfig};
+use ds_bench::methods::MethodName;
+use ds_bench::SpeedPreset;
+use ds_datasets::{ApplianceKind, DatasetPreset};
+
+fn main() {
+    let mut speed = SpeedPreset::Default;
+    let mut dataset = DatasetPreset::UkdaleLike;
+    let mut full_grid = false;
+    let mut appliances: Vec<ApplianceKind> = Vec::new();
+    let mut methods: Vec<MethodName> = Vec::new();
+    let mut out_path = String::from("benchmark_table.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--speed" => {
+                speed = args
+                    .next()
+                    .and_then(|s| SpeedPreset::parse(&s))
+                    .unwrap_or(SpeedPreset::Default)
+            }
+            "--dataset" => {
+                if let Some(d) = args.next().and_then(|s| DatasetPreset::parse(&s)) {
+                    dataset = d;
+                }
+            }
+            "--appliance" => {
+                if let Some(a) = args.next().and_then(|s| ApplianceKind::parse(&s)) {
+                    appliances.push(a);
+                }
+            }
+            "--method" => {
+                if let Some(m) = args.next().and_then(|s| MethodName::parse(&s)) {
+                    methods.push(m);
+                }
+            }
+            "--full-grid" => full_grid = true,
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let mut cfg = if full_grid {
+        TableConfig::paper(speed)
+    } else {
+        TableConfig::one_dataset(dataset, speed)
+    };
+    if !appliances.is_empty() {
+        cfg.appliances = appliances;
+    }
+    if !methods.is_empty() {
+        cfg.methods = methods;
+    }
+    eprintln!(
+        "running benchmark grid: {} dataset(s) × {} appliances × {} methods at {:?} fidelity",
+        cfg.presets.len(),
+        cfg.appliances.len(),
+        cfg.methods.len(),
+        speed
+    );
+    let result = table::run(&cfg);
+    print!("{}", table::render(&result));
+    if let Err(e) = ds_bench::report::write_json(&result, &out_path) {
+        eprintln!("failed to write {out_path}: {e}");
+    } else {
+        eprintln!("wrote {out_path} (load it in the app: devicescope --bench {out_path})");
+    }
+}

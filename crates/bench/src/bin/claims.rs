@@ -1,0 +1,59 @@
+//! Checks the paper's §II-C headline claims (2.2× weak-baseline F1 ratio,
+//! 5200× label ratio) against this reproduction's measurements.
+//!
+//! ```text
+//! claims [--speed test|default|full] [--from fig3.json] [--out claims.json]
+//! ```
+//!
+//! With `--from`, reuses a saved Figure 3 result instead of re-running the
+//! sweep.
+
+use ds_bench::experiments::{claims, fig3};
+use ds_bench::SpeedPreset;
+
+fn main() {
+    let mut speed = SpeedPreset::Default;
+    let mut from: Option<String> = None;
+    let mut out_path = String::from("claims.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--speed" => {
+                speed = args
+                    .next()
+                    .and_then(|s| SpeedPreset::parse(&s))
+                    .unwrap_or(SpeedPreset::Default)
+            }
+            "--from" => from = args.next(),
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let result = match from {
+        Some(path) => {
+            let json = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            serde_json::from_str(&json).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+        }
+        None => {
+            let cfg = fig3::Fig3Config::paper(speed);
+            eprintln!(
+                "running Figure 3 sweep first ({} / {})",
+                cfg.appliance.name(),
+                cfg.preset.name()
+            );
+            fig3::run(&cfg)
+        }
+    };
+    let report = claims::compute(&result);
+    print!("{}", claims::render(&report));
+    if let Err(e) = ds_bench::report::write_json(&report, &out_path) {
+        eprintln!("failed to write {out_path}: {e}");
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+}

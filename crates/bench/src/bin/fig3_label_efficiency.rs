@@ -1,0 +1,64 @@
+//! Regenerates **Figure 3**: localization F1 vs number of training labels
+//! (Dishwasher / IDEAL-like by default).
+//!
+//! ```text
+//! fig3_label_efficiency [--speed test|default|full] [--appliance <name>]
+//!                       [--dataset <name>] [--out fig3.json]
+//! ```
+
+use ds_bench::experiments::fig3::{self, Fig3Config};
+use ds_bench::SpeedPreset;
+use ds_datasets::{ApplianceKind, DatasetPreset};
+
+fn main() {
+    let mut speed = SpeedPreset::Default;
+    let mut appliance = ApplianceKind::Dishwasher;
+    let mut dataset = DatasetPreset::IdealLike;
+    let mut out_path = String::from("fig3.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--speed" => {
+                speed = args
+                    .next()
+                    .and_then(|s| SpeedPreset::parse(&s))
+                    .unwrap_or(SpeedPreset::Default)
+            }
+            "--appliance" => {
+                if let Some(a) = args.next().and_then(|s| ApplianceKind::parse(&s)) {
+                    appliance = a;
+                }
+            }
+            "--dataset" => {
+                if let Some(d) = args.next().and_then(|s| DatasetPreset::parse(&s)) {
+                    dataset = d;
+                }
+            }
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let cfg = Fig3Config {
+        preset: dataset,
+        appliance,
+        ..Fig3Config::paper(speed)
+    };
+    eprintln!(
+        "running Figure 3 sweep: {} / {} at {:?} fidelity (budgets {:?})",
+        cfg.appliance.name(),
+        cfg.preset.name(),
+        speed,
+        cfg.budgets
+    );
+    let result = fig3::run(&cfg);
+    print!("{}", fig3::render(&result));
+    if let Err(e) = ds_bench::report::write_json(&result, &out_path) {
+        eprintln!("failed to write {out_path}: {e}");
+    } else {
+        eprintln!("wrote {out_path}");
+    }
+}

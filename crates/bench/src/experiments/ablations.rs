@@ -1,0 +1,187 @@
+//! Ablations of CamAL's design choices (`DESIGN.md` §5): each row retrains
+//! or re-evaluates the pipeline with one switch flipped and reports the
+//! localization F1 delta against the paper configuration.
+
+use crate::experiments::evaluate;
+use crate::methods::CamalMethod;
+use crate::speed::SpeedPreset;
+use ds_camal::{CamalConfig, LocalizerConfig};
+use ds_datasets::labels::Corpus;
+use ds_datasets::{ApplianceKind, Dataset, DatasetPreset};
+use serde::{Deserialize, Serialize};
+
+/// One ablation outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Window-level detection F1.
+    pub detection_f1: f64,
+    /// Per-timestep localization F1.
+    pub localization_f1: f64,
+}
+
+/// The full ablation report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationReport {
+    /// Dataset the ablation ran on.
+    pub dataset: String,
+    /// Appliance the ablation targeted.
+    pub appliance: String,
+    /// All variant rows, baseline first.
+    pub rows: Vec<AblationRow>,
+}
+
+/// Build the list of ablated configurations (label, config).
+pub fn variants(speed: SpeedPreset) -> Vec<(String, CamalConfig)> {
+    let base = speed.camal_config();
+    let mut out = vec![("paper default".to_string(), base.clone())];
+    // Ensemble size: single member per kernel.
+    for &k in &base.kernel_sizes {
+        out.push((
+            format!("single member k={k}"),
+            CamalConfig {
+                kernel_sizes: vec![k],
+                ..base.clone()
+            },
+        ));
+    }
+    out.push((
+        "no CAM normalization".into(),
+        CamalConfig {
+            localizer: LocalizerConfig {
+                normalize_cams: false,
+                ..base.localizer.clone()
+            },
+            ..base.clone()
+        },
+    ));
+    out.push((
+        "raw CAM threshold (no attention)".into(),
+        CamalConfig {
+            localizer: LocalizerConfig {
+                use_attention: false,
+                ..base.localizer.clone()
+            },
+            ..base.clone()
+        },
+    ));
+    out.push((
+        "no detection gate".into(),
+        CamalConfig {
+            localizer: LocalizerConfig {
+                gate_on_detection: false,
+                ..base.localizer.clone()
+            },
+            ..base.clone()
+        },
+    ));
+    out.push((
+        "CAM magnitude gate 0.5 (extension)".into(),
+        CamalConfig {
+            localizer: LocalizerConfig {
+                cam_gate: 0.5,
+                ..base.localizer.clone()
+            },
+            ..base.clone()
+        },
+    ));
+    out
+}
+
+/// Run the ablation suite on one (preset, appliance) pair.
+pub fn run(preset: DatasetPreset, appliance: ApplianceKind, speed: SpeedPreset) -> AblationReport {
+    let dataset = Dataset::generate(speed.dataset_config(preset));
+    let mut corpus = Corpus::build(&dataset, appliance, speed.window_samples());
+    corpus.balance_train(3);
+    let mut rows = Vec::new();
+    for (label, config) in variants(speed) {
+        let method = CamalMethod::fit(&corpus, None, &config);
+        let (det, loc) = evaluate(&method, &corpus.test);
+        rows.push(AblationRow {
+            variant: label,
+            detection_f1: det.f1,
+            localization_f1: loc.f1,
+        });
+    }
+    // Training-free floor: the classic event-matching heuristic, zero labels.
+    let heuristic = ds_baselines::extensions::EdgeHeuristic::new(appliance);
+    let (det, loc) = evaluate(&heuristic, &corpus.test);
+    rows.push(AblationRow {
+        variant: "EdgeHeuristic (0 labels, reference floor)".into(),
+        detection_f1: det.f1,
+        localization_f1: loc.f1,
+    });
+    AblationReport {
+        dataset: preset.name().to_string(),
+        appliance: appliance.name().to_string(),
+        rows,
+    }
+}
+
+/// Render the report as text.
+pub fn render(report: &AblationReport) -> String {
+    let mut out = format!(
+        "CamAL ablations — {} / {}\n\n",
+        report.appliance, report.dataset
+    );
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.variant.clone(),
+                format!("{:.3}", r.detection_f1),
+                format!("{:.3}", r.localization_f1),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::report::text_table(
+        &["Variant", "Detection F1", "Localization F1"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_list_covers_design_choices() {
+        let vs = variants(SpeedPreset::Test);
+        let labels: Vec<&str> = vs.iter().map(|(l, _)| l.as_str()).collect();
+        assert!(labels[0].contains("paper default"));
+        assert!(labels.iter().any(|l| l.contains("single member")));
+        assert!(labels.iter().any(|l| l.contains("no CAM normalization")));
+        assert!(labels.iter().any(|l| l.contains("no attention")));
+        assert!(labels.iter().any(|l| l.contains("no detection gate")));
+        assert!(labels.iter().any(|l| l.contains("magnitude gate")));
+        // Single-member variants really shrink the ensemble.
+        let single = vs.iter().find(|(l, _)| l.contains("single")).unwrap();
+        assert_eq!(single.1.kernel_sizes.len(), 1);
+    }
+
+    #[test]
+    fn ablation_run_produces_rows() {
+        let report = run(
+            DatasetPreset::UkdaleLike,
+            ApplianceKind::Kettle,
+            SpeedPreset::Test,
+        );
+        // All CamAL variants plus the training-free EdgeHeuristic floor.
+        assert_eq!(report.rows.len(), variants(SpeedPreset::Test).len() + 1);
+        assert!(report
+            .rows
+            .last()
+            .unwrap()
+            .variant
+            .contains("EdgeHeuristic"));
+        for row in &report.rows {
+            assert!((0.0..=1.0).contains(&row.localization_f1), "{row:?}");
+        }
+        let text = render(&report);
+        assert!(text.contains("ablations"));
+        assert!(text.contains("paper default"));
+    }
+}

@@ -1,0 +1,173 @@
+//! The §II-C headline claims, computed from a Figure 3 result:
+//!
+//! 1. *"our method is 2.2× better regarding F1-Score accuracy than the only
+//!    other weakly supervised baseline"* → [`ClaimsReport::weak_f1_ratio`];
+//! 2. *"to achieve the same performance as CamAL, NILM-based approaches
+//!    require 5200× more labels"* → [`ClaimsReport::label_ratio`].
+
+use crate::experiments::fig3::Fig3Result;
+use ds_metrics::labels::{labels_to_reach, EfficiencyPoint};
+use serde::{Deserialize, Serialize};
+
+/// The two claims evaluated against this reproduction's measurements.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClaimsReport {
+    /// CamAL's best localization F1 and label count.
+    pub camal: EfficiencyPoint,
+    /// The CamAL operating point used for the label-ratio claim (the point
+    /// maximizing the weak method's label advantage).
+    pub camal_ratio_point: EfficiencyPoint,
+    /// The weak baseline's best F1.
+    pub weak_baseline_f1: f64,
+    /// `CamAL F1 / weak baseline F1` (paper: ≈ 2.2).
+    pub weak_f1_ratio: Option<f64>,
+    /// Labels the best strong method needed to reach CamAL's F1, divided by
+    /// CamAL's label count (paper: ≈ 5200). `None` when no strong method
+    /// reached CamAL inside the sweep — reported as a lower bound instead.
+    pub label_ratio: Option<f64>,
+    /// Lower bound on the label ratio when no strong method caught up:
+    /// the largest strong budget swept, divided by CamAL's labels.
+    pub label_ratio_lower_bound: f64,
+}
+
+/// Compute the claims from a Figure 3 result.
+pub fn compute(fig3: &Fig3Result) -> ClaimsReport {
+    let camal = fig3
+        .camal_best()
+        .expect("figure 3 result always contains a CamAL curve");
+    let weak_baseline_f1 = fig3
+        .curve("WeakSliding")
+        .map(|c| c.points.iter().map(|p| p.f1).fold(0.0, f64::max))
+        .unwrap_or(0.0);
+    let weak_f1_ratio = (weak_baseline_f1 > 0.0).then(|| camal.f1 / weak_baseline_f1);
+
+    // Pool every strong curve, then find the operating point at which the
+    // weak method's advantage is largest: for each CamAL point, how many
+    // labels does the cheapest strong configuration matching its F1 cost,
+    // relative to CamAL's? (The paper's 5200× is this trade-off at CamAL's
+    // low-label operating point.)
+    let strong_points: Vec<EfficiencyPoint> = fig3
+        .curves
+        .iter()
+        .filter(|c| !c.weak)
+        .flat_map(|c| c.points.iter().cloned())
+        .collect();
+    let mut best_ratio: Option<(f64, EfficiencyPoint)> = None;
+    for p in &fig3.curve("CamAL").map(|c| c.points.clone()).unwrap_or_default() {
+        if let Some(strong_labels) = labels_to_reach(&strong_points, p.f1) {
+            let ratio = strong_labels as f64 / p.labels.max(1) as f64;
+            if best_ratio.as_ref().is_none_or(|(r, _)| ratio > *r) {
+                best_ratio = Some((ratio, *p));
+            }
+        }
+    }
+    let max_strong_budget = strong_points.iter().map(|p| p.labels).max().unwrap_or(0);
+    let (label_ratio, ratio_point) = match best_ratio {
+        Some((r, p)) => (Some(r), p),
+        None => (None, camal),
+    };
+    ClaimsReport {
+        camal,
+        camal_ratio_point: ratio_point,
+        weak_baseline_f1,
+        weak_f1_ratio,
+        label_ratio,
+        label_ratio_lower_bound: max_strong_budget as f64
+            / fig3
+                .curve("CamAL")
+                .and_then(|c| c.points.iter().map(|p| p.labels).min())
+                .unwrap_or(1)
+                .max(1) as f64,
+    }
+}
+
+/// Render the claims report.
+pub fn render(report: &ClaimsReport) -> String {
+    let mut out = String::from("§II-C claims check\n\n");
+    out.push_str(&format!(
+        "CamAL: localization F1 {:.3} using {} weak labels\n",
+        report.camal.f1, report.camal.labels
+    ));
+    out.push_str(&format!(
+        "Weak baseline best F1: {:.3}\n",
+        report.weak_baseline_f1
+    ));
+    match report.weak_f1_ratio {
+        Some(r) => out.push_str(&format!(
+            "CamAL / weak baseline F1 ratio: {r:.2}x   (paper: 2.2x)\n"
+        )),
+        None => out.push_str("weak baseline scored 0: ratio undefined\n"),
+    }
+    match report.label_ratio {
+        Some(r) => out.push_str(&format!(
+            "labels for a strong method to match CamAL (F1 {:.3} @ {} labels): {r:.0}x more   (paper: 5200x)\n",
+            report.camal_ratio_point.f1, report.camal_ratio_point.labels
+        )),
+        None => out.push_str(&format!(
+            "no strong method matched CamAL inside the sweep: ratio > {:.0}x   (paper: 5200x)\n",
+            report.label_ratio_lower_bound
+        )),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fig3::{Fig3Result, MethodCurve};
+
+    fn synthetic_fig3() -> Fig3Result {
+        let point = |labels, f1| EfficiencyPoint { labels, f1 };
+        Fig3Result {
+            dataset: "IDEAL".into(),
+            appliance: "Dishwasher".into(),
+            window_samples: 360,
+            curves: vec![
+                MethodCurve {
+                    method: "CamAL".into(),
+                    weak: true,
+                    points: vec![point(100, 0.74), point(400, 0.75)],
+                },
+                MethodCurve {
+                    method: "WeakSliding".into(),
+                    weak: true,
+                    points: vec![point(400, 0.34)],
+                },
+                MethodCurve {
+                    method: "FCN".into(),
+                    weak: false,
+                    points: vec![point(36_000, 0.4), point(2_080_000, 0.76)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn ratios_match_hand_computation() {
+        let report = compute(&synthetic_fig3());
+        assert_eq!(report.camal.f1, 0.75);
+        assert_eq!(report.camal.labels, 400);
+        assert!((report.weak_f1_ratio.unwrap() - 0.75 / 0.34).abs() < 1e-9);
+        // The best trade-off point is CamAL@(100, 0.74): FCN only reaches
+        // 0.74 at 2.08M labels -> ratio 20800 (beats 5200 at the 400 point).
+        assert_eq!(report.camal_ratio_point.labels, 100);
+        assert!((report.label_ratio.unwrap() - 2_080_000.0 / 100.0).abs() < 1e-9);
+        let text = render(&report);
+        assert!(text.contains("2.2x"));
+        assert!(text.contains("5200x"));
+    }
+
+    #[test]
+    fn unmatched_strong_reports_lower_bound() {
+        let mut fig3 = synthetic_fig3();
+        fig3.curves[2].points = vec![EfficiencyPoint {
+            labels: 36_000,
+            f1: 0.4,
+        }];
+        let report = compute(&fig3);
+        assert!(report.label_ratio.is_none());
+        // Lower bound uses CamAL's cheapest point (100 labels).
+        assert!((report.label_ratio_lower_bound - 360.0).abs() < 1e-9);
+        assert!(render(&report).contains("ratio > 360"));
+    }
+}

@@ -1,0 +1,209 @@
+//! **Figure 3** — localization accuracy vs number of labels used for
+//! training (the Dishwasher case of the IDEAL dataset in the paper).
+//!
+//! Weak methods (CamAL, WeakSliding) pay one label per window; strong
+//! seq2seq methods pay `window_len` labels per window. Sweeping the number
+//! of training windows therefore traces each family's label-efficiency
+//! curve; the paper's headline shape is CamAL's near-flat curve sitting far
+//! above the strong methods until they have consumed orders of magnitude
+//! more labels.
+
+use crate::experiments::evaluate;
+use crate::methods::{fit_method, MethodName, ALL_METHODS};
+use crate::speed::SpeedPreset;
+use ds_datasets::labels::Corpus;
+use ds_datasets::{ApplianceKind, Dataset, DatasetPreset};
+use ds_metrics::labels::EfficiencyPoint;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the Figure 3 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig3Config {
+    /// Dataset preset (paper: IDEAL).
+    pub preset: DatasetPreset,
+    /// Target appliance (paper: Dishwasher).
+    pub appliance: ApplianceKind,
+    /// Training-window budgets swept for every method.
+    pub budgets: Vec<usize>,
+    /// Fidelity of models and datasets.
+    pub speed: SpeedPreset,
+}
+
+impl Fig3Config {
+    /// The paper's configuration at a given fidelity.
+    pub fn paper(speed: SpeedPreset) -> Fig3Config {
+        Fig3Config {
+            preset: DatasetPreset::IdealLike,
+            appliance: ApplianceKind::Dishwasher,
+            budgets: match speed {
+                SpeedPreset::Test => vec![2, 6],
+                SpeedPreset::Default => vec![2, 8, 24, 64],
+                SpeedPreset::Full => vec![2, 8, 32, 128, 512],
+            },
+            speed,
+        }
+    }
+}
+
+/// One method's label-efficiency curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MethodCurve {
+    /// Method display name.
+    pub method: String,
+    /// Whether the method is weakly supervised.
+    pub weak: bool,
+    /// Points of `(labels consumed, localization F1)`.
+    pub points: Vec<EfficiencyPoint>,
+}
+
+/// The full Figure 3 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3Result {
+    /// Dataset name.
+    pub dataset: String,
+    /// Appliance name.
+    pub appliance: String,
+    /// Window length in samples.
+    pub window_samples: usize,
+    /// One curve per method.
+    pub curves: Vec<MethodCurve>,
+}
+
+impl Fig3Result {
+    /// The curve of one method, by display name.
+    pub fn curve(&self, method: &str) -> Option<&MethodCurve> {
+        self.curves.iter().find(|c| c.method == method)
+    }
+
+    /// CamAL's best F1 and the labels it consumed there.
+    pub fn camal_best(&self) -> Option<EfficiencyPoint> {
+        self.curve("CamAL")?
+            .points
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.f1.partial_cmp(&b.f1).expect("finite"))
+    }
+}
+
+/// Run the Figure 3 sweep.
+pub fn run(cfg: &Fig3Config) -> Fig3Result {
+    let dataset = Dataset::generate(cfg.speed.dataset_config(cfg.preset));
+    let window = cfg.speed.window_samples();
+    let mut corpus = Corpus::build(&dataset, cfg.appliance, window);
+    corpus.balance_train(3);
+    run_on_corpus(cfg, &corpus)
+}
+
+/// Run the sweep over a prepared corpus (separated for testing).
+///
+/// Besides the configured budgets, every method is additionally evaluated
+/// at the full corpus size — the "all available weak labels" operating
+/// point at which the paper reports CamAL.
+pub fn run_on_corpus(cfg: &Fig3Config, corpus: &Corpus) -> Fig3Result {
+    let mut budgets = cfg.budgets.clone();
+    budgets.push(corpus.train.len());
+    budgets.sort_unstable();
+    budgets.dedup();
+    let mut curves = Vec::new();
+    for method in ALL_METHODS {
+        let mut points = Vec::new();
+        for &budget in &budgets {
+            let budget = budget.min(corpus.train.len()).max(1);
+            let fitted = fit_method(method, corpus, Some(budget), cfg.speed);
+            let (_, loc) = evaluate(fitted.localizer.as_ref(), &corpus.test);
+            points.push(EfficiencyPoint {
+                labels: fitted.labels_used,
+                f1: loc.f1,
+            });
+        }
+        // Deduplicate saturated budgets (budget > corpus size).
+        points.dedup_by_key(|p| p.labels);
+        curves.push(MethodCurve {
+            method: method.display().to_string(),
+            weak: matches!(method, MethodName::Camal | MethodName::WeakSliding),
+            points,
+        });
+    }
+    Fig3Result {
+        dataset: cfg.preset.name().to_string(),
+        appliance: cfg.appliance.name().to_string(),
+        window_samples: corpus.window_samples,
+        curves,
+    }
+}
+
+/// Render the result as the text analogue of Figure 3.
+pub fn render(result: &Fig3Result) -> String {
+    let mut out = format!(
+        "Figure 3 — localization F1 vs training labels ({} / {})\n\n",
+        result.appliance, result.dataset
+    );
+    let mut rows = Vec::new();
+    for curve in &result.curves {
+        for p in &curve.points {
+            rows.push(vec![
+                curve.method.clone(),
+                if curve.weak { "weak" } else { "strong" }.to_string(),
+                crate::report::format_labels(p.labels),
+                format!("{:.3}", p.f1),
+            ]);
+        }
+    }
+    out.push_str(&crate::report::text_table(
+        &["Method", "Supervision", "Labels", "Localization F1"],
+        &rows,
+    ));
+    out.push('\n');
+    // The plot itself, one marker per method.
+    let markers = ['C', 'W', 'F', 'D', 'U', 'T', 'S'];
+    let curve_data: Vec<(char, &str, Vec<(u64, f64)>)> = result
+        .curves
+        .iter()
+        .zip(markers)
+        .map(|(c, m)| {
+            (
+                m,
+                c.method.as_str(),
+                c.points.iter().map(|p| (p.labels, p.f1)).collect(),
+            )
+        })
+        .collect();
+    out.push_str(&crate::report::ascii_curves(&curve_data, 100, 16));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_all_curves() {
+        let cfg = Fig3Config {
+            preset: DatasetPreset::UkdaleLike,
+            appliance: ApplianceKind::Kettle,
+            budgets: vec![2, 4],
+            speed: SpeedPreset::Test,
+        };
+        let result = run(&cfg);
+        assert_eq!(result.curves.len(), 7);
+        for curve in &result.curves {
+            assert!(!curve.points.is_empty(), "{} has no points", curve.method);
+            for p in &curve.points {
+                assert!((0.0..=1.0).contains(&p.f1));
+                assert!(p.labels > 0);
+            }
+        }
+        // Label-currency invariant: strong methods consume window_len times
+        // more labels at the same budget.
+        let camal = result.curve("CamAL").unwrap();
+        let fcn = result.curve("FCN").unwrap();
+        assert_eq!(
+            fcn.points[0].labels,
+            camal.points[0].labels * result.window_samples as u64
+        );
+        assert!(result.camal_best().is_some());
+        let text = render(&result);
+        assert!(text.contains("Figure 3"));
+        assert!(text.contains("CamAL"));
+    }
+}

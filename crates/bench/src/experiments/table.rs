@@ -1,0 +1,134 @@
+//! **Benchmark frame grid** (§III / Figure 5-B.1): detection and
+//! localization measures for every dataset × appliance × method cell,
+//! producing the JSON table the DeviceScope app browses.
+
+use crate::experiments::evaluate;
+use crate::methods::{fit_method, MethodName};
+use crate::speed::SpeedPreset;
+use ds_datasets::labels::Corpus;
+use ds_datasets::{ApplianceKind, Dataset, DatasetPreset};
+use ds_metrics::aggregate::{BenchmarkCell, BenchmarkTable};
+
+/// Configuration of a grid run.
+#[derive(Debug, Clone)]
+pub struct TableConfig {
+    /// Dataset presets to include.
+    pub presets: Vec<DatasetPreset>,
+    /// Appliances to include.
+    pub appliances: Vec<ApplianceKind>,
+    /// Methods to include.
+    pub methods: Vec<MethodName>,
+    /// Fidelity.
+    pub speed: SpeedPreset,
+}
+
+impl TableConfig {
+    /// The full paper grid at a fidelity: 3 datasets × 5 appliances × 7
+    /// methods.
+    pub fn paper(speed: SpeedPreset) -> TableConfig {
+        TableConfig {
+            presets: DatasetPreset::ALL.to_vec(),
+            appliances: ApplianceKind::ALL.to_vec(),
+            methods: crate::methods::ALL_METHODS.to_vec(),
+            speed,
+        }
+    }
+
+    /// A single-dataset slice, for quicker runs.
+    pub fn one_dataset(preset: DatasetPreset, speed: SpeedPreset) -> TableConfig {
+        TableConfig {
+            presets: vec![preset],
+            ..TableConfig::paper(speed)
+        }
+    }
+}
+
+/// Run the grid.
+pub fn run(cfg: &TableConfig) -> BenchmarkTable {
+    let mut table = BenchmarkTable::new();
+    for &preset in &cfg.presets {
+        let dataset = Dataset::generate(cfg.speed.dataset_config(preset));
+        for &appliance in &cfg.appliances {
+            let mut corpus = Corpus::build(&dataset, appliance, cfg.speed.window_samples());
+            corpus.balance_train(3);
+            if corpus.train.is_empty() || corpus.test.is_empty() {
+                continue; // a degenerate tiny split: skip the cell honestly
+            }
+            for &method in &cfg.methods {
+                let fitted = fit_method(method, &corpus, None, cfg.speed);
+                let (detection, localization) = evaluate(fitted.localizer.as_ref(), &corpus.test);
+                table.push(BenchmarkCell {
+                    dataset: preset.name().to_string(),
+                    appliance: appliance.name().to_string(),
+                    method: method.display().to_string(),
+                    detection,
+                    localization,
+                    labels_used: fitted.labels_used,
+                });
+            }
+        }
+    }
+    table
+}
+
+/// Render the grid as text (dataset-major, the app's B.1 layout).
+pub fn render(table: &BenchmarkTable) -> String {
+    let mut out = String::from("Benchmark grid — detection | localization (F1), labels\n\n");
+    let mut rows = Vec::new();
+    for c in &table.cells {
+        rows.push(vec![
+            c.dataset.clone(),
+            c.appliance.clone(),
+            c.method.clone(),
+            format!("{:.3}", c.detection.f1),
+            format!("{:.3}", c.detection.balanced_accuracy),
+            format!("{:.3}", c.localization.f1),
+            format!("{:.3}", c.localization.balanced_accuracy),
+            crate::report::format_labels(c.labels_used),
+        ]);
+    }
+    out.push_str(&crate::report::text_table(
+        &[
+            "Dataset",
+            "Appliance",
+            "Method",
+            "Det F1",
+            "Det BAcc",
+            "Loc F1",
+            "Loc BAcc",
+            "Labels",
+        ],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_grid_produces_cells() {
+        let cfg = TableConfig {
+            presets: vec![DatasetPreset::UkdaleLike],
+            appliances: vec![ApplianceKind::Kettle],
+            methods: vec![MethodName::Camal, MethodName::WeakSliding],
+            speed: SpeedPreset::Test,
+        };
+        let table = run(&cfg);
+        assert_eq!(table.cells.len(), 2);
+        let camal = table.get("UKDALE", "Kettle", "CamAL").unwrap();
+        assert!(camal.labels_used > 0);
+        for v in [
+            camal.detection.f1,
+            camal.detection.accuracy,
+            camal.localization.f1,
+            camal.localization.accuracy,
+        ] {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        let text = render(&table);
+        assert!(text.contains("UKDALE"));
+        assert!(text.contains("WeakSliding"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The unified method registry: the 7 approaches of the benchmark behind
+//! one `fit → Localizer` interface.
+
+use crate::speed::SpeedPreset;
+use ds_baselines::seqnet::SeqTrainConfig;
+use ds_baselines::{archs, Localizer, StrongLocalizer, WeakSliding, WindowPrediction};
+use ds_camal::{Camal, CamalConfig};
+use ds_datasets::labels::Corpus;
+use ds_metrics::labels::Supervision;
+
+/// Alias kept public so `speed` can name the config without a dependency
+/// cycle.
+pub type SeqCfg = SeqTrainConfig;
+
+/// The seven benchmarked methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodName {
+    /// The paper's contribution.
+    Camal,
+    /// Weakly supervised sliding-window classifier baseline.
+    WeakSliding,
+    /// Strong-label FCN seq2seq.
+    Fcn,
+    /// Strong-label DAE.
+    Dae,
+    /// Strong-label multi-scale UNet variant.
+    UnetMs,
+    /// Strong-label dilated TCN.
+    Tcn,
+    /// Strong-label Seq2Point-style CNN.
+    Seq2Point,
+}
+
+/// All methods in benchmark display order.
+pub const ALL_METHODS: [MethodName; 7] = [
+    MethodName::Camal,
+    MethodName::WeakSliding,
+    MethodName::Fcn,
+    MethodName::Dae,
+    MethodName::UnetMs,
+    MethodName::Tcn,
+    MethodName::Seq2Point,
+];
+
+impl MethodName {
+    /// Display name used in reports and the app.
+    pub fn display(self) -> &'static str {
+        match self {
+            MethodName::Camal => "CamAL",
+            MethodName::WeakSliding => "WeakSliding",
+            MethodName::Fcn => "FCN",
+            MethodName::Dae => "DAE",
+            MethodName::UnetMs => "UNet-MS",
+            MethodName::Tcn => "TCN",
+            MethodName::Seq2Point => "Seq2Point",
+        }
+    }
+
+    /// Parse a display name.
+    pub fn parse(s: &str) -> Option<MethodName> {
+        ALL_METHODS
+            .into_iter()
+            .find(|m| m.display().eq_ignore_ascii_case(s))
+    }
+
+    /// Supervision style (label currency) of the method.
+    pub fn supervision(self) -> Supervision {
+        match self {
+            MethodName::Camal | MethodName::WeakSliding => Supervision::Weak,
+            _ => Supervision::Strong,
+        }
+    }
+}
+
+/// Adapter making a trained [`Camal`] a [`Localizer`] like every baseline.
+pub struct CamalMethod {
+    model: Camal,
+    windows_used: usize,
+}
+
+impl CamalMethod {
+    /// Train CamAL on the corpus (optionally capping the window budget).
+    pub fn fit(corpus: &Corpus, max_windows: Option<usize>, config: &CamalConfig) -> CamalMethod {
+        let mut capped = corpus.clone();
+        if let Some(n) = max_windows {
+            capped.truncate_train(n.max(1));
+        }
+        let model = Camal::train(&capped, config);
+        CamalMethod {
+            model,
+            windows_used: capped.train.len(),
+        }
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &Camal {
+        &self.model
+    }
+
+    /// Labels consumed (weak supervision: one per window).
+    pub fn labels_used(&self) -> u64 {
+        self.windows_used as u64
+    }
+}
+
+impl Localizer for CamalMethod {
+    fn name(&self) -> &str {
+        "CamAL"
+    }
+
+    fn supervision(&self) -> Supervision {
+        Supervision::Weak
+    }
+
+    fn predict(&self, window: &[f32]) -> WindowPrediction {
+        let out = self.model.localize(window);
+        WindowPrediction {
+            probability: out.detection.probability,
+            status: out.status,
+        }
+    }
+}
+
+/// A fitted method plus its label accounting.
+pub struct FittedMethod {
+    /// The trained localizer.
+    pub localizer: Box<dyn Localizer>,
+    /// Labels the training consumed (weak: windows; strong: windows × len).
+    pub labels_used: u64,
+}
+
+/// Fit any benchmark method on a corpus.
+///
+/// `max_windows` caps the number of training windows (the label-budget knob
+/// of Figure 3); `None` uses the full corpus.
+pub fn fit_method(
+    name: MethodName,
+    corpus: &Corpus,
+    max_windows: Option<usize>,
+    speed: SpeedPreset,
+) -> FittedMethod {
+    match name {
+        MethodName::Camal => {
+            let m = CamalMethod::fit(corpus, max_windows, &speed.camal_config());
+            FittedMethod {
+                labels_used: m.labels_used(),
+                localizer: Box::new(m),
+            }
+        }
+        MethodName::WeakSliding => {
+            let m = WeakSliding::fit(corpus, max_windows, &speed.weak_config());
+            FittedMethod {
+                labels_used: m.labels_used(),
+                localizer: Box::new(m),
+            }
+        }
+        strong => {
+            let arch = archs::by_name(strong.display(), 11)
+                .expect("strong method names map to architectures");
+            let m = StrongLocalizer::fit(
+                strong.display(),
+                arch,
+                corpus,
+                max_windows,
+                &speed.seq_config(),
+            );
+            FittedMethod {
+                labels_used: m.labels_used(),
+                localizer: Box::new(m),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_datasets::{ApplianceKind, Dataset, DatasetPreset};
+
+    fn corpus() -> Corpus {
+        let ds = Dataset::generate(SpeedPreset::Test.dataset_config(DatasetPreset::UkdaleLike));
+        let mut c = Corpus::build(&ds, ApplianceKind::Kettle, 120);
+        c.balance_train(2);
+        c
+    }
+
+    #[test]
+    fn method_names_round_trip() {
+        for m in ALL_METHODS {
+            assert_eq!(MethodName::parse(m.display()), Some(m));
+        }
+        assert_eq!(MethodName::parse("camal"), Some(MethodName::Camal));
+        assert_eq!(MethodName::parse("LSTM"), None);
+        assert_eq!(MethodName::Camal.supervision(), Supervision::Weak);
+        assert_eq!(MethodName::Fcn.supervision(), Supervision::Strong);
+    }
+
+    #[test]
+    fn every_method_fits_and_predicts() {
+        let c = corpus();
+        for name in ALL_METHODS {
+            let fitted = fit_method(name, &c, Some(4), SpeedPreset::Test);
+            assert_eq!(fitted.localizer.name(), name.display());
+            let pred = fitted.localizer.predict(&c.test[0].values);
+            assert_eq!(pred.status.len(), c.test[0].values.len(), "{name:?}");
+            assert!((0.0..=1.0).contains(&pred.probability), "{name:?}");
+            // Label accounting follows the supervision style.
+            match name.supervision() {
+                Supervision::Weak => assert_eq!(fitted.labels_used, 4),
+                Supervision::Strong => assert_eq!(fitted.labels_used, 4 * 120),
+            }
+        }
+    }
+
+    #[test]
+    fn camal_adapter_matches_direct_model() {
+        let c = corpus();
+        let m = CamalMethod::fit(&c, None, &ds_camal::CamalConfig::fast_test());
+        let direct = m.model().localize(&c.test[0].values);
+        let adapted = m.predict(&c.test[0].values);
+        assert_eq!(adapted.status, direct.status);
+        assert_eq!(adapted.probability, direct.detection.probability);
+    }
+}

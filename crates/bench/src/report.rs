@@ -1,0 +1,150 @@
+//! Report rendering and JSON persistence shared by the harness binaries.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// Print an aligned text table to stdout-bound string.
+pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut push_row = |cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(6)));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    push_row(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    for row in rows {
+        push_row(row);
+    }
+    out
+}
+
+/// Write any serializable report next to the workspace as pretty JSON.
+pub fn write_json<T: Serialize>(value: &T, path: impl AsRef<Path>) -> std::io::Result<()> {
+    let json = serde_json::to_string_pretty(value).expect("report serialization is infallible");
+    std::fs::write(path, json)
+}
+
+/// An ASCII scatter of label-efficiency curves on a log-x axis: one letter
+/// per method, F1 on the y axis — the textual analogue of the paper's
+/// Figure 3 plot.
+pub fn ascii_curves(curves: &[(char, &str, Vec<(u64, f64)>)], width: usize, height: usize) -> String {
+    let width = width.clamp(20, 160);
+    let height = height.clamp(5, 40);
+    let all_points: Vec<(u64, f64)> = curves
+        .iter()
+        .flat_map(|(_, _, pts)| pts.iter().copied())
+        .collect();
+    if all_points.is_empty() {
+        return String::from("(no curve data)\n");
+    }
+    let x_min = (all_points.iter().map(|p| p.0).min().unwrap().max(1)) as f64;
+    let x_max = (all_points.iter().map(|p| p.0).max().unwrap().max(2)) as f64;
+    let lx_min = x_min.ln();
+    let lx_range = (x_max.ln() - lx_min).max(1e-9);
+    let mut grid = vec![vec![' '; width]; height];
+    for (marker, _, pts) in curves {
+        for &(labels, f1) in pts {
+            let x = (((labels.max(1) as f64).ln() - lx_min) / lx_range * (width - 1) as f64)
+                .round() as usize;
+            let y = ((1.0 - f1.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
+            grid[y.min(height - 1)][x.min(width - 1)] = *marker;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            "F1 1.0 |".to_string()
+        } else if r == height - 1 {
+            "   0.0 |".to_string()
+        } else {
+            "       |".to_string()
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "        {}\n        {:<10} labels (log scale) {:>width$}\n",
+        "-".repeat(width),
+        format_labels(x_min as u64),
+        format_labels(x_max as u64),
+        width = width.saturating_sub(30)
+    ));
+    out.push_str("        legend: ");
+    for (marker, name, _) in curves {
+        out.push_str(&format!("{marker}={name} "));
+    }
+    out.push('\n');
+    out
+}
+
+/// Format a label count compactly (`1.2e5`-style for large counts).
+pub fn format_labels(n: u64) -> String {
+    if n < 10_000 {
+        n.to_string()
+    } else {
+        format!("{:.1e}", n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = text_table(
+            &["Method", "F1"],
+            &[vec!["CamAL".into(), "0.9".into()]],
+        );
+        assert!(t.starts_with("Method"));
+        assert!(t.contains("CamAL"));
+    }
+
+    #[test]
+    fn ascii_curves_places_points() {
+        let curves: Vec<(char, &str, Vec<(u64, f64)>)> = vec![
+            ('C', "CamAL", vec![(10, 0.8), (100, 0.8)]),
+            ('F', "FCN", vec![(10_000, 0.5), (1_000_000, 0.85)]),
+        ];
+        let plot = ascii_curves(&curves, 60, 10);
+        assert!(plot.contains('C'));
+        assert!(plot.contains('F'));
+        assert!(plot.contains("legend: C=CamAL F=FCN"));
+        assert!(plot.contains("log scale"));
+        // High-F1 points sit near the top: 'C' appears in the upper half.
+        let c_row = plot.lines().position(|l| l.contains('C')).unwrap();
+        assert!(c_row <= 5, "CamAL marker too low: row {c_row}");
+        // Empty input is graceful.
+        assert!(ascii_curves(&[], 60, 10).contains("no curve data"));
+    }
+
+    #[test]
+    fn labels_format() {
+        assert_eq!(format_labels(42), "42");
+        assert_eq!(format_labels(520_000), "5.2e5");
+    }
+
+    #[test]
+    fn json_write() {
+        let dir = std::env::temp_dir().join("ds_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("r.json");
+        write_json(&vec![1, 2, 3], &path).unwrap();
+        let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,123 @@
+//! Speed presets: the same experiments at three fidelity levels, so tests
+//! run in seconds, the default harness in minutes, and a paper-scale run
+//! when time allows.
+
+use ds_camal::CamalConfig;
+use ds_datasets::{DatasetConfig, DatasetPreset};
+use ds_neural::train::TrainConfig;
+use serde::{Deserialize, Serialize};
+
+/// Experiment fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpeedPreset {
+    /// Seconds: tiny datasets and models (unit/integration tests).
+    Test,
+    /// Minutes: the default for the harness binaries.
+    Default,
+    /// Paper-scale datasets and models.
+    Full,
+}
+
+impl SpeedPreset {
+    /// Parse a CLI flag value.
+    pub fn parse(s: &str) -> Option<SpeedPreset> {
+        match s.to_ascii_lowercase().as_str() {
+            "test" => Some(SpeedPreset::Test),
+            "default" => Some(SpeedPreset::Default),
+            "full" => Some(SpeedPreset::Full),
+            _ => None,
+        }
+    }
+
+    /// Dataset generation parameters for a preset at this fidelity.
+    pub fn dataset_config(self, preset: DatasetPreset) -> DatasetConfig {
+        match self {
+            SpeedPreset::Test => DatasetConfig::tiny(preset, 4, 2),
+            SpeedPreset::Default => DatasetConfig::tiny(preset, 6, 7),
+            SpeedPreset::Full => preset.config(),
+        }
+    }
+
+    /// Window length in samples (at the common 1-minute frequency).
+    pub fn window_samples(self) -> usize {
+        match self {
+            SpeedPreset::Test => 120,  // 2 h
+            SpeedPreset::Default => 360, // 6 h — a GUI choice
+            SpeedPreset::Full => 360,
+        }
+    }
+
+    /// CamAL configuration at this fidelity.
+    pub fn camal_config(self) -> CamalConfig {
+        match self {
+            SpeedPreset::Test => CamalConfig::fast_test(),
+            SpeedPreset::Default => CamalConfig {
+                kernel_sizes: vec![5, 9, 15],
+                channels: vec![8, 16],
+                train: TrainConfig {
+                    epochs: 12,
+                    batch_size: 16,
+                    ..TrainConfig::default()
+                },
+                ..CamalConfig::default()
+            },
+            SpeedPreset::Full => CamalConfig::default(),
+        }
+    }
+
+    /// Seq2seq training configuration at this fidelity.
+    pub fn seq_config(self) -> crate::methods::SeqCfg {
+        use ds_baselines::seqnet::SeqTrainConfig;
+        match self {
+            SpeedPreset::Test => SeqTrainConfig {
+                epochs: 4,
+                batch_size: 8,
+                ..SeqTrainConfig::default()
+            },
+            SpeedPreset::Default => SeqTrainConfig {
+                epochs: 12,
+                ..SeqTrainConfig::default()
+            },
+            SpeedPreset::Full => SeqTrainConfig {
+                epochs: 25,
+                ..SeqTrainConfig::default()
+            },
+        }
+    }
+
+    /// Classifier training configuration for the weak baseline.
+    pub fn weak_config(self) -> TrainConfig {
+        match self {
+            SpeedPreset::Test => TrainConfig {
+                epochs: 4,
+                ..TrainConfig::default()
+            },
+            SpeedPreset::Default => TrainConfig {
+                epochs: 12,
+                ..TrainConfig::default()
+            },
+            SpeedPreset::Full => TrainConfig::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_scaling() {
+        assert_eq!(SpeedPreset::parse("test"), Some(SpeedPreset::Test));
+        assert_eq!(SpeedPreset::parse("DEFAULT"), Some(SpeedPreset::Default));
+        assert_eq!(SpeedPreset::parse("full"), Some(SpeedPreset::Full));
+        assert_eq!(SpeedPreset::parse("warp"), None);
+        let t = SpeedPreset::Test.dataset_config(DatasetPreset::IdealLike);
+        let f = SpeedPreset::Full.dataset_config(DatasetPreset::IdealLike);
+        assert!(t.num_houses < f.num_houses);
+        assert!(SpeedPreset::Test.window_samples() < SpeedPreset::Default.window_samples());
+        assert!(
+            SpeedPreset::Test.camal_config().train.epochs
+                < SpeedPreset::Full.camal_config().train.epochs
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Detection-threshold calibration.
+//!
+//! The paper uses a fixed `Prob_ens > 0.5` gate (step 2). In deployment the
+//! optimal threshold depends on the appliance and the label regime
+//! (possession labels make positives noisy), so this module tunes the
+//! threshold on held-out training windows by maximizing balanced accuracy —
+//! an extension evaluated in the ablation bench.
+
+use crate::ensemble::ResNetEnsemble;
+use crate::z_normalize_window;
+use ds_datasets::labels::LabeledWindow;
+use ds_metrics::confusion::ConfusionMatrix;
+use ds_neural::tensor::Tensor;
+
+/// Result of a threshold sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The threshold maximizing balanced accuracy on the validation set.
+    pub threshold: f32,
+    /// Balanced accuracy achieved there.
+    pub balanced_accuracy: f64,
+    /// Balanced accuracy at the paper's fixed 0.5 threshold, for reference.
+    pub baseline_balanced_accuracy: f64,
+}
+
+/// Sweep `steps` equally spaced thresholds over `(0, 1)` on validation
+/// windows and pick the best by balanced accuracy (ties: closest to 0.5,
+/// the paper's default).
+pub fn calibrate_threshold(
+    ensemble: &ResNetEnsemble,
+    validation: &[LabeledWindow],
+    steps: usize,
+) -> Calibration {
+    assert!(!validation.is_empty(), "calibration needs validation windows");
+    let steps = steps.max(3);
+    let normalized: Vec<Vec<f32>> = validation
+        .iter()
+        .map(|w| z_normalize_window(&w.values))
+        .collect();
+    let x = Tensor::from_windows(&normalized);
+    let outputs = ensemble.predict(&x);
+    let probs = ResNetEnsemble::ensemble_probability(&outputs);
+    let truth: Vec<u8> = validation.iter().map(|w| u8::from(w.weak)).collect();
+
+    let bacc_at = |threshold: f32| -> f64 {
+        let preds: Vec<u8> = probs.iter().map(|&p| u8::from(p > threshold)).collect();
+        ConfusionMatrix::from_labels(&preds, &truth).balanced_accuracy()
+    };
+    let baseline = bacc_at(0.5);
+    let mut best = (0.5f32, baseline);
+    for i in 1..steps {
+        let t = i as f32 / steps as f32;
+        let b = bacc_at(t);
+        let better = b > best.1 + 1e-12
+            || ((b - best.1).abs() <= 1e-12 && (t - 0.5).abs() < (best.0 - 0.5).abs());
+        if better {
+            best = (t, b);
+        }
+    }
+    Calibration {
+        threshold: best.0,
+        balanced_accuracy: best.1,
+        baseline_balanced_accuracy: baseline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CamalConfig;
+    use crate::train::train_camal_with_reports;
+    use ds_datasets::labels::Corpus;
+    use ds_datasets::{ApplianceKind, Dataset, DatasetConfig, DatasetPreset};
+
+    fn corpus() -> Corpus {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+        let mut c = Corpus::build(&ds, ApplianceKind::Kettle, 120);
+        c.balance_train(2);
+        c
+    }
+
+    #[test]
+    fn calibration_never_underperforms_the_default() {
+        let c = corpus();
+        let (model, _) = train_camal_with_reports(&c, &CamalConfig::fast_test());
+        let cal = calibrate_threshold(model.ensemble(), &c.train, 20);
+        assert!(
+            cal.balanced_accuracy >= cal.baseline_balanced_accuracy - 1e-12,
+            "calibrated {} < baseline {}",
+            cal.balanced_accuracy,
+            cal.baseline_balanced_accuracy
+        );
+        assert!((0.0..1.0).contains(&cal.threshold));
+    }
+
+    #[test]
+    fn degenerate_probabilities_fall_back_to_half() {
+        // An untrained ensemble gives near-constant probabilities; the
+        // tie-break must prefer a threshold close to the paper's 0.5.
+        let cfg = CamalConfig::fast_test();
+        let ensemble = crate::ensemble::ResNetEnsemble::untrained(&cfg);
+        let c = corpus();
+        let cal = calibrate_threshold(&ensemble, &c.train[..4.min(c.train.len())], 10);
+        assert!(cal.threshold > 0.0 && cal.threshold < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "validation windows")]
+    fn empty_validation_panics() {
+        let cfg = CamalConfig::fast_test();
+        let ensemble = crate::ensemble::ResNetEnsemble::untrained(&cfg);
+        let _ = calibrate_threshold(&ensemble, &[], 10);
+    }
+}

@@ -1,0 +1,122 @@
+//! CamAL hyper-parameters, defaulting to the paper's choices.
+
+use ds_neural::train::TrainConfig;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the localization pipeline (steps 2–6), with one switch per
+/// design choice so each can be ablated (see `DESIGN.md` §5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocalizerConfig {
+    /// Step 2: ensemble-probability threshold for "appliance detected".
+    pub detection_threshold: f32,
+    /// Step 4: min-max normalize each member CAM before averaging.
+    pub normalize_cams: bool,
+    /// Step 5: use the attention product `sigmoid(CAM ∘ x)`; when false the
+    /// averaged CAM itself is thresholded at 0.5 (ablation).
+    pub use_attention: bool,
+    /// Gate localization on detection (step 2); when false every window is
+    /// localized regardless of the ensemble probability (ablation).
+    pub gate_on_detection: bool,
+    /// Additional CAM-magnitude gate: timesteps with `CAM_avg(t)` below this
+    /// value are forced off. `0.0` reproduces the paper's formula exactly;
+    /// positive values are an extension evaluated in the ablation bench.
+    pub cam_gate: f32,
+}
+
+impl Default for LocalizerConfig {
+    fn default() -> Self {
+        LocalizerConfig {
+            detection_threshold: 0.5,
+            normalize_cams: true,
+            use_attention: true,
+            gate_on_detection: true,
+            cam_gate: 0.0,
+        }
+    }
+}
+
+/// Full CamAL configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CamalConfig {
+    /// Kernel sizes of the ensemble members — the paper's `k ∈ {5, 7, 9, 15}`.
+    pub kernel_sizes: Vec<usize>,
+    /// Residual-block output channels of every member.
+    pub channels: Vec<usize>,
+    /// Training hyper-parameters shared by the members.
+    pub train: TrainConfig,
+    /// Localization pipeline parameters.
+    pub localizer: LocalizerConfig,
+    /// Keep only the `keep_members` best-detecting members after training
+    /// (`None` keeps all) — the paper's member-selection step.
+    pub keep_members: Option<usize>,
+    /// Base seed; member `i` trains with `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for CamalConfig {
+    fn default() -> Self {
+        CamalConfig {
+            kernel_sizes: vec![5, 7, 9, 15],
+            channels: vec![16, 32],
+            train: TrainConfig::default(),
+            localizer: LocalizerConfig::default(),
+            keep_members: None,
+            seed: 7,
+        }
+    }
+}
+
+impl CamalConfig {
+    /// A small, fast configuration for unit tests: two tiny members, few
+    /// epochs.
+    pub fn fast_test() -> CamalConfig {
+        CamalConfig {
+            kernel_sizes: vec![3, 5],
+            channels: vec![4, 8],
+            train: TrainConfig {
+                epochs: 6,
+                batch_size: 8,
+                ..TrainConfig::default()
+            },
+            ..CamalConfig::default()
+        }
+    }
+
+    /// Number of ensemble members before selection.
+    pub fn ensemble_size(&self) -> usize {
+        self.kernel_sizes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = CamalConfig::default();
+        assert_eq!(cfg.kernel_sizes, vec![5, 7, 9, 15]);
+        assert_eq!(cfg.ensemble_size(), 4);
+        assert_eq!(cfg.localizer.detection_threshold, 0.5);
+        assert!(cfg.localizer.normalize_cams);
+        assert!(cfg.localizer.use_attention);
+        assert!(cfg.localizer.gate_on_detection);
+        assert_eq!(cfg.localizer.cam_gate, 0.0);
+        assert!(cfg.keep_members.is_none());
+    }
+
+    #[test]
+    fn fast_test_config_is_smaller() {
+        let cfg = CamalConfig::fast_test();
+        assert!(cfg.ensemble_size() < CamalConfig::default().ensemble_size());
+        assert!(cfg.train.epochs < CamalConfig::default().train.epochs);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = CamalConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: CamalConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

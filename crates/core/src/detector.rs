@@ -1,0 +1,114 @@
+//! Steps 1–2 of the pipeline: ensemble prediction and thresholded
+//! detection.
+
+use crate::config::LocalizerConfig;
+use crate::ensemble::ResNetEnsemble;
+use crate::z_normalize_window;
+use ds_neural::tensor::Tensor;
+
+/// Outcome of the detection step for one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Ensemble probability `Prob_ens` (mean of member probabilities).
+    pub probability: f32,
+    /// Each member's `(kernel size, probability)` — the app's "Model
+    /// detection probabilities" view.
+    pub member_probabilities: Vec<(usize, f32)>,
+    /// Whether `Prob_ens` exceeded the detection threshold.
+    pub detected: bool,
+}
+
+/// Detect the appliance in one raw window (watts).
+pub fn detect(ensemble: &ResNetEnsemble, window: &[f32], cfg: &LocalizerConfig) -> Detection {
+    assert!(!window.is_empty(), "cannot detect on an empty window");
+    let normalized = z_normalize_window(window);
+    let x = Tensor::from_windows(std::slice::from_ref(&normalized));
+    let outputs = ensemble.predict(&x);
+    let prob = ResNetEnsemble::ensemble_probability(&outputs)[0];
+    Detection {
+        probability: prob,
+        member_probabilities: outputs.iter().map(|o| (o.kernel, o.probs[0])).collect(),
+        detected: prob > cfg.detection_threshold,
+    }
+}
+
+/// Batched detection over many raw windows (one ensemble pass per batch).
+pub fn detect_batch(
+    ensemble: &ResNetEnsemble,
+    windows: &[Vec<f32>],
+    cfg: &LocalizerConfig,
+) -> Vec<Detection> {
+    assert!(!windows.is_empty(), "cannot detect on an empty batch");
+    let normalized: Vec<Vec<f32>> = windows.iter().map(|w| z_normalize_window(w)).collect();
+    let x = Tensor::from_windows(&normalized);
+    let outputs = ensemble.predict(&x);
+    let probs = ResNetEnsemble::ensemble_probability(&outputs);
+    probs
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| Detection {
+            probability: p,
+            member_probabilities: outputs.iter().map(|o| (o.kernel, o.probs[i])).collect(),
+            detected: p > cfg.detection_threshold,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CamalConfig;
+
+    fn ensemble() -> ResNetEnsemble {
+        ResNetEnsemble::untrained(&CamalConfig::fast_test())
+    }
+
+    #[test]
+    fn detection_reports_all_members() {
+        let ens = ensemble();
+        let cfg = LocalizerConfig::default();
+        let window = vec![100.0; 48];
+        let d = detect(&ens, &window, &cfg);
+        assert_eq!(d.member_probabilities.len(), 2);
+        assert!((0.0..=1.0).contains(&d.probability));
+        let mean: f32 = d.member_probabilities.iter().map(|(_, p)| p).sum::<f32>() / 2.0;
+        assert!((d.probability - mean).abs() < 1e-6);
+        assert_eq!(d.detected, d.probability > 0.5);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let ens = ensemble();
+        let cfg = LocalizerConfig::default();
+        let w1: Vec<f32> = (0..48).map(|i| (i as f32 * 0.3).sin() * 50.0 + 100.0).collect();
+        let w2: Vec<f32> = (0..48).map(|i| (i % 7) as f32 * 30.0).collect();
+        let batch = detect_batch(&ens, &[w1.clone(), w2.clone()], &cfg);
+        let s1 = detect(&ens, &w1, &cfg);
+        let s2 = detect(&ens, &w2, &cfg);
+        assert!((batch[0].probability - s1.probability).abs() < 1e-5);
+        assert!((batch[1].probability - s2.probability).abs() < 1e-5);
+    }
+
+    #[test]
+    fn threshold_controls_detection() {
+        let ens = ensemble();
+        let window = vec![1.0; 32];
+        let lenient = LocalizerConfig {
+            detection_threshold: 0.0,
+            ..LocalizerConfig::default()
+        };
+        assert!(detect(&ens, &window, &lenient).detected);
+        let strict = LocalizerConfig {
+            detection_threshold: 1.0,
+            ..LocalizerConfig::default()
+        };
+        assert!(!detect(&ens, &window, &strict).detected);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_panics() {
+        let ens = ensemble();
+        let _ = detect(&ens, &[], &LocalizerConfig::default());
+    }
+}

@@ -1,0 +1,266 @@
+//! The ResNet ensemble (paper §II-A): one network per kernel size, each
+//! trained independently on the same weak labels. *"This approach is based
+//! on the premise that varying kernel sizes change the receptive fields of
+//! the CNN, offering different levels of explainability."*
+
+use crate::config::CamalConfig;
+use ds_neural::tensor::Tensor;
+use ds_neural::train::{train_classifier, TrainReport};
+use ds_neural::{ResNet, ResNetConfig};
+use serde::{Deserialize, Serialize};
+
+/// An ensemble of independently trained ResNet detectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResNetEnsemble {
+    members: Vec<ResNet>,
+}
+
+/// Per-member output for one window batch: the positive-class probability
+/// and the class-1 CAM of each window.
+#[derive(Debug, Clone)]
+pub struct MemberOutput {
+    /// Kernel size of the member that produced this output.
+    pub kernel: usize,
+    /// Positive-class probability per window.
+    pub probs: Vec<f32>,
+    /// Class-1 CAM per window.
+    pub cams: Vec<Vec<f32>>,
+}
+
+impl ResNetEnsemble {
+    /// Build untrained members from a configuration.
+    pub fn untrained(config: &CamalConfig) -> ResNetEnsemble {
+        let members = config
+            .kernel_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                ResNet::new(ResNetConfig {
+                    in_channels: 1,
+                    channels: config.channels.clone(),
+                    kernel: k,
+                    num_classes: 2,
+                    seed: config.seed.wrapping_add(i as u64),
+                })
+            })
+            .collect();
+        ResNetEnsemble { members }
+    }
+
+    /// Wrap trained members.
+    pub fn from_members(members: Vec<ResNet>) -> ResNetEnsemble {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        ResNetEnsemble { members }
+    }
+
+    /// Member count `N`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members (never true for a built one).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Borrow the members.
+    pub fn members(&self) -> &[ResNet] {
+        &self.members
+    }
+
+    /// Drop every member except those at `keep` (selection step).
+    pub fn retain_indices(&mut self, keep: &[usize]) {
+        assert!(!keep.is_empty(), "cannot retain zero members");
+        let mut kept = Vec::with_capacity(keep.len());
+        for &i in keep {
+            kept.push(self.members[i].clone());
+        }
+        self.members = kept;
+    }
+
+    /// Train every member on the same `(windows, labels)` corpus, in
+    /// parallel (one OS thread per member via `crossbeam::scope`). Members
+    /// differ in kernel size and seed, exactly as in the paper.
+    ///
+    /// Returns one [`TrainReport`] per member.
+    pub fn train(
+        &mut self,
+        windows: &[Vec<f32>],
+        labels: &[u8],
+        config: &CamalConfig,
+    ) -> Vec<TrainReport> {
+        let base_cfg = &config.train;
+        let mut reports: Vec<Option<TrainReport>> = vec![None; self.members.len()];
+        crossbeam::scope(|scope| {
+            for (i, (member, slot)) in self
+                .members
+                .iter_mut()
+                .zip(reports.iter_mut())
+                .enumerate()
+            {
+                let mut cfg = base_cfg.clone();
+                cfg.shuffle_seed = base_cfg.shuffle_seed.wrapping_add(i as u64);
+                scope.spawn(move |_| {
+                    *slot = Some(train_classifier(member, windows, labels, &cfg));
+                });
+            }
+        })
+        .expect("ensemble training thread panicked");
+        reports
+            .into_iter()
+            .map(|r| r.expect("every member trains"))
+            .collect()
+    }
+
+    /// Steps 1 & 3: run every member over a `[B, 1, L]` batch, collecting
+    /// probabilities and class-1 CAMs. Pure (`&self`): a trained ensemble is
+    /// shareable across threads at prediction time.
+    pub fn predict(&self, x: &Tensor) -> Vec<MemberOutput> {
+        self.members
+            .iter()
+            .map(|m| {
+                let (probs, cams) = m.infer_with_cam(x);
+                MemberOutput {
+                    kernel: m.kernel(),
+                    probs,
+                    cams,
+                }
+            })
+            .collect()
+    }
+
+    /// Ensemble probability per window: `Prob_ens = (1/N) Σ Prob_n`.
+    pub fn ensemble_probability(outputs: &[MemberOutput]) -> Vec<f32> {
+        assert!(!outputs.is_empty(), "no member outputs");
+        let n = outputs[0].probs.len();
+        let mut probs = vec![0.0f32; n];
+        for out in outputs {
+            assert_eq!(out.probs.len(), n, "member batch size mismatch");
+            for (acc, p) in probs.iter_mut().zip(&out.probs) {
+                *acc += p;
+            }
+        }
+        let scale = 1.0 / outputs.len() as f32;
+        for p in &mut probs {
+            *p *= scale;
+        }
+        probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CamalConfig;
+
+    fn toy_corpus(n: usize, len: usize) -> (Vec<Vec<f32>>, Vec<u8>) {
+        let mut windows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let mut w = vec![0.1f32; len];
+            if i % 2 == 1 {
+                for v in &mut w[len / 3..len / 2] {
+                    *v = 1.0;
+                }
+            }
+            for (j, v) in w.iter_mut().enumerate() {
+                *v += ((i * 5 + j * 3) % 7) as f32 * 0.01;
+            }
+            windows.push(w);
+            labels.push((i % 2) as u8);
+        }
+        (windows, labels)
+    }
+
+    #[test]
+    fn untrained_members_match_config() {
+        let cfg = CamalConfig::fast_test();
+        let ens = ResNetEnsemble::untrained(&cfg);
+        assert_eq!(ens.len(), 2);
+        assert!(!ens.is_empty());
+        assert_eq!(ens.members()[0].kernel(), 3);
+        assert_eq!(ens.members()[1].kernel(), 5);
+    }
+
+    #[test]
+    fn parallel_training_improves_all_members() {
+        let cfg = CamalConfig::fast_test();
+        let (windows, labels) = toy_corpus(24, 40);
+        let mut ens = ResNetEnsemble::untrained(&cfg);
+        let reports = ens.train(&windows, &labels, &cfg);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.epoch_losses.iter().all(|l| l.is_finite()));
+            assert!(
+                r.epoch_losses.last().unwrap() <= &r.epoch_losses[0],
+                "member loss went up: {:?}",
+                r.epoch_losses
+            );
+        }
+    }
+
+    #[test]
+    fn ensemble_probability_is_mean() {
+        let outputs = vec![
+            MemberOutput {
+                kernel: 5,
+                probs: vec![0.2, 0.8],
+                cams: vec![vec![], vec![]],
+            },
+            MemberOutput {
+                kernel: 7,
+                probs: vec![0.6, 0.4],
+                cams: vec![vec![], vec![]],
+            },
+        ];
+        let p = ResNetEnsemble::ensemble_probability(&outputs);
+        assert!((p[0] - 0.4).abs() < 1e-6);
+        assert!((p[1] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predict_returns_member_outputs() {
+        let cfg = CamalConfig::fast_test();
+        let ens = ResNetEnsemble::untrained(&cfg);
+        let x = Tensor::from_windows(&[vec![0.5; 32], vec![0.2; 32]]);
+        let outputs = ens.predict(&x);
+        assert_eq!(outputs.len(), 2);
+        for out in &outputs {
+            assert_eq!(out.probs.len(), 2);
+            assert_eq!(out.cams.len(), 2);
+            assert_eq!(out.cams[0].len(), 32);
+        }
+        assert_eq!(outputs[0].kernel, 3);
+    }
+
+    #[test]
+    fn retain_indices_selects_members() {
+        let cfg = CamalConfig::fast_test();
+        let mut ens = ResNetEnsemble::untrained(&cfg);
+        ens.retain_indices(&[1]);
+        assert_eq!(ens.len(), 1);
+        assert_eq!(ens.members()[0].kernel(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        let _ = ResNetEnsemble::from_members(vec![]);
+    }
+
+    #[test]
+    fn deterministic_parallel_training() {
+        // Members train on separate threads but each is seeded; results must
+        // be identical across runs.
+        let cfg = CamalConfig::fast_test();
+        let (windows, labels) = toy_corpus(12, 24);
+        let run = || {
+            let mut ens = ResNetEnsemble::untrained(&cfg);
+            ens.train(&windows, &labels, &cfg);
+            let x = Tensor::from_windows(&[windows[0].clone()]);
+            let outputs = ens.predict(&x);
+            ResNetEnsemble::ensemble_probability(&outputs)
+        };
+        assert_eq!(run(), run());
+    }
+}

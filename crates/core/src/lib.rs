@@ -1,0 +1,147 @@
+//! # ds-camal
+//!
+//! **CamAL — Class Activation Map-based Appliance Localization**, the core
+//! contribution of the DeviceScope paper (ICDE 2025), reproduced in Rust.
+//!
+//! CamAL answers two questions about a household's aggregate smart-meter
+//! series using only *weak* training labels (one bit per window or per
+//! household — never per-timestep supervision):
+//!
+//! 1. **Detection** — was appliance A used inside this window?
+//! 2. **Localization** — at which timesteps was it on?
+//!
+//! The pipeline (paper §II, Figure 2):
+//!
+//! ```text
+//!            ┌───────────────────────────── ensemble ─────────────────────────────┐
+//! window ───►│ ResNet(k=5) ─► prob₁, CAM₁ ┐                                       │
+//!            │ ResNet(k=7) ─► prob₂, CAM₂ ├─► prob_ens = mean(probᵢ)              │
+//!            │ ResNet(k=9) ─► prob₃, CAM₃ │   ĈAMᵢ = minmax(CAMᵢ)                 │
+//!            │ ResNet(k=15)─► prob₄, CAM₄ ┘   ĈAM_avg = mean(ĈAMᵢ)                │
+//!            └─────────────────────────────────────────────────────────────────────┘
+//!   step 2: detected ⇔ prob_ens > 0.5
+//!   step 5: s(t) = sigmoid(ĈAM_avg(t) ∘ x(t))      (x = the normalized input)
+//!   step 6: status(t) = 1 ⇔ s(t) > 0.5             (all-off when not detected)
+//! ```
+//!
+//! Modules:
+//! - [`config`]: hyper-parameters ([`CamalConfig`]) with the paper defaults
+//!   (kernel set `{5, 7, 9, 15}`, detection threshold 0.5).
+//! - [`ensemble`]: the ResNet ensemble, trainable in parallel across members.
+//! - [`detector`]: step 1–2 (ensemble probability, thresholded detection).
+//! - [`localizer`]: steps 3–6 (CAM extraction, normalization, averaging,
+//!   attention, status) with ablation switches for every design choice.
+//! - [`selection`]: per-appliance member selection ("we then selected the
+//!   networks that best detected specific appliances").
+//! - [`train`]: the weak-label training pipeline from a dataset corpus.
+//! - [`model_io`]: persistence of trained CamAL models.
+//! - [`calibrate`]: detection-threshold tuning (extension; the paper fixes
+//!   the gate at 0.5).
+//!
+//! The top-level [`Camal`] type ties everything together:
+//!
+//! ```no_run
+//! use ds_camal::{Camal, CamalConfig};
+//! use ds_datasets::{ApplianceKind, Dataset, DatasetConfig, DatasetPreset};
+//! use ds_datasets::labels::Corpus;
+//!
+//! let dataset = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 3));
+//! let corpus = Corpus::build(&dataset, ApplianceKind::Kettle, 360);
+//! let camal = Camal::train(&corpus, &CamalConfig::default());
+//! let window = &corpus.test[0];
+//! let outcome = camal.localize(&window.values);
+//! println!("detected: {} status: {:?}", outcome.detection.detected, outcome.status);
+//! ```
+
+pub mod calibrate;
+pub mod config;
+pub mod detector;
+pub mod ensemble;
+pub mod localizer;
+pub mod model_io;
+pub mod selection;
+pub mod train;
+
+pub use config::{CamalConfig, LocalizerConfig};
+pub use detector::Detection;
+pub use ensemble::ResNetEnsemble;
+pub use localizer::Localization;
+
+use ds_datasets::labels::Corpus;
+use ds_timeseries::{StatusSeries, TimeSeries};
+
+/// Per-window z-normalization (instance normalization) — the input scaling
+/// applied before every model sees a window, at training and prediction
+/// alike. Constant windows map to all-zero. The same normalized values `x`
+/// feed CamAL's attention product `sigmoid(ĈAM_avg(t) ∘ x(t))`, which is
+/// why localization marks timesteps whose consumption sits *above* the
+/// window mean within CAM-supported regions.
+pub fn z_normalize_window(values: &[f32]) -> Vec<f32> {
+    let n = values.len().max(1) as f32;
+    let mean = values.iter().sum::<f32>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    let std = var.sqrt();
+    if std > 0.0 {
+        values.iter().map(|v| (v - mean) / std).collect()
+    } else {
+        vec![0.0; values.len()]
+    }
+}
+
+/// A trained CamAL model for one appliance.
+#[derive(Debug, Clone)]
+pub struct Camal {
+    ensemble: ResNetEnsemble,
+    config: CamalConfig,
+}
+
+impl Camal {
+    /// Train CamAL on a weak-label corpus (see [`train::train_camal`]).
+    pub fn train(corpus: &Corpus, config: &CamalConfig) -> Camal {
+        train::train_camal(corpus, config)
+    }
+
+    /// Assemble from parts (used by persistence and tests).
+    pub fn from_parts(ensemble: ResNetEnsemble, config: CamalConfig) -> Camal {
+        Camal { ensemble, config }
+    }
+
+    /// The trained ensemble.
+    pub fn ensemble(&self) -> &ResNetEnsemble {
+        &self.ensemble
+    }
+
+    /// The hyper-parameters the model was trained with.
+    pub fn config(&self) -> &CamalConfig {
+        &self.config
+    }
+
+    /// Steps 1–2: detect the appliance in a raw window (watts).
+    pub fn detect(&self, window: &[f32]) -> Detection {
+        detector::detect(&self.ensemble, window, &self.config.localizer)
+    }
+
+    /// The full pipeline (steps 1–6) on a raw window (watts).
+    pub fn localize(&self, window: &[f32]) -> Localization {
+        localizer::localize(&self.ensemble, window, &self.config.localizer)
+    }
+
+    /// Predict a full status series by sliding non-overlapping windows of
+    /// `window_samples` over `series`. Windows with missing data and the
+    /// trailing partial window are conservatively all-off (the GUI shows
+    /// them as gaps anyway).
+    pub fn predict_status_series(&self, series: &TimeSeries, window_samples: usize) -> StatusSeries {
+        let mut states = vec![0u8; series.len()];
+        let values = series.values();
+        let mut lo = 0;
+        while lo + window_samples <= values.len() {
+            let window = &values[lo..lo + window_samples];
+            if window.iter().all(|v| !v.is_nan()) {
+                let out = self.localize(window);
+                states[lo..lo + window_samples].copy_from_slice(&out.status);
+            }
+            lo += window_samples;
+        }
+        StatusSeries::from_states(series.start(), series.interval_secs(), states)
+    }
+}

@@ -1,0 +1,231 @@
+//! Steps 3–6 of the pipeline: CAM extraction, normalization, averaging,
+//! the attention mask, and the binary appliance status.
+//!
+//! With the paper's defaults the chain is, per timestep `t`:
+//!
+//! ```text
+//! ĈAM_n(t)   = minmax(CAM_n)(t)                    (step 4, per member)
+//! ĈAM_avg(t) = (1/N) Σ_n ĈAM_n(t)                  (step 4, averaging)
+//! s(t)       = sigmoid(ĈAM_avg(t) · x(t))          (step 5, x = z-scored input)
+//! status(t)  = 1 ⇔ s(t) > 0.5                      (step 6)
+//! ```
+//!
+//! Note that `sigmoid(p) > 0.5 ⇔ p > 0`, so with a nonnegative normalized
+//! CAM the status marks timesteps whose *normalized* consumption is above
+//! the window mean inside CAM-supported regions — gated (step 2) on the
+//! ensemble detecting the appliance at all. Every design choice carries an
+//! ablation switch in [`LocalizerConfig`].
+
+use crate::config::LocalizerConfig;
+use crate::detector::Detection;
+use crate::ensemble::{MemberOutput, ResNetEnsemble};
+use crate::z_normalize_window;
+use ds_neural::activations::sigmoid;
+use ds_neural::tensor::Tensor;
+use ds_timeseries::normalize::min_max_normalize;
+
+/// Full output of the CamAL pipeline for one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Localization {
+    /// The detection step's outcome (steps 1–2).
+    pub detection: Detection,
+    /// The averaged (and, by default, normalized) CAM (steps 3–4).
+    pub cam: Vec<f32>,
+    /// The attention signal `s(t)` (step 5).
+    pub attention: Vec<f32>,
+    /// The binary per-timestep appliance status (step 6).
+    pub status: Vec<u8>,
+}
+
+/// Run steps 1–6 on one raw window (watts).
+pub fn localize(
+    ensemble: &ResNetEnsemble,
+    window: &[f32],
+    cfg: &LocalizerConfig,
+) -> Localization {
+    assert!(!window.is_empty(), "cannot localize an empty window");
+    let normalized = z_normalize_window(window);
+    let x = Tensor::from_windows(std::slice::from_ref(&normalized));
+    let outputs = ensemble.predict(&x);
+    let prob = ResNetEnsemble::ensemble_probability(&outputs)[0];
+    let detection = Detection {
+        probability: prob,
+        member_probabilities: outputs.iter().map(|o| (o.kernel, o.probs[0])).collect(),
+        detected: prob > cfg.detection_threshold,
+    };
+    let cam = average_cams(&outputs, 0, cfg);
+    let (attention, status) = attention_and_status(&cam, &normalized, detection.detected, cfg);
+    Localization {
+        detection,
+        cam,
+        attention,
+        status,
+    }
+}
+
+/// Steps 3–4 for window `i` of a batch: per-member CAM normalization and
+/// ensemble averaging.
+pub(crate) fn average_cams(
+    outputs: &[MemberOutput],
+    index: usize,
+    cfg: &LocalizerConfig,
+) -> Vec<f32> {
+    assert!(!outputs.is_empty(), "no member outputs");
+    let len = outputs[0].cams[index].len();
+    let mut avg = vec![0.0f32; len];
+    for out in outputs {
+        let mut cam = out.cams[index].clone();
+        if cfg.normalize_cams {
+            min_max_normalize(&mut cam);
+        }
+        for (a, c) in avg.iter_mut().zip(&cam) {
+            *a += c;
+        }
+    }
+    let scale = 1.0 / outputs.len() as f32;
+    for a in &mut avg {
+        *a *= scale;
+    }
+    avg
+}
+
+/// Steps 5–6: the attention mask and the binary status.
+pub(crate) fn attention_and_status(
+    cam: &[f32],
+    normalized_input: &[f32],
+    detected: bool,
+    cfg: &LocalizerConfig,
+) -> (Vec<f32>, Vec<u8>) {
+    let attention: Vec<f32> = if cfg.use_attention {
+        cam.iter()
+            .zip(normalized_input)
+            .map(|(&c, &x)| sigmoid(c * x))
+            .collect()
+    } else {
+        // Ablation: treat the averaged CAM itself as the activation signal.
+        cam.to_vec()
+    };
+    let gate_ok = detected || !cfg.gate_on_detection;
+    let status: Vec<u8> = attention
+        .iter()
+        .zip(cam)
+        .map(|(&s, &c)| u8::from(gate_ok && s > 0.5 && c >= cfg.cam_gate))
+        .collect();
+    (attention, status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CamalConfig;
+    use crate::ensemble::MemberOutput;
+
+    fn member(probs: Vec<f32>, cams: Vec<Vec<f32>>) -> MemberOutput {
+        MemberOutput {
+            kernel: 5,
+            probs,
+            cams,
+        }
+    }
+
+    #[test]
+    fn cam_averaging_normalizes_members() {
+        let cfg = LocalizerConfig::default();
+        let outputs = vec![
+            member(vec![0.9], vec![vec![0.0, 5.0, 10.0]]),
+            member(vec![0.9], vec![vec![-2.0, 0.0, 2.0]]),
+        ];
+        let avg = average_cams(&outputs, 0, &cfg);
+        // Both normalize to [0, 0.5, 1]; mean is the same.
+        assert_eq!(avg, vec![0.0, 0.5, 1.0]);
+        // Without normalization the raw scales dominate.
+        let raw_cfg = LocalizerConfig {
+            normalize_cams: false,
+            ..cfg
+        };
+        let raw = average_cams(&outputs, 0, &raw_cfg);
+        assert_eq!(raw, vec![-1.0, 2.5, 6.0]);
+    }
+
+    #[test]
+    fn attention_marks_above_mean_supported_regions() {
+        let cfg = LocalizerConfig::default();
+        let cam = vec![1.0, 1.0, 0.5, 0.0];
+        let x = vec![2.0, -1.0, 1.0, 3.0]; // already normalized units
+        let (attention, status) = attention_and_status(&cam, &x, true, &cfg);
+        // s = sigmoid(cam*x): [s(2)>0.5, s(-1)<0.5, s(0.5)>0.5, s(0)=0.5]
+        assert!(attention[0] > 0.5 && attention[1] < 0.5 && attention[2] > 0.5);
+        assert!((attention[3] - 0.5).abs() < 1e-6);
+        assert_eq!(status, vec![1, 0, 1, 0]); // strict > 0.5 keeps t=3 off
+    }
+
+    #[test]
+    fn detection_gate_suppresses_status() {
+        let cfg = LocalizerConfig::default();
+        let cam = vec![1.0; 4];
+        let x = vec![1.0; 4];
+        let (_, gated) = attention_and_status(&cam, &x, false, &cfg);
+        assert_eq!(gated, vec![0; 4]);
+        let ungated_cfg = LocalizerConfig {
+            gate_on_detection: false,
+            ..cfg
+        };
+        let (_, ungated) = attention_and_status(&cam, &x, false, &ungated_cfg);
+        assert_eq!(ungated, vec![1; 4]);
+    }
+
+    #[test]
+    fn cam_gate_filters_weak_support() {
+        let cfg = LocalizerConfig {
+            cam_gate: 0.6,
+            ..LocalizerConfig::default()
+        };
+        let cam = vec![0.9, 0.3];
+        let x = vec![2.0, 2.0];
+        let (_, status) = attention_and_status(&cam, &x, true, &cfg);
+        assert_eq!(status, vec![1, 0]);
+    }
+
+    #[test]
+    fn raw_cam_thresholding_ablation() {
+        let cfg = LocalizerConfig {
+            use_attention: false,
+            ..LocalizerConfig::default()
+        };
+        let cam = vec![0.9, 0.2];
+        let x = vec![-5.0, 5.0]; // ignored in this mode
+        let (attention, status) = attention_and_status(&cam, &x, true, &cfg);
+        assert_eq!(attention, cam);
+        assert_eq!(status, vec![1, 0]);
+    }
+
+    #[test]
+    fn localize_end_to_end_shapes() {
+        let ens = ResNetEnsemble::untrained(&CamalConfig::fast_test());
+        let cfg = LocalizerConfig::default();
+        let window: Vec<f32> = (0..64).map(|i| if i > 30 && i < 40 { 2000.0 } else { 80.0 }).collect();
+        let out = localize(&ens, &window, &cfg);
+        assert_eq!(out.cam.len(), 64);
+        assert_eq!(out.attention.len(), 64);
+        assert_eq!(out.status.len(), 64);
+        assert!(out.cam.iter().all(|c| (0.0..=1.0).contains(c)));
+        assert!(out.status.iter().all(|&s| s <= 1));
+        // Status respects the detection gate.
+        if !out.detection.detected {
+            assert!(out.status.iter().all(|&s| s == 0));
+        }
+    }
+
+    #[test]
+    fn constant_window_yields_all_off() {
+        let ens = ResNetEnsemble::untrained(&CamalConfig::fast_test());
+        let cfg = LocalizerConfig {
+            gate_on_detection: false,
+            ..LocalizerConfig::default()
+        };
+        let out = localize(&ens, &[500.0; 32], &cfg);
+        // z-normalized constant window is all zeros -> product 0 -> s = 0.5,
+        // strict threshold keeps everything off.
+        assert_eq!(out.status, vec![0; 32]);
+    }
+}

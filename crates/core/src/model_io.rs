@@ -1,0 +1,129 @@
+//! Persistence of trained CamAL models (ensemble weights + configuration)
+//! as versioned JSON, matching the substrate's checkpoint conventions.
+
+use crate::config::CamalConfig;
+use crate::ensemble::ResNetEnsemble;
+use crate::Camal;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current CamAL checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CamalCheckpoint {
+    format_version: u32,
+    config: CamalConfig,
+    ensemble: ResNetEnsemble,
+}
+
+/// Errors from CamAL model persistence.
+#[derive(Debug)]
+pub enum CamalIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed JSON or schema mismatch.
+    Format(String),
+    /// Incompatible checkpoint version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for CamalIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CamalIoError::Io(e) => write!(f, "camal io: {e}"),
+            CamalIoError::Format(e) => write!(f, "camal format: {e}"),
+            CamalIoError::Version { found } => {
+                write!(f, "camal checkpoint version {found}, expected {FORMAT_VERSION}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CamalIoError {}
+
+impl From<std::io::Error> for CamalIoError {
+    fn from(e: std::io::Error) -> Self {
+        CamalIoError::Io(e)
+    }
+}
+
+/// Serialize a trained model to JSON.
+pub fn to_json(model: &Camal) -> String {
+    serde_json::to_string(&CamalCheckpoint {
+        format_version: FORMAT_VERSION,
+        config: model.config().clone(),
+        ensemble: model.ensemble().clone(),
+    })
+    .expect("CamAL serialization is infallible")
+}
+
+/// Deserialize a model from JSON.
+pub fn from_json(json: &str) -> Result<Camal, CamalIoError> {
+    let ckpt: CamalCheckpoint =
+        serde_json::from_str(json).map_err(|e| CamalIoError::Format(e.to_string()))?;
+    if ckpt.format_version != FORMAT_VERSION {
+        return Err(CamalIoError::Version {
+            found: ckpt.format_version,
+        });
+    }
+    Ok(Camal::from_parts(ckpt.ensemble, ckpt.config))
+}
+
+/// Save a trained model to a file.
+pub fn save(model: &Camal, path: impl AsRef<Path>) -> Result<(), CamalIoError> {
+    std::fs::write(path, to_json(model))?;
+    Ok(())
+}
+
+/// Load a trained model from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<Camal, CamalIoError> {
+    let json = std::fs::read_to_string(path)?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CamalConfig;
+
+    fn untrained_model() -> Camal {
+        let cfg = CamalConfig::fast_test();
+        Camal::from_parts(ResNetEnsemble::untrained(&cfg), cfg)
+    }
+
+    #[test]
+    fn round_trip_preserves_behavior() {
+        let model = untrained_model();
+        let window: Vec<f32> = (0..48).map(|i| (i as f32 * 0.7).cos() * 100.0 + 200.0).collect();
+        let before = model.localize(&window);
+        let back = from_json(&to_json(&model)).unwrap();
+        let after = back.localize(&window);
+        assert_eq!(before.status, after.status);
+        assert_eq!(before.detection.probability, after.detection.probability);
+        assert_eq!(back.config(), model.config());
+    }
+
+    #[test]
+    fn version_and_format_guards() {
+        let json = to_json(&untrained_model()).replace("\"format_version\":1", "\"format_version\":2");
+        assert!(matches!(from_json(&json), Err(CamalIoError::Version { found: 2 })));
+        assert!(matches!(from_json("not json"), Err(CamalIoError::Format(_))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ds_camal_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("camal.json");
+        let model = untrained_model();
+        save(&model, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.ensemble().len(), model.ensemble().len());
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(load(dir.join("nope.json")), Err(CamalIoError::Io(_))));
+    }
+}

@@ -1,0 +1,119 @@
+//! Member selection (paper §II-A): *"We trained multiple networks with
+//! kernel sizes k ∈ {5, 7, 9, 15}. We then selected the networks that best
+//! detected specific appliances."*
+//!
+//! Selection scores each member's detection quality (balanced accuracy, the
+//! right measure under class imbalance) on a held-out slice of the training
+//! windows, then keeps the best `keep` members.
+
+use crate::ensemble::ResNetEnsemble;
+use crate::z_normalize_window;
+use ds_metrics::confusion::ConfusionMatrix;
+use ds_neural::tensor::Tensor;
+
+/// Detection quality of each member on a validation set, as
+/// `(member index, kernel size, balanced accuracy)`.
+pub fn score_members(
+    ensemble: &ResNetEnsemble,
+    windows: &[Vec<f32>],
+    labels: &[u8],
+) -> Vec<(usize, usize, f64)> {
+    assert_eq!(windows.len(), labels.len(), "window/label mismatch");
+    assert!(!windows.is_empty(), "validation set is empty");
+    let normalized: Vec<Vec<f32>> = windows.iter().map(|w| z_normalize_window(w)).collect();
+    let x = Tensor::from_windows(&normalized);
+    ensemble
+        .predict(&x)
+        .iter()
+        .enumerate()
+        .map(|(i, out)| {
+            let preds: Vec<u8> = out.probs.iter().map(|&p| u8::from(p > 0.5)).collect();
+            let bacc = ConfusionMatrix::from_labels(&preds, labels).balanced_accuracy();
+            (i, out.kernel, bacc)
+        })
+        .collect()
+}
+
+/// Keep the `keep` members with the highest validation balanced accuracy.
+/// Keeps the original member order among the survivors (ties resolve to
+/// lower kernel sizes, which are cheaper).
+pub fn select_best_members(
+    ensemble: &mut ResNetEnsemble,
+    windows: &[Vec<f32>],
+    labels: &[u8],
+    keep: usize,
+) -> Vec<(usize, usize, f64)> {
+    let keep = keep.clamp(1, ensemble.len());
+    let mut scored = score_members(ensemble, windows, labels);
+    let full_report = scored.clone();
+    scored.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("bacc is finite").then(a.1.cmp(&b.1)));
+    let mut keep_idx: Vec<usize> = scored.iter().take(keep).map(|(i, _, _)| *i).collect();
+    keep_idx.sort_unstable();
+    ensemble.retain_indices(&keep_idx);
+    full_report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CamalConfig;
+
+    fn toy_corpus(n: usize, len: usize) -> (Vec<Vec<f32>>, Vec<u8>) {
+        let mut windows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let mut w = vec![0.1f32; len];
+            if i % 2 == 1 {
+                for v in &mut w[len / 4..len / 2] {
+                    *v = 1.0;
+                }
+            }
+            for (j, v) in w.iter_mut().enumerate() {
+                *v += ((i * 3 + j) % 5) as f32 * 0.01;
+            }
+            windows.push(w);
+            labels.push((i % 2) as u8);
+        }
+        (windows, labels)
+    }
+
+    #[test]
+    fn scoring_reports_every_member() {
+        let ens = ResNetEnsemble::untrained(&CamalConfig::fast_test());
+        let (windows, labels) = toy_corpus(10, 32);
+        let scores = score_members(&ens, &windows, &labels);
+        assert_eq!(scores.len(), 2);
+        for (i, kernel, bacc) in scores {
+            assert!(i < 2);
+            assert!(kernel == 3 || kernel == 5);
+            assert!((0.0..=1.0).contains(&bacc));
+        }
+    }
+
+    #[test]
+    fn selection_keeps_best_member() {
+        let cfg = CamalConfig::fast_test();
+        let (windows, labels) = toy_corpus(24, 40);
+        let mut ens = ResNetEnsemble::untrained(&cfg);
+        ens.train(&windows, &labels, &cfg);
+        let report = select_best_members(&mut ens, &windows, &labels, 1);
+        assert_eq!(ens.len(), 1);
+        // The kept member is the argmax of the reported scores.
+        let best = report
+            .iter()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then(b.1.cmp(&a.1)))
+            .unwrap();
+        assert_eq!(ens.members()[0].kernel(), best.1);
+    }
+
+    #[test]
+    fn keep_clamps_to_ensemble_size() {
+        let cfg = CamalConfig::fast_test();
+        let (windows, labels) = toy_corpus(8, 24);
+        let mut ens = ResNetEnsemble::untrained(&cfg);
+        select_best_members(&mut ens, &windows, &labels, 99);
+        assert_eq!(ens.len(), 2);
+        select_best_members(&mut ens, &windows, &labels, 0);
+        assert_eq!(ens.len(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! The CamAL training pipeline: from a weak-label corpus to a trained
+//! model. Mirrors §II-A's training phase:
+//!
+//! 1. windows are taken from the corpus (already resampled to the common
+//!    frequency and purged of missing data by `ds-datasets`);
+//! 2. each window is z-normalized (instance normalization);
+//! 3. every ensemble member trains on the same windows and weak labels,
+//!    in parallel, differing only in kernel size and seed;
+//! 4. optionally, the members that best detect the appliance are kept.
+
+use crate::config::CamalConfig;
+use crate::ensemble::ResNetEnsemble;
+use crate::selection::select_best_members;
+use crate::{z_normalize_window, Camal};
+use ds_datasets::labels::Corpus;
+use ds_neural::train::TrainReport;
+
+/// Train CamAL on a corpus, returning the trained model.
+pub fn train_camal(corpus: &Corpus, config: &CamalConfig) -> Camal {
+    let (model, _) = train_camal_with_reports(corpus, config);
+    model
+}
+
+/// Train CamAL and also return the per-member training reports (used by the
+/// benchmark harness to record convergence).
+pub fn train_camal_with_reports(
+    corpus: &Corpus,
+    config: &CamalConfig,
+) -> (Camal, Vec<TrainReport>) {
+    assert!(
+        !corpus.train.is_empty(),
+        "CamAL training requires at least one labeled window"
+    );
+    let windows: Vec<Vec<f32>> = corpus
+        .train
+        .iter()
+        .map(|w| z_normalize_window(&w.values))
+        .collect();
+    let labels: Vec<u8> = corpus.train.iter().map(|w| u8::from(w.weak)).collect();
+    let mut ensemble = ResNetEnsemble::untrained(config);
+    let reports = ensemble.train(&windows, &labels, config);
+    if let Some(keep) = config.keep_members {
+        // Selection scores on the training windows (already normalized; the
+        // selection helper normalizes again, which is a no-op on z-scored
+        // data up to floating-point jitter).
+        let raw: Vec<Vec<f32>> = corpus.train.iter().map(|w| w.values.clone()).collect();
+        select_best_members(&mut ensemble, &raw, &labels, keep);
+    }
+    (Camal::from_parts(ensemble, config.clone()), reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_datasets::labels::Corpus;
+    use ds_datasets::{ApplianceKind, Dataset, DatasetConfig, DatasetPreset};
+
+    fn tiny_corpus() -> Corpus {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+        let mut corpus = Corpus::build(&ds, ApplianceKind::Kettle, 120);
+        corpus.balance_train(2);
+        corpus
+    }
+
+    #[test]
+    fn pipeline_trains_and_localizes() {
+        let corpus = tiny_corpus();
+        let cfg = CamalConfig::fast_test();
+        let (camal, reports) = train_camal_with_reports(&corpus, &cfg);
+        assert_eq!(reports.len(), cfg.ensemble_size());
+        assert_eq!(camal.ensemble().len(), cfg.ensemble_size());
+        // Run the full pipeline on a test window; shapes must line up.
+        let w = &corpus.test[0];
+        let out = camal.localize(&w.values);
+        assert_eq!(out.status.len(), w.values.len());
+        assert!(out.detection.probability.is_finite());
+    }
+
+    #[test]
+    fn member_selection_shrinks_ensemble() {
+        let corpus = tiny_corpus();
+        let cfg = CamalConfig {
+            keep_members: Some(1),
+            ..CamalConfig::fast_test()
+        };
+        let camal = train_camal(&corpus, &cfg);
+        assert_eq!(camal.ensemble().len(), 1);
+    }
+
+    #[test]
+    fn predict_status_series_covers_complete_windows() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+        let corpus = Corpus::build(&ds, ApplianceKind::Kettle, 120);
+        let camal = train_camal(&corpus, &CamalConfig::fast_test());
+        let house = &ds.test_houses()[0];
+        let status = camal.predict_status_series(house.aggregate(), 120);
+        assert_eq!(status.len(), house.aggregate().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one labeled window")]
+    fn empty_corpus_panics() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+        let mut corpus = Corpus::build(&ds, ApplianceKind::Kettle, 120);
+        corpus.train.clear();
+        let _ = train_camal(&corpus, &CamalConfig::fast_test());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the CamAL pipeline's structural invariants,
+//! exercised through the public API with untrained (but deterministic)
+//! ensembles — the invariants must hold for *any* weights.
+
+use ds_camal::{Camal, CamalConfig, LocalizerConfig, ResNetEnsemble};
+use proptest::prelude::*;
+
+fn model(localizer: LocalizerConfig) -> Camal {
+    let cfg = CamalConfig {
+        localizer,
+        ..CamalConfig::fast_test()
+    };
+    Camal::from_parts(ResNetEnsemble::untrained(&cfg), cfg)
+}
+
+fn window_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.0f32..10_000.0, 16..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn localization_shapes_and_bounds(window in window_strategy()) {
+        let m = model(LocalizerConfig::default());
+        let out = m.localize(&window);
+        prop_assert_eq!(out.status.len(), window.len());
+        prop_assert_eq!(out.cam.len(), window.len());
+        prop_assert_eq!(out.attention.len(), window.len());
+        // Normalized + averaged CAM stays in [0, 1].
+        prop_assert!(out.cam.iter().all(|c| (0.0..=1.0).contains(c)));
+        // Attention is a sigmoid output.
+        prop_assert!(out.attention.iter().all(|s| (0.0..=1.0).contains(s)));
+        prop_assert!(out.status.iter().all(|&s| s <= 1));
+        prop_assert!((0.0..=1.0).contains(&out.detection.probability));
+    }
+
+    #[test]
+    fn detection_gate_forces_all_off(window in window_strategy()) {
+        let strict = model(LocalizerConfig {
+            detection_threshold: 1.0, // nothing exceeds 1.0
+            ..LocalizerConfig::default()
+        });
+        let out = strict.localize(&window);
+        prop_assert!(!out.detection.detected);
+        prop_assert!(out.status.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn ungated_status_is_superset_of_gated(window in window_strategy()) {
+        let gated = model(LocalizerConfig::default());
+        let ungated = model(LocalizerConfig {
+            gate_on_detection: false,
+            ..LocalizerConfig::default()
+        });
+        let g = gated.localize(&window);
+        let u = ungated.localize(&window);
+        for (a, b) in g.status.iter().zip(&u.status) {
+            prop_assert!(a <= b, "gating must only remove ON timesteps");
+        }
+    }
+
+    #[test]
+    fn cam_gate_only_removes_on_timesteps(window in window_strategy()) {
+        let base = model(LocalizerConfig {
+            gate_on_detection: false,
+            ..LocalizerConfig::default()
+        });
+        let gated = model(LocalizerConfig {
+            gate_on_detection: false,
+            cam_gate: 0.5,
+            ..LocalizerConfig::default()
+        });
+        let b = base.localize(&window);
+        let g = gated.localize(&window);
+        for (a, c) in g.status.iter().zip(&b.status) {
+            prop_assert!(a <= c);
+        }
+    }
+
+    #[test]
+    fn detection_probability_is_member_mean(window in window_strategy()) {
+        let m = model(LocalizerConfig::default());
+        let d = m.detect(&window);
+        let mean: f32 = d.member_probabilities.iter().map(|(_, p)| p).sum::<f32>()
+            / d.member_probabilities.len() as f32;
+        prop_assert!((d.probability - mean).abs() < 1e-5);
+        prop_assert_eq!(d.member_probabilities.len(), m.ensemble().len());
+    }
+
+    #[test]
+    fn scaling_input_changes_nothing(window in window_strategy(), scale in 0.5f32..20.0) {
+        // z-normalization makes the pipeline scale-invariant.
+        let m = model(LocalizerConfig::default());
+        let scaled: Vec<f32> = window.iter().map(|v| v * scale).collect();
+        let a = m.localize(&window);
+        let b = m.localize(&scaled);
+        prop_assert_eq!(a.status, b.status);
+        prop_assert!((a.detection.probability - b.detection.probability).abs() < 1e-3);
+    }
+}

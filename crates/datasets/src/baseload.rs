@@ -1,0 +1,187 @@
+//! Household base load: everything that is *not* one of the five target
+//! appliances, i.e. the "background" an appliance detector must see
+//! through. Composed of:
+//!
+//! - a constant **standby** floor (routers, clocks, chargers),
+//! - **fridge/freezer compressor cycling** (square wave, ~30–60 min period),
+//! - a time-of-day **lighting/entertainment** profile (morning and evening
+//!   humps scaled by household size), and
+//! - small wandering **miscellaneous** usage (random walk, clamped).
+//!
+//! All components are deterministic given the RNG, so house generation is
+//! reproducible.
+
+use crate::randutil::{normal, uniform};
+use ds_timeseries::time::minute_of_day;
+use ds_timeseries::TimeSeries;
+use rand::Rng;
+
+/// Parameters of a household's base load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseloadProfile {
+    /// Constant standby floor in watts.
+    pub standby_w: f32,
+    /// Fridge compressor draw when running, watts.
+    pub fridge_w: f32,
+    /// Fridge cycle period in minutes (on + off).
+    pub fridge_period_min: u32,
+    /// Fraction of the period the compressor runs, in (0, 1).
+    pub fridge_duty: f32,
+    /// Peak of the evening lighting/entertainment hump, watts.
+    pub evening_peak_w: f32,
+    /// Peak of the morning hump, watts.
+    pub morning_peak_w: f32,
+    /// Scale of the miscellaneous random walk, watts.
+    pub misc_scale_w: f32,
+}
+
+impl BaseloadProfile {
+    /// Draw a plausible household profile.
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        BaseloadProfile {
+            standby_w: uniform(rng, 40.0, 90.0),
+            fridge_w: uniform(rng, 70.0, 130.0),
+            fridge_period_min: uniform(rng, 30.0, 60.0) as u32,
+            fridge_duty: uniform(rng, 0.3, 0.5),
+            evening_peak_w: uniform(rng, 150.0, 400.0),
+            morning_peak_w: uniform(rng, 80.0, 200.0),
+            misc_scale_w: uniform(rng, 10.0, 40.0),
+        }
+    }
+
+    /// Generate the base-load series.
+    ///
+    /// `start` is the Unix timestamp of the first sample; `len` the number
+    /// of samples at `interval_secs`.
+    pub fn generate(
+        &self,
+        rng: &mut impl Rng,
+        start: i64,
+        interval_secs: u32,
+        len: usize,
+    ) -> TimeSeries {
+        let mut values = Vec::with_capacity(len);
+        let period_samples =
+            ((self.fridge_period_min as u64 * 60) / interval_secs.max(1) as u64).max(2) as usize;
+        let on_samples =
+            ((period_samples as f32 * self.fridge_duty).round() as usize).clamp(1, period_samples - 1);
+        // Random phase so houses don't cycle in lockstep.
+        let phase = rng.gen_range(0..period_samples);
+        let mut misc = 0.0f32;
+        for i in 0..len {
+            let t = start + i as i64 * interval_secs as i64;
+            let fridge = if (i + phase) % period_samples < on_samples {
+                self.fridge_w
+            } else {
+                0.0
+            };
+            let light = self.lighting_at(t);
+            // Mean-reverting random walk for miscellaneous devices.
+            misc = (misc * 0.98 + normal(rng, 0.0, self.misc_scale_w * 0.2)).clamp(
+                -self.misc_scale_w,
+                3.0 * self.misc_scale_w,
+            );
+            let v = self.standby_w + fridge + light + misc.max(0.0) + normal(rng, 0.0, 2.0);
+            values.push(v.max(0.0));
+        }
+        TimeSeries::from_values(start, interval_secs, values)
+    }
+
+    /// Deterministic lighting/entertainment level at a timestamp: a morning
+    /// hump around 07:30 and an evening hump around 20:00.
+    pub fn lighting_at(&self, timestamp: i64) -> f32 {
+        let m = minute_of_day(timestamp) as f32;
+        let morning = gaussian_bump(m, 450.0, 90.0) * self.morning_peak_w;
+        let evening = gaussian_bump(m, 1200.0, 150.0) * self.evening_peak_w;
+        morning + evening
+    }
+}
+
+fn gaussian_bump(x: f32, center: f32, width: f32) -> f32 {
+    let d = (x - center) / width;
+    (-0.5 * d * d).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile() -> (BaseloadProfile, StdRng) {
+        let mut rng = StdRng::seed_from_u64(1);
+        (BaseloadProfile::sample(&mut rng), rng)
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let (p, mut rng) = profile();
+        let ts = p.generate(&mut rng, 0, 60, 1440);
+        assert_eq!(ts.len(), 1440);
+        assert_eq!(ts.interval_secs(), 60);
+        assert!(!ts.has_missing());
+        assert!(ts.values().iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    #[test]
+    fn floor_is_at_least_standby_when_fridge_off() {
+        let (p, mut rng) = profile();
+        let ts = p.generate(&mut rng, 0, 60, 1440);
+        // Night samples (03:00-04:00) with fridge off should sit near standby.
+        let min_night = ts.values()[180..240]
+            .iter()
+            .cloned()
+            .fold(f32::INFINITY, f32::min);
+        assert!(min_night > p.standby_w * 0.5, "night floor {min_night}");
+    }
+
+    #[test]
+    fn fridge_cycles_visibly() {
+        let (mut p, mut rng) = profile();
+        p.evening_peak_w = 0.0;
+        p.morning_peak_w = 0.0;
+        p.misc_scale_w = 0.0;
+        let ts = p.generate(&mut rng, 0, 60, 1440);
+        let s = ds_timeseries::stats::summarize(&ts).unwrap();
+        // Bimodal standby/standby+fridge: spread must be close to fridge power.
+        assert!(
+            s.max - s.min > p.fridge_w * 0.7,
+            "fridge swing too small: {} ({})",
+            s.max - s.min,
+            p.fridge_w
+        );
+        // Duty cycle shows up in the mean.
+        let expected = p.standby_w + p.fridge_w * p.fridge_duty;
+        assert!((s.mean - expected).abs() < p.fridge_w * 0.25, "mean {} vs {expected}", s.mean);
+    }
+
+    #[test]
+    fn evening_exceeds_night_lighting() {
+        let (p, _) = profile();
+        let night = p.lighting_at(3 * 3600);
+        let evening = p.lighting_at(20 * 3600);
+        assert!(evening > night + p.evening_peak_w * 0.5);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let pa = BaseloadProfile::sample(&mut a);
+        let pb = BaseloadProfile::sample(&mut b);
+        assert_eq!(pa, pb);
+        let ta = pa.generate(&mut a, 0, 60, 100);
+        let tb = pb.generate(&mut b, 0, 60, 100);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn works_at_native_rates() {
+        let (p, mut rng) = profile();
+        for interval in [1u32, 6, 8] {
+            let ts = p.generate(&mut rng, 0, interval, 1000);
+            assert_eq!(ts.len(), 1000);
+            assert!(ts.values().iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The dataset catalog: the app-facing registry of generated datasets.
+//!
+//! DeviceScope's sidebar offers a dataset select box; behind it sits this
+//! catalog, which lazily generates and caches each preset so switching
+//! datasets in the app (or in the benchmark harness) does not re-simulate.
+
+use crate::dataset::{Dataset, DatasetConfig, DatasetPreset};
+use std::collections::BTreeMap;
+
+/// Lazily generated collection of datasets, keyed by preset.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    /// Override configurations (falls back to each preset's default).
+    overrides: BTreeMap<&'static str, DatasetConfig>,
+    cache: BTreeMap<&'static str, Dataset>,
+}
+
+impl Catalog {
+    /// A catalog that generates every preset with its default configuration.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// A catalog with shrunken datasets (for tests and quick demos).
+    pub fn tiny(num_houses: u32, days: u32) -> Catalog {
+        let mut overrides = BTreeMap::new();
+        for preset in DatasetPreset::ALL {
+            overrides.insert(preset.name(), DatasetConfig::tiny(preset, num_houses, days));
+        }
+        Catalog {
+            overrides,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Set the configuration used for one preset (drops any cached copy).
+    pub fn configure(&mut self, config: DatasetConfig) {
+        let key = config.preset.name();
+        self.cache.remove(key);
+        self.overrides.insert(key, config);
+    }
+
+    /// Names of the available datasets, in display order.
+    pub fn names(&self) -> Vec<&'static str> {
+        DatasetPreset::ALL.iter().map(|p| p.name()).collect()
+    }
+
+    /// Get (generating and caching on first access) a dataset by preset.
+    pub fn get(&mut self, preset: DatasetPreset) -> &Dataset {
+        let key = preset.name();
+        if !self.cache.contains_key(key) {
+            let config = self
+                .overrides
+                .get(key)
+                .cloned()
+                .unwrap_or_else(|| preset.config());
+            self.cache.insert(key, Dataset::generate(config));
+        }
+        self.cache.get(key).expect("inserted above")
+    }
+
+    /// Get a dataset by display name (as shown in the app's select box).
+    pub fn get_by_name(&mut self, name: &str) -> Option<&Dataset> {
+        let preset = DatasetPreset::parse(name)?;
+        Some(self.get(preset))
+    }
+
+    /// Whether a preset has already been generated.
+    pub fn is_cached(&self, preset: DatasetPreset) -> bool {
+        self.cache.contains_key(preset.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazy_generation_and_caching() {
+        let mut cat = Catalog::tiny(3, 1);
+        assert!(!cat.is_cached(DatasetPreset::UkdaleLike));
+        let n = cat.get(DatasetPreset::UkdaleLike).houses().len();
+        assert_eq!(n, 3);
+        assert!(cat.is_cached(DatasetPreset::UkdaleLike));
+        assert!(!cat.is_cached(DatasetPreset::RefitLike));
+        // Second access returns the cached dataset (same houses).
+        let a0 = cat.get(DatasetPreset::UkdaleLike).houses()[0].aggregate().clone();
+        let b0 = cat.get(DatasetPreset::UkdaleLike).houses()[0].aggregate().clone();
+        assert!(a0.same_as(&b0, 0.0)); // NaN-aware: dropouts defeat `==`
+    }
+
+    #[test]
+    fn same_as_distinguishes_content() {
+        let mut cat = Catalog::tiny(2, 1);
+        let a = cat.get(DatasetPreset::UkdaleLike).houses()[0].aggregate().clone();
+        let b = cat.get(DatasetPreset::UkdaleLike).houses()[1].aggregate().clone();
+        assert!(!a.same_as(&b, 0.0));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut cat = Catalog::tiny(2, 1);
+        assert!(cat.get_by_name("REFIT").is_some());
+        assert!(cat.get_by_name("ideal").is_some());
+        assert!(cat.get_by_name("unknown").is_none());
+        assert_eq!(cat.names(), vec!["UKDALE", "REFIT", "IDEAL"]);
+    }
+
+    #[test]
+    fn configure_overrides_and_invalidates() {
+        let mut cat = Catalog::tiny(2, 1);
+        let _ = cat.get(DatasetPreset::IdealLike);
+        assert!(cat.is_cached(DatasetPreset::IdealLike));
+        cat.configure(DatasetConfig::tiny(DatasetPreset::IdealLike, 4, 1));
+        assert!(!cat.is_cached(DatasetPreset::IdealLike));
+        assert_eq!(cat.get(DatasetPreset::IdealLike).houses().len(), 4);
+    }
+}

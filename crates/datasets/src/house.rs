@@ -1,0 +1,316 @@
+//! The household simulator: composes base load, appliance activations and
+//! the measurement model into one house's recording — an aggregate mains
+//! channel plus submetered per-appliance channels and ground-truth status.
+//!
+//! Invariant (tested): before noise, the aggregate equals base load plus the
+//! sum of appliance channels at every timestep. The noisy aggregate is what
+//! models see; the clean channels play the role of the real datasets'
+//! submeter recordings, used only for evaluation and label derivation.
+
+use crate::appliance::ApplianceKind;
+use crate::baseload::BaseloadProfile;
+use crate::noise::NoiseModel;
+use crate::occupancy::{schedule, Activation};
+use ds_timeseries::{StatusSeries, TimeSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Static description of a house to simulate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HouseConfig {
+    /// Identifier within its dataset.
+    pub house_id: u32,
+    /// Unix timestamp of the first sample.
+    pub start: i64,
+    /// Number of simulated days.
+    pub days: u32,
+    /// Sampling interval of the recording in seconds.
+    pub interval_secs: u32,
+    /// Appliances the household possesses.
+    pub appliances: Vec<ApplianceKind>,
+    /// Multiplier on every appliance's mean daily activation rate.
+    pub usage_scale: f32,
+    /// Measurement model applied to the aggregate channel.
+    pub noise: NoiseModel,
+}
+
+impl HouseConfig {
+    /// Number of samples implied by `days` and `interval_secs`.
+    pub fn num_samples(&self) -> usize {
+        (self.days as u64 * 86_400 / self.interval_secs.max(1) as u64) as usize
+    }
+}
+
+/// Minimum spacing between successive activations of one appliance, chosen
+/// above the maximum cycle duration so an appliance never overlaps itself.
+fn min_gap_secs(kind: ApplianceKind) -> i64 {
+    match kind {
+        ApplianceKind::Kettle => 15 * 60,
+        ApplianceKind::Microwave => 20 * 60,
+        ApplianceKind::Dishwasher => 4 * 3600,
+        ApplianceKind::WashingMachine => 4 * 3600,
+        ApplianceKind::Shower => 40 * 60,
+    }
+}
+
+/// A fully simulated household recording.
+#[derive(Debug, Clone)]
+pub struct House {
+    id: u32,
+    config: HouseConfig,
+    aggregate: TimeSeries,
+    channels: BTreeMap<ApplianceKind, TimeSeries>,
+    status: BTreeMap<ApplianceKind, StatusSeries>,
+    activations: BTreeMap<ApplianceKind, Vec<Activation>>,
+}
+
+impl House {
+    /// Simulate a house. Deterministic in `(config, seed)`.
+    pub fn simulate(config: HouseConfig, seed: u64) -> House {
+        let mut rng = StdRng::seed_from_u64(seed ^ (config.house_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let len = config.num_samples();
+        let interval = config.interval_secs;
+        let start = config.start;
+
+        let baseload = BaseloadProfile::sample(&mut rng).generate(&mut rng, start, interval, len);
+        let mut aggregate = baseload;
+
+        let mut channels = BTreeMap::new();
+        let mut status = BTreeMap::new();
+        let mut activations = BTreeMap::new();
+        for &kind in &config.appliances {
+            let acts = schedule(
+                &mut rng,
+                kind,
+                start,
+                config.days,
+                config.usage_scale,
+                min_gap_secs(kind),
+            );
+            let channel = render_channel(&mut rng, kind, &acts, start, interval, len);
+            aggregate
+                .add_assign(&channel)
+                .expect("channel is aligned by construction");
+            status.insert(kind, StatusSeries::from_power(&channel, kind.on_threshold_w()));
+            channels.insert(kind, channel);
+            activations.insert(kind, acts);
+        }
+
+        let aggregate = config.noise.apply(&mut rng, &aggregate);
+        House {
+            id: config.house_id,
+            config,
+            aggregate,
+            channels,
+            status,
+            activations,
+        }
+    }
+
+    /// House identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The configuration the house was simulated from.
+    pub fn config(&self) -> &HouseConfig {
+        &self.config
+    }
+
+    /// The (noisy) aggregate mains channel — what a smart meter records.
+    pub fn aggregate(&self) -> &TimeSeries {
+        &self.aggregate
+    }
+
+    /// Whether the household possesses `kind` — the paper's IDEAL-style
+    /// *possession weak label*.
+    pub fn possesses(&self, kind: ApplianceKind) -> bool {
+        self.channels.contains_key(&kind)
+    }
+
+    /// The clean submetered channel of an appliance, if possessed.
+    pub fn channel(&self, kind: ApplianceKind) -> Option<&TimeSeries> {
+        self.channels.get(&kind)
+    }
+
+    /// Ground-truth on/off status of an appliance. For a non-possessed
+    /// appliance this is an all-off status (the appliance is never on),
+    /// which is exactly what evaluation needs.
+    pub fn status(&self, kind: ApplianceKind) -> StatusSeries {
+        self.status.get(&kind).cloned().unwrap_or_else(|| {
+            StatusSeries::all_off(
+                self.aggregate.start(),
+                self.aggregate.interval_secs(),
+                self.aggregate.len(),
+            )
+        })
+    }
+
+    /// Scheduled activations of an appliance (empty if not possessed).
+    pub fn activations(&self, kind: ApplianceKind) -> &[Activation] {
+        self.activations.get(&kind).map_or(&[], Vec::as_slice)
+    }
+
+    /// The appliances this house possesses, in stable order.
+    pub fn appliances(&self) -> Vec<ApplianceKind> {
+        self.channels.keys().copied().collect()
+    }
+}
+
+/// Render an appliance channel by pasting activation profiles onto zeros.
+fn render_channel(
+    rng: &mut impl Rng,
+    kind: ApplianceKind,
+    activations: &[Activation],
+    start: i64,
+    interval_secs: u32,
+    len: usize,
+) -> TimeSeries {
+    let mut channel = TimeSeries::zeros(start, interval_secs, len);
+    for act in activations {
+        let profile = kind.sample_activation(rng, interval_secs);
+        let Some(idx) = channel.index_of(act.start) else {
+            continue;
+        };
+        let values = channel.values_mut();
+        for (k, &p) in profile.iter().enumerate() {
+            let Some(slot) = values.get_mut(idx + k) else {
+                break; // activation runs past the recording end
+            };
+            *slot += p;
+        }
+    }
+    channel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(appliances: Vec<ApplianceKind>, noise: NoiseModel) -> HouseConfig {
+        HouseConfig {
+            house_id: 1,
+            start: 0,
+            days: 7,
+            interval_secs: 60,
+            appliances,
+            usage_scale: 1.0,
+            noise,
+        }
+    }
+
+    #[test]
+    fn sample_count_matches_config() {
+        let c = config(vec![ApplianceKind::Kettle], NoiseModel::none());
+        assert_eq!(c.num_samples(), 7 * 1440);
+        let h = House::simulate(c, 1);
+        assert_eq!(h.aggregate().len(), 7 * 1440);
+    }
+
+    #[test]
+    fn power_balance_without_noise() {
+        let c = config(
+            vec![ApplianceKind::Kettle, ApplianceKind::Dishwasher],
+            NoiseModel::none(),
+        );
+        let h = House::simulate(c, 7);
+        // aggregate >= sum of channels everywhere (base load is nonnegative).
+        let k = h.channel(ApplianceKind::Kettle).unwrap();
+        let d = h.channel(ApplianceKind::Dishwasher).unwrap();
+        for i in 0..h.aggregate().len() {
+            let agg = h.aggregate().values()[i];
+            let sum = k.values()[i] + d.values()[i];
+            assert!(
+                agg >= sum - 1e-3,
+                "aggregate {agg} below channel sum {sum} at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn possession_and_status() {
+        let c = config(vec![ApplianceKind::Kettle], NoiseModel::none());
+        let h = House::simulate(c, 3);
+        assert!(h.possesses(ApplianceKind::Kettle));
+        assert!(!h.possesses(ApplianceKind::Shower));
+        assert!(h.channel(ApplianceKind::Shower).is_none());
+        // Non-possessed appliance: all-off status of full length.
+        let s = h.status(ApplianceKind::Shower);
+        assert_eq!(s.len(), h.aggregate().len());
+        assert!(!s.any_on());
+        // Possessed kettle is used at least once a week with rate 4/day.
+        let ks = h.status(ApplianceKind::Kettle);
+        assert!(ks.any_on(), "kettle never on in a week");
+        assert_eq!(h.appliances(), vec![ApplianceKind::Kettle]);
+    }
+
+    #[test]
+    fn status_matches_channel_threshold() {
+        let c = config(vec![ApplianceKind::Microwave], NoiseModel::none());
+        let h = House::simulate(c, 5);
+        let ch = h.channel(ApplianceKind::Microwave).unwrap();
+        let st = h.status(ApplianceKind::Microwave);
+        for (v, s) in ch.values().iter().zip(st.states()) {
+            assert_eq!(*s == 1, *v > ApplianceKind::Microwave.on_threshold_w());
+        }
+    }
+
+    #[test]
+    fn activations_visible_in_aggregate() {
+        let c = config(vec![ApplianceKind::Shower], NoiseModel::none());
+        let h = House::simulate(c, 7);
+        let acts = h.activations(ApplianceKind::Shower);
+        assert!(!acts.is_empty());
+        for act in acts {
+            let idx = h.aggregate().index_of(act.start).unwrap();
+            // Within the next few samples the aggregate must jump above 6 kW.
+            let peak = h.aggregate().values()[idx..(idx + 5).min(h.aggregate().len())]
+                .iter()
+                .cloned()
+                .fold(0.0f32, f32::max);
+            assert!(peak > 6000.0, "shower activation invisible at {idx}: {peak}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let c = config(vec![ApplianceKind::Kettle], NoiseModel::none());
+        let a = House::simulate(c.clone(), 99);
+        let b = House::simulate(c, 99);
+        assert_eq!(a.aggregate(), b.aggregate());
+        let c2 = config(vec![ApplianceKind::Kettle], NoiseModel::none());
+        let d = House::simulate(c2, 100);
+        assert_ne!(a.aggregate(), d.aggregate());
+    }
+
+    #[test]
+    fn noise_injects_missing_data() {
+        let noise = NoiseModel {
+            sigma_w: 10.0,
+            dropout_start_prob: 0.005,
+            dropout_mean_len: 5.0,
+            quantize_w: 1.0,
+        };
+        let h = House::simulate(config(vec![ApplianceKind::Kettle], noise), 11);
+        assert!(h.aggregate().has_missing());
+        // Channels stay clean (they model submeter ground truth).
+        assert!(!h.channel(ApplianceKind::Kettle).unwrap().has_missing());
+    }
+
+    #[test]
+    fn activation_at_recording_end_is_truncated() {
+        // 1-day recording, dishwasher scheduled late may overrun; must not panic.
+        let c = HouseConfig {
+            house_id: 3,
+            start: 0,
+            days: 1,
+            interval_secs: 60,
+            appliances: vec![ApplianceKind::Dishwasher],
+            usage_scale: 3.0,
+            noise: NoiseModel::none(),
+        };
+        let h = House::simulate(c, 5);
+        assert_eq!(h.aggregate().len(), 1440);
+    }
+}

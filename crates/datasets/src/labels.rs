@@ -1,0 +1,323 @@
+//! Label derivation: the heart of the weak-supervision setting.
+//!
+//! §II-A of the paper: *"For the IDEAL dataset, we assign to each
+//! subsequence the label of possession of the appliance provided in the
+//! survey questionnaire. For the two other datasets (UKDALE and REFIT), we
+//! use the corresponding disaggregated appliance load curve to assign to
+//! each sub-sequence a positive or negative label […] only this label is
+//! used for training."*
+//!
+//! This module extracts exactly those training examples from simulated
+//! houses: gap-free aggregate subsequences paired with
+//!
+//! - a **weak label** (one bit per window — all CamAL ever trains on), and
+//! - the **strong labels** (per-timestep status), carried along solely for
+//!   the strong-label baselines and for evaluation.
+//!
+//! It also accounts for *label counts*, the currency of Figure 3: a weak
+//! method consumes 1 label per window; a seq2seq method consumes
+//! `window_len` labels per window.
+
+use crate::appliance::ApplianceKind;
+use crate::dataset::Dataset;
+use crate::house::House;
+use ds_timeseries::window::subsequences_complete;
+use serde::{Deserialize, Serialize};
+
+/// Where a window's weak label came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeakLabel {
+    /// Household possession survey (IDEAL style): every window of a house
+    /// carries the house's possession bit.
+    Possession,
+    /// Disaggregated-channel activation (UK-DALE / REFIT style): a window is
+    /// positive iff the appliance was ON at some timestep inside it.
+    WindowActivation,
+}
+
+/// One training/evaluation example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledWindow {
+    /// House the window came from.
+    pub house_id: u32,
+    /// Unix timestamp of the window start.
+    pub start: i64,
+    /// Aggregate power values (gap-free, watts).
+    pub values: Vec<f32>,
+    /// The weak (window-level) label: appliance present?
+    pub weak: bool,
+    /// Ground-truth per-timestep status (evaluation / strong baselines only).
+    pub strong: Vec<u8>,
+}
+
+impl LabeledWindow {
+    /// Number of timesteps.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Number of ON timesteps in the ground truth.
+    pub fn on_count(&self) -> usize {
+        self.strong.iter().filter(|&&s| s == 1).count()
+    }
+}
+
+/// Extract labeled windows for one appliance from one house.
+///
+/// Windows are gap-free aggregate subsequences of `window_samples` values
+/// taken every `stride` samples. The strong labels are sliced from the
+/// house's ground-truth status; the weak label follows `mode`.
+pub fn labeled_windows(
+    house: &House,
+    kind: ApplianceKind,
+    mode: WeakLabel,
+    window_samples: usize,
+    stride: usize,
+) -> Vec<LabeledWindow> {
+    let status = house.status(kind);
+    let possession = house.possesses(kind);
+    subsequences_complete(house.aggregate(), window_samples, stride)
+        .expect("window parameters validated by caller")
+        .into_iter()
+        .map(|w| {
+            let lo = house
+                .aggregate()
+                .index_of(w.start())
+                .expect("window start lies inside the aggregate");
+            let strong = status.states()[lo..lo + window_samples].to_vec();
+            let weak = match mode {
+                WeakLabel::Possession => possession,
+                WeakLabel::WindowActivation => strong.contains(&1),
+            };
+            LabeledWindow {
+                house_id: house.id(),
+                start: w.start(),
+                values: w.into_values(),
+                weak,
+                strong,
+            }
+        })
+        .collect()
+}
+
+/// A train/test corpus of labeled windows for one (dataset, appliance) pair.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Appliance the corpus targets.
+    pub kind: ApplianceKind,
+    /// Weak-label mode the dataset uses.
+    pub mode: WeakLabel,
+    /// Window length in samples.
+    pub window_samples: usize,
+    /// Training windows (from train houses only).
+    pub train: Vec<LabeledWindow>,
+    /// Test windows (from test houses only).
+    pub test: Vec<LabeledWindow>,
+}
+
+impl Corpus {
+    /// Build the corpus for `kind` from a dataset, using the dataset's
+    /// label style (possession for IDEAL-like, activation otherwise) and
+    /// non-overlapping windows.
+    pub fn build(dataset: &Dataset, kind: ApplianceKind, window_samples: usize) -> Corpus {
+        let mode = if dataset.preset().uses_possession_labels() {
+            WeakLabel::Possession
+        } else {
+            WeakLabel::WindowActivation
+        };
+        let collect = |houses: &[House]| {
+            houses
+                .iter()
+                .flat_map(|h| labeled_windows(h, kind, mode, window_samples, window_samples))
+                .collect::<Vec<_>>()
+        };
+        Corpus {
+            kind,
+            mode,
+            window_samples,
+            train: collect(dataset.train_houses()),
+            test: collect(dataset.test_houses()),
+        }
+    }
+
+    /// Count of positive training windows.
+    pub fn train_positives(&self) -> usize {
+        self.train.iter().filter(|w| w.weak).count()
+    }
+
+    /// Balance the training set: keep all positives and at most
+    /// `ratio` negatives per positive (deterministic decimation, no RNG).
+    pub fn balance_train(&mut self, ratio: usize) {
+        let positives = self.train_positives();
+        let max_neg = positives.saturating_mul(ratio.max(1)).max(1);
+        let mut kept = Vec::with_capacity(self.train.len().min(positives + max_neg));
+        let negatives: Vec<usize> = self
+            .train
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.weak)
+            .map(|(i, _)| i)
+            .collect();
+        let keep_every = (negatives.len() / max_neg.max(1)).max(1);
+        let keep_neg: std::collections::BTreeSet<usize> = negatives
+            .iter()
+            .step_by(keep_every)
+            .take(max_neg)
+            .copied()
+            .collect();
+        for (i, w) in self.train.drain(..).enumerate() {
+            if w.weak || keep_neg.contains(&i) {
+                kept.push(w);
+            }
+        }
+        self.train = kept;
+    }
+
+    /// Truncate the training set to the first `n` windows (label-budget
+    /// sweeps); keeps the positive/negative interleaving intact.
+    pub fn truncate_train(&mut self, n: usize) {
+        self.train.truncate(n);
+    }
+
+    /// Weak-label consumption of this training set: one label per window.
+    pub fn weak_label_count(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Strong-label consumption: one label per timestep per window — what a
+    /// seq2seq NILM method must be given to train on the same corpus.
+    pub fn strong_label_count(&self) -> usize {
+        self.train.len() * self.window_samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, DatasetPreset};
+    use crate::house::HouseConfig;
+    use crate::noise::NoiseModel;
+
+    fn house(appliances: Vec<ApplianceKind>, days: u32) -> House {
+        House::simulate(
+            HouseConfig {
+                house_id: 7,
+                start: 0,
+                days,
+                interval_secs: 60,
+                appliances,
+                usage_scale: 1.2,
+                noise: NoiseModel::none(),
+            },
+            21,
+        )
+    }
+
+    #[test]
+    fn activation_labels_match_ground_truth() {
+        let h = house(vec![ApplianceKind::Kettle], 4);
+        let ws = labeled_windows(&h, ApplianceKind::Kettle, WeakLabel::WindowActivation, 360, 360);
+        assert_eq!(ws.len(), 4 * 4); // 4 days of 6-hour windows
+        for w in &ws {
+            assert_eq!(w.weak, w.strong.contains(&1));
+            assert_eq!(w.len(), 360);
+            assert_eq!(w.house_id, 7);
+        }
+        // A kettle used ~4x/day: both positive and negative windows exist.
+        assert!(ws.iter().any(|w| w.weak));
+        assert!(ws.iter().any(|w| !w.weak));
+    }
+
+    #[test]
+    fn possession_labels_are_constant_per_house() {
+        let h = house(vec![ApplianceKind::Kettle], 2);
+        let ws = labeled_windows(&h, ApplianceKind::Kettle, WeakLabel::Possession, 360, 360);
+        assert!(ws.iter().all(|w| w.weak));
+        let ws = labeled_windows(&h, ApplianceKind::Shower, WeakLabel::Possession, 360, 360);
+        assert!(ws.iter().all(|w| !w.weak));
+        // Strong labels of a non-possessed appliance are all zero.
+        assert!(ws.iter().all(|w| w.on_count() == 0));
+    }
+
+    #[test]
+    fn corpus_split_uses_distinct_houses() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::RefitLike, 6, 2));
+        let corpus = Corpus::build(&ds, ApplianceKind::Kettle, 360);
+        assert_eq!(corpus.mode, WeakLabel::WindowActivation);
+        let train_ids: std::collections::BTreeSet<u32> =
+            corpus.train.iter().map(|w| w.house_id).collect();
+        let test_ids: std::collections::BTreeSet<u32> =
+            corpus.test.iter().map(|w| w.house_id).collect();
+        assert!(train_ids.is_disjoint(&test_ids));
+        assert!(!corpus.train.is_empty());
+        assert!(!corpus.test.is_empty());
+    }
+
+    #[test]
+    fn ideal_corpus_uses_possession() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::IdealLike, 6, 1));
+        let corpus = Corpus::build(&ds, ApplianceKind::Dishwasher, 360);
+        assert_eq!(corpus.mode, WeakLabel::Possession);
+    }
+
+    #[test]
+    fn label_accounting() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+        let corpus = Corpus::build(&ds, ApplianceKind::Kettle, 360);
+        assert_eq!(corpus.weak_label_count(), corpus.train.len());
+        assert_eq!(corpus.strong_label_count(), corpus.train.len() * 360);
+        assert_eq!(corpus.strong_label_count() / corpus.weak_label_count(), 360);
+    }
+
+    #[test]
+    fn balance_caps_negatives() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::RefitLike, 6, 3));
+        let mut corpus = Corpus::build(&ds, ApplianceKind::Dishwasher, 360);
+        let pos_before = corpus.train_positives();
+        corpus.balance_train(1);
+        let pos_after = corpus.train_positives();
+        let neg_after = corpus.train.len() - pos_after;
+        assert_eq!(pos_before, pos_after, "balance must keep all positives");
+        assert!(neg_after <= pos_after.max(1), "negatives {neg_after} > positives {pos_after}");
+    }
+
+    #[test]
+    fn truncate_limits_label_budget() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+        let mut corpus = Corpus::build(&ds, ApplianceKind::Kettle, 360);
+        corpus.truncate_train(3);
+        assert_eq!(corpus.weak_label_count(), 3);
+        assert_eq!(corpus.strong_label_count(), 3 * 360);
+    }
+
+    #[test]
+    fn windows_skip_dropouts() {
+        let noisy = House::simulate(
+            HouseConfig {
+                house_id: 1,
+                start: 0,
+                days: 3,
+                interval_secs: 60,
+                appliances: vec![ApplianceKind::Kettle],
+                usage_scale: 1.0,
+                noise: NoiseModel {
+                    sigma_w: 5.0,
+                    dropout_start_prob: 0.01,
+                    dropout_mean_len: 10.0,
+                    quantize_w: 0.0,
+                },
+            },
+            3,
+        );
+        let ws = labeled_windows(&noisy, ApplianceKind::Kettle, WeakLabel::WindowActivation, 360, 360);
+        assert!(ws.len() < 3 * 4, "gappy windows must be omitted");
+        for w in &ws {
+            assert!(w.values.iter().all(|v| !v.is_nan()));
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Measurement imperfections: metering noise and transmission dropouts.
+//!
+//! Real smart-meter channels carry additive sensor noise and lose readings
+//! in bursts (radio dropouts, gateway reboots). The injectors here apply
+//! both to a clean simulated aggregate, so the training pipeline's
+//! missing-data handling (subsequence omission) is actually exercised.
+
+use crate::randutil::{coin, normal, uniform};
+use ds_timeseries::TimeSeries;
+use rand::Rng;
+
+/// Parameters of the measurement model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Standard deviation of additive Gaussian noise, watts.
+    pub sigma_w: f32,
+    /// Probability per sample of *starting* a dropout burst.
+    pub dropout_start_prob: f32,
+    /// Mean dropout burst length in samples.
+    pub dropout_mean_len: f32,
+    /// Meter quantization step in watts (0 disables quantization).
+    pub quantize_w: f32,
+}
+
+impl NoiseModel {
+    /// A clean channel: no noise, no dropouts.
+    pub fn none() -> Self {
+        NoiseModel {
+            sigma_w: 0.0,
+            dropout_start_prob: 0.0,
+            dropout_mean_len: 0.0,
+            quantize_w: 0.0,
+        }
+    }
+
+    /// Apply the model to a series, returning the degraded copy.
+    pub fn apply(&self, rng: &mut impl Rng, series: &TimeSeries) -> TimeSeries {
+        let mut values = series.values().to_vec();
+        if self.sigma_w > 0.0 || self.quantize_w > 0.0 {
+            for v in &mut values {
+                if v.is_nan() {
+                    continue;
+                }
+                let mut x = *v;
+                if self.sigma_w > 0.0 {
+                    x += normal(rng, 0.0, self.sigma_w);
+                }
+                if self.quantize_w > 0.0 {
+                    x = (x / self.quantize_w).round() * self.quantize_w;
+                }
+                *v = x.max(0.0);
+            }
+        }
+        if self.dropout_start_prob > 0.0 && self.dropout_mean_len > 0.0 {
+            let mut i = 0usize;
+            while i < values.len() {
+                if coin(rng, self.dropout_start_prob) {
+                    // Geometric-ish burst length around the mean.
+                    let len = uniform(rng, 1.0, 2.0 * self.dropout_mean_len).round() as usize;
+                    let end = (i + len.max(1)).min(values.len());
+                    for v in &mut values[i..end] {
+                        *v = f32::NAN;
+                    }
+                    i = end;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        TimeSeries::from_values(series.start(), series.interval_secs(), values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn clean() -> TimeSeries {
+        TimeSeries::from_values(0, 60, vec![500.0; 2000])
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = NoiseModel::none().apply(&mut rng, &clean());
+        assert_eq!(out, clean());
+    }
+
+    #[test]
+    fn gaussian_noise_has_requested_spread() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = NoiseModel {
+            sigma_w: 20.0,
+            ..NoiseModel::none()
+        };
+        let out = model.apply(&mut rng, &clean());
+        let s = ds_timeseries::stats::summarize(&out).unwrap();
+        assert!((s.mean - 500.0).abs() < 2.0, "mean {}", s.mean);
+        assert!((s.std - 20.0).abs() < 2.0, "std {}", s.std);
+    }
+
+    #[test]
+    fn noise_never_goes_negative() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let zero = TimeSeries::zeros(0, 60, 1000);
+        let model = NoiseModel {
+            sigma_w: 50.0,
+            ..NoiseModel::none()
+        };
+        let out = model.apply(&mut rng, &zero);
+        assert!(out.values().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn quantization_snaps_to_grid() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ts = TimeSeries::from_values(0, 60, vec![503.0, 507.0, 512.4]);
+        let model = NoiseModel {
+            quantize_w: 10.0,
+            ..NoiseModel::none()
+        };
+        let out = model.apply(&mut rng, &ts);
+        assert_eq!(out.values(), &[500.0, 510.0, 510.0]);
+    }
+
+    #[test]
+    fn dropouts_create_bursts_at_expected_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let model = NoiseModel {
+            dropout_start_prob: 0.01,
+            dropout_mean_len: 5.0,
+            ..NoiseModel::none()
+        };
+        let out = model.apply(&mut rng, &clean());
+        let ratio = out.missing_ratio();
+        // Expected missing ratio ~ p * mean_len / (1 + p * mean_len) ≈ 0.048.
+        assert!(ratio > 0.01 && ratio < 0.12, "missing ratio {ratio}");
+        let gaps = ds_timeseries::missing::find_gaps(&out);
+        assert!(!gaps.is_empty());
+        let mean_len: f32 =
+            gaps.iter().map(|g| g.len() as f32).sum::<f32>() / gaps.len() as f32;
+        assert!(mean_len > 1.5, "bursts, not singletons: {mean_len}");
+    }
+
+    #[test]
+    fn existing_missing_survives() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut ts = clean();
+        ts.values_mut()[10] = f32::NAN;
+        let model = NoiseModel {
+            sigma_w: 5.0,
+            ..NoiseModel::none()
+        };
+        let out = model.apply(&mut rng, &ts);
+        assert!(out.values()[10].is_nan());
+    }
+}

@@ -1,0 +1,180 @@
+//! Occupancy-driven activation scheduling.
+//!
+//! When an appliance is used is as characteristic as how: kettles cluster at
+//! breakfast and tea time, showers in the morning, dishwashers after dinner,
+//! washing machines in the daytime. The scheduler draws, day by day, a
+//! Poisson number of activations per appliance and places each start time by
+//! sampling the appliance's hour-of-day preference histogram, with a minimum
+//! separation so activations of one appliance never overlap themselves.
+
+use crate::appliance::ApplianceKind;
+use crate::randutil::{poisson, uniform, weighted_index};
+use ds_timeseries::time::DAY_SECS;
+use rand::Rng;
+
+/// Hour-of-day preference weights (24 entries, unnormalized) for starting
+/// an activation of the given appliance.
+pub fn hour_preferences(kind: ApplianceKind) -> [f32; 24] {
+    match kind {
+        // Breakfast, mid-morning, afternoon tea, evening.
+        ApplianceKind::Kettle => [
+            0.1, 0.1, 0.1, 0.1, 0.2, 0.5, 2.0, 3.0, 2.5, 1.5, 1.5, 1.2, 1.5, 1.2, 1.0, 1.5, 2.0,
+            2.0, 1.8, 1.5, 1.2, 0.8, 0.4, 0.2,
+        ],
+        // Meal times.
+        ApplianceKind::Microwave => [
+            0.1, 0.1, 0.1, 0.1, 0.1, 0.2, 0.8, 1.5, 1.0, 0.5, 0.5, 1.5, 2.5, 1.5, 0.6, 0.5, 1.0,
+            2.0, 2.5, 1.8, 1.0, 0.6, 0.3, 0.1,
+        ],
+        // After meals, many households run it overnight on cheap tariffs.
+        ApplianceKind::Dishwasher => [
+            0.4, 0.3, 0.2, 0.1, 0.1, 0.1, 0.3, 0.8, 1.0, 0.8, 0.5, 0.5, 1.0, 1.2, 0.8, 0.5, 0.5,
+            0.8, 1.5, 2.5, 2.5, 2.0, 1.2, 0.6,
+        ],
+        // Daytime chore.
+        ApplianceKind::WashingMachine => [
+            0.1, 0.1, 0.1, 0.1, 0.1, 0.2, 0.8, 1.5, 2.5, 2.5, 2.0, 1.8, 1.5, 1.5, 1.2, 1.0, 1.0,
+            1.2, 1.0, 0.8, 0.5, 0.3, 0.2, 0.1,
+        ],
+        // Morning dominant, smaller evening peak.
+        ApplianceKind::Shower => [
+            0.1, 0.1, 0.1, 0.1, 0.3, 1.0, 3.0, 3.5, 2.5, 1.0, 0.5, 0.3, 0.3, 0.3, 0.3, 0.4, 0.6,
+            1.0, 1.5, 1.5, 1.2, 0.8, 0.4, 0.2,
+        ],
+    }
+}
+
+/// One scheduled activation: start timestamp (seconds) — the signature
+/// generator decides the duration later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Activation {
+    /// Unix timestamp (seconds) at which the activation begins.
+    pub start: i64,
+}
+
+/// Schedule activations of `kind` over `[start, start + days*86400)`.
+///
+/// `usage_scale` multiplies the appliance's mean daily rate (captures
+/// heavier/lighter-usage households). Activations are sorted and separated
+/// by at least `min_gap_secs`.
+pub fn schedule(
+    rng: &mut impl Rng,
+    kind: ApplianceKind,
+    start: i64,
+    days: u32,
+    usage_scale: f32,
+    min_gap_secs: i64,
+) -> Vec<Activation> {
+    let prefs = hour_preferences(kind);
+    let mut starts: Vec<i64> = Vec::new();
+    for day in 0..days as i64 {
+        let day_start = start + day * DAY_SECS;
+        let n = poisson(rng, kind.mean_daily_activations() * usage_scale.max(0.0));
+        for _ in 0..n {
+            let hour = weighted_index(rng, &prefs) as i64;
+            let within = uniform(rng, 0.0, 3600.0) as i64;
+            starts.push(day_start + hour * 3600 + within);
+        }
+    }
+    starts.sort_unstable();
+    // Enforce the minimum gap by dropping activations that crowd a
+    // predecessor (a person cannot start the same machine twice at once).
+    let mut out: Vec<Activation> = Vec::with_capacity(starts.len());
+    for s in starts {
+        if out.last().is_none_or(|a| s - a.start >= min_gap_secs) {
+            out.push(Activation { start: s });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preference_tables_are_positive() {
+        for kind in ApplianceKind::ALL {
+            let prefs = hour_preferences(kind);
+            assert!(prefs.iter().all(|&w| w > 0.0));
+            assert_eq!(prefs.len(), 24);
+        }
+    }
+
+    #[test]
+    fn schedule_respects_horizon_and_order() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let days = 30;
+        let acts = schedule(&mut rng, ApplianceKind::Kettle, 1000, days, 1.0, 600);
+        assert!(!acts.is_empty());
+        for w in acts.windows(2) {
+            assert!(w[1].start - w[0].start >= 600, "gap violated");
+        }
+        for a in &acts {
+            assert!(a.start >= 1000);
+            assert!(a.start < 1000 + days as i64 * DAY_SECS + 3600);
+        }
+    }
+
+    #[test]
+    fn rate_scales_with_usage() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let low = schedule(&mut rng, ApplianceKind::Kettle, 0, 60, 0.5, 600).len();
+        let high = schedule(&mut rng, ApplianceKind::Kettle, 0, 60, 2.0, 600).len();
+        assert!(high > low, "high {high} <= low {low}");
+        let none = schedule(&mut rng, ApplianceKind::Kettle, 0, 60, 0.0, 600);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn kettle_mornings_beat_nights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let acts = schedule(&mut rng, ApplianceKind::Kettle, 0, 200, 1.0, 60);
+        let morning = acts
+            .iter()
+            .filter(|a| {
+                let h = ds_timeseries::time::hour_of_day(a.start);
+                (6..9).contains(&h)
+            })
+            .count();
+        let night = acts
+            .iter()
+            .filter(|a| ds_timeseries::time::hour_of_day(a.start) < 4)
+            .count();
+        assert!(morning > night * 3, "morning {morning} vs night {night}");
+    }
+
+    #[test]
+    fn long_cycle_gap_prevents_self_overlap() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Dishwasher cycles are up to ~130 min; a 3 h gap guarantees no
+        // self-overlap.
+        let acts = schedule(&mut rng, ApplianceKind::Dishwasher, 0, 365, 3.0, 3 * 3600);
+        for w in acts.windows(2) {
+            assert!(w[1].start - w[0].start >= 3 * 3600);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = schedule(
+            &mut StdRng::seed_from_u64(9),
+            ApplianceKind::Shower,
+            0,
+            30,
+            1.0,
+            600,
+        );
+        let b = schedule(
+            &mut StdRng::seed_from_u64(9),
+            ApplianceKind::Shower,
+            0,
+            30,
+            1.0,
+            600,
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,146 @@
+//! Small random-sampling helpers on top of the `rand` core traits.
+//!
+//! We deliberately avoid `rand_distr` (not in the approved dependency set):
+//! the simulator only needs normal deviates (Box–Muller), Poisson counts
+//! (Knuth's method, small means) and a few convenience draws.
+
+use rand::Rng;
+
+/// A standard normal deviate via the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng, mean: f32, std: f32) -> f32 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+    mean + std * z
+}
+
+/// A Poisson count with small mean via Knuth's multiplication method.
+/// For `lambda <= 0` returns 0. Means used by the simulator are < 20.
+pub fn poisson(rng: &mut impl Rng, lambda: f32) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f32;
+    loop {
+        p *= rng.gen::<f32>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Guard against pathological lambda: cap at a generous bound.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Uniform draw in `[lo, hi)`; tolerates `lo == hi` (returns `lo`).
+pub fn uniform(rng: &mut impl Rng, lo: f32, hi: f32) -> f32 {
+    if hi > lo {
+        rng.gen_range(lo..hi)
+    } else {
+        lo
+    }
+}
+
+/// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+pub fn coin(rng: &mut impl Rng, p: f32) -> bool {
+    let p = p.clamp(0.0, 1.0);
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.gen::<f32>() < p
+    }
+}
+
+/// Sample an index from unnormalized non-negative weights.
+/// Falls back to the last index on floating-point shortfall; returns 0 for
+/// all-zero weights.
+pub fn weighted_index(rng: &mut impl Rng, weights: &[f32]) -> usize {
+    let total: f32 = weights.iter().copied().filter(|w| *w > 0.0).sum();
+    if total <= 0.0 || weights.is_empty() {
+        return 0;
+    }
+    let mut draw = rng.gen::<f32>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w <= 0.0 {
+            continue;
+        }
+        if draw < w {
+            return i;
+        }
+        draw -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let draws: Vec<f32> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean: f32 = draws.iter().sum::<f32>() / n as f32;
+        let var: f32 = draws.iter().map(|d| (d - mean) * (d - mean)).sum::<f32>() / n as f32;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn poisson_mean_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let lambda = 3.5;
+        let mean: f32 =
+            (0..n).map(|_| poisson(&mut rng, lambda) as f32).sum::<f32>() / n as f32;
+        assert!((mean - lambda).abs() < 0.1, "mean {mean}");
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+        assert_eq!(poisson(&mut rng, -1.0), 0);
+    }
+
+    #[test]
+    fn uniform_handles_degenerate_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(uniform(&mut rng, 2.0, 2.0), 2.0);
+        for _ in 0..100 {
+            let v = uniform(&mut rng, 1.0, 4.0);
+            assert!((1.0..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn coin_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!coin(&mut rng, 0.0));
+        assert!(coin(&mut rng, 1.0));
+        assert!(coin(&mut rng, 2.0));
+        assert!(!coin(&mut rng, -1.0));
+        let heads = (0..10_000).filter(|_| coin(&mut rng, 0.3)).count();
+        assert!((heads as f32 / 10_000.0 - 0.3).abs() < 0.03);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..20_000 {
+            counts[weighted_index(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[2] as f32 / counts[1] as f32;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        assert_eq!(weighted_index(&mut rng, &[]), 0);
+        assert_eq!(weighted_index(&mut rng, &[0.0, 0.0]), 0);
+    }
+}

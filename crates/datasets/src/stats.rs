@@ -1,0 +1,161 @@
+//! Dataset statistics: the summary a paper's "datasets" table reports and
+//! the app's sidebar shows — house counts, possession rates, activation
+//! counts, duty cycles and energy shares per appliance.
+
+use crate::appliance::ApplianceKind;
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Per-appliance statistics over a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplianceStats {
+    /// Appliance display name.
+    pub appliance: String,
+    /// Houses possessing the appliance.
+    pub possessing_houses: usize,
+    /// Total scheduled activations over all possessing houses.
+    pub activations: usize,
+    /// Mean ON duty cycle over possessing houses, in `[0, 1]`.
+    pub mean_duty_cycle: f64,
+    /// Share of total appliance energy (excl. base load), in `[0, 1]`.
+    pub energy_share: f64,
+}
+
+/// Dataset-level summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Preset display name.
+    pub dataset: String,
+    /// Number of houses.
+    pub houses: usize,
+    /// Recording days per house.
+    pub days: u32,
+    /// Sampling interval, seconds.
+    pub interval_secs: u32,
+    /// Mean missing-data ratio of the aggregate channels.
+    pub mean_missing_ratio: f64,
+    /// Per-appliance rows, in canonical order.
+    pub appliances: Vec<ApplianceStats>,
+}
+
+/// Compute the summary of a generated dataset.
+pub fn summarize(dataset: &Dataset) -> DatasetStats {
+    let houses = dataset.houses();
+    let mean_missing = houses
+        .iter()
+        .map(|h| h.aggregate().missing_ratio() as f64)
+        .sum::<f64>()
+        / houses.len().max(1) as f64;
+
+    let mut per_appliance = Vec::new();
+    let mut energies = Vec::new();
+    for kind in ApplianceKind::ALL {
+        let possessing: Vec<_> = houses.iter().filter(|h| h.possesses(kind)).collect();
+        let activations: usize = possessing.iter().map(|h| h.activations(kind).len()).sum();
+        let mean_duty = if possessing.is_empty() {
+            0.0
+        } else {
+            possessing
+                .iter()
+                .map(|h| h.status(kind).duty_cycle() as f64)
+                .sum::<f64>()
+                / possessing.len() as f64
+        };
+        let energy: f64 = possessing
+            .iter()
+            .filter_map(|h| h.channel(kind))
+            .map(|ch| ch.energy_wh())
+            .sum();
+        energies.push(energy);
+        per_appliance.push(ApplianceStats {
+            appliance: kind.name().to_string(),
+            possessing_houses: possessing.len(),
+            activations,
+            mean_duty_cycle: mean_duty,
+            energy_share: 0.0, // filled below
+        });
+    }
+    let total_energy: f64 = energies.iter().sum();
+    if total_energy > 0.0 {
+        for (row, e) in per_appliance.iter_mut().zip(&energies) {
+            row.energy_share = e / total_energy;
+        }
+    }
+
+    DatasetStats {
+        dataset: dataset.preset().name().to_string(),
+        houses: houses.len(),
+        days: dataset.config().days,
+        interval_secs: dataset.config().sim_interval_secs,
+        mean_missing_ratio: mean_missing,
+        appliances: per_appliance,
+    }
+}
+
+/// Render the summary as text (the app's dataset info panel).
+pub fn render(stats: &DatasetStats) -> String {
+    let mut out = format!(
+        "{}: {} houses × {} days at {}s sampling ({:.2}% readings missing)\n",
+        stats.dataset,
+        stats.houses,
+        stats.days,
+        stats.interval_secs,
+        stats.mean_missing_ratio * 100.0
+    );
+    for a in &stats.appliances {
+        out.push_str(&format!(
+            "  {:<16} owned by {:>2} houses, {:>4} activations, duty {:>5.2}%, {:>4.1}% of appliance energy\n",
+            a.appliance,
+            a.possessing_houses,
+            a.activations,
+            a.mean_duty_cycle * 100.0,
+            a.energy_share * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetConfig, DatasetPreset};
+
+    #[test]
+    fn summary_is_consistent() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::RefitLike, 5, 3));
+        let stats = summarize(&ds);
+        assert_eq!(stats.dataset, "REFIT");
+        assert_eq!(stats.houses, 5);
+        assert_eq!(stats.days, 3);
+        assert_eq!(stats.appliances.len(), 5);
+        // Energy shares sum to 1 (every preset has at least one appliance).
+        let share_sum: f64 = stats.appliances.iter().map(|a| a.energy_share).sum();
+        assert!((share_sum - 1.0).abs() < 1e-9, "shares sum to {share_sum}");
+        for a in &stats.appliances {
+            assert!((0.0..=1.0).contains(&a.mean_duty_cycle));
+            assert!(a.possessing_houses <= 5);
+            // Coverage guarantee: at least one possessing house everywhere.
+            assert!(a.possessing_houses >= 1, "{} unowned", a.appliance);
+        }
+        // Showers are short: duty cycle below dishwashers'.
+        let duty = |name: &str| {
+            stats
+                .appliances
+                .iter()
+                .find(|a| a.appliance == name)
+                .unwrap()
+                .mean_duty_cycle
+        };
+        assert!(duty("Shower") < duty("Dishwasher"));
+    }
+
+    #[test]
+    fn render_mentions_every_appliance() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::IdealLike, 3, 1));
+        let out = render(&summarize(&ds));
+        for kind in ApplianceKind::ALL {
+            assert!(out.contains(kind.name()));
+        }
+        assert!(out.contains("IDEAL"));
+    }
+}

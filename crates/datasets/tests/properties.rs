@@ -1,0 +1,127 @@
+//! Property-based tests of the dataset substrate's invariants.
+
+use ds_datasets::appliance::ApplianceKind;
+use ds_datasets::baseload::BaseloadProfile;
+use ds_datasets::house::{House, HouseConfig};
+use ds_datasets::noise::NoiseModel;
+use ds_datasets::occupancy::{hour_preferences, schedule};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn any_appliance() -> impl Strategy<Value = ApplianceKind> {
+    prop::sample::select(ApplianceKind::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn signatures_are_bounded_and_nonnegative(
+        kind in any_appliance(),
+        seed in 0u64..1000,
+        interval in prop::sample::select(vec![1u32, 6, 8, 60]),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = kind.sample_activation(&mut rng, interval);
+        prop_assert!(!profile.is_empty());
+        let peak = profile.iter().cloned().fold(0.0f32, f32::max);
+        prop_assert!(peak <= kind.typical_peak_w() * 1.4, "{kind:?} peak {peak}");
+        prop_assert!(profile.iter().all(|v| *v >= 0.0 && v.is_finite()));
+        // Duration sanity: no appliance runs longer than 3 hours.
+        prop_assert!(profile.len() as u64 * interval as u64 <= 3 * 3600);
+    }
+
+    #[test]
+    fn schedule_respects_gap_and_horizon(
+        kind in any_appliance(),
+        seed in 0u64..500,
+        days in 1u32..20,
+        scale in 0.0f32..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gap = 1800i64;
+        let acts = schedule(&mut rng, kind, 0, days, scale, gap);
+        for w in acts.windows(2) {
+            prop_assert!(w[1].start - w[0].start >= gap);
+        }
+        for a in &acts {
+            prop_assert!(a.start >= 0);
+            prop_assert!(a.start < days as i64 * 86_400 + 3600);
+        }
+    }
+
+    #[test]
+    fn hour_preferences_strictly_positive(kind in any_appliance()) {
+        prop_assert!(hour_preferences(kind).iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn baseload_is_physical(seed in 0u64..200, len in 10usize..2000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = BaseloadProfile::sample(&mut rng);
+        let ts = profile.generate(&mut rng, 0, 60, len);
+        prop_assert_eq!(ts.len(), len);
+        prop_assert!(ts.values().iter().all(|v| v.is_finite() && *v >= 0.0));
+        // Base load never exceeds a few kW.
+        let peak = ts.values().iter().cloned().fold(0.0f32, f32::max);
+        prop_assert!(peak < 3000.0, "baseload peak {peak}");
+    }
+
+    #[test]
+    fn house_invariants(
+        seed in 0u64..100,
+        days in 1u32..4,
+        appliances in prop::collection::btree_set(any_appliance(), 0..5),
+    ) {
+        let appliances: Vec<ApplianceKind> = appliances.into_iter().collect();
+        let config = HouseConfig {
+            house_id: 1,
+            start: 0,
+            days,
+            interval_secs: 60,
+            appliances: appliances.clone(),
+            usage_scale: 1.0,
+            noise: NoiseModel::none(),
+        };
+        let house = House::simulate(config, seed);
+        prop_assert_eq!(house.aggregate().len(), days as usize * 1440);
+        for kind in ApplianceKind::ALL {
+            let possessed = appliances.contains(&kind);
+            prop_assert_eq!(house.possesses(kind), possessed);
+            let status = house.status(kind);
+            prop_assert_eq!(status.len(), house.aggregate().len());
+            if !possessed {
+                prop_assert!(!status.any_on());
+            }
+            if let Some(ch) = house.channel(kind) {
+                // The clean aggregate dominates each channel everywhere.
+                for (a, c) in house.aggregate().values().iter().zip(ch.values()) {
+                    prop_assert!(a + 1e-3 >= *c, "aggregate {a} below channel {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_preserves_length_and_sign(
+        seed in 0u64..200,
+        sigma in 0.0f32..50.0,
+        p_drop in 0.0f32..0.02,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let clean = ds_timeseries::TimeSeries::from_values(0, 60, vec![250.0; 500]);
+        let model = NoiseModel {
+            sigma_w: sigma,
+            dropout_start_prob: p_drop,
+            dropout_mean_len: 5.0,
+            quantize_w: 1.0,
+        };
+        let noisy = model.apply(&mut rng, &clean);
+        prop_assert_eq!(noisy.len(), clean.len());
+        prop_assert!(noisy
+            .values()
+            .iter()
+            .all(|v| v.is_nan() || (*v >= 0.0 && v.is_finite())));
+    }
+}

@@ -1,0 +1,136 @@
+//! Aggregation of measure sets across (dataset, appliance, method) cells —
+//! the structure behind the app's benchmark frame and the harness reports.
+
+use crate::confusion::Measures;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One benchmark cell: a method evaluated on one dataset/appliance pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkCell {
+    /// Dataset display name (e.g. "UKDALE").
+    pub dataset: String,
+    /// Appliance display name (e.g. "Kettle").
+    pub appliance: String,
+    /// Method display name (e.g. "CamAL").
+    pub method: String,
+    /// Window-level detection measures.
+    pub detection: Measures,
+    /// Per-timestep localization measures.
+    pub localization: Measures,
+    /// Labels the method consumed for training.
+    pub labels_used: u64,
+}
+
+/// A collection of benchmark cells with grouped views.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BenchmarkTable {
+    /// All cells, in insertion order.
+    pub cells: Vec<BenchmarkCell>,
+}
+
+impl BenchmarkTable {
+    /// Empty table.
+    pub fn new() -> BenchmarkTable {
+        BenchmarkTable::default()
+    }
+
+    /// Add a cell.
+    pub fn push(&mut self, cell: BenchmarkCell) {
+        self.cells.push(cell);
+    }
+
+    /// Cells of one dataset.
+    pub fn for_dataset(&self, dataset: &str) -> Vec<&BenchmarkCell> {
+        self.cells.iter().filter(|c| c.dataset == dataset).collect()
+    }
+
+    /// Cells of one method.
+    pub fn for_method(&self, method: &str) -> Vec<&BenchmarkCell> {
+        self.cells.iter().filter(|c| c.method == method).collect()
+    }
+
+    /// Look up one cell.
+    pub fn get(&self, dataset: &str, appliance: &str, method: &str) -> Option<&BenchmarkCell> {
+        self.cells
+            .iter()
+            .find(|c| c.dataset == dataset && c.appliance == appliance && c.method == method)
+    }
+
+    /// Mean localization measures per method, macro-averaged over all
+    /// (dataset, appliance) cells — the ranking view of the benchmark frame.
+    pub fn method_means(&self) -> BTreeMap<String, Measures> {
+        let mut groups: BTreeMap<String, Vec<Measures>> = BTreeMap::new();
+        for c in &self.cells {
+            groups.entry(c.method.clone()).or_default().push(c.localization);
+        }
+        groups
+            .into_iter()
+            .filter_map(|(m, v)| Measures::mean(&v).map(|mean| (m, mean)))
+            .collect()
+    }
+
+    /// Distinct method names in first-seen order.
+    pub fn methods(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for c in &self.cells {
+            if !seen.contains(&c.method) {
+                seen.push(c.method.clone());
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(dataset: &str, appliance: &str, method: &str, f1: f64) -> BenchmarkCell {
+        BenchmarkCell {
+            dataset: dataset.into(),
+            appliance: appliance.into(),
+            method: method.into(),
+            detection: Measures::default(),
+            localization: Measures {
+                f1,
+                ..Measures::default()
+            },
+            labels_used: 10,
+        }
+    }
+
+    #[test]
+    fn grouping_views() {
+        let mut t = BenchmarkTable::new();
+        t.push(cell("UKDALE", "Kettle", "CamAL", 0.9));
+        t.push(cell("UKDALE", "Kettle", "Seq2Point", 0.8));
+        t.push(cell("REFIT", "Kettle", "CamAL", 0.7));
+        assert_eq!(t.for_dataset("UKDALE").len(), 2);
+        assert_eq!(t.for_method("CamAL").len(), 2);
+        assert!(t.get("UKDALE", "Kettle", "CamAL").is_some());
+        assert!(t.get("IDEAL", "Kettle", "CamAL").is_none());
+        assert_eq!(t.methods(), vec!["CamAL".to_string(), "Seq2Point".to_string()]);
+    }
+
+    #[test]
+    fn method_means_macro_average() {
+        let mut t = BenchmarkTable::new();
+        t.push(cell("UKDALE", "Kettle", "CamAL", 1.0));
+        t.push(cell("REFIT", "Kettle", "CamAL", 0.5));
+        t.push(cell("UKDALE", "Kettle", "DAE", 0.4));
+        let means = t.method_means();
+        assert!((means["CamAL"].f1 - 0.75).abs() < 1e-12);
+        assert!((means["DAE"].f1 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut t = BenchmarkTable::new();
+        t.push(cell("IDEAL", "Dishwasher", "CamAL", 0.66));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: BenchmarkTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cells.len(), 1);
+        assert_eq!(back.cells[0].appliance, "Dishwasher");
+    }
+}

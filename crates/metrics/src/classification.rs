@@ -1,0 +1,112 @@
+//! Detection scoring: window-level binary classification.
+
+use crate::confusion::{ConfusionMatrix, Measures};
+
+/// Score window-level detections against window-level truth.
+pub fn score_detection(predicted: &[bool], truth: &[bool]) -> Measures {
+    let p: Vec<u8> = predicted.iter().map(|&b| b as u8).collect();
+    let t: Vec<u8> = truth.iter().map(|&b| b as u8).collect();
+    ConfusionMatrix::from_labels(&p, &t).measures()
+}
+
+/// Score probabilistic detections at a threshold.
+pub fn score_detection_probs(probs: &[f32], truth: &[bool], threshold: f32) -> Measures {
+    let predicted: Vec<bool> = probs.iter().map(|&p| p > threshold).collect();
+    score_detection(&predicted, truth)
+}
+
+/// A point on a precision/recall curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrPoint {
+    /// Decision threshold producing this point.
+    pub threshold: f32,
+    /// Precision at the threshold.
+    pub precision: f64,
+    /// Recall at the threshold.
+    pub recall: f64,
+    /// F1 at the threshold.
+    pub f1: f64,
+}
+
+/// Sweep thresholds over `[0, 1]` and report the PR curve — used by the
+/// app's probability view and by threshold-selection ablations.
+pub fn pr_curve(probs: &[f32], truth: &[bool], steps: usize) -> Vec<PrPoint> {
+    assert_eq!(probs.len(), truth.len(), "probability/truth length mismatch");
+    let steps = steps.max(2);
+    (0..steps)
+        .map(|i| {
+            let threshold = i as f32 / (steps - 1) as f32;
+            let m = score_detection_probs(probs, truth, threshold);
+            PrPoint {
+                threshold,
+                precision: m.precision,
+                recall: m.recall,
+                f1: m.f1,
+            }
+        })
+        .collect()
+}
+
+/// The threshold maximizing F1 on a validation set.
+pub fn best_f1_threshold(probs: &[f32], truth: &[bool], steps: usize) -> f32 {
+    pr_curve(probs, truth, steps)
+        .into_iter()
+        .max_by(|a, b| a.f1.partial_cmp(&b.f1).expect("f1 is finite"))
+        .map(|p| p.threshold)
+        .unwrap_or(0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_scoring_matches_confusion() {
+        let m = score_detection(&[true, false, true], &[true, true, false]);
+        assert!((m.accuracy - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_splits_probabilities() {
+        let probs = [0.9, 0.2, 0.6, 0.4];
+        let truth = [true, false, true, false];
+        let m = score_detection_probs(&probs, &truth, 0.5);
+        assert_eq!(m.accuracy, 1.0);
+        let strict = score_detection_probs(&probs, &truth, 0.95);
+        assert_eq!(strict.recall, 0.0);
+    }
+
+    #[test]
+    fn pr_curve_monotone_recall() {
+        let probs = [0.1, 0.3, 0.5, 0.7, 0.9];
+        let truth = [false, false, true, true, true];
+        let curve = pr_curve(&probs, &truth, 11);
+        assert_eq!(curve.len(), 11);
+        // Recall is non-increasing as the threshold rises.
+        for w in curve.windows(2) {
+            assert!(w[1].recall <= w[0].recall + 1e-12);
+        }
+        // The ideal threshold range recovers perfect F1.
+        assert!(curve.iter().any(|p| p.f1 == 1.0));
+    }
+
+    #[test]
+    fn best_threshold_maximizes_f1() {
+        let probs = [0.1, 0.3, 0.5, 0.7, 0.9];
+        let truth = [false, false, true, true, true];
+        let t = best_f1_threshold(&probs, &truth, 21);
+        let m = score_detection_probs(&probs, &truth, t);
+        assert_eq!(m.f1, 1.0);
+        // Degenerate inputs fall back to 0.5 only on empty curves; with data
+        // it must return a threshold in range.
+        assert!((0.0..=1.0).contains(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pr_curve_length_mismatch_panics() {
+        let _ = pr_curve(&[0.5], &[true, false], 5);
+    }
+}

@@ -1,0 +1,272 @@
+//! Binary confusion matrix and the five measures of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// TP/FP/FN/TN counts of a binary classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// False negatives.
+    pub fn_: u64,
+    /// True negatives.
+    pub tn: u64,
+}
+
+impl ConfusionMatrix {
+    /// Empty matrix.
+    pub fn new() -> ConfusionMatrix {
+        ConfusionMatrix::default()
+    }
+
+    /// Build from aligned prediction/truth label slices (0/1).
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn from_labels(predicted: &[u8], truth: &[u8]) -> ConfusionMatrix {
+        assert_eq!(predicted.len(), truth.len(), "label length mismatch");
+        let mut m = ConfusionMatrix::new();
+        for (&p, &t) in predicted.iter().zip(truth) {
+            m.record(p != 0, t != 0);
+        }
+        m
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, predicted: bool, truth: bool) {
+        match (predicted, truth) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Merge counts from another matrix (micro-averaging).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Fraction of correct predictions (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+
+    /// Mean of true-positive rate and true-negative rate.
+    ///
+    /// When one class is absent, its rate degrades to the other's (the
+    /// scikit-learn convention is to warn and use the available classes;
+    /// we average over the present classes only).
+    pub fn balanced_accuracy(&self) -> f64 {
+        let pos = self.tp + self.fn_;
+        let neg = self.fp + self.tn;
+        match (pos > 0, neg > 0) {
+            (true, true) => (ratio(self.tp, pos) + ratio(self.tn, neg)) / 2.0,
+            (true, false) => ratio(self.tp, pos),
+            (false, true) => ratio(self.tn, neg),
+            (false, false) => 0.0,
+        }
+    }
+
+    /// `TP / (TP + FP)`; 0 when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// `TP / (TP + FN)`; 0 when no positive ground truth.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall (0 when both are 0).
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r > 0.0 {
+            2.0 * p * r / (p + r)
+        } else {
+            0.0
+        }
+    }
+
+    /// All five measures at once.
+    pub fn measures(&self) -> Measures {
+        Measures {
+            accuracy: self.accuracy(),
+            balanced_accuracy: self.balanced_accuracy(),
+            precision: self.precision(),
+            recall: self.recall(),
+            f1: self.f1(),
+        }
+    }
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The five measures the DeviceScope benchmark frame reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Measures {
+    /// Plain accuracy.
+    pub accuracy: f64,
+    /// Balanced accuracy.
+    pub balanced_accuracy: f64,
+    /// Precision on the positive class.
+    pub precision: f64,
+    /// Recall on the positive class.
+    pub recall: f64,
+    /// F1 score on the positive class.
+    pub f1: f64,
+}
+
+impl Measures {
+    /// Element-wise mean over a set of measure records (macro-averaging).
+    /// Returns `None` for an empty set.
+    pub fn mean(set: &[Measures]) -> Option<Measures> {
+        if set.is_empty() {
+            return None;
+        }
+        let n = set.len() as f64;
+        Some(Measures {
+            accuracy: set.iter().map(|m| m.accuracy).sum::<f64>() / n,
+            balanced_accuracy: set.iter().map(|m| m.balanced_accuracy).sum::<f64>() / n,
+            precision: set.iter().map(|m| m.precision).sum::<f64>() / n,
+            recall: set.iter().map(|m| m.recall).sum::<f64>() / n,
+            f1: set.iter().map(|m| m.f1).sum::<f64>() / n,
+        })
+    }
+
+    /// Look up a measure by its display name (as the app's select box does).
+    pub fn by_name(&self, name: &str) -> Option<f64> {
+        match name.to_ascii_lowercase().replace([' ', '-'], "_").as_str() {
+            "accuracy" | "acc" => Some(self.accuracy),
+            "balanced_accuracy" | "bacc" => Some(self.balanced_accuracy),
+            "precision" => Some(self.precision),
+            "recall" => Some(self.recall),
+            "f1" | "f1_score" => Some(self.f1),
+            _ => None,
+        }
+    }
+
+    /// The measure names in display order.
+    pub const NAMES: [&'static str; 5] = [
+        "Accuracy",
+        "Balanced Accuracy",
+        "Precision",
+        "Recall",
+        "F1",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_computed_matrix() {
+        // pred: 1 1 0 0 1 ; truth: 1 0 0 1 1
+        let m = ConfusionMatrix::from_labels(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]);
+        assert_eq!(m, ConfusionMatrix { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        let bacc = (2.0 / 3.0 + 1.0 / 2.0) / 2.0;
+        assert!((m.balanced_accuracy() - bacc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_inverted_predictions() {
+        let perfect = ConfusionMatrix::from_labels(&[1, 0, 1], &[1, 0, 1]);
+        assert_eq!(perfect.measures().f1, 1.0);
+        assert_eq!(perfect.measures().accuracy, 1.0);
+        let inverted = ConfusionMatrix::from_labels(&[0, 1, 0], &[1, 0, 1]);
+        assert_eq!(inverted.accuracy(), 0.0);
+        assert_eq!(inverted.f1(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_class_handling() {
+        // All-negative truth, all-negative predictions.
+        let m = ConfusionMatrix::from_labels(&[0, 0], &[0, 0]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 0.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.balanced_accuracy(), 1.0); // only negatives exist
+        // Empty matrix.
+        let empty = ConfusionMatrix::new();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.balanced_accuracy(), 0.0);
+        // All-positive truth.
+        let m = ConfusionMatrix::from_labels(&[1, 0], &[1, 1]);
+        assert_eq!(m.balanced_accuracy(), 0.5);
+    }
+
+    #[test]
+    fn merge_is_micro_average() {
+        let mut a = ConfusionMatrix::from_labels(&[1], &[1]);
+        let b = ConfusionMatrix::from_labels(&[0, 1], &[1, 0]);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fp, 1);
+        assert_eq!(a.fn_, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = ConfusionMatrix::from_labels(&[1], &[1, 0]);
+    }
+
+    #[test]
+    fn measures_mean_and_lookup() {
+        let a = Measures {
+            accuracy: 1.0,
+            balanced_accuracy: 1.0,
+            precision: 1.0,
+            recall: 1.0,
+            f1: 1.0,
+        };
+        let b = Measures::default();
+        let mean = Measures::mean(&[a, b]).unwrap();
+        assert_eq!(mean.accuracy, 0.5);
+        assert_eq!(mean.f1, 0.5);
+        assert!(Measures::mean(&[]).is_none());
+        assert_eq!(a.by_name("F1"), Some(1.0));
+        assert_eq!(a.by_name("Balanced Accuracy"), Some(1.0));
+        assert_eq!(a.by_name("precision"), Some(1.0));
+        assert_eq!(a.by_name("nope"), None);
+        assert_eq!(Measures::NAMES.len(), 5);
+    }
+
+    #[test]
+    fn bounds_invariant() {
+        // A scatter of matrices: every measure must stay in [0, 1].
+        for (tp, fp, fn_, tn) in [(0, 0, 0, 0), (5, 3, 2, 10), (1, 0, 0, 0), (0, 7, 3, 0)] {
+            let m = ConfusionMatrix { tp, fp, fn_, tn };
+            let ms = m.measures();
+            for v in [ms.accuracy, ms.balanced_accuracy, ms.precision, ms.recall, ms.f1] {
+                assert!((0.0..=1.0).contains(&v), "{v} out of range for {m:?}");
+            }
+        }
+    }
+}

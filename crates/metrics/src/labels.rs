@@ -1,0 +1,104 @@
+//! Label-budget accounting: the x-axis of the paper's Figure 3.
+//!
+//! The currencies:
+//! - a **weakly supervised** method (CamAL, the weak baseline) consumes one
+//!   label per training window;
+//! - a **strong-label seq2seq** method consumes one label per *timestep* of
+//!   every training window.
+//!
+//! The paper's claim "*to achieve the same performance as CamAL, NILM-based
+//! approaches require 5200× more labels*" is the ratio computed by
+//! [`labels_to_match`].
+
+use serde::{Deserialize, Serialize};
+
+/// Supervision style of a method, which determines its label consumption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Supervision {
+    /// One label per training window (weak supervision).
+    Weak,
+    /// One label per timestep (strong supervision).
+    Strong,
+}
+
+impl Supervision {
+    /// Labels consumed when training on `windows` windows of `window_len`
+    /// timesteps each.
+    pub fn labels_consumed(self, windows: usize, window_len: usize) -> u64 {
+        match self {
+            Supervision::Weak => windows as u64,
+            Supervision::Strong => windows as u64 * window_len as u64,
+        }
+    }
+}
+
+/// One point of a label-efficiency curve: a method's score at a budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EfficiencyPoint {
+    /// Labels consumed for training.
+    pub labels: u64,
+    /// Localization F1 achieved.
+    pub f1: f64,
+}
+
+/// Smallest label count at which `curve` reaches `target_f1`, if it ever
+/// does. The curve need not be sorted or monotone (training is noisy);
+/// the earliest qualifying budget is returned.
+pub fn labels_to_reach(curve: &[EfficiencyPoint], target_f1: f64) -> Option<u64> {
+    curve
+        .iter()
+        .filter(|p| p.f1 >= target_f1)
+        .map(|p| p.labels)
+        .min()
+}
+
+/// The paper's headline ratio: how many times more labels a strong-label
+/// curve needs to match the weak method's best score. `None` when the
+/// strong curve never reaches it.
+pub fn labels_to_match(
+    weak_labels: u64,
+    weak_f1: f64,
+    strong_curve: &[EfficiencyPoint],
+) -> Option<f64> {
+    let needed = labels_to_reach(strong_curve, weak_f1)?;
+    Some(needed as f64 / weak_labels.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumption_by_supervision() {
+        assert_eq!(Supervision::Weak.labels_consumed(100, 360), 100);
+        assert_eq!(Supervision::Strong.labels_consumed(100, 360), 36_000);
+        assert_eq!(Supervision::Weak.labels_consumed(0, 360), 0);
+    }
+
+    #[test]
+    fn earliest_qualifying_budget() {
+        let curve = [
+            EfficiencyPoint { labels: 10, f1: 0.2 },
+            EfficiencyPoint { labels: 100, f1: 0.5 },
+            EfficiencyPoint { labels: 1000, f1: 0.45 }, // noisy dip
+            EfficiencyPoint { labels: 10_000, f1: 0.8 },
+        ];
+        assert_eq!(labels_to_reach(&curve, 0.5), Some(100));
+        assert_eq!(labels_to_reach(&curve, 0.79), Some(10_000));
+        assert_eq!(labels_to_reach(&curve, 0.9), None);
+    }
+
+    #[test]
+    fn match_ratio() {
+        let strong = [
+            EfficiencyPoint { labels: 1_000, f1: 0.3 },
+            EfficiencyPoint { labels: 520_000, f1: 0.75 },
+        ];
+        // Weak method reaches 0.75 with 100 labels -> ratio 5200.
+        let ratio = labels_to_match(100, 0.75, &strong).unwrap();
+        assert!((ratio - 5200.0).abs() < 1e-9);
+        assert!(labels_to_match(100, 0.99, &strong).is_none());
+        // Zero weak labels guards division.
+        assert!(labels_to_match(0, 0.3, &strong).unwrap().is_finite());
+    }
+}

@@ -1,0 +1,28 @@
+//! # ds-metrics
+//!
+//! Evaluation measures for the DeviceScope benchmark.
+//!
+//! §III of the paper: *"We employ several measures to compare the models'
+//! performance regarding detection and localization, including Accuracy,
+//! Balanced Accuracy, Precision, Recall, and F1 Score."* Both tasks are
+//! binary classifications — over **windows** for detection, over
+//! **timesteps** for localization — so one confusion-matrix core serves
+//! both:
+//!
+//! - [`confusion::ConfusionMatrix`]: the TP/FP/FN/TN counts and every
+//!   derived measure.
+//! - [`classification`]: detection scoring over window labels.
+//! - [`localization`]: per-timestep scoring of predicted status series, plus
+//!   event-level diagnostics (how many true activations were at least
+//!   partially found).
+//! - [`labels`]: label-budget accounting — the x-axis of the paper's
+//!   Figure 3 and the basis of its "5200× more labels" claim.
+//! - [`aggregate`]: averaging measure sets across appliances/houses.
+
+pub mod aggregate;
+pub mod classification;
+pub mod confusion;
+pub mod labels;
+pub mod localization;
+
+pub use confusion::{ConfusionMatrix, Measures};

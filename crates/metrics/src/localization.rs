@@ -1,0 +1,163 @@
+//! Localization scoring: per-timestep status comparison plus event-level
+//! diagnostics.
+//!
+//! The headline measure of the paper's Figure 3 is per-timestep
+//! **localization F1**: predicted on/off status against ground-truth status,
+//! scored like any binary classification over all timesteps of the test
+//! windows. Event-level diagnostics (what fraction of true activation
+//! segments were at least partially hit) are additionally useful in the app
+//! to explain *why* a score is low.
+
+use crate::confusion::{ConfusionMatrix, Measures};
+
+/// Score one predicted status vector against truth (0/1 per timestep).
+pub fn score_status(predicted: &[u8], truth: &[u8]) -> Measures {
+    ConfusionMatrix::from_labels(predicted, truth).measures()
+}
+
+/// Micro-average localization over many windows: counts pool over all
+/// timesteps, so long windows weigh proportionally (the convention used in
+/// NILM evaluations).
+pub fn score_status_micro<'a>(
+    pairs: impl IntoIterator<Item = (&'a [u8], &'a [u8])>,
+) -> Measures {
+    let mut m = ConfusionMatrix::new();
+    for (p, t) in pairs {
+        m.merge(&ConfusionMatrix::from_labels(p, t));
+    }
+    m.measures()
+}
+
+/// Event-level diagnostics of a localization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventReport {
+    /// Number of ground-truth activation segments.
+    pub true_events: usize,
+    /// True segments overlapped by at least one predicted ON timestep.
+    pub detected_events: usize,
+    /// Predicted segments with no overlap with any true segment.
+    pub spurious_events: usize,
+}
+
+impl EventReport {
+    /// Fraction of true events detected (1.0 when there are none).
+    pub fn event_recall(&self) -> f64 {
+        if self.true_events == 0 {
+            1.0
+        } else {
+            self.detected_events as f64 / self.true_events as f64
+        }
+    }
+}
+
+fn segments(states: &[u8]) -> Vec<(usize, usize)> {
+    let mut segs = Vec::new();
+    let mut start = None;
+    for (i, &s) in states.iter().enumerate() {
+        match (s, start) {
+            (1, None) => start = Some(i),
+            (0, Some(st)) => {
+                segs.push((st, i));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(st) = start {
+        segs.push((st, states.len()));
+    }
+    segs
+}
+
+fn overlaps(a: (usize, usize), b: (usize, usize)) -> bool {
+    a.0 < b.1 && b.0 < a.1
+}
+
+/// Compute event-level diagnostics for one window.
+pub fn event_report(predicted: &[u8], truth: &[u8]) -> EventReport {
+    assert_eq!(predicted.len(), truth.len(), "status length mismatch");
+    let true_segs = segments(truth);
+    let pred_segs = segments(predicted);
+    let detected = true_segs
+        .iter()
+        .filter(|t| pred_segs.iter().any(|p| overlaps(**t, *p)))
+        .count();
+    let spurious = pred_segs
+        .iter()
+        .filter(|p| !true_segs.iter().any(|t| overlaps(**p, *t)))
+        .count();
+    EventReport {
+        true_events: true_segs.len(),
+        detected_events: detected,
+        spurious_events: spurious,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_timestep_scoring() {
+        let m = score_status(&[1, 1, 0, 0], &[1, 0, 0, 1]);
+        assert!((m.accuracy - 0.5).abs() < 1e-12);
+        assert!((m.precision - 0.5).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        assert!((m.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_average_pools_timesteps() {
+        let p1: &[u8] = &[1, 0];
+        let t1: &[u8] = &[1, 0];
+        let p2: &[u8] = &[0, 0, 0, 0];
+        let t2: &[u8] = &[1, 1, 1, 1];
+        let m = score_status_micro([(p1, t1), (p2, t2)]);
+        // tp=1, fn=4, tn=1 -> recall 0.2.
+        assert!((m.recall - 0.2).abs() < 1e-12);
+        // The long bad window dominates, unlike a macro average.
+        assert!(m.accuracy < 0.5);
+    }
+
+    #[test]
+    fn segments_and_events() {
+        let truth = [0, 1, 1, 0, 0, 1, 1, 1, 0];
+        let pred = [0, 0, 1, 0, 0, 0, 0, 0, 1];
+        let r = event_report(&pred, &truth);
+        assert_eq!(r.true_events, 2);
+        assert_eq!(r.detected_events, 1); // first event partially hit
+        assert_eq!(r.spurious_events, 1); // trailing lone prediction
+        assert!((r.event_recall() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_recall_with_no_events() {
+        let r = event_report(&[0, 0], &[0, 0]);
+        assert_eq!(r.true_events, 0);
+        assert_eq!(r.event_recall(), 1.0);
+        let r = event_report(&[1, 1], &[0, 0]);
+        assert_eq!(r.spurious_events, 1);
+    }
+
+    #[test]
+    fn touching_segments_do_not_overlap() {
+        // pred [0,2), truth [2,4): share a boundary, no overlap.
+        let r = event_report(&[1, 1, 0, 0], &[0, 0, 1, 1]);
+        assert_eq!(r.detected_events, 0);
+        assert_eq!(r.spurious_events, 1);
+    }
+
+    #[test]
+    fn full_overlap_detected() {
+        let r = event_report(&[1, 1, 1, 1], &[0, 1, 1, 0]);
+        assert_eq!(r.true_events, 1);
+        assert_eq!(r.detected_events, 1);
+        assert_eq!(r.spurious_events, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn event_report_length_mismatch_panics() {
+        let _ = event_report(&[1], &[1, 0]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for metric invariants.
+
+use ds_metrics::classification::{pr_curve, score_detection};
+use ds_metrics::confusion::{ConfusionMatrix, Measures};
+use ds_metrics::localization::{event_report, score_status};
+use proptest::prelude::*;
+
+fn labels(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..2, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn all_measures_bounded(p in labels(200), t in labels(200)) {
+        let n = p.len().min(t.len());
+        let m = score_status(&p[..n], &t[..n]);
+        for v in [m.accuracy, m.balanced_accuracy, m.precision, m.recall, m.f1] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_is_perfect(t in labels(200)) {
+        let m = score_status(&t, &t);
+        prop_assert_eq!(m.accuracy, 1.0);
+        if t.contains(&1) {
+            prop_assert_eq!(m.f1, 1.0);
+            prop_assert_eq!(m.precision, 1.0);
+            prop_assert_eq!(m.recall, 1.0);
+        }
+        prop_assert_eq!(m.balanced_accuracy, 1.0);
+    }
+
+    #[test]
+    fn confusion_total_matches_input(p in labels(200), t in labels(200)) {
+        let n = p.len().min(t.len());
+        let m = ConfusionMatrix::from_labels(&p[..n], &t[..n]);
+        prop_assert_eq!(m.total() as usize, n);
+    }
+
+    #[test]
+    fn merge_equals_concatenation(
+        p1 in labels(100), t1 in labels(100),
+        p2 in labels(100), t2 in labels(100)
+    ) {
+        let n1 = p1.len().min(t1.len());
+        let n2 = p2.len().min(t2.len());
+        let mut merged = ConfusionMatrix::from_labels(&p1[..n1], &t1[..n1]);
+        merged.merge(&ConfusionMatrix::from_labels(&p2[..n2], &t2[..n2]));
+        let cat_p: Vec<u8> = p1[..n1].iter().chain(&p2[..n2]).copied().collect();
+        let cat_t: Vec<u8> = t1[..n1].iter().chain(&t2[..n2]).copied().collect();
+        prop_assert_eq!(merged, ConfusionMatrix::from_labels(&cat_p, &cat_t));
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean(p in labels(200), t in labels(200)) {
+        let n = p.len().min(t.len());
+        let m = score_status(&p[..n], &t[..n]);
+        if m.precision + m.recall > 0.0 {
+            let expected = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+            prop_assert!((m.f1 - expected).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(m.f1, 0.0);
+        }
+    }
+
+    #[test]
+    fn detection_symmetry_under_label_swap(p in labels(100), t in labels(100)) {
+        // Swapping prediction and truth swaps precision and recall.
+        let n = p.len().min(t.len());
+        let pb: Vec<bool> = p[..n].iter().map(|&x| x == 1).collect();
+        let tb: Vec<bool> = t[..n].iter().map(|&x| x == 1).collect();
+        let a = score_detection(&pb, &tb);
+        let b = score_detection(&tb, &pb);
+        prop_assert!((a.precision - b.recall).abs() < 1e-12);
+        prop_assert!((a.recall - b.precision).abs() < 1e-12);
+        prop_assert!((a.f1 - b.f1).abs() < 1e-12);
+        prop_assert!((a.accuracy - b.accuracy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_counts_bounded(p in labels(300), t in labels(300)) {
+        let n = p.len().min(t.len());
+        let r = event_report(&p[..n], &t[..n]);
+        prop_assert!(r.detected_events <= r.true_events);
+        prop_assert!((0.0..=1.0).contains(&r.event_recall()));
+    }
+
+    #[test]
+    fn pr_curve_thresholds_cover_unit_interval(
+        probs in prop::collection::vec(0.0f32..1.0, 1..60),
+        steps in 2usize..30
+    ) {
+        let truth: Vec<bool> = probs.iter().map(|&p| p > 0.5).collect();
+        let curve = pr_curve(&probs, &truth, steps);
+        prop_assert_eq!(curve.len(), steps);
+        prop_assert_eq!(curve[0].threshold, 0.0);
+        prop_assert_eq!(curve[steps - 1].threshold, 1.0);
+    }
+
+    #[test]
+    fn measures_mean_is_bounded(f1s in prop::collection::vec(0.0f64..1.0, 1..20)) {
+        let set: Vec<Measures> = f1s
+            .iter()
+            .map(|&f1| Measures { f1, ..Measures::default() })
+            .collect();
+        let mean = Measures::mean(&set).unwrap();
+        let lo = f1s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = f1s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean.f1 >= lo - 1e-12 && mean.f1 <= hi + 1e-12);
+    }
+}

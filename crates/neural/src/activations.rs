@@ -1,0 +1,141 @@
+//! Element-wise activations: ReLU (trainable pass-through) and the sigmoid
+//! helpers used by CamAL's attention step and the seq2seq baselines.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// ReLU with cached mask for backward.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReLU {
+    #[serde(skip)]
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// New activation layer.
+    pub fn new() -> ReLU {
+        ReLU::default()
+    }
+
+    /// Forward: `max(0, x)`; caches the activation mask when training.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut y = x.clone();
+        if train {
+            let mut mask = vec![false; x.data.len()];
+            for (i, v) in y.data.iter_mut().enumerate() {
+                if *v > 0.0 {
+                    mask[i] = true;
+                } else {
+                    *v = 0.0;
+                }
+            }
+            self.mask = Some(mask);
+        } else {
+            for v in y.data.iter_mut() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward: gradient passes where the input was positive.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("ReLU::backward requires forward(train=true) first");
+        assert_eq!(mask.len(), grad_out.data.len());
+        let mut g = grad_out.clone();
+        for (v, &m) in g.data.iter_mut().zip(mask.iter()) {
+            if !m {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// Pure ReLU inference over a tensor (`max(0, x)`, no caching).
+pub fn relu_infer(x: &Tensor) -> Tensor {
+    let mut y = x.clone();
+    for v in y.data.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    y
+}
+
+/// Numerically stable scalar sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Apply [`sigmoid`] to a slice in place.
+pub fn sigmoid_slice(values: &mut [f32]) {
+    for v in values {
+        *v = sigmoid(*v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let x = Tensor::from_data(1, 1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let mut relu = ReLU::new();
+        let y = relu.forward(&x, false);
+        assert_eq!(y.data, vec![0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let x = Tensor::from_data(1, 1, 4, vec![-1.0, 0.5, 2.0, -3.0]);
+        let mut relu = ReLU::new();
+        let _ = relu.forward(&x, true);
+        let g = Tensor::from_data(1, 1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        let gi = relu.backward(&g);
+        assert_eq!(gi.data, vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires forward")]
+    fn relu_backward_without_forward_panics() {
+        let mut relu = ReLU::new();
+        let _ = relu.backward(&Tensor::zeros(1, 1, 2));
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.9999);
+        assert!(sigmoid(-10.0) < 1e-4);
+        // Stability at extremes.
+        assert!(sigmoid(100.0).is_finite());
+        assert!(sigmoid(-100.0).is_finite());
+        // Symmetry: s(-x) = 1 - s(x).
+        for x in [-3.0f32, -1.0, 0.5, 2.0] {
+            assert!((sigmoid(-x) - (1.0 - sigmoid(x))).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_slice_in_place() {
+        let mut v = vec![0.0, 10.0, -10.0];
+        sigmoid_slice(&mut v);
+        assert!((v[0] - 0.5).abs() < 1e-6);
+        assert!(v[1] > 0.999);
+        assert!(v[2] < 0.001);
+    }
+}

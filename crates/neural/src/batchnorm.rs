@@ -1,0 +1,307 @@
+//! Batch normalization over `(batch, length)` for `[B, C, L]` tensors.
+//!
+//! Training mode normalizes with the current mini-batch statistics and
+//! updates exponential running statistics; inference mode uses the running
+//! statistics, matching the standard `BatchNorm1d` semantics of the ResNet
+//! the paper builds on.
+
+use crate::tensor::Tensor;
+use crate::VisitParams;
+use serde::{Deserialize, Serialize};
+
+/// A trainable batch-normalization layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm1d {
+    /// Channel count.
+    pub channels: usize,
+    /// Learnable scale γ (one per channel).
+    pub gamma: Vec<f32>,
+    /// Learnable shift β (one per channel).
+    pub beta: Vec<f32>,
+    /// Running mean used at inference.
+    pub running_mean: Vec<f32>,
+    /// Running variance used at inference.
+    pub running_var: Vec<f32>,
+    /// Momentum of the running statistics update.
+    pub momentum: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// γ gradients. Serialized so a deserialized model has sized buffers.
+    pub grad_gamma: Vec<f32>,
+    /// β gradients.
+    pub grad_beta: Vec<f32>,
+    #[serde(skip)]
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm1d {
+    /// Create a unit-scale, zero-shift layer.
+    pub fn new(channels: usize) -> BatchNorm1d {
+        BatchNorm1d {
+            channels,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            cache: None,
+        }
+    }
+
+    /// Forward pass; training mode uses and updates batch statistics.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.channels, self.channels, "batchnorm channel mismatch");
+        let (b, c, l) = x.shape();
+        let n = (b * l) as f32;
+        let mut y = x.zeros_like();
+        if train {
+            let mut x_hat = x.zeros_like();
+            let mut inv_std = vec![0.0f32; c];
+            #[allow(clippy::needless_range_loop)] // ci also indexes gamma/beta/running stats
+            for ci in 0..c {
+                let mut sum = 0.0f64;
+                for bi in 0..b {
+                    for &v in x.row(bi, ci) {
+                        sum += v as f64;
+                    }
+                }
+                let mean = (sum / n as f64) as f32;
+                let mut var_acc = 0.0f64;
+                for bi in 0..b {
+                    for &v in x.row(bi, ci) {
+                        let d = v - mean;
+                        var_acc += (d * d) as f64;
+                    }
+                }
+                let var = (var_acc / n as f64) as f32;
+                let istd = 1.0 / (var + self.eps).sqrt();
+                inv_std[ci] = istd;
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                let (g, be) = (self.gamma[ci], self.beta[ci]);
+                for bi in 0..b {
+                    let xr = x.row(bi, ci);
+                    let start = (bi * c + ci) * l;
+                    for (t, &v) in xr.iter().enumerate() {
+                        let xh = (v - mean) * istd;
+                        x_hat.data[start + t] = xh;
+                        y.data[start + t] = g * xh + be;
+                    }
+                }
+            }
+            self.cache = Some(Cache { x_hat, inv_std });
+        } else {
+            return self.infer(x);
+        }
+        y
+    }
+
+    /// Pure inference forward using running statistics (`&self`).
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.channels, self.channels, "batchnorm channel mismatch");
+        let (b, c, l) = x.shape();
+        let mut y = x.zeros_like();
+        for ci in 0..c {
+            let mean = self.running_mean[ci];
+            let istd = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+            let (g, be) = (self.gamma[ci], self.beta[ci]);
+            for bi in 0..b {
+                let xr = x.row(bi, ci);
+                let start = (bi * c + ci) * l;
+                for (t, &v) in xr.iter().enumerate() {
+                    y.data[start + t] = g * (v - mean) * istd + be;
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass (training statistics), returning the input gradient.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("BatchNorm1d::backward requires forward(train=true) first");
+        let x_hat = &cache.x_hat;
+        assert_eq!(grad_out.shape(), x_hat.shape());
+        let (b, c, l) = x_hat.shape();
+        let n = (b * l) as f32;
+        let mut grad_in = x_hat.zeros_like();
+        for ci in 0..c {
+            // Channel-wise reductions.
+            let mut sum_g = 0.0f64;
+            let mut sum_gx = 0.0f64;
+            for bi in 0..b {
+                let go = grad_out.row(bi, ci);
+                let xh = x_hat.row(bi, ci);
+                for (gv, xv) in go.iter().zip(xh) {
+                    sum_g += *gv as f64;
+                    sum_gx += (*gv * *xv) as f64;
+                }
+            }
+            self.grad_beta[ci] += sum_g as f32;
+            self.grad_gamma[ci] += sum_gx as f32;
+            let g = self.gamma[ci];
+            let istd = cache.inv_std[ci];
+            let mean_g = sum_g as f32 / n;
+            let mean_gx = sum_gx as f32 / n;
+            for bi in 0..b {
+                let go = grad_out.row(bi, ci);
+                let xh = x_hat.row(bi, ci);
+                let start = (bi * c + ci) * l;
+                for t in 0..l {
+                    grad_in.data[start + t] =
+                        g * istd * (go[t] - mean_g - xh[t] * mean_gx);
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+impl VisitParams for BatchNorm1d {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_input(b: usize, c: usize, l: usize) -> Tensor {
+        let data: Vec<f32> = (0..b * c * l)
+            .map(|i| ((i * 31 % 17) as f32 - 8.0) / 3.0 + (i / 7) as f32 * 0.1)
+            .collect();
+        Tensor::from_data(b, c, l, data)
+    }
+
+    #[test]
+    fn train_output_is_normalized() {
+        let mut bn = BatchNorm1d::new(3);
+        let x = sample_input(4, 3, 10);
+        let y = bn.forward(&x, true);
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for bi in 0..4 {
+                vals.extend_from_slice(y.row(bi, ci));
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_shift_output() {
+        let mut bn = BatchNorm1d::new(1);
+        bn.gamma[0] = 2.0;
+        bn.beta[0] = 5.0;
+        let x = sample_input(2, 1, 8);
+        let y = bn.forward(&x, true);
+        let mean: f32 = y.data.iter().sum::<f32>() / y.data.len() as f32;
+        assert!((mean - 5.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inference_uses_running_statistics() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = sample_input(4, 2, 16);
+        // Several training passes move the running stats toward batch stats.
+        for _ in 0..50 {
+            let _ = bn.forward(&x, true);
+        }
+        let y_train = bn.forward(&x, true);
+        let y_eval = bn.forward(&x, false);
+        for (a, b) in y_train.data.iter().zip(y_eval.data.iter()) {
+            assert!((a - b).abs() < 0.1, "train {a} vs eval {b}");
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut bn = BatchNorm1d::new(2);
+        bn.gamma = vec![1.3, 0.7];
+        bn.beta = vec![0.2, -0.4];
+        let x = sample_input(2, 2, 6);
+        let y = bn.forward(&x, true);
+        let grad_in = bn.backward(&y); // loss = sum(y^2)/2
+        let eps = 1e-3f32;
+        let loss = |bn: &mut BatchNorm1d, x: &Tensor| -> f32 {
+            bn.forward(x, true).data.iter().map(|v| v * v / 2.0).sum()
+        };
+        // Gamma.
+        for ci in 0..2 {
+            let orig = bn.gamma[ci];
+            bn.gamma[ci] = orig + eps;
+            let lp = loss(&mut bn, &x);
+            bn.gamma[ci] = orig - eps;
+            let lm = loss(&mut bn, &x);
+            bn.gamma[ci] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - bn.grad_gamma[ci]).abs() < 2e-2 * numeric.abs().max(1.0),
+                "gamma[{ci}] numeric {numeric} vs {}",
+                bn.grad_gamma[ci]
+            );
+        }
+        // Beta.
+        for ci in 0..2 {
+            let orig = bn.beta[ci];
+            bn.beta[ci] = orig + eps;
+            let lp = loss(&mut bn, &x);
+            bn.beta[ci] = orig - eps;
+            let lm = loss(&mut bn, &x);
+            bn.beta[ci] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - bn.grad_beta[ci]).abs() < 2e-2 * numeric.abs().max(1.0),
+                "beta[{ci}]"
+            );
+        }
+        // Input (batch statistics depend on x, so the full Jacobian matters).
+        let mut x2 = x.clone();
+        for xi in [0usize, 3, 10, x.data.len() - 1] {
+            let orig = x2.data[xi];
+            x2.data[xi] = orig + eps;
+            let lp = loss(&mut bn, &x2);
+            x2.data[xi] = orig - eps;
+            let lm = loss(&mut bn, &x2);
+            x2.data[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.data[xi]).abs() < 5e-2 * numeric.abs().max(1.0),
+                "x[{xi}] numeric {numeric} vs analytic {}",
+                grad_in.data[xi]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires forward")]
+    fn backward_without_forward_panics() {
+        let mut bn = BatchNorm1d::new(1);
+        let _ = bn.backward(&Tensor::zeros(1, 1, 4));
+    }
+
+    #[test]
+    fn visit_params_counts() {
+        use crate::VisitParams;
+        let mut bn = BatchNorm1d::new(5);
+        assert_eq!(bn.param_count(), 10);
+    }
+}

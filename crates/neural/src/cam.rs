@@ -1,0 +1,136 @@
+//! Class Activation Map extraction.
+//!
+//! For a GAP-classifier network, the logit of class `c` decomposes over
+//! time: `logit_c = Σ_k w_k^c · GAP(f_k) + b_c = mean_t Σ_k w_k^c · f_k(t)`.
+//! The inner sum is the **Class Activation Map**
+//! `CAM_c(t) = Σ_k w_k^c · f_k(t)` (Zhou et al., CVPR 2016) — the paper's
+//! equation in §II-B step 3. It localizes *which timesteps* drove the
+//! classifier's decision, which CamAL turns into appliance localization.
+
+use crate::resnet::ResNet;
+use crate::tensor::Tensor;
+
+/// Extract the CAM of `class` for every batch row of the most recent
+/// forward pass of `net`.
+///
+/// Returns one `Vec<f32>` of length `L` per batch row.
+///
+/// # Panics
+/// Panics if the network has not run a forward pass yet.
+pub fn class_activation_maps(net: &ResNet, class: usize) -> Vec<Vec<f32>> {
+    let features = net
+        .last_features()
+        .expect("CAM extraction requires a forward pass first");
+    let weights = net.class_weights(class);
+    cam_from_features(features, weights)
+}
+
+/// CAM from explicit feature maps `[B, K, L]` and class weights `w[K]`.
+pub fn cam_from_features(features: &Tensor, weights: &[f32]) -> Vec<Vec<f32>> {
+    assert_eq!(
+        features.channels,
+        weights.len(),
+        "feature channels must match class-weight length"
+    );
+    let (b, k, l) = features.shape();
+    let mut out = Vec::with_capacity(b);
+    for bi in 0..b {
+        let mut cam = vec![0.0f32; l];
+        for (ki, &w) in weights.iter().enumerate().take(k) {
+            if w == 0.0 {
+                continue;
+            }
+            for (c, &f) in cam.iter_mut().zip(features.row(bi, ki)) {
+                *c += w * f;
+            }
+        }
+        out.push(cam);
+    }
+    out
+}
+
+/// Run a forward pass and return `(positive-class probabilities, CAMs of
+/// class 1)` in one call — the unit of work of a CamAL ensemble member.
+pub fn predict_with_cam(net: &mut ResNet, x: &Tensor) -> (Vec<f32>, Vec<Vec<f32>>) {
+    let probs = net.predict_positive_proba(x);
+    let cams = class_activation_maps(net, 1);
+    (probs, cams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resnet::ResNetConfig;
+
+    #[test]
+    fn cam_matches_manual_computation() {
+        let features = Tensor::from_data(
+            1,
+            2,
+            3,
+            vec![
+                1.0, 2.0, 3.0, // channel 0
+                10.0, 20.0, 30.0, // channel 1
+            ],
+        );
+        let cams = cam_from_features(&features, &[0.5, 0.1]);
+        assert_eq!(cams.len(), 1);
+        let expected = [0.5 * 1.0 + 0.1 * 10.0, 0.5 * 2.0 + 0.1 * 20.0, 0.5 * 3.0 + 0.1 * 30.0];
+        for (a, e) in cams[0].iter().zip(expected) {
+            assert!((a - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cam_mean_equals_logit_contribution() {
+        // mean_t CAM_c(t) == logit_c - bias_c for a GAP network.
+        let mut net = ResNet::new(ResNetConfig::tiny(5, 9));
+        let x = Tensor::from_windows(&[(0..40).map(|i| (i as f32 * 0.37).sin()).collect()]);
+        let logits = net.forward(&x, false);
+        let cams = class_activation_maps(&net, 1);
+        let cam_mean: f32 = cams[0].iter().sum::<f32>() / cams[0].len() as f32;
+        // Reconstruct logit 1 minus its bias via the head weights and GAP.
+        let feats = net.last_features().unwrap();
+        let w = net.class_weights(1);
+        let mut manual = 0.0;
+        for (k, &wk) in w.iter().enumerate() {
+            let mean: f32 = feats.row(0, k).iter().sum::<f32>() / feats.len as f32;
+            manual += wk * mean;
+        }
+        assert!((cam_mean - manual).abs() < 1e-4);
+        let _ = logits;
+    }
+
+    #[test]
+    fn batch_cams_are_per_row() {
+        let features = Tensor::from_data(2, 1, 2, vec![1.0, 2.0, 5.0, 6.0]);
+        let cams = cam_from_features(&features, &[2.0]);
+        assert_eq!(cams[0], vec![2.0, 4.0]);
+        assert_eq!(cams[1], vec![10.0, 12.0]);
+    }
+
+    #[test]
+    fn predict_with_cam_runs_end_to_end() {
+        let mut net = ResNet::new(ResNetConfig::tiny(7, 4));
+        let x = Tensor::from_windows(&[vec![0.3; 24], vec![0.9; 24]]);
+        let (probs, cams) = predict_with_cam(&mut net, &x);
+        assert_eq!(probs.len(), 2);
+        assert_eq!(cams.len(), 2);
+        assert_eq!(cams[0].len(), 24);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    #[should_panic(expected = "forward pass")]
+    fn cam_without_forward_panics() {
+        let net = ResNet::new(ResNetConfig::tiny(5, 0));
+        let _ = class_activation_maps(&net, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels must match")]
+    fn mismatched_weights_panic() {
+        let features = Tensor::zeros(1, 3, 4);
+        let _ = cam_from_features(&features, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,434 @@
+//! Same-padded 1D convolution with full backward pass.
+//!
+//! This is the hot path of the entire reproduction: every model in the
+//! benchmark is convolutional. The implementation keeps the inner loops on
+//! contiguous slices (input rows and kernel rows) so the compiler can
+//! vectorize, and allocates nothing during forward/backward except the
+//! output/gradient tensors themselves.
+//!
+//! Shape convention: input `[B, C_in, L]` → output `[B, C_out, L]`
+//! (stride 1, zero padding `k/2`; for even `k` the output is anchored so
+//! position `t` sees `x[t - k/2 .. t + (k - 1)/2]`).
+
+use crate::tensor::Tensor;
+use crate::VisitParams;
+use serde::{Deserialize, Serialize};
+
+/// A trainable 1D convolution layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv1d {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Output channel count.
+    pub out_channels: usize,
+    /// Kernel width.
+    pub kernel: usize,
+    /// Dilation factor (1 = dense). The effective receptive span is
+    /// `(kernel - 1) * dilation + 1`; padding keeps the output length equal
+    /// to the input length. Dilated stacks power the TCN baseline.
+    pub dilation: usize,
+    /// Weights `[out, in, k]`, row-major.
+    pub weight: Vec<f32>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f32>,
+    /// Weight gradients (same layout as `weight`). Serialized alongside the
+    /// weights so a deserialized model has correctly sized buffers.
+    pub grad_weight: Vec<f32>,
+    /// Bias gradients.
+    pub grad_bias: Vec<f32>,
+    /// Cached input from the last forward (needed by backward).
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Create a layer with He-normal weights (seeded).
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Conv1d {
+        Conv1d::dilated(in_channels, out_channels, kernel, 1, seed)
+    }
+
+    /// Create a dilated layer (dilation 1 gives a dense convolution).
+    pub fn dilated(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        dilation: usize,
+        seed: u64,
+    ) -> Conv1d {
+        assert!(kernel >= 1, "kernel must be at least 1");
+        assert!(dilation >= 1, "dilation must be at least 1");
+        let mut weight = vec![0.0; out_channels * in_channels * kernel];
+        crate::init::he_normal(seed, in_channels * kernel, &mut weight);
+        Conv1d {
+            in_channels,
+            out_channels,
+            kernel,
+            dilation,
+            grad_weight: vec![0.0; weight.len()],
+            grad_bias: vec![0.0; out_channels],
+            weight,
+            bias: vec![0.0; out_channels],
+            cached_input: None,
+        }
+    }
+
+    /// Left padding implied by "same" output length.
+    #[inline]
+    fn pad_left(&self) -> usize {
+        (self.kernel - 1) * self.dilation / 2
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))] // used by the reference impl in tests
+    #[inline]
+    fn w_row(&self, oc: usize, ic: usize) -> &[f32] {
+        let start = (oc * self.in_channels + ic) * self.kernel;
+        &self.weight[start..start + self.kernel]
+    }
+
+    /// Forward pass. In training mode the input is cached for backward.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = self.infer(x);
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    /// Pure inference forward (no caching, `&self`) — used by ensembles that
+    /// must stay shareable at prediction time.
+    pub fn infer(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.channels, self.in_channels, "conv input channel mismatch");
+        let (b, _, l) = x.shape();
+        let mut y = Tensor::zeros(b, self.out_channels, l);
+        let pad = self.pad_left() as isize;
+        let dilation = self.dilation as isize;
+        for bi in 0..b {
+            for oc in 0..self.out_channels {
+                let bias = self.bias[oc];
+                // Initialize with bias, then accumulate channel by channel.
+                let y_row_start = (bi * self.out_channels + oc) * l;
+                y.data[y_row_start..y_row_start + l].fill(bias);
+                for ic in 0..self.in_channels {
+                    let w = {
+                        let start = (oc * self.in_channels + ic) * self.kernel;
+                        &self.weight[start..start + self.kernel]
+                    };
+                    let x_row = x.row(bi, ic);
+                    let y_row = &mut y.data[y_row_start..y_row_start + l];
+                    accumulate_conv(y_row, x_row, w, pad, dilation);
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Panics
+    /// Panics if called without a preceding training-mode forward.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Conv1d::backward requires forward(train=true) first");
+        assert_eq!(grad_out.channels, self.out_channels);
+        assert_eq!(grad_out.batch, x.batch);
+        assert_eq!(grad_out.len, x.len);
+        let (b, _, l) = x.shape();
+        let pad = self.pad_left() as isize;
+        let dilation = self.dilation as isize;
+        let mut grad_in = x.zeros_like();
+        for bi in 0..b {
+            for oc in 0..self.out_channels {
+                let g_row = grad_out.row(bi, oc);
+                self.grad_bias[oc] += g_row.iter().sum::<f32>();
+                for ic in 0..self.in_channels {
+                    let x_row = x.row(bi, ic);
+                    // dL/dw[oc][ic][k] = sum_t g[t] * x[t + k - pad]
+                    let gw = {
+                        let start = (oc * self.in_channels + ic) * self.kernel;
+                        &mut self.grad_weight[start..start + self.kernel]
+                    };
+                    for (k, gwk) in gw.iter_mut().enumerate() {
+                        let shift = k as isize * dilation - pad;
+                        let (t0, t1) = overlap(l, shift);
+                        let mut acc = 0.0f32;
+                        for t in t0..t1 {
+                            acc += g_row[t] * x_row[(t as isize + shift) as usize];
+                        }
+                        *gwk += acc;
+                    }
+                    // dL/dx[s] = sum_k g[s - k + pad] * w[k]
+                    let w = {
+                        let start = (oc * self.in_channels + ic) * self.kernel;
+                        &self.weight[start..start + self.kernel]
+                    };
+                    let gi_start = (bi * self.in_channels + ic) * l;
+                    let gi_row = &mut grad_in.data[gi_start..gi_start + l];
+                    for (k, &wk) in w.iter().enumerate() {
+                        // y[t] reads x[t + k*d - pad], so g[t] scatters into
+                        // x[t + k*d - pad]: the same shift as the forward read.
+                        let shift = k as isize * dilation - pad;
+                        let (t0, t1) = overlap(l, shift);
+                        for t in t0..t1 {
+                            gi_row[(t as isize + shift) as usize] += g_row[t] * wk;
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Accumulate `y[t] += Σ_k w[k] * x[t + k - pad]` with zero padding, keeping
+/// the inner loop over a contiguous valid range (no per-element bounds
+/// branch).
+#[inline]
+fn accumulate_conv(y: &mut [f32], x: &[f32], w: &[f32], pad: isize, dilation: isize) {
+    let l = y.len();
+    for (k, &wk) in w.iter().enumerate() {
+        if wk == 0.0 {
+            continue;
+        }
+        let shift = k as isize * dilation - pad;
+        let (t0, t1) = overlap(l, shift);
+        // y[t] += wk * x[t + shift] for t in [t0, t1)
+        let x_off = (t0 as isize + shift) as usize;
+        let n = t1 - t0;
+        let ys = &mut y[t0..t1];
+        let xs = &x[x_off..x_off + n];
+        for (yv, xv) in ys.iter_mut().zip(xs) {
+            *yv += wk * xv;
+        }
+    }
+}
+
+/// Valid `t` range such that `0 <= t + shift < l`.
+#[inline]
+fn overlap(l: usize, shift: isize) -> (usize, usize) {
+    let t0 = (-shift).max(0) as usize;
+    let t1 = ((l as isize - shift).min(l as isize)).max(0) as usize;
+    (t0.min(t1), t1)
+}
+
+impl VisitParams for Conv1d {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference convolution for cross-checking.
+    fn reference_forward(conv: &Conv1d, x: &Tensor) -> Tensor {
+        let (b, _, l) = x.shape();
+        let pad = ((conv.kernel - 1) * conv.dilation / 2) as isize;
+        let mut y = Tensor::zeros(b, conv.out_channels, l);
+        for bi in 0..b {
+            for oc in 0..conv.out_channels {
+                for t in 0..l {
+                    let mut acc = conv.bias[oc];
+                    for ic in 0..conv.in_channels {
+                        for k in 0..conv.kernel {
+                            let s = t as isize + (k * conv.dilation) as isize - pad;
+                            if s >= 0 && (s as usize) < l {
+                                acc += conv.w_row(oc, ic)[k] * x.get(bi, ic, s as usize);
+                            }
+                        }
+                    }
+                    *y.get_mut(bi, oc, t) = acc;
+                }
+            }
+        }
+        y
+    }
+
+    fn sample_input(b: usize, c: usize, l: usize) -> Tensor {
+        let data: Vec<f32> = (0..b * c * l)
+            .map(|i| ((i * 37 % 23) as f32 - 11.0) / 7.0)
+            .collect();
+        Tensor::from_data(b, c, l, data)
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        for kernel in [1usize, 2, 3, 5, 7, 15] {
+            let mut conv = Conv1d::new(3, 4, kernel, 11);
+            let x = sample_input(2, 3, 20);
+            let fast = conv.forward(&x, false);
+            let slow = reference_forward(&conv, &x);
+            for (a, b) in fast.data.iter().zip(slow.data.iter()) {
+                assert!((a - b).abs() < 1e-4, "kernel {kernel}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut conv = Conv1d::new(1, 1, 1, 0);
+        conv.weight[0] = 1.0;
+        conv.bias[0] = 0.0;
+        let x = sample_input(1, 1, 10);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data, x.data);
+    }
+
+    #[test]
+    fn output_preserves_length() {
+        for kernel in [2usize, 4, 9] {
+            let mut conv = Conv1d::new(2, 5, kernel, 3);
+            let x = sample_input(3, 2, 17);
+            let y = conv.forward(&x, false);
+            assert_eq!(y.shape(), (3, 5, 17));
+        }
+    }
+
+    /// Finite-difference gradient check for weights, bias and input.
+    #[test]
+    fn gradient_check() {
+        let mut conv = Conv1d::new(2, 3, 5, 42);
+        let x = sample_input(2, 2, 9);
+        // Loss = sum of squares of output / 2 -> dL/dy = y.
+        let y = conv.forward(&x, true);
+        let grad_in = conv.backward(&y);
+        let eps = 1e-3f32;
+
+        // Weight gradients.
+        for wi in [0usize, 7, 13, conv.weight.len() - 1] {
+            let orig = conv.weight[wi];
+            conv.weight[wi] = orig + eps;
+            let lp: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            conv.weight[wi] = orig - eps;
+            let lm: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            conv.weight[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = conv.grad_weight[wi];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),
+                "w[{wi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Bias gradients.
+        for bi in 0..conv.bias.len() {
+            let orig = conv.bias[bi];
+            conv.bias[bi] = orig + eps;
+            let lp: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            conv.bias[bi] = orig - eps;
+            let lm: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            conv.bias[bi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = conv.grad_bias[bi];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),
+                "b[{bi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Input gradients.
+        let mut x2 = x.clone();
+        for xi in [0usize, 5, 11, x.data.len() - 1] {
+            let orig = x2.data[xi];
+            x2.data[xi] = orig + eps;
+            let lp: f32 = conv.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            x2.data[xi] = orig - eps;
+            let lm: f32 = conv.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            x2.data[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.data[xi];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),
+                "x[{xi}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn even_kernel_gradient_check() {
+        let mut conv = Conv1d::new(1, 2, 4, 9);
+        let x = sample_input(1, 1, 8);
+        let y = conv.forward(&x, true);
+        let _ = conv.backward(&y);
+        let eps = 1e-3f32;
+        let wi = 3;
+        let orig = conv.weight[wi];
+        conv.weight[wi] = orig + eps;
+        let lp: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+        conv.weight[wi] = orig - eps;
+        let lm: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+        conv.weight[wi] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!((numeric - conv.grad_weight[wi]).abs() < 2e-2 * numeric.abs().max(1.0));
+    }
+
+    #[test]
+    fn dilated_forward_matches_reference() {
+        for dilation in [2usize, 3, 4] {
+            let mut conv = Conv1d::dilated(2, 3, 3, dilation, 13);
+            let x = sample_input(2, 2, 24);
+            let fast = conv.forward(&x, false);
+            let slow = reference_forward(&conv, &x);
+            for (a, b) in fast.data.iter().zip(slow.data.iter()) {
+                assert!((a - b).abs() < 1e-4, "dilation {dilation}: {a} vs {b}");
+            }
+            assert_eq!(fast.shape(), (2, 3, 24));
+        }
+    }
+
+    #[test]
+    fn dilated_gradient_check() {
+        let mut conv = Conv1d::dilated(1, 2, 3, 4, 21);
+        let x = sample_input(1, 1, 20);
+        let y = conv.forward(&x, true);
+        let grad_in = conv.backward(&y);
+        let eps = 1e-3f32;
+        for wi in 0..conv.weight.len() {
+            let orig = conv.weight[wi];
+            conv.weight[wi] = orig + eps;
+            let lp: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            conv.weight[wi] = orig - eps;
+            let lm: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            conv.weight[wi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - conv.grad_weight[wi]).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dilated w[{wi}]"
+            );
+        }
+        let mut x2 = x.clone();
+        for xi in [0usize, 7, 19] {
+            let orig = x2.data[xi];
+            x2.data[xi] = orig + eps;
+            let lp: f32 = conv.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            x2.data[xi] = orig - eps;
+            let lm: f32 = conv.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            x2.data[xi] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.data[xi]).abs() < 2e-2 * numeric.abs().max(1.0),
+                "dilated x[{xi}]"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires forward")]
+    fn backward_without_forward_panics() {
+        let mut conv = Conv1d::new(1, 1, 3, 0);
+        let g = Tensor::zeros(1, 1, 4);
+        let _ = conv.backward(&g);
+    }
+
+    #[test]
+    fn visit_params_reaches_everything() {
+        let mut conv = Conv1d::new(2, 3, 5, 1);
+        use crate::VisitParams;
+        assert_eq!(conv.param_count(), 2 * 3 * 5 + 3);
+        conv.grad_weight.fill(1.0);
+        conv.zero_grad();
+        assert!(conv.grad_weight.iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,59 @@
+//! Weight initialization (seeded, reproducible).
+
+use crate::randutil_normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// He/Kaiming-normal initialization for a weight buffer feeding ReLU units:
+/// `std = sqrt(2 / fan_in)`.
+pub fn he_normal(seed: u64, fan_in: usize, out: &mut [f32]) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    for w in out {
+        *w = randutil_normal(&mut rng, 0.0, std);
+    }
+}
+
+/// Xavier/Glorot-normal initialization: `std = sqrt(2 / (fan_in + fan_out))`.
+pub fn xavier_normal(seed: u64, fan_in: usize, fan_out: usize, out: &mut [f32]) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let std = (2.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    for w in out {
+        *w = randutil_normal(&mut rng, 0.0, std);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_normal_variance_scales_with_fan_in() {
+        let mut small = vec![0.0f32; 10_000];
+        let mut large = vec![0.0f32; 10_000];
+        he_normal(1, 4, &mut small);
+        he_normal(1, 64, &mut large);
+        let var = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>() / v.len() as f32;
+        assert!((var(&small) - 0.5).abs() < 0.05, "var {}", var(&small));
+        assert!((var(&large) - 2.0 / 64.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = vec![0.0f32; 16];
+        let mut b = vec![0.0f32; 16];
+        he_normal(7, 8, &mut a);
+        he_normal(7, 8, &mut b);
+        assert_eq!(a, b);
+        xavier_normal(7, 8, 4, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xavier_variance() {
+        let mut buf = vec![0.0f32; 20_000];
+        xavier_normal(3, 10, 10, &mut buf);
+        let var = buf.iter().map(|x| x * x).sum::<f32>() / buf.len() as f32;
+        assert!((var - 0.1).abs() < 0.01, "var {var}");
+    }
+}

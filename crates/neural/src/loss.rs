@@ -1,0 +1,238 @@
+//! Losses: softmax cross-entropy for window classification (detection) and
+//! per-timestep binary cross-entropy for the seq2seq baselines.
+
+use crate::activations::sigmoid;
+use crate::tensor::{Matrix, Tensor};
+
+/// Softmax probabilities of a logit row (numerically stable).
+pub fn softmax_row(logits: &[f32], out: &mut [f32]) {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for (o, &l) in out.iter_mut().zip(logits) {
+        let e = (l - max).exp();
+        *o = e;
+        sum += e;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
+}
+
+/// Softmax cross-entropy with integer class labels and optional per-class
+/// weights (class imbalance is the norm in appliance detection).
+///
+/// Returns `(mean_loss, grad_logits)`, where the gradient is already divided
+/// by the batch size.
+pub fn softmax_cross_entropy(
+    logits: &Matrix,
+    labels: &[u8],
+    class_weights: Option<&[f32]>,
+) -> (f32, Matrix) {
+    assert_eq!(logits.rows, labels.len(), "label count mismatch");
+    let classes = logits.cols;
+    let mut grad = Matrix::zeros(logits.rows, classes);
+    let mut total = 0.0f64;
+    let mut weight_sum = 0.0f64;
+    let mut probs = vec![0.0f32; classes];
+    for (r, &raw_label) in labels.iter().enumerate().take(logits.rows) {
+        let label = raw_label as usize;
+        assert!(label < classes, "label {label} out of range");
+        let w = class_weights.map_or(1.0, |cw| cw[label]);
+        softmax_row(logits.row(r), &mut probs);
+        let p = probs[label].max(1e-12);
+        total += (-(p.ln()) * w) as f64;
+        weight_sum += w as f64;
+        let g = grad.row_mut(r);
+        for (c, gv) in g.iter_mut().enumerate() {
+            let indicator = if c == label { 1.0 } else { 0.0 };
+            *gv = w * (probs[c] - indicator);
+        }
+    }
+    let norm = weight_sum.max(1e-12) as f32;
+    for g in grad.data.iter_mut() {
+        *g /= norm;
+    }
+    ((total / weight_sum.max(1e-12)) as f32, grad)
+}
+
+/// Per-timestep binary cross-entropy with logits over a `[B, 1, L]` tensor
+/// against 0/1 targets; returns `(mean_loss, grad_logits)` with the gradient
+/// divided by `B * L`.
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    let n = logits.data.len().max(1) as f32;
+    let mut grad = logits.zeros_like();
+    let mut total = 0.0f64;
+    for i in 0..logits.data.len() {
+        let z = logits.data[i];
+        let t = targets.data[i];
+        // loss = max(z,0) - z*t + ln(1 + e^{-|z|})  (stable form)
+        let loss = z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        total += loss as f64;
+        grad.data[i] = (sigmoid(z) - t) / n;
+    }
+    ((total / n as f64) as f32, grad)
+}
+
+/// [`bce_with_logits`] with a positive-class weight: ON timesteps are rare
+/// in appliance status targets, so seq2seq training up-weights them.
+/// `pos_weight = 1.0` reduces to the unweighted loss.
+pub fn bce_with_logits_pos_weight(
+    logits: &Tensor,
+    targets: &Tensor,
+    pos_weight: f32,
+) -> (f32, Tensor) {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    let mut grad = logits.zeros_like();
+    let mut total = 0.0f64;
+    let mut weight_sum = 0.0f64;
+    for i in 0..logits.data.len() {
+        let z = logits.data[i];
+        let t = targets.data[i];
+        let w = if t > 0.5 { pos_weight } else { 1.0 };
+        let loss = z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        total += (w * loss) as f64;
+        weight_sum += w as f64;
+        grad.data[i] = w * (sigmoid(z) - t);
+    }
+    let norm = weight_sum.max(1e-12) as f32;
+    for g in grad.data.iter_mut() {
+        *g /= norm;
+    }
+    ((total / weight_sum.max(1e-12)) as f32, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_row_sums_to_one() {
+        let mut out = vec![0.0; 3];
+        softmax_row(&[1.0, 2.0, 3.0], &mut out);
+        assert!((out.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(out[2] > out[1] && out[1] > out[0]);
+        // Stability with huge logits.
+        softmax_row(&[1000.0, 0.0], &mut out[..2]);
+        assert!((out[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_low() {
+        let logits = Matrix::from_data(1, 2, vec![-10.0, 10.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[1], None);
+        assert!(loss < 1e-3);
+        assert!(grad.data.iter().all(|g| g.abs() < 1e-3));
+    }
+
+    #[test]
+    fn cross_entropy_uniform_prediction() {
+        let logits = Matrix::from_data(1, 2, vec![0.0, 0.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0], None);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-5);
+        assert!((grad.get(0, 0) - (-0.5)).abs() < 1e-5);
+        assert!((grad.get(0, 1) - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_check() {
+        let logits = Matrix::from_data(2, 2, vec![0.3, -0.7, 1.2, 0.1]);
+        let labels = [1u8, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels, None);
+        let eps = 1e-3f32;
+        for i in 0..logits.data.len() {
+            let mut lp = logits.clone();
+            lp.data[i] += eps;
+            let (loss_p, _) = softmax_cross_entropy(&lp, &labels, None);
+            let mut lm = logits.clone();
+            lm.data[i] -= eps;
+            let (loss_m, _) = softmax_cross_entropy(&lm, &labels, None);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!((numeric - grad.data[i]).abs() < 1e-3, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn class_weights_rebalance() {
+        let logits = Matrix::from_data(2, 2, vec![0.0, 0.0, 0.0, 0.0]);
+        let labels = [0u8, 1];
+        let (_, grad_unweighted) = softmax_cross_entropy(&logits, &labels, None);
+        let (_, grad_weighted) = softmax_cross_entropy(&logits, &labels, Some(&[1.0, 3.0]));
+        // Row 1 (label 1, weight 3) contributes relatively more after
+        // weighting than row 0.
+        let r0u = grad_unweighted.get(0, 0).abs();
+        let r1u = grad_unweighted.get(1, 0).abs();
+        let r0w = grad_weighted.get(0, 0).abs();
+        let r1w = grad_weighted.get(1, 0).abs();
+        assert!((r0u - r1u).abs() < 1e-6);
+        assert!(r1w > 2.9 * r0w, "weighted ratio {}", r1w / r0w);
+    }
+
+    #[test]
+    fn bce_matches_manual_values() {
+        let logits = Tensor::from_data(1, 1, 2, vec![0.0, 0.0]);
+        let targets = Tensor::from_data(1, 1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-5);
+        assert!((grad.data[0] - 0.25).abs() < 1e-5); // (0.5 - 0)/2
+        assert!((grad.data[1] + 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_gradient_check() {
+        let logits = Tensor::from_data(1, 1, 4, vec![0.5, -1.5, 2.0, 0.0]);
+        let targets = Tensor::from_data(1, 1, 4, vec![1.0, 0.0, 1.0, 0.0]);
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data[i] += eps;
+            let (loss_p, _) = bce_with_logits(&lp, &targets);
+            let mut lm = logits.clone();
+            lm.data[i] -= eps;
+            let (loss_m, _) = bce_with_logits(&lm, &targets);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!((numeric - grad.data[i]).abs() < 1e-3, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn pos_weight_one_matches_unweighted() {
+        let logits = Tensor::from_data(1, 1, 3, vec![0.4, -0.9, 1.7]);
+        let targets = Tensor::from_data(1, 1, 3, vec![1.0, 0.0, 1.0]);
+        let (l1, g1) = bce_with_logits(&logits, &targets);
+        let (l2, g2) = bce_with_logits_pos_weight(&logits, &targets, 1.0);
+        assert!((l1 - l2).abs() < 1e-6);
+        for (a, b) in g1.data.iter().zip(g2.data.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pos_weight_gradient_check() {
+        let logits = Tensor::from_data(1, 1, 4, vec![0.5, -1.5, 2.0, 0.0]);
+        let targets = Tensor::from_data(1, 1, 4, vec![1.0, 0.0, 1.0, 0.0]);
+        let (_, grad) = bce_with_logits_pos_weight(&logits, &targets, 3.0);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data[i] += eps;
+            let (loss_p, _) = bce_with_logits_pos_weight(&lp, &targets, 3.0);
+            let mut lm = logits.clone();
+            lm.data[i] -= eps;
+            let (loss_m, _) = bce_with_logits_pos_weight(&lm, &targets, 3.0);
+            let numeric = (loss_p - loss_m) / (2.0 * eps);
+            assert!((numeric - grad.data[i]).abs() < 1e-3, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn bce_stable_at_extremes() {
+        let logits = Tensor::from_data(1, 1, 2, vec![60.0, -60.0]);
+        let targets = Tensor::from_data(1, 1, 2, vec![1.0, 0.0]);
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        assert!(loss.is_finite());
+        assert!(loss < 1e-3);
+        assert!(grad.data.iter().all(|g| g.is_finite()));
+    }
+}

@@ -1,0 +1,125 @@
+//! Global average pooling: `[B, C, L] → [B, C]`.
+//!
+//! The GAP layer is load-bearing for CamAL: because the classifier head sees
+//! only channel averages, its weights `w_k^c` apply uniformly over time, and
+//! projecting them back onto the pre-GAP feature maps yields the Class
+//! Activation Map. See [`crate::cam`].
+
+use crate::tensor::{Matrix, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Global average pooling over the length dimension.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GlobalAvgPool {
+    #[serde(skip)]
+    cached_shape: Option<(usize, usize, usize)>,
+}
+
+impl GlobalAvgPool {
+    /// New pooling layer.
+    pub fn new() -> GlobalAvgPool {
+        GlobalAvgPool::default()
+    }
+
+    /// Forward: mean over `L` per `(batch, channel)`.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Matrix {
+        let (b, c, l) = x.shape();
+        assert!(l > 0, "cannot pool an empty sequence");
+        let mut y = Matrix::zeros(b, c);
+        for bi in 0..b {
+            for ci in 0..c {
+                let row = x.row(bi, ci);
+                y.data[bi * c + ci] = row.iter().sum::<f32>() / l as f32;
+            }
+        }
+        if train {
+            self.cached_shape = Some((b, c, l));
+        }
+        y
+    }
+
+    /// Pure inference forward (`&self`).
+    pub fn infer(&self, x: &Tensor) -> Matrix {
+        let (b, c, l) = x.shape();
+        assert!(l > 0, "cannot pool an empty sequence");
+        let mut y = Matrix::zeros(b, c);
+        for bi in 0..b {
+            for ci in 0..c {
+                let row = x.row(bi, ci);
+                y.data[bi * c + ci] = row.iter().sum::<f32>() / l as f32;
+            }
+        }
+        y
+    }
+
+    /// Backward: the gradient spreads uniformly over the pooled positions.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Tensor {
+        let (b, c, l) = self
+            .cached_shape
+            .expect("GlobalAvgPool::backward requires forward(train=true) first");
+        assert_eq!(grad_out.rows, b);
+        assert_eq!(grad_out.cols, c);
+        let mut g = Tensor::zeros(b, c, l);
+        let scale = 1.0 / l as f32;
+        for bi in 0..b {
+            for ci in 0..c {
+                let gv = grad_out.data[bi * c + ci] * scale;
+                g.row_mut(bi, ci).fill(gv);
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_averages() {
+        let x = Tensor::from_data(1, 2, 3, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+        let mut gap = GlobalAvgPool::new();
+        let y = gap.forward(&x, false);
+        assert_eq!(y.rows, 1);
+        assert_eq!(y.cols, 2);
+        assert!((y.get(0, 0) - 2.0).abs() < 1e-6);
+        assert!((y.get(0, 1) - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_spreads_uniformly() {
+        let x = Tensor::from_data(2, 1, 4, vec![0.0; 8]);
+        let mut gap = GlobalAvgPool::new();
+        let _ = gap.forward(&x, true);
+        let g = Matrix::from_data(2, 1, vec![4.0, 8.0]);
+        let gi = gap.backward(&g);
+        assert_eq!(gi.row(0, 0), &[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(gi.row(1, 0), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let x = Tensor::from_data(1, 2, 3, vec![0.5, -1.0, 2.0, 1.0, 0.0, -0.5]);
+        let mut gap = GlobalAvgPool::new();
+        let y = gap.forward(&x, true);
+        // loss = sum(y^2)/2, dL/dy = y.
+        let gi = gap.backward(&y);
+        let eps = 1e-3f32;
+        for xi in 0..x.data.len() {
+            let mut x2 = x.clone();
+            x2.data[xi] += eps;
+            let lp: f32 = gap.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            x2.data[xi] -= 2.0 * eps;
+            let lm: f32 = gap.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gi.data[xi]).abs() < 1e-3, "x[{xi}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires forward")]
+    fn backward_without_forward_panics() {
+        let mut gap = GlobalAvgPool::new();
+        let _ = gap.backward(&Matrix::zeros(1, 1));
+    }
+}

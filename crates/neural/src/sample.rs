@@ -1,0 +1,236 @@
+//! Resolution-changing layers: max pooling and nearest-neighbour
+//! upsampling. Together they make true encoder–decoder (UNet-style)
+//! seq2seq architectures expressible on this substrate.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Max pooling over non-overlapping windows of `factor` along the length
+/// axis. A trailing remainder shorter than `factor` is dropped (PyTorch
+/// semantics).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaxPool1d {
+    /// Pooling factor (window and stride).
+    pub factor: usize,
+    #[serde(skip)]
+    argmax: Option<(Vec<usize>, usize, usize, usize)>, // indices, b, c, l_in
+}
+
+impl MaxPool1d {
+    /// Create a pooling layer.
+    ///
+    /// # Panics
+    /// Panics if `factor == 0`.
+    pub fn new(factor: usize) -> MaxPool1d {
+        assert!(factor >= 1, "pooling factor must be positive");
+        MaxPool1d {
+            factor,
+            argmax: None,
+        }
+    }
+
+    /// Output length for a given input length.
+    pub fn out_len(&self, l: usize) -> usize {
+        l / self.factor
+    }
+
+    /// Forward pass; caches argmax positions when training.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (b, c, l) = x.shape();
+        let lo = self.out_len(l);
+        assert!(lo > 0, "input ({l}) shorter than the pooling factor ({})", self.factor);
+        let mut y = Tensor::zeros(b, c, lo);
+        let mut argmax = vec![0usize; b * c * lo];
+        for bi in 0..b {
+            for ci in 0..c {
+                let row = x.row(bi, ci);
+                for (o, am) in argmax[(bi * c + ci) * lo..(bi * c + ci + 1) * lo]
+                    .iter_mut()
+                    .enumerate()
+                {
+                    let start = o * self.factor;
+                    let mut best = start;
+                    let mut best_v = row[start];
+                    for (k, &v) in row[start..start + self.factor].iter().enumerate() {
+                        if v > best_v {
+                            best_v = v;
+                            best = start + k;
+                        }
+                    }
+                    *y.get_mut(bi, ci, o) = best_v;
+                    *am = best;
+                }
+            }
+        }
+        if train {
+            self.argmax = Some((argmax, b, c, l));
+        }
+        y
+    }
+
+    /// Backward: the gradient routes to the argmax positions.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (argmax, b, c, l_in) = self
+            .argmax
+            .as_ref()
+            .expect("MaxPool1d::backward requires forward(train=true) first");
+        assert_eq!(grad_out.batch, *b);
+        assert_eq!(grad_out.channels, *c);
+        let lo = grad_out.len;
+        let mut grad_in = Tensor::zeros(*b, *c, *l_in);
+        for bi in 0..*b {
+            for ci in 0..*c {
+                for o in 0..lo {
+                    let src = argmax[(bi * c + ci) * lo + o];
+                    *grad_in.get_mut(bi, ci, src) += grad_out.get(bi, ci, o);
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+/// Nearest-neighbour upsampling by an integer factor (each sample repeats
+/// `factor` times). The inverse-resolution partner of [`MaxPool1d`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Upsample1d {
+    /// Repetition factor.
+    pub factor: usize,
+}
+
+impl Upsample1d {
+    /// Create an upsampling layer.
+    ///
+    /// # Panics
+    /// Panics if `factor == 0`.
+    pub fn new(factor: usize) -> Upsample1d {
+        assert!(factor >= 1, "upsampling factor must be positive");
+        Upsample1d { factor }
+    }
+
+    /// Forward (pure — no cache needed; backward only needs the factor).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (b, c, l) = x.shape();
+        let mut y = Tensor::zeros(b, c, l * self.factor);
+        for bi in 0..b {
+            for ci in 0..c {
+                let row = x.row(bi, ci);
+                let out = y.row_mut(bi, ci);
+                for (i, &v) in row.iter().enumerate() {
+                    out[i * self.factor..(i + 1) * self.factor].fill(v);
+                }
+            }
+        }
+        y
+    }
+
+    /// Backward: each input position accumulates the gradient of its
+    /// `factor` replicas.
+    pub fn backward(&self, grad_out: &Tensor) -> Tensor {
+        let (b, c, lo) = grad_out.shape();
+        assert!(
+            lo % self.factor == 0,
+            "upsample backward expects a multiple of the factor"
+        );
+        let l = lo / self.factor;
+        let mut grad_in = Tensor::zeros(b, c, l);
+        for bi in 0..b {
+            for ci in 0..c {
+                let g = grad_out.row(bi, ci);
+                let out = grad_in.row_mut(bi, ci);
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = g[i * self.factor..(i + 1) * self.factor].iter().sum();
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward_picks_maxima() {
+        let x = Tensor::from_data(1, 1, 6, vec![1.0, 5.0, 2.0, 7.0, 3.0, 4.0]);
+        let mut pool = MaxPool1d::new(2);
+        let y = pool.forward(&x, false);
+        assert_eq!(y.data, vec![5.0, 7.0, 4.0]);
+        assert_eq!(pool.out_len(7), 3); // remainder dropped
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_data(1, 1, 4, vec![1.0, 5.0, 7.0, 2.0]);
+        let mut pool = MaxPool1d::new(2);
+        let _ = pool.forward(&x, true);
+        let g = Tensor::from_data(1, 1, 2, vec![10.0, 20.0]);
+        let gi = pool.backward(&g);
+        assert_eq!(gi.data, vec![0.0, 10.0, 20.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_gradient_check() {
+        let x = Tensor::from_data(1, 2, 8, (0..16).map(|i| ((i * 7) % 11) as f32).collect());
+        let mut pool = MaxPool1d::new(2);
+        let y = pool.forward(&x, true);
+        let gi = pool.backward(&y); // loss = sum(y^2)/2
+        let eps = 1e-3f32;
+        for xi in 0..x.data.len() {
+            let mut x2 = x.clone();
+            x2.data[xi] += eps;
+            let lp: f32 = pool.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            x2.data[xi] -= 2.0 * eps;
+            let lm: f32 = pool.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gi.data[xi]).abs() < 1e-2, "x[{xi}]");
+        }
+    }
+
+    #[test]
+    fn upsample_round_trip_shapes() {
+        let x = Tensor::from_data(2, 1, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let up = Upsample1d::new(3);
+        let y = up.forward(&x);
+        assert_eq!(y.shape(), (2, 1, 9));
+        assert_eq!(&y.data[0..4], &[1.0, 1.0, 1.0, 2.0]);
+        let gi = up.backward(&y);
+        assert_eq!(gi.shape(), x.shape());
+        assert_eq!(gi.data[0], 3.0); // 1.0 × 3 replicas
+    }
+
+    #[test]
+    fn upsample_gradient_check() {
+        let x = Tensor::from_data(1, 1, 4, vec![0.5, -1.0, 2.0, 0.0]);
+        let up = Upsample1d::new(2);
+        let y = up.forward(&x);
+        let gi = up.backward(&y); // loss = sum(y^2)/2
+        let eps = 1e-3f32;
+        for xi in 0..4 {
+            let mut x2 = x.clone();
+            x2.data[xi] += eps;
+            let lp: f32 = up.forward(&x2).data.iter().map(|v| v * v / 2.0).sum();
+            x2.data[xi] -= 2.0 * eps;
+            let lm: f32 = up.forward(&x2).data.iter().map(|v| v * v / 2.0).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gi.data[xi]).abs() < 1e-2, "x[{xi}]");
+        }
+    }
+
+    #[test]
+    fn pool_then_upsample_preserves_length() {
+        let x = Tensor::from_data(1, 1, 12, (0..12).map(|i| i as f32).collect());
+        let mut pool = MaxPool1d::new(4);
+        let up = Upsample1d::new(4);
+        let y = up.forward(&pool.forward(&x, false));
+        assert_eq!(y.len, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires forward")]
+    fn maxpool_backward_without_forward_panics() {
+        let mut pool = MaxPool1d::new(2);
+        let _ = pool.backward(&Tensor::zeros(1, 1, 2));
+    }
+}

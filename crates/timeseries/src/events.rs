@@ -1,0 +1,227 @@
+//! Edge-based event detection: the classic, training-free NILM primitive
+//! (Hart 1992 lineage). An *event* is a steep sustained change in aggregate
+//! power; pairing rising and falling edges of similar magnitude yields
+//! candidate appliance activations.
+//!
+//! DeviceScope's scenario 3 invites the user to "identify potential margins
+//! of improvement" in the benchmarked methods; this module powers the
+//! repository's training-free reference heuristic
+//! (`ds_baselines::extensions::EdgeHeuristic`), the floor any learned
+//! method must beat.
+
+use crate::series::TimeSeries;
+
+/// A detected power edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Sample index at which the change completes.
+    pub index: usize,
+    /// Signed power change in watts (positive = switch-on).
+    pub delta_w: f32,
+}
+
+/// Detect steep edges: changes of at least `min_delta_w` between
+/// consecutive readings. Consecutive same-sign steps are merged into one
+/// edge whose delta is their sum (appliances often ramp over 2 samples).
+/// Missing readings break merging and never produce edges.
+pub fn detect_edges(series: &TimeSeries, min_delta_w: f32) -> Vec<Edge> {
+    let values = series.values();
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut pending: Option<Edge> = None;
+    for i in 1..values.len() {
+        let (a, b) = (values[i - 1], values[i]);
+        if a.is_nan() || b.is_nan() {
+            flush(&mut pending, &mut edges, min_delta_w);
+            continue;
+        }
+        let step = b - a;
+        if step.abs() < min_delta_w / 4.0 {
+            flush(&mut pending, &mut edges, min_delta_w);
+            continue;
+        }
+        match pending.as_mut() {
+            Some(e) if (e.delta_w > 0.0) == (step > 0.0) => {
+                e.delta_w += step;
+                e.index = i;
+            }
+            _ => {
+                flush(&mut pending, &mut edges, min_delta_w);
+                pending = Some(Edge {
+                    index: i,
+                    delta_w: step,
+                });
+            }
+        }
+    }
+    flush(&mut pending, &mut edges, min_delta_w);
+    edges
+}
+
+fn flush(pending: &mut Option<Edge>, edges: &mut Vec<Edge>, min_delta_w: f32) {
+    if let Some(e) = pending.take() {
+        if e.delta_w.abs() >= min_delta_w {
+            edges.push(e);
+        }
+    }
+}
+
+/// A candidate activation: a rising edge paired with the next falling edge
+/// of comparable magnitude.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventSegment {
+    /// Index of the switch-on edge.
+    pub start: usize,
+    /// Index one past the switch-off edge.
+    pub end: usize,
+    /// Magnitude of the rising edge in watts.
+    pub rise_w: f32,
+}
+
+/// Pair edges into candidate activations.
+///
+/// Greedy matching: each rising edge of at least `min_delta_w` is matched
+/// to the first subsequent falling edge whose magnitude is within
+/// `tolerance` (relative) of the rise, searching at most `max_len` samples
+/// ahead. Unmatched rises are dropped (conservative).
+pub fn pair_events(
+    edges: &[Edge],
+    min_delta_w: f32,
+    tolerance: f32,
+    max_len: usize,
+) -> Vec<EventSegment> {
+    let mut segments = Vec::new();
+    let mut used = vec![false; edges.len()];
+    for (i, rise) in edges.iter().enumerate() {
+        if rise.delta_w < min_delta_w {
+            continue;
+        }
+        for (j, fall) in edges.iter().enumerate().skip(i + 1) {
+            if used[j] || fall.delta_w >= 0.0 {
+                continue;
+            }
+            if fall.index - rise.index > max_len {
+                break;
+            }
+            let ratio = (-fall.delta_w) / rise.delta_w;
+            if (1.0 - tolerance..=1.0 + tolerance).contains(&ratio) {
+                segments.push(EventSegment {
+                    start: rise.index,
+                    end: fall.index,
+                    rise_w: rise.delta_w,
+                });
+                used[j] = true;
+                break;
+            }
+        }
+    }
+    segments
+}
+
+/// Render paired events as a per-timestep 0/1 status of length `len`.
+pub fn segments_to_status(segments: &[EventSegment], len: usize) -> Vec<u8> {
+    let mut status = vec![0u8; len];
+    for seg in segments {
+        let end = seg.end.min(len);
+        if seg.start < end {
+            status[seg.start..end].fill(1);
+        }
+    }
+    status
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: Vec<f32>) -> TimeSeries {
+        TimeSeries::from_values(0, 60, values)
+    }
+
+    #[test]
+    fn detects_clean_square_pulse() {
+        let mut v = vec![100.0f32; 20];
+        v[5..10].fill(2100.0);
+        let edges = detect_edges(&series(v), 500.0);
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0].index, 5);
+        assert!((edges[0].delta_w - 2000.0).abs() < 1.0);
+        assert_eq!(edges[1].index, 10);
+        assert!((edges[1].delta_w + 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merges_two_sample_ramps() {
+        let mut v = vec![0.0f32; 12];
+        v[4] = 1000.0;
+        for x in &mut v[5..9] {
+            *x = 2000.0;
+        }
+        let edges = detect_edges(&series(v), 1500.0);
+        // The rise happens over samples 4 and 5: one merged edge of 2000 W.
+        assert_eq!(edges.len(), 2);
+        assert!((edges[0].delta_w - 2000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn small_fluctuations_ignored() {
+        let v: Vec<f32> = (0..50).map(|i| 100.0 + (i % 3) as f32 * 20.0).collect();
+        assert!(detect_edges(&series(v), 500.0).is_empty());
+    }
+
+    #[test]
+    fn missing_readings_break_edges() {
+        let mut v = vec![0.0f32; 10];
+        v[4] = f32::NAN;
+        v[5..].fill(2000.0);
+        let edges = detect_edges(&series(v), 500.0);
+        assert!(edges.is_empty(), "edge across a gap must not fire: {edges:?}");
+    }
+
+    #[test]
+    fn pairing_matches_rise_and_fall() {
+        let edges = vec![
+            Edge { index: 5, delta_w: 2000.0 },
+            Edge { index: 12, delta_w: -1950.0 },
+            Edge { index: 20, delta_w: 800.0 },
+            Edge { index: 24, delta_w: -300.0 }, // magnitude mismatch
+        ];
+        let segs = pair_events(&edges, 500.0, 0.2, 100);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0], EventSegment { start: 5, end: 12, rise_w: 2000.0 });
+    }
+
+    #[test]
+    fn pairing_respects_max_len() {
+        let edges = vec![
+            Edge { index: 0, delta_w: 2000.0 },
+            Edge { index: 500, delta_w: -2000.0 },
+        ];
+        assert!(pair_events(&edges, 500.0, 0.2, 100).is_empty());
+        assert_eq!(pair_events(&edges, 500.0, 0.2, 600).len(), 1);
+    }
+
+    #[test]
+    fn status_rendering() {
+        let segs = vec![EventSegment { start: 2, end: 5, rise_w: 1000.0 }];
+        assert_eq!(segments_to_status(&segs, 7), vec![0, 0, 1, 1, 1, 0, 0]);
+        // Out-of-range segments are clipped.
+        let segs = vec![EventSegment { start: 5, end: 99, rise_w: 1.0 }];
+        let status = segments_to_status(&segs, 7);
+        assert_eq!(&status[5..], &[1, 1]);
+    }
+
+    #[test]
+    fn end_to_end_square_wave() {
+        let mut v = vec![150.0f32; 60];
+        v[10..20].fill(2650.0);
+        v[40..45].fill(8150.0);
+        let ts = series(v);
+        let edges = detect_edges(&ts, 1000.0);
+        let segs = pair_events(&edges, 1000.0, 0.15, 30);
+        assert_eq!(segs.len(), 2);
+        let status = segments_to_status(&segs, ts.len());
+        assert_eq!(status[10..20].iter().sum::<u8>(), 10);
+        assert_eq!(status[40..45].iter().sum::<u8>(), 5);
+        assert_eq!(status.iter().map(|&s| s as usize).sum::<usize>(), 15);
+    }
+}

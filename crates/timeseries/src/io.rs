@@ -1,0 +1,187 @@
+//! Dependency-free CSV import/export.
+//!
+//! DeviceScope notes that *"users could upload other datasets, as well"*.
+//! This module provides the upload path: a two-column
+//! `timestamp,power` CSV format (header optional, empty field or `nan` for
+//! missing readings). The reader validates that timestamps are regular and
+//! infers the interval.
+
+use crate::series::TimeSeries;
+use crate::{Result, TsError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Write a series as `timestamp,power` CSV with a header.
+pub fn write_csv<W: Write>(series: &TimeSeries, mut w: W) -> Result<()> {
+    writeln!(w, "timestamp,power_w")?;
+    for (i, &v) in series.values().iter().enumerate() {
+        if v.is_nan() {
+            writeln!(w, "{},", series.timestamp_at(i))?;
+        } else {
+            writeln!(w, "{},{}", series.timestamp_at(i), v)?;
+        }
+    }
+    Ok(())
+}
+
+/// Write a series to a file path.
+pub fn write_csv_file(series: &TimeSeries, path: impl AsRef<Path>) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_csv(series, std::io::BufWriter::new(f))
+}
+
+/// Read a `timestamp,power` CSV.
+///
+/// Rules:
+/// - an optional header line (first field not parseable as an integer) is
+///   skipped;
+/// - blank lines are skipped;
+/// - the power field may be empty, `nan` or `NaN` for a missing reading;
+/// - timestamps must be strictly increasing and regularly spaced.
+pub fn read_csv<R: Read>(r: R) -> Result<TimeSeries> {
+    let reader = BufReader::new(r);
+    let mut timestamps: Vec<i64> = Vec::new();
+    let mut values: Vec<f32> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed.splitn(2, ',');
+        let ts_field = fields.next().unwrap_or("").trim();
+        let val_field = fields.next().unwrap_or("").trim();
+        let ts: i64 = match ts_field.parse() {
+            Ok(t) => t,
+            Err(_) => {
+                if timestamps.is_empty() && lineno == 0 {
+                    continue; // header
+                }
+                return Err(TsError::Parse {
+                    line: lineno + 1,
+                    detail: format!("invalid timestamp {ts_field:?}"),
+                });
+            }
+        };
+        let v: f32 = if val_field.is_empty() || val_field.eq_ignore_ascii_case("nan") {
+            f32::NAN
+        } else {
+            val_field.parse().map_err(|_| TsError::Parse {
+                line: lineno + 1,
+                detail: format!("invalid power value {val_field:?}"),
+            })?
+        };
+        timestamps.push(ts);
+        values.push(v);
+    }
+    if timestamps.is_empty() {
+        return Err(TsError::EmptySeries);
+    }
+    if timestamps.len() == 1 {
+        return Ok(TimeSeries::from_values(timestamps[0], 60, values));
+    }
+    let interval = timestamps[1] - timestamps[0];
+    if interval <= 0 || interval > u32::MAX as i64 {
+        return Err(TsError::Parse {
+            line: 2,
+            detail: format!("non-increasing or oversized interval {interval}"),
+        });
+    }
+    for (i, pair) in timestamps.windows(2).enumerate() {
+        if pair[1] - pair[0] != interval {
+            return Err(TsError::Parse {
+                line: i + 2,
+                detail: format!(
+                    "irregular sampling: expected interval {interval}, found {}",
+                    pair[1] - pair[0]
+                ),
+            });
+        }
+    }
+    Ok(TimeSeries::from_values(
+        timestamps[0],
+        interval as u32,
+        values,
+    ))
+}
+
+/// Read a series from a file path.
+pub fn read_csv_file(path: impl AsRef<Path>) -> Result<TimeSeries> {
+    let f = std::fs::File::open(path)?;
+    read_csv(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_with_missing() {
+        let ts = TimeSeries::from_values(100, 60, vec![1.5, f32::NAN, 3.0]);
+        let mut buf = Vec::new();
+        write_csv(&ts, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.start(), 100);
+        assert_eq!(back.interval_secs(), 60);
+        assert_eq!(back.values()[0], 1.5);
+        assert!(back.values()[1].is_nan());
+        assert_eq!(back.values()[2], 3.0);
+    }
+
+    #[test]
+    fn reads_headerless_and_nan_token() {
+        let csv = "0,5\n60,nan\n120,7.25\n";
+        let ts = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ts.len(), 3);
+        assert!(ts.values()[1].is_nan());
+        assert_eq!(ts.values()[2], 7.25);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let csv = "timestamp,power_w\n\n0,1\n\n60,2\n";
+        let ts = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn rejects_irregular_sampling() {
+        let csv = "0,1\n60,2\n180,3\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        // The irregular step is between rows 2 and 3; it is reported at row 3.
+        assert!(matches!(err, TsError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn rejects_decreasing_timestamps() {
+        let csv = "60,1\n0,2\n";
+        assert!(read_csv(csv.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_fields_and_empty_input() {
+        assert!(read_csv("0,abc\n".as_bytes()).is_err());
+        assert!(read_csv("".as_bytes()).is_err());
+        // A non-numeric line after data is an error, not a header.
+        assert!(read_csv("0,1\nheader,2\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn single_row_defaults_to_one_minute() {
+        let ts = read_csv("0,42\n".as_bytes()).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.interval_secs(), 60);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ds_ts_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("series.csv");
+        let ts = TimeSeries::from_values(0, 30, vec![1.0, 2.0, 3.0]);
+        write_csv_file(&ts, &path).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back, ts);
+        std::fs::remove_file(&path).ok();
+    }
+}

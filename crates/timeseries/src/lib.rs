@@ -1,0 +1,108 @@
+//! # ds-timeseries
+//!
+//! Time-series substrate for the DeviceScope / CamAL reproduction.
+//!
+//! The DeviceScope paper ([ICDE 2025]) operates on *electricity consumption
+//! time series*: regularly sampled, possibly gappy power readings recorded by
+//! a household smart meter. This crate provides everything the upper layers
+//! (dataset simulation, CamAL, baselines, the application) need to manipulate
+//! such series:
+//!
+//! - [`TimeSeries`]: a regularly sampled univariate series with explicit
+//!   missing values (`NaN`), a start timestamp and a sampling interval.
+//! - [`StatusSeries`]: a binary per-timestep appliance on/off status aligned
+//!   with a [`TimeSeries`] — the object CamAL's localization step produces
+//!   and the ground truth the evaluation consumes.
+//! - [`resample`]: frequency conversion (the paper resamples every dataset to
+//!   a common 1-minute frequency before training).
+//! - [`window`]: subsequence extraction and the 6 h / 12 h / 1 day sliding
+//!   windows with Prev/Next navigation used by the DeviceScope GUI.
+//! - [`missing`]: gap detection, missing-ratio computation and imputation
+//!   (the paper omits subsequences containing missing data).
+//! - [`normalize`]: min-max / z-score scalers with invertible parameters.
+//! - [`stats`]: descriptive statistics used by the simulator and the app.
+//! - [`io`]: a dependency-free CSV reader/writer so users can load their own
+//!   exported smart-meter data, mirroring the paper's "users could upload
+//!   other datasets" note.
+//! - [`time`]: minimal civil-time helpers (hour of day, day index) used by
+//!   the occupancy model; no external chrono dependency.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ds_timeseries::{TimeSeries, window::WindowLength};
+//!
+//! // A day of 1-minute readings, constant 200 W base load.
+//! let ts = TimeSeries::from_values(0, 60, vec![200.0; 1440]);
+//! assert_eq!(ts.len(), 1440);
+//!
+//! // Iterate over non-overlapping 6-hour windows.
+//! let windows: Vec<_> = ts.windows(WindowLength::SixHours).collect();
+//! assert_eq!(windows.len(), 4);
+//! assert_eq!(windows[0].values().len(), 360);
+//! ```
+
+pub mod events;
+pub mod io;
+pub mod missing;
+pub mod normalize;
+pub mod resample;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod window;
+
+pub use series::{StatusSeries, TimeSeries};
+pub use window::{WindowCursor, WindowLength};
+
+/// Errors produced by the time-series substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsError {
+    /// The operation needs a non-empty series.
+    EmptySeries,
+    /// The sampling interval must be a positive number of seconds.
+    InvalidInterval,
+    /// Two series were expected to be aligned (same start, interval, length).
+    Misaligned {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A window length or index was out of range for the series.
+    OutOfRange {
+        /// Human-readable description of the offending request.
+        detail: String,
+    },
+    /// Failure while parsing external data (CSV import).
+    Parse {
+        /// Line number (1-based) where the failure occurred.
+        line: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Failure reading or writing external data.
+    Io(String),
+}
+
+impl std::fmt::Display for TsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsError::EmptySeries => write!(f, "operation requires a non-empty series"),
+            TsError::InvalidInterval => write!(f, "sampling interval must be positive"),
+            TsError::Misaligned { detail } => write!(f, "series misaligned: {detail}"),
+            TsError::OutOfRange { detail } => write!(f, "out of range: {detail}"),
+            TsError::Parse { line, detail } => write!(f, "parse error at line {line}: {detail}"),
+            TsError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+impl From<std::io::Error> for TsError {
+    fn from(e: std::io::Error) -> Self {
+        TsError::Io(e.to_string())
+    }
+}
+
+/// Convenient result alias for this crate.
+pub type Result<T> = std::result::Result<T, TsError>;

@@ -1,0 +1,193 @@
+//! Gap detection and imputation.
+//!
+//! Real smart-meter recordings contain transmission dropouts. The paper's
+//! training pipeline *omits* subsequences with missing data (see
+//! [`crate::window::subsequences_complete`]); the app, however, still needs
+//! to display gappy series, and the simulator needs to *inject* realistic
+//! gaps. This module provides gap inventory and the usual imputation
+//! strategies for display purposes.
+
+use crate::series::TimeSeries;
+
+/// A maximal run of consecutive missing readings, as a half-open index range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gap {
+    /// Index of the first missing reading.
+    pub start: usize,
+    /// One past the last missing reading.
+    pub end: usize,
+}
+
+impl Gap {
+    /// Number of missing readings in the gap.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the gap is empty (never produced by [`find_gaps`]).
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Inventory of all gaps in a series, in order.
+pub fn find_gaps(series: &TimeSeries) -> Vec<Gap> {
+    let mut gaps = Vec::new();
+    let mut cur: Option<usize> = None;
+    for (i, v) in series.values().iter().enumerate() {
+        match (v.is_nan(), cur) {
+            (true, None) => cur = Some(i),
+            (false, Some(s)) => {
+                gaps.push(Gap { start: s, end: i });
+                cur = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = cur {
+        gaps.push(Gap {
+            start: s,
+            end: series.len(),
+        });
+    }
+    gaps
+}
+
+/// Length of the longest gap (0 if none).
+pub fn longest_gap(series: &TimeSeries) -> usize {
+    find_gaps(series).iter().map(Gap::len).max().unwrap_or(0)
+}
+
+/// Imputation strategies for display/analysis (training never imputes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Imputation {
+    /// Replace missing readings with a constant (typically 0 W).
+    Constant(f32),
+    /// Repeat the last present reading; leading gaps fall back to the first
+    /// present reading (or the constant 0 if the series is all-missing).
+    ForwardFill,
+    /// Straight line between the readings flanking each gap; boundary gaps
+    /// degrade to forward/backward fill.
+    Linear,
+}
+
+/// Return a copy of `series` with all gaps filled per `strategy`.
+pub fn impute(series: &TimeSeries, strategy: Imputation) -> TimeSeries {
+    let mut values = series.values().to_vec();
+    match strategy {
+        Imputation::Constant(c) => {
+            for v in &mut values {
+                if v.is_nan() {
+                    *v = c;
+                }
+            }
+        }
+        Imputation::ForwardFill => {
+            let first_present = values.iter().copied().find(|v| !v.is_nan()).unwrap_or(0.0);
+            let mut last = first_present;
+            for v in &mut values {
+                if v.is_nan() {
+                    *v = last;
+                } else {
+                    last = *v;
+                }
+            }
+        }
+        Imputation::Linear => {
+            for gap in find_gaps(series) {
+                let left = if gap.start == 0 {
+                    None
+                } else {
+                    Some(values[gap.start - 1])
+                };
+                let right = values.get(gap.end).copied().filter(|v| !v.is_nan());
+                match (left, right) {
+                    (Some(l), Some(r)) => {
+                        let span = (gap.len() + 1) as f32;
+                        for (k, v) in values[gap.start..gap.end].iter_mut().enumerate() {
+                            let t = (k + 1) as f32 / span;
+                            *v = l + (r - l) * t;
+                        }
+                    }
+                    (Some(l), None) => values[gap.start..gap.end].fill(l),
+                    (None, Some(r)) => values[gap.start..gap.end].fill(r),
+                    (None, None) => values[gap.start..gap.end].fill(0.0),
+                }
+            }
+        }
+    }
+    TimeSeries::from_values(series.start(), series.interval_secs(), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gappy() -> TimeSeries {
+        TimeSeries::from_values(
+            0,
+            60,
+            vec![1.0, f32::NAN, f32::NAN, 4.0, 5.0, f32::NAN, 7.0],
+        )
+    }
+
+    #[test]
+    fn gap_inventory() {
+        let gaps = find_gaps(&gappy());
+        assert_eq!(gaps, vec![Gap { start: 1, end: 3 }, Gap { start: 5, end: 6 }]);
+        assert_eq!(gaps[0].len(), 2);
+        assert!(!gaps[0].is_empty());
+        assert_eq!(longest_gap(&gappy()), 2);
+        let clean = TimeSeries::from_values(0, 60, vec![1.0, 2.0]);
+        assert!(find_gaps(&clean).is_empty());
+        assert_eq!(longest_gap(&clean), 0);
+    }
+
+    #[test]
+    fn trailing_gap_detected() {
+        let ts = TimeSeries::from_values(0, 60, vec![1.0, f32::NAN, f32::NAN]);
+        assert_eq!(find_gaps(&ts), vec![Gap { start: 1, end: 3 }]);
+    }
+
+    #[test]
+    fn constant_imputation() {
+        let filled = impute(&gappy(), Imputation::Constant(0.0));
+        assert_eq!(filled.values(), &[1.0, 0.0, 0.0, 4.0, 5.0, 0.0, 7.0]);
+        assert!(!filled.has_missing());
+    }
+
+    #[test]
+    fn forward_fill_imputation() {
+        let filled = impute(&gappy(), Imputation::ForwardFill);
+        assert_eq!(filled.values(), &[1.0, 1.0, 1.0, 4.0, 5.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn forward_fill_leading_gap_uses_first_present() {
+        let ts = TimeSeries::from_values(0, 60, vec![f32::NAN, f32::NAN, 3.0]);
+        let filled = impute(&ts, Imputation::ForwardFill);
+        assert_eq!(filled.values(), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn forward_fill_all_missing_is_zero() {
+        let ts = TimeSeries::missing(0, 60, 3);
+        let filled = impute(&ts, Imputation::ForwardFill);
+        assert_eq!(filled.values(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn linear_imputation_interpolates() {
+        let filled = impute(&gappy(), Imputation::Linear);
+        assert_eq!(filled.values(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn linear_boundary_gaps_degrade_to_fill() {
+        let ts = TimeSeries::from_values(0, 60, vec![f32::NAN, 2.0, f32::NAN]);
+        let filled = impute(&ts, Imputation::Linear);
+        assert_eq!(filled.values(), &[2.0, 2.0, 2.0]);
+        let all = TimeSeries::missing(0, 60, 2);
+        assert_eq!(impute(&all, Imputation::Linear).values(), &[0.0, 0.0]);
+    }
+}

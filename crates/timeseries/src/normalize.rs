@@ -1,0 +1,293 @@
+//! Invertible scalers.
+//!
+//! Neural models train on scaled inputs; the app displays raw watts; CamAL's
+//! attention step multiplies a normalized CAM by the (scaled) input. Each
+//! scaler records its fitted parameters so transformations can be inverted
+//! exactly, and all scalers skip missing readings when fitting.
+
+use crate::series::TimeSeries;
+use crate::{Result, TsError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted, invertible scaling transform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scaler {
+    /// `y = (x - min) / (max - min)`; constant series map to 0.
+    MinMax {
+        /// Fitted minimum.
+        min: f32,
+        /// Fitted maximum.
+        max: f32,
+    },
+    /// `y = (x - mean) / std`; zero-variance series map to 0.
+    ZScore {
+        /// Fitted mean.
+        mean: f32,
+        /// Fitted standard deviation.
+        std: f32,
+    },
+    /// `y = x / scale` with `scale = max(|x|)`; all-zero series map to 0.
+    ///
+    /// This is the scaler NILM work typically uses for aggregate power
+    /// (dividing by a dataset-level max power), because it preserves zero.
+    MaxAbs {
+        /// Fitted scale (maximum absolute value).
+        scale: f32,
+    },
+}
+
+impl Scaler {
+    /// Fit a min-max scaler on the present readings of `series`.
+    pub fn fit_min_max(series: &TimeSeries) -> Result<Scaler> {
+        let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &v in series.values() {
+            if v.is_nan() {
+                continue;
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if !min.is_finite() {
+            return Err(TsError::EmptySeries);
+        }
+        Ok(Scaler::MinMax { min, max })
+    }
+
+    /// Fit a z-score scaler on the present readings of `series`.
+    pub fn fit_z_score(series: &TimeSeries) -> Result<Scaler> {
+        let present: Vec<f32> = series.values().iter().copied().filter(|v| !v.is_nan()).collect();
+        if present.is_empty() {
+            return Err(TsError::EmptySeries);
+        }
+        let n = present.len() as f64;
+        let mean = present.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = present
+            .iter()
+            .map(|&v| {
+                let d = v as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n;
+        Ok(Scaler::ZScore {
+            mean: mean as f32,
+            std: var.sqrt() as f32,
+        })
+    }
+
+    /// Fit a max-abs scaler on the present readings of `series`.
+    pub fn fit_max_abs(series: &TimeSeries) -> Result<Scaler> {
+        let mut scale = f32::NEG_INFINITY;
+        let mut any = false;
+        for &v in series.values() {
+            if v.is_nan() {
+                continue;
+            }
+            any = true;
+            scale = scale.max(v.abs());
+        }
+        if !any {
+            return Err(TsError::EmptySeries);
+        }
+        Ok(Scaler::MaxAbs { scale })
+    }
+
+    /// A max-abs scaler with an explicit scale, e.g. a dataset-level maximum
+    /// power shared across houses (the usual NILM convention).
+    pub fn max_abs_with_scale(scale: f32) -> Scaler {
+        Scaler::MaxAbs { scale }
+    }
+
+    /// Transform a single value (missing stays missing).
+    #[inline]
+    pub fn transform_value(&self, v: f32) -> f32 {
+        if v.is_nan() {
+            return v;
+        }
+        match *self {
+            Scaler::MinMax { min, max } => {
+                let range = max - min;
+                if range > 0.0 {
+                    (v - min) / range
+                } else {
+                    0.0
+                }
+            }
+            Scaler::ZScore { mean, std } => {
+                if std > 0.0 {
+                    (v - mean) / std
+                } else {
+                    0.0
+                }
+            }
+            Scaler::MaxAbs { scale } => {
+                if scale > 0.0 {
+                    v / scale
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Invert a single transformed value (missing stays missing).
+    #[inline]
+    pub fn inverse_value(&self, y: f32) -> f32 {
+        if y.is_nan() {
+            return y;
+        }
+        match *self {
+            Scaler::MinMax { min, max } => y * (max - min) + min,
+            Scaler::ZScore { mean, std } => y * std + mean,
+            Scaler::MaxAbs { scale } => y * scale,
+        }
+    }
+
+    /// Transform a whole series.
+    pub fn transform(&self, series: &TimeSeries) -> TimeSeries {
+        series.map_values(|v| self.transform_value(v))
+    }
+
+    /// Invert a whole transformed series.
+    pub fn inverse(&self, series: &TimeSeries) -> TimeSeries {
+        series.map_values(|v| self.inverse_value(v))
+    }
+
+    /// Transform a raw slice in place (used in training hot paths).
+    pub fn transform_slice(&self, values: &mut [f32]) {
+        for v in values {
+            *v = self.transform_value(*v);
+        }
+    }
+}
+
+/// Min-max normalize a raw slice to `[0, 1]` in place, returning `(min, max)`.
+///
+/// This is the exact operation CamAL step 4 applies to each member's CAM
+/// before averaging. Constant slices become all-zero. NaNs are ignored when
+/// fitting and preserved in the output.
+pub fn min_max_normalize(values: &mut [f32]) -> (f32, f32) {
+    let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &v in values.iter() {
+        if !v.is_nan() {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if !min.is_finite() {
+        return (0.0, 0.0);
+    }
+    let range = max - min;
+    if range > 0.0 {
+        for v in values.iter_mut() {
+            if !v.is_nan() {
+                *v = (*v - min) / range;
+            }
+        }
+    } else {
+        for v in values.iter_mut() {
+            if !v.is_nan() {
+                *v = 0.0;
+            }
+        }
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::from_values(0, 60, vec![0.0, 10.0, 20.0, 30.0, 40.0])
+    }
+
+    #[test]
+    fn min_max_round_trip() {
+        let ts = series();
+        let sc = Scaler::fit_min_max(&ts).unwrap();
+        let t = sc.transform(&ts);
+        assert_eq!(t.values(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        let back = sc.inverse(&t);
+        for (a, b) in back.values().iter().zip(ts.values()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn z_score_round_trip() {
+        let ts = series();
+        let sc = Scaler::fit_z_score(&ts).unwrap();
+        let t = sc.transform(&ts);
+        let mean: f32 = t.values().iter().sum::<f32>() / 5.0;
+        assert!(mean.abs() < 1e-6);
+        let back = sc.inverse(&t);
+        for (a, b) in back.values().iter().zip(ts.values()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn max_abs_preserves_zero() {
+        let ts = series();
+        let sc = Scaler::fit_max_abs(&ts).unwrap();
+        let t = sc.transform(&ts);
+        assert_eq!(t.values()[0], 0.0);
+        assert_eq!(t.values()[4], 1.0);
+        let explicit = Scaler::max_abs_with_scale(80.0);
+        assert_eq!(explicit.transform_value(40.0), 0.5);
+    }
+
+    #[test]
+    fn constant_series_map_to_zero() {
+        let ts = TimeSeries::from_values(0, 60, vec![7.0; 3]);
+        let mm = Scaler::fit_min_max(&ts).unwrap();
+        assert_eq!(mm.transform(&ts).values(), &[0.0; 3]);
+        let z = Scaler::fit_z_score(&ts).unwrap();
+        assert_eq!(z.transform(&ts).values(), &[0.0; 3]);
+        let zero = TimeSeries::zeros(0, 60, 3);
+        let ma = Scaler::fit_max_abs(&zero).unwrap();
+        assert_eq!(ma.transform(&zero).values(), &[0.0; 3]);
+    }
+
+    #[test]
+    fn fitting_skips_missing_and_rejects_all_missing() {
+        let ts = TimeSeries::from_values(0, 60, vec![f32::NAN, 2.0, 4.0]);
+        let sc = Scaler::fit_min_max(&ts).unwrap();
+        assert_eq!(sc, Scaler::MinMax { min: 2.0, max: 4.0 });
+        let t = sc.transform(&ts);
+        assert!(t.values()[0].is_nan());
+        let all = TimeSeries::missing(0, 60, 3);
+        assert!(Scaler::fit_min_max(&all).is_err());
+        assert!(Scaler::fit_z_score(&all).is_err());
+        assert!(Scaler::fit_max_abs(&all).is_err());
+    }
+
+    #[test]
+    fn slice_normalization_matches_cam_step() {
+        let mut v = vec![2.0, 4.0, 6.0];
+        let (min, max) = min_max_normalize(&mut v);
+        assert_eq!((min, max), (2.0, 6.0));
+        assert_eq!(v, vec![0.0, 0.5, 1.0]);
+        let mut constant = vec![3.0, 3.0];
+        min_max_normalize(&mut constant);
+        assert_eq!(constant, vec![0.0, 0.0]);
+        let mut with_nan = vec![1.0, f32::NAN, 3.0];
+        min_max_normalize(&mut with_nan);
+        assert_eq!(with_nan[0], 0.0);
+        assert!(with_nan[1].is_nan());
+        assert_eq!(with_nan[2], 1.0);
+        let mut empty: Vec<f32> = vec![];
+        assert_eq!(min_max_normalize(&mut empty), (0.0, 0.0));
+    }
+
+    #[test]
+    fn transform_slice_in_place() {
+        let sc = Scaler::max_abs_with_scale(10.0);
+        let mut v = vec![5.0, 10.0, f32::NAN];
+        sc.transform_slice(&mut v);
+        assert_eq!(v[0], 0.5);
+        assert_eq!(v[1], 1.0);
+        assert!(v[2].is_nan());
+    }
+}

@@ -1,0 +1,352 @@
+//! Frequency conversion.
+//!
+//! The paper's training phase begins: *"First, we resample the datasets to a
+//! common frequency (1 min)."* Real deployments mix very different native
+//! rates (UK-DALE: 6 s, REFIT: 8 s, IDEAL: 1 s for mains), so downsampling by
+//! averaging is the workhorse; upsampling exists for completeness (e.g.
+//! 30-min billing data).
+
+use crate::series::TimeSeries;
+use crate::{Result, TsError};
+
+/// How to combine readings when downsampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DownsampleAgg {
+    /// Mean of present readings — the standard for power (preserves energy).
+    Mean,
+    /// Maximum of present readings — preserves short spikes (kettle-style).
+    Max,
+    /// Sum of present readings — for per-interval energy counters.
+    Sum,
+}
+
+/// How to fill new readings when upsampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpsampleFill {
+    /// Repeat the most recent reading (step interpolation).
+    ForwardFill,
+    /// Linear interpolation between neighbouring readings.
+    Linear,
+}
+
+/// Resample a series to `target_interval_secs`.
+///
+/// Downsampling requires the target to be an integer multiple of the source
+/// interval; upsampling requires the source to be an integer multiple of the
+/// target. Identical intervals return a clone.
+///
+/// Missing readings: when downsampling, a bucket whose readings are *all*
+/// missing yields a missing reading; otherwise present readings are
+/// aggregated. When upsampling, missing source readings expand to missing
+/// target readings (ForwardFill) or poison the interpolated span (Linear).
+pub fn resample(
+    series: &TimeSeries,
+    target_interval_secs: u32,
+    agg: DownsampleAgg,
+    fill: UpsampleFill,
+) -> Result<TimeSeries> {
+    if target_interval_secs == 0 {
+        return Err(TsError::InvalidInterval);
+    }
+    let src = series.interval_secs();
+    if target_interval_secs == src {
+        return Ok(series.clone());
+    }
+    if target_interval_secs > src {
+        if !target_interval_secs.is_multiple_of(src) {
+            return Err(TsError::OutOfRange {
+                detail: format!(
+                    "cannot downsample {src}s -> {target_interval_secs}s: not an integer multiple"
+                ),
+            });
+        }
+        Ok(downsample(series, (target_interval_secs / src) as usize, agg))
+    } else {
+        if !src.is_multiple_of(target_interval_secs) {
+            return Err(TsError::OutOfRange {
+                detail: format!(
+                    "cannot upsample {src}s -> {target_interval_secs}s: not an integer divisor"
+                ),
+            });
+        }
+        Ok(upsample(series, (src / target_interval_secs) as usize, fill))
+    }
+}
+
+/// Downsample to an arbitrary coarser interval by time-bucketing: source
+/// reading `i` (covering `[i·src, (i+1)·src)`) lands in the bucket of its
+/// start time. Handles non-integer ratios — REFIT's native 8 s readings to
+/// the paper's 1-minute grid, for instance. Buckets whose readings are all
+/// missing stay missing; a trailing partial bucket is dropped.
+pub fn downsample_bucketed(
+    series: &TimeSeries,
+    target_interval_secs: u32,
+    agg: DownsampleAgg,
+) -> Result<TimeSeries> {
+    let src = series.interval_secs();
+    if target_interval_secs == 0 {
+        return Err(TsError::InvalidInterval);
+    }
+    if target_interval_secs < src {
+        return Err(TsError::OutOfRange {
+            detail: format!(
+                "bucketed downsampling requires target ({target_interval_secs}s) >= source ({src}s)"
+            ),
+        });
+    }
+    if target_interval_secs == src {
+        return Ok(series.clone());
+    }
+    let values = series.values();
+    let n_out = (values.len() as u64 * src as u64 / target_interval_secs as u64) as usize;
+    let mut sums = vec![0.0f64; n_out];
+    let mut maxs = vec![f32::NEG_INFINITY; n_out];
+    let mut counts = vec![0u32; n_out];
+    for (i, &v) in values.iter().enumerate() {
+        let bucket = (i as u64 * src as u64 / target_interval_secs as u64) as usize;
+        if bucket >= n_out {
+            break; // trailing partial bucket
+        }
+        if !v.is_nan() {
+            sums[bucket] += v as f64;
+            if v > maxs[bucket] {
+                maxs[bucket] = v;
+            }
+            counts[bucket] += 1;
+        }
+    }
+    let out: Vec<f32> = (0..n_out)
+        .map(|b| {
+            if counts[b] == 0 {
+                f32::NAN
+            } else {
+                match agg {
+                    DownsampleAgg::Mean => (sums[b] / counts[b] as f64) as f32,
+                    DownsampleAgg::Max => maxs[b],
+                    DownsampleAgg::Sum => sums[b] as f32,
+                }
+            }
+        })
+        .collect();
+    Ok(TimeSeries::from_values(
+        series.start(),
+        target_interval_secs,
+        out,
+    ))
+}
+
+/// Convenience wrapper: resample to the paper's common 1-minute frequency
+/// using mean aggregation — the first step of the paper's training phase.
+/// Integer ratios use exact chunked averaging; non-integer source rates
+/// (e.g. REFIT's 8 s) fall back to time-bucketed averaging; finer targets
+/// forward-fill.
+pub fn to_one_minute(series: &TimeSeries) -> Result<TimeSeries> {
+    let src = series.interval_secs();
+    if src <= 60 && 60 % src != 0 {
+        downsample_bucketed(series, 60, DownsampleAgg::Mean)
+    } else {
+        resample(series, 60, DownsampleAgg::Mean, UpsampleFill::ForwardFill)
+    }
+}
+
+fn downsample(series: &TimeSeries, factor: usize, agg: DownsampleAgg) -> TimeSeries {
+    let values = series.values();
+    let n_out = values.len() / factor;
+    let mut out = Vec::with_capacity(n_out);
+    for chunk in values.chunks_exact(factor) {
+        let mut acc = 0.0f64;
+        let mut max = f32::NEG_INFINITY;
+        let mut present = 0usize;
+        for &v in chunk {
+            if !v.is_nan() {
+                acc += v as f64;
+                if v > max {
+                    max = v;
+                }
+                present += 1;
+            }
+        }
+        let v = if present == 0 {
+            f32::NAN
+        } else {
+            match agg {
+                DownsampleAgg::Mean => (acc / present as f64) as f32,
+                DownsampleAgg::Max => max,
+                DownsampleAgg::Sum => acc as f32,
+            }
+        };
+        out.push(v);
+    }
+    TimeSeries::from_values(
+        series.start(),
+        series.interval_secs() * factor as u32,
+        out,
+    )
+}
+
+fn upsample(series: &TimeSeries, factor: usize, fill: UpsampleFill) -> TimeSeries {
+    let values = series.values();
+    let mut out = Vec::with_capacity(values.len() * factor);
+    match fill {
+        UpsampleFill::ForwardFill => {
+            for &v in values {
+                out.extend(std::iter::repeat_n(v, factor));
+            }
+        }
+        UpsampleFill::Linear => {
+            for (i, &v) in values.iter().enumerate() {
+                let next = values.get(i + 1).copied().unwrap_or(v);
+                if v.is_nan() || next.is_nan() {
+                    // Cannot interpolate across a gap: keep the anchor value
+                    // for step 0 and mark the interpolated span missing.
+                    out.push(v);
+                    out.extend(std::iter::repeat_n(f32::NAN, factor - 1));
+                } else {
+                    for k in 0..factor {
+                        let t = k as f32 / factor as f32;
+                        out.push(v + (next - v) * t);
+                    }
+                }
+            }
+        }
+    }
+    TimeSeries::from_values(
+        series.start(),
+        series.interval_secs() / factor as u32,
+        out,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resample_is_clone() {
+        let ts = TimeSeries::from_values(0, 60, vec![1.0, 2.0]);
+        let r = resample(&ts, 60, DownsampleAgg::Mean, UpsampleFill::ForwardFill).unwrap();
+        assert_eq!(r, ts);
+    }
+
+    #[test]
+    fn downsample_mean_preserves_energy() {
+        // 6-second readings downsampled to 1 minute.
+        let values: Vec<f32> = (0..600).map(|i| (i % 50) as f32).collect();
+        let ts = TimeSeries::from_values(0, 6, values);
+        let r = to_one_minute(&ts).unwrap();
+        assert_eq!(r.interval_secs(), 60);
+        assert_eq!(r.len(), 60);
+        assert!((r.energy_wh() - ts.energy_wh()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn downsample_max_keeps_spikes() {
+        let mut values = vec![0.0f32; 10];
+        values[3] = 3000.0; // 6-second kettle spike
+        let ts = TimeSeries::from_values(0, 6, values);
+        let mean = resample(&ts, 60, DownsampleAgg::Mean, UpsampleFill::ForwardFill).unwrap();
+        let max = resample(&ts, 60, DownsampleAgg::Max, UpsampleFill::ForwardFill).unwrap();
+        assert!((mean.values()[0] - 300.0).abs() < 1e-3);
+        assert_eq!(max.values()[0], 3000.0);
+    }
+
+    #[test]
+    fn downsample_sum_accumulates() {
+        let ts = TimeSeries::from_values(0, 30, vec![1.0, 2.0, 3.0, 4.0]);
+        let r = resample(&ts, 60, DownsampleAgg::Sum, UpsampleFill::ForwardFill).unwrap();
+        assert_eq!(r.values(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn downsample_handles_missing_buckets() {
+        let ts = TimeSeries::from_values(0, 30, vec![f32::NAN, f32::NAN, 2.0, f32::NAN]);
+        let r = resample(&ts, 60, DownsampleAgg::Mean, UpsampleFill::ForwardFill).unwrap();
+        assert!(r.values()[0].is_nan());
+        assert_eq!(r.values()[1], 2.0); // mean of present readings only
+    }
+
+    #[test]
+    fn downsample_drops_trailing_partial_bucket() {
+        let ts = TimeSeries::from_values(0, 20, vec![1.0, 1.0, 1.0, 9.0]);
+        let r = resample(&ts, 60, DownsampleAgg::Mean, UpsampleFill::ForwardFill).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.values()[0], 1.0);
+    }
+
+    #[test]
+    fn bucketed_downsampling_handles_refit_rate() {
+        // 8-second readings to 1 minute: buckets hold 7 or 8 readings.
+        let values: Vec<f32> = (0..450).map(|i| (i % 40) as f32).collect();
+        let ts = TimeSeries::from_values(0, 8, values);
+        let r = to_one_minute(&ts).unwrap();
+        assert_eq!(r.interval_secs(), 60);
+        assert_eq!(r.len(), 450 * 8 / 60);
+        // Mean power is preserved within bucket-boundary jitter.
+        let mean_src: f64 =
+            ts.values().iter().map(|&v| v as f64).sum::<f64>() / ts.len() as f64;
+        let mean_dst: f64 =
+            r.values().iter().map(|&v| v as f64).sum::<f64>() / r.len() as f64;
+        assert!((mean_src - mean_dst).abs() < 1.0, "{mean_src} vs {mean_dst}");
+    }
+
+    #[test]
+    fn bucketed_downsampling_edge_cases() {
+        let ts = TimeSeries::from_values(0, 8, vec![1.0, f32::NAN, 3.0]);
+        // Identity when intervals match.
+        let same = downsample_bucketed(&ts, 8, DownsampleAgg::Mean).unwrap();
+        assert_eq!(same.interval_secs(), 8);
+        // Finer targets are rejected.
+        assert!(downsample_bucketed(&ts, 4, DownsampleAgg::Mean).is_err());
+        assert!(downsample_bucketed(&ts, 0, DownsampleAgg::Mean).is_err());
+        // All-missing bucket stays missing.
+        let gappy = TimeSeries::from_values(0, 30, vec![f32::NAN, f32::NAN, 5.0, 7.0]);
+        let r = downsample_bucketed(&gappy, 60, DownsampleAgg::Mean).unwrap();
+        assert!(r.values()[0].is_nan());
+        assert_eq!(r.values()[1], 6.0);
+        // Max and Sum aggregations.
+        let ts2 = TimeSeries::from_values(0, 30, vec![1.0, 5.0, 2.0, 2.0]);
+        assert_eq!(
+            downsample_bucketed(&ts2, 60, DownsampleAgg::Max).unwrap().values(),
+            &[5.0, 2.0]
+        );
+        assert_eq!(
+            downsample_bucketed(&ts2, 60, DownsampleAgg::Sum).unwrap().values(),
+            &[6.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn non_multiple_intervals_rejected() {
+        let ts = TimeSeries::from_values(0, 7, vec![1.0; 10]);
+        assert!(resample(&ts, 60, DownsampleAgg::Mean, UpsampleFill::ForwardFill).is_err());
+        let ts = TimeSeries::from_values(0, 60, vec![1.0; 10]);
+        assert!(resample(&ts, 7, DownsampleAgg::Mean, UpsampleFill::ForwardFill).is_err());
+        assert!(resample(&ts, 0, DownsampleAgg::Mean, UpsampleFill::ForwardFill).is_err());
+    }
+
+    #[test]
+    fn upsample_forward_fill_repeats() {
+        let ts = TimeSeries::from_values(0, 60, vec![1.0, 2.0]);
+        let r = resample(&ts, 30, DownsampleAgg::Mean, UpsampleFill::ForwardFill).unwrap();
+        assert_eq!(r.values(), &[1.0, 1.0, 2.0, 2.0]);
+        assert_eq!(r.interval_secs(), 30);
+    }
+
+    #[test]
+    fn upsample_linear_interpolates() {
+        let ts = TimeSeries::from_values(0, 60, vec![0.0, 4.0, 8.0]);
+        let r = resample(&ts, 30, DownsampleAgg::Mean, UpsampleFill::Linear).unwrap();
+        assert_eq!(r.values(), &[0.0, 2.0, 4.0, 6.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn upsample_linear_respects_gaps() {
+        let ts = TimeSeries::from_values(0, 60, vec![0.0, f32::NAN, 8.0]);
+        let r = resample(&ts, 30, DownsampleAgg::Mean, UpsampleFill::Linear).unwrap();
+        assert_eq!(r.values()[0], 0.0);
+        assert!(r.values()[1].is_nan());
+        assert!(r.values()[2].is_nan());
+        assert!(r.values()[3].is_nan());
+        assert_eq!(r.values()[4], 8.0);
+    }
+}

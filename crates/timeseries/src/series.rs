@@ -1,0 +1,585 @@
+//! Core series types: [`TimeSeries`] (power readings) and [`StatusSeries`]
+//! (binary appliance on/off states aligned with a power series).
+
+use crate::window::{WindowIter, WindowLength};
+use crate::{Result, TsError};
+use serde::{Deserialize, Serialize};
+
+/// A regularly sampled univariate time series.
+///
+/// Values are watts (for power series) or arbitrary units; missing readings
+/// are represented by `f32::NAN`. The series is anchored at `start`
+/// (seconds since the Unix epoch) and sampled every `interval_secs` seconds.
+///
+/// The paper's pipeline resamples all datasets to a common 1-minute
+/// frequency (`interval_secs == 60`); nothing in this type assumes that,
+/// but [`crate::resample`] provides the conversion.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    start: i64,
+    interval_secs: u32,
+    values: Vec<f32>,
+}
+
+impl TimeSeries {
+    /// Create a series from raw values.
+    ///
+    /// # Panics
+    /// Panics if `interval_secs` is zero — a zero interval is a programming
+    /// error, not a data error.
+    pub fn from_values(start: i64, interval_secs: u32, values: Vec<f32>) -> Self {
+        assert!(interval_secs > 0, "sampling interval must be positive");
+        Self {
+            start,
+            interval_secs,
+            values,
+        }
+    }
+
+    /// Create a series of `len` missing readings.
+    pub fn missing(start: i64, interval_secs: u32, len: usize) -> Self {
+        Self::from_values(start, interval_secs, vec![f32::NAN; len])
+    }
+
+    /// Create a zero-valued series of `len` readings.
+    pub fn zeros(start: i64, interval_secs: u32, len: usize) -> Self {
+        Self::from_values(start, interval_secs, vec![0.0; len])
+    }
+
+    /// Timestamp (seconds since epoch) of the first reading.
+    #[inline]
+    pub fn start(&self) -> i64 {
+        self.start
+    }
+
+    /// Sampling interval in seconds.
+    #[inline]
+    pub fn interval_secs(&self) -> u32 {
+        self.interval_secs
+    }
+
+    /// Number of readings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series holds no readings.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total covered duration in seconds (`len * interval`).
+    #[inline]
+    pub fn duration_secs(&self) -> i64 {
+        self.values.len() as i64 * self.interval_secs as i64
+    }
+
+    /// Timestamp of reading `i` (seconds since epoch).
+    #[inline]
+    pub fn timestamp_at(&self, i: usize) -> i64 {
+        self.start + i as i64 * self.interval_secs as i64
+    }
+
+    /// Borrow the raw values (missing readings are `NaN`).
+    #[inline]
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Mutably borrow the raw values.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
+    /// Consume the series, returning its values.
+    pub fn into_values(self) -> Vec<f32> {
+        self.values
+    }
+
+    /// Reading at index `i`, or `None` past the end. A present-but-missing
+    /// reading is returned as `Some(NaN)`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<f32> {
+        self.values.get(i).copied()
+    }
+
+    /// Index of the reading covering `timestamp`, if within the series.
+    pub fn index_of(&self, timestamp: i64) -> Option<usize> {
+        if timestamp < self.start {
+            return None;
+        }
+        let idx = ((timestamp - self.start) / self.interval_secs as i64) as usize;
+        (idx < self.values.len()).then_some(idx)
+    }
+
+    /// Extract the half-open index range `[lo, hi)` as a new series.
+    pub fn slice(&self, lo: usize, hi: usize) -> Result<TimeSeries> {
+        if lo > hi || hi > self.values.len() {
+            return Err(TsError::OutOfRange {
+                detail: format!("slice [{lo}, {hi}) of series of length {}", self.values.len()),
+            });
+        }
+        Ok(TimeSeries {
+            start: self.timestamp_at(lo),
+            interval_secs: self.interval_secs,
+            values: self.values[lo..hi].to_vec(),
+        })
+    }
+
+    /// Whether two series share start, interval and length.
+    pub fn is_aligned_with(&self, other: &TimeSeries) -> bool {
+        self.start == other.start
+            && self.interval_secs == other.interval_secs
+            && self.values.len() == other.values.len()
+    }
+
+    /// Require alignment with `other`, with a descriptive error otherwise.
+    pub fn check_aligned(&self, other: &TimeSeries) -> Result<()> {
+        if self.is_aligned_with(other) {
+            Ok(())
+        } else {
+            Err(TsError::Misaligned {
+                detail: format!(
+                    "(start {}, interval {}, len {}) vs (start {}, interval {}, len {})",
+                    self.start,
+                    self.interval_secs,
+                    self.values.len(),
+                    other.start,
+                    other.interval_secs,
+                    other.values.len()
+                ),
+            })
+        }
+    }
+
+    /// Element-wise sum with an aligned series. Missing + x = missing.
+    pub fn add(&self, other: &TimeSeries) -> Result<TimeSeries> {
+        self.check_aligned(other)?;
+        let values = self
+            .values
+            .iter()
+            .zip(other.values.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(TimeSeries {
+            start: self.start,
+            interval_secs: self.interval_secs,
+            values,
+        })
+    }
+
+    /// Add `other` into `self` in place (aligned series). Missing propagates.
+    pub fn add_assign(&mut self, other: &TimeSeries) -> Result<()> {
+        self.check_aligned(other)?;
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Integrated energy in watt-hours, skipping missing readings.
+    ///
+    /// Each present reading contributes `value * interval / 3600`.
+    pub fn energy_wh(&self) -> f64 {
+        let dt_h = self.interval_secs as f64 / 3600.0;
+        self.values
+            .iter()
+            .filter(|v| !v.is_nan())
+            .map(|&v| v as f64 * dt_h)
+            .sum()
+    }
+
+    /// Count of missing (`NaN`) readings.
+    pub fn missing_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_nan()).count()
+    }
+
+    /// Fraction of missing readings in `[0, 1]` (0 for an empty series).
+    pub fn missing_ratio(&self) -> f32 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.missing_count() as f32 / self.values.len() as f32
+        }
+    }
+
+    /// Whether the series contains any missing reading.
+    pub fn has_missing(&self) -> bool {
+        self.values.iter().any(|v| v.is_nan())
+    }
+
+    /// Iterator over non-overlapping windows of the given length.
+    ///
+    /// This is the GUI's Prev/Next paging unit: a trailing partial window is
+    /// *not* yielded, matching the paper's practice of dropping incomplete
+    /// subsequences.
+    pub fn windows(&self, length: WindowLength) -> WindowIter<'_> {
+        WindowIter::new(self, length)
+    }
+
+    /// Timestamps of every reading (allocates; intended for export/plotting).
+    pub fn timestamps(&self) -> Vec<i64> {
+        (0..self.values.len()).map(|i| self.timestamp_at(i)).collect()
+    }
+
+    /// Map every present value through `f`, leaving missing readings missing.
+    pub fn map_values(&self, mut f: impl FnMut(f32) -> f32) -> TimeSeries {
+        TimeSeries {
+            start: self.start,
+            interval_secs: self.interval_secs,
+            values: self
+                .values
+                .iter()
+                .map(|&v| if v.is_nan() { v } else { f(v) })
+                .collect(),
+        }
+    }
+
+    /// Clamp all present readings to `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> TimeSeries {
+        self.map_values(|v| v.clamp(lo, hi))
+    }
+
+    /// NaN-aware structural equality within a tolerance: missing readings
+    /// compare equal to missing readings (unlike `==`, which follows IEEE
+    /// semantics and makes any gappy series unequal to itself).
+    pub fn same_as(&self, other: &TimeSeries, tol: f32) -> bool {
+        self.is_aligned_with(other)
+            && self
+                .values
+                .iter()
+                .zip(other.values.iter())
+                .all(|(a, b)| (a.is_nan() && b.is_nan()) || (a - b).abs() <= tol)
+    }
+}
+
+/// A binary per-timestep appliance status aligned with a power series.
+///
+/// `1` means the appliance is (predicted or truly) ON at that timestep.
+/// This is the output type of CamAL step 6 ("Appliance Status") and the
+/// ground-truth type used by localization metrics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusSeries {
+    start: i64,
+    interval_secs: u32,
+    states: Vec<u8>,
+}
+
+impl StatusSeries {
+    /// Create from raw 0/1 states.
+    ///
+    /// # Panics
+    /// Panics if `interval_secs` is zero or any state is not 0/1.
+    pub fn from_states(start: i64, interval_secs: u32, states: Vec<u8>) -> Self {
+        assert!(interval_secs > 0, "sampling interval must be positive");
+        assert!(
+            states.iter().all(|&s| s <= 1),
+            "status values must be 0 or 1"
+        );
+        Self {
+            start,
+            interval_secs,
+            states,
+        }
+    }
+
+    /// All-off status of the given length.
+    pub fn all_off(start: i64, interval_secs: u32, len: usize) -> Self {
+        Self::from_states(start, interval_secs, vec![0; len])
+    }
+
+    /// Derive a status from a power series: ON where `power > threshold_w`.
+    /// Missing readings map to OFF (the conservative choice used when
+    /// building ground truth from simulated appliance channels).
+    pub fn from_power(power: &TimeSeries, threshold_w: f32) -> Self {
+        let states = power
+            .values()
+            .iter()
+            .map(|&v| u8::from(!v.is_nan() && v > threshold_w))
+            .collect();
+        Self {
+            start: power.start(),
+            interval_secs: power.interval_secs(),
+            states,
+        }
+    }
+
+    /// Timestamp of the first state.
+    #[inline]
+    pub fn start(&self) -> i64 {
+        self.start
+    }
+
+    /// Sampling interval in seconds.
+    #[inline]
+    pub fn interval_secs(&self) -> u32 {
+        self.interval_secs
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the status holds no states.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Borrow the raw states.
+    #[inline]
+    pub fn states(&self) -> &[u8] {
+        &self.states
+    }
+
+    /// State at index `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<u8> {
+        self.states.get(i).copied()
+    }
+
+    /// Number of ON timesteps.
+    pub fn on_count(&self) -> usize {
+        self.states.iter().filter(|&&s| s == 1).count()
+    }
+
+    /// Fraction of ON timesteps (0 for an empty status).
+    pub fn duty_cycle(&self) -> f32 {
+        if self.states.is_empty() {
+            0.0
+        } else {
+            self.on_count() as f32 / self.states.len() as f32
+        }
+    }
+
+    /// Whether any timestep is ON — the window-level *weak label* the paper
+    /// derives from disaggregated channels for UKDALE/REFIT.
+    pub fn any_on(&self) -> bool {
+        self.states.contains(&1)
+    }
+
+    /// Extract the half-open index range `[lo, hi)`.
+    pub fn slice(&self, lo: usize, hi: usize) -> Result<StatusSeries> {
+        if lo > hi || hi > self.states.len() {
+            return Err(TsError::OutOfRange {
+                detail: format!("slice [{lo}, {hi}) of status of length {}", self.states.len()),
+            });
+        }
+        Ok(StatusSeries {
+            start: self.start + lo as i64 * self.interval_secs as i64,
+            interval_secs: self.interval_secs,
+            states: self.states[lo..hi].to_vec(),
+        })
+    }
+
+    /// Element-wise logical OR with an aligned status.
+    pub fn or(&self, other: &StatusSeries) -> Result<StatusSeries> {
+        if self.start != other.start
+            || self.interval_secs != other.interval_secs
+            || self.states.len() != other.states.len()
+        {
+            return Err(TsError::Misaligned {
+                detail: "status OR requires aligned operands".into(),
+            });
+        }
+        Ok(StatusSeries {
+            start: self.start,
+            interval_secs: self.interval_secs,
+            states: self
+                .states
+                .iter()
+                .zip(other.states.iter())
+                .map(|(a, b)| a | b)
+                .collect(),
+        })
+    }
+
+    /// ON segments as half-open index ranges `[start, end)`, in order.
+    ///
+    /// Used by the app to draw activation strips and by the simulator tests
+    /// to check activation durations.
+    pub fn on_segments(&self) -> Vec<(usize, usize)> {
+        let mut segs = Vec::new();
+        let mut seg_start = None;
+        for (i, &s) in self.states.iter().enumerate() {
+            match (s, seg_start) {
+                (1, None) => seg_start = Some(i),
+                (0, Some(st)) => {
+                    segs.push((st, i));
+                    seg_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(st) = seg_start {
+            segs.push((st, self.states.len()));
+        }
+        segs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> TimeSeries {
+        TimeSeries::from_values(0, 60, (0..n).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let ts = ramp(10);
+        assert_eq!(ts.len(), 10);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.start(), 0);
+        assert_eq!(ts.interval_secs(), 60);
+        assert_eq!(ts.duration_secs(), 600);
+        assert_eq!(ts.timestamp_at(3), 180);
+        assert_eq!(ts.get(9), Some(9.0));
+        assert_eq!(ts.get(10), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        let _ = TimeSeries::from_values(0, 0, vec![1.0]);
+    }
+
+    #[test]
+    fn index_of_maps_timestamps() {
+        let ts = ramp(10);
+        assert_eq!(ts.index_of(0), Some(0));
+        assert_eq!(ts.index_of(59), Some(0));
+        assert_eq!(ts.index_of(60), Some(1));
+        assert_eq!(ts.index_of(599), Some(9));
+        assert_eq!(ts.index_of(600), None);
+        assert_eq!(ts.index_of(-1), None);
+    }
+
+    #[test]
+    fn slice_preserves_anchor() {
+        let ts = ramp(10);
+        let s = ts.slice(2, 5).unwrap();
+        assert_eq!(s.start(), 120);
+        assert_eq!(s.values(), &[2.0, 3.0, 4.0]);
+        assert!(ts.slice(5, 2).is_err());
+        assert!(ts.slice(0, 11).is_err());
+        // Empty slice at the end is fine.
+        assert_eq!(ts.slice(10, 10).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn add_requires_alignment() {
+        let a = ramp(5);
+        let b = TimeSeries::from_values(0, 60, vec![1.0; 5]);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.values(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let shifted = TimeSeries::from_values(60, 60, vec![1.0; 5]);
+        assert!(a.add(&shifted).is_err());
+        let short = TimeSeries::from_values(0, 60, vec![1.0; 4]);
+        assert!(a.add(&short).is_err());
+    }
+
+    #[test]
+    fn add_assign_matches_add() {
+        let mut a = ramp(4);
+        let b = TimeSeries::from_values(0, 60, vec![10.0; 4]);
+        let sum = a.add(&b).unwrap();
+        a.add_assign(&b).unwrap();
+        assert_eq!(a, sum);
+    }
+
+    #[test]
+    fn missing_propagates_through_add() {
+        let mut a = ramp(3);
+        a.values_mut()[1] = f32::NAN;
+        let b = TimeSeries::from_values(0, 60, vec![1.0; 3]);
+        let c = a.add(&b).unwrap();
+        assert!(c.values()[1].is_nan());
+        assert_eq!(c.values()[0], 1.0);
+    }
+
+    #[test]
+    fn energy_skips_missing() {
+        // 60 W for one hour of 1-min samples = 60 Wh.
+        let ts = TimeSeries::from_values(0, 60, vec![60.0; 60]);
+        assert!((ts.energy_wh() - 60.0).abs() < 1e-9);
+        let mut gappy = ts.clone();
+        gappy.values_mut()[0] = f32::NAN;
+        assert!((gappy.energy_wh() - 59.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_statistics() {
+        let mut ts = ramp(4);
+        assert_eq!(ts.missing_count(), 0);
+        assert!(!ts.has_missing());
+        ts.values_mut()[2] = f32::NAN;
+        assert_eq!(ts.missing_count(), 1);
+        assert!((ts.missing_ratio() - 0.25).abs() < 1e-6);
+        assert!(ts.has_missing());
+        let empty = TimeSeries::from_values(0, 60, vec![]);
+        assert_eq!(empty.missing_ratio(), 0.0);
+    }
+
+    #[test]
+    fn map_values_keeps_missing() {
+        let mut ts = ramp(3);
+        ts.values_mut()[1] = f32::NAN;
+        let doubled = ts.map_values(|v| v * 2.0);
+        assert_eq!(doubled.values()[0], 0.0);
+        assert!(doubled.values()[1].is_nan());
+        assert_eq!(doubled.values()[2], 4.0);
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let ts = ramp(5).clamp(1.0, 3.0);
+        assert_eq!(ts.values(), &[1.0, 1.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn status_from_power_thresholds() {
+        let p = TimeSeries::from_values(0, 60, vec![0.0, 5.0, 2000.0, f32::NAN]);
+        let s = StatusSeries::from_power(&p, 10.0);
+        assert_eq!(s.states(), &[0, 0, 1, 0]);
+        assert_eq!(s.on_count(), 1);
+        assert!(s.any_on());
+        assert!((s.duty_cycle() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 or 1")]
+    fn status_rejects_non_binary() {
+        let _ = StatusSeries::from_states(0, 60, vec![0, 2]);
+    }
+
+    #[test]
+    fn on_segments_finds_runs() {
+        let s = StatusSeries::from_states(0, 60, vec![0, 1, 1, 0, 1, 0, 0, 1]);
+        assert_eq!(s.on_segments(), vec![(1, 3), (4, 5), (7, 8)]);
+        let none = StatusSeries::all_off(0, 60, 4);
+        assert!(none.on_segments().is_empty());
+        assert!(!none.any_on());
+        let all = StatusSeries::from_states(0, 60, vec![1, 1]);
+        assert_eq!(all.on_segments(), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn status_or_and_slice() {
+        let a = StatusSeries::from_states(0, 60, vec![1, 0, 0, 1]);
+        let b = StatusSeries::from_states(0, 60, vec![0, 0, 1, 1]);
+        let c = a.or(&b).unwrap();
+        assert_eq!(c.states(), &[1, 0, 1, 1]);
+        let s = c.slice(1, 3).unwrap();
+        assert_eq!(s.states(), &[0, 1]);
+        assert_eq!(s.start(), 60);
+        let misaligned = StatusSeries::from_states(60, 60, vec![0, 0, 1, 1]);
+        assert!(a.or(&misaligned).is_err());
+    }
+}

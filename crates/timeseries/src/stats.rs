@@ -1,0 +1,205 @@
+//! Descriptive statistics over series, skipping missing readings.
+//!
+//! Used by the simulator (power-balance checks), the app (window summary
+//! strip) and the weak baseline (window feature extraction).
+
+use crate::series::TimeSeries;
+
+/// Summary statistics of the present readings of a series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of present (non-missing) readings.
+    pub count: usize,
+    /// Minimum present reading.
+    pub min: f32,
+    /// Maximum present reading.
+    pub max: f32,
+    /// Arithmetic mean of present readings.
+    pub mean: f32,
+    /// Population standard deviation of present readings.
+    pub std: f32,
+}
+
+/// Compute a [`Summary`]; `None` if every reading is missing or the series
+/// is empty.
+pub fn summarize(series: &TimeSeries) -> Option<Summary> {
+    summarize_slice(series.values())
+}
+
+/// [`summarize`] over a raw slice.
+pub fn summarize_slice(values: &[f32]) -> Option<Summary> {
+    let mut count = 0usize;
+    let (mut min, mut max) = (f32::INFINITY, f32::NEG_INFINITY);
+    let mut sum = 0.0f64;
+    for &v in values {
+        if v.is_nan() {
+            continue;
+        }
+        count += 1;
+        min = min.min(v);
+        max = max.max(v);
+        sum += v as f64;
+    }
+    if count == 0 {
+        return None;
+    }
+    let mean = sum / count as f64;
+    let var = values
+        .iter()
+        .filter(|v| !v.is_nan())
+        .map(|&v| {
+            let d = v as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / count as f64;
+    Some(Summary {
+        count,
+        min,
+        max,
+        mean: mean as f32,
+        std: var.sqrt() as f32,
+    })
+}
+
+/// Empirical quantile (`q` in `[0,1]`) of present readings using the
+/// nearest-rank method; `None` if all readings are missing.
+pub fn quantile(series: &TimeSeries, q: f32) -> Option<f32> {
+    let mut present: Vec<f32> = series
+        .values()
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .collect();
+    if present.is_empty() {
+        return None;
+    }
+    present.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * present.len() as f32).ceil() as usize).clamp(1, present.len());
+    Some(present[rank - 1])
+}
+
+/// Centered moving average with an odd window, shrinking at the edges.
+/// Missing readings stay missing and are excluded from neighbouring means.
+pub fn moving_average(series: &TimeSeries, window: usize) -> TimeSeries {
+    let window = window.max(1) | 1; // force odd
+    let half = window / 2;
+    let values = series.values();
+    let mut out = Vec::with_capacity(values.len());
+    for i in 0..values.len() {
+        if values[i].is_nan() {
+            out.push(f32::NAN);
+            continue;
+        }
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(values.len());
+        let mut sum = 0.0f64;
+        let mut n = 0usize;
+        for &v in &values[lo..hi] {
+            if !v.is_nan() {
+                sum += v as f64;
+                n += 1;
+            }
+        }
+        out.push((sum / n as f64) as f32);
+    }
+    TimeSeries::from_values(series.start(), series.interval_secs(), out)
+}
+
+/// First difference `x[i+1] - x[i]` (length `n-1`); differences touching a
+/// missing reading are missing. Used for edge/event detection features.
+pub fn diff(series: &TimeSeries) -> TimeSeries {
+    let values = series.values();
+    let out: Vec<f32> = values
+        .windows(2)
+        .map(|w| {
+            if w[0].is_nan() || w[1].is_nan() {
+                f32::NAN
+            } else {
+                w[1] - w[0]
+            }
+        })
+        .collect();
+    TimeSeries::from_values(series.start(), series.interval_secs(), out)
+}
+
+/// Count of upward edges exceeding `threshold` watts between consecutive
+/// readings — a cheap appliance-activation event proxy used by the weak
+/// baseline's feature vector.
+pub fn rising_edges(series: &TimeSeries, threshold: f32) -> usize {
+    series
+        .values()
+        .windows(2)
+        .filter(|w| !w[0].is_nan() && !w[1].is_nan() && w[1] - w[0] > threshold)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basics() {
+        let ts = TimeSeries::from_values(0, 60, vec![1.0, 2.0, 3.0, 4.0]);
+        let s = summarize(&ts).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-6);
+        assert!((s.std - (1.25f32).sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn summary_skips_missing() {
+        let ts = TimeSeries::from_values(0, 60, vec![f32::NAN, 2.0, 4.0]);
+        let s = summarize(&ts).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 3.0);
+        assert!(summarize(&TimeSeries::missing(0, 60, 3)).is_none());
+        assert!(summarize(&TimeSeries::from_values(0, 60, vec![])).is_none());
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let ts = TimeSeries::from_values(0, 60, vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(quantile(&ts, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&ts, 0.5).unwrap(), 3.0);
+        assert_eq!(quantile(&ts, 1.0).unwrap(), 5.0);
+        assert_eq!(quantile(&ts, 0.2).unwrap(), 1.0);
+        assert!(quantile(&TimeSeries::missing(0, 60, 2), 0.5).is_none());
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let ts = TimeSeries::from_values(0, 60, vec![0.0, 0.0, 9.0, 0.0, 0.0]);
+        let ma = moving_average(&ts, 3);
+        assert_eq!(ma.values(), &[0.0, 3.0, 3.0, 3.0, 0.0]);
+        // Even window is promoted to the next odd size.
+        let ma2 = moving_average(&ts, 2);
+        assert_eq!(ma2.values(), &[0.0, 3.0, 3.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn moving_average_keeps_missing() {
+        let ts = TimeSeries::from_values(0, 60, vec![3.0, f32::NAN, 9.0]);
+        let ma = moving_average(&ts, 3);
+        assert_eq!(ma.values()[0], 3.0);
+        assert!(ma.values()[1].is_nan());
+        assert_eq!(ma.values()[2], 9.0);
+    }
+
+    #[test]
+    fn diff_and_edges() {
+        let ts = TimeSeries::from_values(0, 60, vec![0.0, 100.0, 100.0, 0.0, f32::NAN, 50.0]);
+        let d = diff(&ts);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.values()[0], 100.0);
+        assert_eq!(d.values()[1], 0.0);
+        assert_eq!(d.values()[2], -100.0);
+        assert!(d.values()[3].is_nan());
+        assert!(d.values()[4].is_nan());
+        assert_eq!(rising_edges(&ts, 50.0), 1);
+        assert_eq!(rising_edges(&ts, 150.0), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Minimal civil-time helpers (no external chrono dependency).
+//!
+//! The occupancy and lighting models in `ds-datasets` need only "what hour
+//! of the (local) day is this timestamp" and "which day is it" — both are
+//! simple arithmetic on Unix seconds, assuming a fixed UTC-like local zone,
+//! which is all the simulator requires.
+
+/// Seconds in a day.
+pub const DAY_SECS: i64 = 86_400;
+
+/// Hour of day in `[0, 24)` for a Unix timestamp.
+pub fn hour_of_day(timestamp: i64) -> u32 {
+    (timestamp.rem_euclid(DAY_SECS) / 3600) as u32
+}
+
+/// Minute of day in `[0, 1440)` for a Unix timestamp.
+pub fn minute_of_day(timestamp: i64) -> u32 {
+    (timestamp.rem_euclid(DAY_SECS) / 60) as u32
+}
+
+/// Day index since the epoch (floor division, correct for negatives).
+pub fn day_index(timestamp: i64) -> i64 {
+    timestamp.div_euclid(DAY_SECS)
+}
+
+/// Day of week in `[0, 7)` with 0 = Thursday (1970-01-01 was a Thursday).
+/// The simulator only needs a stable weekly phase, not named days.
+pub fn day_of_week(timestamp: i64) -> u32 {
+    (day_index(timestamp).rem_euclid(7)) as u32
+}
+
+/// Whether the day is a weekend under the convention above
+/// (Saturday = phase 2, Sunday = phase 3).
+pub fn is_weekend(timestamp: i64) -> bool {
+    matches!(day_of_week(timestamp), 2 | 3)
+}
+
+/// Format a timestamp as `d<day> HH:MM` for app display (epoch-relative).
+pub fn format_compact(timestamp: i64) -> String {
+    let m = minute_of_day(timestamp);
+    format!("d{} {:02}:{:02}", day_index(timestamp), m / 60, m % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hour_and_minute_of_day() {
+        assert_eq!(hour_of_day(0), 0);
+        assert_eq!(hour_of_day(3600), 1);
+        assert_eq!(hour_of_day(DAY_SECS + 2 * 3600), 2);
+        assert_eq!(minute_of_day(90), 1);
+        assert_eq!(minute_of_day(DAY_SECS - 60), 1439);
+    }
+
+    #[test]
+    fn negative_timestamps_wrap_correctly() {
+        assert_eq!(hour_of_day(-3600), 23);
+        assert_eq!(day_index(-1), -1);
+        assert_eq!(day_index(-DAY_SECS), -1);
+        assert_eq!(day_index(-DAY_SECS - 1), -2);
+    }
+
+    #[test]
+    fn weekly_phase() {
+        assert_eq!(day_of_week(0), 0); // Thursday
+        assert_eq!(day_of_week(DAY_SECS), 1); // Friday
+        assert!(is_weekend(2 * DAY_SECS)); // Saturday
+        assert!(is_weekend(3 * DAY_SECS)); // Sunday
+        assert!(!is_weekend(4 * DAY_SECS)); // Monday
+        assert_eq!(day_of_week(7 * DAY_SECS), 0);
+    }
+
+    #[test]
+    fn compact_format() {
+        assert_eq!(format_compact(0), "d0 00:00");
+        assert_eq!(format_compact(DAY_SECS + 61 * 60), "d1 01:01");
+    }
+}

@@ -1,0 +1,386 @@
+//! Sliding-window extraction and interactive navigation.
+//!
+//! DeviceScope lets the user pick a window length of **6 hours, 12 hours or
+//! 1 day** and page through a loaded series with **Prev** / **Next**
+//! buttons. Training likewise divides each household's consumption into
+//! fixed-length subsequences, *omitting subsequences with missing data*.
+//! Both behaviours live here: [`WindowIter`] for batch extraction,
+//! [`WindowCursor`] for interactive paging, and
+//! [`subsequences_complete`] for the training-time extraction rule.
+
+use crate::series::{StatusSeries, TimeSeries};
+use crate::{Result, TsError};
+use serde::{Deserialize, Serialize};
+
+/// The window lengths offered by the DeviceScope GUI, plus an escape hatch
+/// for experiments with custom lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WindowLength {
+    /// 6 hours (360 samples at 1-minute resolution).
+    SixHours,
+    /// 12 hours (720 samples at 1-minute resolution).
+    TwelveHours,
+    /// 1 day (1440 samples at 1-minute resolution).
+    OneDay,
+    /// A custom number of samples (must be positive).
+    Custom(usize),
+}
+
+impl WindowLength {
+    /// Window size in *samples* for a series with the given interval.
+    ///
+    /// Durations that are not an exact multiple of the interval round down,
+    /// with a minimum of one sample.
+    pub fn samples(self, interval_secs: u32) -> usize {
+        match self {
+            WindowLength::SixHours => (6 * 3600 / interval_secs as usize).max(1),
+            WindowLength::TwelveHours => (12 * 3600 / interval_secs as usize).max(1),
+            WindowLength::OneDay => (24 * 3600 / interval_secs as usize).max(1),
+            WindowLength::Custom(n) => n.max(1),
+        }
+    }
+
+    /// Human-readable label used by the app.
+    pub fn label(self) -> String {
+        match self {
+            WindowLength::SixHours => "6 hours".into(),
+            WindowLength::TwelveHours => "12 hours".into(),
+            WindowLength::OneDay => "1 day".into(),
+            WindowLength::Custom(n) => format!("{n} samples"),
+        }
+    }
+
+    /// The three lengths the GUI offers.
+    pub fn gui_choices() -> [WindowLength; 3] {
+        [
+            WindowLength::SixHours,
+            WindowLength::TwelveHours,
+            WindowLength::OneDay,
+        ]
+    }
+}
+
+/// Iterator over non-overlapping complete windows of a series.
+///
+/// A trailing partial window is not yielded.
+pub struct WindowIter<'a> {
+    series: &'a TimeSeries,
+    size: usize,
+    pos: usize,
+}
+
+impl<'a> WindowIter<'a> {
+    pub(crate) fn new(series: &'a TimeSeries, length: WindowLength) -> Self {
+        let size = length.samples(series.interval_secs());
+        Self {
+            series,
+            size,
+            pos: 0,
+        }
+    }
+
+    /// Window size in samples.
+    pub fn window_size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Iterator for WindowIter<'_> {
+    type Item = TimeSeries;
+
+    fn next(&mut self) -> Option<TimeSeries> {
+        let hi = self.pos + self.size;
+        if hi > self.series.len() {
+            return None;
+        }
+        let w = self
+            .series
+            .slice(self.pos, hi)
+            .expect("window bounds are validated");
+        self.pos = hi;
+        Some(w)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.series.len() - self.pos) / self.size;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for WindowIter<'_> {}
+
+/// Number of complete non-overlapping windows in a series.
+pub fn window_count(series: &TimeSeries, length: WindowLength) -> usize {
+    let size = length.samples(series.interval_secs());
+    series.len() / size
+}
+
+/// Extract complete, *gap-free* subsequences with a stride.
+///
+/// This is the training-time extraction rule of the paper: subsequences
+/// containing any missing reading are omitted. `stride == size` gives
+/// non-overlapping windows; a smaller stride gives overlapping ones (useful
+/// for augmenting scarce positive windows).
+pub fn subsequences_complete(
+    series: &TimeSeries,
+    size: usize,
+    stride: usize,
+) -> Result<Vec<TimeSeries>> {
+    if size == 0 || stride == 0 {
+        return Err(TsError::OutOfRange {
+            detail: "subsequence size and stride must be positive".into(),
+        });
+    }
+    if series.len() < size {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::with_capacity((series.len() - size) / stride + 1);
+    let values = series.values();
+    let mut lo = 0;
+    while lo + size <= values.len() {
+        if values[lo..lo + size].iter().all(|v| !v.is_nan()) {
+            out.push(series.slice(lo, lo + size).expect("validated bounds"));
+        }
+        lo += stride;
+    }
+    Ok(out)
+}
+
+/// A paged view over a series: the state behind the GUI's Prev/Next buttons.
+///
+/// The cursor always points at a *complete* window; `prev`/`next` saturate
+/// at the boundaries (like the GUI, which disables the buttons) and report
+/// whether they moved.
+#[derive(Debug, Clone)]
+pub struct WindowCursor {
+    series: TimeSeries,
+    status: Vec<(String, StatusSeries)>,
+    size: usize,
+    index: usize,
+}
+
+impl WindowCursor {
+    /// Create a cursor over `series` with the given window length.
+    ///
+    /// Fails if the series is shorter than one window.
+    pub fn new(series: TimeSeries, length: WindowLength) -> Result<Self> {
+        let size = length.samples(series.interval_secs());
+        if series.len() < size {
+            return Err(TsError::OutOfRange {
+                detail: format!(
+                    "series of {} samples is shorter than one {} window ({} samples)",
+                    series.len(),
+                    length.label(),
+                    size
+                ),
+            });
+        }
+        Ok(Self {
+            series,
+            status: Vec::new(),
+            size,
+            index: 0,
+        })
+    }
+
+    /// Attach a named aligned status channel (e.g. ground truth or a
+    /// prediction) so that window views can expose the matching slice.
+    pub fn attach_status(&mut self, name: impl Into<String>, status: StatusSeries) -> Result<()> {
+        if status.start() != self.series.start()
+            || status.interval_secs() != self.series.interval_secs()
+            || status.len() != self.series.len()
+        {
+            return Err(TsError::Misaligned {
+                detail: "attached status must align with the browsed series".into(),
+            });
+        }
+        self.status.push((name.into(), status));
+        Ok(())
+    }
+
+    /// Window size in samples.
+    pub fn window_size(&self) -> usize {
+        self.size
+    }
+
+    /// Index of the current window (0-based).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of complete windows.
+    pub fn count(&self) -> usize {
+        self.series.len() / self.size
+    }
+
+    /// The current window of the aggregate series.
+    pub fn current(&self) -> TimeSeries {
+        let lo = self.index * self.size;
+        self.series
+            .slice(lo, lo + self.size)
+            .expect("cursor stays in range")
+    }
+
+    /// The current window of an attached status channel, by name.
+    pub fn current_status(&self, name: &str) -> Option<StatusSeries> {
+        let lo = self.index * self.size;
+        self.status
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s.slice(lo, lo + self.size).expect("cursor stays in range"))
+    }
+
+    /// Names of attached status channels, in attachment order.
+    pub fn status_names(&self) -> Vec<&str> {
+        self.status.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Move to the next window. Returns `true` if the cursor moved.
+    #[allow(clippy::should_implement_trait)] // "Next" is the GUI button, not an iterator
+    pub fn next(&mut self) -> bool {
+        if self.index + 1 < self.count() {
+            self.index += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Move to the previous window. Returns `true` if the cursor moved.
+    pub fn prev(&mut self) -> bool {
+        if self.index > 0 {
+            self.index -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Jump to window `i`; fails if out of range.
+    pub fn seek(&mut self, i: usize) -> Result<()> {
+        if i >= self.count() {
+            return Err(TsError::OutOfRange {
+                detail: format!("window {i} of {}", self.count()),
+            });
+        }
+        self.index = i;
+        Ok(())
+    }
+
+    /// Borrow the underlying full series.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day_series() -> TimeSeries {
+        TimeSeries::from_values(0, 60, (0..1440).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn window_length_samples() {
+        assert_eq!(WindowLength::SixHours.samples(60), 360);
+        assert_eq!(WindowLength::TwelveHours.samples(60), 720);
+        assert_eq!(WindowLength::OneDay.samples(60), 1440);
+        assert_eq!(WindowLength::OneDay.samples(10), 8640);
+        assert_eq!(WindowLength::Custom(7).samples(60), 7);
+        assert_eq!(WindowLength::Custom(0).samples(60), 1);
+        // Interval longer than the nominal duration still yields >= 1 sample.
+        assert_eq!(WindowLength::SixHours.samples(7 * 3600), 1);
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        assert_eq!(WindowLength::SixHours.label(), "6 hours");
+        assert_eq!(WindowLength::Custom(42).label(), "42 samples");
+        assert_eq!(WindowLength::gui_choices().len(), 3);
+    }
+
+    #[test]
+    fn iterator_yields_complete_windows_only() {
+        let ts = day_series();
+        let ws: Vec<_> = ts.windows(WindowLength::SixHours).collect();
+        assert_eq!(ws.len(), 4);
+        assert_eq!(ws[0].values()[0], 0.0);
+        assert_eq!(ws[1].values()[0], 360.0);
+        assert_eq!(ws[3].start(), 3 * 360 * 60);
+        // 1440 is not divisible by 1000: one window, remainder dropped.
+        let ws: Vec<_> = ts.windows(WindowLength::Custom(1000)).collect();
+        assert_eq!(ws.len(), 1);
+    }
+
+    #[test]
+    fn iterator_len_matches_window_count() {
+        let ts = day_series();
+        let it = ts.windows(WindowLength::TwelveHours);
+        assert_eq!(it.len(), window_count(&ts, WindowLength::TwelveHours));
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn subsequences_skip_gaps() {
+        let mut ts = day_series();
+        // Poison one sample in the second 360-window.
+        ts.values_mut()[400] = f32::NAN;
+        let subs = subsequences_complete(&ts, 360, 360).unwrap();
+        assert_eq!(subs.len(), 3); // window 1 dropped
+        assert_eq!(subs[1].start(), 720 * 60);
+    }
+
+    #[test]
+    fn subsequences_overlapping_stride() {
+        let ts = TimeSeries::from_values(0, 60, (0..10).map(|i| i as f32).collect());
+        let subs = subsequences_complete(&ts, 4, 2).unwrap();
+        assert_eq!(subs.len(), 4); // starts 0,2,4,6
+        assert_eq!(subs[3].values(), &[6.0, 7.0, 8.0, 9.0]);
+        assert!(subsequences_complete(&ts, 0, 1).is_err());
+        assert!(subsequences_complete(&ts, 4, 0).is_err());
+        // Series shorter than the window: empty, not an error.
+        assert!(subsequences_complete(&ts, 11, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn cursor_navigation_saturates() {
+        let ts = day_series();
+        let mut c = WindowCursor::new(ts, WindowLength::SixHours).unwrap();
+        assert_eq!(c.count(), 4);
+        assert_eq!(c.index(), 0);
+        assert!(!c.prev());
+        assert!(c.next());
+        assert!(c.next());
+        assert!(c.next());
+        assert!(!c.next());
+        assert_eq!(c.index(), 3);
+        assert_eq!(c.current().values()[0], 3.0 * 360.0);
+        assert!(c.prev());
+        assert_eq!(c.index(), 2);
+        c.seek(0).unwrap();
+        assert_eq!(c.index(), 0);
+        assert!(c.seek(4).is_err());
+    }
+
+    #[test]
+    fn cursor_rejects_short_series() {
+        let ts = TimeSeries::from_values(0, 60, vec![1.0; 100]);
+        assert!(WindowCursor::new(ts, WindowLength::SixHours).is_err());
+    }
+
+    #[test]
+    fn cursor_status_channels() {
+        let ts = day_series();
+        let truth = StatusSeries::from_states(0, 60, vec![1; 1440]);
+        let mut c = WindowCursor::new(ts, WindowLength::TwelveHours).unwrap();
+        c.attach_status("kettle", truth).unwrap();
+        assert_eq!(c.status_names(), vec!["kettle"]);
+        let w = c.current_status("kettle").unwrap();
+        assert_eq!(w.len(), 720);
+        assert!(c.current_status("unknown").is_none());
+        // Misaligned attachment is rejected.
+        let bad = StatusSeries::from_states(60, 60, vec![0; 1440]);
+        assert!(c.attach_status("bad", bad).is_err());
+    }
+}

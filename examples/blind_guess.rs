@@ -1,0 +1,44 @@
+//! Demonstration scenarios 1 and 2 (§IV) end-to-end: the blind guess on an
+//! unlabeled aggregate window, then the second guess with CamAL's
+//! localization and the per-device ground truth.
+//!
+//! ```text
+//! cargo run --release --example blind_guess
+//! ```
+
+use devicescope::app::scenarios;
+use devicescope::app::state::{AppConfig, AppState};
+use devicescope::datasets::ApplianceKind;
+use devicescope::timeseries::window::WindowLength;
+
+fn main() {
+    let mut state = AppState::new(AppConfig {
+        camal: devicescope::camal::CamalConfig {
+            kernel_sizes: vec![5, 9],
+            channels: vec![8, 16],
+            train: devicescope::neural::train::TrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+            ..devicescope::camal::CamalConfig::default()
+        },
+        houses: 4,
+        days: 4,
+    });
+    state
+        .set_window_length(WindowLength::TwelveHours)
+        .expect("nothing loaded yet, cannot fail");
+
+    match scenarios::scenario_1(&mut state) {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("scenario 1 failed: {e}");
+            return;
+        }
+    }
+    println!("\n{}\n", "─".repeat(80));
+    match scenarios::scenario_2(&mut state, ApplianceKind::Kettle) {
+        Ok(text) => println!("{text}"),
+        Err(e) => eprintln!("scenario 2 failed: {e}"),
+    }
+}

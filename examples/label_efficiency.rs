@@ -1,0 +1,31 @@
+//! A miniature of the paper's Figure 3: sweep the label budget for all 7
+//! methods on the Dishwasher / IDEAL-like case and print the
+//! F1-vs-labels table plus the §II-C claims check. (The full-fidelity
+//! version is the `fig3_label_efficiency` binary in `ds-bench`.)
+//!
+//! ```text
+//! cargo run --release --example label_efficiency
+//! ```
+
+use devicescope::bench::experiments::{claims, fig3};
+use devicescope::bench::SpeedPreset;
+use devicescope::datasets::{ApplianceKind, DatasetPreset};
+
+fn main() {
+    let cfg = fig3::Fig3Config {
+        preset: DatasetPreset::IdealLike,
+        appliance: ApplianceKind::Dishwasher,
+        budgets: vec![2, 8, 24],
+        speed: SpeedPreset::Test,
+    };
+    eprintln!(
+        "sweeping label budgets {:?} for {} / {} (test fidelity)…",
+        cfg.budgets,
+        cfg.appliance.name(),
+        cfg.preset.name()
+    );
+    let result = fig3::run(&cfg);
+    println!("{}", fig3::render(&result));
+    let report = claims::compute(&result);
+    println!("{}", claims::render(&report));
+}

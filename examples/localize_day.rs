@@ -1,0 +1,86 @@
+//! Figure 1 rendition: localize several appliances inside one day of
+//! aggregate consumption and draw the result as ASCII (aggregate on top,
+//! one status strip per appliance below), exactly the layout of the
+//! paper's first figure.
+//!
+//! ```text
+//! cargo run --release --example localize_day
+//! ```
+
+use devicescope::app::plot::{line_chart, status_strip};
+use devicescope::camal::{Camal, CamalConfig};
+use devicescope::datasets::labels::Corpus;
+use devicescope::datasets::{ApplianceKind, Dataset, DatasetConfig, DatasetPreset};
+use devicescope::timeseries::window::WindowLength;
+
+fn main() {
+    let dataset = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 5, 6));
+    let house = &dataset.test_houses()[0];
+    let day_samples = WindowLength::OneDay.samples(house.aggregate().interval_secs());
+
+    // Pick the day with the most appliance activity to make the figure rich.
+    let appliances = [
+        ApplianceKind::Kettle,
+        ApplianceKind::Dishwasher,
+        ApplianceKind::WashingMachine,
+    ];
+    let days = house.aggregate().len() / day_samples;
+    let busiest = (0..days)
+        .max_by_key(|d| {
+            appliances
+                .iter()
+                .map(|&k| {
+                    house
+                        .status(k)
+                        .slice(d * day_samples, (d + 1) * day_samples)
+                        .map(|s| s.on_count())
+                        .unwrap_or(0)
+                })
+                .sum::<usize>()
+        })
+        .unwrap_or(0);
+    let window = house
+        .aggregate()
+        .slice(busiest * day_samples, (busiest + 1) * day_samples)
+        .expect("day bounds are valid");
+
+    println!(
+        "house {} — day {} — aggregate consumption:\n",
+        house.id(),
+        busiest
+    );
+    println!("{}", line_chart(&window, 96, 12));
+
+    let train_cfg = CamalConfig {
+        kernel_sizes: vec![5, 9],
+        channels: vec![8, 16],
+        train: devicescope::neural::train::TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+        ..CamalConfig::default()
+    };
+    let clean: Vec<f32> = window
+        .values()
+        .iter()
+        .map(|v| if v.is_nan() { 0.0 } else { *v })
+        .collect();
+    for kind in appliances {
+        let mut corpus = Corpus::build(&dataset, kind, day_samples);
+        corpus.balance_train(3);
+        let model = Camal::train(&corpus, &train_cfg);
+        let out = model.localize(&clean);
+        let truth = house
+            .status(kind)
+            .slice(busiest * day_samples, (busiest + 1) * day_samples)
+            .expect("day bounds are valid");
+        println!(
+            "{:<16} pred  {}  (p={:.2})",
+            kind.name(),
+            status_strip(&out.status, 96),
+            out.detection.probability
+        );
+        println!("{:<16} truth {}", "", status_strip(truth.states(), 96));
+    }
+    println!("\n(█ = appliance on; compare each prediction with the truth strip below it)");
+}

@@ -1,0 +1,76 @@
+//! Quickstart: simulate a dataset, train CamAL on weak labels, then detect
+//! and localize an appliance in a window from a held-out house.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use devicescope::camal::{Camal, CamalConfig};
+use devicescope::datasets::labels::Corpus;
+use devicescope::datasets::{ApplianceKind, Dataset, DatasetConfig, DatasetPreset};
+use devicescope::metrics::localization::score_status;
+
+fn main() {
+    // 1. A UKDALE-like dataset: 5 houses, a week each, 1-minute sampling.
+    //    (Stands in for the real recordings; see DESIGN.md.)
+    let dataset = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 5, 7));
+    println!(
+        "simulated {} houses ({} train / {} test)",
+        dataset.houses().len(),
+        dataset.train_houses().len(),
+        dataset.test_houses().len()
+    );
+
+    // 2. Weak-label corpus for the kettle: 6-hour windows, one bit each.
+    let appliance = ApplianceKind::Kettle;
+    let mut corpus = Corpus::build(&dataset, appliance, 360);
+    corpus.balance_train(3);
+    println!(
+        "training corpus: {} windows ({} positive), {} weak labels total",
+        corpus.train.len(),
+        corpus.train_positives(),
+        corpus.weak_label_count()
+    );
+
+    // 3. Train the CamAL ensemble (kernel sizes 5/7/9/15 by default; a
+    //    lighter setup keeps this example fast).
+    let config = CamalConfig {
+        kernel_sizes: vec![5, 9],
+        channels: vec![8, 16],
+        train: devicescope::neural::train::TrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+        ..CamalConfig::default()
+    };
+    let model = Camal::train(&corpus, &config);
+    println!("trained an ensemble of {} ResNets", model.ensemble().len());
+
+    // 4. Detect + localize on a positive test window from an unseen house.
+    let window = corpus
+        .test
+        .iter()
+        .find(|w| w.weak)
+        .or_else(|| corpus.test.first())
+        .expect("test corpus is never empty");
+    let outcome = model.localize(&window.values);
+    println!(
+        "\ntest window from house {} starting at t={}:",
+        window.house_id, window.start
+    );
+    println!(
+        "  ensemble probability {:.2} -> detected: {}",
+        outcome.detection.probability, outcome.detection.detected
+    );
+    for (kernel, p) in &outcome.detection.member_probabilities {
+        println!("    member k={kernel}: {p:.2}");
+    }
+    let m = score_status(&outcome.status, &window.strong);
+    println!(
+        "  localization vs ground truth: precision {:.2}, recall {:.2}, F1 {:.2}",
+        m.precision, m.recall, m.f1
+    );
+    let predicted_on = outcome.status.iter().filter(|&&s| s == 1).count();
+    let truth_on = window.strong.iter().filter(|&&s| s == 1).count();
+    println!("  predicted {predicted_on} ON minutes (ground truth: {truth_on})");
+}

@@ -1,0 +1,105 @@
+//! Integration tests of the DeviceScope app flows (§IV): the REPL session
+//! a demo visitor would drive, and the scenarios.
+
+use devicescope::app::repl::{Outcome, Repl};
+use devicescope::app::state::{AppConfig, AppState};
+use devicescope::app::{benchmark_frame, scenarios};
+use devicescope::datasets::{ApplianceKind, DatasetPreset};
+use devicescope::metrics::aggregate::{BenchmarkCell, BenchmarkTable};
+use devicescope::metrics::Measures;
+
+fn run(repl: &mut Repl, cmd: &str) -> String {
+    match repl.execute(cmd) {
+        Outcome::Output(s) => s,
+        Outcome::Quit => String::from("<quit>"),
+    }
+}
+
+fn sample_bench() -> BenchmarkTable {
+    let mut t = BenchmarkTable::new();
+    for (method, f1, labels) in [
+        ("CamAL", 0.72, 120u64),
+        ("WeakSliding", 0.33, 120),
+        ("FCN", 0.68, 43_200),
+    ] {
+        t.push(BenchmarkCell {
+            dataset: "UKDALE".into(),
+            appliance: "Kettle".into(),
+            method: method.into(),
+            detection: Measures {
+                f1: 0.8,
+                ..Measures::default()
+            },
+            localization: Measures {
+                f1,
+                ..Measures::default()
+            },
+            labels_used: labels,
+        });
+    }
+    t
+}
+
+#[test]
+fn demo_visitor_session() {
+    let mut repl = Repl::new(AppState::new(AppConfig::fast_test()), Some(sample_bench()));
+    // Scenario-1 style blind exploration.
+    let houses = run(&mut repl, "houses ukdale");
+    let first: u32 = houses
+        .split(':')
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("house list parses");
+    assert!(run(&mut repl, &format!("load UKDALE {first}")).contains("Playground"));
+    assert!(run(&mut repl, "window 6h").contains("6 hours"));
+    let before = run(&mut repl, "show");
+    assert!(!before.contains("predicted appliance status"));
+    // Scenario-2 style: overlay CamAL's prediction, inspect truth.
+    assert!(run(&mut repl, "select dishwasher").contains("selected"));
+    let overlay = run(&mut repl, "show");
+    assert!(overlay.contains("Dishwasher"));
+    assert!(run(&mut repl, "perdevice dishwasher").contains("truth"));
+    assert!(run(&mut repl, "probs").contains("ensemble"));
+    // Scenario-3 style: benchmark frames from the preloaded table.
+    let bench = run(&mut repl, "benchmark UKDALE F1");
+    assert!(bench.contains("CamAL") && bench.contains("FCN"));
+    let labels = run(&mut repl, "labels");
+    assert!(labels.contains("Labels needed"));
+    assert!(labels.find("CamAL").unwrap() < labels.find("WeakSliding").unwrap());
+    assert_eq!(run(&mut repl, "quit"), "<quit>");
+}
+
+#[test]
+fn scenarios_execute_in_sequence() {
+    let mut state = AppState::new(AppConfig::fast_test());
+    let s1 = scenarios::scenario_1(&mut state).unwrap();
+    assert!(s1.contains("blind guess"));
+    let s2 = scenarios::scenario_2(&mut state, ApplianceKind::Kettle).unwrap();
+    assert!(s2.contains("ground truth") || s2.contains("truth"));
+    let s3 = scenarios::scenario_3(&sample_bench(), "UKDALE", "F1");
+    assert!(s3.contains("7 methods"));
+    assert!(s3.contains("CamAL"));
+}
+
+#[test]
+fn benchmark_frame_handles_all_measures() {
+    let bench = sample_bench();
+    for measure in Measures::NAMES {
+        let out = benchmark_frame::render_dataset(&bench, "UKDALE", measure);
+        assert!(out.contains(measure), "measure {measure} missing:\n{out}");
+    }
+}
+
+#[test]
+fn browsable_houses_are_test_houses_only() {
+    // The paper: demo series come from houses never used in training.
+    let mut state = AppState::new(AppConfig::fast_test());
+    for preset in DatasetPreset::ALL {
+        let houses = state.browsable_houses(preset);
+        assert!(!houses.is_empty());
+        // With 4 houses, the split is 3 train / 1 test; the browsable house
+        // must be the last id.
+        assert!(houses.iter().all(|&h| h >= 3), "{preset:?}: {houses:?}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration tests of the dataset substrate's promises across presets:
+//! the invariants the whole evaluation rests on.
+
+use devicescope::datasets::labels::{Corpus, WeakLabel};
+use devicescope::datasets::{ApplianceKind, Dataset, DatasetConfig, DatasetPreset};
+use devicescope::timeseries::io::{read_csv, write_csv};
+use devicescope::timeseries::resample::to_one_minute;
+
+#[test]
+fn every_preset_provides_trainable_corpora() {
+    for preset in DatasetPreset::ALL {
+        let ds = Dataset::generate(DatasetConfig::tiny(preset, 6, 2));
+        for kind in ApplianceKind::ALL {
+            let corpus = Corpus::build(&ds, kind, 120);
+            assert!(!corpus.train.is_empty(), "{preset:?}/{kind:?}: empty train");
+            assert!(!corpus.test.is_empty(), "{preset:?}/{kind:?}: empty test");
+            // Label mode matches the preset's label style.
+            let expected = if preset.uses_possession_labels() {
+                WeakLabel::Possession
+            } else {
+                WeakLabel::WindowActivation
+            };
+            assert_eq!(corpus.mode, expected);
+            // Both classes are present in training (coverage guarantee).
+            assert!(
+                corpus.train.iter().any(|w| w.weak),
+                "{preset:?}/{kind:?}: no positive training windows"
+            );
+            assert!(
+                corpus.train.iter().any(|w| !w.weak),
+                "{preset:?}/{kind:?}: no negative training windows"
+            );
+        }
+    }
+}
+
+#[test]
+fn aggregate_always_covers_appliance_channels() {
+    // Power balance: the aggregate (before noise it is baseload + channels)
+    // must be at least each channel, within the noise margin.
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::RefitLike, 4, 2));
+    for house in ds.houses() {
+        for kind in house.appliances() {
+            let ch = house.channel(kind).unwrap();
+            let agg = house.aggregate();
+            let mut violations = 0usize;
+            let mut checked = 0usize;
+            for (a, c) in agg.values().iter().zip(ch.values()) {
+                if a.is_nan() {
+                    continue;
+                }
+                checked += 1;
+                // Allow the measurement-noise margin.
+                if *a + 50.0 < *c {
+                    violations += 1;
+                }
+            }
+            assert!(
+                violations * 100 <= checked,
+                "house {} {kind:?}: {violations}/{checked} balance violations",
+                house.id()
+            );
+        }
+    }
+}
+
+#[test]
+fn weak_activation_labels_match_ground_truth() {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+    let corpus = Corpus::build(&ds, ApplianceKind::Kettle, 120);
+    for w in corpus.train.iter().chain(&corpus.test) {
+        assert_eq!(
+            w.weak,
+            w.strong.contains(&1),
+            "window at {} label mismatch",
+            w.start
+        );
+        assert_eq!(w.values.len(), w.strong.len());
+        assert!(w.values.iter().all(|v| !v.is_nan()));
+    }
+}
+
+#[test]
+fn native_rate_simulation_resamples_cleanly() {
+    // REFIT-like at its native 8 s rate, downsampled to the common 1-minute
+    // frequency: length and energy must line up.
+    let mut config = DatasetConfig::tiny(DatasetPreset::RefitLike, 2, 1);
+    config.sim_interval_secs = 8;
+    let ds = Dataset::generate(config);
+    let native = ds.houses()[0].aggregate();
+    assert_eq!(native.interval_secs(), 8);
+    let common = to_one_minute(native).unwrap();
+    assert_eq!(common.interval_secs(), 60);
+    // 8 s does not divide 60 s: the bucketed path covers 7.5 samples/minute.
+    assert_eq!(common.len(), native.len() * 8 / 60);
+    if !native.has_missing() {
+        let rel = (common.energy_wh() - native.energy_wh()).abs() / native.energy_wh().max(1.0);
+        assert!(rel < 0.01, "energy drift {rel}");
+    }
+}
+
+#[test]
+fn csv_export_import_preserves_a_house_recording() {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::IdealLike, 2, 1));
+    let agg = ds.houses()[0].aggregate();
+    let mut buf = Vec::new();
+    write_csv(agg, &mut buf).unwrap();
+    let back = read_csv(buf.as_slice()).unwrap();
+    assert!(back.same_as(agg, 1e-3), "CSV round trip altered the series");
+}

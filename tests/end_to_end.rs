@@ -1,0 +1,126 @@
+//! Workspace-spanning integration tests: the full weak-label pipeline from
+//! simulation to localization, reproducibility, and the qualitative shape
+//! the paper's evaluation depends on.
+
+use devicescope::camal::{model_io, Camal, CamalConfig};
+use devicescope::datasets::labels::Corpus;
+use devicescope::datasets::{ApplianceKind, Dataset, DatasetConfig, DatasetPreset};
+use devicescope::metrics::localization::score_status_micro;
+
+fn corpus(preset: DatasetPreset, kind: ApplianceKind) -> Corpus {
+    let ds = Dataset::generate(DatasetConfig::tiny(preset, 5, 3));
+    let mut c = Corpus::build(&ds, kind, 120);
+    c.balance_train(3);
+    c
+}
+
+fn localization_f1(model: &Camal, corpus: &Corpus) -> f64 {
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = corpus
+        .test
+        .iter()
+        .map(|w| (model.localize(&w.values).status, w.strong.clone()))
+        .collect();
+    score_status_micro(pairs.iter().map(|(p, t)| (p.as_slice(), t.as_slice()))).f1
+}
+
+#[test]
+fn full_pipeline_trains_detects_localizes() {
+    let c = corpus(DatasetPreset::UkdaleLike, ApplianceKind::Kettle);
+    let model = Camal::train(&c, &CamalConfig::fast_test());
+    // Detection must order positive windows above negative ones on average.
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for w in &c.test {
+        let p = model.detect(&w.values).probability as f64;
+        if w.strong.contains(&1) {
+            pos.push(p);
+        } else {
+            neg.push(p);
+        }
+    }
+    if !pos.is_empty() && !neg.is_empty() {
+        let pos_mean = pos.iter().sum::<f64>() / pos.len() as f64;
+        let neg_mean = neg.iter().sum::<f64>() / neg.len() as f64;
+        assert!(
+            pos_mean > neg_mean,
+            "detector did not separate classes: pos {pos_mean:.3} vs neg {neg_mean:.3}"
+        );
+    }
+    // Localization produces valid status series on every test window.
+    for w in &c.test {
+        let out = model.localize(&w.values);
+        assert_eq!(out.status.len(), w.values.len());
+        assert!(out.cam.iter().all(|c| c.is_finite()));
+    }
+}
+
+#[test]
+fn training_is_reproducible() {
+    let c = corpus(DatasetPreset::RefitLike, ApplianceKind::Microwave);
+    let cfg = CamalConfig::fast_test();
+    let a = Camal::train(&c, &cfg);
+    let b = Camal::train(&c, &cfg);
+    for w in c.test.iter().take(3) {
+        let oa = a.localize(&w.values);
+        let ob = b.localize(&w.values);
+        assert_eq!(oa.status, ob.status);
+        assert_eq!(oa.detection.probability, ob.detection.probability);
+    }
+}
+
+#[test]
+fn persistence_round_trip_preserves_pipeline() {
+    let c = corpus(DatasetPreset::UkdaleLike, ApplianceKind::Kettle);
+    let model = Camal::train(&c, &CamalConfig::fast_test());
+    let dir = std::env::temp_dir().join("ds_e2e_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("kettle.json");
+    model_io::save(&model, &path).unwrap();
+    let back = model_io::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let w = &c.test[0];
+    assert_eq!(model.localize(&w.values).status, back.localize(&w.values).status);
+}
+
+#[test]
+fn camal_beats_degenerate_localizers() {
+    // The qualitative floor behind the paper's comparisons: CamAL must beat
+    // the all-off and all-on localizers on F1 for an easy appliance.
+    let c = corpus(DatasetPreset::UkdaleLike, ApplianceKind::Kettle);
+    let cfg = CamalConfig {
+        train: devicescope::neural::train::TrainConfig {
+            epochs: 12,
+            ..Default::default()
+        },
+        ..CamalConfig::fast_test()
+    };
+    let model = Camal::train(&c, &cfg);
+    let camal_f1 = localization_f1(&model, &c);
+
+    let all_on: Vec<(Vec<u8>, Vec<u8>)> = c
+        .test
+        .iter()
+        .map(|w| (vec![1u8; w.values.len()], w.strong.clone()))
+        .collect();
+    let all_on_f1 =
+        score_status_micro(all_on.iter().map(|(p, t)| (p.as_slice(), t.as_slice()))).f1;
+    // All-off has F1 = 0 by definition; all-on's F1 equals the duty-cycle
+    // prior. CamAL must beat both.
+    assert!(
+        camal_f1 > all_on_f1,
+        "CamAL F1 {camal_f1:.3} does not beat the all-on prior {all_on_f1:.3}"
+    );
+    assert!(camal_f1 > 0.0, "CamAL produced no true positives at all");
+}
+
+#[test]
+fn status_series_prediction_spans_whole_recording() {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+    let mut c = Corpus::build(&ds, ApplianceKind::Shower, 120);
+    c.balance_train(3);
+    let model = Camal::train(&c, &CamalConfig::fast_test());
+    let house = &ds.test_houses()[0];
+    let status = model.predict_status_series(house.aggregate(), 120);
+    assert_eq!(status.len(), house.aggregate().len());
+    assert_eq!(status.interval_secs(), house.aggregate().interval_secs());
+}

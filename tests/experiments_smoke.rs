@@ -1,0 +1,89 @@
+//! Smoke tests of every experiment in the harness at test fidelity — each
+//! paper artifact (FIG3, TAB-BENCH, CLAIMS, ablations) must run end to end
+//! and satisfy its structural invariants.
+
+use devicescope::bench::experiments::{ablations, claims, fig3, table};
+use devicescope::bench::methods::MethodName;
+use devicescope::bench::SpeedPreset;
+use devicescope::datasets::{ApplianceKind, DatasetPreset};
+
+#[test]
+fn fig3_smoke_with_invariants() {
+    let cfg = fig3::Fig3Config {
+        preset: DatasetPreset::IdealLike,
+        appliance: ApplianceKind::Dishwasher,
+        budgets: vec![2, 4],
+        speed: SpeedPreset::Test,
+    };
+    let result = fig3::run(&cfg);
+    assert_eq!(result.curves.len(), 7);
+    // Label-currency invariant: every strong curve's first point consumes
+    // exactly window_samples times the weak budget.
+    let weak_labels = result.curve("CamAL").unwrap().points[0].labels;
+    for strong in ["FCN", "DAE", "UNet-MS", "TCN", "Seq2Point"] {
+        let curve = result.curve(strong).unwrap();
+        assert!(!curve.weak);
+        assert_eq!(
+            curve.points[0].labels,
+            weak_labels * result.window_samples as u64,
+            "{strong} label accounting broken"
+        );
+    }
+    // The claims report always computes.
+    let report = claims::compute(&result);
+    assert!(report.camal.f1.is_finite());
+    assert!(report.label_ratio_lower_bound >= 0.0);
+    let text = claims::render(&report);
+    assert!(text.contains("CamAL"));
+}
+
+#[test]
+fn benchmark_table_smoke() {
+    let cfg = table::TableConfig {
+        presets: vec![DatasetPreset::UkdaleLike],
+        appliances: vec![ApplianceKind::Kettle, ApplianceKind::Shower],
+        methods: vec![
+            MethodName::Camal,
+            MethodName::WeakSliding,
+            MethodName::Seq2Point,
+        ],
+        speed: SpeedPreset::Test,
+    };
+    let t = table::run(&cfg);
+    assert_eq!(t.cells.len(), 2 * 3);
+    // Weak methods consume strictly fewer labels than strong ones on the
+    // same corpus.
+    for appliance in ["Kettle", "Shower"] {
+        let camal = t.get("UKDALE", appliance, "CamAL").unwrap();
+        let s2p = t.get("UKDALE", appliance, "Seq2Point").unwrap();
+        assert!(
+            camal.labels_used < s2p.labels_used,
+            "{appliance}: weak {} !< strong {}",
+            camal.labels_used,
+            s2p.labels_used
+        );
+    }
+    // The rendered table parses visually.
+    let text = table::render(&t);
+    assert!(text.contains("Seq2Point"));
+    // JSON round trip feeds the app.
+    let json = serde_json::to_string(&t).unwrap();
+    let back: devicescope::metrics::aggregate::BenchmarkTable =
+        serde_json::from_str(&json).unwrap();
+    assert_eq!(back.cells.len(), t.cells.len());
+}
+
+#[test]
+fn ablations_smoke() {
+    let report = ablations::run(
+        DatasetPreset::UkdaleLike,
+        ApplianceKind::Kettle,
+        SpeedPreset::Test,
+    );
+    assert!(report.rows.len() >= 6);
+    assert_eq!(report.rows[0].variant, "paper default");
+    for row in &report.rows {
+        assert!(row.localization_f1.is_finite());
+        assert!((0.0..=1.0).contains(&row.detection_f1));
+    }
+}
