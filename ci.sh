@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the tier-1 suite.
+#
+#   ./ci.sh            # run everything
+#   ./ci.sh --no-lint  # skip fmt/clippy (e.g. on toolchains without them)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run_lint=1
+if [[ "${1:-}" == "--no-lint" ]]; then
+    run_lint=0
+fi
+
+if [[ $run_lint -eq 1 ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all -- --check
+
+    echo "==> cargo clippy --workspace -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "ci: all checks passed"

@@ -60,15 +60,14 @@ pub fn render_label_comparison(bench: &BenchmarkTable) -> String {
     let rows: Vec<Vec<String>> = entries
         .iter()
         .map(|(method, m, labels)| {
-            vec![
-                method.clone(),
-                format!("{:.3}", m.f1),
-                format!("{labels}"),
-            ]
+            vec![method.clone(), format!("{:.3}", m.f1), format!("{labels}")]
         })
         .collect();
     let mut out = String::from("── Comparison with SotA NILM approaches ──\n");
-    out.push_str(&table(&["Method", "Mean localization F1", "Labels needed"], &rows));
+    out.push_str(&table(
+        &["Method", "Mean localization F1", "Labels needed"],
+        &rows,
+    ));
     if let (Some(first), Some(last)) = (entries.first(), entries.last()) {
         out.push_str(&format!(
             "\nbest method: {} (F1 {:.3}, {} labels); least efficient: {}\n",
@@ -92,7 +91,11 @@ mod tests {
 
     fn sample_table() -> BenchmarkTable {
         let mut t = BenchmarkTable::new();
-        for (method, f1, labels) in [("CamAL", 0.8, 100u64), ("FCN", 0.7, 520_000), ("WeakSliding", 0.35, 100)] {
+        for (method, f1, labels) in [
+            ("CamAL", 0.8, 100u64),
+            ("FCN", 0.7, 520_000),
+            ("WeakSliding", 0.35, 100),
+        ] {
             t.push(BenchmarkCell {
                 dataset: "IDEAL".into(),
                 appliance: "Dishwasher".into(),
@@ -131,7 +134,10 @@ mod tests {
         let camal_pos = out.find("CamAL").unwrap();
         let fcn_pos = out.find("FCN").unwrap();
         let weak_pos = out.find("WeakSliding").unwrap();
-        assert!(camal_pos < fcn_pos && fcn_pos < weak_pos, "ranking broken:\n{out}");
+        assert!(
+            camal_pos < fcn_pos && fcn_pos < weak_pos,
+            "ranking broken:\n{out}"
+        );
         assert!(out.contains("best method: CamAL"));
         let empty = render_label_comparison(&BenchmarkTable::new());
         assert!(empty.contains("no benchmark results"));

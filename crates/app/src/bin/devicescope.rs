@@ -101,7 +101,10 @@ fn main() -> ExitCode {
             emit(result)
         }
         Some("render") => {
-            let dataset = positional.get(1).cloned().unwrap_or_else(|| "UKDALE".into());
+            let dataset = positional
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "UKDALE".into());
             let house: u32 = positional
                 .get(2)
                 .and_then(|h| h.parse().ok())

@@ -67,9 +67,7 @@ pub fn rank_by_energy(mut usages: Vec<ApplianceUsage>) -> Vec<ApplianceUsage> {
 
 /// Render the insights view.
 pub fn render(usages: &[ApplianceUsage], total_kwh: f64) -> String {
-    let mut out = format!(
-        "── Consumption insights ── household total: {total_kwh:.1} kWh ──\n"
-    );
+    let mut out = format!("── Consumption insights ── household total: {total_kwh:.1} kWh ──\n");
     if usages.is_empty() {
         out.push_str("no appliances analyzed yet — select some in the playground\n");
         return out;

@@ -2,8 +2,8 @@
 //! and status next to the predicted localization, so the user can compare
 //! their guess — and CamAL's — with reality.
 
-use crate::plot::{line_chart, status_strip};
 use crate::playground::{CHART_HEIGHT, CHART_WIDTH};
+use crate::plot::{line_chart, status_strip};
 use crate::state::{AppError, AppState};
 use ds_datasets::ApplianceKind;
 
@@ -64,9 +64,7 @@ mod tests {
         assert!(view.contains("predicted"));
         assert!(view.contains("window localization"));
         // Either the power chart or the non-possession note must appear.
-        assert!(
-            view.contains("ground-truth appliance power") || view.contains("does not own")
-        );
+        assert!(view.contains("ground-truth appliance power") || view.contains("does not own"));
     }
 
     #[test]

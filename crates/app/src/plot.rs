@@ -21,17 +21,31 @@ pub fn line_chart(series: &TimeSeries, width: usize, height: usize) -> String {
     let mut cols: Vec<Option<f32>> = Vec::with_capacity(width);
     for c in 0..width {
         let lo = c * values.len() / width;
-        let hi = (((c + 1) * values.len()) / width).max(lo + 1).min(values.len());
-        let present: Vec<f32> = values[lo..hi].iter().copied().filter(|v| !v.is_nan()).collect();
+        let hi = (((c + 1) * values.len()) / width)
+            .max(lo + 1)
+            .min(values.len());
+        let present: Vec<f32> = values[lo..hi]
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         if present.is_empty() {
             cols.push(None);
         } else {
             cols.push(Some(present.iter().sum::<f32>() / present.len() as f32));
         }
     }
-    let max = cols.iter().flatten().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let max = cols
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f32::NEG_INFINITY, f32::max);
     let min = cols.iter().flatten().cloned().fold(f32::INFINITY, f32::min);
-    let (max, min) = if max.is_finite() { (max, min) } else { (1.0, 0.0) };
+    let (max, min) = if max.is_finite() {
+        (max, min)
+    } else {
+        (1.0, 0.0)
+    };
     let range = (max - min).max(1e-6);
 
     let mut grid = vec![vec![' '; width]; height];
@@ -81,7 +95,9 @@ pub fn status_strip(states: &[u8], width: usize) -> String {
     (0..width)
         .map(|c| {
             let lo = c * states.len() / width;
-            let hi = (((c + 1) * states.len()) / width).max(lo + 1).min(states.len());
+            let hi = (((c + 1) * states.len()) / width)
+                .max(lo + 1)
+                .min(states.len());
             if states[lo..hi].contains(&1) {
                 '█'
             } else {
@@ -117,7 +133,11 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let render_row = |cells: Vec<String>, widths: &[usize]| -> String {
         let mut line = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            line.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(8)));
+            line.push_str(&format!(
+                "{:<w$}  ",
+                cell,
+                w = widths.get(i).copied().unwrap_or(8)
+            ));
         }
         line.trim_end().to_string()
     };
@@ -126,7 +146,15 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
         &widths,
     ));
     out.push('\n');
-    out.push_str(&"-".repeat(widths.iter().map(|w| w + 2).sum::<usize>().saturating_sub(2)));
+    out.push_str(
+        &"-".repeat(
+            widths
+                .iter()
+                .map(|w| w + 2)
+                .sum::<usize>()
+                .saturating_sub(2),
+        ),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&render_row(row.clone(), &widths));

@@ -29,7 +29,11 @@ pub fn render(state: &mut AppState) -> Result<String, AppError> {
         out.push_str(&format!(
             "  {}  {}\n",
             probability_bar("ensemble", detection.probability, 30),
-            if detection.detected { "DETECTED" } else { "not detected" }
+            if detection.detected {
+                "DETECTED"
+            } else {
+                "not detected"
+            }
         ));
     }
     Ok(out)

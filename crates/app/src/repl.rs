@@ -47,6 +47,7 @@ impl Repl {
          \x20 benchmark <dataset> [measure]   benchmark frame (B.1)\n\
          \x20 labels                   label-efficiency comparison (B.2)\n\
          \x20 scenario <1|2|3>         run a demonstration scenario\n\
+         \x20 obs [level|reset]        live observability profile (DS_OBS)\n\
          \x20 help                     this text\n\
          \x20 quit                     exit\n"
     }
@@ -98,7 +99,10 @@ impl Repl {
                     .and_then(|h| h.parse().ok())
                     .ok_or(AppError::UnknownHouse(u32::MAX))?;
                 self.state.load(name, house)?;
-                format!("loaded {name} house {house}\n{}", playground::render(&mut self.state)?)
+                format!(
+                    "loaded {name} house {house}\n{}",
+                    playground::render(&mut self.state)?
+                )
             }
             "window" => {
                 let length = match arg1 {
@@ -193,6 +197,28 @@ impl Repl {
                 },
                 _ => "usage: scenario <1|2|3> [appliance|dataset]\n".into(),
             },
+            "obs" => match arg1 {
+                None => ds_obs::render_summary(),
+                Some("off") => {
+                    ds_obs::set_level(ds_obs::Level::Off);
+                    "observability off\n".into()
+                }
+                Some("summary") => {
+                    ds_obs::set_level(ds_obs::Level::Summary);
+                    "observability level set to summary\n".into()
+                }
+                Some("trace") => {
+                    ds_obs::set_level(ds_obs::Level::Trace);
+                    "observability level set to trace (events echo to stderr)\n".into()
+                }
+                Some("reset") => {
+                    ds_obs::reset();
+                    "observability data cleared\n".into()
+                }
+                Some(other) => {
+                    format!("unknown obs argument {other:?} (use off|summary|trace|reset)\n")
+                }
+            },
             other => format!("unknown command {other:?} — type 'help'\n"),
         }))
     }
@@ -241,6 +267,27 @@ mod tests {
         assert!(run(&mut r, "frobnicate").contains("unknown command"));
         assert_eq!(run(&mut r, ""), "");
         assert_eq!(run(&mut r, "quit"), "<quit>");
+    }
+
+    #[test]
+    fn obs_command_renders_profile_and_switches_level() {
+        let mut r = repl();
+        assert!(run(&mut r, "help").contains("obs [level|reset]"));
+        // Default (tests run with observability off): the summary renders
+        // with a hint rather than erroring.
+        assert!(run(&mut r, "obs").contains("ds-obs summary"));
+        assert!(run(&mut r, "obs summary").contains("level set to summary"));
+        // With the level on, REPL-driven model activity shows up in the
+        // profile table.
+        let _ = run(&mut r, "obs reset");
+        {
+            let _span = ds_obs::span!("repl_probe");
+        }
+        assert!(run(&mut r, "obs").contains("repl_probe"));
+        assert!(run(&mut r, "obs bogus").contains("unknown obs argument"));
+        assert!(run(&mut r, "obs reset").contains("cleared"));
+        assert!(run(&mut r, "obs off").contains("observability off"));
+        ds_obs::reset();
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub enum AppError {
 impl std::fmt::Display for AppError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AppError::UnknownDataset(d) => write!(f, "unknown dataset {d:?} (try UKDALE, REFIT, IDEAL)"),
+            AppError::UnknownDataset(d) => {
+                write!(f, "unknown dataset {d:?} (try UKDALE, REFIT, IDEAL)")
+            }
             AppError::UnknownHouse(h) => write!(f, "house {h} not found in the selected dataset"),
             AppError::NothingLoaded => write!(f, "load a series first (load <dataset> <house>)"),
             AppError::UnknownAppliance(a) => write!(f, "unknown appliance {a:?}"),
@@ -171,7 +173,11 @@ impl AppState {
 
     /// The currently displayed window.
     pub fn current_window(&self) -> Result<TimeSeries, AppError> {
-        Ok(self.cursor.as_ref().ok_or(AppError::NothingLoaded)?.current())
+        Ok(self
+            .cursor
+            .as_ref()
+            .ok_or(AppError::NothingLoaded)?
+            .current())
     }
 
     /// Toggle an appliance in the overlay selection; returns its new state.
@@ -204,7 +210,9 @@ impl AppState {
         let (lo, len) = self.current_range()?;
         let ds = self.catalog.get(preset);
         let house = ds.house(house_id).ok_or(AppError::UnknownHouse(house_id))?;
-        Ok(house.channel(kind).map(|ch| ch.slice(lo, lo + len).expect("cursor range is valid")))
+        Ok(house
+            .channel(kind)
+            .map(|ch| ch.slice(lo, lo + len).expect("cursor range is valid")))
     }
 
     fn loaded(&self) -> Result<(DatasetPreset, u32), AppError> {
@@ -281,7 +289,10 @@ impl AppState {
             let values: Vec<f32> = window.values().to_vec();
             // Impute tiny display gaps with zeros so the pipeline runs; the
             // training path never sees imputed windows.
-            let clean: Vec<f32> = values.iter().map(|v| if v.is_nan() { 0.0 } else { *v }).collect();
+            let clean: Vec<f32> = values
+                .iter()
+                .map(|v| if v.is_nan() { 0.0 } else { *v })
+                .collect();
             let model = self.model(kind)?;
             out.push((kind, model.localize(&clean)));
         }
@@ -364,7 +375,10 @@ mod tests {
         // Channel exists iff the house possesses the appliance.
         let ch = state.current_channel(ApplianceKind::Kettle).unwrap();
         let ds = state.catalog.get(DatasetPreset::UkdaleLike);
-        let possesses = ds.house(houses[0]).unwrap().possesses(ApplianceKind::Kettle);
+        let possesses = ds
+            .house(houses[0])
+            .unwrap()
+            .possesses(ApplianceKind::Kettle);
         assert_eq!(ch.is_some(), possesses);
     }
 

@@ -66,7 +66,7 @@ impl Localizer for EdgeHeuristic {
         let edges = detect_edges(&series, self.min_delta_w());
         let segments = pair_events(&edges, self.min_delta_w(), self.tolerance, self.max_len());
         let status = segments_to_status(&segments, window.len());
-        let any = status.iter().any(|&s| s == 1);
+        let any = status.contains(&1);
         WindowPrediction {
             probability: if any { 0.9 } else { 0.1 },
             status,

@@ -6,8 +6,8 @@ use ds_neural::activations::{relu_infer, ReLU};
 use ds_neural::batchnorm::BatchNorm1d;
 use ds_neural::conv::Conv1d;
 use ds_neural::loss::bce_with_logits_pos_weight;
-use ds_neural::sample::{MaxPool1d, Upsample1d};
 use ds_neural::optim::Adam;
+use ds_neural::sample::{MaxPool1d, Upsample1d};
 use ds_neural::tensor::Tensor;
 use ds_neural::VisitParams;
 use rand::rngs::StdRng;
@@ -215,11 +215,13 @@ pub fn train_seq2seq(
             ((total - pos) as f32 / pos as f32).min(20.0)
         }
     });
+    let _span = ds_obs::span!("seqnet.train");
     let mut opt = Adam::with_weight_decay(cfg.lr, 1e-4);
     let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
     let mut order: Vec<usize> = (0..windows.len()).collect();
     let mut losses = Vec::with_capacity(cfg.epochs);
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let epoch_start = ds_obs::enabled().then(std::time::Instant::now);
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
@@ -243,7 +245,17 @@ pub fn train_seq2seq(
             loss_sum += loss as f64;
             batches += 1;
         }
-        losses.push((loss_sum / batches.max(1) as f64) as f32);
+        let epoch_loss = (loss_sum / batches.max(1) as f64) as f32;
+        losses.push(epoch_loss);
+        if let Some(start) = epoch_start {
+            ds_obs::counter_add("seqnet.epochs", 1);
+            ds_obs::event!(
+                "seqnet_epoch",
+                epoch = epoch,
+                loss = epoch_loss,
+                windows_per_sec = windows.len() as f64 / start.elapsed().as_secs_f64().max(1e-9),
+            );
+        }
     }
     losses
 }
@@ -289,10 +301,15 @@ mod tests {
         // The plateau IS the target: any seq2seq net should learn this fast.
         let (windows, targets) = toy_seq_corpus(16, 32);
         let mut net = archs::fcn(7);
-        let losses = train_seq2seq(&mut net, &windows, &targets, &SeqTrainConfig {
-            epochs: 15,
-            ..SeqTrainConfig::fast()
-        });
+        let losses = train_seq2seq(
+            &mut net,
+            &windows,
+            &targets,
+            &SeqTrainConfig {
+                epochs: 15,
+                ..SeqTrainConfig::fast()
+            },
+        );
         assert!(
             losses.last().unwrap() < &(losses[0] * 0.7),
             "loss did not drop: {losses:?}"

@@ -43,7 +43,10 @@ impl StrongLocalizer {
             .iter()
             .map(|w| ds_camal::z_normalize_window(&w.values))
             .collect();
-        let targets: Vec<Vec<u8>> = corpus.train[..take].iter().map(|w| w.strong.clone()).collect();
+        let targets: Vec<Vec<u8>> = corpus.train[..take]
+            .iter()
+            .map(|w| w.strong.clone())
+            .collect();
         train_seq2seq(&mut net, &windows, &targets, cfg);
         StrongLocalizer {
             name: name.into(),
@@ -129,8 +132,13 @@ mod tests {
         assert_eq!(capped.labels_used(), 2 * 120);
         assert!(full.labels_used() > capped.labels_used());
         // Budget larger than the corpus saturates.
-        let over =
-            StrongLocalizer::fit("FCN", archs::fcn(1), &c, Some(10_000), &SeqTrainConfig::fast());
+        let over = StrongLocalizer::fit(
+            "FCN",
+            archs::fcn(1),
+            &c,
+            Some(10_000),
+            &SeqTrainConfig::fast(),
+        );
         assert_eq!(over.windows_used, c.train.len());
     }
 

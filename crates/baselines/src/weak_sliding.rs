@@ -44,7 +44,10 @@ impl WeakSliding {
             .iter()
             .map(|w| z_normalize_window(&w.values))
             .collect();
-        let labels: Vec<u8> = corpus.train[..take].iter().map(|w| u8::from(w.weak)).collect();
+        let labels: Vec<u8> = corpus.train[..take]
+            .iter()
+            .map(|w| u8::from(w.weak))
+            .collect();
         let mut net = ResNet::new(ResNetConfig {
             in_channels: 1,
             channels: vec![16, 32],

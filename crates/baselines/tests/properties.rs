@@ -1,6 +1,6 @@
 //! Property-based tests of the baseline methods' structural invariants.
 
-use ds_baselines::seqnet::{SeqTrainConfig, train_seq2seq};
+use ds_baselines::seqnet::{train_seq2seq, SeqTrainConfig};
 use ds_baselines::{archs, Localizer, WeakSliding};
 use ds_neural::tensor::Tensor;
 use ds_neural::{ResNet, ResNetConfig};
@@ -15,7 +15,7 @@ proptest! {
 
     #[test]
     fn every_architecture_is_shape_preserving(window in window_strategy(), seed in 0u64..50) {
-        let x = Tensor::from_windows(&[window.clone()]);
+        let x = Tensor::from_windows(std::slice::from_ref(&window));
         for (name, net) in archs::all_architectures(seed) {
             let y = net.infer(&x);
             prop_assert_eq!(y.shape(), (1, 1, window.len()), "{}", name);

@@ -66,5 +66,11 @@ fn ablations_bench(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, fig3_bench, table_bench, claims_bench, ablations_bench);
+criterion_group!(
+    benches,
+    fig3_bench,
+    table_bench,
+    claims_bench,
+    ablations_bench
+);
 criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Measures the cost of ds-obs instrumentation around a conv1d forward
+//! pass — the workspace's hot path — in three configurations:
+//!
+//! * `bare`: the uninstrumented loop;
+//! * `instrumented_off`: span + counter + histogram call sites present
+//!   but `DS_OBS=off`, i.e. the price every production call site pays;
+//! * `instrumented_summary`: the same call sites fully recording.
+//!
+//! Besides the criterion listing, the harness asserts the disabled-mode
+//! overhead stays under 2% (median over interleaved trials, with a small
+//! absolute floor so sub-microsecond jitter cannot fail the build).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ds_neural::conv::Conv1d;
+use ds_neural::tensor::Tensor;
+use std::time::Instant;
+
+fn workload() -> (Conv1d, Tensor) {
+    let conv = Conv1d::new(8, 16, 9, 1);
+    let windows: Vec<Vec<f32>> = (0..4)
+        .map(|w| {
+            (0..256)
+                .map(|i| ((w * 31 + i * 7) % 97) as f32 * 0.01)
+                .collect()
+        })
+        .collect();
+    let x = Tensor::from_windows(&windows);
+    // Widen to 8 input channels by stacking the window onto itself.
+    let mut wide = Tensor::zeros(x.batch, 8, x.len);
+    for b in 0..x.batch {
+        for c in 0..8 {
+            for t in 0..x.len {
+                *wide.get_mut(b, c, t) = x.get(b, 0, t) * (c as f32 * 0.1 + 1.0);
+            }
+        }
+    }
+    (conv, wide)
+}
+
+fn bare_pass(conv: &Conv1d, x: &Tensor) -> f32 {
+    let y = conv.infer(x);
+    y.data[0]
+}
+
+fn instrumented_pass(conv: &Conv1d, x: &Tensor) -> f32 {
+    let _span = ds_obs::span!("conv1d_fwd");
+    ds_obs::counter_add("bench.conv_calls", 1);
+    let y = conv.infer(x);
+    ds_obs::observe(
+        "bench.conv_out",
+        y.data[0].clamp(0.0, 1.0) as f64,
+        ds_obs::Buckets::Unit,
+    );
+    y.data[0]
+}
+
+/// Median ns/iteration of `f`, over `trials` batches of `iters` calls.
+fn median_ns(trials: usize, iters: usize, mut f: impl FnMut() -> f32) -> f64 {
+    let mut samples = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn overhead_bench(c: &mut Criterion) {
+    let (conv, x) = workload();
+
+    ds_obs::set_level(ds_obs::Level::Off);
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(20);
+    group.bench_function("bare", |b| b.iter(|| bare_pass(&conv, black_box(&x))));
+    group.bench_function("instrumented_off", |b| {
+        b.iter(|| instrumented_pass(&conv, black_box(&x)))
+    });
+    ds_obs::set_level(ds_obs::Level::Summary);
+    group.bench_function("instrumented_summary", |b| {
+        b.iter(|| instrumented_pass(&conv, black_box(&x)))
+    });
+    group.finish();
+    ds_obs::reset();
+    ds_obs::set_level(ds_obs::Level::Off);
+}
+
+/// The acceptance gate: disabled-mode instrumentation must cost < 2%.
+fn disabled_overhead_assertion(_c: &mut Criterion) {
+    let (conv, x) = workload();
+    ds_obs::set_level(ds_obs::Level::Off);
+
+    // Interleave the two measurements so frequency scaling and cache
+    // state hit both sides equally; warm up once first.
+    let _ = median_ns(3, 50, || bare_pass(&conv, &x));
+    let mut bare = Vec::new();
+    let mut inst = Vec::new();
+    for _ in 0..5 {
+        bare.push(median_ns(3, 100, || bare_pass(&conv, &x)));
+        inst.push(median_ns(3, 100, || instrumented_pass(&conv, &x)));
+    }
+    bare.sort_by(|a, b| a.total_cmp(b));
+    inst.sort_by(|a, b| a.total_cmp(b));
+    let bare_ns = bare[bare.len() / 2];
+    let inst_ns = inst[inst.len() / 2];
+    let overhead = (inst_ns - bare_ns) / bare_ns;
+    println!(
+        "obs_overhead/disabled-gate: bare {bare_ns:.0} ns, instrumented-off {inst_ns:.0} ns, \
+         overhead {:+.3}%",
+        overhead * 100.0
+    );
+    // < 2% relative, with a 200 ns absolute floor so timer jitter on a
+    // sub-microsecond kernel cannot produce a spurious failure.
+    assert!(
+        overhead < 0.02 || inst_ns - bare_ns < 200.0,
+        "disabled-mode ds-obs overhead too high: bare {bare_ns:.0} ns vs instrumented {inst_ns:.0} ns"
+    );
+}
+
+criterion_group!(benches, overhead_bench, disabled_overhead_assertion);
+criterion_main!(benches);

@@ -41,17 +41,25 @@ fn main() {
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
     }
-    eprintln!(
-        "running ablations: {} / {} at {:?} fidelity",
-        appliance.name(),
-        dataset.name(),
-        speed
+    if let Err(e) = ds_obs::init_sink("results/ablations_obs.jsonl") {
+        eprintln!("cannot open event sink: {e}");
+    }
+    ds_obs::event!(
+        "stage",
+        name = "ablations",
+        appliance = appliance.name(),
+        dataset = dataset.name(),
+        speed = format!("{speed:?}"),
     );
     let report = ablations::run(dataset, appliance, speed);
     print!("{}", ablations::render(&report));
     if let Err(e) = ds_bench::report::write_json(&report, &out_path) {
         eprintln!("failed to write {out_path}: {e}");
     } else {
-        eprintln!("wrote {out_path}");
+        ds_obs::event!("report_written", path = out_path.as_str());
+    }
+    ds_obs::flush_sink();
+    if ds_obs::enabled() {
+        eprintln!("{}", ds_obs::render_summary());
     }
 }

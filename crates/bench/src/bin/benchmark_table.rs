@@ -66,18 +66,26 @@ fn main() {
     if !methods.is_empty() {
         cfg.methods = methods;
     }
-    eprintln!(
-        "running benchmark grid: {} dataset(s) × {} appliances × {} methods at {:?} fidelity",
-        cfg.presets.len(),
-        cfg.appliances.len(),
-        cfg.methods.len(),
-        speed
+    if let Err(e) = ds_obs::init_sink("results/benchmark_table_obs.jsonl") {
+        eprintln!("cannot open event sink: {e}");
+    }
+    ds_obs::event!(
+        "stage",
+        name = "benchmark_table",
+        datasets = cfg.presets.len(),
+        appliances = cfg.appliances.len(),
+        methods = cfg.methods.len(),
+        speed = format!("{speed:?}"),
     );
     let result = table::run(&cfg);
     print!("{}", table::render(&result));
     if let Err(e) = ds_bench::report::write_json(&result, &out_path) {
         eprintln!("failed to write {out_path}: {e}");
     } else {
-        eprintln!("wrote {out_path} (load it in the app: devicescope --bench {out_path})");
+        ds_obs::event!("report_written", path = out_path.as_str());
+    }
+    ds_obs::flush_sink();
+    if ds_obs::enabled() {
+        eprintln!("{}", ds_obs::render_summary());
     }
 }

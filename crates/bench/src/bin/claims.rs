@@ -33,27 +33,44 @@ fn main() {
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
     }
-    let result = match from {
-        Some(path) => {
-            let json = std::fs::read_to_string(&path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-            serde_json::from_str(&json).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+    if let Err(e) = ds_obs::init_sink("results/claims_obs.jsonl") {
+        eprintln!("cannot open event sink: {e}");
+    }
+    {
+        let _run = ds_obs::span!("claims");
+        let result = match from {
+            Some(path) => {
+                let _stage = ds_obs::span!("load_fig3");
+                ds_obs::event!("stage", name = "load_fig3", from = path.as_str());
+                let json = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                serde_json::from_str(&json).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+            }
+            None => {
+                let cfg = fig3::Fig3Config::paper(speed);
+                let _stage = ds_obs::span!("fig3_sweep");
+                ds_obs::event!(
+                    "stage",
+                    name = "fig3_sweep",
+                    appliance = cfg.appliance.name(),
+                    dataset = cfg.preset.name(),
+                );
+                fig3::run(&cfg)
+            }
+        };
+        let report = {
+            let _stage = ds_obs::span!("compute");
+            claims::compute(&result)
+        };
+        print!("{}", claims::render(&report));
+        if let Err(e) = ds_bench::report::write_json(&report, &out_path) {
+            eprintln!("failed to write {out_path}: {e}");
+        } else {
+            ds_obs::event!("report_written", path = out_path.as_str());
         }
-        None => {
-            let cfg = fig3::Fig3Config::paper(speed);
-            eprintln!(
-                "running Figure 3 sweep first ({} / {})",
-                cfg.appliance.name(),
-                cfg.preset.name()
-            );
-            fig3::run(&cfg)
-        }
-    };
-    let report = claims::compute(&result);
-    print!("{}", claims::render(&report));
-    if let Err(e) = ds_bench::report::write_json(&report, &out_path) {
-        eprintln!("failed to write {out_path}: {e}");
-    } else {
-        eprintln!("wrote {out_path}");
+    }
+    ds_obs::flush_sink();
+    if ds_obs::enabled() {
+        eprintln!("{}", ds_obs::render_summary());
     }
 }

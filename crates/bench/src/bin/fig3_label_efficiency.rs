@@ -47,18 +47,26 @@ fn main() {
         appliance,
         ..Fig3Config::paper(speed)
     };
-    eprintln!(
-        "running Figure 3 sweep: {} / {} at {:?} fidelity (budgets {:?})",
-        cfg.appliance.name(),
-        cfg.preset.name(),
-        speed,
-        cfg.budgets
+    if let Err(e) = ds_obs::init_sink("results/fig3_obs.jsonl") {
+        eprintln!("cannot open event sink: {e}");
+    }
+    ds_obs::event!(
+        "stage",
+        name = "fig3_sweep",
+        appliance = cfg.appliance.name(),
+        dataset = cfg.preset.name(),
+        speed = format!("{speed:?}"),
+        budgets = format!("{:?}", cfg.budgets),
     );
     let result = fig3::run(&cfg);
     print!("{}", fig3::render(&result));
     if let Err(e) = ds_bench::report::write_json(&result, &out_path) {
         eprintln!("failed to write {out_path}: {e}");
     } else {
-        eprintln!("wrote {out_path}");
+        ds_obs::event!("report_written", path = out_path.as_str());
+    }
+    ds_obs::flush_sink();
+    if ds_obs::enabled() {
+        eprintln!("{}", ds_obs::render_summary());
     }
 }

@@ -91,13 +91,21 @@ pub fn variants(speed: SpeedPreset) -> Vec<(String, CamalConfig)> {
 
 /// Run the ablation suite on one (preset, appliance) pair.
 pub fn run(preset: DatasetPreset, appliance: ApplianceKind, speed: SpeedPreset) -> AblationReport {
+    let _span = ds_obs::span!("ablations");
     let dataset = Dataset::generate(speed.dataset_config(preset));
     let mut corpus = Corpus::build(&dataset, appliance, speed.window_samples());
     corpus.balance_train(3);
     let mut rows = Vec::new();
     for (label, config) in variants(speed) {
+        let _span = ds_obs::span!("variant");
         let method = CamalMethod::fit(&corpus, None, &config);
         let (det, loc) = evaluate(&method, &corpus.test);
+        ds_obs::event!(
+            "ablation_variant",
+            variant = label.as_str(),
+            detection_f1 = det.f1,
+            localization_f1 = loc.f1,
+        );
         rows.push(AblationRow {
             variant: label,
             detection_f1: det.f1,

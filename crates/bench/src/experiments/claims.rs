@@ -53,7 +53,11 @@ pub fn compute(fig3: &Fig3Result) -> ClaimsReport {
         .flat_map(|c| c.points.iter().cloned())
         .collect();
     let mut best_ratio: Option<(f64, EfficiencyPoint)> = None;
-    for p in &fig3.curve("CamAL").map(|c| c.points.clone()).unwrap_or_default() {
+    for p in &fig3
+        .curve("CamAL")
+        .map(|c| c.points.clone())
+        .unwrap_or_default()
+    {
         if let Some(strong_labels) = labels_to_reach(&strong_points, p.f1) {
             let ratio = strong_labels as f64 / p.labels.max(1) as f64;
             if best_ratio.as_ref().is_none_or(|(r, _)| ratio > *r) {

@@ -87,10 +87,15 @@ impl Fig3Result {
 
 /// Run the Figure 3 sweep.
 pub fn run(cfg: &Fig3Config) -> Fig3Result {
-    let dataset = Dataset::generate(cfg.speed.dataset_config(cfg.preset));
-    let window = cfg.speed.window_samples();
-    let mut corpus = Corpus::build(&dataset, cfg.appliance, window);
-    corpus.balance_train(3);
+    let _span = ds_obs::span!("fig3");
+    let corpus = {
+        let _span = ds_obs::span!("prepare_corpus");
+        let dataset = Dataset::generate(cfg.speed.dataset_config(cfg.preset));
+        let window = cfg.speed.window_samples();
+        let mut corpus = Corpus::build(&dataset, cfg.appliance, window);
+        corpus.balance_train(3);
+        corpus
+    };
     run_on_corpus(cfg, &corpus)
 }
 
@@ -106,11 +111,19 @@ pub fn run_on_corpus(cfg: &Fig3Config, corpus: &Corpus) -> Fig3Result {
     budgets.dedup();
     let mut curves = Vec::new();
     for method in ALL_METHODS {
+        let _span = ds_obs::span!("fig3_method");
         let mut points = Vec::new();
         for &budget in &budgets {
             let budget = budget.min(corpus.train.len()).max(1);
             let fitted = fit_method(method, corpus, Some(budget), cfg.speed);
             let (_, loc) = evaluate(fitted.localizer.as_ref(), &corpus.test);
+            ds_obs::event!(
+                "fig3_point",
+                method = method.display(),
+                budget = budget,
+                labels = fitted.labels_used,
+                f1 = loc.f1,
+            );
             points.push(EfficiencyPoint {
                 labels: fitted.labels_used,
                 f1: loc.f1,
@@ -156,7 +169,7 @@ pub fn render(result: &Fig3Result) -> String {
     out.push('\n');
     // The plot itself, one marker per method.
     let markers = ['C', 'W', 'F', 'D', 'U', 'T', 'S'];
-    let curve_data: Vec<(char, &str, Vec<(u64, f64)>)> = result
+    let curve_data: Vec<crate::report::LabelCurve<'_>> = result
         .curves
         .iter()
         .zip(markers)

@@ -45,18 +45,34 @@ impl TableConfig {
 
 /// Run the grid.
 pub fn run(cfg: &TableConfig) -> BenchmarkTable {
+    let _span = ds_obs::span!("benchmark_table");
     let mut table = BenchmarkTable::new();
     for &preset in &cfg.presets {
+        let _span = ds_obs::span!("dataset");
         let dataset = Dataset::generate(cfg.speed.dataset_config(preset));
         for &appliance in &cfg.appliances {
             let mut corpus = Corpus::build(&dataset, appliance, cfg.speed.window_samples());
             corpus.balance_train(3);
             if corpus.train.is_empty() || corpus.test.is_empty() {
+                ds_obs::event!(
+                    "table_cell_skipped",
+                    dataset = preset.name(),
+                    appliance = appliance.name(),
+                );
                 continue; // a degenerate tiny split: skip the cell honestly
             }
             for &method in &cfg.methods {
+                let _span = ds_obs::span!("cell");
                 let fitted = fit_method(method, &corpus, None, cfg.speed);
                 let (detection, localization) = evaluate(fitted.localizer.as_ref(), &corpus.test);
+                ds_obs::event!(
+                    "table_cell",
+                    dataset = preset.name(),
+                    appliance = appliance.name(),
+                    method = method.display(),
+                    detection_f1 = detection.f1,
+                    localization_f1 = localization.f1,
+                );
                 table.push(BenchmarkCell {
                     dataset: preset.name().to_string(),
                     appliance: appliance.name().to_string(),

@@ -16,7 +16,11 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
     let mut push_row = |cells: &[String]| {
         for (i, cell) in cells.iter().enumerate() {
-            out.push_str(&format!("{:<w$}  ", cell, w = widths.get(i).copied().unwrap_or(6)));
+            out.push_str(&format!(
+                "{:<w$}  ",
+                cell,
+                w = widths.get(i).copied().unwrap_or(6)
+            ));
         }
         while out.ends_with(' ') {
             out.pop();
@@ -31,15 +35,32 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Write any serializable report next to the workspace as pretty JSON.
+///
+/// When observability is on (`DS_OBS=summary|trace`) and the report
+/// serializes to a JSON object, the current ds-obs snapshot (spans,
+/// counters, gauges, histogram quantiles) is embedded under an `"obs"`
+/// key. With `DS_OBS=off` the output is byte-identical to an
+/// uninstrumented run.
 pub fn write_json<T: Serialize>(value: &T, path: impl AsRef<Path>) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(value).expect("report serialization is infallible");
+    let json = if ds_obs::enabled() {
+        let mut root = serde_json::to_value(value).expect("report serialization is infallible");
+        if let Some(map) = root.as_object_mut() {
+            map.insert("obs".to_string(), ds_obs::snapshot());
+        }
+        serde_json::to_string_pretty(&root).expect("report serialization is infallible")
+    } else {
+        serde_json::to_string_pretty(value).expect("report serialization is infallible")
+    };
     std::fs::write(path, json)
 }
+
+/// One plotted curve: marker character, method name, (labels, f1) points.
+pub type LabelCurve<'a> = (char, &'a str, Vec<(u64, f64)>);
 
 /// An ASCII scatter of label-efficiency curves on a log-x axis: one letter
 /// per method, F1 on the y axis — the textual analogue of the paper's
 /// Figure 3 plot.
-pub fn ascii_curves(curves: &[(char, &str, Vec<(u64, f64)>)], width: usize, height: usize) -> String {
+pub fn ascii_curves(curves: &[LabelCurve<'_>], width: usize, height: usize) -> String {
     let width = width.clamp(20, 160);
     let height = height.clamp(5, 40);
     let all_points: Vec<(u64, f64)> = curves
@@ -56,8 +77,8 @@ pub fn ascii_curves(curves: &[(char, &str, Vec<(u64, f64)>)], width: usize, heig
     let mut grid = vec![vec![' '; width]; height];
     for (marker, _, pts) in curves {
         for &(labels, f1) in pts {
-            let x = (((labels.max(1) as f64).ln() - lx_min) / lx_range * (width - 1) as f64)
-                .round() as usize;
+            let x = (((labels.max(1) as f64).ln() - lx_min) / lx_range * (width - 1) as f64).round()
+                as usize;
             let y = ((1.0 - f1.clamp(0.0, 1.0)) * (height - 1) as f64).round() as usize;
             grid[y.min(height - 1)][x.min(width - 1)] = *marker;
         }
@@ -105,17 +126,14 @@ mod tests {
 
     #[test]
     fn table_renders_aligned() {
-        let t = text_table(
-            &["Method", "F1"],
-            &[vec!["CamAL".into(), "0.9".into()]],
-        );
+        let t = text_table(&["Method", "F1"], &[vec!["CamAL".into(), "0.9".into()]]);
         assert!(t.starts_with("Method"));
         assert!(t.contains("CamAL"));
     }
 
     #[test]
     fn ascii_curves_places_points() {
-        let curves: Vec<(char, &str, Vec<(u64, f64)>)> = vec![
+        let curves: Vec<super::LabelCurve<'_>> = vec![
             ('C', "CamAL", vec![(10, 0.8), (100, 0.8)]),
             ('F', "FCN", vec![(10_000, 0.5), (1_000_000, 0.85)]),
         ];
@@ -143,7 +161,8 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("r.json");
         write_json(&vec![1, 2, 3], &path).unwrap();
-        let back: Vec<i32> = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let back: Vec<i32> =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(back, vec![1, 2, 3]);
         std::fs::remove_file(path).ok();
     }

@@ -41,7 +41,7 @@ impl SpeedPreset {
     /// Window length in samples (at the common 1-minute frequency).
     pub fn window_samples(self) -> usize {
         match self {
-            SpeedPreset::Test => 120,  // 2 h
+            SpeedPreset::Test => 120,    // 2 h
             SpeedPreset::Default => 360, // 6 h — a GUI choice
             SpeedPreset::Full => 360,
         }

@@ -31,7 +31,10 @@ pub fn calibrate_threshold(
     validation: &[LabeledWindow],
     steps: usize,
 ) -> Calibration {
-    assert!(!validation.is_empty(), "calibration needs validation windows");
+    assert!(
+        !validation.is_empty(),
+        "calibration needs validation windows"
+    );
     let steps = steps.max(3);
     let normalized: Vec<Vec<f32>> = validation
         .iter()

@@ -21,15 +21,43 @@ pub struct Detection {
 /// Detect the appliance in one raw window (watts).
 pub fn detect(ensemble: &ResNetEnsemble, window: &[f32], cfg: &LocalizerConfig) -> Detection {
     assert!(!window.is_empty(), "cannot detect on an empty window");
+    let _span = ds_obs::span!("camal.detect");
+    let start = ds_obs::enabled().then(std::time::Instant::now);
     let normalized = z_normalize_window(window);
     let x = Tensor::from_windows(std::slice::from_ref(&normalized));
     let outputs = ensemble.predict(&x);
     let prob = ResNetEnsemble::ensemble_probability(&outputs)[0];
+    let detected = prob > cfg.detection_threshold;
+    if let Some(start) = start {
+        record_detections(&[prob], detected as u64, start.elapsed(), 1);
+    }
     Detection {
         probability: prob,
         member_probabilities: outputs.iter().map(|o| (o.kernel, o.probs[0])).collect(),
-        detected: prob > cfg.detection_threshold,
+        detected,
     }
+}
+
+/// Shared observability for single and batched detection: per-window
+/// latency and probability histograms plus decision counters.
+fn record_detections(probs: &[f32], detected: u64, elapsed: std::time::Duration, windows: u64) {
+    let per_window = elapsed.as_secs_f64() / windows.max(1) as f64;
+    for &p in probs {
+        ds_obs::observe("camal.detect.prob", p as f64, ds_obs::Buckets::Unit);
+        ds_obs::observe(
+            "camal.detect.latency_s",
+            per_window,
+            ds_obs::Buckets::DurationSecs,
+        );
+    }
+    ds_obs::counter_add("camal.detect.windows", windows);
+    ds_obs::counter_add("camal.detect.positive", detected);
+    ds_obs::event!(
+        "detect",
+        windows = windows,
+        positive = detected,
+        latency_per_window_s = per_window,
+    );
 }
 
 /// Batched detection over many raw windows (one ensemble pass per batch).
@@ -39,10 +67,19 @@ pub fn detect_batch(
     cfg: &LocalizerConfig,
 ) -> Vec<Detection> {
     assert!(!windows.is_empty(), "cannot detect on an empty batch");
+    let _span = ds_obs::span!("camal.detect_batch");
+    let start = ds_obs::enabled().then(std::time::Instant::now);
     let normalized: Vec<Vec<f32>> = windows.iter().map(|w| z_normalize_window(w)).collect();
     let x = Tensor::from_windows(&normalized);
     let outputs = ensemble.predict(&x);
     let probs = ResNetEnsemble::ensemble_probability(&outputs);
+    if let Some(start) = start {
+        let positive = probs
+            .iter()
+            .filter(|&&p| p > cfg.detection_threshold)
+            .count() as u64;
+        record_detections(&probs, positive, start.elapsed(), windows.len() as u64);
+    }
     probs
         .iter()
         .enumerate()
@@ -80,7 +117,9 @@ mod tests {
     fn batch_matches_single() {
         let ens = ensemble();
         let cfg = LocalizerConfig::default();
-        let w1: Vec<f32> = (0..48).map(|i| (i as f32 * 0.3).sin() * 50.0 + 100.0).collect();
+        let w1: Vec<f32> = (0..48)
+            .map(|i| (i as f32 * 0.3).sin() * 50.0 + 100.0)
+            .collect();
         let w2: Vec<f32> = (0..48).map(|i| (i % 7) as f32 * 30.0).collect();
         let batch = detect_batch(&ens, &[w1.clone(), w2.clone()], &cfg);
         let s1 = detect(&ens, &w1, &cfg);

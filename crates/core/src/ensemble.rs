@@ -92,16 +92,23 @@ impl ResNetEnsemble {
         let base_cfg = &config.train;
         let mut reports: Vec<Option<TrainReport>> = vec![None; self.members.len()];
         crossbeam::scope(|scope| {
-            for (i, (member, slot)) in self
-                .members
-                .iter_mut()
-                .zip(reports.iter_mut())
-                .enumerate()
-            {
+            for (i, (member, slot)) in self.members.iter_mut().zip(reports.iter_mut()).enumerate() {
                 let mut cfg = base_cfg.clone();
                 cfg.shuffle_seed = base_cfg.shuffle_seed.wrapping_add(i as u64);
                 scope.spawn(move |_| {
-                    *slot = Some(train_classifier(member, windows, labels, &cfg));
+                    // Worker threads root their own span stack, so each
+                    // member's wall time aggregates under this path.
+                    let _span = ds_obs::span!("camal.train_member");
+                    let report = train_classifier(member, windows, labels, &cfg);
+                    ds_obs::event!(
+                        "ensemble_member_trained",
+                        member = i,
+                        kernel = member.kernel(),
+                        epochs = report.epoch_losses.len(),
+                        train_accuracy = report.train_accuracy,
+                        early_stopped = report.early_stopped,
+                    );
+                    *slot = Some(report);
                 });
             }
         })

@@ -130,7 +130,11 @@ impl Camal {
     /// `window_samples` over `series`. Windows with missing data and the
     /// trailing partial window are conservatively all-off (the GUI shows
     /// them as gaps anyway).
-    pub fn predict_status_series(&self, series: &TimeSeries, window_samples: usize) -> StatusSeries {
+    pub fn predict_status_series(
+        &self,
+        series: &TimeSeries,
+        window_samples: usize,
+    ) -> StatusSeries {
         let mut states = vec![0u8; series.len()];
         let values = series.values();
         let mut lo = 0;

@@ -38,12 +38,10 @@ pub struct Localization {
 }
 
 /// Run steps 1–6 on one raw window (watts).
-pub fn localize(
-    ensemble: &ResNetEnsemble,
-    window: &[f32],
-    cfg: &LocalizerConfig,
-) -> Localization {
+pub fn localize(ensemble: &ResNetEnsemble, window: &[f32], cfg: &LocalizerConfig) -> Localization {
     assert!(!window.is_empty(), "cannot localize an empty window");
+    let _span = ds_obs::span!("camal.localize");
+    let start = ds_obs::enabled().then(std::time::Instant::now);
     let normalized = z_normalize_window(window);
     let x = Tensor::from_windows(std::slice::from_ref(&normalized));
     let outputs = ensemble.predict(&x);
@@ -55,6 +53,19 @@ pub fn localize(
     };
     let cam = average_cams(&outputs, 0, cfg);
     let (attention, status) = attention_and_status(&cam, &normalized, detection.detected, cfg);
+    if let Some(start) = start {
+        ds_obs::observe("camal.localize.prob", prob as f64, ds_obs::Buckets::Unit);
+        ds_obs::observe(
+            "camal.localize.latency_s",
+            start.elapsed().as_secs_f64(),
+            ds_obs::Buckets::DurationSecs,
+        );
+        ds_obs::counter_add("camal.localize.windows", 1);
+        ds_obs::counter_add(
+            "camal.localize.active_timesteps",
+            status.iter().map(|&s| s as u64).sum(),
+        );
+    }
     Localization {
         detection,
         cam,
@@ -203,7 +214,9 @@ mod tests {
     fn localize_end_to_end_shapes() {
         let ens = ResNetEnsemble::untrained(&CamalConfig::fast_test());
         let cfg = LocalizerConfig::default();
-        let window: Vec<f32> = (0..64).map(|i| if i > 30 && i < 40 { 2000.0 } else { 80.0 }).collect();
+        let window: Vec<f32> = (0..64)
+            .map(|i| if i > 30 && i < 40 { 2000.0 } else { 80.0 })
+            .collect();
         let out = localize(&ens, &window, &cfg);
         assert_eq!(out.cam.len(), 64);
         assert_eq!(out.attention.len(), 64);

@@ -37,7 +37,10 @@ impl std::fmt::Display for CamalIoError {
             CamalIoError::Io(e) => write!(f, "camal io: {e}"),
             CamalIoError::Format(e) => write!(f, "camal format: {e}"),
             CamalIoError::Version { found } => {
-                write!(f, "camal checkpoint version {found}, expected {FORMAT_VERSION}")
+                write!(
+                    f,
+                    "camal checkpoint version {found}, expected {FORMAT_VERSION}"
+                )
             }
         }
     }
@@ -98,7 +101,9 @@ mod tests {
     #[test]
     fn round_trip_preserves_behavior() {
         let model = untrained_model();
-        let window: Vec<f32> = (0..48).map(|i| (i as f32 * 0.7).cos() * 100.0 + 200.0).collect();
+        let window: Vec<f32> = (0..48)
+            .map(|i| (i as f32 * 0.7).cos() * 100.0 + 200.0)
+            .collect();
         let before = model.localize(&window);
         let back = from_json(&to_json(&model)).unwrap();
         let after = back.localize(&window);
@@ -109,9 +114,16 @@ mod tests {
 
     #[test]
     fn version_and_format_guards() {
-        let json = to_json(&untrained_model()).replace("\"format_version\":1", "\"format_version\":2");
-        assert!(matches!(from_json(&json), Err(CamalIoError::Version { found: 2 })));
-        assert!(matches!(from_json("not json"), Err(CamalIoError::Format(_))));
+        let json =
+            to_json(&untrained_model()).replace("\"format_version\":1", "\"format_version\":2");
+        assert!(matches!(
+            from_json(&json),
+            Err(CamalIoError::Version { found: 2 })
+        ));
+        assert!(matches!(
+            from_json("not json"),
+            Err(CamalIoError::Format(_))
+        ));
     }
 
     #[test]
@@ -124,6 +136,9 @@ mod tests {
         let back = load(&path).unwrap();
         assert_eq!(back.ensemble().len(), model.ensemble().len());
         std::fs::remove_file(&path).ok();
-        assert!(matches!(load(dir.join("nope.json")), Err(CamalIoError::Io(_))));
+        assert!(matches!(
+            load(dir.join("nope.json")),
+            Err(CamalIoError::Io(_))
+        ));
     }
 }

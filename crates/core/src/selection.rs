@@ -46,7 +46,11 @@ pub fn select_best_members(
     let keep = keep.clamp(1, ensemble.len());
     let mut scored = score_members(ensemble, windows, labels);
     let full_report = scored.clone();
-    scored.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("bacc is finite").then(a.1.cmp(&b.1)));
+    scored.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .expect("bacc is finite")
+            .then(a.1.cmp(&b.1))
+    });
     let mut keep_idx: Vec<usize> = scored.iter().take(keep).map(|(i, _, _)| *i).collect();
     keep_idx.sort_unstable();
     ensemble.retain_indices(&keep_idx);

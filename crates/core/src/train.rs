@@ -31,6 +31,8 @@ pub fn train_camal_with_reports(
         !corpus.train.is_empty(),
         "CamAL training requires at least one labeled window"
     );
+    let _span = ds_obs::span!("camal.train");
+    ds_obs::counter_add("camal.train_windows", corpus.train.len() as u64);
     let windows: Vec<Vec<f32>> = corpus
         .train
         .iter()
@@ -44,8 +46,15 @@ pub fn train_camal_with_reports(
         // selection helper normalizes again, which is a no-op on z-scored
         // data up to floating-point jitter).
         let raw: Vec<Vec<f32>> = corpus.train.iter().map(|w| w.values.clone()).collect();
+        let _select_span = ds_obs::span!("select_members");
         select_best_members(&mut ensemble, &raw, &labels, keep);
     }
+    ds_obs::event!(
+        "camal_trained",
+        members = ensemble.len(),
+        train_windows = corpus.train.len(),
+        early_stopped = reports.iter().filter(|r| r.early_stopped).count(),
+    );
     (Camal::from_parts(ensemble, config.clone()), reports)
 }
 

@@ -209,17 +209,53 @@ fn dishwasher(rng: &mut impl Rng) -> Vec<f32> {
     let dry = uniform(rng, 550.0, 800.0);
     let mut out = Vec::new();
     // Pre-wash (motor only).
-    plateau(&mut out, uniform(rng, 180.0, 420.0) as usize, motor, rng, 10.0);
+    plateau(
+        &mut out,
+        uniform(rng, 180.0, 420.0) as usize,
+        motor,
+        rng,
+        10.0,
+    );
     // Main heat.
-    plateau(&mut out, uniform(rng, 600.0, 1200.0) as usize, heat, rng, 25.0);
+    plateau(
+        &mut out,
+        uniform(rng, 600.0, 1200.0) as usize,
+        heat,
+        rng,
+        25.0,
+    );
     // Main wash agitation.
-    plateau(&mut out, uniform(rng, 900.0, 1800.0) as usize, motor, rng, 15.0);
+    plateau(
+        &mut out,
+        uniform(rng, 900.0, 1800.0) as usize,
+        motor,
+        rng,
+        15.0,
+    );
     // Rinse heat (shorter).
-    plateau(&mut out, uniform(rng, 480.0, 900.0) as usize, heat * 0.95, rng, 25.0);
+    plateau(
+        &mut out,
+        uniform(rng, 480.0, 900.0) as usize,
+        heat * 0.95,
+        rng,
+        25.0,
+    );
     // Cold rinse.
-    plateau(&mut out, uniform(rng, 600.0, 1200.0) as usize, motor, rng, 15.0);
+    plateau(
+        &mut out,
+        uniform(rng, 600.0, 1200.0) as usize,
+        motor,
+        rng,
+        15.0,
+    );
     // Drying element.
-    plateau(&mut out, uniform(rng, 900.0, 1800.0) as usize, dry, rng, 20.0);
+    plateau(
+        &mut out,
+        uniform(rng, 900.0, 1800.0) as usize,
+        dry,
+        rng,
+        20.0,
+    );
     out
 }
 
@@ -237,7 +273,13 @@ fn washing_machine(rng: &mut impl Rng) -> Vec<f32> {
         out.push((drum * osc + normal(rng, 0.0, 20.0)).max(0.0));
     }
     // Heating plateau (the discriminative part).
-    plateau(&mut out, uniform(rng, 600.0, 1200.0) as usize, heat, rng, 30.0);
+    plateau(
+        &mut out,
+        uniform(rng, 600.0, 1200.0) as usize,
+        heat,
+        rng,
+        30.0,
+    );
     // Main wash: drum agitation with reversals.
     let wash = uniform(rng, 1200.0, 2400.0) as usize;
     for i in 0..wash {
@@ -247,8 +289,20 @@ fn washing_machine(rng: &mut impl Rng) -> Vec<f32> {
     }
     // Rinse pulses.
     for _ in 0..3 {
-        plateau(&mut out, uniform(rng, 90.0, 180.0) as usize, drum * 0.8, rng, 20.0);
-        plateau(&mut out, uniform(rng, 60.0, 120.0) as usize, drum * 0.1, rng, 5.0);
+        plateau(
+            &mut out,
+            uniform(rng, 90.0, 180.0) as usize,
+            drum * 0.8,
+            rng,
+            20.0,
+        );
+        plateau(
+            &mut out,
+            uniform(rng, 60.0, 120.0) as usize,
+            drum * 0.1,
+            rng,
+            5.0,
+        );
     }
     // Final spin: two ramps to peak.
     for _ in 0..2 {
@@ -292,10 +346,16 @@ mod tests {
         for kind in ApplianceKind::ALL {
             assert_eq!(ApplianceKind::parse(kind.slug()), Some(kind));
             assert_eq!(ApplianceKind::parse(kind.name()), Some(kind));
-            assert_eq!(ApplianceKind::parse(&kind.name().to_uppercase()), Some(kind));
+            assert_eq!(
+                ApplianceKind::parse(&kind.name().to_uppercase()),
+                Some(kind)
+            );
         }
         assert_eq!(ApplianceKind::parse("toaster"), None);
-        assert_eq!(format!("{}", ApplianceKind::WashingMachine), "Washing Machine");
+        assert_eq!(
+            format!("{}", ApplianceKind::WashingMachine),
+            "Washing Machine"
+        );
     }
 
     #[test]
@@ -323,7 +383,11 @@ mod tests {
         let mut r = rng();
         for _ in 0..5 {
             let p = ApplianceKind::Dishwasher.sample_activation(&mut r, 60);
-            assert!((60..=135).contains(&p.len()), "dishwasher length {} min", p.len());
+            assert!(
+                (60..=135).contains(&p.len()),
+                "dishwasher length {} min",
+                p.len()
+            );
             // Count minutes above 1.5 kW: both heating phases contribute.
             let hot = p.iter().filter(|&&v| v > 1500.0).count();
             assert!(hot >= 15, "dishwasher heating minutes {hot}");

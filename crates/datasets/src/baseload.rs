@@ -63,8 +63,8 @@ impl BaseloadProfile {
         let mut values = Vec::with_capacity(len);
         let period_samples =
             ((self.fridge_period_min as u64 * 60) / interval_secs.max(1) as u64).max(2) as usize;
-        let on_samples =
-            ((period_samples as f32 * self.fridge_duty).round() as usize).clamp(1, period_samples - 1);
+        let on_samples = ((period_samples as f32 * self.fridge_duty).round() as usize)
+            .clamp(1, period_samples - 1);
         // Random phase so houses don't cycle in lockstep.
         let phase = rng.gen_range(0..period_samples);
         let mut misc = 0.0f32;
@@ -77,10 +77,8 @@ impl BaseloadProfile {
             };
             let light = self.lighting_at(t);
             // Mean-reverting random walk for miscellaneous devices.
-            misc = (misc * 0.98 + normal(rng, 0.0, self.misc_scale_w * 0.2)).clamp(
-                -self.misc_scale_w,
-                3.0 * self.misc_scale_w,
-            );
+            misc = (misc * 0.98 + normal(rng, 0.0, self.misc_scale_w * 0.2))
+                .clamp(-self.misc_scale_w, 3.0 * self.misc_scale_w);
             let v = self.standby_w + fridge + light + misc.max(0.0) + normal(rng, 0.0, 2.0);
             values.push(v.max(0.0));
         }
@@ -152,7 +150,11 @@ mod tests {
         );
         // Duty cycle shows up in the mean.
         let expected = p.standby_w + p.fridge_w * p.fridge_duty;
-        assert!((s.mean - expected).abs() < p.fridge_w * 0.25, "mean {} vs {expected}", s.mean);
+        assert!(
+            (s.mean - expected).abs() < p.fridge_w * 0.25,
+            "mean {} vs {expected}",
+            s.mean
+        );
     }
 
     #[test]

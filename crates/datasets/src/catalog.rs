@@ -84,16 +84,24 @@ mod tests {
         assert!(cat.is_cached(DatasetPreset::UkdaleLike));
         assert!(!cat.is_cached(DatasetPreset::RefitLike));
         // Second access returns the cached dataset (same houses).
-        let a0 = cat.get(DatasetPreset::UkdaleLike).houses()[0].aggregate().clone();
-        let b0 = cat.get(DatasetPreset::UkdaleLike).houses()[0].aggregate().clone();
+        let a0 = cat.get(DatasetPreset::UkdaleLike).houses()[0]
+            .aggregate()
+            .clone();
+        let b0 = cat.get(DatasetPreset::UkdaleLike).houses()[0]
+            .aggregate()
+            .clone();
         assert!(a0.same_as(&b0, 0.0)); // NaN-aware: dropouts defeat `==`
     }
 
     #[test]
     fn same_as_distinguishes_content() {
         let mut cat = Catalog::tiny(2, 1);
-        let a = cat.get(DatasetPreset::UkdaleLike).houses()[0].aggregate().clone();
-        let b = cat.get(DatasetPreset::UkdaleLike).houses()[1].aggregate().clone();
+        let a = cat.get(DatasetPreset::UkdaleLike).houses()[0]
+            .aggregate()
+            .clone();
+        let b = cat.get(DatasetPreset::UkdaleLike).houses()[1]
+            .aggregate()
+            .clone();
         assert!(!a.same_as(&b, 0.0));
     }
 

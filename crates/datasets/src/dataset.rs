@@ -286,10 +286,22 @@ mod tests {
 
     #[test]
     fn preset_parsing_and_names() {
-        assert_eq!(DatasetPreset::parse("ukdale"), Some(DatasetPreset::UkdaleLike));
-        assert_eq!(DatasetPreset::parse("UK-DALE"), Some(DatasetPreset::UkdaleLike));
-        assert_eq!(DatasetPreset::parse("refit-like"), Some(DatasetPreset::RefitLike));
-        assert_eq!(DatasetPreset::parse("IDEAL"), Some(DatasetPreset::IdealLike));
+        assert_eq!(
+            DatasetPreset::parse("ukdale"),
+            Some(DatasetPreset::UkdaleLike)
+        );
+        assert_eq!(
+            DatasetPreset::parse("UK-DALE"),
+            Some(DatasetPreset::UkdaleLike)
+        );
+        assert_eq!(
+            DatasetPreset::parse("refit-like"),
+            Some(DatasetPreset::RefitLike)
+        );
+        assert_eq!(
+            DatasetPreset::parse("IDEAL"),
+            Some(DatasetPreset::IdealLike)
+        );
         assert_eq!(DatasetPreset::parse("redd"), None);
         assert_eq!(DatasetPreset::UkdaleLike.name(), "UKDALE");
         assert!(DatasetPreset::IdealLike.uses_possession_labels());
@@ -322,13 +334,30 @@ mod tests {
         for preset in DatasetPreset::ALL {
             let ds = Dataset::generate(DatasetConfig::tiny(preset, 8, 1));
             for kind in ApplianceKind::ALL {
-                let train_pos = ds.train_houses().iter().filter(|h| h.possesses(kind)).count();
+                let train_pos = ds
+                    .train_houses()
+                    .iter()
+                    .filter(|h| h.possesses(kind))
+                    .count();
                 let train_neg = ds.train_houses().len() - train_pos;
-                let test_pos = ds.test_houses().iter().filter(|h| h.possesses(kind)).count();
+                let test_pos = ds
+                    .test_houses()
+                    .iter()
+                    .filter(|h| h.possesses(kind))
+                    .count();
                 let test_neg = ds.test_houses().len() - test_pos;
-                assert!(train_pos >= 1, "{preset:?}/{kind:?} no possessing train house");
-                assert!(train_neg >= 1, "{preset:?}/{kind:?} no negative train house");
-                assert!(test_pos >= 1, "{preset:?}/{kind:?} no possessing test house");
+                assert!(
+                    train_pos >= 1,
+                    "{preset:?}/{kind:?} no possessing train house"
+                );
+                assert!(
+                    train_neg >= 1,
+                    "{preset:?}/{kind:?} no negative train house"
+                );
+                assert!(
+                    test_pos >= 1,
+                    "{preset:?}/{kind:?} no possessing test house"
+                );
                 assert!(test_neg >= 1, "{preset:?}/{kind:?} no negative test house");
             }
         }
@@ -339,11 +368,17 @@ mod tests {
         let a = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 3, 1));
         let b = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 3, 1));
         // NaN-aware comparison: dropouts make `==` unusable here.
-        assert!(a.houses()[0].aggregate().same_as(b.houses()[0].aggregate(), 0.0));
-        assert!(a.houses()[2].aggregate().same_as(b.houses()[2].aggregate(), 0.0));
+        assert!(a.houses()[0]
+            .aggregate()
+            .same_as(b.houses()[0].aggregate(), 0.0));
+        assert!(a.houses()[2]
+            .aggregate()
+            .same_as(b.houses()[2].aggregate(), 0.0));
         // Different presets have different seeds and content.
         let c = Dataset::generate(DatasetConfig::tiny(DatasetPreset::RefitLike, 3, 1));
-        assert!(!a.houses()[0].aggregate().same_as(c.houses()[0].aggregate(), 0.0));
+        assert!(!a.houses()[0]
+            .aggregate()
+            .same_as(c.houses()[0].aggregate(), 0.0));
     }
 
     #[test]

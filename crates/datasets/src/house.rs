@@ -68,7 +68,9 @@ pub struct House {
 impl House {
     /// Simulate a house. Deterministic in `(config, seed)`.
     pub fn simulate(config: HouseConfig, seed: u64) -> House {
-        let mut rng = StdRng::seed_from_u64(seed ^ (config.house_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (config.house_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let len = config.num_samples();
         let interval = config.interval_secs;
         let start = config.start;
@@ -92,7 +94,10 @@ impl House {
             aggregate
                 .add_assign(&channel)
                 .expect("channel is aligned by construction");
-            status.insert(kind, StatusSeries::from_power(&channel, kind.on_threshold_w()));
+            status.insert(
+                kind,
+                StatusSeries::from_power(&channel, kind.on_threshold_w()),
+            );
             channels.insert(kind, channel);
             activations.insert(kind, acts);
         }
@@ -269,7 +274,10 @@ mod tests {
                 .iter()
                 .cloned()
                 .fold(0.0f32, f32::max);
-            assert!(peak > 6000.0, "shower activation invisible at {idx}: {peak}");
+            assert!(
+                peak > 6000.0,
+                "shower activation invisible at {idx}: {peak}"
+            );
         }
     }
 

@@ -221,7 +221,13 @@ mod tests {
     #[test]
     fn activation_labels_match_ground_truth() {
         let h = house(vec![ApplianceKind::Kettle], 4);
-        let ws = labeled_windows(&h, ApplianceKind::Kettle, WeakLabel::WindowActivation, 360, 360);
+        let ws = labeled_windows(
+            &h,
+            ApplianceKind::Kettle,
+            WeakLabel::WindowActivation,
+            360,
+            360,
+        );
         assert_eq!(ws.len(), 4 * 4); // 4 days of 6-hour windows
         for w in &ws {
             assert_eq!(w.weak, w.strong.contains(&1));
@@ -283,7 +289,10 @@ mod tests {
         let pos_after = corpus.train_positives();
         let neg_after = corpus.train.len() - pos_after;
         assert_eq!(pos_before, pos_after, "balance must keep all positives");
-        assert!(neg_after <= pos_after.max(1), "negatives {neg_after} > positives {pos_after}");
+        assert!(
+            neg_after <= pos_after.max(1),
+            "negatives {neg_after} > positives {pos_after}"
+        );
     }
 
     #[test]
@@ -314,7 +323,13 @@ mod tests {
             },
             3,
         );
-        let ws = labeled_windows(&noisy, ApplianceKind::Kettle, WeakLabel::WindowActivation, 360, 360);
+        let ws = labeled_windows(
+            &noisy,
+            ApplianceKind::Kettle,
+            WeakLabel::WindowActivation,
+            360,
+            360,
+        );
         assert!(ws.len() < 3 * 4, "gappy windows must be omitted");
         for w in &ws {
             assert!(w.values.iter().all(|v| !v.is_nan()));

@@ -139,8 +139,7 @@ mod tests {
         assert!(ratio > 0.01 && ratio < 0.12, "missing ratio {ratio}");
         let gaps = ds_timeseries::missing::find_gaps(&out);
         assert!(!gaps.is_empty());
-        let mean_len: f32 =
-            gaps.iter().map(|g| g.len() as f32).sum::<f32>() / gaps.len() as f32;
+        let mean_len: f32 = gaps.iter().map(|g| g.len() as f32).sum::<f32>() / gaps.len() as f32;
         assert!(mean_len > 1.5, "bursts, not singletons: {mean_len}");
     }
 

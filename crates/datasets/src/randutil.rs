@@ -101,8 +101,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let n = 20_000;
         let lambda = 3.5;
-        let mean: f32 =
-            (0..n).map(|_| poisson(&mut rng, lambda) as f32).sum::<f32>() / n as f32;
+        let mean: f32 = (0..n)
+            .map(|_| poisson(&mut rng, lambda) as f32)
+            .sum::<f32>()
+            / n as f32;
         assert!((mean - lambda).abs() < 0.1, "mean {mean}");
         assert_eq!(poisson(&mut rng, 0.0), 0);
         assert_eq!(poisson(&mut rng, -1.0), 0);

@@ -62,7 +62,10 @@ impl BenchmarkTable {
     pub fn method_means(&self) -> BTreeMap<String, Measures> {
         let mut groups: BTreeMap<String, Vec<Measures>> = BTreeMap::new();
         for c in &self.cells {
-            groups.entry(c.method.clone()).or_default().push(c.localization);
+            groups
+                .entry(c.method.clone())
+                .or_default()
+                .push(c.localization);
         }
         groups
             .into_iter()
@@ -110,7 +113,10 @@ mod tests {
         assert_eq!(t.for_method("CamAL").len(), 2);
         assert!(t.get("UKDALE", "Kettle", "CamAL").is_some());
         assert!(t.get("IDEAL", "Kettle", "CamAL").is_none());
-        assert_eq!(t.methods(), vec!["CamAL".to_string(), "Seq2Point".to_string()]);
+        assert_eq!(
+            t.methods(),
+            vec!["CamAL".to_string(), "Seq2Point".to_string()]
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct PrPoint {
 /// Sweep thresholds over `[0, 1]` and report the PR curve — used by the
 /// app's probability view and by threshold-selection ablations.
 pub fn pr_curve(probs: &[f32], truth: &[bool], steps: usize) -> Vec<PrPoint> {
-    assert_eq!(probs.len(), truth.len(), "probability/truth length mismatch");
+    assert_eq!(
+        probs.len(),
+        truth.len(),
+        "probability/truth length mismatch"
+    );
     let steps = steps.max(2);
     (0..steps)
         .map(|i| {

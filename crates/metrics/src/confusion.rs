@@ -166,13 +166,8 @@ impl Measures {
     }
 
     /// The measure names in display order.
-    pub const NAMES: [&'static str; 5] = [
-        "Accuracy",
-        "Balanced Accuracy",
-        "Precision",
-        "Recall",
-        "F1",
-    ];
+    pub const NAMES: [&'static str; 5] =
+        ["Accuracy", "Balanced Accuracy", "Precision", "Recall", "F1"];
 }
 
 #[cfg(test)]
@@ -183,7 +178,15 @@ mod tests {
     fn hand_computed_matrix() {
         // pred: 1 1 0 0 1 ; truth: 1 0 0 1 1
         let m = ConfusionMatrix::from_labels(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]);
-        assert_eq!(m, ConfusionMatrix { tp: 2, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(
+            m,
+            ConfusionMatrix {
+                tp: 2,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
         assert!((m.accuracy() - 0.6).abs() < 1e-12);
         assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
         assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
@@ -211,7 +214,7 @@ mod tests {
         assert_eq!(m.recall(), 0.0);
         assert_eq!(m.f1(), 0.0);
         assert_eq!(m.balanced_accuracy(), 1.0); // only negatives exist
-        // Empty matrix.
+                                                // Empty matrix.
         let empty = ConfusionMatrix::new();
         assert_eq!(empty.accuracy(), 0.0);
         assert_eq!(empty.balanced_accuracy(), 0.0);
@@ -264,7 +267,13 @@ mod tests {
         for (tp, fp, fn_, tn) in [(0, 0, 0, 0), (5, 3, 2, 10), (1, 0, 0, 0), (0, 7, 3, 0)] {
             let m = ConfusionMatrix { tp, fp, fn_, tn };
             let ms = m.measures();
-            for v in [ms.accuracy, ms.balanced_accuracy, ms.precision, ms.recall, ms.f1] {
+            for v in [
+                ms.accuracy,
+                ms.balanced_accuracy,
+                ms.precision,
+                ms.recall,
+                ms.f1,
+            ] {
                 assert!((0.0..=1.0).contains(&v), "{v} out of range for {m:?}");
             }
         }

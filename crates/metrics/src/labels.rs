@@ -78,10 +78,22 @@ mod tests {
     #[test]
     fn earliest_qualifying_budget() {
         let curve = [
-            EfficiencyPoint { labels: 10, f1: 0.2 },
-            EfficiencyPoint { labels: 100, f1: 0.5 },
-            EfficiencyPoint { labels: 1000, f1: 0.45 }, // noisy dip
-            EfficiencyPoint { labels: 10_000, f1: 0.8 },
+            EfficiencyPoint {
+                labels: 10,
+                f1: 0.2,
+            },
+            EfficiencyPoint {
+                labels: 100,
+                f1: 0.5,
+            },
+            EfficiencyPoint {
+                labels: 1000,
+                f1: 0.45,
+            }, // noisy dip
+            EfficiencyPoint {
+                labels: 10_000,
+                f1: 0.8,
+            },
         ];
         assert_eq!(labels_to_reach(&curve, 0.5), Some(100));
         assert_eq!(labels_to_reach(&curve, 0.79), Some(10_000));
@@ -91,8 +103,14 @@ mod tests {
     #[test]
     fn match_ratio() {
         let strong = [
-            EfficiencyPoint { labels: 1_000, f1: 0.3 },
-            EfficiencyPoint { labels: 520_000, f1: 0.75 },
+            EfficiencyPoint {
+                labels: 1_000,
+                f1: 0.3,
+            },
+            EfficiencyPoint {
+                labels: 520_000,
+                f1: 0.75,
+            },
         ];
         // Weak method reaches 0.75 with 100 labels -> ratio 5200.
         let ratio = labels_to_match(100, 0.75, &strong).unwrap();

@@ -18,9 +18,7 @@ pub fn score_status(predicted: &[u8], truth: &[u8]) -> Measures {
 /// Micro-average localization over many windows: counts pool over all
 /// timesteps, so long windows weigh proportionally (the convention used in
 /// NILM evaluations).
-pub fn score_status_micro<'a>(
-    pairs: impl IntoIterator<Item = (&'a [u8], &'a [u8])>,
-) -> Measures {
+pub fn score_status_micro<'a>(pairs: impl IntoIterator<Item = (&'a [u8], &'a [u8])>) -> Measures {
     let mut m = ConfusionMatrix::new();
     for (p, t) in pairs {
         m.merge(&ConfusionMatrix::from_labels(p, t));

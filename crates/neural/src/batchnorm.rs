@@ -161,8 +161,7 @@ impl BatchNorm1d {
                 let xh = x_hat.row(bi, ci);
                 let start = (bi * c + ci) * l;
                 for t in 0..l {
-                    grad_in.data[start + t] =
-                        g * istd * (go[t] - mean_g - xh[t] * mean_gx);
+                    grad_in.data[start + t] = g * istd * (go[t] - mean_g - xh[t] * mean_gx);
                 }
             }
         }

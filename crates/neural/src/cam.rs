@@ -75,7 +75,11 @@ mod tests {
         );
         let cams = cam_from_features(&features, &[0.5, 0.1]);
         assert_eq!(cams.len(), 1);
-        let expected = [0.5 * 1.0 + 0.1 * 10.0, 0.5 * 2.0 + 0.1 * 20.0, 0.5 * 3.0 + 0.1 * 30.0];
+        let expected = [
+            0.5 * 1.0 + 0.1 * 10.0,
+            0.5 * 2.0 + 0.1 * 20.0,
+            0.5 * 3.0 + 0.1 * 30.0,
+        ];
         for (a, e) in cams[0].iter().zip(expected) {
             assert!((a - e).abs() < 1e-6);
         }

@@ -302,9 +302,19 @@ mod tests {
         for wi in [0usize, 7, 13, conv.weight.len() - 1] {
             let orig = conv.weight[wi];
             conv.weight[wi] = orig + eps;
-            let lp: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = conv
+                .forward(&x, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             conv.weight[wi] = orig - eps;
-            let lm: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = conv
+                .forward(&x, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             conv.weight[wi] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = conv.grad_weight[wi];
@@ -317,9 +327,19 @@ mod tests {
         for bi in 0..conv.bias.len() {
             let orig = conv.bias[bi];
             conv.bias[bi] = orig + eps;
-            let lp: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = conv
+                .forward(&x, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             conv.bias[bi] = orig - eps;
-            let lm: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = conv
+                .forward(&x, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             conv.bias[bi] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = conv.grad_bias[bi];
@@ -333,9 +353,19 @@ mod tests {
         for xi in [0usize, 5, 11, x.data.len() - 1] {
             let orig = x2.data[xi];
             x2.data[xi] = orig + eps;
-            let lp: f32 = conv.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = conv
+                .forward(&x2, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             x2.data[xi] = orig - eps;
-            let lm: f32 = conv.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = conv
+                .forward(&x2, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             x2.data[xi] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = grad_in.data[xi];
@@ -356,9 +386,19 @@ mod tests {
         let wi = 3;
         let orig = conv.weight[wi];
         conv.weight[wi] = orig + eps;
-        let lp: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+        let lp: f32 = conv
+            .forward(&x, false)
+            .data
+            .iter()
+            .map(|v| v * v / 2.0)
+            .sum();
         conv.weight[wi] = orig - eps;
-        let lm: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+        let lm: f32 = conv
+            .forward(&x, false)
+            .data
+            .iter()
+            .map(|v| v * v / 2.0)
+            .sum();
         conv.weight[wi] = orig;
         let numeric = (lp - lm) / (2.0 * eps);
         assert!((numeric - conv.grad_weight[wi]).abs() < 2e-2 * numeric.abs().max(1.0));
@@ -388,9 +428,19 @@ mod tests {
         for wi in 0..conv.weight.len() {
             let orig = conv.weight[wi];
             conv.weight[wi] = orig + eps;
-            let lp: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = conv
+                .forward(&x, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             conv.weight[wi] = orig - eps;
-            let lm: f32 = conv.forward(&x, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = conv
+                .forward(&x, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             conv.weight[wi] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
@@ -402,9 +452,19 @@ mod tests {
         for xi in [0usize, 7, 19] {
             let orig = x2.data[xi];
             x2.data[xi] = orig + eps;
-            let lp: f32 = conv.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = conv
+                .forward(&x2, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             x2.data[xi] = orig - eps;
-            let lm: f32 = conv.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = conv
+                .forward(&x2, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             x2.data[xi] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(

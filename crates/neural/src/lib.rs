@@ -45,8 +45,8 @@ pub mod loss;
 pub mod optim;
 pub mod pool;
 pub mod resblock;
-pub mod sample;
 pub mod resnet;
+pub mod sample;
 pub mod serialize;
 pub mod tensor;
 pub mod train;

@@ -90,8 +90,7 @@ impl Linear {
             let gr = grad_out.row(r);
             for (o, &g) in gr.iter().enumerate() {
                 self.grad_bias[o] += g;
-                let wg =
-                    &mut self.grad_weight[o * self.in_features..(o + 1) * self.in_features];
+                let wg = &mut self.grad_weight[o * self.in_features..(o + 1) * self.in_features];
                 for (wgi, &xv) in wg.iter_mut().zip(xr) {
                     *wgi += g * xv;
                 }
@@ -169,7 +168,10 @@ mod tests {
             let lm = loss(&mut lin, &x2);
             x2.data[xi] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
-            assert!((numeric - gi.data[xi]).abs() < 2e-2 * numeric.abs().max(1.0), "x[{xi}]");
+            assert!(
+                (numeric - gi.data[xi]).abs() < 2e-2 * numeric.abs().max(1.0),
+                "x[{xi}]"
+            );
         }
     }
 

@@ -108,9 +108,19 @@ mod tests {
         for xi in 0..x.data.len() {
             let mut x2 = x.clone();
             x2.data[xi] += eps;
-            let lp: f32 = gap.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = gap
+                .forward(&x2, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             x2.data[xi] -= 2.0 * eps;
-            let lm: f32 = gap.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = gap
+                .forward(&x2, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!((numeric - gi.data[xi]).abs() < 1e-3, "x[{xi}]");
         }

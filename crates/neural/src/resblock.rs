@@ -180,7 +180,12 @@ mod tests {
         let grad_in = block.backward(&y); // loss = sum(y^2)/2
         let eps = 1.5e-2f32;
         let loss = |block: &mut ResidualBlock, x: &Tensor| -> f32 {
-            block.forward(x, true).data.iter().map(|v| v * v / 2.0).sum()
+            block
+                .forward(x, true)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum()
         };
         for xi in [0usize, 5, 13, x.data.len() - 1] {
             let mut x2 = x.clone();
@@ -221,7 +226,12 @@ mod tests {
         use crate::optim::Adam;
         let mut block = ResidualBlock::new(1, 4, 3, 3);
         let x = sample_input(4, 1, 12);
-        let initial: f32 = block.forward(&x, true).data.iter().map(|v| v * v / 2.0).sum();
+        let initial: f32 = block
+            .forward(&x, true)
+            .data
+            .iter()
+            .map(|v| v * v / 2.0)
+            .sum();
         let mut opt = Adam::new(0.01);
         let mut last = initial;
         for _ in 0..30 {

@@ -38,7 +38,11 @@ impl MaxPool1d {
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let (b, c, l) = x.shape();
         let lo = self.out_len(l);
-        assert!(lo > 0, "input ({l}) shorter than the pooling factor ({})", self.factor);
+        assert!(
+            lo > 0,
+            "input ({l}) shorter than the pooling factor ({})",
+            self.factor
+        );
         let mut y = Tensor::zeros(b, c, lo);
         let mut argmax = vec![0usize; b * c * lo];
         for bi in 0..b {
@@ -180,9 +184,19 @@ mod tests {
         for xi in 0..x.data.len() {
             let mut x2 = x.clone();
             x2.data[xi] += eps;
-            let lp: f32 = pool.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lp: f32 = pool
+                .forward(&x2, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             x2.data[xi] -= 2.0 * eps;
-            let lm: f32 = pool.forward(&x2, false).data.iter().map(|v| v * v / 2.0).sum();
+            let lm: f32 = pool
+                .forward(&x2, false)
+                .data
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!((numeric - gi.data[xi]).abs() < 1e-2, "x[{xi}]");
         }

@@ -125,7 +125,10 @@ mod tests {
         let model = ResNet::new(ResNetConfig::tiny(3, 0));
         let json = to_json(&model).replace("\"format_version\":1", "\"format_version\":99");
         match from_json(&json) {
-            Err(ModelIoError::Version { found: 99, expected }) => {
+            Err(ModelIoError::Version {
+                found: 99,
+                expected,
+            }) => {
                 assert_eq!(expected, FORMAT_VERSION)
             }
             other => panic!("expected version error, got {other:?}"),

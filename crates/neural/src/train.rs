@@ -95,6 +95,7 @@ pub fn train_classifier(
 ) -> TrainReport {
     assert!(!windows.is_empty(), "training requires at least one window");
     assert_eq!(windows.len(), labels.len(), "window/label count mismatch");
+    let _span = ds_obs::span!("neural.train_classifier");
     let class_weights = cfg
         .class_weighting
         .then(|| inverse_frequency_weights(labels));
@@ -106,10 +107,12 @@ pub fn train_classifier(
     let mut since_best = 0usize;
     let mut early_stopped = false;
 
-    for _ in 0..cfg.epochs {
+    for epoch in 0..cfg.epochs {
+        let epoch_start = ds_obs::enabled().then(std::time::Instant::now);
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
+        let mut samples = 0usize;
         for chunk in order.chunks(cfg.batch_size.max(2)) {
             // Batch-norm needs more than one sample worth of statistics;
             // merge a trailing singleton into nothing rather than crash.
@@ -121,15 +124,37 @@ pub fn train_classifier(
             let x = Tensor::from_windows(&batch);
             net.zero_grad();
             let logits = net.forward(&x, true);
-            let (loss, grad) =
-                softmax_cross_entropy(&logits, &batch_labels, class_weights.as_ref().map(|w| &w[..]));
+            let (loss, grad) = softmax_cross_entropy(
+                &logits,
+                &batch_labels,
+                class_weights.as_ref().map(|w| &w[..]),
+            );
             net.backward(&grad);
             opt.step(net);
             loss_sum += loss as f64;
             batches += 1;
+            samples += chunk.len();
         }
         let epoch_loss = (loss_sum / batches.max(1) as f64) as f32;
         epoch_losses.push(epoch_loss);
+        if let Some(start) = epoch_start {
+            // Gradient L2 norm of the last batch, computed only when
+            // observability is on (it walks every parameter tensor).
+            let mut grad_sq = 0.0f64;
+            net.visit_params(&mut |_, grads| {
+                grad_sq += grads.iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>();
+            });
+            let samples_per_sec = samples as f64 / start.elapsed().as_secs_f64().max(1e-9);
+            ds_obs::counter_add("neural.epochs", 1);
+            ds_obs::counter_add("neural.samples", samples as u64);
+            ds_obs::event!(
+                "train_epoch",
+                epoch = epoch,
+                loss = epoch_loss,
+                grad_norm = grad_sq.sqrt(),
+                samples_per_sec = samples_per_sec,
+            );
+        }
         if epoch_loss + 1e-5 < best {
             best = epoch_loss;
             since_best = 0;
@@ -220,7 +245,11 @@ mod tests {
         };
         let report = train_classifier(&mut net, &windows, &labels, &cfg);
         assert!(report.early_stopped);
-        assert!(report.epoch_losses.len() <= 5, "stopped late: {}", report.epoch_losses.len());
+        assert!(
+            report.epoch_losses.len() <= 5,
+            "stopped late: {}",
+            report.epoch_losses.len()
+        );
     }
 
     #[test]
@@ -238,8 +267,7 @@ mod tests {
         let (windows, labels) = toy_dataset(16, 32);
         let run = || {
             let mut net = ResNet::new(ResNetConfig::tiny(5, 7));
-            let report =
-                train_classifier(&mut net, &windows, &labels, &TrainConfig::fast());
+            let report = train_classifier(&mut net, &windows, &labels, &TrainConfig::fast());
             report.epoch_losses
         };
         assert_eq!(run(), run());

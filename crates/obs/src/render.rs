@@ -1,0 +1,170 @@
+//! ASCII rendering of the live profile: span tree, counters, gauges,
+//! histogram quantiles. Used by the app's `obs` REPL command and by the
+//! bench binaries' end-of-run summaries.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::registry::Registry;
+
+/// Renders the global registry as a human-readable summary table.
+pub fn render_summary() -> String {
+    render_registry(crate::global(), crate::level().as_str())
+}
+
+pub(crate) fn render_registry(registry: &Registry, level: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== ds-obs summary (level={level}) ==");
+
+    let spans = registry.spans.entries();
+    if !spans.is_empty() {
+        let _ = writeln!(out, "\n-- spans (wall time) --");
+        let _ = writeln!(
+            out,
+            "{:<44} {:>7} {:>11} {:>11} {:>11}",
+            "span", "count", "total", "mean", "max"
+        );
+        // Lexicographic order places children directly under parents;
+        // indent by path depth and show only the leaf segment.
+        for (path, stat) in &spans {
+            let depth = path.matches('/').count();
+            let leaf = path.rsplit('/').next().unwrap_or(path);
+            let label = format!("{}{}", "  ".repeat(depth), leaf);
+            let mean = stat.total / stat.count.max(1) as u32;
+            let _ = writeln!(
+                out,
+                "{:<44} {:>7} {:>11} {:>11} {:>11}",
+                label,
+                stat.count,
+                fmt_duration(stat.total),
+                fmt_duration(mean),
+                fmt_duration(stat.max),
+            );
+        }
+    }
+
+    let counters = registry.counter_names();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "\n-- counters --");
+        for name in counters {
+            let value = registry.counter_get(&name);
+            let _ = writeln!(out, "{name:<44} {value:>12}");
+        }
+    }
+
+    let gauges = registry.gauge_names();
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "\n-- gauges --");
+        for name in gauges {
+            let value = registry.gauge_get(&name).unwrap_or(f64::NAN);
+            let _ = writeln!(out, "{:<44} {:>12}", name, fmt_value(value));
+        }
+    }
+
+    let histograms = registry.histogram_names();
+    if !histograms.is_empty() {
+        let _ = writeln!(out, "\n-- histograms --");
+        let _ = writeln!(
+            out,
+            "{:<32} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "count", "mean", "p50", "p90", "p99", "max"
+        );
+        for name in histograms {
+            if let Some(s) = registry.histogram_summary(&name) {
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>7} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                    name,
+                    s.count,
+                    fmt_value(s.mean),
+                    fmt_value(s.p50),
+                    fmt_value(s.p90),
+                    fmt_value(s.p99),
+                    fmt_value(s.max),
+                );
+            }
+        }
+    }
+
+    if spans.is_empty()
+        && registry.counter_names().is_empty()
+        && registry.gauge_names().is_empty()
+        && registry.histogram_names().is_empty()
+    {
+        let _ = writeln!(
+            out,
+            "(no observability data recorded; set {}=summary|trace)",
+            crate::ENV_VAR
+        );
+    }
+    out
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Buckets;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_all_sections() {
+        let r = Registry::new();
+        r.counter_add("epochs", 7);
+        r.gauge_set("lr", 1e-3);
+        r.observe("prob", 0.4, Buckets::Unit);
+        r.spans
+            .record("train".to_string(), Duration::from_millis(5));
+        r.spans
+            .record("train/step".to_string(), Duration::from_micros(40));
+        let text = render_registry(&r, "summary");
+        assert!(text.contains("== ds-obs summary (level=summary) =="));
+        assert!(text.contains("-- spans (wall time) --"));
+        assert!(text.contains("train"));
+        assert!(
+            text.contains("  step"),
+            "child span should be indented:\n{text}"
+        );
+        assert!(text.contains("epochs"));
+        assert!(text.contains("lr"));
+        assert!(text.contains("prob"));
+    }
+
+    #[test]
+    fn empty_registry_renders_hint() {
+        let r = Registry::new();
+        let text = render_registry(&r, "off");
+        assert!(text.contains("no observability data recorded"));
+        assert!(text.contains("DS_OBS"));
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(125)).contains("µs"));
+        assert!(fmt_duration(Duration::from_millis(125)).contains("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

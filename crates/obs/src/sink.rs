@@ -1,0 +1,140 @@
+//! Structured JSONL event sink.
+//!
+//! Events are small JSON objects — `{"seq":…, "t_ms":…, "kind":…, …}` —
+//! appended to an optional file (one object per line) and mirrored into
+//! a bounded in-memory ring so benches can embed recent events in their
+//! reports via [`events_snapshot`]. At `Level::Trace` each event is also
+//! echoed to stderr as it happens.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde_json::{to_string, Map, Value};
+
+use crate::Level;
+
+/// In-memory ring capacity; the file (when open) receives every event.
+const MEMORY_CAP: usize = 4096;
+
+struct SinkState {
+    file: Option<BufWriter<File>>,
+    path: Option<PathBuf>,
+    recent: VecDeque<Value>,
+    seq: u64,
+    epoch: Instant,
+}
+
+impl SinkState {
+    fn new() -> SinkState {
+        SinkState {
+            file: None,
+            path: None,
+            recent: VecDeque::new(),
+            seq: 0,
+            epoch: Instant::now(),
+        }
+    }
+}
+
+static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
+
+fn with_sink<R>(f: impl FnOnce(&mut SinkState) -> R) -> R {
+    let mut guard = SINK.lock();
+    f(guard.get_or_insert_with(SinkState::new))
+}
+
+/// Opens (truncating) the JSONL file events will be appended to,
+/// creating parent directories. Call once per run, before the
+/// instrumented work; a no-op returning `Ok` when observability is off,
+/// so call sites don't need their own level check.
+pub fn init_sink(path: impl AsRef<Path>) -> io::Result<PathBuf> {
+    let path = path.as_ref().to_path_buf();
+    if !crate::enabled() {
+        return Ok(path);
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file = File::create(&path)?;
+    with_sink(|sink| {
+        sink.file = Some(BufWriter::new(file));
+        sink.path = Some(path.clone());
+        Ok(path.clone())
+    })
+}
+
+/// Where events are being written, if a file sink is open.
+pub fn sink_path() -> Option<PathBuf> {
+    SINK.lock().as_ref().and_then(|s| s.path.clone())
+}
+
+/// Records one event. Callers go through [`crate::event!`], which
+/// evaluates nothing when disabled; this function re-checks anyway so a
+/// direct call is still safe.
+pub fn event_record(kind: &str, fields: Vec<(&str, Value)>) {
+    let level = crate::level();
+    if level == Level::Off {
+        return;
+    }
+    with_sink(|sink| {
+        let mut obj = Map::new();
+        obj.insert("seq".to_string(), Value::from(sink.seq));
+        obj.insert(
+            "t_ms".to_string(),
+            Value::from(sink.epoch.elapsed().as_secs_f64() * 1e3),
+        );
+        obj.insert("kind".to_string(), Value::from(kind));
+        for (key, value) in fields {
+            obj.insert(key.to_string(), value);
+        }
+        sink.seq += 1;
+        let event = Value::Object(obj);
+        // Serializing an already-built `Value` cannot fail.
+        let line = to_string(&event).unwrap_or_default();
+        if level == Level::Trace {
+            eprintln!("[obs] {line}");
+        }
+        if let Some(file) = &mut sink.file {
+            // A full disk should not take the experiment down with it.
+            let _ = writeln!(file, "{line}");
+        }
+        if sink.recent.len() == MEMORY_CAP {
+            sink.recent.pop_front();
+        }
+        sink.recent.push_back(event);
+    });
+}
+
+/// Total events recorded since startup (or the last [`reset`]).
+pub fn events_recorded() -> u64 {
+    SINK.lock().as_ref().map(|s| s.seq).unwrap_or(0)
+}
+
+/// The most recent events (bounded ring) as a JSON array.
+pub fn events_snapshot() -> Value {
+    SINK.lock()
+        .as_ref()
+        .map(|s| Value::Array(s.recent.iter().cloned().collect()))
+        .unwrap_or(Value::Array(Vec::new()))
+}
+
+/// Flushes the file sink, if open. Benches call this before reading the
+/// JSONL back or exiting.
+pub fn flush_sink() {
+    if let Some(sink) = SINK.lock().as_mut() {
+        if let Some(file) = &mut sink.file {
+            let _ = file.flush();
+        }
+    }
+}
+
+/// Drops all buffered events, the sequence counter, and the open file.
+pub(crate) fn reset() {
+    *SINK.lock() = None;
+}

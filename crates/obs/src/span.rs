@@ -1,0 +1,181 @@
+//! RAII span timers aggregating into a hierarchical wall-time profile.
+//!
+//! Each thread keeps a stack of active span names; a span records under
+//! the `/`-joined path of that stack (e.g. `camal.train/member/epoch`),
+//! so the profile renders as a tree. Worker threads (crossbeam ensemble
+//! members) start their own root, which is exactly the reading you want:
+//! per-member wall time, not a tangle through the parent's stack.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use serde_json::{Map, Value};
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated timings for one span path.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanStat {
+    pub count: u64,
+    pub total: Duration,
+    pub min: Duration,
+    pub max: Duration,
+}
+
+impl SpanStat {
+    fn absorb(&mut self, elapsed: Duration) {
+        self.count += 1;
+        self.total += elapsed;
+        self.min = self.min.min(elapsed);
+        self.max = self.max.max(elapsed);
+    }
+
+    fn single(elapsed: Duration) -> SpanStat {
+        SpanStat {
+            count: 1,
+            total: elapsed,
+            min: elapsed,
+            max: elapsed,
+        }
+    }
+}
+
+/// Path → aggregated stats; lives inside [`crate::Registry`].
+#[derive(Default)]
+pub(crate) struct SpanStore {
+    stats: Mutex<BTreeMap<String, SpanStat>>,
+}
+
+impl SpanStore {
+    pub(crate) fn record(&self, path: String, elapsed: Duration) {
+        let mut stats = self.stats.lock();
+        stats
+            .entry(path)
+            .and_modify(|s| s.absorb(elapsed))
+            .or_insert_with(|| SpanStat::single(elapsed));
+    }
+
+    pub(crate) fn reset(&self) {
+        self.stats.lock().clear();
+    }
+
+    /// Sorted `(path, stat)` pairs; lexicographic order puts children
+    /// right after their parent, which the renderer relies on.
+    pub(crate) fn entries(&self) -> Vec<(String, SpanStat)> {
+        self.stats
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    pub(crate) fn snapshot(&self) -> Value {
+        let map: Map = self
+            .entries()
+            .into_iter()
+            .map(|(path, s)| {
+                let mut obj = Map::new();
+                obj.insert("count".to_string(), Value::from(s.count));
+                obj.insert(
+                    "total_ms".to_string(),
+                    Value::from(s.total.as_secs_f64() * 1e3),
+                );
+                obj.insert(
+                    "mean_us".to_string(),
+                    Value::from(s.total.as_secs_f64() * 1e6 / s.count.max(1) as f64),
+                );
+                obj.insert("min_us".to_string(), Value::from(s.min.as_secs_f64() * 1e6));
+                obj.insert("max_us".to_string(), Value::from(s.max.as_secs_f64() * 1e6));
+                (path, Value::Object(obj))
+            })
+            .collect::<BTreeMap<_, _>>();
+        Value::Object(map)
+    }
+}
+
+/// RAII guard returned by [`crate::span!`]. When observability is off
+/// this is an inert zero-field-ish struct: no clock read, no allocation.
+pub struct Span {
+    /// `None` when created with observability disabled.
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    start: Instant,
+    path: String,
+}
+
+/// Starts a span timer (prefer the [`crate::span!`] macro at call sites).
+pub fn span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { active: None };
+    }
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.push(name);
+        stack.join("/")
+    });
+    Span {
+        active: Some(ActiveSpan {
+            start: Instant::now(),
+            path,
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            let elapsed = active.start.elapsed();
+            SPAN_STACK.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+            crate::global().spans.record(active.path, elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_aggregates_and_sorts() {
+        let store = SpanStore::default();
+        store.record("a".to_string(), Duration::from_millis(2));
+        store.record("a".to_string(), Duration::from_millis(4));
+        store.record("a/b".to_string(), Duration::from_millis(1));
+        let entries = store.entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(entries[0].1.count, 2);
+        assert_eq!(entries[0].1.total, Duration::from_millis(6));
+        assert_eq!(entries[0].1.min, Duration::from_millis(2));
+        assert_eq!(entries[0].1.max, Duration::from_millis(4));
+        assert_eq!(entries[1].0, "a/b");
+    }
+
+    #[test]
+    fn snapshot_reports_milliseconds() {
+        let store = SpanStore::default();
+        store.record("x".to_string(), Duration::from_millis(10));
+        let snap = store.snapshot();
+        let x = snap.get("x").unwrap();
+        assert_eq!(x.get("count").unwrap().as_u64(), Some(1));
+        let total_ms = x.get("total_ms").unwrap().as_f64().unwrap();
+        assert!((total_ms - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        // Uses the global level: Off by default in tests.
+        crate::set_level(crate::Level::Off);
+        let guard = span("never");
+        assert!(guard.active.is_none());
+        drop(guard);
+    }
+}

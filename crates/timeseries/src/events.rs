@@ -174,27 +174,55 @@ mod tests {
         v[4] = f32::NAN;
         v[5..].fill(2000.0);
         let edges = detect_edges(&series(v), 500.0);
-        assert!(edges.is_empty(), "edge across a gap must not fire: {edges:?}");
+        assert!(
+            edges.is_empty(),
+            "edge across a gap must not fire: {edges:?}"
+        );
     }
 
     #[test]
     fn pairing_matches_rise_and_fall() {
         let edges = vec![
-            Edge { index: 5, delta_w: 2000.0 },
-            Edge { index: 12, delta_w: -1950.0 },
-            Edge { index: 20, delta_w: 800.0 },
-            Edge { index: 24, delta_w: -300.0 }, // magnitude mismatch
+            Edge {
+                index: 5,
+                delta_w: 2000.0,
+            },
+            Edge {
+                index: 12,
+                delta_w: -1950.0,
+            },
+            Edge {
+                index: 20,
+                delta_w: 800.0,
+            },
+            Edge {
+                index: 24,
+                delta_w: -300.0,
+            }, // magnitude mismatch
         ];
         let segs = pair_events(&edges, 500.0, 0.2, 100);
         assert_eq!(segs.len(), 1);
-        assert_eq!(segs[0], EventSegment { start: 5, end: 12, rise_w: 2000.0 });
+        assert_eq!(
+            segs[0],
+            EventSegment {
+                start: 5,
+                end: 12,
+                rise_w: 2000.0
+            }
+        );
     }
 
     #[test]
     fn pairing_respects_max_len() {
         let edges = vec![
-            Edge { index: 0, delta_w: 2000.0 },
-            Edge { index: 500, delta_w: -2000.0 },
+            Edge {
+                index: 0,
+                delta_w: 2000.0,
+            },
+            Edge {
+                index: 500,
+                delta_w: -2000.0,
+            },
         ];
         assert!(pair_events(&edges, 500.0, 0.2, 100).is_empty());
         assert_eq!(pair_events(&edges, 500.0, 0.2, 600).len(), 1);
@@ -202,10 +230,18 @@ mod tests {
 
     #[test]
     fn status_rendering() {
-        let segs = vec![EventSegment { start: 2, end: 5, rise_w: 1000.0 }];
+        let segs = vec![EventSegment {
+            start: 2,
+            end: 5,
+            rise_w: 1000.0,
+        }];
         assert_eq!(segments_to_status(&segs, 7), vec![0, 0, 1, 1, 1, 0, 0]);
         // Out-of-range segments are clipped.
-        let segs = vec![EventSegment { start: 5, end: 99, rise_w: 1.0 }];
+        let segs = vec![EventSegment {
+            start: 5,
+            end: 99,
+            rise_w: 1.0,
+        }];
         let status = segments_to_status(&segs, 7);
         assert_eq!(&status[5..], &[1, 1]);
     }

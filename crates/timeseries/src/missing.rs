@@ -134,7 +134,10 @@ mod tests {
     #[test]
     fn gap_inventory() {
         let gaps = find_gaps(&gappy());
-        assert_eq!(gaps, vec![Gap { start: 1, end: 3 }, Gap { start: 5, end: 6 }]);
+        assert_eq!(
+            gaps,
+            vec![Gap { start: 1, end: 3 }, Gap { start: 5, end: 6 }]
+        );
         assert_eq!(gaps[0].len(), 2);
         assert!(!gaps[0].is_empty());
         assert_eq!(longest_gap(&gappy()), 2);

@@ -55,7 +55,12 @@ impl Scaler {
 
     /// Fit a z-score scaler on the present readings of `series`.
     pub fn fit_z_score(series: &TimeSeries) -> Result<Scaler> {
-        let present: Vec<f32> = series.values().iter().copied().filter(|v| !v.is_nan()).collect();
+        let present: Vec<f32> = series
+            .values()
+            .iter()
+            .copied()
+            .filter(|v| !v.is_nan())
+            .collect();
         if present.is_empty() {
             return Err(TsError::EmptySeries);
         }

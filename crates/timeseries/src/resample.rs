@@ -60,7 +60,11 @@ pub fn resample(
                 ),
             });
         }
-        Ok(downsample(series, (target_interval_secs / src) as usize, agg))
+        Ok(downsample(
+            series,
+            (target_interval_secs / src) as usize,
+            agg,
+        ))
     } else {
         if !src.is_multiple_of(target_interval_secs) {
             return Err(TsError::OutOfRange {
@@ -69,7 +73,11 @@ pub fn resample(
                 ),
             });
         }
-        Ok(upsample(series, (src / target_interval_secs) as usize, fill))
+        Ok(upsample(
+            series,
+            (src / target_interval_secs) as usize,
+            fill,
+        ))
     }
 }
 
@@ -177,11 +185,7 @@ fn downsample(series: &TimeSeries, factor: usize, agg: DownsampleAgg) -> TimeSer
         };
         out.push(v);
     }
-    TimeSeries::from_values(
-        series.start(),
-        series.interval_secs() * factor as u32,
-        out,
-    )
+    TimeSeries::from_values(series.start(), series.interval_secs() * factor as u32, out)
 }
 
 fn upsample(series: &TimeSeries, factor: usize, fill: UpsampleFill) -> TimeSeries {
@@ -210,11 +214,7 @@ fn upsample(series: &TimeSeries, factor: usize, fill: UpsampleFill) -> TimeSerie
             }
         }
     }
-    TimeSeries::from_values(
-        series.start(),
-        series.interval_secs() / factor as u32,
-        out,
-    )
+    TimeSeries::from_values(series.start(), series.interval_secs() / factor as u32, out)
 }
 
 #[cfg(test)]
@@ -282,11 +282,12 @@ mod tests {
         assert_eq!(r.interval_secs(), 60);
         assert_eq!(r.len(), 450 * 8 / 60);
         // Mean power is preserved within bucket-boundary jitter.
-        let mean_src: f64 =
-            ts.values().iter().map(|&v| v as f64).sum::<f64>() / ts.len() as f64;
-        let mean_dst: f64 =
-            r.values().iter().map(|&v| v as f64).sum::<f64>() / r.len() as f64;
-        assert!((mean_src - mean_dst).abs() < 1.0, "{mean_src} vs {mean_dst}");
+        let mean_src: f64 = ts.values().iter().map(|&v| v as f64).sum::<f64>() / ts.len() as f64;
+        let mean_dst: f64 = r.values().iter().map(|&v| v as f64).sum::<f64>() / r.len() as f64;
+        assert!(
+            (mean_src - mean_dst).abs() < 1.0,
+            "{mean_src} vs {mean_dst}"
+        );
     }
 
     #[test]
@@ -306,11 +307,15 @@ mod tests {
         // Max and Sum aggregations.
         let ts2 = TimeSeries::from_values(0, 30, vec![1.0, 5.0, 2.0, 2.0]);
         assert_eq!(
-            downsample_bucketed(&ts2, 60, DownsampleAgg::Max).unwrap().values(),
+            downsample_bucketed(&ts2, 60, DownsampleAgg::Max)
+                .unwrap()
+                .values(),
             &[5.0, 2.0]
         );
         assert_eq!(
-            downsample_bucketed(&ts2, 60, DownsampleAgg::Sum).unwrap().values(),
+            downsample_bucketed(&ts2, 60, DownsampleAgg::Sum)
+                .unwrap()
+                .values(),
             &[6.0, 4.0]
         );
     }

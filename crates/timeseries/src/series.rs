@@ -119,7 +119,10 @@ impl TimeSeries {
     pub fn slice(&self, lo: usize, hi: usize) -> Result<TimeSeries> {
         if lo > hi || hi > self.values.len() {
             return Err(TsError::OutOfRange {
-                detail: format!("slice [{lo}, {hi}) of series of length {}", self.values.len()),
+                detail: format!(
+                    "slice [{lo}, {hi}) of series of length {}",
+                    self.values.len()
+                ),
             });
         }
         Ok(TimeSeries {
@@ -222,7 +225,9 @@ impl TimeSeries {
 
     /// Timestamps of every reading (allocates; intended for export/plotting).
     pub fn timestamps(&self) -> Vec<i64> {
-        (0..self.values.len()).map(|i| self.timestamp_at(i)).collect()
+        (0..self.values.len())
+            .map(|i| self.timestamp_at(i))
+            .collect()
     }
 
     /// Map every present value through `f`, leaving missing readings missing.
@@ -367,7 +372,10 @@ impl StatusSeries {
     pub fn slice(&self, lo: usize, hi: usize) -> Result<StatusSeries> {
         if lo > hi || hi > self.states.len() {
             return Err(TsError::OutOfRange {
-                detail: format!("slice [{lo}, {hi}) of status of length {}", self.states.len()),
+                detail: format!(
+                    "slice [{lo}, {hi}) of status of length {}",
+                    self.states.len()
+                ),
             });
         }
         Ok(StatusSeries {

@@ -57,7 +57,10 @@ fn main() {
         },
     );
     let windows = subsequences_complete(&series, 120, 120).expect("windowing");
-    println!("\nkettle detection over {} two-hour windows:", windows.len());
+    println!(
+        "\nkettle detection over {} two-hour windows:",
+        windows.len()
+    );
     for (i, w) in windows.iter().enumerate() {
         let d = model.detect(w.values());
         println!(

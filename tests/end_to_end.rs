@@ -79,7 +79,10 @@ fn persistence_round_trip_preserves_pipeline() {
     let back = model_io::load(&path).unwrap();
     std::fs::remove_file(&path).ok();
     let w = &c.test[0];
-    assert_eq!(model.localize(&w.values).status, back.localize(&w.values).status);
+    assert_eq!(
+        model.localize(&w.values).status,
+        back.localize(&w.values).status
+    );
 }
 
 #[test]
@@ -102,8 +105,7 @@ fn camal_beats_degenerate_localizers() {
         .iter()
         .map(|w| (vec![1u8; w.values.len()], w.strong.clone()))
         .collect();
-    let all_on_f1 =
-        score_status_micro(all_on.iter().map(|(p, t)| (p.as_slice(), t.as_slice()))).f1;
+    let all_on_f1 = score_status_micro(all_on.iter().map(|(p, t)| (p.as_slice(), t.as_slice()))).f1;
     // All-off has F1 = 0 by definition; all-on's F1 equals the duty-cycle
     // prior. CamAL must beat both.
     assert!(

@@ -1,0 +1,292 @@
+//! Minimal API-compatible stand-in for `criterion`, vendored because the
+//! build environment cannot reach crates.io.
+//!
+//! Supports the workspace's bench surface: `Criterion::{bench_function,
+//! benchmark_group}`, groups with `bench_function` / `bench_with_input` /
+//! `sample_size` / `finish`, `Bencher::iter`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!`, and a re-exported `black_box`.
+//! Timing model: a short warm-up, then `sample_size` timed batches; the
+//! report prints mean and median ns/iter to stdout. No statistics engine,
+//! no HTML, no baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement wall-clock per benchmark (split across samples).
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Anything usable as a benchmark id (`&str`, `String`, `BenchmarkId`).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Throughput hint (accepted, ignored).
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Drives the closure under measurement.
+pub struct Bencher {
+    /// Iterations per timed batch (calibrated during warm-up).
+    iters_per_sample: u64,
+    /// Collected per-iteration durations in ns, one entry per sample.
+    samples_ns: Vec<f64>,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    Calibrate,
+    Measure,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            BencherMode::Calibrate => {
+                // Determine how many iterations fit the warm-up budget.
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(f());
+                    }
+                    let elapsed = start.elapsed();
+                    if elapsed >= WARMUP_TARGET || iters >= 1 << 40 {
+                        let per_iter = elapsed.as_secs_f64() / iters as f64;
+                        let sample_secs =
+                            MEASURE_TARGET.as_secs_f64() / self.samples_ns.capacity().max(1) as f64;
+                        self.iters_per_sample = ((sample_secs / per_iter.max(1e-12)) as u64).max(1);
+                        return;
+                    }
+                    iters = iters.saturating_mul(2);
+                }
+            }
+            BencherMode::Measure => {
+                let start = Instant::now();
+                for _ in 0..self.iters_per_sample {
+                    black_box(f());
+                }
+                let elapsed = start.elapsed();
+                self.samples_ns
+                    .push(elapsed.as_nanos() as f64 / self.iters_per_sample as f64);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples_ns: Vec::with_capacity(sample_size),
+        mode: BencherMode::Calibrate,
+    };
+    f(&mut bencher); // warm-up + calibration pass
+    bencher.mode = BencherMode::Measure;
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut sorted = bencher.samples_ns.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mean = sorted.iter().sum::<f64>() / sorted.len().max(1) as f64;
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+    println!(
+        "{label:<50} time: [mean {} median {}] ({} samples x {} iters)",
+        format_ns(mean),
+        format_ns(median),
+        sorted.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Mirrors `criterion_group!`: both the simple list form and the
+/// `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn group_with_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+}

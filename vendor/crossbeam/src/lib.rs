@@ -1,0 +1,79 @@
+//! Minimal API-compatible stand-in for the `crossbeam::scope` scoped-thread
+//! API, backed by `std::thread::scope` (stable since Rust 1.63).
+//!
+//! The workspace only uses `crossbeam::scope(|s| { s.spawn(|_| ...); })`,
+//! so that is all this vendored stub provides. Panic semantics match the
+//! observable behavior of crossbeam closely enough for our call sites: a
+//! panicking child thread surfaces as an `Err` from [`scope`].
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+/// A handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// A scope for spawning threads that may borrow from the enclosing stack
+/// frame, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. The closure receives a reference to the scope
+    /// (crossbeam's signature), allowing nested spawns.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+        }
+    }
+}
+
+/// Create a scope for spawning borrowing threads; returns `Err` with the
+/// panic payload if the closure or any unjoined child thread panicked.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut slots = vec![0u32; 4];
+        super::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u32 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,689 @@
+//! Minimal API-compatible stand-in for `proptest`, vendored because the
+//! build environment cannot reach crates.io.
+//!
+//! Provides the subset the workspace's property tests use: the
+//! [`strategy::Strategy`] trait over ranges / `Just` / unions / tuples,
+//! `collection::{vec, btree_set}`, `num::{f32, f64}::ANY`,
+//! `sample::select`, and the [`proptest!`] / [`prop_assert*`] /
+//! [`prop_oneof!`] macros. Cases are generated from a deterministic
+//! per-test seed (FNV of the test name), so failures reproduce across
+//! runs. **No shrinking**: a failing case reports its inputs via the
+//! panic message instead.
+
+pub mod test_runner {
+    /// Runner configuration (`cases` is the only knob honored here).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// Deterministic generation RNG (xoshiro256**, seeded via SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn seed_from_u64(seed: u64) -> TestRng {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+    }
+
+    /// FNV-1a of a test name — the deterministic per-test seed.
+    pub fn seed_of(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A generator of values (no shrinking in this stub).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+
+        fn prop_map<O, F>(self, f: F) -> MapStrategy<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            MapStrategy { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, _why: &'static str, f: F) -> FilterStrategy<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            FilterStrategy { inner: self, f }
+        }
+    }
+
+    /// Type-erased strategy (cheaply clonable, like upstream's `BoxedStrategy`).
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct MapStrategy<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FilterStrategy<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for FilterStrategy<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 10000 consecutive candidates");
+        }
+    }
+
+    /// Weighted union of same-typed strategies (`prop_oneof!`).
+    pub struct Union<S> {
+        options: Vec<(u32, S)>,
+        total: u64,
+    }
+
+    impl<S: Strategy> Union<S> {
+        pub fn new(options: Vec<S>) -> Union<S> {
+            Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+        }
+
+        pub fn new_weighted(options: Vec<(u32, S)>) -> Union<S> {
+            let total: u64 = options.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! requires positive total weight");
+            Union { options, total }
+        }
+    }
+
+    impl<S: Strategy> Strategy for Union<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.options {
+                if pick < *w as u64 {
+                    return s.generate(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!()
+        }
+    }
+
+    macro_rules! strategy_range_uint {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.below(span)) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    if span == u64::MAX { return rng.next_u64() as $t; }
+                    lo + (rng.below(span + 1)) as $t
+                }
+            }
+        )*};
+    }
+    strategy_range_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! strategy_range_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX { return rng.next_u64() as $t; }
+                    (lo as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+    strategy_range_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! strategy_range_float {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    lo + (rng.unit_f64() as $t) * (hi - lo)
+                }
+            }
+        )*};
+    }
+    strategy_range_float!(f32, f64);
+
+    /// Upstream proptest treats `&str` as a regex strategy producing
+    /// `String`s. This stub supports the small regex subset the workspace
+    /// uses: literal chars, `.` (any printable char), `[abc]` / `[a-z]`
+    /// classes, and per-atom repetitions `{m,n}`, `{m,}`, `{m}`, `*`,
+    /// `+`, `?`. Unsupported syntax panics with the offending pattern.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    /// One regex atom: the set of chars it can produce.
+    enum Atom {
+        /// `.` — any printable ASCII char (space through `~`).
+        AnyPrintable,
+        Literal(char),
+        /// `[..]` class, expanded to its member chars.
+        Class(Vec<char>),
+    }
+
+    impl Atom {
+        fn sample(&self, rng: &mut TestRng) -> char {
+            match self {
+                Atom::AnyPrintable => (0x20 + rng.below(0x5f) as u8) as char,
+                Atom::Literal(c) => *c,
+                Atom::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+            }
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut out = String::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::AnyPrintable,
+                '[' => {
+                    let mut members = Vec::new();
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some('\\') => members.push(unescape(chars.next(), pattern)),
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    chars.next();
+                                    let hi = chars.next().unwrap_or_else(|| bad_pattern(pattern));
+                                    if hi == ']' {
+                                        members.push(lo);
+                                        members.push('-');
+                                        break;
+                                    }
+                                    members.extend((lo..=hi).filter(|ch| ch.is_ascii()));
+                                } else {
+                                    members.push(lo);
+                                }
+                            }
+                            None => bad_pattern(pattern),
+                        }
+                    }
+                    assert!(!members.is_empty(), "empty char class in {pattern:?}");
+                    Atom::Class(members)
+                }
+                '\\' => Atom::Literal(unescape(chars.next(), pattern)),
+                '*' | '+' | '?' | '{' | '}' | ']' | '(' | ')' | '|' => bad_pattern(pattern),
+                other => Atom::Literal(other),
+            };
+            // Optional repetition suffix.
+            let (lo, hi) = match chars.peek() {
+                Some('*') => {
+                    chars.next();
+                    (0u64, 8u64)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('{') => {
+                    chars.next();
+                    let spec: String = chars.by_ref().take_while(|&ch| ch != '}').collect();
+                    let parse =
+                        |s: &str| -> u64 { s.parse().unwrap_or_else(|_| bad_pattern(pattern)) };
+                    match spec.split_once(',') {
+                        Some((m, "")) => (parse(m), parse(m) + 8),
+                        Some((m, n)) => (parse(m), parse(n)),
+                        None => (parse(&spec), parse(&spec)),
+                    }
+                }
+                _ => (1, 1),
+            };
+            assert!(lo <= hi, "bad repetition bounds in {pattern:?}");
+            let n = lo + rng.below(hi - lo + 1);
+            for _ in 0..n {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+
+    fn unescape(c: Option<char>, pattern: &str) -> char {
+        match c {
+            Some('n') => '\n',
+            Some('t') => '\t',
+            Some('r') => '\r',
+            Some(other) => other,
+            None => bad_pattern(pattern),
+        }
+    }
+
+    fn bad_pattern(pattern: &str) -> ! {
+        panic!("regex feature not supported by the proptest stub: {pattern:?}")
+    }
+
+    macro_rules! strategy_tuple {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    strategy_tuple! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `prop::collection::btree_set(element, len_range)`. Duplicate draws
+    /// may produce fewer elements than drawn (same as upstream's minimum
+    /// behavior under exhaustion, minus the retries).
+    pub fn btree_set<S>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.len.clone().generate(rng);
+            let mut set = BTreeSet::new();
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 20 + 20 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod num {
+    macro_rules! any_float {
+        ($mod_name:ident, $t:ty) => {
+            pub mod $mod_name {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRng;
+
+                /// Generates the full spectrum: mostly finite values across
+                /// magnitudes, with occasional zeros, infinities and NaN
+                /// (mirroring upstream's `ANY`).
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        match rng.below(32) {
+                            0 => 0.0,
+                            1 => -0.0,
+                            2 => <$t>::INFINITY,
+                            3 => <$t>::NEG_INFINITY,
+                            4 => <$t>::NAN,
+                            5 => <$t>::MIN_POSITIVE,
+                            _ => {
+                                // Sign * uniform mantissa * wide exponent.
+                                let sign = if rng.below(2) == 0 { 1.0 } else { -1.0 };
+                                let exp = (rng.below(61) as i32) - 30;
+                                let mantissa = rng.unit_f64() as $t;
+                                sign * mantissa * (2.0 as $t).powi(exp)
+                            }
+                        }
+                    }
+                }
+            }
+        };
+    }
+    any_float!(f32, f32);
+    any_float!(f64, f64);
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// `prop::sample::select(vec)` — uniform choice of one element.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property; failures panic with the formatted message
+/// (no shrinking, so the panic carries the raw counterexample context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Weighted / unweighted choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![$(($weight as u32, $strategy)),+])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strategy),+])
+    };
+}
+
+/// The property-test entry macro: generates one `#[test]` per function,
+/// running `cases` deterministic iterations of the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::seed_from_u64(
+                $crate::test_runner::seed_of(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for _case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut rng);)*
+                // Bodies may `return Ok(())` to discard a case, as in real
+                // proptest where they return Result<(), TestCaseError>.
+                let body = || -> ::core::result::Result<(), ::std::string::String> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                if let Err(msg) = body() {
+                    panic!("property test case failed: {}", msg);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(a in 3u8..9, b in -4i64..=4, f in 0.25f32..0.75) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-4..=4).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f) || f == 0.75);
+        }
+
+        #[test]
+        fn vec_strategy_lengths(v in prop::collection::vec(0u8..2, 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(v.iter().all(|&x| x < 2));
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![4 => (0.0f32..1.0).boxed(), 1 => Just(f32::NAN).boxed()]) {
+            prop_assert!(x.is_nan() || (0.0..1.0).contains(&x));
+        }
+
+        #[test]
+        fn str_regex_strategies(s in ".{0,20}", t in "[a-c]{2,4}", u in "ab?c*") {
+            prop_assert!(s.chars().count() <= 20);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+            prop_assert!((2..=4).contains(&t.len()));
+            prop_assert!(t.chars().all(|c| ('a'..='c').contains(&c)));
+            prop_assert!(u.starts_with('a'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_cases_accepted(s in prop::sample::select(vec!["a", "b"])) {
+            prop_assert!(s == "a" || s == "b");
+        }
+    }
+
+    #[test]
+    fn determinism_across_invocations() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u64..100, 1..10);
+        let mut r1 = crate::test_runner::TestRng::seed_from_u64(42);
+        let mut r2 = crate::test_runner::TestRng::seed_from_u64(42);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Deserialization error type shared by the vendored `serde` / `serde_json`.
+
+use crate::Value;
+use std::fmt;
+
+/// A deserialization / parse error (the stub analogue of `serde_json::Error`).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn msg(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+
+    /// "invalid type" constructor: expected a kind, found this value.
+    pub fn ty(expected: &str, found: &Value) -> Error {
+        let kind = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        };
+        Error {
+            msg: format!("invalid type: expected {expected}, found {kind}"),
+        }
+    }
+
+    /// Missing struct field constructor.
+    pub fn missing_field(field: &str, ty: &str) -> Error {
+        Error {
+            msg: format!("missing field `{field}` of `{ty}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

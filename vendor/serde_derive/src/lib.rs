@@ -1,0 +1,545 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stub.
+//!
+//! Implemented with hand-rolled `proc_macro::TokenStream` parsing (the
+//! build environment has no `syn`/`quote`). Supports the shapes this
+//! workspace actually derives on:
+//!
+//! - structs with named fields (honoring `#[serde(skip)]` and
+//!   `#[serde(default)]`; `Option<T>` fields tolerate absence),
+//! - tuple structs (newtype transparency for arity 1, arrays otherwise),
+//! - enums with unit / tuple / struct variants (externally tagged, like
+//!   upstream serde: `"Variant"` or `{"Variant": ...}`).
+//!
+//! Generic types are intentionally unsupported and produce a clear error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+    lenient_missing: bool, // Option<...> or #[serde(default)]
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consume leading attributes; return whether any was `#[serde(skip)]`
+    /// / `#[serde(skip_serializing)]`-ish and whether `#[serde(default)]`.
+    fn eat_attrs(&mut self) -> (bool, bool) {
+        let mut skip = false;
+        let mut default = false;
+        loop {
+            let is_hash = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_hash {
+                return (skip, default);
+            }
+            self.pos += 1;
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let mut inner = Cursor::new(g.stream());
+                if inner.eat_ident("serde") {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        for t in args.stream() {
+                            if let TokenTree::Ident(id) = t {
+                                match id.to_string().as_str() {
+                                    "skip" | "skip_serializing" | "skip_deserializing" => {
+                                        skip = true
+                                    }
+                                    "default" => default = true,
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn eat_visibility(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Skip tokens until a top-level comma (or end), tracking `<>`, and
+    /// report whether the skipped type's leading ident was `Option`.
+    fn skip_type(&mut self) -> bool {
+        let leading_option = matches!(
+            self.peek(),
+            Some(TokenTree::Ident(id)) if id.to_string() == "Option"
+        );
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle <= 0 => break,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        leading_option
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.eat_attrs();
+    c.eat_visibility();
+
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        return Err("expected `struct` or `enum`".into());
+    };
+
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+
+    if is_enum {
+        let body = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    loop {
+        if c.peek().is_none() {
+            return Ok(fields);
+        }
+        let (skip, default) = c.eat_attrs();
+        c.eat_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        if !c.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        let is_option = c.skip_type();
+        fields.push(Field {
+            name,
+            skip,
+            lenient_missing: is_option || default,
+        });
+        c.eat_punct(',');
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0;
+    while c.peek().is_some() {
+        c.eat_attrs();
+        c.eat_visibility();
+        c.skip_type();
+        count += 1;
+        c.eat_punct(',');
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    loop {
+        if c.peek().is_none() {
+            return Ok(variants);
+        }
+        c.eat_attrs();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                c.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                c.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional explicit discriminant `= expr`.
+        if c.eat_punct('=') {
+            while let Some(t) = c.peek() {
+                if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                    break;
+                }
+                c.pos += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+        c.eat_punct(',');
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn ser_body(item: &Item) -> String {
+    match item {
+        Item::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Item::NamedStruct { fields, .. } => {
+            let mut s = String::from("{ let mut map = ::serde::value::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "map.insert(\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(map) }");
+            s
+        }
+        Item::TupleStruct { arity: 1, .. } => {
+            "::serde::Serialize::serialize_value(&self.0)".to_string()
+        }
+        Item::TupleStruct { arity, .. } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Item::Enum { name, variants } => {
+            let mut s = String::from("match self {\n");
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => s.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::serialize_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        s.push_str(&format!(
+                            "{name}::{v}({binds}) => {{ let mut map = ::serde::value::Map::new(); \
+                             map.insert(\"{v}\".to_string(), {payload}); ::serde::Value::Object(map) }},\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner =
+                            String::from("{ let mut inner = ::serde::value::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "inner.insert(\"{n}\".to_string(), ::serde::Serialize::serialize_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        inner.push_str("::serde::Value::Object(inner) }");
+                        s.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{ let mut map = ::serde::value::Map::new(); \
+                             map.insert(\"{v}\".to_string(), {inner}); ::serde::Value::Object(map) }},\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    }
+}
+
+fn named_fields_de(ty_name: &str, ctor: &str, fields: &[Field], source: &str) -> String {
+    let mut s = format!("{ctor} {{\n");
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{n}: ::core::default::Default::default(),\n",
+                n = f.name
+            ));
+        } else if f.lenient_missing {
+            s.push_str(&format!(
+                "{n}: match {source}.get(\"{n}\") {{ \
+                 ::core::option::Option::Some(x) => ::serde::Deserialize::deserialize_value(x)?, \
+                 ::core::option::Option::None => ::core::default::Default::default() }},\n",
+                n = f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{n}: match {source}.get(\"{n}\") {{ \
+                 ::core::option::Option::Some(x) => ::serde::Deserialize::deserialize_value(x)?, \
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                 ::serde::de::Error::missing_field(\"{n}\", \"{ty_name}\")) }},\n",
+                n = f.name
+            ));
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn de_body(item: &Item) -> String {
+    match item {
+        Item::UnitStruct { name } => format!("::core::result::Result::Ok({name})"),
+        Item::NamedStruct { name, fields } => {
+            let build = named_fields_de(name, name, fields, "obj");
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::de::Error::ty(\"object\", v))?;\n\
+                 ::core::result::Result::Ok({build})"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::de::Error::ty(\"array\", v))?;\n\
+                 if arr.len() != {arity} {{ return ::core::result::Result::Err(::serde::de::Error::msg(\
+                 format!(\"expected array of {arity}, got {{}}\", arr.len()))); }}\n\
+                 ::core::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::core::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::deserialize_value(payload)?))",
+                                v = v.name
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_value(&arr[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let arr = payload.as_array().ok_or_else(|| \
+                                 ::serde::de::Error::ty(\"array\", payload))?;\n\
+                                 if arr.len() != {arity} {{ return ::core::result::Result::Err(\
+                                 ::serde::de::Error::msg(\"wrong tuple variant arity\")); }}\n\
+                                 ::core::result::Result::Ok({name}::{v}({items})) }}",
+                                v = v.name,
+                                items = items.join(", ")
+                            )
+                        };
+                        data_arms.push_str(&format!("\"{v}\" => {body},\n", v = v.name));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let build = named_fields_de(
+                            name,
+                            &format!("{name}::{v}", v = v.name),
+                            fields,
+                            "inner",
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{ let inner = payload.as_object().ok_or_else(|| \
+                             ::serde::de::Error::ty(\"object\", payload))?; \
+                             ::core::result::Result::Ok({build}) }},\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n}},\n\
+                 ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                 let (tag, payload) = map.iter().next().unwrap();\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => ::core::result::Result::Err(::serde::de::Error::msg(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\"))),\n}}\n}},\n\
+                 other => ::core::result::Result::Err(::serde::de::Error::ty(\"enum\", other)),\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}",
+        name = item_name(&item),
+        body = ser_body(&item)
+    );
+    code.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde_derive generated invalid code: {e}")))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(e) => return compile_error(&e),
+    };
+    let code = format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> \
+         ::core::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}",
+        name = item_name(&item),
+        body = de_body(&item)
+    );
+    code.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde_derive generated invalid code: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}

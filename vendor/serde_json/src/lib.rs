@@ -1,0 +1,346 @@
+//! Minimal API-compatible stand-in for `serde_json`, built on the vendored
+//! serde stub's [`Value`] data model: text (de)serialization with
+//! `to_string` / `to_string_pretty` / `from_str` / `to_value` /
+//! `from_value`, plus a hand-rolled recursive-descent JSON parser.
+
+pub use serde::de::Error;
+pub use serde::value::{Map, Number};
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// Serialize to compact JSON text. Infallible for this data model, but the
+/// upstream-compatible signature returns `Result`.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::value::to_json_string(&value.serialize_value(), None))
+}
+
+/// Serialize to pretty JSON text (2-space indentation, like serde_json).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::value::to_json_string(
+        &value.serialize_value(),
+        Some(2),
+    ))
+}
+
+/// Serialize into the [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.serialize_value())
+}
+
+/// Deserialize from the [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize_value(value)
+}
+
+/// Parse JSON text and deserialize.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_complete(s)?;
+    T::deserialize_value(&value)
+}
+
+/// Parse JSON text into a [`Value`], requiring the full input be consumed.
+pub fn parse_value_complete(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at byte {} of JSON input",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected {:?} at byte {} of JSON input",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(Error::msg("unexpected end of JSON input")),
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(Error::msg("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(Error::msg("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(Error::msg("invalid literal"))
+                }
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::msg("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut map = Map::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    map.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        _ => return Err(Error::msg("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0C}'),
+                        Some(b'u') => {
+                            let cp = self.parse_hex4()?;
+                            // Surrogate pair handling.
+                            if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes.get(self.pos + 1) == Some(&b'\\')
+                                    && self.bytes.get(self.pos + 2) == Some(&b'u')
+                                {
+                                    self.pos += 2;
+                                    let lo = self.parse_hex4()?;
+                                    let combined =
+                                        0x10000 + ((cp - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                    out.push(
+                                        char::from_u32(combined)
+                                            .ok_or_else(|| Error::msg("invalid surrogate"))?,
+                                    );
+                                } else {
+                                    return Err(Error::msg("lone surrogate in string"));
+                                }
+                            } else {
+                                out.push(
+                                    char::from_u32(cp)
+                                        .ok_or_else(|| Error::msg("invalid \\u escape"))?,
+                                );
+                            }
+                        }
+                        _ => return Err(Error::msg("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: decode from the source slice.
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        // self.pos currently sits on 'u'.
+        let start = self.pos + 1;
+        let end = start + 4;
+        if end > self.bytes.len() {
+            return Err(Error::msg("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| Error::msg("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| Error::msg("invalid \\u escape"))?;
+        self.pos = end - 1; // leave on the final hex digit; caller advances once
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::msg(format!("invalid JSON value at byte {start}")));
+        }
+        let number = if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                Number::PosInt(u)
+            } else if let Ok(i) = text.parse::<i64>() {
+                Number::NegInt(i)
+            } else {
+                Number::Float(
+                    text.parse::<f64>()
+                        .map_err(|_| Error::msg("invalid number"))?,
+                )
+            }
+        } else {
+            Number::Float(
+                text.parse::<f64>()
+                    .map_err(|_| Error::msg("invalid number"))?,
+            )
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let v: Vec<i32> = from_str(&to_string(&vec![1, -2, 3]).unwrap()).unwrap();
+        assert_eq!(v, vec![1, -2, 3]);
+        let f: f32 = from_str(&to_string(&0.1f32).unwrap()).unwrap();
+        assert_eq!(f, 0.1f32);
+        let s: String = from_str(&to_string("hey \"quoted\"\n").unwrap()).unwrap();
+        assert_eq!(s, "hey \"quoted\"\n");
+        let o: Option<u64> = from_str("null").unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn parses_structures() {
+        let v = parse_value_complete(r#"{"a": [1, 2.5, true, null], "b": {"c": "d"}}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 4);
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value_complete("{").is_err());
+        assert!(parse_value_complete("[1,]").is_err());
+        assert!(parse_value_complete("1 2").is_err());
+        assert!(parse_value_complete("").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = parse_value_complete(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let text = to_string_pretty(&vec![1u32]).unwrap();
+        assert_eq!(text, "[\n  1\n]");
+    }
+}
