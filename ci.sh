@@ -25,4 +25,10 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> perf: cargo bench --no-run (benches stay compilable)"
+cargo bench --workspace --no-run
+
+echo "==> perf: seq-vs-par smoke (writes results/BENCH_perf.json)"
+cargo run -q --release -p ds-bench --bin perf -- --smoke
+
 echo "ci: all checks passed"

@@ -1,0 +1,167 @@
+//! A small bounded map with insert-order (FIFO) eviction, backing the
+//! app's prediction caches.
+//!
+//! The app recomputes nothing the user has already seen: status-series
+//! predictions (insights view) and per-window localizations (playground
+//! overlay) are cached per `(dataset, house, appliance, window length[,
+//! window index])`, so Prev/Next navigation over visited windows is O(1)
+//! instead of re-running ensemble inference. Every cached artifact is a
+//! pure function of its key — datasets are generated deterministically and
+//! models are trained once per key — so entries never go stale; the bound
+//! exists only to cap memory on long browsing sessions.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// A bounded key→value cache that evicts the oldest-inserted entry when
+/// full. Lookups never refresh an entry's age (FIFO, not LRU): the access
+/// pattern is window navigation, where the cheapest predictable policy
+/// beats recency tracking.
+#[derive(Debug)]
+pub struct BoundedCache<K: Ord + Clone, V> {
+    map: BTreeMap<K, V>,
+    order: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: Ord + Clone, V> BoundedCache<K, V> {
+    /// An empty cache holding at most `capacity` entries (`capacity` is
+    /// clamped to ≥ 1).
+    pub fn new(capacity: usize) -> BoundedCache<K, V> {
+        BoundedCache {
+            map: BTreeMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The eviction bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Look up `key` without affecting eviction order.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key)
+    }
+
+    /// Insert (or replace) `key`, evicting the oldest entry if the cache
+    /// is full. Replacing an existing key keeps its original age.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.map.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.map.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Cached value for `key`, computing and inserting it on a miss.
+    /// `compute` may fail; errors pass through without touching the cache.
+    /// Hits and misses tick the `cache.<name>.{hits,misses}` ds-obs
+    /// counters so `DS_OBS=summary` shows navigation cache efficiency.
+    pub fn get_or_try_insert_with<E>(
+        &mut self,
+        name: &'static str,
+        key: K,
+        compute: impl FnOnce(&mut Self) -> Result<V, E>,
+    ) -> Result<&V, E>
+    where
+        V: Clone,
+    {
+        if self.map.contains_key(&key) {
+            ds_obs::counter_add(&format!("cache.{name}.hits"), 1);
+        } else {
+            ds_obs::counter_add(&format!("cache.{name}.misses"), 1);
+            let value = compute(self)?;
+            self.insert(key.clone(), value);
+        }
+        Ok(self.map.get(&key).expect("present or just inserted"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_up_to_capacity() {
+        let mut c = BoundedCache::new(3);
+        for i in 0..3 {
+            c.insert(i, i * 10);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(&0), Some(&0));
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn evicts_oldest_first() {
+        let mut c = BoundedCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_grow_or_reage() {
+        let mut c = BoundedCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10); // replace, "a" stays oldest
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&10));
+        c.insert("c", 3); // evicts "a"
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut c = BoundedCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn get_or_try_insert_computes_once() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
+        let mut calls = 0;
+        for _ in 0..3 {
+            let v = c
+                .get_or_try_insert_with("test", 7, |_| {
+                    calls += 1;
+                    Ok::<u32, ()>(42)
+                })
+                .unwrap();
+            assert_eq!(*v, 42);
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn get_or_try_insert_propagates_errors() {
+        let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
+        let err = c.get_or_try_insert_with("test", 1, |_| Err::<u32, &str>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        assert!(c.is_empty());
+    }
+}

@@ -23,6 +23,7 @@
 //! interactive REPL ([`repl`]).
 
 pub mod benchmark_frame;
+pub mod cache;
 pub mod insights;
 pub mod patterns;
 pub mod perdevice;

@@ -2,12 +2,28 @@
 //! selection, series loading, window navigation, appliance selection, and
 //! the lazily trained per-(dataset, appliance) CamAL models.
 
-use ds_camal::{Camal, CamalConfig};
+use crate::cache::BoundedCache;
+use ds_camal::{Camal, CamalConfig, Localization};
 use ds_datasets::labels::Corpus;
 use ds_datasets::{ApplianceKind, Catalog, DatasetPreset};
 use ds_timeseries::window::{WindowCursor, WindowLength};
-use ds_timeseries::TimeSeries;
+use ds_timeseries::{StatusSeries, TimeSeries};
 use std::collections::BTreeMap;
+
+/// Key of a whole-series status prediction: `(dataset, house, appliance,
+/// window samples)` — everything the prediction is a function of.
+type SeriesKey = (String, u32, &'static str, usize);
+
+/// Key of one window's localization: a [`SeriesKey`] plus the window index.
+type WindowKey = (String, u32, &'static str, usize, usize);
+
+/// Whole-series status predictions cached for the insights view. Small
+/// bound: each entry is one `u8` per sample of a loaded series.
+const STATUS_CACHE_CAP: usize = 32;
+
+/// Per-window localizations cached for the playground overlay; sized so a
+/// full browsing session (windows × appliances) stays resident.
+const WINDOW_CACHE_CAP: usize = 512;
 
 /// Application-wide configuration.
 #[derive(Debug, Clone)]
@@ -77,6 +93,8 @@ pub struct AppState {
     config: AppConfig,
     catalog: Catalog,
     models: BTreeMap<(String, &'static str, usize), Camal>,
+    status_cache: BoundedCache<SeriesKey, StatusSeries>,
+    window_cache: BoundedCache<WindowKey, Localization>,
     /// Currently selected dataset.
     pub dataset: Option<DatasetPreset>,
     /// Currently loaded house.
@@ -96,6 +114,8 @@ impl AppState {
             config,
             catalog,
             models: BTreeMap::new(),
+            status_cache: BoundedCache::new(STATUS_CACHE_CAP),
+            window_cache: BoundedCache::new(WINDOW_CACHE_CAP),
             dataset: None,
             house_id: None,
             cursor: None,
@@ -262,12 +282,13 @@ impl AppState {
         let series = cursor.series().clone();
         let window = cursor.window_size();
         let total_kwh = series.energy_wh() / 1000.0;
+        let (preset, house_id) = self.loaded()?;
         let selected = self.selected.clone();
         let mut usages = Vec::with_capacity(selected.len());
         for kind in selected {
             let channel = self.full_channel(kind)?;
-            let model = self.model(kind)?;
-            let status = model.predict_status_series(&series, window);
+            let key: SeriesKey = (preset.name().to_string(), house_id, kind.slug(), window);
+            let status = self.cached_status_series(key, &series, window, kind)?;
             usages.push(crate::insights::appliance_usage(
                 kind,
                 &status,
@@ -278,23 +299,62 @@ impl AppState {
         Ok((usages, total_kwh))
     }
 
-    /// Localize every selected appliance in the current window.
+    /// The whole-series status prediction for `key`, computed once and then
+    /// served from the bounded cache.
+    fn cached_status_series(
+        &mut self,
+        key: SeriesKey,
+        series: &TimeSeries,
+        window: usize,
+        kind: ApplianceKind,
+    ) -> Result<StatusSeries, AppError> {
+        if let Some(hit) = self.status_cache.get(&key) {
+            ds_obs::counter_add("cache.status_series.hits", 1);
+            return Ok(hit.clone());
+        }
+        ds_obs::counter_add("cache.status_series.misses", 1);
+        let status = self.model(kind)?.predict_status_series(series, window);
+        self.status_cache.insert(key, status.clone());
+        Ok(status)
+    }
+
+    /// Localize every selected appliance in the current window. Visited
+    /// `(window, appliance)` pairs are served from a bounded cache, so
+    /// Prev/Next navigation over seen windows skips ensemble inference
+    /// entirely.
     pub fn localize_selected(
         &mut self,
     ) -> Result<Vec<(ApplianceKind, ds_camal::Localization)>, AppError> {
         let window = self.current_window()?;
+        let (preset, house_id) = self.loaded()?;
+        let (window_index, _) = self.page()?;
         let selected = self.selected.clone();
         let mut out = Vec::with_capacity(selected.len());
         for kind in selected {
-            let values: Vec<f32> = window.values().to_vec();
+            let key: WindowKey = (
+                preset.name().to_string(),
+                house_id,
+                kind.slug(),
+                window.len(),
+                window_index,
+            );
+            if let Some(hit) = self.window_cache.get(&key) {
+                ds_obs::counter_add("cache.window_localization.hits", 1);
+                out.push((kind, hit.clone()));
+                continue;
+            }
+            ds_obs::counter_add("cache.window_localization.misses", 1);
             // Impute tiny display gaps with zeros so the pipeline runs; the
             // training path never sees imputed windows.
-            let clean: Vec<f32> = values
+            let clean: Vec<f32> = window
+                .values()
                 .iter()
                 .map(|v| if v.is_nan() { 0.0 } else { *v })
                 .collect();
             let model = self.model(kind)?;
-            out.push((kind, model.localize(&clean)));
+            let localization = model.localize(&clean);
+            self.window_cache.insert(key, localization.clone());
+            out.push((kind, localization));
         }
         Ok(out)
     }
@@ -380,6 +440,43 @@ mod tests {
             .unwrap()
             .possesses(ApplianceKind::Kettle);
         assert_eq!(ch.is_some(), possesses);
+    }
+
+    #[test]
+    fn window_navigation_is_served_from_cache() {
+        let mut state = app();
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        state.toggle_appliance("kettle").unwrap();
+        let first = state.localize_selected().unwrap();
+        assert_eq!(state.window_cache.len(), 1);
+        state.next().unwrap();
+        let second = state.localize_selected().unwrap();
+        assert_eq!(state.window_cache.len(), 2);
+        // Going back must reuse the cached localization, not recompute.
+        state.prev().unwrap();
+        let back = state.localize_selected().unwrap();
+        assert_eq!(state.window_cache.len(), 2);
+        assert_eq!(back[0].1, first[0].1);
+        assert_ne!(second[0].1.cam, first[0].1.cam);
+    }
+
+    #[test]
+    fn insights_status_series_is_cached() {
+        let mut state = app();
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        state.toggle_appliance("kettle").unwrap();
+        let (u1, t1) = state.insights().unwrap();
+        assert_eq!(state.status_cache.len(), 1);
+        let (u2, t2) = state.insights().unwrap();
+        assert_eq!(state.status_cache.len(), 1);
+        assert_eq!(t1, t2);
+        assert_eq!(u1.len(), u2.len());
+        assert_eq!(u1[0].energy_kwh, u2[0].energy_kwh);
+        assert_eq!(u1[0].activations, u2[0].activations);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Criterion wrappers around the ds-par perf workloads (`conv_throughput`,
+//! `ensemble_predict`, `e2e_localize`), each measured on one worker and on
+//! the configured team so the listing shows the parallel trend next to the
+//! sequential baseline. The structured seq-vs-par report (throughput,
+//! speedup, bit-identity) comes from the `perf` binary; this harness exists
+//! for iteration-level trend tracking.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ds_camal::localizer::localize_batch;
+use ds_camal::{CamalConfig, LocalizerConfig, ResNetEnsemble};
+use ds_neural::conv::Conv1d;
+use ds_neural::tensor::Tensor;
+
+/// Runs `f` once sequentially and once on the worker team, registering a
+/// `<name>/seq` and `<name>/par` criterion entry.
+fn seq_and_par(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+    c.bench_function(&format!("{name}/seq"), |b| {
+        ds_par::set_threads(Some(1));
+        b.iter(&mut f);
+        ds_par::set_threads(None);
+    });
+    c.bench_function(&format!("{name}/par"), |b| {
+        b.iter(&mut f);
+    });
+}
+
+fn conv_throughput(c: &mut Criterion) {
+    let conv = Conv1d::new(8, 16, 9, 1);
+    let x = Tensor::from_data(
+        16,
+        8,
+        720,
+        (0..16 * 8 * 720)
+            .map(|i| ((i % 97) as f32 - 48.0) * 0.021)
+            .collect(),
+    );
+    seq_and_par(c, "conv_throughput", || {
+        black_box(conv.infer(black_box(&x)));
+    });
+}
+
+fn ensemble_predict(c: &mut Criterion) {
+    let cfg = CamalConfig {
+        channels: vec![8, 16],
+        ..CamalConfig::default()
+    };
+    let ensemble = ResNetEnsemble::untrained(&cfg);
+    let x = Tensor::from_data(
+        8,
+        1,
+        720,
+        (0..8 * 720).map(|i| ((i % 131) as f32) * 13.7).collect(),
+    );
+    seq_and_par(c, "ensemble_predict", || {
+        black_box(ensemble.predict(black_box(&x)));
+    });
+}
+
+fn e2e_localize(c: &mut Criterion) {
+    let cfg = CamalConfig {
+        channels: vec![8, 16],
+        ..CamalConfig::default()
+    };
+    let ensemble = ResNetEnsemble::untrained(&cfg);
+    let loc_cfg = LocalizerConfig {
+        gate_on_detection: false,
+        ..LocalizerConfig::default()
+    };
+    let windows: Vec<Vec<f32>> = (0..24)
+        .map(|w| {
+            (0..360)
+                .map(|i| ((w * 13 + i) % 29) as f32 * 55.0 + (i as f32 * 0.11).sin() * 20.0)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = windows.iter().map(|w| w.as_slice()).collect();
+    seq_and_par(c, "e2e_localize", || {
+        black_box(localize_batch(
+            black_box(&ensemble),
+            black_box(&refs),
+            &loc_cfg,
+        ));
+    });
+}
+
+criterion_group!(benches, conv_throughput, ensemble_predict, e2e_localize);
+criterion_main!(benches);

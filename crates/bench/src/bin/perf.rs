@@ -1,0 +1,53 @@
+//! Sequential-vs-parallel performance baseline for the ds-par substrate.
+//!
+//! ```text
+//! perf [--smoke] [--out results/BENCH_perf.json]
+//! ```
+//!
+//! Runs each workload (conv forward, ensemble prediction, end-to-end
+//! localization) on one worker and on the configured team
+//! (`DS_PAR_THREADS`), asserts the outputs are bit-identical, and writes
+//! throughput + speedup numbers. `--smoke` shrinks the workloads for CI.
+
+use ds_bench::perf::{render, run_suite, PerfScale};
+use ds_bench::report;
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("results/BENCH_perf.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                if let Some(p) = args.next() {
+                    out_path = p;
+                }
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+    let scale = if smoke {
+        PerfScale::smoke()
+    } else {
+        PerfScale::full()
+    };
+    if let Err(e) = ds_obs::init_sink("results/perf_obs.jsonl") {
+        eprintln!("cannot open event sink: {e}");
+    }
+    let report = {
+        let _run = ds_obs::span!("perf");
+        run_suite(scale, smoke)
+    };
+    print!("{}", render(&report));
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    report::write_json(&report, &out_path)
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+    ds_obs::flush_sink();
+    if ds_obs::enabled() {
+        eprintln!("{}", ds_obs::render_summary());
+    }
+}

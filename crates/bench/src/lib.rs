@@ -22,6 +22,7 @@
 
 pub mod experiments;
 pub mod methods;
+pub mod perf;
 pub mod report;
 pub mod speed;
 

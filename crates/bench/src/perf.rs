@@ -1,0 +1,292 @@
+//! Sequential-vs-parallel performance harness for the ds-par substrate.
+//!
+//! Each case runs the same workload twice — once pinned to one worker
+//! (`ds_par::set_threads(Some(1))`) and once on the configured team — and
+//! records wall time, throughput in elements/sec, and the speedup. Before
+//! timing, the two paths' outputs are compared **bit for bit**: the
+//! substrate's contract is that parallelism never changes numerics, and
+//! this harness enforces it on every run (a report with
+//! `bit_identical: false` means the contract is broken, and
+//! [`run_suite`] panics rather than produce one).
+//!
+//! The `perf` binary renders the suite as a table and persists it to
+//! `results/BENCH_perf.json`; `benches/perf.rs` wraps the same workloads
+//! in Criterion for trend tracking.
+
+use ds_camal::localizer::localize_batch;
+use ds_camal::{CamalConfig, LocalizerConfig, ResNetEnsemble};
+use ds_neural::conv::Conv1d;
+use ds_neural::tensor::Tensor;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One sequential-vs-parallel measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfCase {
+    /// Workload name (`conv_forward`, `ensemble_predict`, `e2e_localize`).
+    pub name: String,
+    /// Elements produced per iteration (output samples of the workload).
+    pub elements_per_iter: u64,
+    /// Timed iterations per path.
+    pub iters: u64,
+    /// Sequential wall time for all iterations, seconds.
+    pub seq_secs: f64,
+    /// Parallel wall time for all iterations, seconds.
+    pub par_secs: f64,
+    /// Sequential throughput, elements per second.
+    pub seq_elements_per_sec: f64,
+    /// Parallel throughput, elements per second.
+    pub par_elements_per_sec: f64,
+    /// `seq_secs / par_secs` — > 1 means the parallel path is faster.
+    pub speedup: f64,
+    /// Whether the two paths produced bit-identical outputs (always true
+    /// in a published report; the suite panics otherwise).
+    pub bit_identical: bool,
+}
+
+/// The full suite, as persisted to `results/BENCH_perf.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfReport {
+    /// Worker-team size used for the parallel path.
+    pub threads: usize,
+    /// Whether this was the reduced smoke configuration (CI) or the full
+    /// benchmark configuration.
+    pub smoke: bool,
+    /// The measurements.
+    pub cases: Vec<PerfCase>,
+}
+
+/// Workload sizes, reduced under `--smoke` so CI stays fast.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfScale {
+    /// Batch rows (windows) per iteration.
+    pub batch: usize,
+    /// Samples per window.
+    pub window: usize,
+    /// Timed iterations per path.
+    pub iters: usize,
+}
+
+impl PerfScale {
+    /// CI-sized: a few seconds end to end.
+    pub fn smoke() -> PerfScale {
+        PerfScale {
+            batch: 8,
+            window: 180,
+            iters: 2,
+        }
+    }
+
+    /// Benchmark-sized: paper-scale 12 h windows.
+    pub fn full() -> PerfScale {
+        PerfScale {
+            batch: 32,
+            window: 720,
+            iters: 5,
+        }
+    }
+}
+
+fn time_iters<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn seq<R>(f: impl FnOnce() -> R) -> R {
+    ds_par::set_threads(Some(1));
+    let out = f();
+    ds_par::set_threads(None);
+    out
+}
+
+fn case(
+    name: &str,
+    elements_per_iter: u64,
+    iters: usize,
+    bit_identical: bool,
+    mut work: impl FnMut(),
+) -> PerfCase {
+    let seq_secs = seq(|| time_iters(iters, &mut work)).max(f64::MIN_POSITIVE);
+    let par_secs = time_iters(iters, &mut work).max(f64::MIN_POSITIVE);
+    let total = (elements_per_iter * iters as u64) as f64;
+    PerfCase {
+        name: name.to_string(),
+        elements_per_iter,
+        iters: iters as u64,
+        seq_secs,
+        par_secs,
+        seq_elements_per_sec: total / seq_secs,
+        par_elements_per_sec: total / par_secs,
+        speedup: seq_secs / par_secs,
+        bit_identical,
+    }
+}
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Conv1d forward over a paper-scale layer (8→16 channels, k = 9).
+fn conv_forward_case(scale: PerfScale) -> PerfCase {
+    let conv = Conv1d::new(8, 16, 9, 1);
+    let x = Tensor::from_data(
+        scale.batch,
+        8,
+        scale.window,
+        (0..scale.batch * 8 * scale.window)
+            .map(|i| ((i % 97) as f32 - 48.0) * 0.021)
+            .collect(),
+    );
+    let reference = seq(|| conv.infer(&x));
+    let parallel = conv.infer(&x);
+    let identical = bits(&reference.data) == bits(&parallel.data);
+    assert!(identical, "conv forward: parallel output diverged");
+    let elements = (scale.batch * 16 * scale.window) as u64;
+    case("conv_forward", elements, scale.iters, identical, || {
+        conv.infer(&x);
+    })
+}
+
+/// Full-ensemble prediction (probabilities + CAMs, 4 members).
+fn ensemble_predict_case(scale: PerfScale) -> PerfCase {
+    let cfg = CamalConfig {
+        channels: vec![8, 16],
+        ..CamalConfig::default()
+    };
+    let ensemble = ResNetEnsemble::untrained(&cfg);
+    let x = Tensor::from_data(
+        scale.batch,
+        1,
+        scale.window,
+        (0..scale.batch * scale.window)
+            .map(|i| ((i % 131) as f32) * 13.7)
+            .collect(),
+    );
+    let reference = seq(|| ensemble.predict(&x));
+    let parallel = ensemble.predict(&x);
+    let identical = reference.len() == parallel.len()
+        && reference.iter().zip(&parallel).all(|(a, b)| {
+            bits(&a.probs) == bits(&b.probs)
+                && a.cams.len() == b.cams.len()
+                && a.cams
+                    .iter()
+                    .zip(&b.cams)
+                    .all(|(ca, cb)| bits(ca) == bits(cb))
+        });
+    assert!(identical, "ensemble predict: parallel output diverged");
+    let elements = (scale.batch * scale.window * ensemble.len()) as u64;
+    case("ensemble_predict", elements, scale.iters, identical, || {
+        ensemble.predict(&x);
+    })
+}
+
+/// The end-to-end CamAL pipeline (steps 1–6) over a batch of windows.
+fn e2e_localize_case(scale: PerfScale) -> PerfCase {
+    let cfg = CamalConfig {
+        channels: vec![8, 16],
+        ..CamalConfig::default()
+    };
+    let ensemble = ResNetEnsemble::untrained(&cfg);
+    let loc_cfg = LocalizerConfig {
+        gate_on_detection: false,
+        ..LocalizerConfig::default()
+    };
+    let windows: Vec<Vec<f32>> = (0..scale.batch)
+        .map(|w| {
+            (0..scale.window)
+                .map(|i| ((w * 13 + i) % 29) as f32 * 55.0 + (i as f32 * 0.11).sin() * 20.0)
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f32]> = windows.iter().map(|w| w.as_slice()).collect();
+    let reference = seq(|| localize_batch(&ensemble, &refs, &loc_cfg));
+    let parallel = localize_batch(&ensemble, &refs, &loc_cfg);
+    let identical = reference.len() == parallel.len()
+        && reference.iter().zip(&parallel).all(|(a, b)| {
+            bits(&a.cam) == bits(&b.cam)
+                && a.status == b.status
+                && a.detection.probability.to_bits() == b.detection.probability.to_bits()
+        });
+    assert!(identical, "e2e localize: parallel output diverged");
+    let elements = (scale.batch * scale.window) as u64;
+    case("e2e_localize", elements, scale.iters, identical, || {
+        localize_batch(&ensemble, &refs, &loc_cfg);
+    })
+}
+
+/// Run every case at `scale`; panics if any parallel path is not
+/// bit-identical to its sequential twin.
+pub fn run_suite(scale: PerfScale, smoke: bool) -> PerfReport {
+    let _span = ds_obs::span!("bench.perf_suite");
+    PerfReport {
+        threads: ds_par::threads(),
+        smoke,
+        cases: vec![
+            conv_forward_case(scale),
+            ensemble_predict_case(scale),
+            e2e_localize_case(scale),
+        ],
+    }
+}
+
+/// Render a report as an aligned text table.
+pub fn render(report: &PerfReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                format!("{}", c.elements_per_iter),
+                format!("{:.3e}", c.seq_elements_per_sec),
+                format!("{:.3e}", c.par_elements_per_sec),
+                format!("{:.2}x", c.speedup),
+                if c.bit_identical { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "ds-par perf suite ({} worker{}, {} mode)\n{}",
+        report.threads,
+        if report.threads == 1 { "" } else { "s" },
+        if report.smoke { "smoke" } else { "full" },
+        crate::report::text_table(
+            &[
+                "case",
+                "elems/iter",
+                "seq elems/s",
+                "par elems/s",
+                "speedup",
+                "bit-identical"
+            ],
+            &rows,
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_runs_and_is_bit_identical() {
+        let tiny = PerfScale {
+            batch: 4,
+            window: 64,
+            iters: 1,
+        };
+        let report = run_suite(tiny, true);
+        assert_eq!(report.cases.len(), 3);
+        for c in &report.cases {
+            assert!(c.bit_identical, "{} diverged", c.name);
+            assert!(c.seq_secs > 0.0 && c.par_secs > 0.0);
+            assert!(c.seq_elements_per_sec.is_finite());
+        }
+        let table = render(&report);
+        assert!(table.contains("conv_forward"));
+        assert!(table.contains("e2e_localize"));
+    }
+}

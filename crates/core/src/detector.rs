@@ -60,7 +60,11 @@ fn record_detections(probs: &[f32], detected: u64, elapsed: std::time::Duration,
     );
 }
 
-/// Batched detection over many raw windows (one ensemble pass per batch).
+/// Batched detection over many raw windows, chunked
+/// [`crate::localizer::WINDOW_CHUNK`] windows per task across the ds-par
+/// worker team. Batch rows flow through the ensemble independently, so
+/// the chunking (fixed, never thread-count-derived) and the fan-out leave
+/// the probabilities bit-identical to one sequential pass.
 pub fn detect_batch(
     ensemble: &ResNetEnsemble,
     windows: &[Vec<f32>],
@@ -69,26 +73,32 @@ pub fn detect_batch(
     assert!(!windows.is_empty(), "cannot detect on an empty batch");
     let _span = ds_obs::span!("camal.detect_batch");
     let start = ds_obs::enabled().then(std::time::Instant::now);
-    let normalized: Vec<Vec<f32>> = windows.iter().map(|w| z_normalize_window(w)).collect();
-    let x = Tensor::from_windows(&normalized);
-    let outputs = ensemble.predict(&x);
-    let probs = ResNetEnsemble::ensemble_probability(&outputs);
+    let per_chunk: Vec<Vec<Detection>> =
+        ds_par::par_ranges(windows.len(), crate::localizer::WINDOW_CHUNK, |_, range| {
+            let normalized: Vec<Vec<f32>> = windows[range]
+                .iter()
+                .map(|w| z_normalize_window(w))
+                .collect();
+            let x = Tensor::from_windows(&normalized);
+            let outputs = ensemble.predict(&x);
+            let probs = ResNetEnsemble::ensemble_probability(&outputs);
+            probs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Detection {
+                    probability: p,
+                    member_probabilities: outputs.iter().map(|o| (o.kernel, o.probs[i])).collect(),
+                    detected: p > cfg.detection_threshold,
+                })
+                .collect()
+        });
+    let detections: Vec<Detection> = per_chunk.into_iter().flatten().collect();
     if let Some(start) = start {
-        let positive = probs
-            .iter()
-            .filter(|&&p| p > cfg.detection_threshold)
-            .count() as u64;
+        let probs: Vec<f32> = detections.iter().map(|d| d.probability).collect();
+        let positive = detections.iter().filter(|d| d.detected).count() as u64;
         record_detections(&probs, positive, start.elapsed(), windows.len() as u64);
     }
-    probs
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| Detection {
-            probability: p,
-            member_probabilities: outputs.iter().map(|o| (o.kernel, o.probs[i])).collect(),
-            detected: p > cfg.detection_threshold,
-        })
-        .collect()
+    detections
 }
 
 #[cfg(test)]

@@ -68,14 +68,20 @@ impl ResNetEnsemble {
         &self.members
     }
 
-    /// Drop every member except those at `keep` (selection step).
+    /// Drop every member except those at `keep` (selection step). Members
+    /// are moved out of the old vector, not cloned — a ResNet owns all of
+    /// its weight/optimizer buffers, so cloning here used to double the
+    /// ensemble's peak memory during selection.
     pub fn retain_indices(&mut self, keep: &[usize]) {
         assert!(!keep.is_empty(), "cannot retain zero members");
-        let mut kept = Vec::with_capacity(keep.len());
-        for &i in keep {
-            kept.push(self.members[i].clone());
-        }
-        self.members = kept;
+        let mut slots: Vec<Option<ResNet>> = std::mem::take(&mut self.members)
+            .into_iter()
+            .map(Some)
+            .collect();
+        self.members = keep
+            .iter()
+            .map(|&i| slots[i].take().expect("duplicate index in retain_indices"))
+            .collect();
     }
 
     /// Train every member on the same `(windows, labels)` corpus, in
@@ -122,18 +128,22 @@ impl ResNetEnsemble {
     /// Steps 1 & 3: run every member over a `[B, 1, L]` batch, collecting
     /// probabilities and class-1 CAMs. Pure (`&self`): a trained ensemble is
     /// shareable across threads at prediction time.
+    ///
+    /// Members fan out across the ds-par worker team (one task per member);
+    /// inference inside each member then runs sequentially, since nested
+    /// ds-par calls are suppressed. Outputs come back in member order and
+    /// each member's numerics are untouched by the fan-out, so results are
+    /// bit-identical to a sequential loop at any `DS_PAR_THREADS`.
     pub fn predict(&self, x: &Tensor) -> Vec<MemberOutput> {
-        self.members
-            .iter()
-            .map(|m| {
-                let (probs, cams) = m.infer_with_cam(x);
-                MemberOutput {
-                    kernel: m.kernel(),
-                    probs,
-                    cams,
-                }
-            })
-            .collect()
+        let _span = ds_obs::span!("ensemble.predict");
+        ds_par::par_map_chunked(&self.members, 1, |_, m| {
+            let (probs, cams) = m.infer_with_cam(x);
+            MemberOutput {
+                kernel: m.kernel(),
+                probs,
+                cams,
+            }
+        })
     }
 
     /// Ensemble probability per window: `Prob_ens = (1/N) Σ Prob_n`.

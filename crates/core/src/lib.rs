@@ -126,10 +126,20 @@ impl Camal {
         localizer::localize(&self.ensemble, window, &self.config.localizer)
     }
 
+    /// The full pipeline over many same-length raw windows, batched and
+    /// fanned across the ds-par worker team (see
+    /// [`localizer::localize_batch`]); bit-identical to per-window
+    /// [`Camal::localize`] calls.
+    pub fn localize_batch(&self, windows: &[&[f32]]) -> Vec<Localization> {
+        localizer::localize_batch(&self.ensemble, windows, &self.config.localizer)
+    }
+
     /// Predict a full status series by sliding non-overlapping windows of
     /// `window_samples` over `series`. Windows with missing data and the
     /// trailing partial window are conservatively all-off (the GUI shows
-    /// them as gaps anyway).
+    /// them as gaps anyway). Complete windows are gathered up front and
+    /// localized as one batch, so the whole series benefits from the
+    /// batched/parallel inference path.
     pub fn predict_status_series(
         &self,
         series: &TimeSeries,
@@ -137,14 +147,18 @@ impl Camal {
     ) -> StatusSeries {
         let mut states = vec![0u8; series.len()];
         let values = series.values();
-        let mut lo = 0;
-        while lo + window_samples <= values.len() {
-            let window = &values[lo..lo + window_samples];
-            if window.iter().all(|v| !v.is_nan()) {
-                let out = self.localize(window);
-                states[lo..lo + window_samples].copy_from_slice(&out.status);
-            }
-            lo += window_samples;
+        let starts: Vec<usize> = (0..)
+            .map(|i| i * window_samples)
+            .take_while(|lo| lo + window_samples <= values.len())
+            .filter(|&lo| values[lo..lo + window_samples].iter().all(|v| !v.is_nan()))
+            .collect();
+        let windows: Vec<&[f32]> = starts
+            .iter()
+            .map(|&lo| &values[lo..lo + window_samples])
+            .collect();
+        let outcomes = self.localize_batch(&windows);
+        for (&lo, out) in starts.iter().zip(&outcomes) {
+            states[lo..lo + window_samples].copy_from_slice(&out.status);
         }
         StatusSeries::from_states(series.start(), series.interval_secs(), states)
     }

@@ -45,16 +45,14 @@ pub fn localize(ensemble: &ResNetEnsemble, window: &[f32], cfg: &LocalizerConfig
     let normalized = z_normalize_window(window);
     let x = Tensor::from_windows(std::slice::from_ref(&normalized));
     let outputs = ensemble.predict(&x);
-    let prob = ResNetEnsemble::ensemble_probability(&outputs)[0];
-    let detection = Detection {
-        probability: prob,
-        member_probabilities: outputs.iter().map(|o| (o.kernel, o.probs[0])).collect(),
-        detected: prob > cfg.detection_threshold,
-    };
-    let cam = average_cams(&outputs, 0, cfg);
-    let (attention, status) = attention_and_status(&cam, &normalized, detection.detected, cfg);
+    let probs = ResNetEnsemble::ensemble_probability(&outputs);
+    let out = assemble_localization(&outputs, &probs, 0, &normalized, cfg);
     if let Some(start) = start {
-        ds_obs::observe("camal.localize.prob", prob as f64, ds_obs::Buckets::Unit);
+        ds_obs::observe(
+            "camal.localize.prob",
+            out.detection.probability as f64,
+            ds_obs::Buckets::Unit,
+        );
         ds_obs::observe(
             "camal.localize.latency_s",
             start.elapsed().as_secs_f64(),
@@ -63,9 +61,94 @@ pub fn localize(ensemble: &ResNetEnsemble, window: &[f32], cfg: &LocalizerConfig
         ds_obs::counter_add("camal.localize.windows", 1);
         ds_obs::counter_add(
             "camal.localize.active_timesteps",
-            status.iter().map(|&s| s as u64).sum(),
+            out.status.iter().map(|&s| s as u64).sum(),
         );
     }
+    out
+}
+
+/// Fixed number of windows per batched-localization task. Never derived
+/// from the worker count: chunk boundaries — and therefore the batches
+/// each network sees — are identical at any `DS_PAR_THREADS` setting.
+pub(crate) const WINDOW_CHUNK: usize = 16;
+
+/// Run steps 1–6 over many raw windows (all sharing one length), chunked
+/// [`WINDOW_CHUNK`] windows per task across the ds-par worker team.
+///
+/// Every layer in the ensemble's inference path (conv, batchnorm in
+/// inference mode, GAP, linear) treats batch rows independently, so the
+/// outputs are bit-identical to calling [`localize`] per window — the
+/// batching only amortizes the per-call overhead and enables the window
+/// fan-out. Results come back in window order.
+pub fn localize_batch(
+    ensemble: &ResNetEnsemble,
+    windows: &[&[f32]],
+    cfg: &LocalizerConfig,
+) -> Vec<Localization> {
+    if windows.is_empty() {
+        return Vec::new();
+    }
+    let _span = ds_obs::span!("camal.localize_batch");
+    let start = ds_obs::enabled().then(std::time::Instant::now);
+    let per_chunk: Vec<Vec<Localization>> =
+        ds_par::par_ranges(windows.len(), WINDOW_CHUNK, |_, range| {
+            let normalized: Vec<Vec<f32>> = windows[range.clone()]
+                .iter()
+                .map(|w| {
+                    assert!(!w.is_empty(), "cannot localize an empty window");
+                    z_normalize_window(w)
+                })
+                .collect();
+            let x = Tensor::from_windows(&normalized);
+            let outputs = ensemble.predict(&x);
+            let probs = ResNetEnsemble::ensemble_probability(&outputs);
+            (0..range.len())
+                .map(|i| assemble_localization(&outputs, &probs, i, &normalized[i], cfg))
+                .collect()
+        });
+    let out: Vec<Localization> = per_chunk.into_iter().flatten().collect();
+    if let Some(start) = start {
+        for loc in &out {
+            ds_obs::observe(
+                "camal.localize.prob",
+                loc.detection.probability as f64,
+                ds_obs::Buckets::Unit,
+            );
+        }
+        ds_obs::observe(
+            "camal.localize.latency_s",
+            start.elapsed().as_secs_f64() / out.len() as f64,
+            ds_obs::Buckets::DurationSecs,
+        );
+        ds_obs::counter_add("camal.localize.windows", out.len() as u64);
+        ds_obs::counter_add(
+            "camal.localize.active_timesteps",
+            out.iter()
+                .flat_map(|loc| loc.status.iter())
+                .map(|&s| s as u64)
+                .sum(),
+        );
+    }
+    out
+}
+
+/// Steps 2–6 for window `index` of a predicted batch: detection record,
+/// CAM averaging, attention, status.
+fn assemble_localization(
+    outputs: &[MemberOutput],
+    probs: &[f32],
+    index: usize,
+    normalized: &[f32],
+    cfg: &LocalizerConfig,
+) -> Localization {
+    let prob = probs[index];
+    let detection = Detection {
+        probability: prob,
+        member_probabilities: outputs.iter().map(|o| (o.kernel, o.probs[index])).collect(),
+        detected: prob > cfg.detection_threshold,
+    };
+    let cam = average_cams(outputs, index, cfg);
+    let (attention, status) = attention_and_status(&cam, normalized, detection.detected, cfg);
     Localization {
         detection,
         cam,
@@ -227,6 +310,39 @@ mod tests {
         if !out.detection.detected {
             assert!(out.status.iter().all(|&s| s == 0));
         }
+    }
+
+    #[test]
+    fn localize_batch_is_bit_identical_to_single() {
+        let ens = ResNetEnsemble::untrained(&CamalConfig::fast_test());
+        let cfg = LocalizerConfig {
+            gate_on_detection: false,
+            ..LocalizerConfig::default()
+        };
+        // More windows than one WINDOW_CHUNK, varied content.
+        let windows: Vec<Vec<f32>> = (0..super::WINDOW_CHUNK + 3)
+            .map(|w| {
+                (0..48)
+                    .map(|i| ((w * 7 + i) % 11) as f32 * 40.0 + (i as f32 * 0.4).sin() * 15.0)
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f32]> = windows.iter().map(|w| w.as_slice()).collect();
+        let batch = localize_batch(&ens, &refs, &cfg);
+        assert_eq!(batch.len(), windows.len());
+        for (w, b) in windows.iter().zip(&batch) {
+            let single = localize(&ens, w, &cfg);
+            assert_eq!(
+                single.cam.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                b.cam.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+            );
+            assert_eq!(single.status, b.status);
+            assert_eq!(
+                single.detection.probability.to_bits(),
+                b.detection.probability.to_bits()
+            );
+        }
+        assert!(localize_batch(&ens, &[], &cfg).is_empty());
     }
 
     #[test]

@@ -1,0 +1,402 @@
+//! # ds-par — a zero-dependency data-parallel substrate
+//!
+//! Chunked `par_map` / `par_for` / `par_ranges` combinators over scoped
+//! worker teams (`std::thread::scope`), built for the workspace's compute
+//! hot paths: ensemble member fan-out, sliding-window batches, and the
+//! batch dimension of convolution forward/backward.
+//!
+//! ## Guarantees
+//!
+//! - **Deterministic result ordering.** Every combinator returns results
+//!   in input order, regardless of worker count or which thread computed
+//!   which chunk. Chunks are pre-assigned round-robin to workers and each
+//!   writes its own output slot, so no reduction order depends on timing.
+//! - **Bit-identical to sequential.** A chunk's closure observes exactly
+//!   the inputs it would see under sequential execution; the combinators
+//!   never reassociate caller arithmetic. Callers that reduce across
+//!   chunks must pick a *fixed* chunk size (independent of the worker
+//!   count) to keep reductions deterministic — see `Conv1d::backward`.
+//! - **No nested oversubscription.** A combinator called from inside a
+//!   ds-par worker (e.g. per-batch conv parallelism inside an ensemble
+//!   member fan-out) runs sequentially on that worker.
+//!
+//! ## Configuration
+//!
+//! `DS_PAR_THREADS` selects the worker count: unset → all available
+//! cores, `0` or `1` → sequential fallback, `n` → `n` workers.
+//! [`set_threads`] overrides programmatically (benches and the
+//! determinism property tests flip between sequential and parallel).
+//!
+//! ## Observability
+//!
+//! With `DS_OBS=summary|trace`, dispatches record a `par.dispatch` span
+//! on the calling thread (total fan-out wall time including spawn/join
+//! overhead) and every chunk records a `par.chunk` span on its worker, so
+//! `par.dispatch − Σ par.chunk / workers` reads as thread-pool overhead.
+//! Counters `par.chunks` and `par.seq_chunks` split parallel-dispatched
+//! from sequentially executed chunks.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable selecting the worker count (`0`/`1` = sequential).
+pub const ENV_VAR: &str = "DS_PAR_THREADS";
+
+/// Upper bound on the worker count (a typo like `DS_PAR_THREADS=1e9`
+/// parses as an error and falls back, but `999999` should not OOM).
+const MAX_THREADS: usize = 256;
+
+const UNSET: usize = usize::MAX;
+
+/// Cached worker count; `UNSET` until first resolution.
+static THREADS: AtomicUsize = AtomicUsize::new(UNSET);
+
+thread_local! {
+    /// Nesting depth: > 0 while executing inside a ds-par chunk.
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn resolve_env() -> usize {
+    match std::env::var(ENV_VAR) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.clamp(1, MAX_THREADS),
+            Err(_) => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+/// The configured worker count (≥ 1; 1 means every combinator runs
+/// sequentially). Resolves `DS_PAR_THREADS` on first call and caches.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        UNSET => {
+            let resolved = resolve_env();
+            THREADS.store(resolved, Ordering::Relaxed);
+            resolved
+        }
+        n => n,
+    }
+}
+
+/// Overrides the worker count for the rest of the process. `Some(0)` and
+/// `Some(1)` force the sequential fallback; `None` re-resolves
+/// `DS_PAR_THREADS` on the next [`threads`] call.
+pub fn set_threads(n: Option<usize>) {
+    let value = match n {
+        Some(n) => n.clamp(1, MAX_THREADS),
+        None => UNSET,
+    };
+    THREADS.store(value, Ordering::Relaxed);
+}
+
+/// Whether the current thread is already inside a ds-par chunk (nested
+/// combinator calls run sequentially).
+pub fn in_worker() -> bool {
+    DEPTH.with(|d| d.get() > 0)
+}
+
+/// RAII depth marker for a lane of chunks.
+struct LaneGuard;
+
+impl LaneGuard {
+    fn enter() -> LaneGuard {
+        DEPTH.with(|d| d.set(d.get() + 1));
+        LaneGuard
+    }
+}
+
+impl Drop for LaneGuard {
+    fn drop(&mut self) {
+        DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Worker count to use for `nchunks` independent chunks.
+fn workers_for(nchunks: usize) -> usize {
+    if nchunks <= 1 || in_worker() {
+        1
+    } else {
+        threads().min(nchunks)
+    }
+}
+
+/// Core executor: applies `f(index, item)` to every pre-built work item,
+/// returning results in item order. Items are assigned to workers
+/// round-robin; worker 0 is the calling thread.
+fn run_indexed<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, I) -> R + Sync,
+{
+    let n = items.len();
+    let w = workers_for(n);
+    if w <= 1 {
+        ds_obs::counter_add("par.seq_chunks", n as u64);
+        let guard = LaneGuard::enter();
+        let out = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+        drop(guard);
+        return out;
+    }
+    let _dispatch = ds_obs::span!("par.dispatch");
+    ds_obs::counter_add("par.chunks", n as u64);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut lanes: Vec<Vec<(usize, I, &mut Option<R>)>> = Vec::with_capacity(w);
+    lanes.resize_with(w, Vec::new);
+    for (i, (item, slot)) in items.into_iter().zip(slots.iter_mut()).enumerate() {
+        lanes[i % w].push((i, item, slot));
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut lanes = lanes.into_iter();
+        let own = lanes.next().expect("at least one lane");
+        for lane in lanes {
+            std::thread::Builder::new()
+                .name("ds-par".to_string())
+                .spawn_scoped(scope, move || run_lane(lane, f))
+                .expect("spawning a ds-par worker");
+        }
+        run_lane(own, f);
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every chunk ran"))
+        .collect()
+}
+
+fn run_lane<I, R, F>(lane: Vec<(usize, I, &mut Option<R>)>, f: &F)
+where
+    F: Fn(usize, I) -> R,
+{
+    let _guard = LaneGuard::enter();
+    for (i, item, slot) in lane {
+        let _span = ds_obs::span!("par.chunk");
+        *slot = Some(f(i, item));
+    }
+}
+
+/// The half-open index range of chunk `i` when `n` items are split into
+/// chunks of `chunk` (the last chunk may be short).
+#[inline]
+fn chunk_range(i: usize, chunk: usize, n: usize) -> Range<usize> {
+    let lo = i * chunk;
+    lo..((lo + chunk).min(n))
+}
+
+/// Splits `0..n` into chunks of `chunk` indices and applies
+/// `f(chunk_index, index_range)` to each, in parallel, returning results
+/// in chunk order. `chunk` is clamped to ≥ 1; `n == 0` yields no chunks.
+pub fn par_ranges<R, F>(n: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, Range<usize>) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    let nchunks = n.div_ceil(chunk);
+    let ranges: Vec<Range<usize>> = (0..nchunks).map(|i| chunk_range(i, chunk, n)).collect();
+    run_indexed(ranges, f)
+}
+
+/// Applies `f(index)` to every index in `0..n`, `chunk` indices per task.
+/// Purely for side effects through `Sync` state; results are dropped.
+pub fn par_for<F>(n: usize, chunk: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    par_ranges(n, chunk, |_, range| {
+        for i in range {
+            f(i);
+        }
+    });
+}
+
+/// Maps `f(index, &item)` over a slice with explicit chunking, returning
+/// results in input order. Chunking never changes results (each item is
+/// mapped independently); it only sets the task granularity.
+pub fn par_map_chunked<T, R, F>(items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let per_chunk: Vec<Vec<R>> = par_ranges(items.len(), chunk, |_, range| {
+        range.map(|i| f(i, &items[i])).collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Maps `f(index, &item)` over a slice, splitting items evenly across the
+/// configured workers. Results come back in input order.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let chunk = items.len().div_ceil(threads().max(1)).max(1);
+    par_map_chunked(items, chunk, f)
+}
+
+/// Splits `data` into disjoint mutable chunks of `chunk_len` elements
+/// (the last may be short) and applies `f(chunk_index, chunk)` to each in
+/// parallel, returning the per-chunk results in chunk order.
+///
+/// This is the write-side primitive: batch rows of a tensor are disjoint
+/// `chunk_len = channels * len` slices, so conv forward/backward can fill
+/// them concurrently without locks. Callers that *reduce* the returned
+/// values must keep `chunk_len` fixed (never derived from [`threads`]) so
+/// the reduction tree is identical under any worker count.
+pub fn par_chunks_map_mut<T, R, F>(data: &mut [T], chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let chunks: Vec<&mut [T]> = data.chunks_mut(chunk_len).collect();
+    run_indexed(chunks, f)
+}
+
+/// [`par_chunks_map_mut`] for pure side-effect fills (results dropped).
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks_map_mut(data, chunk_len, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the global thread override.
+    static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(Some(n));
+        let out = f();
+        set_threads(None);
+        out
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        for w in [1usize, 2, 3, 8] {
+            let out = with_threads(w, || {
+                let items: Vec<u64> = (0..57).collect();
+                par_map(&items, |i, &x| x * 2 + i as u64)
+            });
+            assert_eq!(out, (0..57).map(|x| x * 3).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn par_ranges_covers_everything_once() {
+        for chunk in [1usize, 3, 7, 100] {
+            let ranges = with_threads(4, || par_ranges(23, chunk, |_, r| r));
+            let mut seen = [false; 23];
+            for r in ranges {
+                for i in r {
+                    assert!(!seen[i], "index {i} covered twice");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn par_for_runs_every_index() {
+        let hits = AtomicU64::new(0);
+        with_threads(3, || {
+            par_for(100, 9, |i| {
+                hits.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn par_chunks_mut_fills_disjoint_slices() {
+        let mut data = vec![0u32; 26];
+        with_threads(4, || {
+            par_chunks_mut(&mut data, 8, |ci, chunk| {
+                for (j, v) in chunk.iter_mut().enumerate() {
+                    *v = (ci * 100 + j) as u32;
+                }
+            })
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[7], 7);
+        assert_eq!(data[8], 100);
+        assert_eq!(data[24], 300);
+        assert_eq!(data[25], 301);
+    }
+
+    #[test]
+    fn par_chunks_map_mut_returns_in_chunk_order() {
+        let mut data = vec![1.0f32; 10];
+        let sums = with_threads(2, || {
+            par_chunks_map_mut(&mut data, 4, |ci, chunk| (ci, chunk.len()))
+        });
+        assert_eq!(sums, vec![(0, 4), (1, 4), (2, 2)]);
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially() {
+        let out = with_threads(4, || {
+            par_ranges(4, 1, |_, r| {
+                assert!(in_worker());
+                // A nested dispatch must not spawn (it would deadlock no
+                // one, but oversubscribes); it still computes correctly.
+                let inner: Vec<usize> = par_ranges(3, 1, |_, ir| ir.start);
+                (r.start, inner)
+            })
+        });
+        assert_eq!(out.len(), 4);
+        for (i, (start, inner)) in out.iter().enumerate() {
+            assert_eq!(*start, i);
+            assert_eq!(*inner, vec![0, 1, 2]);
+        }
+        assert!(!in_worker());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = with_threads(4, || par_map(&[] as &[u8], |_, &x| x));
+        assert!(out.is_empty());
+        assert_eq!(with_threads(4, || par_ranges(0, 5, |_, _| 1u8)), vec![]);
+    }
+
+    #[test]
+    fn env_parsing_clamps() {
+        // Direct resolution logic (the cache itself is process-global).
+        assert_eq!(UNSET, usize::MAX);
+        assert!(default_threads() >= 1);
+        let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(Some(0));
+        assert_eq!(threads(), 1);
+        set_threads(Some(100_000));
+        assert_eq!(threads(), MAX_THREADS);
+        set_threads(None);
+        assert!(threads() >= 1);
+        set_threads(None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the ds-par combinators: for any worker count and
+//! any chunk size, outputs are bit-identical to the sequential path and
+//! every index is visited exactly once. All tests mutate the process-wide
+//! worker override, so they serialize through `THREAD_LOCK`.
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    ds_par::set_threads(Some(n));
+    let out = f();
+    ds_par::set_threads(None);
+    out
+}
+
+/// A float map whose result depends on position (catches any ordering or
+/// index-assignment bug, not just coverage bugs).
+fn weigh(i: usize, x: f32) -> f32 {
+    (x * 1.000_1 + i as f32 * 0.375).sin()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_map_chunked_matches_sequential(
+        values in prop::collection::vec(-1.0e3f32..1.0e3, 0..120),
+        workers in 0usize..9,
+        chunk in 1usize..40,
+    ) {
+        let expected: Vec<f32> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| weigh(i, x))
+            .collect();
+        let got = with_threads(workers, || {
+            ds_par::par_map_chunked(&values, chunk, |i, &x| weigh(i, x))
+        });
+        // Bit-identical, not approximately equal.
+        prop_assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            expected.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        );
+    }
+
+    #[test]
+    fn par_ranges_partitions_exactly(
+        n in 0usize..300,
+        workers in 0usize..9,
+        chunk in 1usize..50,
+    ) {
+        let ranges = with_threads(workers, || ds_par::par_ranges(n, chunk, |_, r| r));
+        // Ranges are contiguous, ordered, and cover 0..n exactly.
+        let mut next = 0usize;
+        for r in &ranges {
+            prop_assert_eq!(r.start, next);
+            prop_assert!(r.end > r.start);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n);
+    }
+
+    #[test]
+    fn par_chunks_map_mut_writes_and_returns_in_order(
+        n in 0usize..200,
+        workers in 0usize..9,
+        chunk in 1usize..33,
+    ) {
+        let mut data = vec![0u64; n];
+        let sums = with_threads(workers, || {
+            ds_par::par_chunks_map_mut(&mut data, chunk, |ci, c| {
+                for (j, v) in c.iter_mut().enumerate() {
+                    *v = (ci * 1000 + j) as u64;
+                }
+                c.iter().sum::<u64>()
+            })
+        });
+        prop_assert_eq!(sums.len(), n.div_ceil(chunk.max(1)));
+        for (i, &v) in data.iter().enumerate() {
+            let (ci, j) = (i / chunk.max(1), i % chunk.max(1));
+            prop_assert_eq!(v, (ci * 1000 + j) as u64);
+        }
+    }
+
+    #[test]
+    fn par_for_touches_each_index_once(
+        n in 0usize..256,
+        workers in 0usize..9,
+        chunk in 1usize..64,
+    ) {
+        let hits: Vec<std::sync::atomic::AtomicU8> =
+            (0..n).map(|_| std::sync::atomic::AtomicU8::new(0)).collect();
+        with_threads(workers, || {
+            ds_par::par_for(n, chunk, |i| {
+                hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            })
+        });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(std::sync::atomic::Ordering::Relaxed), 1, "index {}", i);
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! - [`app`] — the DeviceScope terminal application.
 //! - [`bench`] — the experiment harness (Figure 3, benchmark grid, claims,
 //!   ablations).
+//! - [`par`] — the data-parallel substrate behind batched inference.
 
 pub use ds_app as app;
 pub use ds_baselines as baselines;
@@ -22,4 +23,5 @@ pub use ds_camal as camal;
 pub use ds_datasets as datasets;
 pub use ds_metrics as metrics;
 pub use ds_neural as neural;
+pub use ds_par as par;
 pub use ds_timeseries as timeseries;

@@ -1,0 +1,107 @@
+//! The ds-par contract, checked end to end: for ANY worker count, every
+//! parallel inference path produces output **bit-identical** to the
+//! sequential path. Chunk boundaries in the hot paths are fixed (conv
+//! rows per task from the MAC budget, `WINDOW_CHUNK` windows per
+//! localization task) and never derived from the worker count, so the
+//! only thing threads change is wall time.
+//!
+//! All tests flip the process-wide worker override, so they serialize
+//! through one lock.
+
+use devicescope::camal::localizer::localize_batch;
+use devicescope::camal::{CamalConfig, LocalizerConfig, ResNetEnsemble};
+use devicescope::neural::conv::Conv1d;
+use devicescope::neural::tensor::Tensor;
+use devicescope::par;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` once per worker count in `0, 2, 3, 8` (0 = sequential
+/// fallback) and return the outputs next to the 1-worker reference.
+fn across_worker_counts<R>(f: impl Fn() -> R) -> (R, Vec<(usize, R)>) {
+    let _guard = THREAD_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    par::set_threads(Some(1));
+    let reference = f();
+    let runs = [0usize, 2, 3, 8]
+        .into_iter()
+        .map(|w| {
+            par::set_threads(Some(w));
+            (w, f())
+        })
+        .collect();
+    par::set_threads(None);
+    (reference, runs)
+}
+
+fn bits(values: &[f32]) -> Vec<u32> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Conv1d forward: the register-blocked, row-fanned kernel is exact.
+    #[test]
+    fn conv_forward_is_bit_identical_across_worker_counts(
+        values in prop::collection::vec(-2.0f32..2.0, 1024..1025),
+        kernel in prop::sample::select(vec![1usize, 3, 5, 7, 9, 15, 11]),
+        batch in 1usize..5,
+    ) {
+        let conv = Conv1d::new(4, 8, kernel, 11);
+        let l = 256 / batch; // ≥ 51 ≥ any kernel in the set
+        let x = Tensor::from_data(batch, 4, l, values[..batch * 4 * l].to_vec());
+        let (reference, runs) = across_worker_counts(|| conv.infer(&x));
+        for (w, run) in runs {
+            prop_assert_eq!(bits(&reference.data), bits(&run.data), "workers = {}", w);
+        }
+    }
+
+    /// Ensemble probability: member fan-out never reorders or perturbs.
+    #[test]
+    fn ensemble_probability_is_bit_identical_across_worker_counts(
+        seed_vals in prop::collection::vec(0.0f32..1500.0, 1280..1281),
+    ) {
+        let ensemble = ResNetEnsemble::untrained(&CamalConfig::fast_test());
+        let windows: Vec<Vec<f32>> =
+            seed_vals.chunks(64).map(|c| c.to_vec()).collect();
+        let x = Tensor::from_windows(&windows);
+        let (reference, runs) = across_worker_counts(|| {
+            let outputs = ensemble.predict(&x);
+            ResNetEnsemble::ensemble_probability(&outputs)
+        });
+        for (w, run) in runs {
+            prop_assert_eq!(bits(&reference), bits(&run), "workers = {}", w);
+        }
+    }
+
+    /// End-to-end localization masks: the full pipeline (normalize →
+    /// ensemble → CAM → attention → status) is exact under window fan-out.
+    #[test]
+    fn localization_masks_are_bit_identical_across_worker_counts(
+        seed_vals in prop::collection::vec(0.0f32..2500.0, 960..961),
+    ) {
+        let ensemble = ResNetEnsemble::untrained(&CamalConfig::fast_test());
+        let cfg = LocalizerConfig {
+            gate_on_detection: false,
+            ..LocalizerConfig::default()
+        };
+        let windows: Vec<Vec<f32>> =
+            seed_vals.chunks(48).map(|c| c.to_vec()).collect();
+        let refs: Vec<&[f32]> = windows.iter().map(|w| w.as_slice()).collect();
+        let (reference, runs) = across_worker_counts(|| localize_batch(&ensemble, &refs, &cfg));
+        for (w, run) in runs {
+            prop_assert_eq!(reference.len(), run.len());
+            for (a, b) in reference.iter().zip(&run) {
+                prop_assert_eq!(bits(&a.cam), bits(&b.cam), "workers = {}", w);
+                prop_assert_eq!(&a.status, &b.status, "workers = {}", w);
+                prop_assert_eq!(
+                    a.detection.probability.to_bits(),
+                    b.detection.probability.to_bits(),
+                    "workers = {}", w
+                );
+            }
+        }
+    }
+}
