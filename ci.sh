@@ -28,7 +28,14 @@ cargo test -q
 echo "==> perf: cargo bench --no-run (benches stay compilable)"
 cargo bench --workspace --no-run
 
-echo "==> perf: seq-vs-par smoke (writes results/BENCH_perf.json)"
-cargo run -q --release -p ds-bench --bin perf -- --smoke
+echo "==> perf: seq-vs-par smoke at 2 workers (incl. deterministic training)"
+smoke_out="target/ci_perf_smoke.json"
+DS_PAR_THREADS=2 cargo run -q --release -p ds-bench --bin perf -- --smoke --out "$smoke_out"
+grep -q '"name": *"train_epoch"' "$smoke_out" \
+    || { echo "ci: perf smoke is missing the train_epoch case" >&2; exit 1; }
+if grep -q '"bit_identical": *false' "$smoke_out"; then
+    echo "ci: perf smoke reports a bit-identity violation" >&2
+    exit 1
+fi
 
 echo "ci: all checks passed"

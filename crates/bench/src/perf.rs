@@ -2,7 +2,11 @@
 //!
 //! Each case runs the same workload twice — once pinned to one worker
 //! (`ds_par::set_threads(Some(1))`) and once on the configured team — and
-//! records wall time, throughput in elements/sec, and the speedup. Before
+//! records wall time, throughput in elements/sec, and the speedup. The
+//! paths are timed with interleaved median-of-k sampling: iterations
+//! alternate seq/par so host-load drift hits both equally, and each path
+//! is scored by its median observed iteration, which shrugs off
+//! interference spikes without rewarding one lucky sample. Before
 //! timing, the two paths' outputs are compared **bit for bit**: the
 //! substrate's contract is that parallelism never changes numerics, and
 //! this harness enforces it on every run (a report with
@@ -17,21 +21,26 @@ use ds_camal::localizer::localize_batch;
 use ds_camal::{CamalConfig, LocalizerConfig, ResNetEnsemble};
 use ds_neural::conv::Conv1d;
 use ds_neural::tensor::Tensor;
+use ds_neural::train::train_classifier_reference;
+use ds_neural::VisitParams;
 use serde::Serialize;
 use std::time::Instant;
 
 /// One sequential-vs-parallel measurement.
 #[derive(Debug, Clone, Serialize)]
 pub struct PerfCase {
-    /// Workload name (`conv_forward`, `ensemble_predict`, `e2e_localize`).
+    /// Workload name (`conv_forward`, `ensemble_predict`, `e2e_localize`,
+    /// `train_epoch`).
     pub name: String,
     /// Elements produced per iteration (output samples of the workload).
     pub elements_per_iter: u64,
     /// Timed iterations per path.
     pub iters: u64,
-    /// Sequential wall time for all iterations, seconds.
+    /// Sequential wall time for all iterations, seconds, projected from
+    /// the median observed iteration (see the module docs).
     pub seq_secs: f64,
-    /// Parallel wall time for all iterations, seconds.
+    /// Parallel wall time for all iterations, seconds, projected from
+    /// the median observed iteration (see the module docs).
     pub par_secs: f64,
     /// Sequential throughput, elements per second.
     pub seq_elements_per_sec: f64,
@@ -87,11 +96,9 @@ impl PerfScale {
     }
 }
 
-fn time_iters<R>(iters: usize, mut f: impl FnMut() -> R) -> f64 {
+fn time_once<R>(mut f: impl FnMut() -> R) -> f64 {
     let start = Instant::now();
-    for _ in 0..iters {
-        std::hint::black_box(f());
-    }
+    std::hint::black_box(f());
     start.elapsed().as_secs_f64()
 }
 
@@ -102,15 +109,38 @@ fn seq<R>(f: impl FnOnce() -> R) -> R {
     out
 }
 
-fn case(
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Time the two paths with interleaved median-of-k sampling: the paths
+/// alternate iteration by iteration (so slow host-load drift hits both
+/// equally instead of whichever block ran second), and each path is
+/// scored by its median observed iteration — robust to interference
+/// spikes without rewarding one lucky sample. Returns projected totals
+/// `(median_seq × iters, median_par × iters)`.
+fn measure(iters: usize, mut seq_work: impl FnMut(), mut par_work: impl FnMut()) -> (f64, f64) {
+    let mut seq_samples = Vec::with_capacity(iters);
+    let mut par_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        seq_samples.push(seq(|| time_once(&mut seq_work)));
+        par_samples.push(time_once(&mut par_work));
+    }
+    (
+        (median(&mut seq_samples) * iters as f64).max(f64::MIN_POSITIVE),
+        (median(&mut par_samples) * iters as f64).max(f64::MIN_POSITIVE),
+    )
+}
+
+fn build_case(
     name: &str,
     elements_per_iter: u64,
     iters: usize,
     bit_identical: bool,
-    mut work: impl FnMut(),
+    seq_secs: f64,
+    par_secs: f64,
 ) -> PerfCase {
-    let seq_secs = seq(|| time_iters(iters, &mut work)).max(f64::MIN_POSITIVE);
-    let par_secs = time_iters(iters, &mut work).max(f64::MIN_POSITIVE);
     let total = (elements_per_iter * iters as u64) as f64;
     PerfCase {
         name: name.to_string(),
@@ -123,6 +153,29 @@ fn case(
         speedup: seq_secs / par_secs,
         bit_identical,
     }
+}
+
+fn case(
+    name: &str,
+    elements_per_iter: u64,
+    iters: usize,
+    bit_identical: bool,
+    mut work: impl FnMut(),
+) -> PerfCase {
+    let mut seq_samples = Vec::with_capacity(iters);
+    let mut par_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        seq_samples.push(seq(|| time_once(&mut work)));
+        par_samples.push(time_once(&mut work));
+    }
+    build_case(
+        name,
+        elements_per_iter,
+        iters,
+        bit_identical,
+        (median(&mut seq_samples) * iters as f64).max(f64::MIN_POSITIVE),
+        (median(&mut par_samples) * iters as f64).max(f64::MIN_POSITIVE),
+    )
 }
 
 fn bits(values: &[f32]) -> Vec<u32> {
@@ -217,6 +270,109 @@ fn e2e_localize_case(scale: PerfScale) -> PerfCase {
     })
 }
 
+/// Deterministic parallel training of the paper's 4-member ensemble
+/// (k ∈ {5, 7, 9, 15}) for two epochs: members fan out across the worker
+/// team, layers split batches into fixed micro-batches, and gradients
+/// tree-reduce in slot order.
+///
+/// Unlike the inference cases, the sequential twin here is the preserved
+/// pre-workspace trainer: the legacy batching loop
+/// ([`train_classifier_reference`]: per-batch window clones and input
+/// re-allocation) with layer buffer reuse disabled
+/// (`workspace::set_buffer_reuse(false)`), reproducing the historical
+/// per-call allocation profile, pinned to one worker — i.e. the speedup
+/// reads as "what replacing the legacy sequential trainer with the
+/// zero-alloc data-parallel trainer buys". Bit-identity is checked three
+/// ways — legacy sequential, new sequential, new parallel — over every
+/// trained weight of every member plus the per-epoch losses, so the
+/// number also certifies that the allocation-free rewrite reproduces the
+/// legacy trainer exactly. (The corpus size is a multiple of the batch
+/// size so the legacy loop's dropped-singleton bug is not in play.)
+fn train_epoch_case(scale: PerfScale) -> PerfCase {
+    let mut cfg = CamalConfig {
+        channels: vec![4, 8],
+        ..CamalConfig::default()
+    };
+    cfg.train.epochs = 2;
+    cfg.train.batch_size = 4;
+    cfg.train.patience = None;
+    assert_eq!(
+        scale.batch % cfg.train.batch_size,
+        0,
+        "corpus must split evenly so legacy and fixed batching agree"
+    );
+    let windows: Vec<Vec<f32>> = (0..scale.batch)
+        .map(|w| {
+            (0..scale.window)
+                .map(|i| {
+                    let base = ((w * 17 + i) % 23) as f32 * 0.04;
+                    let burst = if w % 2 == 1 && i % 50 < 20 { 1.0 } else { 0.0 };
+                    base + burst
+                })
+                .collect()
+        })
+        .collect();
+    let labels: Vec<u8> = (0..scale.batch).map(|w| (w % 2) as u8).collect();
+    let fingerprint = |ensemble: &mut ResNetEnsemble, losses: &[Vec<f32>]| -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for member in ensemble.members_mut() {
+            member.visit_params(&mut |params, _| {
+                out.extend(params.iter().map(|v| v.to_bits()));
+            });
+        }
+        for epoch_losses in losses {
+            out.extend(epoch_losses.iter().map(|v| v.to_bits()));
+        }
+        out
+    };
+    let train_new = || {
+        let mut ensemble = ResNetEnsemble::untrained(&cfg);
+        let reports = ensemble.train(&windows, &labels, &cfg);
+        let losses: Vec<Vec<f32>> = reports.into_iter().map(|r| r.epoch_losses).collect();
+        fingerprint(&mut ensemble, &losses)
+    };
+    let train_legacy = || {
+        ds_neural::workspace::set_buffer_reuse(false);
+        let mut ensemble = ResNetEnsemble::untrained(&cfg);
+        let losses: Vec<Vec<f32>> = ensemble
+            .members_mut()
+            .iter_mut()
+            .enumerate()
+            .map(|(i, member)| {
+                let mut tc = cfg.train.clone();
+                tc.shuffle_seed = cfg.train.shuffle_seed.wrapping_add(i as u64);
+                train_classifier_reference(member, &windows, &labels, &tc).epoch_losses
+            })
+            .collect();
+        ds_neural::workspace::set_buffer_reuse(true);
+        fingerprint(&mut ensemble, &losses)
+    };
+    let legacy = seq(train_legacy);
+    let sequential = seq(train_new);
+    let parallel = train_new();
+    let identical = legacy == sequential && legacy == parallel;
+    assert!(identical, "train epoch: training paths diverged");
+    let (seq_secs, par_secs) = measure(
+        scale.iters,
+        || {
+            train_legacy();
+        },
+        || {
+            train_new();
+        },
+    );
+    // Elements: samples seen per run = windows × epochs × members.
+    let elements = (scale.batch * scale.window * cfg.train.epochs * cfg.kernel_sizes.len()) as u64;
+    build_case(
+        "train_epoch",
+        elements,
+        scale.iters,
+        identical,
+        seq_secs,
+        par_secs,
+    )
+}
+
 /// Run every case at `scale`; panics if any parallel path is not
 /// bit-identical to its sequential twin.
 pub fn run_suite(scale: PerfScale, smoke: bool) -> PerfReport {
@@ -228,6 +384,7 @@ pub fn run_suite(scale: PerfScale, smoke: bool) -> PerfReport {
             conv_forward_case(scale),
             ensemble_predict_case(scale),
             e2e_localize_case(scale),
+            train_epoch_case(scale),
         ],
     }
 }
@@ -279,7 +436,7 @@ mod tests {
             iters: 1,
         };
         let report = run_suite(tiny, true);
-        assert_eq!(report.cases.len(), 3);
+        assert_eq!(report.cases.len(), 4);
         for c in &report.cases {
             assert!(c.bit_identical, "{} diverged", c.name);
             assert!(c.seq_secs > 0.0 && c.par_secs > 0.0);
@@ -288,5 +445,6 @@ mod tests {
         let table = render(&report);
         assert!(table.contains("conv_forward"));
         assert!(table.contains("e2e_localize"));
+        assert!(table.contains("train_epoch"));
     }
 }

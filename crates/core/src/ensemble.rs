@@ -68,6 +68,11 @@ impl ResNetEnsemble {
         &self.members
     }
 
+    /// Mutably borrow the members (weight inspection in benches/tests).
+    pub fn members_mut(&mut self) -> &mut [ResNet] {
+        &mut self.members
+    }
+
     /// Drop every member except those at `keep` (selection step). Members
     /// are moved out of the old vector, not cloned — a ResNet owns all of
     /// its weight/optimizer buffers, so cloning here used to double the
@@ -84,9 +89,15 @@ impl ResNetEnsemble {
             .collect();
     }
 
-    /// Train every member on the same `(windows, labels)` corpus, in
-    /// parallel (one OS thread per member via `crossbeam::scope`). Members
-    /// differ in kernel size and seed, exactly as in the paper.
+    /// Train every member on the same `(windows, labels)` corpus,
+    /// concurrently across the ds-par worker team (one task per member).
+    /// Members differ in kernel size and seed, exactly as in the paper;
+    /// each owns an independent shuffle RNG, so member-parallel training
+    /// is deterministic by construction. Inside a worker, nested ds-par
+    /// calls (the layer micro-batch fan-outs) run sequentially, so member
+    /// parallelism never oversubscribes the team the way the previous
+    /// one-OS-thread-per-member scheme did — and `DS_PAR_THREADS=1`
+    /// degrades to a plain sequential loop over members.
     ///
     /// Returns one [`TrainReport`] per member.
     pub fn train(
@@ -96,33 +107,24 @@ impl ResNetEnsemble {
         config: &CamalConfig,
     ) -> Vec<TrainReport> {
         let base_cfg = &config.train;
-        let mut reports: Vec<Option<TrainReport>> = vec![None; self.members.len()];
-        crossbeam::scope(|scope| {
-            for (i, (member, slot)) in self.members.iter_mut().zip(reports.iter_mut()).enumerate() {
-                let mut cfg = base_cfg.clone();
-                cfg.shuffle_seed = base_cfg.shuffle_seed.wrapping_add(i as u64);
-                scope.spawn(move |_| {
-                    // Worker threads root their own span stack, so each
-                    // member's wall time aggregates under this path.
-                    let _span = ds_obs::span!("camal.train_member");
-                    let report = train_classifier(member, windows, labels, &cfg);
-                    ds_obs::event!(
-                        "ensemble_member_trained",
-                        member = i,
-                        kernel = member.kernel(),
-                        epochs = report.epoch_losses.len(),
-                        train_accuracy = report.train_accuracy,
-                        early_stopped = report.early_stopped,
-                    );
-                    *slot = Some(report);
-                });
-            }
+        ds_par::par_chunks_map_mut(&mut self.members, 1, |i, chunk| {
+            let member = &mut chunk[0];
+            let mut cfg = base_cfg.clone();
+            cfg.shuffle_seed = base_cfg.shuffle_seed.wrapping_add(i as u64);
+            // Worker threads root their own span stack, so each member's
+            // wall time aggregates under this path.
+            let _span = ds_obs::span!("train.member");
+            let report = train_classifier(member, windows, labels, &cfg);
+            ds_obs::event!(
+                "ensemble_member_trained",
+                member = i,
+                kernel = member.kernel(),
+                epochs = report.epoch_losses.len(),
+                train_accuracy = report.train_accuracy,
+                early_stopped = report.early_stopped,
+            );
+            report
         })
-        .expect("ensemble training thread panicked");
-        reports
-            .into_iter()
-            .map(|r| r.expect("every member trains"))
-            .collect()
     }
 
     /// Steps 1 & 3: run every member over a `[B, 1, L]` batch, collecting

@@ -17,25 +17,41 @@ impl ReLU {
         ReLU::default()
     }
 
+    /// Elements per parallel task for the element-wise fills. Fixed (never
+    /// derived from the worker count); since the operation is per-element,
+    /// any split is trivially bit-identical to the sequential pass.
+    const CHUNK: usize = 16 * 1024;
+
     /// Forward: `max(0, x)`; caches the activation mask when training.
+    /// The mask allocation is reused across steps.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         let mut y = x.clone();
         if train {
-            let mut mask = vec![false; x.data.len()];
-            for (i, v) in y.data.iter_mut().enumerate() {
-                if *v > 0.0 {
-                    mask[i] = true;
-                } else {
-                    *v = 0.0;
+            let mut mask = self
+                .mask
+                .take()
+                .filter(|_| crate::workspace::buffer_reuse())
+                .unwrap_or_default();
+            mask.clear();
+            mask.resize(x.data.len(), false);
+            ds_par::par_zip_chunks_mut(&mut y.data, &mut mask, Self::CHUNK, |_, ys, ms| {
+                for (v, m) in ys.iter_mut().zip(ms.iter_mut()) {
+                    if *v > 0.0 {
+                        *m = true;
+                    } else {
+                        *v = 0.0;
+                    }
                 }
-            }
+            });
             self.mask = Some(mask);
         } else {
-            for v in y.data.iter_mut() {
-                if *v < 0.0 {
-                    *v = 0.0;
+            ds_par::par_chunks_mut(&mut y.data, Self::CHUNK, |_, ys| {
+                for v in ys.iter_mut() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
                 }
-            }
+            });
         }
         y
     }
@@ -48,11 +64,14 @@ impl ReLU {
             .expect("ReLU::backward requires forward(train=true) first");
         assert_eq!(mask.len(), grad_out.data.len());
         let mut g = grad_out.clone();
-        for (v, &m) in g.data.iter_mut().zip(mask.iter()) {
-            if !m {
-                *v = 0.0;
+        ds_par::par_chunks_mut(&mut g.data, Self::CHUNK, |ci, gs| {
+            let ms = &mask[ci * Self::CHUNK..ci * Self::CHUNK + gs.len()];
+            for (v, &m) in gs.iter_mut().zip(ms) {
+                if !m {
+                    *v = 0.0;
+                }
             }
-        }
+        });
         g
     }
 }

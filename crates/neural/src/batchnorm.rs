@@ -58,52 +58,87 @@ impl BatchNorm1d {
     }
 
     /// Forward pass; training mode uses and updates batch statistics.
+    ///
+    /// Training runs in two phases. Phase A computes the per-channel batch
+    /// statistics **once over the full batch, sequentially** — the f64
+    /// accumulation order is the contract that keeps training bit-identical
+    /// at any worker count, so it never splits. Phase B broadcasts those
+    /// statistics to fixed-height micro-batches of rows that normalize in
+    /// parallel; each output element depends only on its own input and the
+    /// phase-A statistics, so the fan-out cannot change a single bit.
+    /// The `x_hat` cache tensor is recycled from the previous step when the
+    /// shape matches (it is only consumed by `backward`, which returns it
+    /// as the input gradient).
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
         assert_eq!(x.channels, self.channels, "batchnorm channel mismatch");
+        if !train {
+            return self.infer(x);
+        }
         let (b, c, l) = x.shape();
         let n = (b * l) as f32;
         let mut y = x.zeros_like();
-        if train {
-            let mut x_hat = x.zeros_like();
-            let mut inv_std = vec![0.0f32; c];
-            #[allow(clippy::needless_range_loop)] // ci also indexes gamma/beta/running stats
-            for ci in 0..c {
-                let mut sum = 0.0f64;
-                for bi in 0..b {
-                    for &v in x.row(bi, ci) {
-                        sum += v as f64;
-                    }
-                }
-                let mean = (sum / n as f64) as f32;
-                let mut var_acc = 0.0f64;
-                for bi in 0..b {
-                    for &v in x.row(bi, ci) {
-                        let d = v - mean;
-                        var_acc += (d * d) as f64;
-                    }
-                }
-                let var = (var_acc / n as f64) as f32;
-                let istd = 1.0 / (var + self.eps).sqrt();
-                inv_std[ci] = istd;
-                self.running_mean[ci] =
-                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
-                self.running_var[ci] =
-                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
-                let (g, be) = (self.gamma[ci], self.beta[ci]);
-                for bi in 0..b {
-                    let xr = x.row(bi, ci);
-                    let start = (bi * c + ci) * l;
-                    for (t, &v) in xr.iter().enumerate() {
-                        let xh = (v - mean) * istd;
-                        x_hat.data[start + t] = xh;
-                        y.data[start + t] = g * xh + be;
-                    }
+        let reusable = self
+            .cache
+            .take()
+            .filter(|_| crate::workspace::buffer_reuse());
+        let (mut x_hat, mut inv_std) = match reusable {
+            Some(cache) if cache.x_hat.shape() == x.shape() => (cache.x_hat, cache.inv_std),
+            _ => (x.zeros_like(), vec![0.0f32; c]),
+        };
+        inv_std.resize(c, 0.0);
+        let mut means = vec![0.0f32; c];
+        // Phase A: full-batch channel statistics + running-stat update.
+        #[allow(clippy::needless_range_loop)] // ci also indexes gamma/beta/running stats
+        for ci in 0..c {
+            let mut sum = 0.0f64;
+            for bi in 0..b {
+                for &v in x.row(bi, ci) {
+                    sum += v as f64;
                 }
             }
-            self.cache = Some(Cache { x_hat, inv_std });
-        } else {
-            return self.infer(x);
+            let mean = (sum / n as f64) as f32;
+            let mut var_acc = 0.0f64;
+            for bi in 0..b {
+                for &v in x.row(bi, ci) {
+                    let d = v - mean;
+                    var_acc += (d * d) as f64;
+                }
+            }
+            let var = (var_acc / n as f64) as f32;
+            means[ci] = mean;
+            inv_std[ci] = 1.0 / (var + self.eps).sqrt();
+            self.running_mean[ci] =
+                (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+            self.running_var[ci] =
+                (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
         }
+        // Phase B: normalize micro-batches of rows on the worker team.
+        let micro = crate::workspace::MICRO_ROWS;
+        let (gamma, beta) = (&self.gamma, &self.beta);
+        let (means, inv_std_ref) = (&means, &inv_std);
+        ds_par::par_zip_chunks_mut(
+            &mut x_hat.data,
+            &mut y.data,
+            micro * l,
+            |chunk, xh_rows, y_rows| {
+                let _span = ds_obs::span!("train.microbatch");
+                let row0 = chunk * micro;
+                for (j, (xh_row, y_row)) in
+                    xh_rows.chunks_mut(l).zip(y_rows.chunks_mut(l)).enumerate()
+                {
+                    let (bi, ci) = ((row0 + j) / c, (row0 + j) % c);
+                    let (mean, istd) = (means[ci], inv_std_ref[ci]);
+                    let (g, be) = (gamma[ci], beta[ci]);
+                    for ((xh, yv), &v) in xh_row.iter_mut().zip(y_row.iter_mut()).zip(x.row(bi, ci))
+                    {
+                        let h = (v - mean) * istd;
+                        *xh = h;
+                        *yv = g * h + be;
+                    }
+                }
+            },
+        );
+        self.cache = Some(Cache { x_hat, inv_std });
         y
     }
 
@@ -128,23 +163,29 @@ impl BatchNorm1d {
     }
 
     /// Backward pass (training statistics), returning the input gradient.
+    ///
+    /// Mirrors the forward split: phase A reduces the channel sums over the
+    /// full batch sequentially (same f64 accumulation order as ever), then
+    /// phase B rewrites the cached `x_hat` **in place** into the input
+    /// gradient across fixed-height micro-batches — the cache is consumed,
+    /// so the backward pass allocates nothing.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self
+        let Cache { mut x_hat, inv_std } = self
             .cache
-            .as_ref()
+            .take()
             .expect("BatchNorm1d::backward requires forward(train=true) first");
-        let x_hat = &cache.x_hat;
         assert_eq!(grad_out.shape(), x_hat.shape());
         let (b, c, l) = x_hat.shape();
         let n = (b * l) as f32;
-        let mut grad_in = x_hat.zeros_like();
+        let mut mean_g = vec![0.0f32; c];
+        let mut mean_gx = vec![0.0f32; c];
+        // Phase A: channel-wise reductions over the full batch.
         for ci in 0..c {
-            // Channel-wise reductions.
             let mut sum_g = 0.0f64;
             let mut sum_gx = 0.0f64;
             for bi in 0..b {
                 let go = grad_out.row(bi, ci);
-                let xh = x_hat.row(bi, ci);
+                let xh = &x_hat.data[(bi * c + ci) * l..(bi * c + ci) * l + l];
                 for (gv, xv) in go.iter().zip(xh) {
                     sum_g += *gv as f64;
                     sum_gx += (*gv * *xv) as f64;
@@ -152,20 +193,29 @@ impl BatchNorm1d {
             }
             self.grad_beta[ci] += sum_g as f32;
             self.grad_gamma[ci] += sum_gx as f32;
-            let g = self.gamma[ci];
-            let istd = cache.inv_std[ci];
-            let mean_g = sum_g as f32 / n;
-            let mean_gx = sum_gx as f32 / n;
-            for bi in 0..b {
+            mean_g[ci] = sum_g as f32 / n;
+            mean_gx[ci] = sum_gx as f32 / n;
+        }
+        // Phase B: turn x_hat into grad_in, micro-batch parallel. Each
+        // element reads its own x_hat value before overwriting it, so the
+        // in-place rewrite is exact.
+        let micro = crate::workspace::MICRO_ROWS;
+        let (gamma, inv_std_ref) = (&self.gamma, &inv_std);
+        let (mean_g_ref, mean_gx_ref) = (&mean_g, &mean_gx);
+        ds_par::par_chunks_mut(&mut x_hat.data, micro * l, |chunk, rows| {
+            let _span = ds_obs::span!("train.microbatch");
+            let row0 = chunk * micro;
+            for (j, row) in rows.chunks_mut(l).enumerate() {
+                let (bi, ci) = ((row0 + j) / c, (row0 + j) % c);
+                let scale = gamma[ci] * inv_std_ref[ci];
+                let (mg, mgx) = (mean_g_ref[ci], mean_gx_ref[ci]);
                 let go = grad_out.row(bi, ci);
-                let xh = x_hat.row(bi, ci);
-                let start = (bi * c + ci) * l;
-                for t in 0..l {
-                    grad_in.data[start + t] = g * istd * (go[t] - mean_g - xh[t] * mean_gx);
+                for (xh, &gv) in row.iter_mut().zip(go) {
+                    *xh = scale * (gv - mg - *xh * mgx);
                 }
             }
-        }
-        grad_in
+        });
+        x_hat
     }
 }
 

@@ -191,33 +191,46 @@ impl Conv1d {
         let (_, _, l) = x.shape();
         let mut grad_in = x.zeros_like();
         let gi_stride = self.in_channels * l;
-        // Fixed chunk of batch rows. Input-gradient rows are disjoint per
-        // chunk; weight/bias gradients come back as per-chunk partials and
-        // are reduced below in chunk order, so the summation tree — hence
-        // the result — is identical for every worker count. The chunk size
-        // must therefore never track `ds_par::threads()`.
-        const ROWS_PER_CHUNK: usize = 4;
+        // Fixed micro-batch of batch rows. Input-gradient rows are disjoint
+        // per micro-batch; weight/bias gradients come back as per-slot
+        // partials and are reduced below in slot order, so the summation
+        // tree — hence the result — is identical for every worker count.
+        // The micro-batch height must therefore never track
+        // `ds_par::threads()`.
+        let micro = crate::workspace::MICRO_ROWS;
         let this = &*self;
-        let partials: Vec<(Vec<f32>, Vec<f32>)> = ds_par::par_chunks_map_mut(
-            &mut grad_in.data,
-            ROWS_PER_CHUNK * gi_stride,
-            |ci, gi_chunk| {
-                let mut gw = vec![0.0f32; this.weight.len()];
-                let mut gb = vec![0.0f32; this.out_channels];
-                let bi0 = ci * ROWS_PER_CHUNK;
+        let partials: Vec<(Vec<f32>, Vec<f32>)> =
+            ds_par::par_chunks_map_mut(&mut grad_in.data, micro * gi_stride, |ci, gi_chunk| {
+                let _span = ds_obs::span!("train.microbatch");
+                let mut gw = crate::workspace::take_buf(this.weight.len());
+                let mut gb = crate::workspace::take_buf(this.out_channels);
+                let bi0 = ci * micro;
                 for (j, gi_rows) in gi_chunk.chunks_mut(gi_stride).enumerate() {
                     this.backward_row(x, grad_out, bi0 + j, gi_rows, &mut gw, &mut gb, l);
                 }
                 (gw, gb)
-            },
-        );
-        for (gw, gb) in partials {
+            });
+        // Fold the per-slot partials in slot order (fixed-shape reduction),
+        // recycling every consumed scratch buffer back into the pool.
+        let _span = ds_obs::span!("train.reduce");
+        if let Some((gw, gb)) = ds_par::par_reduce(partials, |acc, p| {
+            for (a, v) in acc.0.iter_mut().zip(&p.0) {
+                *a += v;
+            }
+            for (a, v) in acc.1.iter_mut().zip(&p.1) {
+                *a += v;
+            }
+            crate::workspace::recycle_buf(p.0);
+            crate::workspace::recycle_buf(p.1);
+        }) {
             for (acc, v) in self.grad_weight.iter_mut().zip(&gw) {
                 *acc += v;
             }
             for (acc, v) in self.grad_bias.iter_mut().zip(&gb) {
                 *acc += v;
             }
+            crate::workspace::recycle_buf(gw);
+            crate::workspace::recycle_buf(gb);
         }
         grad_in
     }

@@ -28,6 +28,8 @@
 //! - [`optim`]: Adam and SGD with weight decay.
 //! - [`train`]: mini-batch training loop with shuffling, class weighting and
 //!   early stopping.
+//! - [`workspace`]: reused training buffers (input gather, scratch pools)
+//!   and the fixed micro-batch height shared by the parallel layer kernels.
 //! - [`cam`]: Class Activation Map extraction — `CAM_c(t) = Σ_k w_k^c f_k(t)`
 //!   — the mechanism CamAL builds on.
 //! - [`serialize`]: JSON weight persistence for trained models.
@@ -50,6 +52,7 @@ pub mod sample;
 pub mod serialize;
 pub mod tensor;
 pub mod train;
+pub mod workspace;
 
 pub use resnet::{ResNet, ResNetConfig};
 pub use tensor::{Matrix, Tensor};

@@ -7,11 +7,12 @@
 use crate::loss::softmax_cross_entropy;
 use crate::optim::Adam;
 use crate::resnet::ResNet;
-use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use crate::VisitParams;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::ops::Range;
 
 /// Hyper-parameters of a training run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -69,6 +70,26 @@ pub struct TrainReport {
     pub early_stopped: bool,
 }
 
+/// Split `0..n` into mini-batch ranges of `batch_size` (floored at 2 —
+/// batch norm needs more than one sample of statistics), merging a
+/// trailing singleton into the previous batch so every window trains.
+/// A corpus of exactly one window yields one singleton batch rather than
+/// nothing.
+pub fn batch_ranges(n: usize, batch_size: usize) -> Vec<Range<usize>> {
+    let bs = batch_size.max(2);
+    let mut ranges = Vec::with_capacity(n.div_ceil(bs));
+    let mut start = 0usize;
+    while start < n {
+        let mut end = (start + bs).min(n);
+        if n - end == 1 {
+            end = n;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
 /// Inverse-frequency class weights for binary labels, normalized to mean 1.
 pub fn inverse_frequency_weights(labels: &[u8]) -> [f32; 2] {
     let n = labels.len().max(1) as f32;
@@ -102,6 +123,9 @@ pub fn train_classifier(
     let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
     let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
     let mut order: Vec<usize> = (0..windows.len()).collect();
+    let ranges = batch_ranges(order.len(), cfg.batch_size);
+    let mut ws = Workspace::new();
+    let mut batch_labels: Vec<u8> = Vec::new();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
     let mut best = f32::INFINITY;
     let mut since_best = 0usize;
@@ -113,17 +137,15 @@ pub fn train_classifier(
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         let mut samples = 0usize;
-        for chunk in order.chunks(cfg.batch_size.max(2)) {
-            // Batch-norm needs more than one sample worth of statistics;
-            // merge a trailing singleton into nothing rather than crash.
-            if chunk.len() < 2 && order.len() >= 2 {
-                continue;
-            }
-            let batch: Vec<Vec<f32>> = chunk.iter().map(|&i| windows[i].clone()).collect();
-            let batch_labels: Vec<u8> = chunk.iter().map(|&i| labels[i]).collect();
-            let x = Tensor::from_windows(&batch);
+        for range in &ranges {
+            let chunk = &order[range.clone()];
+            // Gather the batch into the reused workspace tensor — no
+            // window clones, no fresh input allocation per step.
+            let x = ws.gather(windows, chunk);
+            batch_labels.clear();
+            batch_labels.extend(chunk.iter().map(|&i| labels[i]));
             net.zero_grad();
-            let logits = net.forward(&x, true);
+            let logits = net.forward(x, true);
             let (loss, grad) = softmax_cross_entropy(
                 &logits,
                 &batch_labels,
@@ -167,7 +189,87 @@ pub fn train_classifier(
         }
     }
 
-    // Final training accuracy (inference mode, batched to bound memory).
+    // Final training accuracy (inference mode, batched to bound memory,
+    // gathered through the same reused workspace buffer as training).
+    let mut correct = 0usize;
+    for chunk in (0..windows.len()).collect::<Vec<_>>().chunks(64) {
+        let x = ws.gather(windows, chunk);
+        let probs = net.predict_positive_proba(x);
+        for (j, &i) in chunk.iter().enumerate() {
+            let pred = u8::from(probs[j] > 0.5);
+            if pred == labels[i] {
+                correct += 1;
+            }
+        }
+    }
+    TrainReport {
+        epoch_losses,
+        train_accuracy: correct as f32 / windows.len() as f32,
+        early_stopped,
+    }
+}
+
+/// The pre-workspace training loop, preserved verbatim as a reference
+/// oracle: it clones every window into a fresh batch, re-allocates the
+/// input tensor per step, and silently drops a trailing singleton batch
+/// (the historical bug [`batch_ranges`] fixes). The perf harness times
+/// [`train_classifier`] against it, and the determinism tests assert the
+/// two produce bit-identical weights whenever no singleton is dropped.
+pub fn train_classifier_reference(
+    net: &mut ResNet,
+    windows: &[Vec<f32>],
+    labels: &[u8],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    use crate::tensor::Tensor;
+    assert!(!windows.is_empty(), "training requires at least one window");
+    assert_eq!(windows.len(), labels.len(), "window/label count mismatch");
+    let class_weights = cfg
+        .class_weighting
+        .then(|| inverse_frequency_weights(labels));
+    let mut opt = Adam::with_weight_decay(cfg.lr, cfg.weight_decay);
+    let mut rng = StdRng::seed_from_u64(cfg.shuffle_seed);
+    let mut order: Vec<usize> = (0..windows.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    let mut best = f32::INFINITY;
+    let mut since_best = 0usize;
+    let mut early_stopped = false;
+    for _epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size.max(2)) {
+            if chunk.len() < 2 && order.len() >= 2 {
+                continue;
+            }
+            let batch: Vec<Vec<f32>> = chunk.iter().map(|&i| windows[i].clone()).collect();
+            let batch_labels: Vec<u8> = chunk.iter().map(|&i| labels[i]).collect();
+            let x = Tensor::from_windows(&batch);
+            net.zero_grad();
+            let logits = net.forward(&x, true);
+            let (loss, grad) = softmax_cross_entropy(
+                &logits,
+                &batch_labels,
+                class_weights.as_ref().map(|w| &w[..]),
+            );
+            net.backward(&grad);
+            opt.step(net);
+            loss_sum += loss as f64;
+            batches += 1;
+        }
+        let epoch_loss = (loss_sum / batches.max(1) as f64) as f32;
+        epoch_losses.push(epoch_loss);
+        if epoch_loss + 1e-5 < best {
+            best = epoch_loss;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if cfg.patience.is_some_and(|p| since_best >= p) {
+                early_stopped = true;
+                break;
+            }
+        }
+    }
     let mut correct = 0usize;
     for chunk in (0..windows.len()).collect::<Vec<_>>().chunks(64) {
         let batch: Vec<Vec<f32>> = chunk.iter().map(|&i| windows[i].clone()).collect();
@@ -253,6 +355,30 @@ mod tests {
     }
 
     #[test]
+    fn batch_ranges_merges_trailing_singleton() {
+        assert_eq!(batch_ranges(16, 8), vec![0..8, 8..16]);
+        // A leftover single sample joins the previous batch instead of
+        // being dropped.
+        assert_eq!(batch_ranges(17, 8), vec![0..8, 8..17]);
+        assert_eq!(batch_ranges(9, 8), vec![0..9]);
+        // Degenerate corpora: one window trains alone; zero yields nothing.
+        assert_eq!(batch_ranges(1, 8), vec![0..1]);
+        assert!(batch_ranges(0, 8).is_empty());
+        // Batch size floors at 2 for batch-norm statistics.
+        assert_eq!(batch_ranges(5, 0), vec![0..2, 2..5]);
+    }
+
+    #[test]
+    fn odd_corpus_trains_every_window() {
+        // 17 windows with batch 8 used to drop the trailing singleton each
+        // epoch; now the last batch absorbs it and training stays finite.
+        let (windows, labels) = toy_dataset(17, 24);
+        let mut net = ResNet::new(ResNetConfig::tiny(3, 4));
+        let report = train_classifier(&mut net, &windows, &labels, &TrainConfig::fast());
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
     fn class_weights_inverse_frequency() {
         let w = inverse_frequency_weights(&[0, 0, 0, 1]);
         assert!((w[0] - 4.0 / 6.0).abs() < 1e-6);
@@ -271,6 +397,35 @@ mod tests {
             report.epoch_losses
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn workspace_trainer_matches_legacy_reference() {
+        use crate::VisitParams;
+        // On corpora with no trailing singleton batch the fixed loop and
+        // the preserved legacy loop are the same algorithm; the rewrite
+        // must reproduce it bit for bit.
+        let (windows, labels) = toy_dataset(16, 32);
+        let cfg = TrainConfig {
+            epochs: 2,
+            batch_size: 4,
+            patience: None,
+            ..TrainConfig::default()
+        };
+        let run = |reference: bool| {
+            let mut net = ResNet::new(ResNetConfig::tiny(5, 7));
+            let report = if reference {
+                train_classifier_reference(&mut net, &windows, &labels, &cfg)
+            } else {
+                train_classifier(&mut net, &windows, &labels, &cfg)
+            };
+            let mut bits: Vec<u32> = Vec::new();
+            net.visit_params(&mut |params, _| bits.extend(params.iter().map(|v| v.to_bits())));
+            bits.extend(report.epoch_losses.iter().map(|l| l.to_bits()));
+            bits.push(report.train_accuracy.to_bits());
+            bits
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

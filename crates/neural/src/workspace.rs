@@ -1,0 +1,216 @@
+//! Reusable training-loop buffers: the zero-alloc workspace.
+//!
+//! The training hot path used to re-allocate on every step: each batch
+//! cloned its windows into a fresh `Vec<Vec<f32>>`, packed them with
+//! `Tensor::from_windows`, and every layer allocated scratch buffers for
+//! its partial gradients. This module centralizes the reuse story:
+//!
+//! - [`Workspace`] owns the input-gather tensor and copies window rows
+//!   straight from the corpus into it, so a training step performs no
+//!   input allocation after the first batch.
+//! - [`take_buf`]/[`recycle_buf`] run a small thread-local pool of `f32`
+//!   scratch buffers for per-micro-batch gradient partials (conv backward
+//!   turns over two of these per chunk per step).
+//! - [`MICRO_ROWS`] is the fixed micro-batch height shared by every layer
+//!   that splits a batch for the worker team. It is a constant — never
+//!   derived from `ds_par::threads()` — which is what keeps the gradient
+//!   summation tree, and therefore the trained weights, bit-identical at
+//!   any `DS_PAR_THREADS`.
+//!
+//! The pool is thread-local on purpose: recycling through a shared locked
+//! pool would serialize the workers it exists to feed. On the caller
+//! thread (the entire sequential path, and every nested call suppressed
+//! inside a ds-par worker) buffers persist across steps; scoped worker
+//! threads die at the end of each dispatch and take their pools with
+//! them, which costs nothing relative to the pre-pool behavior of
+//! allocating fresh buffers in every closure.
+
+use crate::tensor::Tensor;
+use std::cell::{Cell, RefCell};
+
+/// Fixed micro-batch height (batch rows per worker task) used by the
+/// layer kernels when they split a batch across the team. One value for
+/// every layer so the per-slot gradient partials line up with the chunk
+/// boundaries regardless of which layer produced them.
+pub const MICRO_ROWS: usize = 4;
+
+/// Reused buffers for a training run (one per trained network).
+#[derive(Debug)]
+pub struct Workspace {
+    input: Tensor,
+}
+
+impl Default for Workspace {
+    fn default() -> Workspace {
+        Workspace::new()
+    }
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Workspace {
+        Workspace {
+            input: Tensor::zeros(0, 1, 0),
+        }
+    }
+
+    /// Gather `windows[i]` for each `i` in `indices` into the reused
+    /// `[indices.len(), 1, L]` input tensor and return it. Replaces the
+    /// per-batch `windows[i].clone()` + `Tensor::from_windows` pattern:
+    /// after the first call the gather is a straight copy into capacity
+    /// already owned by the workspace.
+    ///
+    /// # Panics
+    /// Panics if `indices` is empty or the selected windows have
+    /// inconsistent lengths.
+    pub fn gather(&mut self, windows: &[Vec<f32>], indices: &[usize]) -> &Tensor {
+        assert!(!indices.is_empty(), "gather requires at least one window");
+        let len = windows[indices[0]].len();
+        self.input.data.clear();
+        self.input.data.reserve(indices.len() * len);
+        for &i in indices {
+            assert_eq!(windows[i].len(), len, "window length mismatch");
+            self.input.data.extend_from_slice(&windows[i]);
+        }
+        self.input.batch = indices.len();
+        self.input.channels = 1;
+        self.input.len = len;
+        &self.input
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    static REUSE: Cell<bool> = const { Cell::new(true) };
+}
+
+/// Enable or disable buffer reuse on the calling thread.
+///
+/// With reuse off, [`take_buf`] always allocates fresh, [`recycle_buf`]
+/// drops, and the layers skip their cross-step cache/mask reuse — i.e.
+/// every step pays the historical per-call allocation profile of the
+/// pre-workspace trainer. Numerics are unaffected (reused buffers are
+/// (re)initialized exactly like fresh ones), so the perf harness uses
+/// this to time the legacy allocation behavior against the zero-alloc
+/// path while asserting both produce bit-identical weights.
+pub fn set_buffer_reuse(on: bool) {
+    REUSE.with(|r| r.set(on));
+}
+
+/// Whether buffer reuse is enabled on the calling thread (the default).
+pub fn buffer_reuse() -> bool {
+    REUSE.with(|r| r.get())
+}
+
+/// Buffers kept per thread; beyond this, recycled buffers are dropped.
+const MAX_POOLED: usize = 64;
+
+/// Take a zero-filled `f32` buffer of length `len`, reusing a pooled
+/// allocation when one with enough capacity exists.
+pub fn take_buf(len: usize) -> Vec<f32> {
+    if !buffer_reuse() {
+        return vec![0.0; len];
+    }
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        match pool.iter().position(|b| b.capacity() >= len) {
+            Some(at) => {
+                let mut buf = pool.swap_remove(at);
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    })
+}
+
+/// Return a buffer to the calling thread's pool for later [`take_buf`]s.
+pub fn recycle_buf(buf: Vec<f32>) {
+    if buf.capacity() == 0 || !buffer_reuse() {
+        return;
+    }
+    POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gather_matches_from_windows() {
+        let windows = vec![
+            vec![1.0f32, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![7.0, 8.0, 9.0],
+        ];
+        let mut ws = Workspace::new();
+        let x = ws.gather(&windows, &[2, 0]);
+        let expected = Tensor::from_windows(&[windows[2].clone(), windows[0].clone()]);
+        assert_eq!(x.shape(), expected.shape());
+        assert_eq!(x.data, expected.data);
+    }
+
+    #[test]
+    fn gather_reuses_capacity_across_batches() {
+        let windows = vec![vec![0.5f32; 64]; 8];
+        let mut ws = Workspace::new();
+        ws.gather(&windows, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        let cap = ws.input.data.capacity();
+        let ptr = ws.input.data.as_ptr();
+        // A smaller follow-up batch must not re-allocate.
+        let x = ws.gather(&windows, &[3, 1]);
+        assert_eq!(x.shape(), (2, 1, 64));
+        assert_eq!(ws.input.data.capacity(), cap);
+        assert_eq!(ws.input.data.as_ptr(), ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn gather_rejects_ragged_windows() {
+        let windows = vec![vec![0.0f32; 4], vec![0.0f32; 5]];
+        Workspace::new().gather(&windows, &[0, 1]);
+    }
+
+    #[test]
+    fn disabling_reuse_bypasses_the_pool() {
+        let a = take_buf(24);
+        let ptr = a.as_ptr();
+        recycle_buf(a);
+        set_buffer_reuse(false);
+        assert!(!buffer_reuse());
+        // Fresh allocation, still zeroed; recycling becomes a drop.
+        let b = take_buf(24);
+        assert_ne!(b.as_ptr(), ptr);
+        assert!(b.iter().all(|&v| v == 0.0));
+        recycle_buf(b);
+        set_buffer_reuse(true);
+        // The buffer pooled before the toggle is still there.
+        let c = take_buf(24);
+        assert_eq!(c.as_ptr(), ptr);
+        recycle_buf(c);
+    }
+
+    #[test]
+    fn pool_round_trips_buffers() {
+        let a = take_buf(32);
+        assert_eq!(a.len(), 32);
+        assert!(a.iter().all(|&v| v == 0.0));
+        let ptr = a.as_ptr();
+        recycle_buf(a);
+        // Same thread, enough capacity: the pooled allocation comes back,
+        // zeroed even after being dirtied.
+        let mut b = take_buf(16);
+        assert_eq!(b.as_ptr(), ptr);
+        assert!(b.iter().all(|&v| v == 0.0));
+        b.fill(7.0);
+        recycle_buf(b);
+        let c = take_buf(16);
+        assert!(c.iter().all(|&v| v == 0.0));
+    }
+}

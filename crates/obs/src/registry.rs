@@ -2,7 +2,7 @@
 //! fixed-bucket histograms with quantile summaries.
 //!
 //! Counters and histogram bucket counts are `AtomicU64`s reached through
-//! a read lock, so concurrent recording from crossbeam worker threads
+//! a read lock, so concurrent recording from ds-par worker threads
 //! never loses increments; the write lock is only taken to insert a
 //! metric the first time its name is seen.
 

@@ -2,7 +2,7 @@
 //!
 //! Each thread keeps a stack of active span names; a span records under
 //! the `/`-joined path of that stack (e.g. `camal.train/member/epoch`),
-//! so the profile renders as a tree. Worker threads (crossbeam ensemble
+//! so the profile renders as a tree. Worker threads (ds-par ensemble
 //! members) start their own root, which is exactly the reading you want:
 //! per-member wall time, not a tangle through the parent's stack.
 

@@ -279,6 +279,60 @@ where
     par_chunks_map_mut(data, chunk_len, f);
 }
 
+/// Splits two equal-length slices into paired disjoint mutable chunks of
+/// `chunk_len` elements and applies `f(chunk_index, a_chunk, b_chunk)` to
+/// each pair in parallel.
+///
+/// This exists for fused two-output fills — e.g. batch-norm training
+/// writes the normalized activation *and* the `x_hat` backward cache in
+/// one pass over each batch row, so both buffers chunk together.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn par_zip_chunks_mut<A, B, F>(a: &mut [A], b: &mut [B], chunk_len: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "par_zip_chunks_mut length mismatch");
+    let chunk_len = chunk_len.max(1);
+    let pairs: Vec<(&mut [A], &mut [B])> = a
+        .chunks_mut(chunk_len)
+        .zip(b.chunks_mut(chunk_len))
+        .collect();
+    run_indexed(pairs, |i, (ca, cb)| f(i, ca, cb));
+}
+
+/// Reduces per-slot values into one, combining **in slot order** — a
+/// fixed-shape reduction whose tree depends only on the slot count, never
+/// on the worker count or on timing.
+///
+/// The shape is deliberately the left-leaning tree (a fold): slot 0
+/// absorbs slot 1, then slot 2, and so on. That is exactly the
+/// accumulation order the sequential code has always used when summing
+/// per-chunk gradient partials, so parallel producers + `par_reduce`
+/// yield bit-identical sums to the historical single-threaded loop. A
+/// balanced tree would also be deterministic, but would *change* the
+/// f32/f64 rounding relative to that baseline.
+///
+/// The combines themselves run on the calling thread: gradient buffers
+/// are kilobytes while the slot computations they summarize are the hot
+/// path, so there is nothing to win by fanning the reduction out.
+///
+/// Returns `None` for an empty slot vector.
+pub fn par_reduce<T, F>(slots: Vec<T>, mut combine: F) -> Option<T>
+where
+    F: FnMut(&mut T, T),
+{
+    let mut slots = slots.into_iter();
+    let mut acc = slots.next()?;
+    for slot in slots {
+        combine(&mut acc, slot);
+    }
+    Some(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +430,71 @@ mod tests {
             assert_eq!(*inner, vec![0, 1, 2]);
         }
         assert!(!in_worker());
+    }
+
+    #[test]
+    fn par_zip_chunks_mut_pairs_disjoint_slices() {
+        let mut a = vec![0u32; 22];
+        let mut b = vec![0u32; 22];
+        with_threads(4, || {
+            par_zip_chunks_mut(&mut a, &mut b, 8, |ci, ca, cb| {
+                for (j, (va, vb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    *va = (ci * 100 + j) as u32;
+                    *vb = (ci * 1000 + j) as u32;
+                }
+            })
+        });
+        assert_eq!(a[7], 7);
+        assert_eq!(a[8], 100);
+        assert_eq!(b[8], 1000);
+        assert_eq!(a[21], 205);
+        assert_eq!(b[21], 2005);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn par_zip_chunks_mut_rejects_ragged() {
+        let mut a = vec![0u8; 3];
+        let mut b = vec![0u8; 4];
+        par_zip_chunks_mut(&mut a, &mut b, 2, |_, _, _| {});
+    }
+
+    #[test]
+    fn par_reduce_folds_in_slot_order() {
+        // String concatenation is order-sensitive, so this pins the shape.
+        let slots: Vec<String> = (0..5).map(|i| i.to_string()).collect();
+        let out = par_reduce(slots, |acc, s| acc.push_str(&s)).unwrap();
+        assert_eq!(out, "01234");
+        assert_eq!(par_reduce(Vec::<u8>::new(), |_, _| {}), None);
+        assert_eq!(par_reduce(vec![7u8], |_, _| unreachable!()), Some(7));
+    }
+
+    #[test]
+    fn par_reduce_matches_sequential_sum_of_parallel_partials() {
+        // The end-to-end determinism pattern: parallel producers fill
+        // per-slot buffers, par_reduce combines them; the result must be
+        // bit-identical at every worker count.
+        let run = |w: usize| {
+            with_threads(w, || {
+                let partials: Vec<Vec<f32>> = par_ranges(40, 4, |ci, r| {
+                    r.map(|i| (i as f32 * 0.37 + ci as f32).sin()).collect()
+                });
+                par_reduce(partials, |acc, p| {
+                    for (a, v) in acc.iter_mut().zip(p) {
+                        *a += v;
+                    }
+                })
+                .unwrap()
+            })
+        };
+        let reference = run(1);
+        for w in [2usize, 3, 8] {
+            let out = run(w);
+            assert!(reference
+                .iter()
+                .zip(&out)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
     }
 
     #[test]

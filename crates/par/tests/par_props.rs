@@ -86,6 +86,53 @@ proptest! {
     }
 
     #[test]
+    fn par_zip_chunks_mut_matches_sequential(
+        n in 0usize..200,
+        workers in 0usize..9,
+        chunk in 1usize..33,
+    ) {
+        let mut a = vec![0.0f32; n];
+        let mut b = vec![0.0f32; n];
+        with_threads(workers, || {
+            ds_par::par_zip_chunks_mut(&mut a, &mut b, chunk, |ci, ca, cb| {
+                for (j, (va, vb)) in ca.iter_mut().zip(cb.iter_mut()).enumerate() {
+                    *va = weigh(ci * chunk + j, 1.0);
+                    *vb = *va * 2.0;
+                }
+            })
+        });
+        for (i, (&va, &vb)) in a.iter().zip(&b).enumerate() {
+            prop_assert_eq!(va.to_bits(), weigh(i, 1.0).to_bits());
+            prop_assert_eq!(vb.to_bits(), (weigh(i, 1.0) * 2.0).to_bits());
+        }
+    }
+
+    #[test]
+    fn par_reduce_is_worker_count_invariant(
+        values in prop::collection::vec(-1.0e2f32..1.0e2, 0..160),
+        workers in 0usize..9,
+        chunk in 1usize..25,
+    ) {
+        // Sequential left fold over fixed-size chunk partials is the
+        // reference; par_reduce over parallel-produced partials must give
+        // the same bits for every worker count.
+        let seq_partials: Vec<f32> = values
+            .chunks(chunk)
+            .map(|c| c.iter().map(|&x| weigh(0, x)).sum::<f32>())
+            .collect();
+        let expected = seq_partials
+            .split_first()
+            .map(|(head, tail)| tail.iter().fold(*head, |acc, p| acc + p));
+        let got = with_threads(workers, || {
+            let partials = ds_par::par_ranges(values.len(), chunk, |_, r| {
+                r.map(|i| weigh(0, values[i])).sum::<f32>()
+            });
+            ds_par::par_reduce(partials, |acc, p| *acc += p)
+        });
+        prop_assert_eq!(got.map(f32::to_bits), expected.map(f32::to_bits));
+    }
+
+    #[test]
     fn par_for_touches_each_index_once(
         n in 0usize..256,
         workers in 0usize..9,
