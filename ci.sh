@@ -28,14 +28,24 @@ cargo test -q
 echo "==> perf: cargo bench --no-run (benches stay compilable)"
 cargo bench --workspace --no-run
 
-echo "==> perf: seq-vs-par smoke at 2 workers (incl. deterministic training)"
+echo "==> perf: smoke at 2 workers (seq-vs-par, training, frozen inference)"
 smoke_out="target/ci_perf_smoke.json"
 DS_PAR_THREADS=2 cargo run -q --release -p ds-bench --bin perf -- --smoke --out "$smoke_out"
 grep -q '"name": *"train_epoch"' "$smoke_out" \
     || { echo "ci: perf smoke is missing the train_epoch case" >&2; exit 1; }
+grep -q '"name": *"frozen_predict"' "$smoke_out" \
+    || { echo "ci: perf smoke is missing the frozen_predict case" >&2; exit 1; }
 if grep -q '"bit_identical": *false' "$smoke_out"; then
     echo "ci: perf smoke reports a bit-identity violation" >&2
     exit 1
 fi
+if grep -Eq '"decision_flips": *[1-9]' "$smoke_out"; then
+    echo "ci: frozen inference flipped a detection decision" >&2
+    exit 1
+fi
+frozen_speedup=$(awk '/"name": *"frozen_predict"/{f=1} f && /"speedup"/{gsub(/[",]/,""); print $2; exit}' "$smoke_out")
+echo "ci: frozen_predict speedup ${frozen_speedup}x (floor 1.15x)"
+awk -v s="$frozen_speedup" 'BEGIN { exit !(s + 0 >= 1.15) }' \
+    || { echo "ci: frozen_predict speedup ${frozen_speedup}x is below the 1.15x floor" >&2; exit 1; }
 
 echo "ci: all checks passed"

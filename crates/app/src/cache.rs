@@ -54,6 +54,13 @@ impl<K: Ord + Clone, V> BoundedCache<K, V> {
         self.map.get(key)
     }
 
+    /// Mutable lookup without affecting eviction order — used for values
+    /// that are updated in place, like frozen inference plans whose
+    /// arenas are written by every prediction.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.map.get_mut(key)
+    }
+
     /// Insert (or replace) `key`, evicting the oldest entry if the cache
     /// is full. Replacing an existing key keeps its original age.
     pub fn insert(&mut self, key: K, value: V) {

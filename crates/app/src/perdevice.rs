@@ -32,7 +32,7 @@ pub fn render(state: &mut AppState, kind: ApplianceKind) -> Result<String, AppEr
         .iter()
         .map(|v| if v.is_nan() { 0.0 } else { *v })
         .collect();
-    let loc = state.model(kind)?.localize(&clean);
+    let loc = state.frozen_localize(kind, &clean)?;
     out.push_str(&format!(
         "predicted {}\n",
         status_strip(&loc.status, CHART_WIDTH)

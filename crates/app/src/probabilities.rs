@@ -18,7 +18,7 @@ pub fn render(state: &mut AppState) -> Result<String, AppError> {
     let selected = state.selected.clone();
     let mut out = String::from("── Model detection probabilities ──\n");
     for kind in selected {
-        let detection = state.model(kind)?.detect(&clean);
+        let detection = state.frozen_detect(kind, &clean)?;
         out.push_str(&format!("{}\n", kind.name()));
         for (kernel, p) in &detection.member_probabilities {
             out.push_str(&format!(

@@ -198,7 +198,23 @@ impl Repl {
                 _ => "usage: scenario <1|2|3> [appliance|dataset]\n".into(),
             },
             "obs" => match arg1 {
-                None => ds_obs::render_summary(),
+                None => {
+                    let mut out = ds_obs::render_summary();
+                    // Frozen serving latency vs the interactive render
+                    // budget: a window must draw in under 50 ms.
+                    match ds_obs::global().histogram_summary("app.frozen.window_latency_s") {
+                        Some(s) if s.count > 0 => out.push_str(&format!(
+                            "frozen window latency: p50 {:.2} ms  p99 {:.2} ms over {} windows (budget 50 ms)\n",
+                            s.p50 * 1e3,
+                            s.p99 * 1e3,
+                            s.count,
+                        )),
+                        _ => out.push_str(
+                            "frozen window latency: no samples yet (obs summary, then probs/perdevice/play)\n",
+                        ),
+                    }
+                    out
+                }
                 Some("off") => {
                     ds_obs::set_level(ds_obs::Level::Off);
                     "observability off\n".into()
@@ -276,6 +292,8 @@ mod tests {
         // Default (tests run with observability off): the summary renders
         // with a hint rather than erroring.
         assert!(run(&mut r, "obs").contains("ds-obs summary"));
+        // No frozen-path traffic yet: the latency line says so.
+        assert!(run(&mut r, "obs").contains("frozen window latency: no samples yet"));
         assert!(run(&mut r, "obs summary").contains("level set to summary"));
         // With the level on, REPL-driven model activity shows up in the
         // profile table.
@@ -284,6 +302,16 @@ mod tests {
             let _span = ds_obs::span!("repl_probe");
         }
         assert!(run(&mut r, "obs").contains("repl_probe"));
+        // Frozen serving samples surface as a p50/p99 line against the
+        // 50 ms interactive budget.
+        ds_obs::observe(
+            "app.frozen.window_latency_s",
+            0.004,
+            ds_obs::Buckets::DurationSecs,
+        );
+        let view = run(&mut r, "obs");
+        assert!(view.contains("frozen window latency: p50"));
+        assert!(view.contains("budget 50 ms"));
         assert!(run(&mut r, "obs bogus").contains("unknown obs argument"));
         assert!(run(&mut r, "obs reset").contains("cleared"));
         assert!(run(&mut r, "obs off").contains("observability off"));

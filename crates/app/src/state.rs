@@ -3,7 +3,7 @@
 //! the lazily trained per-(dataset, appliance) CamAL models.
 
 use crate::cache::BoundedCache;
-use ds_camal::{Camal, CamalConfig, Localization};
+use ds_camal::{Camal, CamalConfig, Detection, FrozenCamal, Localization};
 use ds_datasets::labels::Corpus;
 use ds_datasets::{ApplianceKind, Catalog, DatasetPreset};
 use ds_timeseries::window::{WindowCursor, WindowLength};
@@ -24,6 +24,11 @@ const STATUS_CACHE_CAP: usize = 32;
 /// Per-window localizations cached for the playground overlay; sized so a
 /// full browsing session (windows × appliances) stays resident.
 const WINDOW_CACHE_CAP: usize = 512;
+
+/// Frozen inference plans cached per trained model. Each plan owns its
+/// arenas (a few windows' worth of floats per member), so the bound stays
+/// small; a miss only re-folds BatchNorm — it never retrains.
+const FROZEN_CACHE_CAP: usize = 8;
 
 /// Application-wide configuration.
 #[derive(Debug, Clone)]
@@ -93,6 +98,7 @@ pub struct AppState {
     config: AppConfig,
     catalog: Catalog,
     models: BTreeMap<(String, &'static str, usize), Camal>,
+    frozen: BoundedCache<(String, &'static str, usize), FrozenCamal>,
     status_cache: BoundedCache<SeriesKey, StatusSeries>,
     window_cache: BoundedCache<WindowKey, Localization>,
     /// Currently selected dataset.
@@ -114,6 +120,7 @@ impl AppState {
             config,
             catalog,
             models: BTreeMap::new(),
+            frozen: BoundedCache::new(FROZEN_CACHE_CAP),
             status_cache: BoundedCache::new(STATUS_CACHE_CAP),
             window_cache: BoundedCache::new(WINDOW_CACHE_CAP),
             dataset: None,
@@ -265,6 +272,67 @@ impl AppState {
         Ok(self.models.get(&key).expect("inserted above"))
     }
 
+    /// The frozen serving plan for `(current dataset, kind)` at the current
+    /// window length: BN-folded, ReLU-fused, arena-backed. Built once per
+    /// trained model ([`Camal::freeze`]) and then reused — Prev/Next
+    /// navigation never re-folds, and the plan's warm arenas make repeat
+    /// predictions allocation-free.
+    pub fn frozen_model(&mut self, kind: ApplianceKind) -> Result<&mut FrozenCamal, AppError> {
+        let (preset, _) = self.loaded()?;
+        let window_samples = self
+            .window_length
+            .samples(self.current_window()?.interval_secs());
+        let key = (preset.name().to_string(), kind.slug(), window_samples);
+        if self.frozen.get(&key).is_none() {
+            ds_obs::counter_add("cache.frozen_plan.misses", 1);
+            let plan = self.model(kind)?.freeze();
+            self.frozen.insert(key.clone(), plan);
+        } else {
+            ds_obs::counter_add("cache.frozen_plan.hits", 1);
+        }
+        Ok(self.frozen.get_mut(&key).expect("present or just inserted"))
+    }
+
+    /// Detect `kind` in a cleaned window on the frozen path, recording the
+    /// per-window serving latency (`app.frozen.window_latency_s` — the
+    /// REPL's `obs` view reports its p50/p99 against the 50 ms interactive
+    /// render budget).
+    pub fn frozen_detect(
+        &mut self,
+        kind: ApplianceKind,
+        window: &[f32],
+    ) -> Result<Detection, AppError> {
+        let start = ds_obs::enabled().then(std::time::Instant::now);
+        let detection = self.frozen_model(kind)?.detect(window);
+        if let Some(start) = start {
+            ds_obs::observe(
+                "app.frozen.window_latency_s",
+                start.elapsed().as_secs_f64(),
+                ds_obs::Buckets::DurationSecs,
+            );
+        }
+        Ok(detection)
+    }
+
+    /// Localize `kind` in a cleaned window on the frozen path, recording
+    /// the per-window serving latency like [`AppState::frozen_detect`].
+    pub fn frozen_localize(
+        &mut self,
+        kind: ApplianceKind,
+        window: &[f32],
+    ) -> Result<Localization, AppError> {
+        let start = ds_obs::enabled().then(std::time::Instant::now);
+        let localization = self.frozen_model(kind)?.localize(window);
+        if let Some(start) = start {
+            ds_obs::observe(
+                "app.frozen.window_latency_s",
+                start.elapsed().as_secs_f64(),
+                ds_obs::Buckets::DurationSecs,
+            );
+        }
+        Ok(localization)
+    }
+
     /// The full submetered channel of `kind` for the loaded house (None if
     /// not possessed) — used by the insights view for exact energy.
     pub fn full_channel(&mut self, kind: ApplianceKind) -> Result<Option<TimeSeries>, AppError> {
@@ -313,7 +381,9 @@ impl AppState {
             return Ok(hit.clone());
         }
         ds_obs::counter_add("cache.status_series.misses", 1);
-        let status = self.model(kind)?.predict_status_series(series, window);
+        let status = self
+            .frozen_model(kind)?
+            .predict_status_series(series, window);
         self.status_cache.insert(key, status.clone());
         Ok(status)
     }
@@ -351,8 +421,7 @@ impl AppState {
                 .iter()
                 .map(|v| if v.is_nan() { 0.0 } else { *v })
                 .collect();
-            let model = self.model(kind)?;
-            let localization = model.localize(&clean);
+            let localization = self.frozen_localize(kind, &clean)?;
             self.window_cache.insert(key, localization.clone());
             out.push((kind, localization));
         }

@@ -1,9 +1,11 @@
 //! Criterion wrappers around the ds-par perf workloads (`conv_throughput`,
 //! `ensemble_predict`, `e2e_localize`), each measured on one worker and on
 //! the configured team so the listing shows the parallel trend next to the
-//! sequential baseline. The structured seq-vs-par report (throughput,
-//! speedup, bit-identity) comes from the `perf` binary; this harness exists
-//! for iteration-level trend tracking.
+//! sequential baseline, plus `frozen_predict` comparing the mutable
+//! ensemble path against the BN-folded frozen plan. The structured report
+//! (throughput, speedup, bit-identity, decision flips, allocations per
+//! window) comes from the `perf` binary; this harness exists for
+//! iteration-level trend tracking.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ds_camal::localizer::localize_batch;
@@ -83,5 +85,33 @@ fn e2e_localize(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, conv_throughput, ensemble_predict, e2e_localize);
+fn frozen_predict(c: &mut Criterion) {
+    let cfg = CamalConfig {
+        channels: vec![8, 16],
+        ..CamalConfig::default()
+    };
+    let ensemble = ResNetEnsemble::untrained(&cfg);
+    let x = Tensor::from_data(
+        8,
+        1,
+        720,
+        (0..8 * 720).map(|i| ((i % 131) as f32) * 13.7).collect(),
+    );
+    c.bench_function("frozen_predict/mutable", |b| {
+        b.iter(|| black_box(ensemble.predict(black_box(&x))));
+    });
+    let mut frozen = ensemble.freeze();
+    frozen.predict_into(&x); // size the arenas outside the timed region
+    c.bench_function("frozen_predict/frozen", |b| {
+        b.iter(|| frozen.predict_into(black_box(&x)));
+    });
+}
+
+criterion_group!(
+    benches,
+    conv_throughput,
+    ensemble_predict,
+    e2e_localize,
+    frozen_predict
+);
 criterion_main!(benches);

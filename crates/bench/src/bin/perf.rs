@@ -1,20 +1,25 @@
-//! Sequential-vs-parallel performance baseline for the ds-par substrate.
+//! Performance baseline for the serving substrate: ds-par
+//! sequential-vs-parallel cases plus frozen-vs-mutable inference cases.
 //!
 //! ```text
-//! perf [--smoke] [--out results/BENCH_perf.json]
+//! perf [--smoke] [--threads N[,N...]] [--out results/BENCH_perf.json]
 //! ```
 //!
 //! Runs each workload (conv forward, ensemble prediction, end-to-end
-//! localization) on one worker and on the configured team
-//! (`DS_PAR_THREADS`), asserts the outputs are bit-identical, and writes
-//! throughput + speedup numbers. `--smoke` shrinks the workloads for CI.
+//! localization, ensemble training, frozen predict, frozen localize)
+//! once per requested worker-team size, asserts the numeric contracts
+//! (bit-identity for parallel paths, 1e-4 probability tolerance and zero
+//! decision flips for frozen paths), and writes one sweep entry per
+//! thread count. `--threads` defaults to the ambient `DS_PAR_THREADS`
+//! resolution; `--smoke` shrinks the workloads for CI.
 
-use ds_bench::perf::{render, run_suite, PerfScale};
+use ds_bench::perf::{render, run_sweep, PerfScale};
 use ds_bench::report;
 
 fn main() {
     let mut smoke = false;
     let mut out_path = String::from("results/BENCH_perf.json");
+    let mut thread_counts: Vec<usize> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -24,8 +29,23 @@ fn main() {
                     out_path = p;
                 }
             }
+            "--threads" => {
+                let spec = args.next().unwrap_or_default();
+                for part in spec.split(',').filter(|p| !p.is_empty()) {
+                    match part.trim().parse::<usize>() {
+                        Ok(n) if n >= 1 => thread_counts.push(n),
+                        _ => {
+                            eprintln!("invalid --threads entry {part:?} (want N[,N...])");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
             other => eprintln!("ignoring unknown argument {other:?}"),
         }
+    }
+    if thread_counts.is_empty() {
+        thread_counts.push(ds_par::threads());
     }
     let scale = if smoke {
         PerfScale::smoke()
@@ -37,7 +57,7 @@ fn main() {
     }
     let report = {
         let _run = ds_obs::span!("perf");
-        run_suite(scale, smoke)
+        run_sweep(scale, smoke, &thread_counts)
     };
     print!("{}", render(&report));
     if let Some(dir) = std::path::Path::new(&out_path).parent() {

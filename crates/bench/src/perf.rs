@@ -1,24 +1,38 @@
-//! Sequential-vs-parallel performance harness for the ds-par substrate.
+//! Performance harness for the serving substrate: sequential-vs-parallel
+//! baselines for ds-par, and frozen-vs-mutable baselines for the BN-folded
+//! inference plan.
 //!
-//! Each case runs the same workload twice — once pinned to one worker
-//! (`ds_par::set_threads(Some(1))`) and once on the configured team — and
-//! records wall time, throughput in elements/sec, and the speedup. The
-//! paths are timed with interleaved median-of-k sampling: iterations
-//! alternate seq/par so host-load drift hits both equally, and each path
-//! is scored by its median observed iteration, which shrugs off
-//! interference spikes without rewarding one lucky sample. Before
-//! timing, the two paths' outputs are compared **bit for bit**: the
-//! substrate's contract is that parallelism never changes numerics, and
-//! this harness enforces it on every run (a report with
-//! `bit_identical: false` means the contract is broken, and
-//! [`run_suite`] panics rather than produce one).
+//! Each ds-par case runs the same workload twice — once pinned to one
+//! worker (`ds_par::set_threads(Some(1))`) and once on the configured
+//! team. Each frozen case runs the mutable reference path (the trainable
+//! ensemble, at the ambient team size) against the frozen plan
+//! ([`ds_camal::FrozenCamal`] / [`ds_camal::FrozenEnsemble`]). All paths
+//! are timed with interleaved best-of-k sampling after one untimed
+//! warmup iteration per path: iterations alternate so host-load drift
+//! hits both equally, each path is scored by its fastest observed
+//! iteration (external noise only ever adds time, so the minimum is the
+//! estimator closest to intrinsic cost), and every throughput number
+//! counts post-warmup iterations only (the warmup also sizes the frozen
+//! arenas, so the timed region is the steady state).
+//!
+//! Contracts enforced on every run:
+//! - ds-par cases compare outputs **bit for bit** — parallelism never
+//!   changes numerics ([`run_sweep`] panics otherwise).
+//! - frozen cases compare ensemble probabilities within `1e-4` max-abs
+//!   (BN folding reassociates float products) and report
+//!   `decision_flips` — windows whose thresholded detection or status
+//!   mask changed. A published report must show zero flips.
+//! - frozen cases assert **zero heap allocations** per steady-state
+//!   iteration (via the ds-obs per-thread allocation counter) whenever
+//!   observability is off, and publish `allocs_per_window` either way.
 //!
 //! The `perf` binary renders the suite as a table and persists it to
-//! `results/BENCH_perf.json`; `benches/perf.rs` wraps the same workloads
-//! in Criterion for trend tracking.
+//! `results/BENCH_perf.json` — one sweep entry per `--threads` value;
+//! `benches/perf.rs` wraps the same workloads in Criterion for trend
+//! tracking.
 
 use ds_camal::localizer::localize_batch;
-use ds_camal::{CamalConfig, LocalizerConfig, ResNetEnsemble};
+use ds_camal::{Camal, CamalConfig, LocalizerConfig, ResNetEnsemble};
 use ds_neural::conv::Conv1d;
 use ds_neural::tensor::Tensor;
 use ds_neural::train::train_classifier_reference;
@@ -26,43 +40,64 @@ use ds_neural::VisitParams;
 use serde::Serialize;
 use std::time::Instant;
 
-/// One sequential-vs-parallel measurement.
+/// One baseline-vs-optimized measurement. For ds-par cases the baseline
+/// (`seq_*`) is the workload pinned to one worker and the optimized
+/// (`par_*`) is the configured team; for `frozen_*` cases the baseline is
+/// the mutable reference path at the ambient team size and the optimized
+/// is the frozen plan (sequential by design — its dispatch-free inner
+/// loop is where the speedup lives).
 #[derive(Debug, Clone, Serialize)]
 pub struct PerfCase {
     /// Workload name (`conv_forward`, `ensemble_predict`, `e2e_localize`,
-    /// `train_epoch`).
+    /// `train_epoch`, `frozen_predict`, `frozen_localize`).
     pub name: String,
     /// Elements produced per iteration (output samples of the workload).
     pub elements_per_iter: u64,
-    /// Timed iterations per path.
+    /// Timed iterations per path (warmup excluded).
     pub iters: u64,
-    /// Sequential wall time for all iterations, seconds, projected from
-    /// the median observed iteration (see the module docs).
+    /// Baseline wall time for all timed iterations, seconds, projected
+    /// from the fastest observed iteration (see the module docs).
     pub seq_secs: f64,
-    /// Parallel wall time for all iterations, seconds, projected from
-    /// the median observed iteration (see the module docs).
+    /// Optimized wall time for all timed iterations, seconds, projected
+    /// from the fastest observed iteration (see the module docs).
     pub par_secs: f64,
-    /// Sequential throughput, elements per second.
+    /// Baseline throughput over post-warmup iterations, elements/second.
     pub seq_elements_per_sec: f64,
-    /// Parallel throughput, elements per second.
+    /// Optimized throughput over post-warmup iterations, elements/second.
     pub par_elements_per_sec: f64,
-    /// `seq_secs / par_secs` — > 1 means the parallel path is faster.
+    /// `seq_secs / par_secs` — > 1 means the optimized path is faster.
     pub speedup: f64,
-    /// Whether the two paths produced bit-identical outputs (always true
-    /// in a published report; the suite panics otherwise).
+    /// ds-par cases: whether the two paths produced bit-identical
+    /// outputs. Frozen cases: whether every thresholded decision matched
+    /// (`decision_flips == 0`). Always true in a published report.
     pub bit_identical: bool,
+    /// Frozen cases: windows whose detection flag or status mask differed
+    /// from the reference path. Zero for ds-par cases by construction.
+    pub decision_flips: u64,
+    /// Heap-allocation events per window on the optimized path's calling
+    /// thread, averaged over the timed iterations. Zero for the frozen
+    /// cases in steady state (asserted when observability is off).
+    pub allocs_per_window: f64,
 }
 
-/// The full suite, as persisted to `results/BENCH_perf.json`.
+/// The cases measured at one worker-team size.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfSweep {
+    /// Worker-team size the sweep ran with.
+    pub threads: usize,
+    /// The measurements.
+    pub cases: Vec<PerfCase>,
+}
+
+/// The full suite, as persisted to `results/BENCH_perf.json`: one sweep
+/// per requested thread count.
 #[derive(Debug, Clone, Serialize)]
 pub struct PerfReport {
-    /// Worker-team size used for the parallel path.
-    pub threads: usize,
     /// Whether this was the reduced smoke configuration (CI) or the full
     /// benchmark configuration.
     pub smoke: bool,
-    /// The measurements.
-    pub cases: Vec<PerfCase>,
+    /// One entry per `--threads` value, in request order.
+    pub sweeps: Vec<PerfSweep>,
 }
 
 /// Workload sizes, reduced under `--smoke` so CI stays fast.
@@ -77,13 +112,15 @@ pub struct PerfScale {
 }
 
 impl PerfScale {
-    /// CI-sized: a few seconds end to end.
+    /// CI-sized — currently the same shape as [`PerfScale::full`]
+    /// (~20 s end to end on two workers). Anything thinner makes the CI
+    /// frozen-speedup gate flaky: the frozen plan's advantage lives in
+    /// the interior conv loops and in reusing warm arena pages, so short
+    /// windows (mostly padded edges and per-call overhead) and small
+    /// batches (the mutable path's fresh allocations stay cheap) both
+    /// thin the margin below the measurement noise on a shared host.
     pub fn smoke() -> PerfScale {
-        PerfScale {
-            batch: 8,
-            window: 180,
-            iters: 2,
-        }
+        PerfScale::full()
     }
 
     /// Benchmark-sized: paper-scale 12 h windows.
@@ -102,44 +139,87 @@ fn time_once<R>(mut f: impl FnMut() -> R) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// Run `f` pinned to one worker, restoring the *current* team size after
+/// — not the environment default, so `--threads` sweep overrides survive.
 fn seq<R>(f: impl FnOnce() -> R) -> R {
+    let prev = ds_par::threads();
     ds_par::set_threads(Some(1));
     let out = f();
-    ds_par::set_threads(None);
+    ds_par::set_threads(Some(prev));
     out
 }
 
-fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
+/// The fastest observed sample. On a shared host every slowdown source
+/// (scheduler preemption, frequency drift, cache pollution from
+/// neighbours) only *adds* time, so the minimum is the estimator closest
+/// to the workload's intrinsic cost — medians still carry whatever noise
+/// hit the middle sample, which made the CI speedup gate flaky.
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
-/// Time the two paths with interleaved median-of-k sampling: the paths
-/// alternate iteration by iteration (so slow host-load drift hits both
-/// equally instead of whichever block ran second), and each path is
-/// scored by its median observed iteration — robust to interference
-/// spikes without rewarding one lucky sample. Returns projected totals
-/// `(median_seq × iters, median_par × iters)`.
-fn measure(iters: usize, mut seq_work: impl FnMut(), mut par_work: impl FnMut()) -> (f64, f64) {
-    let mut seq_samples = Vec::with_capacity(iters);
-    let mut par_samples = Vec::with_capacity(iters);
+/// Time a baseline and an optimized path with interleaved best-of-k
+/// sampling after one untimed warmup pass per path. Returns projected
+/// totals `(best_baseline × iters, best_optimized × iters)` plus the
+/// optimized path's heap-allocation events per window (calling thread,
+/// timed iterations only). `pin_baseline` runs the baseline under
+/// [`seq`]; the optimized path always runs at the ambient team size.
+fn sample_paths(
+    iters: usize,
+    windows_per_iter: u64,
+    pin_baseline: bool,
+    mut baseline: impl FnMut(),
+    mut optimized: impl FnMut(),
+) -> (f64, f64, f64) {
+    if pin_baseline {
+        seq(&mut baseline);
+    } else {
+        baseline();
+    }
+    optimized();
+    let mut base_samples = Vec::with_capacity(iters);
+    let mut opt_samples = Vec::with_capacity(iters);
+    let mut allocs = 0u64;
     for _ in 0..iters {
-        seq_samples.push(seq(|| time_once(&mut seq_work)));
-        par_samples.push(time_once(&mut par_work));
+        base_samples.push(if pin_baseline {
+            seq(|| time_once(&mut baseline))
+        } else {
+            time_once(&mut baseline)
+        });
+        let before = ds_obs::alloc_count();
+        opt_samples.push(time_once(&mut optimized));
+        allocs += ds_obs::alloc_count() - before;
     }
     (
-        (median(&mut seq_samples) * iters as f64).max(f64::MIN_POSITIVE),
-        (median(&mut par_samples) * iters as f64).max(f64::MIN_POSITIVE),
+        (best(&base_samples) * iters as f64).max(f64::MIN_POSITIVE),
+        (best(&opt_samples) * iters as f64).max(f64::MIN_POSITIVE),
+        allocs as f64 / (iters as u64 * windows_per_iter) as f64,
     )
 }
 
+/// [`sample_paths`] for ds-par cases, where baseline and optimized run
+/// the *same* closure (pinned vs ambient team).
+fn sample_same_path(iters: usize, windows_per_iter: u64, work: impl FnMut()) -> (f64, f64, f64) {
+    let work = std::cell::RefCell::new(work);
+    sample_paths(
+        iters,
+        windows_per_iter,
+        true,
+        || work.borrow_mut()(),
+        || work.borrow_mut()(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn build_case(
     name: &str,
     elements_per_iter: u64,
     iters: usize,
     bit_identical: bool,
+    decision_flips: u64,
     seq_secs: f64,
     par_secs: f64,
+    allocs_per_window: f64,
 ) -> PerfCase {
     let total = (elements_per_iter * iters as u64) as f64;
     PerfCase {
@@ -152,30 +232,9 @@ fn build_case(
         par_elements_per_sec: total / par_secs,
         speedup: seq_secs / par_secs,
         bit_identical,
+        decision_flips,
+        allocs_per_window,
     }
-}
-
-fn case(
-    name: &str,
-    elements_per_iter: u64,
-    iters: usize,
-    bit_identical: bool,
-    mut work: impl FnMut(),
-) -> PerfCase {
-    let mut seq_samples = Vec::with_capacity(iters);
-    let mut par_samples = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        seq_samples.push(seq(|| time_once(&mut work)));
-        par_samples.push(time_once(&mut work));
-    }
-    build_case(
-        name,
-        elements_per_iter,
-        iters,
-        bit_identical,
-        (median(&mut seq_samples) * iters as f64).max(f64::MIN_POSITIVE),
-        (median(&mut par_samples) * iters as f64).max(f64::MIN_POSITIVE),
-    )
 }
 
 fn bits(values: &[f32]) -> Vec<u32> {
@@ -198,9 +257,19 @@ fn conv_forward_case(scale: PerfScale) -> PerfCase {
     let identical = bits(&reference.data) == bits(&parallel.data);
     assert!(identical, "conv forward: parallel output diverged");
     let elements = (scale.batch * 16 * scale.window) as u64;
-    case("conv_forward", elements, scale.iters, identical, || {
+    let (seq_secs, par_secs, allocs) = sample_same_path(scale.iters, scale.batch as u64, || {
         conv.infer(&x);
-    })
+    });
+    build_case(
+        "conv_forward",
+        elements,
+        scale.iters,
+        identical,
+        0,
+        seq_secs,
+        par_secs,
+        allocs,
+    )
 }
 
 /// Full-ensemble prediction (probabilities + CAMs, 4 members).
@@ -231,9 +300,19 @@ fn ensemble_predict_case(scale: PerfScale) -> PerfCase {
         });
     assert!(identical, "ensemble predict: parallel output diverged");
     let elements = (scale.batch * scale.window * ensemble.len()) as u64;
-    case("ensemble_predict", elements, scale.iters, identical, || {
+    let (seq_secs, par_secs, allocs) = sample_same_path(scale.iters, scale.batch as u64, || {
         ensemble.predict(&x);
-    })
+    });
+    build_case(
+        "ensemble_predict",
+        elements,
+        scale.iters,
+        identical,
+        0,
+        seq_secs,
+        par_secs,
+        allocs,
+    )
 }
 
 /// The end-to-end CamAL pipeline (steps 1–6) over a batch of windows.
@@ -265,9 +344,37 @@ fn e2e_localize_case(scale: PerfScale) -> PerfCase {
         });
     assert!(identical, "e2e localize: parallel output diverged");
     let elements = (scale.batch * scale.window) as u64;
-    case("e2e_localize", elements, scale.iters, identical, || {
+    let (seq_secs, par_secs, allocs) = sample_same_path(scale.iters, scale.batch as u64, || {
         localize_batch(&ensemble, &refs, &loc_cfg);
-    })
+    });
+    build_case(
+        "e2e_localize",
+        elements,
+        scale.iters,
+        identical,
+        0,
+        seq_secs,
+        par_secs,
+        allocs,
+    )
+}
+
+/// The synthetic, linearly separable corpus shared by the training case
+/// and the frozen serving model: odd windows carry a periodic burst.
+fn separable_corpus(scale: PerfScale) -> (Vec<Vec<f32>>, Vec<u8>) {
+    let windows: Vec<Vec<f32>> = (0..scale.batch)
+        .map(|w| {
+            (0..scale.window)
+                .map(|i| {
+                    let base = ((w * 17 + i) % 23) as f32 * 0.04;
+                    let burst = if w % 2 == 1 && i % 50 < 20 { 1.0 } else { 0.0 };
+                    base + burst
+                })
+                .collect()
+        })
+        .collect();
+    let labels: Vec<u8> = (0..scale.batch).map(|w| (w % 2) as u8).collect();
+    (windows, labels)
 }
 
 /// Deterministic parallel training of the paper's 4-member ensemble
@@ -301,18 +408,7 @@ fn train_epoch_case(scale: PerfScale) -> PerfCase {
         0,
         "corpus must split evenly so legacy and fixed batching agree"
     );
-    let windows: Vec<Vec<f32>> = (0..scale.batch)
-        .map(|w| {
-            (0..scale.window)
-                .map(|i| {
-                    let base = ((w * 17 + i) % 23) as f32 * 0.04;
-                    let burst = if w % 2 == 1 && i % 50 < 20 { 1.0 } else { 0.0 };
-                    base + burst
-                })
-                .collect()
-        })
-        .collect();
-    let labels: Vec<u8> = (0..scale.batch).map(|w| (w % 2) as u8).collect();
+    let (windows, labels) = separable_corpus(scale);
     let fingerprint = |ensemble: &mut ResNetEnsemble, losses: &[Vec<f32>]| -> Vec<u32> {
         let mut out: Vec<u32> = Vec::new();
         for member in ensemble.members_mut() {
@@ -352,8 +448,10 @@ fn train_epoch_case(scale: PerfScale) -> PerfCase {
     let parallel = train_new();
     let identical = legacy == sequential && legacy == parallel;
     assert!(identical, "train epoch: training paths diverged");
-    let (seq_secs, par_secs) = measure(
+    let (seq_secs, par_secs, allocs) = sample_paths(
         scale.iters,
+        scale.batch as u64,
+        true,
         || {
             train_legacy();
         },
@@ -368,60 +466,243 @@ fn train_epoch_case(scale: PerfScale) -> PerfCase {
         elements,
         scale.iters,
         identical,
+        0,
         seq_secs,
         par_secs,
+        allocs,
     )
 }
 
-/// Run every case at `scale`; panics if any parallel path is not
-/// bit-identical to its sequential twin.
-pub fn run_suite(scale: PerfScale, smoke: bool) -> PerfReport {
-    let _span = ds_obs::span!("bench.perf_suite");
-    PerfReport {
-        threads: ds_par::threads(),
-        smoke,
-        cases: vec![
-            conv_forward_case(scale),
-            ensemble_predict_case(scale),
-            e2e_localize_case(scale),
-            train_epoch_case(scale),
-        ],
-    }
+/// A briefly trained paper-shape model (4 members, 8→16 channels) for the
+/// frozen serving cases. Training moves the BatchNorm running statistics
+/// off their initialization and pushes probabilities away from the 0.5
+/// threshold, so decision-identity is measured where it is meaningful —
+/// an untrained ensemble sits exactly on the decision boundary.
+fn trained_serving_model(scale: PerfScale) -> Camal {
+    let mut cfg = CamalConfig {
+        channels: vec![8, 16],
+        ..CamalConfig::default()
+    };
+    cfg.train.epochs = 2;
+    cfg.train.batch_size = 4;
+    cfg.train.patience = None;
+    let (windows, labels) = separable_corpus(scale);
+    let mut ensemble = ResNetEnsemble::untrained(&cfg);
+    ensemble.train(&windows, &labels, &cfg);
+    Camal::from_parts(ensemble, cfg)
 }
 
-/// Render a report as an aligned text table.
-pub fn render(report: &PerfReport) -> String {
-    let rows: Vec<Vec<String>> = report
-        .cases
-        .iter()
-        .map(|c| {
-            vec![
-                c.name.clone(),
-                format!("{}", c.elements_per_iter),
-                format!("{:.3e}", c.seq_elements_per_sec),
-                format!("{:.3e}", c.par_elements_per_sec),
-                format!("{:.2}x", c.speedup),
-                if c.bit_identical { "yes" } else { "NO" }.to_string(),
-            ]
+/// The windows the frozen cases predict on: varied, non-degenerate, and
+/// disjoint from the training corpus pattern.
+fn serving_windows(scale: PerfScale) -> Vec<Vec<f32>> {
+    (0..scale.batch)
+        .map(|w| {
+            (0..scale.window)
+                .map(|i| ((w * 13 + i) % 29) as f32 * 55.0 + (i as f32 * 0.11).sin() * 20.0)
+                .collect()
         })
-        .collect();
-    format!(
-        "ds-par perf suite ({} worker{}, {} mode)\n{}",
-        report.threads,
-        if report.threads == 1 { "" } else { "s" },
-        if report.smoke { "smoke" } else { "full" },
-        crate::report::text_table(
-            &[
-                "case",
-                "elems/iter",
-                "seq elems/s",
-                "par elems/s",
-                "speedup",
-                "bit-identical"
-            ],
-            &rows,
-        )
+        .collect()
+}
+
+/// Assert the frozen path's steady state allocates nothing on this
+/// thread. Only meaningful with observability off — the metric recording
+/// itself allocates when enabled.
+fn assert_zero_alloc(mut pass: impl FnMut(), what: &str) {
+    if ds_obs::enabled() {
+        return;
+    }
+    pass(); // warm: sizes every arena for this shape
+    let before = ds_obs::alloc_count();
+    pass();
+    assert_eq!(
+        ds_obs::alloc_count() - before,
+        0,
+        "{what}: steady-state pass allocated"
+    );
+}
+
+/// Frozen ensemble prediction (probabilities + CAMs) against the mutable
+/// reference path at the ambient team size.
+fn frozen_predict_case(scale: PerfScale, model: &Camal) -> PerfCase {
+    let ensemble = model.ensemble();
+    let windows = serving_windows(scale);
+    let x = Tensor::from_windows(&windows);
+    let mut frozen = ensemble.freeze();
+    // Contract: probabilities within tolerance, decisions identical.
+    let reference = ensemble.predict(&x);
+    let ref_probs = ResNetEnsemble::ensemble_probability(&reference);
+    frozen.predict_into(&x);
+    let mut flips = 0u64;
+    let mut max_abs = 0.0f32;
+    for (r, f) in ref_probs.iter().zip(frozen.ensemble_probs()) {
+        max_abs = max_abs.max((r - f).abs());
+        if (*r > 0.5) != (*f > 0.5) {
+            flips += 1;
+        }
+    }
+    assert!(
+        max_abs <= 1e-4,
+        "frozen predict: probabilities drifted by {max_abs}"
+    );
+    assert_zero_alloc(|| frozen.predict_into(&x), "frozen predict");
+    let (seq_secs, par_secs, allocs) = sample_paths(
+        scale.iters,
+        scale.batch as u64,
+        false,
+        || {
+            ensemble.predict(&x);
+        },
+        || {
+            frozen.predict_into(&x);
+        },
+    );
+    let elements = (scale.batch * scale.window * ensemble.len()) as u64;
+    build_case(
+        "frozen_predict",
+        elements,
+        scale.iters,
+        flips == 0,
+        flips,
+        seq_secs,
+        par_secs,
+        allocs,
     )
+}
+
+/// Frozen end-to-end localization (steps 1–6 through the reused
+/// [`ds_camal::LocalizationBatch`] slabs) against the mutable batched
+/// reference path at the ambient team size.
+fn frozen_localize_case(scale: PerfScale, model: &Camal) -> PerfCase {
+    let windows = serving_windows(scale);
+    let refs: Vec<&[f32]> = windows.iter().map(|w| w.as_slice()).collect();
+    let mut frozen = model.freeze();
+    let reference = model.localize_batch(&refs);
+    let batch = frozen.localize_batch_into(&refs);
+    let mut flips = 0u64;
+    let mut max_abs = 0.0f32;
+    for (w, loc) in reference.iter().enumerate() {
+        max_abs = max_abs.max((batch.probability(w) - loc.detection.probability).abs());
+        if batch.detected(w) != loc.detection.detected || batch.status(w) != loc.status.as_slice() {
+            flips += 1;
+        }
+    }
+    assert!(
+        max_abs <= 1e-4,
+        "frozen localize: probabilities drifted by {max_abs}"
+    );
+    assert_zero_alloc(
+        || {
+            frozen.localize_batch_into(&refs);
+        },
+        "frozen localize",
+    );
+    let (seq_secs, par_secs, allocs) = sample_paths(
+        scale.iters,
+        scale.batch as u64,
+        false,
+        || {
+            model.localize_batch(&refs);
+        },
+        || {
+            frozen.localize_batch_into(&refs);
+        },
+    );
+    let elements = (scale.batch * scale.window) as u64;
+    build_case(
+        "frozen_localize",
+        elements,
+        scale.iters,
+        flips == 0,
+        flips,
+        seq_secs,
+        par_secs,
+        allocs,
+    )
+}
+
+fn run_cases(scale: PerfScale, model: &Camal) -> Vec<PerfCase> {
+    vec![
+        conv_forward_case(scale),
+        ensemble_predict_case(scale),
+        e2e_localize_case(scale),
+        train_epoch_case(scale),
+        frozen_predict_case(scale, model),
+        frozen_localize_case(scale, model),
+    ]
+}
+
+/// Run every case at `scale` once per entry of `thread_counts`; panics if
+/// any parallel path breaks bit-identity or any frozen path drifts past
+/// tolerance. The serving model is trained once (training is
+/// thread-count-invariant by the determinism contract) and reused across
+/// sweeps.
+pub fn run_sweep(scale: PerfScale, smoke: bool, thread_counts: &[usize]) -> PerfReport {
+    let _span = ds_obs::span!("bench.perf_suite");
+    assert!(!thread_counts.is_empty(), "need at least one thread count");
+    let model = trained_serving_model(scale);
+    let mut sweeps = Vec::with_capacity(thread_counts.len());
+    for &t in thread_counts {
+        ds_par::set_threads(Some(t));
+        let cases = run_cases(scale, &model);
+        if let Some(fp) = cases.iter().find(|c| c.name == "frozen_predict") {
+            ds_obs::gauge_set("frozen.allocs_per_window", fp.allocs_per_window);
+            ds_obs::gauge_set("frozen.speedup_x100", fp.speedup * 100.0);
+        }
+        sweeps.push(PerfSweep {
+            threads: ds_par::threads(),
+            cases,
+        });
+    }
+    ds_par::set_threads(None);
+    PerfReport { smoke, sweeps }
+}
+
+/// [`run_sweep`] at the single ambient team size.
+pub fn run_suite(scale: PerfScale, smoke: bool) -> PerfReport {
+    run_sweep(scale, smoke, &[ds_par::threads()])
+}
+
+/// Render a report as aligned text tables, one per sweep.
+pub fn render(report: &PerfReport) -> String {
+    let mut out = String::new();
+    for sweep in &report.sweeps {
+        let rows: Vec<Vec<String>> = sweep
+            .cases
+            .iter()
+            .map(|c| {
+                vec![
+                    c.name.clone(),
+                    format!("{}", c.elements_per_iter),
+                    format!("{:.3e}", c.seq_elements_per_sec),
+                    format!("{:.3e}", c.par_elements_per_sec),
+                    format!("{:.2}x", c.speedup),
+                    if c.bit_identical { "yes" } else { "NO" }.to_string(),
+                    format!("{}", c.decision_flips),
+                    format!("{:.1}", c.allocs_per_window),
+                ]
+            })
+            .collect();
+        out.push_str(&format!(
+            "ds perf suite ({} worker{}, {} mode)\n{}",
+            sweep.threads,
+            if sweep.threads == 1 { "" } else { "s" },
+            if report.smoke { "smoke" } else { "full" },
+            crate::report::text_table(
+                &[
+                    "case",
+                    "elems/iter",
+                    "base elems/s",
+                    "opt elems/s",
+                    "speedup",
+                    "identical",
+                    "flips",
+                    "allocs/win"
+                ],
+                &rows,
+            )
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -436,15 +717,42 @@ mod tests {
             iters: 1,
         };
         let report = run_suite(tiny, true);
-        assert_eq!(report.cases.len(), 4);
-        for c in &report.cases {
+        assert_eq!(report.sweeps.len(), 1);
+        let cases = &report.sweeps[0].cases;
+        assert_eq!(cases.len(), 6);
+        for c in cases {
             assert!(c.bit_identical, "{} diverged", c.name);
+            assert_eq!(c.decision_flips, 0, "{} flipped decisions", c.name);
             assert!(c.seq_secs > 0.0 && c.par_secs > 0.0);
             assert!(c.seq_elements_per_sec.is_finite());
+        }
+        // The frozen serving paths are allocation-free in steady state
+        // (tests run with observability off).
+        for name in ["frozen_predict", "frozen_localize"] {
+            let c = cases.iter().find(|c| c.name == name).unwrap();
+            assert_eq!(c.allocs_per_window, 0.0, "{name} allocated");
         }
         let table = render(&report);
         assert!(table.contains("conv_forward"));
         assert!(table.contains("e2e_localize"));
         assert!(table.contains("train_epoch"));
+        assert!(table.contains("frozen_predict"));
+        assert!(table.contains("frozen_localize"));
+    }
+
+    #[test]
+    fn sweep_produces_one_entry_per_thread_count() {
+        let tiny = PerfScale {
+            batch: 4,
+            window: 48,
+            iters: 1,
+        };
+        let report = run_sweep(tiny, true, &[1, 2]);
+        assert_eq!(report.sweeps.len(), 2);
+        assert_eq!(report.sweeps[0].threads, 1);
+        assert_eq!(report.sweeps[1].threads, 2);
+        for sweep in &report.sweeps {
+            assert_eq!(sweep.cases.len(), 6);
+        }
     }
 }

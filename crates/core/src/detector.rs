@@ -139,6 +139,34 @@ mod tests {
     }
 
     #[test]
+    fn frozen_detect_tracks_reference_probabilities() {
+        // Probability tolerance only: an untrained ensemble sits near the
+        // 0.5 threshold, where decision identity is exercised by the
+        // trained-model tests in `lib.rs` and `ensemble.rs` instead.
+        let ens = ensemble();
+        let cfg = CamalConfig::fast_test();
+        let mut frozen = crate::Camal::from_parts(ens.clone(), cfg.clone()).freeze();
+        let window: Vec<f32> = (0..48)
+            .map(|i| (i as f32 * 0.3).sin() * 50.0 + 100.0)
+            .collect();
+        let reference = detect(&ens, &window, &cfg.localizer);
+        let d = frozen.detect(&window);
+        assert!((d.probability - reference.probability).abs() <= 1e-4);
+        assert_eq!(
+            d.member_probabilities.len(),
+            reference.member_probabilities.len()
+        );
+        for ((fk, fp), (rk, rp)) in d
+            .member_probabilities
+            .iter()
+            .zip(&reference.member_probabilities)
+        {
+            assert_eq!(fk, rk);
+            assert!((fp - rp).abs() <= 1e-4);
+        }
+    }
+
+    #[test]
     fn threshold_controls_detection() {
         let ens = ensemble();
         let window = vec![1.0; 32];

@@ -6,7 +6,7 @@
 use crate::config::CamalConfig;
 use ds_neural::tensor::Tensor;
 use ds_neural::train::{train_classifier, TrainReport};
-use ds_neural::{ResNet, ResNetConfig};
+use ds_neural::{FrozenResNet, InferenceArena, ResNet, ResNetConfig};
 use serde::{Deserialize, Serialize};
 
 /// An ensemble of independently trained ResNet detectors.
@@ -148,6 +148,25 @@ impl ResNetEnsemble {
         })
     }
 
+    /// Compile every member into its frozen inference plan (BN folded,
+    /// ReLU fused, arena-driven; see [`FrozenResNet`]). The source
+    /// ensemble is untouched — it remains the trainable form, and can be
+    /// re-frozen after further training.
+    pub fn freeze(&self) -> FrozenEnsemble {
+        FrozenEnsemble {
+            members: self
+                .members
+                .iter()
+                .map(|m| FrozenMember {
+                    net: FrozenResNet::freeze(m),
+                    arena: InferenceArena::new(),
+                })
+                .collect(),
+            ens_probs: Vec::new(),
+            batch: 0,
+        }
+    }
+
     /// Ensemble probability per window: `Prob_ens = (1/N) Σ Prob_n`.
     pub fn ensemble_probability(outputs: &[MemberOutput]) -> Vec<f32> {
         assert!(!outputs.is_empty(), "no member outputs");
@@ -164,6 +183,115 @@ impl ResNetEnsemble {
             *p *= scale;
         }
         probs
+    }
+}
+
+/// One frozen member plus its private inference arena. The arena holds
+/// the member's most recent outputs (probabilities, CAMs, logits) in
+/// place — reading them costs nothing and writing the next batch reuses
+/// the same memory.
+#[derive(Debug)]
+pub struct FrozenMember {
+    net: FrozenResNet,
+    arena: InferenceArena,
+}
+
+impl FrozenMember {
+    /// Kernel size of this member (the ensemble diversity knob).
+    pub fn kernel(&self) -> usize {
+        self.net.kernel()
+    }
+
+    /// Positive-class probability per window of the most recent pass.
+    pub fn probs(&self) -> &[f32] {
+        self.arena.probs()
+    }
+
+    /// Class-1 CAM of window `w` from the most recent pass.
+    pub fn cam(&self, w: usize) -> &[f32] {
+        self.arena.cam(w)
+    }
+}
+
+/// The serving form of a [`ResNetEnsemble`]: every member compiled to a
+/// [`FrozenResNet`], plus reused output buffers. Built once per trained
+/// ensemble via [`ResNetEnsemble::freeze`].
+///
+/// Prediction is `&mut self` (it writes the member arenas), sequential
+/// over members, and — after the first call per window shape — performs
+/// zero heap allocations. Members are *not* fanned across the ds-par team
+/// here: the committed perf results show thread fan-out buys ~1.0× on
+/// this workload, and the dispatch itself allocates, which would break
+/// the steady-state zero-alloc contract.
+#[derive(Debug)]
+pub struct FrozenEnsemble {
+    members: Vec<FrozenMember>,
+    /// `Prob_ens` per window of the most recent pass.
+    ens_probs: Vec<f32>,
+    /// Window count of the most recent pass.
+    batch: usize,
+}
+
+impl FrozenEnsemble {
+    /// Member count `N`.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the ensemble has no members (never true for a built one).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Borrow the frozen members (and their most recent outputs).
+    pub fn members(&self) -> &[FrozenMember] {
+        &self.members
+    }
+
+    /// Steps 1 & 3 on the frozen path: run every member over a `[B, 1, L]`
+    /// batch and compute `Prob_ens`. Results live in the member arenas
+    /// ([`FrozenMember::probs`]/[`FrozenMember::cam`]) and
+    /// [`FrozenEnsemble::ensemble_probs`]. The mean accumulates in member
+    /// order, matching [`ResNetEnsemble::ensemble_probability`] exactly.
+    pub fn predict_into(&mut self, x: &Tensor) {
+        let b = x.batch;
+        for m in &mut self.members {
+            m.net.predict_into(x, &mut m.arena);
+        }
+        if self.ens_probs.len() < b {
+            self.ens_probs.resize(b, 0.0);
+        }
+        self.ens_probs[..b].fill(0.0);
+        for m in &self.members {
+            for (acc, &p) in self.ens_probs[..b].iter_mut().zip(m.arena.probs()) {
+                *acc += p;
+            }
+        }
+        let scale = 1.0 / self.members.len() as f32;
+        for p in &mut self.ens_probs[..b] {
+            *p *= scale;
+        }
+        self.batch = b;
+    }
+
+    /// `Prob_ens` per window of the most recent [`predict_into`] pass.
+    ///
+    /// [`predict_into`]: FrozenEnsemble::predict_into
+    pub fn ensemble_probs(&self) -> &[f32] {
+        &self.ens_probs[..self.batch]
+    }
+
+    /// Every folded parameter of every member as raw `f32` bit patterns,
+    /// in a stable (member-major) order. Two freezes of behaviorally
+    /// identical ensembles — e.g. before and after a checkpoint round
+    /// trip — must produce equal vectors, which the persistence tests
+    /// assert bit-for-bit.
+    pub fn param_bits(&self) -> Vec<u32> {
+        let mut bits = Vec::new();
+        for m in &self.members {
+            bits.extend(m.net.param_bits());
+        }
+        bits
     }
 }
 
@@ -265,6 +393,44 @@ mod tests {
     #[should_panic(expected = "at least one member")]
     fn empty_ensemble_rejected() {
         let _ = ResNetEnsemble::from_members(vec![]);
+    }
+
+    #[test]
+    fn frozen_matches_reference_and_allocates_nothing() {
+        let cfg = CamalConfig::fast_test();
+        let (windows, labels) = toy_corpus(24, 40);
+        let mut ens = ResNetEnsemble::untrained(&cfg);
+        // Training moves the BN running statistics (folding becomes
+        // non-trivial) and pushes probabilities away from the 0.5 decision
+        // boundary.
+        ens.train(&windows, &labels, &cfg);
+        let x = Tensor::from_windows(&windows[..5]);
+        let outputs = ens.predict(&x);
+        let probs = ResNetEnsemble::ensemble_probability(&outputs);
+        let mut frozen = ens.freeze();
+        assert_eq!(frozen.len(), ens.len());
+        assert!(!frozen.is_empty());
+        frozen.predict_into(&x);
+        for (i, (&f, &r)) in frozen.ensemble_probs().iter().zip(&probs).enumerate() {
+            assert!((f - r).abs() < 1e-4, "window {i}: frozen {f} vs {r}");
+            assert_eq!(f > 0.5, r > 0.5, "decision flip at window {i}");
+        }
+        for (m, out) in frozen.members().iter().zip(&outputs) {
+            assert_eq!(m.kernel(), out.kernel);
+            for i in 0..5 {
+                assert!((m.probs()[i] - out.probs[i]).abs() < 1e-4);
+                for (a, b) in m.cam(i).iter().zip(&out.cams[i]) {
+                    assert!((a - b).abs() < 1e-3, "member cam diverged: {a} vs {b}");
+                }
+            }
+        }
+        // Steady state: repeated passes on the warmed arenas are
+        // allocation-free.
+        let before = ds_obs::alloc_count();
+        for _ in 0..4 {
+            frozen.predict_into(&x);
+        }
+        assert_eq!(ds_obs::alloc_count(), before, "frozen predict allocated");
     }
 
     #[test]

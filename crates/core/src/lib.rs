@@ -64,10 +64,11 @@ pub mod train;
 
 pub use config::{CamalConfig, LocalizerConfig};
 pub use detector::Detection;
-pub use ensemble::ResNetEnsemble;
-pub use localizer::Localization;
+pub use ensemble::{FrozenEnsemble, ResNetEnsemble};
+pub use localizer::{Localization, LocalizationBatch};
 
 use ds_datasets::labels::Corpus;
+use ds_neural::tensor::Tensor;
 use ds_timeseries::{StatusSeries, TimeSeries};
 
 /// Per-window z-normalization (instance normalization) — the input scaling
@@ -77,14 +78,26 @@ use ds_timeseries::{StatusSeries, TimeSeries};
 /// why localization marks timesteps whose consumption sits *above* the
 /// window mean within CAM-supported regions.
 pub fn z_normalize_window(values: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; values.len()];
+    z_normalize_into(values, &mut out);
+    out
+}
+
+/// Allocation-free form of [`z_normalize_window`]: write the z-scored
+/// window into `out` (same length). Identical arithmetic — single-pass
+/// mean, biased variance, divide-by-std — so the results are bit-equal.
+pub fn z_normalize_into(values: &[f32], out: &mut [f32]) {
+    assert_eq!(values.len(), out.len(), "z-normalize shape mismatch");
     let n = values.len().max(1) as f32;
     let mean = values.iter().sum::<f32>() / n;
     let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
     let std = var.sqrt();
     if std > 0.0 {
-        values.iter().map(|v| (v - mean) / std).collect()
+        for (o, v) in out.iter_mut().zip(values) {
+            *o = (v - mean) / std;
+        }
     } else {
-        vec![0.0; values.len()]
+        out.fill(0.0);
     }
 }
 
@@ -161,5 +174,303 @@ impl Camal {
             states[lo..lo + window_samples].copy_from_slice(&out.status);
         }
         StatusSeries::from_states(series.start(), series.interval_secs(), states)
+    }
+
+    /// Compile the trained model into its frozen serving form: BatchNorm
+    /// folded into conv weights, ReLU fused into the conv epilogue, and
+    /// all inference scratch pre-sized so steady-state prediction is
+    /// allocation-free. See [`FrozenCamal`] for the contract.
+    pub fn freeze(&self) -> FrozenCamal {
+        FrozenCamal::new(self.ensemble.freeze(), self.config.clone())
+    }
+}
+
+/// The frozen serving form of a [`Camal`] model.
+///
+/// Built once by [`Camal::freeze`]; afterwards every prediction runs the
+/// BN-folded, ReLU-fused kernels through reused arenas. The contract with
+/// the mutable reference path is *tolerance plus decision identity*:
+/// ensemble probabilities agree within `1e-4` max-abs (BN folding
+/// reassociates float products), and the thresholded artifacts — the
+/// detection flag and the per-timestep status mask — are identical on any
+/// input where the reference probability is not within tolerance of the
+/// 0.5 threshold. Steady-state calls (after the first, which sizes the
+/// arenas) perform **zero heap allocations**, which `ds-bench` asserts via
+/// the ds-obs allocation counter.
+///
+/// Methods take `&mut self` because the arenas are written in place; wrap
+/// in a lock if shared across threads.
+#[derive(Debug)]
+pub struct FrozenCamal {
+    ensemble: FrozenEnsemble,
+    config: CamalConfig,
+    /// Member kernel sizes, cached for sizing the batch without a borrow
+    /// of `ensemble` while `batch` is borrowed mutably.
+    kernels: Vec<usize>,
+    /// Reused `[chunk, 1, len]` input tensor (z-scored windows).
+    input: Tensor,
+    /// Reused flat localization output slabs.
+    batch: LocalizationBatch,
+    /// Reused window-start index buffer for series prediction.
+    starts: Vec<usize>,
+}
+
+impl FrozenCamal {
+    /// Assemble from a frozen ensemble and the model's config.
+    pub fn new(ensemble: FrozenEnsemble, config: CamalConfig) -> FrozenCamal {
+        let kernels = ensemble.members().iter().map(|m| m.kernel()).collect();
+        FrozenCamal {
+            ensemble,
+            config,
+            kernels,
+            input: Tensor::zeros(0, 1, 0),
+            batch: LocalizationBatch::new(),
+            starts: Vec::new(),
+        }
+    }
+
+    /// The frozen ensemble.
+    pub fn ensemble(&self) -> &FrozenEnsemble {
+        &self.ensemble
+    }
+
+    /// The hyper-parameters the source model was trained with.
+    pub fn config(&self) -> &CamalConfig {
+        &self.config
+    }
+
+    /// Steps 1–2 on a raw window (watts). Allocates only the detection
+    /// record's member list (the serving path underneath is arena-backed).
+    pub fn detect(&mut self, window: &[f32]) -> Detection {
+        let batch = self.localize_batch_into(std::slice::from_ref(&window));
+        Detection {
+            probability: batch.probability(0),
+            member_probabilities: batch.member_probabilities(0).collect(),
+            detected: batch.detected(0),
+        }
+    }
+
+    /// The full pipeline (steps 1–6) on a raw window (watts), materialized
+    /// as an owned [`Localization`].
+    pub fn localize(&mut self, window: &[f32]) -> Localization {
+        self.localize_batch_into(std::slice::from_ref(&window))
+            .to_localization(0)
+    }
+
+    /// The full pipeline over many same-length raw windows, written into
+    /// the reused [`LocalizationBatch`] slabs. Windows are processed in
+    /// fixed chunks of the same size the reference batch path uses, so the
+    /// arena shapes stay constant and steady-state calls with a previously
+    /// seen `(chunk, len)` shape allocate nothing.
+    pub fn localize_batch_into(&mut self, windows: &[&[f32]]) -> &LocalizationBatch {
+        let _span = ds_obs::span!("camal.frozen.localize_batch");
+        let count = windows.len();
+        if count == 0 {
+            self.batch.ensure(0, 0, &self.kernels);
+            return &self.batch;
+        }
+        let len = windows[0].len();
+        assert!(len > 0, "cannot localize an empty window");
+        self.batch.ensure(count, len, &self.kernels);
+        let mut offset = 0;
+        while offset < count {
+            let chunk = (count - offset).min(localizer::WINDOW_CHUNK);
+            let elems = chunk * len;
+            if self.input.data.len() < elems {
+                self.input.data.resize(elems, 0.0);
+            }
+            self.input.batch = chunk;
+            self.input.channels = 1;
+            self.input.len = len;
+            for i in 0..chunk {
+                let window = windows[offset + i];
+                assert_eq!(window.len(), len, "windows must share one length");
+                z_normalize_into(window, &mut self.input.data[i * len..(i + 1) * len]);
+            }
+            self.ensemble.predict_into(&self.input);
+            self.batch.assemble_frozen_chunk(
+                &self.ensemble,
+                &self.input.data[..elems],
+                offset,
+                &self.config.localizer,
+            );
+            offset += chunk;
+        }
+        &self.batch
+    }
+
+    /// Frozen counterpart of [`Camal::predict_status_series`], writing the
+    /// per-timestep states into a caller-owned buffer. Identical window
+    /// policy: non-overlapping complete windows, NaN-bearing and trailing
+    /// partial windows conservatively all-off. Steady-state calls over a
+    /// same-shaped series allocate nothing.
+    pub fn predict_status_into(
+        &mut self,
+        series: &TimeSeries,
+        window_samples: usize,
+        states: &mut Vec<u8>,
+    ) {
+        states.clear();
+        states.resize(series.len(), 0);
+        let values = series.values();
+        // Take the index buffer so `self` stays free for localization.
+        let mut starts = std::mem::take(&mut self.starts);
+        starts.clear();
+        starts.extend(
+            (0..)
+                .map(|i| i * window_samples)
+                .take_while(|lo| lo + window_samples <= values.len())
+                .filter(|&lo| values[lo..lo + window_samples].iter().all(|v| !v.is_nan())),
+        );
+        // A stack array of window refs keeps the chunk loop allocation-free.
+        let mut refs: [&[f32]; localizer::WINDOW_CHUNK] = [&[]; localizer::WINDOW_CHUNK];
+        for chunk in starts.chunks(localizer::WINDOW_CHUNK) {
+            for (slot, &lo) in refs.iter_mut().zip(chunk) {
+                *slot = &values[lo..lo + window_samples];
+            }
+            let batch = self.localize_batch_into(&refs[..chunk.len()]);
+            for (i, &lo) in chunk.iter().enumerate() {
+                states[lo..lo + window_samples].copy_from_slice(batch.status(i));
+            }
+        }
+        self.starts = starts;
+    }
+
+    /// Frozen counterpart of [`Camal::predict_status_series`] returning an
+    /// owned [`StatusSeries`].
+    pub fn predict_status_series(
+        &mut self,
+        series: &TimeSeries,
+        window_samples: usize,
+    ) -> StatusSeries {
+        let mut states = Vec::new();
+        self.predict_status_into(series, window_samples, &mut states);
+        StatusSeries::from_states(series.start(), series.interval_secs(), states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_corpus(n: usize, len: usize) -> (Vec<Vec<f32>>, Vec<u8>) {
+        let mut windows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let mut w = vec![0.1f32; len];
+            if i % 2 == 1 {
+                for v in &mut w[len / 3..len / 2] {
+                    *v = 1.0;
+                }
+            }
+            for (j, v) in w.iter_mut().enumerate() {
+                *v += ((i * 5 + j * 3) % 7) as f32 * 0.01;
+            }
+            windows.push(w);
+            labels.push((i % 2) as u8);
+        }
+        (windows, labels)
+    }
+
+    fn trained_toy_camal(len: usize) -> (Camal, Vec<Vec<f32>>) {
+        let cfg = CamalConfig::fast_test();
+        let (windows, labels) = toy_corpus(24, len);
+        let mut ens = ResNetEnsemble::untrained(&cfg);
+        ens.train(&windows, &labels, &cfg);
+        (Camal::from_parts(ens, cfg), windows)
+    }
+
+    #[test]
+    fn z_normalize_into_matches_owned_form() {
+        let w = [3.0f32, -1.0, 7.5, 0.25, 3.0];
+        let owned = z_normalize_window(&w);
+        let mut out = vec![9.0f32; w.len()];
+        z_normalize_into(&w, &mut out);
+        for (a, b) in owned.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut flat = vec![9.0f32; 3];
+        z_normalize_into(&[4.0; 3], &mut flat);
+        assert_eq!(flat, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn frozen_localization_matches_reference_decisions() {
+        let (camal, windows) = trained_toy_camal(40);
+        let mut frozen = camal.freeze();
+        // More windows than one internal chunk, to cross a chunk boundary.
+        let refs: Vec<&[f32]> = windows
+            .iter()
+            .cycle()
+            .take(localizer::WINDOW_CHUNK + 3)
+            .map(|w| w.as_slice())
+            .collect();
+        let reference = camal.localize_batch(&refs);
+        let batch = frozen.localize_batch_into(&refs);
+        assert_eq!(batch.windows(), refs.len());
+        assert_eq!(batch.len(), 40);
+        for (w, loc) in reference.iter().enumerate() {
+            assert!(
+                (batch.probability(w) - loc.detection.probability).abs() <= 1e-4,
+                "window {w} prob drifted: frozen {} vs {}",
+                batch.probability(w),
+                loc.detection.probability
+            );
+            assert_eq!(batch.detected(w), loc.detection.detected, "window {w} flip");
+            assert_eq!(batch.status(w), loc.status.as_slice(), "window {w} mask");
+            for (f, r) in batch.cam(w).iter().zip(&loc.cam) {
+                assert!((f - r).abs() <= 1e-3, "window {w} CAM drifted");
+            }
+            let members: Vec<(usize, f32)> = batch.member_probabilities(w).collect();
+            assert_eq!(members.len(), loc.detection.member_probabilities.len());
+            for ((fk, fp), (rk, rp)) in members.iter().zip(&loc.detection.member_probabilities) {
+                assert_eq!(fk, rk);
+                assert!((fp - rp).abs() <= 1e-4);
+            }
+            // The owned view agrees with the slab accessors.
+            let owned = batch.to_localization(w);
+            assert_eq!(owned.status, loc.status);
+            assert_eq!(owned.detection.detected, loc.detection.detected);
+        }
+        // Single-window forms ride the same path.
+        let single_ref = camal.localize(&windows[1]);
+        let single = frozen.localize(&windows[1]);
+        assert_eq!(single.status, single_ref.status);
+        let det_ref = camal.detect(&windows[1]);
+        let det = frozen.detect(&windows[1]);
+        assert_eq!(det.detected, det_ref.detected);
+        assert!((det.probability - det_ref.probability).abs() <= 1e-4);
+    }
+
+    #[test]
+    fn frozen_status_series_matches_and_allocates_nothing() {
+        let (camal, windows) = trained_toy_camal(40);
+        let mut frozen = camal.freeze();
+        // Series = several complete windows + a NaN-bearing window + a
+        // partial tail, exercising the conservative all-off policy.
+        let mut values: Vec<f32> = windows.iter().take(4).flatten().copied().collect();
+        let mut gap = windows[1].clone();
+        gap[7] = f32::NAN;
+        values.extend(gap);
+        values.extend(&windows[2][..17]);
+        let series = TimeSeries::from_values(0, 60, values);
+        let reference = camal.predict_status_series(&series, 40);
+        let frozen_series = frozen.predict_status_series(&series, 40);
+        assert_eq!(frozen_series.states(), reference.states());
+        assert_eq!(frozen_series.start(), reference.start());
+        // Steady state: repeat predictions into a warm buffer allocate
+        // nothing on this thread.
+        let mut states = Vec::with_capacity(series.len());
+        frozen.predict_status_into(&series, 40, &mut states);
+        let before = ds_obs::alloc_count();
+        for _ in 0..3 {
+            frozen.predict_status_into(&series, 40, &mut states);
+        }
+        assert_eq!(
+            ds_obs::alloc_count() - before,
+            0,
+            "steady-state series prediction must not allocate"
+        );
+        assert_eq!(states.as_slice(), reference.states());
     }
 }

@@ -18,7 +18,7 @@
 
 use crate::config::LocalizerConfig;
 use crate::detector::Detection;
-use crate::ensemble::{MemberOutput, ResNetEnsemble};
+use crate::ensemble::{FrozenEnsemble, MemberOutput, ResNetEnsemble};
 use crate::z_normalize_window;
 use ds_neural::activations::sigmoid;
 use ds_neural::tensor::Tensor;
@@ -167,20 +167,44 @@ pub(crate) fn average_cams(
     assert!(!outputs.is_empty(), "no member outputs");
     let len = outputs[0].cams[index].len();
     let mut avg = vec![0.0f32; len];
-    for out in outputs {
-        let mut cam = out.cams[index].clone();
+    let mut scratch = vec![0.0f32; len];
+    average_cams_into(
+        outputs.iter().map(|o| o.cams[index].as_slice()),
+        outputs.len(),
+        cfg,
+        &mut scratch,
+        &mut avg,
+    );
+    avg
+}
+
+/// Allocation-free core of steps 3–4: normalize each member CAM (copied
+/// through `scratch`, since min-max normalization is in place) and
+/// average into `out`. Accumulation order — per member: copy, normalize,
+/// add; then one final scale — matches [`average_cams`] exactly.
+pub(crate) fn average_cams_into<'a>(
+    cams: impl Iterator<Item = &'a [f32]>,
+    count: usize,
+    cfg: &LocalizerConfig,
+    scratch: &mut [f32],
+    out: &mut [f32],
+) {
+    assert!(count > 0, "no member outputs");
+    out.fill(0.0);
+    for cam in cams {
+        let scratch = &mut scratch[..cam.len()];
+        scratch.copy_from_slice(cam);
         if cfg.normalize_cams {
-            min_max_normalize(&mut cam);
+            min_max_normalize(scratch);
         }
-        for (a, c) in avg.iter_mut().zip(&cam) {
+        for (a, c) in out.iter_mut().zip(scratch.iter()) {
             *a += c;
         }
     }
-    let scale = 1.0 / outputs.len() as f32;
-    for a in &mut avg {
+    let scale = 1.0 / count as f32;
+    for a in out.iter_mut() {
         *a *= scale;
     }
-    avg
 }
 
 /// Steps 5–6: the attention mask and the binary status.
@@ -190,22 +214,223 @@ pub(crate) fn attention_and_status(
     detected: bool,
     cfg: &LocalizerConfig,
 ) -> (Vec<f32>, Vec<u8>) {
-    let attention: Vec<f32> = if cfg.use_attention {
-        cam.iter()
-            .zip(normalized_input)
-            .map(|(&c, &x)| sigmoid(c * x))
-            .collect()
+    let mut attention = vec![0.0f32; cam.len()];
+    let mut status = vec![0u8; cam.len()];
+    attention_and_status_into(
+        cam,
+        normalized_input,
+        detected,
+        cfg,
+        &mut attention,
+        &mut status,
+    );
+    (attention, status)
+}
+
+/// Allocation-free core of steps 5–6, writing into caller buffers.
+pub(crate) fn attention_and_status_into(
+    cam: &[f32],
+    normalized_input: &[f32],
+    detected: bool,
+    cfg: &LocalizerConfig,
+    attention: &mut [f32],
+    status: &mut [u8],
+) {
+    if cfg.use_attention {
+        for ((a, &c), &x) in attention.iter_mut().zip(cam).zip(normalized_input) {
+            *a = sigmoid(c * x);
+        }
     } else {
         // Ablation: treat the averaged CAM itself as the activation signal.
-        cam.to_vec()
-    };
+        attention.copy_from_slice(cam);
+    }
     let gate_ok = detected || !cfg.gate_on_detection;
-    let status: Vec<u8> = attention
-        .iter()
-        .zip(cam)
-        .map(|(&s, &c)| u8::from(gate_ok && s > 0.5 && c >= cfg.cam_gate))
-        .collect();
-    (attention, status)
+    for ((st, &s), &c) in status.iter_mut().zip(attention.iter()).zip(cam) {
+        *st = u8::from(gate_ok && s > 0.5 && c >= cfg.cam_gate);
+    }
+}
+
+/// Flat, reusable storage for the localization of a batch of windows.
+///
+/// The frozen serving path writes every per-window artifact — probability,
+/// detection flag, averaged CAM, attention signal, status mask, per-member
+/// probabilities — into row-major slabs owned by this struct, so a warm
+/// [`LocalizationBatch`] makes repeated batched localization allocation-free.
+/// Buffers only ever grow ([`LocalizationBatch::ensure`]); per-window views
+/// come back as slices into the slabs, and [`LocalizationBatch::to_localization`]
+/// materializes the classic owned [`Localization`] when a caller wants one.
+#[derive(Debug, Default)]
+pub struct LocalizationBatch {
+    windows: usize,
+    len: usize,
+    /// Per-window ensemble probability, `[windows]`.
+    probability: Vec<f32>,
+    /// Per-window detection flag, `[windows]`.
+    detected: Vec<bool>,
+    /// Averaged (normalized) CAMs, `[windows, len]` row-major.
+    cam: Vec<f32>,
+    /// Attention signal `s(t)`, `[windows, len]` row-major.
+    attention: Vec<f32>,
+    /// Binary status, `[windows, len]` row-major.
+    status: Vec<u8>,
+    /// Per-member probabilities, `[windows, members]` row-major.
+    member_probs: Vec<f32>,
+    /// Member kernel sizes, `[members]` (shared across windows).
+    kernels: Vec<usize>,
+    /// CAM normalization scratch, `[len]`.
+    scratch: Vec<f32>,
+}
+
+impl LocalizationBatch {
+    /// An empty batch; buffers are sized lazily by [`LocalizationBatch::ensure`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size the slabs for `windows × len` with `members` ensemble members.
+    /// Grow-only: shrinking reuses the larger buffers.
+    pub(crate) fn ensure(&mut self, windows: usize, len: usize, kernels: &[usize]) {
+        fn grow<T: Clone + Default>(buf: &mut Vec<T>, n: usize) {
+            if buf.len() < n {
+                buf.resize(n, T::default());
+            }
+        }
+        self.windows = windows;
+        self.len = len;
+        grow(&mut self.probability, windows);
+        grow(&mut self.detected, windows);
+        grow(&mut self.cam, windows * len);
+        grow(&mut self.attention, windows * len);
+        grow(&mut self.status, windows * len);
+        grow(&mut self.member_probs, windows * kernels.len());
+        grow(&mut self.scratch, len);
+        self.kernels.clear();
+        self.kernels.extend_from_slice(kernels);
+    }
+
+    /// Number of windows localized into this batch.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// Window length shared by all rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no windows have been localized.
+    pub fn is_empty(&self) -> bool {
+        self.windows == 0
+    }
+
+    /// Ensemble probability for window `w`.
+    pub fn probability(&self, w: usize) -> f32 {
+        assert!(w < self.windows, "window {w} out of {}", self.windows);
+        self.probability[w]
+    }
+
+    /// Detection flag for window `w`.
+    pub fn detected(&self, w: usize) -> bool {
+        assert!(w < self.windows, "window {w} out of {}", self.windows);
+        self.detected[w]
+    }
+
+    /// Averaged CAM row for window `w`.
+    pub fn cam(&self, w: usize) -> &[f32] {
+        assert!(w < self.windows, "window {w} out of {}", self.windows);
+        &self.cam[w * self.len..(w + 1) * self.len]
+    }
+
+    /// Attention row `s(t)` for window `w`.
+    pub fn attention(&self, w: usize) -> &[f32] {
+        assert!(w < self.windows, "window {w} out of {}", self.windows);
+        &self.attention[w * self.len..(w + 1) * self.len]
+    }
+
+    /// Binary status row for window `w`.
+    pub fn status(&self, w: usize) -> &[u8] {
+        assert!(w < self.windows, "window {w} out of {}", self.windows);
+        &self.status[w * self.len..(w + 1) * self.len]
+    }
+
+    /// `(kernel, probability)` pairs for window `w`, in member order.
+    pub fn member_probabilities(&self, w: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(w < self.windows, "window {w} out of {}", self.windows);
+        let m = self.kernels.len();
+        self.kernels
+            .iter()
+            .copied()
+            .zip(self.member_probs[w * m..(w + 1) * m].iter().copied())
+    }
+
+    /// Materialize an owned [`Localization`] for window `w` (allocates).
+    pub fn to_localization(&self, w: usize) -> Localization {
+        Localization {
+            detection: Detection {
+                probability: self.probability(w),
+                member_probabilities: self.member_probabilities(w).collect(),
+                detected: self.detected(w),
+            },
+            cam: self.cam(w).to_vec(),
+            attention: self.attention(w).to_vec(),
+            status: self.status(w).to_vec(),
+        }
+    }
+
+    /// Steps 2–6 for a predicted frozen chunk: write windows
+    /// `offset..offset + chunk` of this batch from the ensemble's arenas.
+    /// `normalized` holds the chunk's z-scored input rows, `[chunk, len]`
+    /// row-major. Allocation-free once the slabs are sized.
+    pub(crate) fn assemble_frozen_chunk(
+        &mut self,
+        ensemble: &FrozenEnsemble,
+        normalized: &[f32],
+        offset: usize,
+        cfg: &LocalizerConfig,
+    ) {
+        let chunk = ensemble.ensemble_probs().len();
+        let len = self.len;
+        assert_eq!(normalized.len(), chunk * len, "normalized chunk shape");
+        assert!(offset + chunk <= self.windows, "chunk exceeds batch");
+        let members = ensemble.members();
+        let m = members.len();
+        assert_eq!(m, self.kernels.len(), "member count changed");
+        let Self {
+            cam,
+            attention,
+            status,
+            scratch,
+            probability,
+            detected,
+            member_probs,
+            ..
+        } = self;
+        for i in 0..chunk {
+            let w = offset + i;
+            let prob = ensemble.ensemble_probs()[i];
+            probability[w] = prob;
+            detected[w] = prob > cfg.detection_threshold;
+            for (mi, member) in members.iter().enumerate() {
+                member_probs[w * m + mi] = member.probs()[i];
+            }
+            let cam_row = &mut cam[w * len..(w + 1) * len];
+            average_cams_into(
+                members.iter().map(|member| member.cam(i)),
+                m,
+                cfg,
+                &mut scratch[..len],
+                cam_row,
+            );
+            attention_and_status_into(
+                cam_row,
+                &normalized[i * len..(i + 1) * len],
+                detected[w],
+                cfg,
+                &mut attention[w * len..(w + 1) * len],
+                &mut status[w * len..(w + 1) * len],
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,20 @@ mod tests {
     }
 
     #[test]
+    fn freeze_after_round_trip_is_bit_identical() {
+        // BN folding consumes gamma/beta/running stats and conv weights;
+        // if the checkpoint preserves those exactly (it serializes f32s
+        // losslessly), the frozen plan must come out bit-for-bit equal.
+        let model = untrained_model();
+        let back = from_json(&to_json(&model)).unwrap();
+        assert_eq!(
+            model.freeze().ensemble().param_bits(),
+            back.freeze().ensemble().param_bits(),
+            "frozen plan drifted across a save/load round trip"
+        );
+    }
+
+    #[test]
     fn version_and_format_guards() {
         let json =
             to_json(&untrained_model()).replace("\"format_version\":1", "\"format_version\":2");

@@ -162,6 +162,27 @@ impl BatchNorm1d {
         y
     }
 
+    /// The inference pass as a per-channel affine: `(scale, shift)` with
+    /// `scale[c] = γ[c] / sqrt(running_var[c] + ε)` and
+    /// `shift[c] = β[c] − scale[c] · running_mean[c]`, so that
+    /// `infer(x)[c] ≈ scale[c] · x + shift[c]`. "≈" because [`infer`]
+    /// evaluates `γ·(x−μ)·istd + β` — the same real-number function with a
+    /// different association, which is exactly the reassociation the frozen
+    /// plan's tolerance contract (`1e-4` max-abs on logits) absorbs.
+    ///
+    /// [`infer`]: BatchNorm1d::infer
+    pub fn inference_affine(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut scale = Vec::with_capacity(self.channels);
+        let mut shift = Vec::with_capacity(self.channels);
+        for ci in 0..self.channels {
+            let istd = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+            let s = self.gamma[ci] * istd;
+            scale.push(s);
+            shift.push(self.beta[ci] - s * self.running_mean[ci]);
+        }
+        (scale, shift)
+    }
+
     /// Backward pass (training statistics), returning the input gradient.
     ///
     /// Mirrors the forward split: phase A reduces the channel sums over the

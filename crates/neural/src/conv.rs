@@ -157,7 +157,7 @@ impl Conv1d {
                 };
                 if rows == 4 {
                     let w = [w_at(0), w_at(1), w_at(2), w_at(3)];
-                    accumulate_conv4(block, l, x_row, w, k, pad, self.dilation);
+                    accumulate_conv4(block, l, x_row, w, k, pad, self.dilation, false);
                 } else {
                     for (r, y_row) in block.chunks_mut(l).enumerate() {
                         accumulate_conv(
@@ -291,9 +291,10 @@ impl Conv1d {
 /// Accumulate `y[t] += Σ_k w[k] * x[t + k*d - pad]` with zero padding,
 /// keeping the inner loop over a contiguous valid range (no per-element
 /// bounds branch). Single-row fallback for output-channel remainders and
-/// arbitrary kernel widths.
+/// arbitrary kernel widths. Crate-visible so the frozen inference plan
+/// can drive the same kernels without the layer's bias/caching wrapper.
 #[inline]
-fn accumulate_conv(y: &mut [f32], x: &[f32], w: &[f32], pad: isize, dilation: isize) {
+pub(crate) fn accumulate_conv(y: &mut [f32], x: &[f32], w: &[f32], pad: isize, dilation: isize) {
     let l = y.len();
     for (k, &wk) in w.iter().enumerate() {
         let shift = k as isize * dilation - pad;
@@ -341,8 +342,18 @@ macro_rules! dispatch_kernel {
 /// each loaded `x[·]` feeds four accumulators. Per-element tap order
 /// (ascending `k`) matches [`accumulate_conv`], so results are
 /// bit-identical to the single-row path.
+///
+/// `relu` is a fused epilogue: when true, each output element is clamped
+/// to `max(v, 0)` as it is written back. Only the *final* accumulation
+/// pass over a block may fuse (each element is written exactly once per
+/// pass, so an earlier clamp would corrupt later accumulation) — the
+/// frozen inference plan passes `relu = ic + 1 == in_channels`, the
+/// mutable path always passes `false` (bit-identical to the pre-epilogue
+/// kernel). The flag is const-dispatched together with the kernel width,
+/// so the `false` path compiles to exactly the old loop.
+#[allow(clippy::too_many_arguments)]
 #[inline]
-fn accumulate_conv4(
+pub(crate) fn accumulate_conv4(
     block: &mut [f32],
     l: usize,
     x: &[f32],
@@ -350,9 +361,18 @@ fn accumulate_conv4(
     k: usize,
     pad: usize,
     dilation: usize,
+    relu: bool,
 ) {
     #[inline(always)]
-    fn body(
+    fn epi<const RELU: bool>(v: f32) -> f32 {
+        if RELU {
+            v.max(0.0)
+        } else {
+            v
+        }
+    }
+    #[inline(always)]
+    fn body<const RELU: bool>(
         block: &mut [f32],
         l: usize,
         x: &[f32],
@@ -381,10 +401,10 @@ fn accumulate_conv4(
                     a3 += w3[kk] * xv;
                 }
             }
-            y0[t] = a0;
-            y1[t] = a1;
-            y2[t] = a2;
-            y3[t] = a3;
+            y0[t] = epi::<RELU>(a0);
+            y1[t] = epi::<RELU>(a1);
+            y2[t] = epi::<RELU>(a2);
+            y3[t] = epi::<RELU>(a3);
         }
         // Interior: every tap in range, no branch in the tap loop.
         for t in t_lo..t_hi {
@@ -397,14 +417,14 @@ fn accumulate_conv4(
                 a2 += w2[kk] * xv;
                 a3 += w3[kk] * xv;
             }
-            y0[t] = a0;
-            y1[t] = a1;
-            y2[t] = a2;
-            y3[t] = a3;
+            y0[t] = epi::<RELU>(a0);
+            y1[t] = epi::<RELU>(a1);
+            y2[t] = epi::<RELU>(a2);
+            y3[t] = epi::<RELU>(a3);
         }
     }
     #[inline]
-    fn fixed<const K: usize>(
+    fn fixed<const K: usize, const RELU: bool>(
         block: &mut [f32],
         l: usize,
         x: &[f32],
@@ -412,13 +432,169 @@ fn accumulate_conv4(
         pad: usize,
         dilation: usize,
     ) {
-        body(block, l, x, w, K, pad, dilation);
+        body::<RELU>(block, l, x, w, K, pad, dilation);
     }
-    dispatch_kernel!(
-        k,
-        fixed(block, l, x, w, pad, dilation),
-        body(block, l, x, w, k, pad, dilation)
-    );
+    macro_rules! go {
+        ($relu:literal) => {
+            match k {
+                1 => fixed::<1, $relu>(block, l, x, w, pad, dilation),
+                3 => fixed::<3, $relu>(block, l, x, w, pad, dilation),
+                5 => fixed::<5, $relu>(block, l, x, w, pad, dilation),
+                7 => fixed::<7, $relu>(block, l, x, w, pad, dilation),
+                9 => fixed::<9, $relu>(block, l, x, w, pad, dilation),
+                15 => fixed::<15, $relu>(block, l, x, w, pad, dilation),
+                _ => body::<$relu>(block, l, x, w, k, pad, dilation),
+            }
+        };
+    }
+    if relu {
+        go!(true)
+    } else {
+        go!(false)
+    }
+}
+
+/// Frozen-path forward kernel: accumulate four contiguous output rows at
+/// **two adjacent output positions** per interior step. Each loaded
+/// weight `w[kk]` feeds positions `t` and `t+1`, halving weight traffic
+/// (the dominant memory operation of the per-element kernel — `4k` weight
+/// loads against `k` input loads and 8 output operations), and the eight
+/// accumulators double the independent FMA chains, hiding add latency the
+/// four-chain kernel cannot. Each output element still accumulates its
+/// taps in ascending `k` order in a single register, so the result is
+/// bit-identical to [`accumulate_conv4`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub(crate) fn accumulate_conv4t2(
+    block: &mut [f32],
+    l: usize,
+    x: &[f32],
+    w: [&[f32]; 4],
+    k: usize,
+    pad: usize,
+    dilation: usize,
+    relu: bool,
+) {
+    #[inline(always)]
+    fn epi<const RELU: bool>(v: f32) -> f32 {
+        if RELU {
+            v.max(0.0)
+        } else {
+            v
+        }
+    }
+    #[inline(always)]
+    fn body<const RELU: bool>(
+        block: &mut [f32],
+        l: usize,
+        x: &[f32],
+        w: [&[f32]; 4],
+        k: usize,
+        pad: usize,
+        dilation: usize,
+    ) {
+        let span = (k - 1) * dilation;
+        let t_lo = pad.min(l);
+        let t_hi = (l + pad).saturating_sub(span).clamp(t_lo, l);
+        let (y0, rest) = block.split_at_mut(l);
+        let (y1, rest) = rest.split_at_mut(l);
+        let (y2, y3) = rest.split_at_mut(l);
+        let (w0, w1, w2, w3) = (&w[0][..k], &w[1][..k], &w[2][..k], &w[3][..k]);
+        // Padded edges: per-tap range check.
+        for t in (0..t_lo).chain(t_hi..l) {
+            let (mut a0, mut a1, mut a2, mut a3) = (y0[t], y1[t], y2[t], y3[t]);
+            for kk in 0..k {
+                let s = t as isize + (kk * dilation) as isize - pad as isize;
+                if s >= 0 && (s as usize) < l {
+                    let xv = x[s as usize];
+                    a0 += w0[kk] * xv;
+                    a1 += w1[kk] * xv;
+                    a2 += w2[kk] * xv;
+                    a3 += w3[kk] * xv;
+                }
+            }
+            y0[t] = epi::<RELU>(a0);
+            y1[t] = epi::<RELU>(a1);
+            y2[t] = epi::<RELU>(a2);
+            y3[t] = epi::<RELU>(a3);
+        }
+        // Interior, two positions per step: position t+1's tap `kk` reads
+        // `x[t+1-pad+kk*d]` — one element past position t's — so both
+        // share the window slice.
+        let mut t = t_lo;
+        while t + 2 <= t_hi {
+            let xs = &x[t - pad..t - pad + span + 2];
+            let (mut a00, mut a10, mut a20, mut a30) = (y0[t], y1[t], y2[t], y3[t]);
+            let (mut a01, mut a11, mut a21, mut a31) = (y0[t + 1], y1[t + 1], y2[t + 1], y3[t + 1]);
+            for kk in 0..k {
+                let xv0 = xs[kk * dilation];
+                let xv1 = xs[kk * dilation + 1];
+                let (c0, c1, c2, c3) = (w0[kk], w1[kk], w2[kk], w3[kk]);
+                a00 += c0 * xv0;
+                a01 += c0 * xv1;
+                a10 += c1 * xv0;
+                a11 += c1 * xv1;
+                a20 += c2 * xv0;
+                a21 += c2 * xv1;
+                a30 += c3 * xv0;
+                a31 += c3 * xv1;
+            }
+            y0[t] = epi::<RELU>(a00);
+            y1[t] = epi::<RELU>(a10);
+            y2[t] = epi::<RELU>(a20);
+            y3[t] = epi::<RELU>(a30);
+            y0[t + 1] = epi::<RELU>(a01);
+            y1[t + 1] = epi::<RELU>(a11);
+            y2[t + 1] = epi::<RELU>(a21);
+            y3[t + 1] = epi::<RELU>(a31);
+            t += 2;
+        }
+        // Odd interior remainder: one position, same chain as the pair.
+        if t < t_hi {
+            let xs = &x[t - pad..t - pad + span + 1];
+            let (mut a0, mut a1, mut a2, mut a3) = (y0[t], y1[t], y2[t], y3[t]);
+            for kk in 0..k {
+                let xv = xs[kk * dilation];
+                a0 += w0[kk] * xv;
+                a1 += w1[kk] * xv;
+                a2 += w2[kk] * xv;
+                a3 += w3[kk] * xv;
+            }
+            y0[t] = epi::<RELU>(a0);
+            y1[t] = epi::<RELU>(a1);
+            y2[t] = epi::<RELU>(a2);
+            y3[t] = epi::<RELU>(a3);
+        }
+    }
+    #[inline]
+    fn fixed<const K: usize, const RELU: bool>(
+        block: &mut [f32],
+        l: usize,
+        x: &[f32],
+        w: [&[f32]; 4],
+        pad: usize,
+        dilation: usize,
+    ) {
+        body::<RELU>(block, l, x, w, K, pad, dilation);
+    }
+    macro_rules! go {
+        ($relu:literal) => {
+            match k {
+                1 => fixed::<1, $relu>(block, l, x, w, pad, dilation),
+                3 => fixed::<3, $relu>(block, l, x, w, pad, dilation),
+                5 => fixed::<5, $relu>(block, l, x, w, pad, dilation),
+                7 => fixed::<7, $relu>(block, l, x, w, pad, dilation),
+                9 => fixed::<9, $relu>(block, l, x, w, pad, dilation),
+                15 => fixed::<15, $relu>(block, l, x, w, pad, dilation),
+                _ => body::<$relu>(block, l, x, w, k, pad, dilation),
+            }
+        };
+    }
+    if relu {
+        go!(true)
+    } else {
+        go!(false)
+    }
 }
 
 /// Register-blocked input-gradient kernel (the transpose of the forward
@@ -721,6 +897,40 @@ mod tests {
                 .iter()
                 .zip(&par.3)
                 .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    /// The two-position frozen kernel must be bit-identical to the
+    /// one-position kernel, with and without the fused ReLU, across
+    /// kernel widths (const-dispatched and fallback), even and odd
+    /// interior lengths, rows shorter than the kernel span, and dilation.
+    #[test]
+    fn conv4t2_matches_conv4() {
+        for kernel in [1usize, 4, 5, 9, 15] {
+            for l in [3usize, 17, 40] {
+                for dilation in [1usize, 2] {
+                    let pad = (kernel - 1) * dilation / 2;
+                    let w_flat: Vec<f32> = (0..kernel * 4)
+                        .map(|i| ((i * 37 + 13) % 23) as f32 / 7.0 - 1.5)
+                        .collect();
+                    let w: [&[f32]; 4] = std::array::from_fn(|r| &w_flat[r * kernel..][..kernel]);
+                    let x: Vec<f32> = (0..l).map(|i| ((i * 29 % 17) as f32 - 8.0) / 5.0).collect();
+                    for relu in [false, true] {
+                        let mut single: Vec<f32> =
+                            (0..4 * l).map(|i| (i % 5) as f32 * 0.3 - 0.6).collect();
+                        let mut paired = single.clone();
+                        accumulate_conv4(&mut single, l, &x, w, kernel, pad, dilation, relu);
+                        accumulate_conv4t2(&mut paired, l, &x, w, kernel, pad, dilation, relu);
+                        for (a, b) in paired.iter().zip(&single) {
+                            assert_eq!(
+                                a.to_bits(),
+                                b.to_bits(),
+                                "k={kernel} l={l} d={dilation} relu={relu}: {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+            }
         }
     }
 

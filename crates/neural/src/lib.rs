@@ -32,6 +32,9 @@
 //!   and the fixed micro-batch height shared by the parallel layer kernels.
 //! - [`cam`]: Class Activation Map extraction — `CAM_c(t) = Σ_k w_k^c f_k(t)`
 //!   — the mechanism CamAL builds on.
+//! - [`frozen`], [`plan`]: the compiled serving form — BatchNorm folded into
+//!   conv weights, ReLU fused into the conv epilogue, and a ping-pong
+//!   inference arena that makes steady-state prediction allocation-free.
 //! - [`serialize`]: JSON weight persistence for trained models.
 //!
 //! Every differentiable layer is covered by finite-difference gradient
@@ -41,10 +44,12 @@ pub mod activations;
 pub mod batchnorm;
 pub mod cam;
 pub mod conv;
+pub mod frozen;
 pub mod init;
 pub mod linear;
 pub mod loss;
 pub mod optim;
+pub mod plan;
 pub mod pool;
 pub mod resblock;
 pub mod resnet;
@@ -54,6 +59,8 @@ pub mod tensor;
 pub mod train;
 pub mod workspace;
 
+pub use frozen::FrozenResNet;
+pub use plan::InferenceArena;
 pub use resnet::{ResNet, ResNetConfig};
 pub use tensor::{Matrix, Tensor};
 

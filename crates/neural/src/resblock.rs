@@ -104,6 +104,23 @@ impl ResidualBlock {
         crate::activations::relu_infer(&h)
     }
 
+    /// The `(conv, bn)` pair of main-branch stage `i ∈ {0, 1, 2}`, for the
+    /// frozen-plan builder (which folds each pair into one fused conv).
+    pub(crate) fn stage_parts(&self, i: usize) -> (&Conv1d, &BatchNorm1d) {
+        let s = match i {
+            0 => &self.stage1,
+            1 => &self.stage2,
+            2 => &self.stage3,
+            _ => panic!("residual block has stages 0..3, got {i}"),
+        };
+        (&s.conv, &s.bn)
+    }
+
+    /// The projection shortcut's `(conv, bn)` pair, when present.
+    pub(crate) fn shortcut_parts(&self) -> Option<(&Conv1d, &BatchNorm1d)> {
+        self.shortcut.as_ref().map(|sc| (&sc.conv, &sc.bn))
+    }
+
     /// Backward pass, returning the gradient with respect to the input.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let g_sum = self.relu_out.backward(grad_out);

@@ -138,6 +138,16 @@ impl ResNet {
         (probs, cams)
     }
 
+    /// The residual blocks, in order — for the frozen-plan builder.
+    pub(crate) fn blocks(&self) -> &[ResidualBlock] {
+        &self.blocks
+    }
+
+    /// The classifier head — for the frozen-plan builder.
+    pub(crate) fn head(&self) -> &Linear {
+        &self.head
+    }
+
     /// Backward from logit gradients (after a training-mode forward).
     pub fn backward(&mut self, grad_logits: &Matrix) {
         let g = self.head.backward(grad_logits);

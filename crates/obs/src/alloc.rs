@@ -1,0 +1,111 @@
+//! Per-thread heap-allocation counter.
+//!
+//! A counting wrapper around the system allocator, installed as the
+//! workspace's `#[global_allocator]` (every binary links ds-obs, so every
+//! binary gets it). Each `alloc`, `alloc_zeroed`, and `realloc` bumps a
+//! thread-local counter; frees are not tracked — the counter measures
+//! allocation *events*, which is what a zero-alloc steady-state contract
+//! cares about.
+//!
+//! The count is **per thread** so that a delta around a region of code
+//! observes only that region's allocations: test binaries run tests on
+//! sibling threads and the perf harness keeps a worker pool warm, and a
+//! process-global count would pick up their traffic. The frozen inference
+//! path is sequential on the calling thread, so a same-thread delta is
+//! exactly its allocation count.
+//!
+//! Unlike the metric registry, the counter is **always on**: it must stay
+//! truthful with `DS_OBS=off`, because the perf harness asserts "zero
+//! allocations per window after warmup" in exactly that configuration
+//! (the metric paths themselves allocate when enabled). The counter cell
+//! is a const-initialized `Cell<u64>` with no destructor, so bumping it
+//! inside the allocator can neither allocate nor recurse.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn bump() {
+    // `try_with` so allocations during thread teardown (after TLS
+    // destruction) pass through uncounted instead of aborting.
+    let _ = ALLOCATIONS.try_with(|n| n.set(n.get() + 1));
+}
+
+/// The counting allocator type (installed below; public only so the docs
+/// can name it).
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Heap-allocation events (alloc + alloc_zeroed + realloc) performed by
+/// the **calling thread** since it started. Monotonic; diff two reads to
+/// count a region's allocations. Always live, independent of `DS_OBS`.
+#[inline]
+pub fn alloc_count() -> u64 {
+    ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_allocation_events() {
+        let before = alloc_count();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        let mid = alloc_count();
+        assert_eq!(mid, before + 1, "Vec::with_capacity is one event");
+        drop(v);
+        // Frees are not events, and sibling threads can't perturb us.
+        assert_eq!(alloc_count(), mid);
+    }
+
+    #[test]
+    fn grow_registers_as_realloc() {
+        let mut v: Vec<u8> = Vec::with_capacity(4);
+        v.extend_from_slice(&[0; 4]);
+        let before = alloc_count();
+        v.extend_from_slice(&[0; 64]); // forces growth
+        assert!(alloc_count() > before);
+    }
+
+    #[test]
+    fn other_threads_do_not_leak_into_this_count() {
+        let before = alloc_count();
+        std::thread::spawn(|| {
+            let _v: Vec<u8> = Vec::with_capacity(1024);
+        })
+        .join()
+        .unwrap();
+        // Spawning allocates on *this* thread (thread handle, stack setup),
+        // but the spawned thread's own Vec must not appear here; just
+        // sanity-check the counter survives cross-thread traffic.
+        assert!(alloc_count() >= before);
+    }
+}

@@ -48,11 +48,13 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
+mod alloc;
 mod registry;
 mod render;
 mod sink;
 mod span;
 
+pub use alloc::alloc_count;
 pub use registry::{Buckets, HistogramSummary, Registry};
 pub use render::render_summary;
 pub use sink::{event_record, events_snapshot, flush_sink, init_sink, sink_path};

@@ -1,0 +1,144 @@
+//! Golden tests for the frozen inference plan: BN-folded, fused-epilogue
+//! networks must reproduce the mutable reference path across every
+//! architecture shape the paper's ensemble uses.
+//!
+//! Coverage axes:
+//! - kernel sizes `{5, 7, 9, 15}` — the paper's ensemble diversity knob,
+//!   spanning the specialized fixed-kernel conv paths and the generic one;
+//! - channel plans `[4, 8]` (both blocks carry projection shortcuts) and
+//!   `[4, 4]` (the second block uses the identity shortcut, so the
+//!   shortcut-free folding path is exercised);
+//! - batch sizes `{1, 4, 17}` — singleton, the register-blocked sweet
+//!   spot, and a remainder-row count.
+//!
+//! The networks are briefly *trained* first: training moves the BatchNorm
+//! running statistics off their initialization (making folding a
+//! non-trivial transform) and pushes probabilities away from the 0.5
+//! threshold (making decision-identity meaningful).
+
+use ds_neural::resnet::{ResNet, ResNetConfig};
+use ds_neural::tensor::Tensor;
+use ds_neural::train::{train_classifier, TrainConfig};
+use ds_neural::{FrozenResNet, InferenceArena};
+
+const WINDOW: usize = 64;
+
+/// A small linearly separable corpus: odd windows carry a burst.
+fn corpus(n: usize) -> (Vec<Vec<f32>>, Vec<u8>) {
+    let windows: Vec<Vec<f32>> = (0..n)
+        .map(|w| {
+            (0..WINDOW)
+                .map(|i| {
+                    let base = ((w * 17 + i) % 23) as f32 * 0.04;
+                    let burst = if w % 2 == 1 && i % 20 < 8 { 1.0 } else { 0.0 };
+                    base + burst
+                })
+                .collect()
+        })
+        .collect();
+    let labels: Vec<u8> = (0..n).map(|w| (w % 2) as u8).collect();
+    (windows, labels)
+}
+
+/// Varied evaluation input, disjoint from the training corpus pattern.
+fn eval_input(batch: usize) -> Tensor {
+    let data: Vec<f32> = (0..batch * WINDOW)
+        .map(|i| ((i * 31 % 17) as f32 - 8.0) / 4.0 + (i as f32 * 0.09).sin())
+        .collect();
+    Tensor::from_data(batch, 1, WINDOW, data)
+}
+
+fn trained_net(kernel: usize, channels: Vec<usize>, seed: u64) -> ResNet {
+    let mut net = ResNet::new(ResNetConfig {
+        in_channels: 1,
+        channels,
+        kernel,
+        num_classes: 2,
+        seed,
+    });
+    let (windows, labels) = corpus(16);
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 4,
+        patience: None,
+        ..TrainConfig::default()
+    };
+    train_classifier(&mut net, &windows, &labels, &cfg);
+    net
+}
+
+/// The tolerance contract: logits within 1e-4 max-abs, probabilities
+/// within 1e-4, CAMs within 1e-3, and thresholded decisions identical.
+fn assert_frozen_matches(net: &mut ResNet, label: &str) {
+    let frozen = FrozenResNet::freeze(net);
+    let mut arena = InferenceArena::new();
+    for batch in [1usize, 4, 17] {
+        let x = eval_input(batch);
+        let (logits, _) = net.infer(&x);
+        let (probs, cams) = net.infer_with_cam(&x);
+        frozen.predict_into(&x, &mut arena);
+        for bi in 0..batch {
+            for (a, r) in arena.logits_row(bi).iter().zip(logits.row(bi)) {
+                assert!(
+                    (a - r).abs() <= 1e-4,
+                    "{label} b={batch}: logit {a} vs reference {r}"
+                );
+            }
+            assert!(
+                (arena.probs()[bi] - probs[bi]).abs() <= 1e-4,
+                "{label} b={batch}: prob {} vs reference {}",
+                arena.probs()[bi],
+                probs[bi]
+            );
+            assert_eq!(
+                arena.probs()[bi] > 0.5,
+                probs[bi] > 0.5,
+                "{label} b={batch}: decision flipped at prob {}",
+                probs[bi]
+            );
+            for (a, r) in arena.cam(bi).iter().zip(&cams[bi]) {
+                assert!(
+                    (a - r).abs() <= 1e-3,
+                    "{label} b={batch}: cam {a} vs reference {r}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn frozen_matches_reference_with_projection_shortcuts() {
+    for (i, kernel) in [5usize, 7, 9, 15].into_iter().enumerate() {
+        let mut net = trained_net(kernel, vec![4, 8], 100 + i as u64);
+        assert_frozen_matches(&mut net, &format!("k={kernel} channels=[4,8]"));
+    }
+}
+
+#[test]
+fn frozen_matches_reference_with_identity_shortcut() {
+    for (i, kernel) in [5usize, 7, 9, 15].into_iter().enumerate() {
+        let mut net = trained_net(kernel, vec![4, 4], 200 + i as u64);
+        assert_frozen_matches(&mut net, &format!("k={kernel} channels=[4,4]"));
+    }
+}
+
+#[test]
+fn frozen_steady_state_allocates_nothing_across_batches() {
+    let mut net = trained_net(9, vec![4, 8], 300);
+    let frozen = FrozenResNet::freeze(&net);
+    let mut arena = InferenceArena::new();
+    // Warm with the largest batch so every later shape fits the arena.
+    frozen.predict_into(&eval_input(17), &mut arena);
+    let inputs: Vec<Tensor> = [1usize, 4, 17].into_iter().map(eval_input).collect();
+    let before = ds_obs::alloc_count();
+    for x in &inputs {
+        frozen.predict_into(x, &mut arena);
+    }
+    assert_eq!(
+        ds_obs::alloc_count(),
+        before,
+        "steady-state frozen predict must not allocate"
+    );
+    // And the plan still matches the mutable path after arena reuse.
+    assert_frozen_matches(&mut net, "post-reuse k=9 channels=[4,8]");
+}
