@@ -28,9 +28,16 @@ cargo test -q
 echo "==> perf: cargo bench --no-run (benches stay compilable)"
 cargo bench --workspace --no-run
 
-echo "==> perf: smoke at 2 workers (seq-vs-par, training, frozen inference)"
+echo "==> chaos: fault-injection suite (no panics, gaps surface as Unknown)"
+cargo test -q --test fault_injection
+
+echo "==> perf: smoke at 2 workers under DS_FAULT (serving must degrade, not abort)"
 smoke_out="target/ci_perf_smoke.json"
-DS_PAR_THREADS=2 cargo run -q --release -p ds-bench --bin perf -- --smoke --out "$smoke_out"
+smoke_log="target/ci_perf_smoke.log"
+DS_FAULT=gaps:0.05,spikes:0.01 DS_PAR_THREADS=2 \
+    cargo run -q --release -p ds-bench --bin perf -- --smoke --out "$smoke_out" | tee "$smoke_log"
+grep -Eq 'fault smoke: .* 0 decision flips' "$smoke_log" \
+    || { echo "ci: fault smoke missing or reported clean-window decision flips" >&2; exit 1; }
 grep -q '"name": *"train_epoch"' "$smoke_out" \
     || { echo "ci: perf smoke is missing the train_epoch case" >&2; exit 1; }
 grep -q '"name": *"frozen_predict"' "$smoke_out" \

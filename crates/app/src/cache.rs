@@ -76,26 +76,33 @@ impl<K: Ord + Clone, V> BoundedCache<K, V> {
 
     /// Cached value for `key`, computing and inserting it on a miss.
     /// `compute` may fail; errors pass through without touching the cache.
-    /// Hits and misses tick the `cache.<name>.{hits,misses}` ds-obs
-    /// counters so `DS_OBS=summary` shows navigation cache efficiency.
+    /// Hits and misses tick the given ds-obs counters so `DS_OBS=summary`
+    /// shows navigation cache efficiency.
     pub fn get_or_try_insert_with<E>(
         &mut self,
-        name: &'static str,
+        counters: CacheCounters,
         key: K,
         compute: impl FnOnce(&mut Self) -> Result<V, E>,
-    ) -> Result<&V, E>
-    where
-        V: Clone,
-    {
+    ) -> Result<&V, E> {
         if self.map.contains_key(&key) {
-            ds_obs::counter_add(&format!("cache.{name}.hits"), 1);
+            ds_obs::counter_add(counters.hits, 1);
         } else {
-            ds_obs::counter_add(&format!("cache.{name}.misses"), 1);
+            ds_obs::counter_add(counters.misses, 1);
             let value = compute(self)?;
             self.insert(key.clone(), value);
         }
         Ok(self.map.get(&key).expect("present or just inserted"))
     }
+}
+
+/// The hit/miss counter names of one cache, declared once as `'static`
+/// strings so the hot lookup path never allocates a counter name.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheCounters {
+    /// Counter ticked on a cache hit, e.g. `"cache.status_series.hits"`.
+    pub hits: &'static str,
+    /// Counter ticked on a cache miss.
+    pub misses: &'static str,
 }
 
 #[cfg(test)]
@@ -148,13 +155,18 @@ mod tests {
         assert_eq!(c.get(&2), Some(&2));
     }
 
+    const TEST_COUNTERS: CacheCounters = CacheCounters {
+        hits: "cache.test.hits",
+        misses: "cache.test.misses",
+    };
+
     #[test]
     fn get_or_try_insert_computes_once() {
         let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
         let mut calls = 0;
         for _ in 0..3 {
             let v = c
-                .get_or_try_insert_with("test", 7, |_| {
+                .get_or_try_insert_with(TEST_COUNTERS, 7, |_| {
                     calls += 1;
                     Ok::<u32, ()>(42)
                 })
@@ -165,9 +177,21 @@ mod tests {
     }
 
     #[test]
+    fn get_or_try_insert_works_without_clone_values() {
+        // The value type here implements neither Clone nor Copy; the
+        // cache must still serve references to it.
+        struct Opaque(#[allow(dead_code)] u32);
+        let mut c: BoundedCache<u32, Opaque> = BoundedCache::new(4);
+        let v = c
+            .get_or_try_insert_with(TEST_COUNTERS, 1, |_| Ok::<_, ()>(Opaque(9)))
+            .unwrap();
+        assert_eq!(v.0, 9);
+    }
+
+    #[test]
     fn get_or_try_insert_propagates_errors() {
         let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
-        let err = c.get_or_try_insert_with("test", 1, |_| Err::<u32, &str>("boom"));
+        let err = c.get_or_try_insert_with(TEST_COUNTERS, 1, |_| Err::<u32, &str>("boom"));
         assert_eq!(err.unwrap_err(), "boom");
         assert!(c.is_empty());
     }

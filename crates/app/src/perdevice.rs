@@ -3,9 +3,10 @@
 //! their guess — and CamAL's — with reality.
 
 use crate::playground::{CHART_HEIGHT, CHART_WIDTH};
-use crate::plot::{line_chart, status_strip};
+use crate::plot::{line_chart, status_strip, tri_status, tri_status_strip};
 use crate::state::{AppError, AppState};
 use ds_datasets::ApplianceKind;
+use ds_timeseries::missing::{impute, Imputation};
 
 /// Render the per-device view for one appliance in the current window.
 pub fn render(state: &mut AppState, kind: ApplianceKind) -> Result<String, AppError> {
@@ -25,23 +26,32 @@ pub fn render(state: &mut AppState, kind: ApplianceKind) -> Result<String, AppEr
         "truth     {}\n",
         status_strip(&truth, CHART_WIDTH)
     ));
-    // Predicted localization of this appliance.
+    // Predicted localization of this appliance. Inference runs on a
+    // linearly imputed copy of the window; the raw values then mask the
+    // gap timesteps back to `Unknown` so degraded decisions render as `▒`
+    // and are excluded from the score below.
     let window = state.current_window()?;
-    let clean: Vec<f32> = window
-        .values()
-        .iter()
-        .map(|v| if v.is_nan() { 0.0 } else { *v })
-        .collect();
+    let clean = impute(&window, Imputation::Linear).into_values();
     let loc = state.frozen_localize(kind, &clean)?;
+    let tri = tri_status(&loc.status, window.values());
     out.push_str(&format!(
         "predicted {}\n",
-        status_strip(&loc.status, CHART_WIDTH)
+        tri_status_strip(&tri, CHART_WIDTH)
     ));
-    let m = ds_metrics::localization::score_status(&loc.status, &truth);
+    let wire: Vec<u8> = tri.iter().map(|s| s.as_u8()).collect();
+    let s = ds_metrics::localization::score_status_known(&wire, &truth);
+    let m = s.measures;
     out.push_str(&format!(
         "window localization: acc {:.2}  bacc {:.2}  precision {:.2}  recall {:.2}  f1 {:.2}\n",
         m.accuracy, m.balanced_accuracy, m.precision, m.recall, m.f1
     ));
+    if s.unknown > 0 {
+        out.push_str(&format!(
+            "  (scored on {:.0}% of timesteps; {} unknown due to missing data)\n",
+            s.coverage() * 100.0,
+            s.unknown
+        ));
+    }
     Ok(out)
 }
 

@@ -2,7 +2,7 @@
 //! Prev/Next paging and, when appliances are selected, the predicted status
 //! strip of each appliance under the chart.
 
-use crate::plot::{line_chart, status_strip};
+use crate::plot::{line_chart, tri_status, tri_status_strip};
 use crate::state::{AppError, AppState};
 
 /// Chart width in columns used by every playground view.
@@ -28,10 +28,13 @@ pub fn render(state: &mut AppState) -> Result<String, AppError> {
         out.push_str("\npredicted appliance status (CamAL):\n");
         for (kind, loc) in state.localize_selected()? {
             let marker = if loc.detection.detected { "✓" } else { " " };
+            // Gap timesteps render as `▒` (unknown): their decisions came
+            // from imputed input, not measured power.
+            let tri = tri_status(&loc.status, window.values());
             out.push_str(&format!(
                 "{marker} {:<16} {}  p={:.2}\n",
                 kind.name(),
-                &status_strip(&loc.status, CHART_WIDTH),
+                &tri_status_strip(&tri, CHART_WIDTH),
                 loc.detection.probability
             ));
         }

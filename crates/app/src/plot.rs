@@ -4,7 +4,7 @@
 //! views deterministic and testable.
 
 use ds_timeseries::time::format_compact;
-use ds_timeseries::TimeSeries;
+use ds_timeseries::{Status, TimeSeries};
 
 /// Render a power window as an ASCII line chart of `width × height` cells.
 ///
@@ -100,6 +100,53 @@ pub fn status_strip(states: &[u8], width: usize) -> String {
                 .min(states.len());
             if states[lo..hi].contains(&1) {
                 '█'
+            } else {
+                '─'
+            }
+        })
+        .collect()
+}
+
+/// Merge a window's binary localization with its raw input: a timestep
+/// whose input sample was missing becomes [`Status::Unknown`] — its
+/// decision was made on imputed data, so the app must not present it as
+/// certain — while timesteps with a real sample keep the 0/1 decision.
+pub fn tri_status(status: &[u8], values: &[f32]) -> Vec<Status> {
+    debug_assert_eq!(status.len(), values.len(), "status/values length mismatch");
+    status
+        .iter()
+        .zip(values)
+        .map(|(&s, v)| {
+            if v.is_nan() {
+                Status::Unknown
+            } else if s == 1 {
+                Status::On
+            } else {
+                Status::Off
+            }
+        })
+        .collect()
+}
+
+/// Render a tri-state status as a strip of `width` characters: `█` on,
+/// `▒` unknown, `─` off. A bucket is ON if any sample inside it is ON;
+/// otherwise UNKNOWN if any sample is unknown; otherwise OFF.
+pub fn tri_status_strip(states: &[Status], width: usize) -> String {
+    let width = width.clamp(8, 200);
+    if states.is_empty() {
+        return "─".repeat(width);
+    }
+    (0..width)
+        .map(|c| {
+            let lo = c * states.len() / width;
+            let hi = (((c + 1) * states.len()) / width)
+                .max(lo + 1)
+                .min(states.len());
+            let bucket = &states[lo..hi];
+            if bucket.contains(&Status::On) {
+                '█'
+            } else if bucket.contains(&Status::Unknown) {
+                '▒'
             } else {
                 '─'
             }
@@ -205,6 +252,30 @@ mod tests {
         assert_eq!(strip.chars().filter(|&c| c == '█').count(), 1);
         assert_eq!(strip.chars().nth(5).unwrap(), '█');
         assert_eq!(status_strip(&[], 10).chars().count(), 10);
+    }
+
+    #[test]
+    fn tri_status_masks_missing_samples() {
+        let status = [1u8, 1, 0, 0];
+        let values = [100.0, f32::NAN, f32::NAN, 5.0];
+        assert_eq!(
+            tri_status(&status, &values),
+            vec![Status::On, Status::Unknown, Status::Unknown, Status::Off]
+        );
+    }
+
+    #[test]
+    fn tri_status_strip_ranks_on_over_unknown_over_off() {
+        let mut states = vec![Status::Off; 30];
+        states[1] = Status::Unknown; // bucket 0: unknown wins over off
+        states[15] = Status::On;
+        states[16] = Status::Unknown; // bucket 1: on wins over unknown
+        let strip = tri_status_strip(&states, 10);
+        assert_eq!(strip.chars().count(), 10);
+        assert_eq!(strip.chars().next().unwrap(), '▒');
+        assert_eq!(strip.chars().nth(5).unwrap(), '█');
+        assert_eq!(strip.chars().nth(9).unwrap(), '─');
+        assert_eq!(tri_status_strip(&[], 10).chars().count(), 10);
     }
 
     #[test]

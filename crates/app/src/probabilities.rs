@@ -3,6 +3,7 @@
 
 use crate::plot::probability_bar;
 use crate::state::{AppError, AppState};
+use ds_timeseries::missing::{impute, Imputation};
 
 /// Render the probabilities view for all selected appliances.
 pub fn render(state: &mut AppState) -> Result<String, AppError> {
@@ -10,13 +11,19 @@ pub fn render(state: &mut AppState) -> Result<String, AppError> {
         return Ok("select at least one appliance to see detection probabilities\n".into());
     }
     let window = state.current_window()?;
-    let clean: Vec<f32> = window
-        .values()
-        .iter()
-        .map(|v| if v.is_nan() { 0.0 } else { *v })
-        .collect();
+    // Detection runs on a linearly imputed copy of the window; when any
+    // samples were missing the view says so up front, because the
+    // probabilities below were computed over partly fabricated input.
+    let missing = window.missing_count();
+    let clean = impute(&window, Imputation::Linear).into_values();
     let selected = state.selected.clone();
     let mut out = String::from("── Model detection probabilities ──\n");
+    if missing > 0 {
+        out.push_str(&format!(
+            "⚠ degraded window: {missing}/{} samples missing (imputed for detection)\n",
+            window.len()
+        ));
+    }
     for kind in selected {
         let detection = state.frozen_detect(kind, &clean)?;
         out.push_str(&format!("{}\n", kind.name()));

@@ -3,9 +3,10 @@
 //! the lazily trained per-(dataset, appliance) CamAL models.
 
 use crate::cache::BoundedCache;
-use ds_camal::{Camal, CamalConfig, Detection, FrozenCamal, Localization};
+use ds_camal::{Camal, CamalConfig, CamalError, Detection, FrozenCamal, Localization};
 use ds_datasets::labels::Corpus;
 use ds_datasets::{ApplianceKind, Catalog, DatasetPreset};
+use ds_timeseries::missing::{impute, Imputation};
 use ds_timeseries::window::{WindowCursor, WindowLength};
 use ds_timeseries::{StatusSeries, TimeSeries};
 use std::collections::BTreeMap;
@@ -75,6 +76,9 @@ pub enum AppError {
     UnknownAppliance(String),
     /// The series is too short for the requested window length.
     WindowTooLong(String),
+    /// The CamAL serving layer rejected the request (empty corpus, empty
+    /// window, length mismatch, …) — surfaced instead of aborting the REPL.
+    Model(CamalError),
 }
 
 impl std::fmt::Display for AppError {
@@ -87,11 +91,18 @@ impl std::fmt::Display for AppError {
             AppError::NothingLoaded => write!(f, "load a series first (load <dataset> <house>)"),
             AppError::UnknownAppliance(a) => write!(f, "unknown appliance {a:?}"),
             AppError::WindowTooLong(m) => write!(f, "{m}"),
+            AppError::Model(e) => write!(f, "model error: {e}"),
         }
     }
 }
 
 impl std::error::Error for AppError {}
+
+impl From<CamalError> for AppError {
+    fn from(e: CamalError) -> Self {
+        AppError::Model(e)
+    }
+}
 
 /// The DeviceScope application state.
 pub struct AppState {
@@ -228,7 +239,12 @@ impl AppState {
         let ds = self.catalog.get(preset);
         let house = ds.house(house_id).ok_or(AppError::UnknownHouse(house_id))?;
         let status = house.status(kind);
-        Ok(status.states()[lo..lo + len].to_vec())
+        // Simulated submeter truth is complete, so the binary view of the
+        // tri-state ground truth is lossless.
+        Ok(status.states()[lo..lo + len]
+            .iter()
+            .map(|s| s.as_binary())
+            .collect())
     }
 
     /// Ground-truth submetered power of `kind` for the current window.
@@ -266,7 +282,7 @@ impl AppState {
             let ds = self.catalog.get(preset);
             let mut corpus = Corpus::build(ds, kind, window_samples);
             corpus.balance_train(3);
-            let model = Camal::train(&corpus, &self.config.camal);
+            let model = Camal::try_train(&corpus, &self.config.camal)?;
             self.models.insert(key.clone(), model);
         }
         Ok(self.models.get(&key).expect("inserted above"))
@@ -414,13 +430,17 @@ impl AppState {
                 continue;
             }
             ds_obs::counter_add("cache.window_localization.misses", 1);
-            // Impute tiny display gaps with zeros so the pipeline runs; the
-            // training path never sees imputed windows.
-            let clean: Vec<f32> = window
-                .values()
-                .iter()
-                .map(|v| if v.is_nan() { 0.0 } else { *v })
-                .collect();
+            // Inference needs a gap-free input. Gaps are linearly
+            // interpolated — a zero fill would read as a real "all off"
+            // power level and silently bias the decision toward Off — and
+            // the views mask the gap timesteps back to `Unknown` at render
+            // time, so imputed decisions are never presented as certain.
+            let missing = window.missing_count();
+            if missing > 0 {
+                ds_obs::counter_add("serve.degraded_windows", 1);
+                ds_obs::counter_add("serve.unknown_samples", missing as u64);
+            }
+            let clean = impute(&window, Imputation::Linear).into_values();
             let localization = self.frozen_localize(kind, &clean)?;
             self.window_cache.insert(key, localization.clone());
             out.push((kind, localization));
@@ -458,6 +478,13 @@ mod tests {
         assert!(!state.prev().unwrap());
         let w = state.current_window().unwrap();
         assert_eq!(w.len(), 720);
+    }
+
+    #[test]
+    fn model_errors_map_into_app_errors() {
+        let e: AppError = CamalError::EmptyWindow.into();
+        assert_eq!(e, AppError::Model(CamalError::EmptyWindow));
+        assert!(e.to_string().contains("empty window"));
     }
 
     #[test]

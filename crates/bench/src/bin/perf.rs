@@ -14,7 +14,8 @@
 //! resolution; `--smoke` shrinks the workloads for CI.
 
 use ds_bench::perf::{render, run_sweep, PerfScale};
-use ds_bench::report;
+use ds_bench::{faultsmoke, report};
+use ds_timeseries::faults::FaultPlan;
 
 fn main() {
     let mut smoke = false;
@@ -54,6 +55,17 @@ fn main() {
     };
     if let Err(e) = ds_obs::init_sink("results/perf_obs.jsonl") {
         eprintln!("cannot open event sink: {e}");
+    }
+    // Fault-injection smoke: when DS_FAULT is set, assert the degradation
+    // contract (no panic, missing → Unknown, clean windows bit-identical)
+    // before timing anything. A malformed spec is a loud startup error.
+    match FaultPlan::from_env() {
+        Ok(Some(plan)) => println!("{}", faultsmoke::run(&plan).render()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("invalid DS_FAULT: {e}");
+            std::process::exit(2);
+        }
     }
     let report = {
         let _run = ds_obs::span!("perf");

@@ -1,0 +1,130 @@
+//! The `DS_FAULT` smoke stage behind the perf binary.
+//!
+//! Under an injected fault plan the serving path must uphold the
+//! degradation contract end to end: no panic, every missing reading
+//! surfaces as [`Status::Unknown`], the frozen and mutable paths agree,
+//! and aligned windows the faults did not touch keep **bit-identical**
+//! decisions against the unfaulted run. CI drives this with
+//! `DS_FAULT=gaps:0.05,spikes:0.01` and gates on the report line.
+//!
+//! [`Status::Unknown`]: ds_timeseries::Status::Unknown
+
+use ds_camal::{Camal, CamalConfig};
+use ds_datasets::labels::Corpus;
+use ds_datasets::{ApplianceKind, Dataset, DatasetConfig, DatasetPreset};
+use ds_timeseries::faults::FaultPlan;
+use ds_timeseries::TimeSeries;
+
+/// Outcome of one fault smoke run, for the CI log line.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultSmoke {
+    /// Aligned windows no fault touched (compared bit-for-bit).
+    pub clean_windows: usize,
+    /// Aligned windows with at least one faulted sample.
+    pub degraded_windows: usize,
+    /// `Unknown` timesteps in the faulted prediction.
+    pub unknown_samples: usize,
+    /// Decision mismatches inside untouched windows (must be 0).
+    pub decision_flips: usize,
+}
+
+impl FaultSmoke {
+    /// One-line summary for the CI log.
+    pub fn render(&self) -> String {
+        format!(
+            "fault smoke: {} clean windows bit-identical, {} degraded windows, \
+             {} unknown samples, {} decision flips",
+            self.clean_windows, self.degraded_windows, self.unknown_samples, self.decision_flips
+        )
+    }
+}
+
+/// Train a small model, fault a complete series with `plan`, and assert
+/// the degradation contract on both serving paths.
+///
+/// # Panics
+/// Panics when the contract is violated — the smoke stage treats any
+/// violation as a CI failure.
+pub fn run(plan: &FaultPlan) -> FaultSmoke {
+    let window = 120usize;
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+    let mut corpus = Corpus::build(&ds, ApplianceKind::Kettle, window);
+    corpus.balance_train(2);
+    let camal = Camal::train(&corpus, &CamalConfig::fast_test());
+    let mut frozen = camal.freeze();
+
+    // A complete series (gap-free corpus windows plus a ragged 50-sample
+    // tail) so every `Unknown` afterwards is attributable to the plan.
+    let mut values: Vec<f32> = corpus
+        .test
+        .iter()
+        .take(6)
+        .flat_map(|w| w.values.iter().copied())
+        .collect();
+    values.extend(&corpus.train[0].values[..50]);
+    let clean = TimeSeries::from_values(0, 60, values);
+    assert!(!clean.has_missing(), "smoke series must start complete");
+    let faulted = plan.apply(&clean);
+
+    let clean_status = camal.predict_status_series(&clean, window);
+    let mutable = camal.predict_status_series(&faulted.series, window);
+    let frozen_status = frozen.predict_status_series(&faulted.series, window);
+    assert_eq!(
+        mutable.states(),
+        frozen_status.states(),
+        "frozen and mutable serving paths disagree under faults"
+    );
+
+    let len = faulted.series.len();
+    for i in 0..len {
+        if faulted.missing[i] {
+            assert!(
+                mutable.states()[i].is_unknown(),
+                "missing sample {i} served a fabricated decision"
+            );
+        }
+    }
+
+    // Aligned windows untouched by any fault see bit-identical input in
+    // both runs (truncation only removes the tail), so their decisions
+    // must match the unfaulted run exactly.
+    let mut smoke = FaultSmoke {
+        clean_windows: 0,
+        degraded_windows: 0,
+        unknown_samples: mutable.unknown_count(),
+        decision_flips: 0,
+    };
+    for lo in (0..(len / window) * window).step_by(window) {
+        let touched = (lo..lo + window).any(|i| faulted.touched(i));
+        if touched {
+            smoke.degraded_windows += 1;
+            continue;
+        }
+        smoke.clean_windows += 1;
+        for i in lo..lo + window {
+            if mutable.states()[i] != clean_status.states()[i] {
+                smoke.decision_flips += 1;
+            }
+        }
+    }
+    assert_eq!(
+        smoke.decision_flips, 0,
+        "faults flipped decisions inside untouched windows"
+    );
+    smoke
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_holds_under_the_ci_plan() {
+        let plan = FaultPlan::parse("gaps:0.05,spikes:0.01").unwrap();
+        let s = run(&plan);
+        assert_eq!(s.decision_flips, 0);
+        assert!(s.unknown_samples > 0, "gaps must abstain somewhere");
+        assert!(s.degraded_windows > 0);
+        assert!(s.render().contains("0 decision flips"));
+    }
+}

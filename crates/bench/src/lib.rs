@@ -21,6 +21,7 @@
 //! in `benches/`.
 
 pub mod experiments;
+pub mod faultsmoke;
 pub mod methods;
 pub mod perf;
 pub mod report;

@@ -1,0 +1,95 @@
+//! Typed errors for the CamAL serving path.
+//!
+//! The historical entry points panic on misuse ("at least one labeled
+//! window", "cannot localize an empty window", …). Panics are the right
+//! call for programming errors in offline experiments, but a serving
+//! process (the REPL, a future HTTP front end) must degrade, not abort —
+//! a malformed request or an empty upload is routine traffic, not a bug.
+//! Every panicking entry point therefore has a `try_` twin returning
+//! [`CamalError`], and the panicking form delegates to it so the two can
+//! never drift.
+
+use std::fmt;
+
+/// Why a CamAL training or inference call could not proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CamalError {
+    /// Training was asked to run on a corpus with no labeled windows —
+    /// e.g. every subsequence was dropped for missing data.
+    EmptyCorpus,
+    /// An inference call received a zero-length window.
+    EmptyWindow,
+    /// A batched inference call received windows of differing lengths.
+    WindowLengthMismatch {
+        /// Length of the first window (the batch's agreed length).
+        expected: usize,
+        /// The offending window's length.
+        got: usize,
+    },
+    /// A series-level prediction was asked for with `window_samples == 0`.
+    ZeroWindow,
+    /// CAM extraction was requested before any forward pass ran.
+    NoForwardPass,
+}
+
+impl fmt::Display for CamalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CamalError::EmptyCorpus => {
+                write!(f, "CamAL training requires at least one labeled window")
+            }
+            CamalError::EmptyWindow => write!(f, "cannot localize an empty window"),
+            CamalError::WindowLengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "windows must share one length (expected {expected}, got {got})"
+                )
+            }
+            CamalError::ZeroWindow => {
+                write!(f, "series prediction requires a positive window length")
+            }
+            CamalError::NoForwardPass => {
+                write!(f, "CAM extraction requires a forward pass first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CamalError {}
+
+impl From<ds_neural::cam::NoForwardPass> for CamalError {
+    fn from(_: ds_neural::cam::NoForwardPass) -> Self {
+        CamalError::NoForwardPass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_match_the_historical_panics() {
+        // The `try_` twins surface the same wording the panics used, so
+        // log scrapers keyed on the old messages keep working.
+        assert_eq!(
+            CamalError::EmptyCorpus.to_string(),
+            "CamAL training requires at least one labeled window"
+        );
+        assert_eq!(
+            CamalError::EmptyWindow.to_string(),
+            "cannot localize an empty window"
+        );
+        assert!(CamalError::WindowLengthMismatch {
+            expected: 360,
+            got: 17
+        }
+        .to_string()
+        .contains("windows must share one length"));
+    }
+
+    #[test]
+    fn neural_error_converts() {
+        let e: CamalError = ds_neural::cam::NoForwardPass.into();
+        assert_eq!(e, CamalError::NoForwardPass);
+    }
+}

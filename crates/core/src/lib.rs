@@ -57,6 +57,7 @@ pub mod calibrate;
 pub mod config;
 pub mod detector;
 pub mod ensemble;
+pub mod error;
 pub mod localizer;
 pub mod model_io;
 pub mod selection;
@@ -65,11 +66,33 @@ pub mod train;
 pub use config::{CamalConfig, LocalizerConfig};
 pub use detector::Detection;
 pub use ensemble::{FrozenEnsemble, ResNetEnsemble};
+pub use error::CamalError;
 pub use localizer::{Localization, LocalizationBatch};
 
 use ds_datasets::labels::Corpus;
 use ds_neural::tensor::Tensor;
-use ds_timeseries::{StatusSeries, TimeSeries};
+use ds_timeseries::{Status, StatusSeries, TimeSeries};
+
+/// Validate a batch of raw windows for the fallible inference paths:
+/// every window must be non-empty and share one length.
+fn validate_windows(windows: &[&[f32]]) -> Result<(), CamalError> {
+    let Some(first) = windows.first() else {
+        return Ok(());
+    };
+    if first.is_empty() {
+        return Err(CamalError::EmptyWindow);
+    }
+    let expected = first.len();
+    for w in windows {
+        if w.len() != expected {
+            return Err(CamalError::WindowLengthMismatch {
+                expected,
+                got: w.len(),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// Per-window z-normalization (instance normalization) — the input scaling
 /// applied before every model sees a window, at training and prediction
@@ -110,8 +133,17 @@ pub struct Camal {
 
 impl Camal {
     /// Train CamAL on a weak-label corpus (see [`train::train_camal`]).
+    ///
+    /// # Panics
+    /// Panics on an empty corpus; serving paths use [`Camal::try_train`].
     pub fn train(corpus: &Corpus, config: &CamalConfig) -> Camal {
         train::train_camal(corpus, config)
+    }
+
+    /// Fallible form of [`Camal::train`]: `Err(CamalError::EmptyCorpus)`
+    /// instead of a panic when no labeled windows survive corpus building.
+    pub fn try_train(corpus: &Corpus, config: &CamalConfig) -> Result<Camal, CamalError> {
+        train::try_train_camal(corpus, config)
     }
 
     /// Assemble from parts (used by persistence and tests).
@@ -134,9 +166,21 @@ impl Camal {
         detector::detect(&self.ensemble, window, &self.config.localizer)
     }
 
+    /// Fallible form of [`Camal::detect`]: typed error on an empty window.
+    pub fn try_detect(&self, window: &[f32]) -> Result<Detection, CamalError> {
+        validate_windows(std::slice::from_ref(&window))?;
+        Ok(self.detect(window))
+    }
+
     /// The full pipeline (steps 1–6) on a raw window (watts).
     pub fn localize(&self, window: &[f32]) -> Localization {
         localizer::localize(&self.ensemble, window, &self.config.localizer)
+    }
+
+    /// Fallible form of [`Camal::localize`]: typed error on an empty window.
+    pub fn try_localize(&self, window: &[f32]) -> Result<Localization, CamalError> {
+        validate_windows(std::slice::from_ref(&window))?;
+        Ok(self.localize(window))
     }
 
     /// The full pipeline over many same-length raw windows, batched and
@@ -147,33 +191,74 @@ impl Camal {
         localizer::localize_batch(&self.ensemble, windows, &self.config.localizer)
     }
 
+    /// Fallible form of [`Camal::localize_batch`]: typed errors on empty
+    /// or length-mismatched windows instead of the internal asserts.
+    pub fn try_localize_batch(&self, windows: &[&[f32]]) -> Result<Vec<Localization>, CamalError> {
+        validate_windows(windows)?;
+        Ok(self.localize_batch(windows))
+    }
+
     /// Predict a full status series by sliding non-overlapping windows of
-    /// `window_samples` over `series`. Windows with missing data and the
-    /// trailing partial window are conservatively all-off (the GUI shows
-    /// them as gaps anyway). Complete windows are gathered up front and
-    /// localized as one batch, so the whole series benefits from the
-    /// batched/parallel inference path.
+    /// `window_samples` over `series`, plus one end-aligned window when
+    /// the length is not a multiple, so a complete series has **zero
+    /// coverage holes**. Overlap between the tail window and the last
+    /// aligned window resolves as "earlier window wins", keeping
+    /// aligned-window outputs identical to the aligned-only policy.
+    ///
+    /// Timesteps inside windows with missing readings — and any region no
+    /// window could decide — come back [`Status::Unknown`], never `Off`:
+    /// a dropout is absence of evidence, not evidence of absence. The
+    /// `serve.degraded_windows` / `serve.unknown_samples` counters record
+    /// how much of the series degraded. Complete windows are gathered up
+    /// front and localized as one batch, so the whole series benefits from
+    /// the batched/parallel inference path.
     pub fn predict_status_series(
         &self,
         series: &TimeSeries,
         window_samples: usize,
     ) -> StatusSeries {
-        let mut states = vec![0u8; series.len()];
+        let w = window_samples;
+        assert!(w > 0, "series prediction requires a positive window length");
         let values = series.values();
-        let starts: Vec<usize> = (0..)
-            .map(|i| i * window_samples)
-            .take_while(|lo| lo + window_samples <= values.len())
-            .filter(|&lo| values[lo..lo + window_samples].iter().all(|v| !v.is_nan()))
-            .collect();
-        let windows: Vec<&[f32]> = starts
-            .iter()
-            .map(|&lo| &values[lo..lo + window_samples])
-            .collect();
-        let outcomes = self.localize_batch(&windows);
-        for (&lo, out) in starts.iter().zip(&outcomes) {
-            states[lo..lo + window_samples].copy_from_slice(&out.status);
+        let len = values.len();
+        let mut states = vec![Status::Unknown; len];
+        let aligned_end = if len >= w { (len / w) * w } else { 0 };
+        let has_tail = len >= w && len > aligned_end;
+        let clean = |lo: usize| values[lo..lo + w].iter().all(|v| !v.is_nan());
+        // Coverage plan: (window start, first timestep this window owns).
+        let mut plan: Vec<(usize, usize)> = (0..aligned_end / w).map(|i| (i * w, i * w)).collect();
+        if has_tail {
+            plan.push((len - w, aligned_end));
         }
-        StatusSeries::from_states(series.start(), series.interval_secs(), states)
+        let mut degraded = 0u64;
+        let starts: Vec<usize> = plan
+            .iter()
+            .map(|&(lo, _)| lo)
+            .filter(|&lo| {
+                let ok = clean(lo);
+                degraded += u64::from(!ok);
+                ok
+            })
+            .collect();
+        let windows: Vec<&[f32]> = starts.iter().map(|&lo| &values[lo..lo + w]).collect();
+        let outcomes = self.localize_batch(&windows);
+        let mut next = outcomes.iter();
+        for &(lo, write_from) in &plan {
+            if !clean(lo) {
+                continue;
+            }
+            let out = next.next().expect("one outcome per clean window");
+            for (s, &on) in states[write_from..lo + w]
+                .iter_mut()
+                .zip(&out.status[write_from - lo..])
+            {
+                *s = if on == 1 { Status::On } else { Status::Off };
+            }
+        }
+        let unknown = states.iter().filter(|s| s.is_unknown()).count();
+        ds_obs::counter_add("serve.degraded_windows", degraded);
+        ds_obs::counter_add("serve.unknown_samples", unknown as u64);
+        StatusSeries::from_status(series.start(), series.interval_secs(), states)
     }
 
     /// Compile the trained model into its frozen serving form: BatchNorm
@@ -250,11 +335,36 @@ impl FrozenCamal {
         }
     }
 
+    /// Fallible form of [`FrozenCamal::detect`]: typed error on an empty
+    /// window instead of the internal assert.
+    pub fn try_detect(&mut self, window: &[f32]) -> Result<Detection, CamalError> {
+        validate_windows(std::slice::from_ref(&window))?;
+        Ok(self.detect(window))
+    }
+
     /// The full pipeline (steps 1–6) on a raw window (watts), materialized
     /// as an owned [`Localization`].
     pub fn localize(&mut self, window: &[f32]) -> Localization {
         self.localize_batch_into(std::slice::from_ref(&window))
             .to_localization(0)
+    }
+
+    /// Fallible form of [`FrozenCamal::localize`]: typed error on an empty
+    /// window instead of the internal assert.
+    pub fn try_localize(&mut self, window: &[f32]) -> Result<Localization, CamalError> {
+        validate_windows(std::slice::from_ref(&window))?;
+        Ok(self.localize(window))
+    }
+
+    /// Fallible form of [`FrozenCamal::localize_batch_into`]: typed errors
+    /// on empty or length-mismatched windows instead of the internal
+    /// asserts. Validation runs before any arena is touched.
+    pub fn try_localize_batch_into(
+        &mut self,
+        windows: &[&[f32]],
+    ) -> Result<&LocalizationBatch, CamalError> {
+        validate_windows(windows)?;
+        Ok(self.localize_batch_into(windows))
     }
 
     /// The full pipeline over many same-length raw windows, written into
@@ -301,39 +411,64 @@ impl FrozenCamal {
 
     /// Frozen counterpart of [`Camal::predict_status_series`], writing the
     /// per-timestep states into a caller-owned buffer. Identical window
-    /// policy: non-overlapping complete windows, NaN-bearing and trailing
-    /// partial windows conservatively all-off. Steady-state calls over a
-    /// same-shaped series allocate nothing.
+    /// policy: non-overlapping complete windows plus one end-aligned tail
+    /// window ("earlier window wins" on the overlap); NaN-bearing windows
+    /// and undecidable regions come back [`Status::Unknown`]. Steady-state
+    /// calls over a same-shaped series allocate nothing.
     pub fn predict_status_into(
         &mut self,
         series: &TimeSeries,
         window_samples: usize,
-        states: &mut Vec<u8>,
+        states: &mut Vec<Status>,
     ) {
+        let w = window_samples;
+        assert!(w > 0, "series prediction requires a positive window length");
         states.clear();
-        states.resize(series.len(), 0);
+        states.resize(series.len(), Status::Unknown);
         let values = series.values();
+        let len = values.len();
+        let aligned_end = if len >= w { (len / w) * w } else { 0 };
+        let has_tail = len >= w && len > aligned_end;
+        let mut degraded = 0u64;
         // Take the index buffer so `self` stays free for localization.
         let mut starts = std::mem::take(&mut self.starts);
         starts.clear();
-        starts.extend(
-            (0..)
-                .map(|i| i * window_samples)
-                .take_while(|lo| lo + window_samples <= values.len())
-                .filter(|&lo| values[lo..lo + window_samples].iter().all(|v| !v.is_nan())),
-        );
+        for lo in (0..aligned_end).step_by(w).chain(has_tail.then(|| len - w)) {
+            if values[lo..lo + w].iter().all(|v| !v.is_nan()) {
+                starts.push(lo);
+            } else {
+                degraded += 1;
+            }
+        }
         // A stack array of window refs keeps the chunk loop allocation-free.
         let mut refs: [&[f32]; localizer::WINDOW_CHUNK] = [&[]; localizer::WINDOW_CHUNK];
         for chunk in starts.chunks(localizer::WINDOW_CHUNK) {
             for (slot, &lo) in refs.iter_mut().zip(chunk) {
-                *slot = &values[lo..lo + window_samples];
+                *slot = &values[lo..lo + w];
             }
             let batch = self.localize_batch_into(&refs[..chunk.len()]);
             for (i, &lo) in chunk.iter().enumerate() {
-                states[lo..lo + window_samples].copy_from_slice(batch.status(i));
+                // The tail window only owns the suffix past the aligned
+                // region; every aligned window owns its full range.
+                let write_from = if has_tail && lo == len - w {
+                    aligned_end
+                } else {
+                    lo
+                };
+                let status = batch.status(i);
+                for idx in write_from..lo + w {
+                    states[idx] = if status[idx - lo] == 1 {
+                        Status::On
+                    } else {
+                        Status::Off
+                    };
+                }
             }
         }
         self.starts = starts;
+        let unknown = states.iter().filter(|s| s.is_unknown()).count();
+        ds_obs::counter_add("serve.degraded_windows", degraded);
+        ds_obs::counter_add("serve.unknown_samples", unknown as u64);
     }
 
     /// Frozen counterpart of [`Camal::predict_status_series`] returning an
@@ -345,7 +480,7 @@ impl FrozenCamal {
     ) -> StatusSeries {
         let mut states = Vec::new();
         self.predict_status_into(series, window_samples, &mut states);
-        StatusSeries::from_states(series.start(), series.interval_secs(), states)
+        StatusSeries::from_status(series.start(), series.interval_secs(), states)
     }
 }
 
@@ -447,7 +582,7 @@ mod tests {
         let (camal, windows) = trained_toy_camal(40);
         let mut frozen = camal.freeze();
         // Series = several complete windows + a NaN-bearing window + a
-        // partial tail, exercising the conservative all-off policy.
+        // partial tail, exercising the Unknown policy and tail coverage.
         let mut values: Vec<f32> = windows.iter().take(4).flatten().copied().collect();
         let mut gap = windows[1].clone();
         gap[7] = f32::NAN;
@@ -472,5 +607,69 @@ mod tests {
             "steady-state series prediction must not allocate"
         );
         assert_eq!(states.as_slice(), reference.states());
+    }
+
+    #[test]
+    fn gap_windows_surface_unknown_on_both_paths() {
+        let (camal, windows) = trained_toy_camal(40);
+        let mut frozen = camal.freeze();
+        // Two clean windows, then a window with one missing reading.
+        let mut values: Vec<f32> = windows.iter().take(2).flatten().copied().collect();
+        let mut gap = windows[1].clone();
+        gap[3] = f32::NAN;
+        values.extend(gap);
+        let series = TimeSeries::from_values(0, 60, values);
+        let reference = camal.predict_status_series(&series, 40);
+        // One missing sample poisons its whole window — the serving path
+        // declines to decide rather than feeding fabricated data.
+        assert!(reference.states()[80..].iter().all(|s| s.is_unknown()));
+        assert_eq!(reference.unknown_count(), 40);
+        // The clean windows carry real decisions, never Unknown.
+        assert!(reference.states()[..80].iter().all(|s| !s.is_unknown()));
+        let frozen_series = frozen.predict_status_series(&series, 40);
+        assert_eq!(frozen_series.states(), reference.states());
+        // A series shorter than one window is entirely Unknown: no window
+        // fits, so nothing can be decided.
+        let short = TimeSeries::from_values(0, 60, vec![1.0; 10]);
+        assert_eq!(camal.predict_status_series(&short, 40).unknown_count(), 10);
+        assert_eq!(frozen.predict_status_series(&short, 40).unknown_count(), 10);
+    }
+
+    #[test]
+    fn try_paths_surface_typed_errors() {
+        let (camal, windows) = trained_toy_camal(24);
+        let mut frozen = camal.freeze();
+        assert_eq!(
+            camal.try_localize(&[]).unwrap_err(),
+            CamalError::EmptyWindow
+        );
+        assert_eq!(camal.try_detect(&[]).unwrap_err(), CamalError::EmptyWindow);
+        assert_eq!(frozen.try_detect(&[]).unwrap_err(), CamalError::EmptyWindow);
+        assert_eq!(
+            frozen.try_localize(&[]).unwrap_err(),
+            CamalError::EmptyWindow
+        );
+        let refs: Vec<&[f32]> = vec![&windows[0], &windows[1][..10]];
+        assert_eq!(
+            camal.try_localize_batch(&refs).unwrap_err(),
+            CamalError::WindowLengthMismatch {
+                expected: 24,
+                got: 10
+            }
+        );
+        assert_eq!(
+            frozen.try_localize_batch_into(&refs).unwrap_err(),
+            CamalError::WindowLengthMismatch {
+                expected: 24,
+                got: 10
+            }
+        );
+        // Valid input rides the same path as the panicking form.
+        let ok = camal.try_localize(&windows[0]).unwrap();
+        assert_eq!(ok.status, camal.localize(&windows[0]).status);
+        let det = frozen.try_detect(&windows[0]).unwrap();
+        assert_eq!(det.detected, camal.detect(&windows[0]).detected);
+        // An empty batch is a valid no-op, not an error.
+        assert!(camal.try_localize_batch(&[]).unwrap().is_empty());
     }
 }

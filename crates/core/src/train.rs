@@ -10,15 +10,30 @@
 
 use crate::config::CamalConfig;
 use crate::ensemble::ResNetEnsemble;
+use crate::error::CamalError;
 use crate::selection::select_best_members;
 use crate::{z_normalize_window, Camal};
 use ds_datasets::labels::Corpus;
 use ds_neural::train::TrainReport;
 
 /// Train CamAL on a corpus, returning the trained model.
+///
+/// # Panics
+/// Panics on an empty training corpus; serving paths use
+/// [`try_train_camal`] instead.
 pub fn train_camal(corpus: &Corpus, config: &CamalConfig) -> Camal {
     let (model, _) = train_camal_with_reports(corpus, config);
     model
+}
+
+/// Fallible form of [`train_camal`]: `Err(CamalError::EmptyCorpus)` when
+/// the corpus has no labeled windows (e.g. every subsequence was dropped
+/// for missing data), instead of aborting the caller.
+pub fn try_train_camal(corpus: &Corpus, config: &CamalConfig) -> Result<Camal, CamalError> {
+    if corpus.train.is_empty() {
+        return Err(CamalError::EmptyCorpus);
+    }
+    Ok(train_camal(corpus, config))
 }
 
 /// Train CamAL and also return the per-member training reports (used by the
@@ -98,12 +113,42 @@ mod tests {
 
     #[test]
     fn predict_status_series_covers_complete_windows() {
+        use ds_timeseries::Status;
         let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
         let corpus = Corpus::build(&ds, ApplianceKind::Kettle, 120);
         let camal = train_camal(&corpus, &CamalConfig::fast_test());
-        let house = &ds.test_houses()[0];
-        let status = camal.predict_status_series(house.aggregate(), 120);
-        assert_eq!(status.len(), house.aggregate().len());
+        // A non-multiple length built from gap-free corpus windows: the
+        // trailing 50 samples used to be a silent all-off coverage hole;
+        // now an end-aligned window decides them, so a complete series has
+        // zero `Unknown` timesteps.
+        let mut values: Vec<f32> = corpus.train[..3]
+            .iter()
+            .flat_map(|w| w.values.iter().copied())
+            .collect();
+        values.extend(&corpus.train[3].values[..50]);
+        let series = ds_timeseries::TimeSeries::from_values(0, 60, values);
+        assert!(!series.has_missing(), "test needs a complete series");
+        let status = camal.predict_status_series(&series, 120);
+        assert_eq!(status.len(), series.len());
+        assert_eq!(
+            status.unknown_count(),
+            0,
+            "complete series must have no coverage holes"
+        );
+        // Aligned-window outputs are unchanged by the tail window
+        // ("earlier window wins"): recompute on the aligned prefix alone.
+        let prefix = series.slice(0, 3 * 120).unwrap();
+        let aligned = camal.predict_status_series(&prefix, 120);
+        assert_eq!(&status.states()[..3 * 120], aligned.states());
+        // The tail decisions match localizing the end-aligned window.
+        let tail_window = &series.values()[series.len() - 120..];
+        let tail_out = camal.localize(tail_window);
+        let suffix = &status.states()[3 * 120..];
+        let expect: Vec<Status> = tail_out.status[120 - 50..]
+            .iter()
+            .map(|&s| if s == 1 { Status::On } else { Status::Off })
+            .collect();
+        assert_eq!(suffix, expect.as_slice());
     }
 
     #[test]
@@ -113,5 +158,15 @@ mod tests {
         let mut corpus = Corpus::build(&ds, ApplianceKind::Kettle, 120);
         corpus.train.clear();
         let _ = train_camal(&corpus, &CamalConfig::fast_test());
+    }
+
+    #[test]
+    fn empty_corpus_try_path_errors_instead() {
+        let ds = Dataset::generate(DatasetConfig::tiny(DatasetPreset::UkdaleLike, 4, 2));
+        let mut corpus = Corpus::build(&ds, ApplianceKind::Kettle, 120);
+        corpus.train.clear();
+        let err = try_train_camal(&corpus, &CamalConfig::fast_test()).unwrap_err();
+        assert_eq!(err, CamalError::EmptyCorpus);
+        assert!(err.to_string().contains("at least one labeled window"));
     }
 }

@@ -257,7 +257,7 @@ mod tests {
         let ch = h.channel(ApplianceKind::Microwave).unwrap();
         let st = h.status(ApplianceKind::Microwave);
         for (v, s) in ch.values().iter().zip(st.states()) {
-            assert_eq!(*s == 1, *v > ApplianceKind::Microwave.on_threshold_w());
+            assert_eq!(s.is_on(), *v > ApplianceKind::Microwave.on_threshold_w());
         }
     }
 

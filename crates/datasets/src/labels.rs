@@ -80,6 +80,9 @@ pub fn labeled_windows(
     stride: usize,
 ) -> Vec<LabeledWindow> {
     let status = house.status(kind);
+    // Ground truth from simulated channels is complete (never Unknown), so
+    // the binary view is lossless; compute it once for all windows.
+    let binary = status.as_binary();
     let possession = house.possesses(kind);
     subsequences_complete(house.aggregate(), window_samples, stride)
         .expect("window parameters validated by caller")
@@ -89,7 +92,7 @@ pub fn labeled_windows(
                 .aggregate()
                 .index_of(w.start())
                 .expect("window start lies inside the aggregate");
-            let strong = status.states()[lo..lo + window_samples].to_vec();
+            let strong = binary[lo..lo + window_samples].to_vec();
             let weak = match mode {
                 WeakLabel::Possession => possession,
                 WeakLabel::WindowActivation => strong.contains(&1),

@@ -15,6 +15,59 @@ pub fn score_status(predicted: &[u8], truth: &[u8]) -> Measures {
     ConfusionMatrix::from_labels(predicted, truth).measures()
 }
 
+/// Tri-state-aware scoring of a predicted status (wire encoding: 0 off,
+/// 1 on, 2 unknown) against complete binary truth.
+///
+/// `Unknown` timesteps are *abstentions*, not predictions — folding them
+/// to "off" (as [`score_status`] on the binary view would) silently
+/// punishes the serving path for refusing to fabricate decisions over
+/// missing data. They are excluded from the confusion counts and reported
+/// separately so dashboards can track coverage next to quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnownScore {
+    /// Measures over the decided (non-`Unknown`) timesteps only.
+    pub measures: Measures,
+    /// Timesteps the prediction actually decided.
+    pub known: usize,
+    /// Timesteps the prediction abstained on.
+    pub unknown: usize,
+}
+
+impl KnownScore {
+    /// Fraction of timesteps with a real decision (1.0 when empty —
+    /// an empty prediction abstained on nothing).
+    pub fn coverage(&self) -> f64 {
+        let total = self.known + self.unknown;
+        if total == 0 {
+            1.0
+        } else {
+            self.known as f64 / total as f64
+        }
+    }
+}
+
+/// Score only the timesteps the prediction decided (see [`KnownScore`]).
+///
+/// # Panics
+/// Panics when the two vectors differ in length.
+pub fn score_status_known(predicted: &[u8], truth: &[u8]) -> KnownScore {
+    assert_eq!(predicted.len(), truth.len(), "status length mismatch");
+    let mut m = ConfusionMatrix::new();
+    let mut unknown = 0usize;
+    for (&p, &t) in predicted.iter().zip(truth) {
+        if p == 2 {
+            unknown += 1;
+        } else {
+            m.record(p == 1, t == 1);
+        }
+    }
+    KnownScore {
+        measures: m.measures(),
+        known: predicted.len() - unknown,
+        unknown,
+    }
+}
+
 /// Micro-average localization over many windows: counts pool over all
 /// timesteps, so long windows weigh proportionally (the convention used in
 /// NILM evaluations).
@@ -102,6 +155,28 @@ mod tests {
         assert!((m.precision - 0.5).abs() < 1e-12);
         assert!((m.recall - 0.5).abs() < 1e-12);
         assert!((m.f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_only_scoring_skips_abstentions() {
+        // Same decisions as `per_timestep_scoring`, plus two abstentions
+        // that must not move the measures.
+        let s = score_status_known(&[1, 1, 0, 0, 2, 2], &[1, 0, 0, 1, 1, 0]);
+        assert_eq!(s.known, 4);
+        assert_eq!(s.unknown, 2);
+        assert!((s.measures.f1 - 0.5).abs() < 1e-12);
+        assert!((s.coverage() - 4.0 / 6.0).abs() < 1e-12);
+        // Binary scoring of the same vector would fold the unknowns to
+        // "off" and see a different picture.
+        let folded = score_status(&[1, 1, 0, 0, 0, 0], &[1, 0, 0, 1, 1, 0]);
+        assert!(folded.recall < s.measures.recall);
+        // Fully known prediction: identical to the binary scorer.
+        let all_known = score_status_known(&[1, 0], &[1, 1]);
+        assert_eq!(all_known.unknown, 0);
+        assert_eq!(all_known.coverage(), 1.0);
+        assert_eq!(all_known.measures, score_status(&[1, 0], &[1, 1]));
+        // Empty input is fully covered by definition.
+        assert_eq!(score_status_known(&[], &[]).coverage(), 1.0);
     }
 
     #[test]

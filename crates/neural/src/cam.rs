@@ -10,19 +10,42 @@
 use crate::resnet::ResNet;
 use crate::tensor::Tensor;
 
+/// CAM extraction was requested before any forward pass ran, so there are
+/// no cached feature maps to decompose. The typed form of the panic in
+/// [`class_activation_maps`]; serving paths route it into their own error
+/// taxonomy instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoForwardPass;
+
+impl std::fmt::Display for NoForwardPass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CAM extraction requires a forward pass first")
+    }
+}
+
+impl std::error::Error for NoForwardPass {}
+
 /// Extract the CAM of `class` for every batch row of the most recent
 /// forward pass of `net`.
 ///
 /// Returns one `Vec<f32>` of length `L` per batch row.
 ///
 /// # Panics
-/// Panics if the network has not run a forward pass yet.
+/// Panics if the network has not run a forward pass yet. Serving paths
+/// that must not abort use [`try_class_activation_maps`].
 pub fn class_activation_maps(net: &ResNet, class: usize) -> Vec<Vec<f32>> {
-    let features = net
-        .last_features()
-        .expect("CAM extraction requires a forward pass first");
+    try_class_activation_maps(net, class).expect("CAM extraction requires a forward pass first")
+}
+
+/// Fallible form of [`class_activation_maps`]: `Err(NoForwardPass)` when
+/// the network has no cached features yet.
+pub fn try_class_activation_maps(
+    net: &ResNet,
+    class: usize,
+) -> Result<Vec<Vec<f32>>, NoForwardPass> {
+    let features = net.last_features().ok_or(NoForwardPass)?;
     let weights = net.class_weights(class);
-    cam_from_features(features, weights)
+    Ok(cam_from_features(features, weights))
 }
 
 /// CAM from explicit feature maps `[B, K, L]` and class weights `w[K]`.
@@ -129,6 +152,16 @@ mod tests {
     fn cam_without_forward_panics() {
         let net = ResNet::new(ResNetConfig::tiny(5, 0));
         let _ = class_activation_maps(&net, 1);
+    }
+
+    #[test]
+    fn try_cam_without_forward_errors() {
+        let net = ResNet::new(ResNetConfig::tiny(5, 0));
+        assert_eq!(try_class_activation_maps(&net, 1), Err(NoForwardPass));
+        assert_eq!(
+            NoForwardPass.to_string(),
+            "CAM extraction requires a forward pass first"
+        );
     }
 
     #[test]

@@ -10,9 +10,13 @@
 //!
 //! - [`TimeSeries`]: a regularly sampled univariate series with explicit
 //!   missing values (`NaN`), a start timestamp and a sampling interval.
-//! - [`StatusSeries`]: a binary per-timestep appliance on/off status aligned
-//!   with a [`TimeSeries`] — the object CamAL's localization step produces
-//!   and the ground truth the evaluation consumes.
+//! - [`StatusSeries`]: a tri-state per-timestep appliance status
+//!   (on / off / unknown, see [`Status`]) aligned with a [`TimeSeries`] —
+//!   the object CamAL's localization step produces and the ground truth the
+//!   evaluation consumes.
+//! - [`faults`]: deterministic fault injection (gap bursts, NaN scatter,
+//!   truncation, spikes, flat segments) behind the `DS_FAULT` env knob,
+//!   backing the chaos suite and the CI fault smoke.
 //! - [`resample`]: frequency conversion (the paper resamples every dataset to
 //!   a common 1-minute frequency before training).
 //! - [`window`]: subsequence extraction and the 6 h / 12 h / 1 day sliding
@@ -43,6 +47,7 @@
 //! ```
 
 pub mod events;
+pub mod faults;
 pub mod io;
 pub mod missing;
 pub mod normalize;
@@ -52,7 +57,7 @@ pub mod stats;
 pub mod time;
 pub mod window;
 
-pub use series::{StatusSeries, TimeSeries};
+pub use series::{Status, StatusSeries, TimeSeries};
 pub use window::{WindowCursor, WindowLength};
 
 /// Errors produced by the time-series substrate.

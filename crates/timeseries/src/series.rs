@@ -1,5 +1,5 @@
 //! Core series types: [`TimeSeries`] (power readings) and [`StatusSeries`]
-//! (binary appliance on/off states aligned with a power series).
+//! (tri-state appliance on/off/unknown states aligned with a power series).
 
 use crate::window::{WindowIter, WindowLength};
 use crate::{Result, TsError};
@@ -261,29 +261,93 @@ impl TimeSeries {
     }
 }
 
-/// A binary per-timestep appliance status aligned with a power series.
+/// Per-timestep appliance state: the serving path's tri-state decision.
 ///
-/// `1` means the appliance is (predicted or truly) ON at that timestep.
-/// This is the output type of CamAL step 6 ("Appliance Status") and the
-/// ground-truth type used by localization metrics.
+/// `Off` and `On` are genuine model (or ground-truth) decisions. `Unknown`
+/// means the serving path *declined to decide* — the timestep fell inside a
+/// window with missing readings, or outside every inference window. A
+/// production consumer must never treat `Unknown` as `Off`: the two carry
+/// opposite operational meaning (confident absence vs. no evidence).
+///
+/// The discriminants are the wire encoding (`Off = 0`, `On = 1`,
+/// `Unknown = 2`), chosen so that complete, binary ground truth keeps its
+/// historical 0/1 representation byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Status {
+    /// The appliance is confidently not running.
+    Off,
+    /// The appliance is confidently running.
+    On,
+    /// No decision: missing input data or an uncovered region.
+    Unknown,
+}
+
+impl Status {
+    /// Decode from the wire encoding (0 off, 1 on, 2 unknown).
+    #[inline]
+    pub fn from_u8(v: u8) -> Option<Status> {
+        match v {
+            0 => Some(Status::Off),
+            1 => Some(Status::On),
+            2 => Some(Status::Unknown),
+            _ => None,
+        }
+    }
+
+    /// Wire encoding (0 off, 1 on, 2 unknown).
+    #[inline]
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Bit-compatible binary view: 1 for `On`, 0 otherwise. `Unknown`
+    /// deliberately folds to 0 here — this view exists for metrics against
+    /// *complete* ground truth, where the pre-tri-state pipeline emitted 0.
+    #[inline]
+    pub fn as_binary(self) -> u8 {
+        u8::from(self == Status::On)
+    }
+
+    /// Whether this is a confident `On`.
+    #[inline]
+    pub fn is_on(self) -> bool {
+        self == Status::On
+    }
+
+    /// Whether this is a confident `Off`.
+    #[inline]
+    pub fn is_off(self) -> bool {
+        self == Status::Off
+    }
+
+    /// Whether the serving path declined to decide.
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        self == Status::Unknown
+    }
+}
+
+/// A per-timestep appliance status aligned with a power series.
+///
+/// Each timestep is `Off`, `On`, or `Unknown` (see [`Status`]). This is the
+/// output type of CamAL step 6 ("Appliance Status") and the ground-truth
+/// type used by localization metrics; ground truth built from complete
+/// simulated channels never contains `Unknown`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatusSeries {
     start: i64,
     interval_secs: u32,
-    states: Vec<u8>,
+    states: Vec<Status>,
 }
 
 impl StatusSeries {
-    /// Create from raw 0/1 states.
+    /// Create from tri-state statuses.
     ///
     /// # Panics
-    /// Panics if `interval_secs` is zero or any state is not 0/1.
-    pub fn from_states(start: i64, interval_secs: u32, states: Vec<u8>) -> Self {
+    /// Panics if `interval_secs` is zero.
+    pub fn from_status(start: i64, interval_secs: u32, states: Vec<Status>) -> Self {
         assert!(interval_secs > 0, "sampling interval must be positive");
-        assert!(
-            states.iter().all(|&s| s <= 1),
-            "status values must be 0 or 1"
-        );
         Self {
             start,
             interval_secs,
@@ -291,9 +355,30 @@ impl StatusSeries {
         }
     }
 
+    /// Create from the wire encoding (0 off, 1 on, 2 unknown).
+    ///
+    /// # Panics
+    /// Panics if `interval_secs` is zero or any state is not 0/1/2.
+    pub fn from_states(start: i64, interval_secs: u32, states: Vec<u8>) -> Self {
+        let states = states
+            .into_iter()
+            .map(|s| {
+                Status::from_u8(s)
+                    .unwrap_or_else(|| panic!("status values must be 0, 1 or 2 (got {s})"))
+            })
+            .collect();
+        Self::from_status(start, interval_secs, states)
+    }
+
     /// All-off status of the given length.
     pub fn all_off(start: i64, interval_secs: u32, len: usize) -> Self {
-        Self::from_states(start, interval_secs, vec![0; len])
+        Self::from_status(start, interval_secs, vec![Status::Off; len])
+    }
+
+    /// All-unknown status of the given length — the starting point of the
+    /// serving path before any window produces a decision.
+    pub fn all_unknown(start: i64, interval_secs: u32, len: usize) -> Self {
+        Self::from_status(start, interval_secs, vec![Status::Unknown; len])
     }
 
     /// Derive a status from a power series: ON where `power > threshold_w`.
@@ -303,7 +388,13 @@ impl StatusSeries {
         let states = power
             .values()
             .iter()
-            .map(|&v| u8::from(!v.is_nan() && v > threshold_w))
+            .map(|&v| {
+                if !v.is_nan() && v > threshold_w {
+                    Status::On
+                } else {
+                    Status::Off
+                }
+            })
             .collect();
         Self {
             start: power.start(),
@@ -338,19 +429,36 @@ impl StatusSeries {
 
     /// Borrow the raw states.
     #[inline]
-    pub fn states(&self) -> &[u8] {
+    pub fn states(&self) -> &[Status] {
         &self.states
+    }
+
+    /// Bit-compatible binary view: 1 for `On`, 0 for `Off` *and* `Unknown`.
+    /// Use only against complete ground truth (see [`Status::as_binary`]);
+    /// for tri-state-aware scoring, mask `Unknown` timesteps out instead.
+    pub fn as_binary(&self) -> Vec<u8> {
+        self.states.iter().map(|s| s.as_binary()).collect()
     }
 
     /// State at index `i`.
     #[inline]
-    pub fn get(&self, i: usize) -> Option<u8> {
+    pub fn get(&self, i: usize) -> Option<Status> {
         self.states.get(i).copied()
     }
 
     /// Number of ON timesteps.
     pub fn on_count(&self) -> usize {
-        self.states.iter().filter(|&&s| s == 1).count()
+        self.states.iter().filter(|s| s.is_on()).count()
+    }
+
+    /// Number of `Unknown` timesteps (coverage holes + gap windows).
+    pub fn unknown_count(&self) -> usize {
+        self.states.iter().filter(|s| s.is_unknown()).count()
+    }
+
+    /// Whether any timestep is `Unknown`.
+    pub fn has_unknown(&self) -> bool {
+        self.states.contains(&Status::Unknown)
     }
 
     /// Fraction of ON timesteps (0 for an empty status).
@@ -365,7 +473,7 @@ impl StatusSeries {
     /// Whether any timestep is ON — the window-level *weak label* the paper
     /// derives from disaggregated channels for UKDALE/REFIT.
     pub fn any_on(&self) -> bool {
-        self.states.contains(&1)
+        self.states.contains(&Status::On)
     }
 
     /// Extract the half-open index range `[lo, hi)`.
@@ -386,6 +494,10 @@ impl StatusSeries {
     }
 
     /// Element-wise logical OR with an aligned status.
+    ///
+    /// Tri-state precedence: `On` beats everything (one confident ON is
+    /// enough), `Unknown` beats `Off` (an undecided operand means the
+    /// combination cannot confidently claim OFF).
     pub fn or(&self, other: &StatusSeries) -> Result<StatusSeries> {
         if self.start != other.start
             || self.interval_secs != other.interval_secs
@@ -402,7 +514,11 @@ impl StatusSeries {
                 .states
                 .iter()
                 .zip(other.states.iter())
-                .map(|(a, b)| a | b)
+                .map(|(&a, &b)| match (a, b) {
+                    (Status::On, _) | (_, Status::On) => Status::On,
+                    (Status::Unknown, _) | (_, Status::Unknown) => Status::Unknown,
+                    (Status::Off, Status::Off) => Status::Off,
+                })
                 .collect(),
         })
     }
@@ -415,9 +531,30 @@ impl StatusSeries {
         let mut segs = Vec::new();
         let mut seg_start = None;
         for (i, &s) in self.states.iter().enumerate() {
-            match (s, seg_start) {
-                (1, None) => seg_start = Some(i),
-                (0, Some(st)) => {
+            match (s.is_on(), seg_start) {
+                (true, None) => seg_start = Some(i),
+                (false, Some(st)) => {
+                    segs.push((st, i));
+                    seg_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(st) = seg_start {
+            segs.push((st, self.states.len()));
+        }
+        segs
+    }
+
+    /// `Unknown` segments as half-open index ranges `[start, end)`, in
+    /// order — the regions the app renders as "no decision".
+    pub fn unknown_segments(&self) -> Vec<(usize, usize)> {
+        let mut segs = Vec::new();
+        let mut seg_start = None;
+        for (i, &s) in self.states.iter().enumerate() {
+            match (s.is_unknown(), seg_start) {
+                (true, None) => seg_start = Some(i),
+                (false, Some(st)) => {
                     segs.push((st, i));
                     seg_start = None;
                 }
@@ -555,16 +692,57 @@ mod tests {
     fn status_from_power_thresholds() {
         let p = TimeSeries::from_values(0, 60, vec![0.0, 5.0, 2000.0, f32::NAN]);
         let s = StatusSeries::from_power(&p, 10.0);
-        assert_eq!(s.states(), &[0, 0, 1, 0]);
+        assert_eq!(s.as_binary(), vec![0, 0, 1, 0]);
         assert_eq!(s.on_count(), 1);
         assert!(s.any_on());
+        assert!(!s.has_unknown());
         assert!((s.duty_cycle() - 0.25).abs() < 1e-6);
     }
 
     #[test]
-    #[should_panic(expected = "0 or 1")]
-    fn status_rejects_non_binary() {
-        let _ = StatusSeries::from_states(0, 60, vec![0, 2]);
+    #[should_panic(expected = "0, 1 or 2")]
+    fn status_rejects_out_of_range() {
+        let _ = StatusSeries::from_states(0, 60, vec![0, 3]);
+    }
+
+    #[test]
+    fn tri_state_round_trip_and_binary_view() {
+        assert_eq!(Status::from_u8(0), Some(Status::Off));
+        assert_eq!(Status::from_u8(1), Some(Status::On));
+        assert_eq!(Status::from_u8(2), Some(Status::Unknown));
+        assert_eq!(Status::from_u8(3), None);
+        for s in [Status::Off, Status::On, Status::Unknown] {
+            assert_eq!(Status::from_u8(s.as_u8()), Some(s));
+        }
+        let s = StatusSeries::from_states(0, 60, vec![0, 1, 2, 1]);
+        assert_eq!(
+            s.states(),
+            &[Status::Off, Status::On, Status::Unknown, Status::On]
+        );
+        // Unknown folds to 0 in the binary view (metrics compatibility).
+        assert_eq!(s.as_binary(), vec![0, 1, 0, 1]);
+        assert_eq!(s.on_count(), 2);
+        assert_eq!(s.unknown_count(), 1);
+        assert!(s.has_unknown());
+        assert_eq!(s.unknown_segments(), vec![(2, 3)]);
+        let u = StatusSeries::all_unknown(0, 60, 3);
+        assert_eq!(u.unknown_count(), 3);
+        assert_eq!(u.unknown_segments(), vec![(0, 3)]);
+        assert_eq!(u.on_count(), 0);
+    }
+
+    #[test]
+    fn tri_state_or_precedence() {
+        // On > Unknown > Off, element-wise and symmetric.
+        let a = StatusSeries::from_states(0, 60, vec![1, 2, 0, 2]);
+        let b = StatusSeries::from_states(0, 60, vec![2, 0, 0, 1]);
+        let c = a.or(&b).unwrap();
+        assert_eq!(
+            c.states(),
+            &[Status::On, Status::Unknown, Status::Off, Status::On]
+        );
+        let d = b.or(&a).unwrap();
+        assert_eq!(c, d);
     }
 
     #[test]
@@ -583,9 +761,9 @@ mod tests {
         let a = StatusSeries::from_states(0, 60, vec![1, 0, 0, 1]);
         let b = StatusSeries::from_states(0, 60, vec![0, 0, 1, 1]);
         let c = a.or(&b).unwrap();
-        assert_eq!(c.states(), &[1, 0, 1, 1]);
+        assert_eq!(c.as_binary(), vec![1, 0, 1, 1]);
         let s = c.slice(1, 3).unwrap();
-        assert_eq!(s.states(), &[0, 1]);
+        assert_eq!(s.as_binary(), vec![0, 1]);
         assert_eq!(s.start(), 60);
         let misaligned = StatusSeries::from_states(60, 60, vec![0, 0, 1, 1]);
         assert!(a.or(&misaligned).is_err());

@@ -7,10 +7,11 @@
 //! cargo run --release --example localize_day
 //! ```
 
-use devicescope::app::plot::{line_chart, status_strip};
+use devicescope::app::plot::{line_chart, status_strip, tri_status, tri_status_strip};
 use devicescope::camal::{Camal, CamalConfig};
 use devicescope::datasets::labels::Corpus;
 use devicescope::datasets::{ApplianceKind, Dataset, DatasetConfig, DatasetPreset};
+use devicescope::timeseries::missing::{impute, Imputation};
 use devicescope::timeseries::window::WindowLength;
 
 fn main() {
@@ -60,11 +61,9 @@ fn main() {
         },
         ..CamalConfig::default()
     };
-    let clean: Vec<f32> = window
-        .values()
-        .iter()
-        .map(|v| if v.is_nan() { 0.0 } else { *v })
-        .collect();
+    // Inference runs on a linearly imputed copy; gap timesteps render as
+    // `▒` (unknown) in the prediction strip below.
+    let clean = impute(&window, Imputation::Linear).into_values();
     for kind in appliances {
         let mut corpus = Corpus::build(&dataset, kind, day_samples);
         corpus.balance_train(3);
@@ -77,10 +76,10 @@ fn main() {
         println!(
             "{:<16} pred  {}  (p={:.2})",
             kind.name(),
-            status_strip(&out.status, 96),
+            tri_status_strip(&tri_status(&out.status, window.values()), 96),
             out.detection.probability
         );
-        println!("{:<16} truth {}", "", status_strip(truth.states(), 96));
+        println!("{:<16} truth {}", "", status_strip(&truth.as_binary(), 96));
     }
-    println!("\n(█ = appliance on; compare each prediction with the truth strip below it)");
+    println!("\n(█ = on, ▒ = unknown/missing; compare each prediction with its truth strip)");
 }
