@@ -55,4 +55,19 @@ echo "ci: frozen_predict speedup ${frozen_speedup}x (floor 1.15x)"
 awk -v s="$frozen_speedup" 'BEGIN { exit !(s + 0 >= 1.15) }' \
     || { echo "ci: frozen_predict speedup ${frozen_speedup}x is below the 1.15x floor" >&2; exit 1; }
 
+echo "==> obs: trace smoke (DS_OBS=trace export must validate)"
+trace_json="target/ci_trace.json"
+trace_log="target/ci_trace.log"
+rm -f "$trace_json"
+DS_OBS=trace DS_TRACE="$trace_json" DS_PAR_THREADS=2 \
+    cargo run -q --release -p ds-bench --bin perf -- --trace-smoke --out target/ci_trace_perf.json | tee "$trace_log"
+grep -q 'trace ok:' "$trace_log" \
+    || { echo "ci: trace smoke did not report a validated trace" >&2; exit 1; }
+test -s "$trace_json" \
+    || { echo "ci: DS_TRACE export $trace_json is missing or empty" >&2; exit 1; }
+
+echo "==> perf: regression sentinel vs results/BENCH_perf.json"
+cargo run -q --release -p ds-bench --bin regress -- \
+    --fresh "$smoke_out" --out target/ci_regress.json
+
 echo "ci: all checks passed"

@@ -17,6 +17,25 @@ use std::io::Write;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    ds_obs::install_panic_hook();
+    let code = run();
+    // `DS_OBS=trace` + `DS_TRACE=path.json`: leave the session's span
+    // timeline on disk for Perfetto.
+    if let Some((path, result)) = ds_obs::export_trace_from_env() {
+        match result {
+            Ok(stats) => eprintln!(
+                "trace exported to {} ({} events, {} threads)",
+                path.display(),
+                stats.events,
+                stats.threads
+            ),
+            Err(e) => eprintln!("trace export to {} failed: {e}", path.display()),
+        }
+    }
+    code
+}
+
+fn run() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quality = false;
     let mut bench_path: Option<String> = None;

@@ -48,6 +48,7 @@ impl Repl {
          \x20 labels                   label-efficiency comparison (B.2)\n\
          \x20 scenario <1|2|3>         run a demonstration scenario\n\
          \x20 obs [level|reset]        live observability profile (DS_OBS)\n\
+         \x20 profile                  hot spans, worker busy/idle, SLO verdicts\n\
          \x20 help                     this text\n\
          \x20 quit                     exit\n"
     }
@@ -235,6 +236,7 @@ impl Repl {
                     format!("unknown obs argument {other:?} (use off|summary|trace|reset)\n")
                 }
             },
+            "profile" => ds_obs::render_profile(),
             other => format!("unknown command {other:?} — type 'help'\n"),
         }))
     }
@@ -285,8 +287,12 @@ mod tests {
         assert_eq!(run(&mut r, "quit"), "<quit>");
     }
 
+    /// Serializes tests that flip the process-global observability level.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn obs_command_renders_profile_and_switches_level() {
+        let _guard = OBS_LOCK.lock().unwrap();
         let mut r = repl();
         assert!(run(&mut r, "help").contains("obs [level|reset]"));
         // Default (tests run with observability off): the summary renders
@@ -316,6 +322,46 @@ mod tests {
         assert!(run(&mut r, "obs reset").contains("cleared"));
         assert!(run(&mut r, "obs off").contains("observability off"));
         ds_obs::reset();
+    }
+
+    #[test]
+    fn profile_command_reports_hot_spans_and_slo_verdicts() {
+        let _guard = OBS_LOCK.lock().unwrap();
+        // `repl()` builds an AppState, which declares the frozen-latency
+        // budget.
+        let mut r = repl();
+        assert!(run(&mut r, "help").contains("profile"));
+        let _ = run(&mut r, "obs summary");
+        let _ = run(&mut r, "obs reset");
+        {
+            let _span = ds_obs::span!("profile_probe");
+        }
+        // Under the 50 ms budget: the declared SLO passes.
+        ds_obs::observe(
+            "app.frozen.window_latency_s",
+            0.004,
+            ds_obs::Buckets::DurationSecs,
+        );
+        let view = run(&mut r, "profile");
+        assert!(view.contains("hot spans"), "profile view:\n{view}");
+        assert!(view.contains("profile_probe"));
+        assert!(view.contains("slo budgets"));
+        assert!(view.contains("[PASS] frozen_window_latency"));
+        // Push p99 over 50 ms: the verdict flips and the burn counter
+        // records the violating sample.
+        ds_obs::observe(
+            "app.frozen.window_latency_s",
+            0.120,
+            ds_obs::Buckets::DurationSecs,
+        );
+        let view = run(&mut r, "profile");
+        assert!(view.contains("[FAIL] frozen_window_latency"), "{view}");
+        assert!(
+            ds_obs::global().counter_get("slo.frozen_window_latency.burn") >= 1,
+            "burn counter should tick on violation"
+        );
+        let _ = run(&mut r, "obs reset");
+        let _ = run(&mut r, "obs off");
     }
 
     #[test]

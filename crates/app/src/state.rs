@@ -126,6 +126,16 @@ pub struct AppState {
 impl AppState {
     /// Create the app with its dataset catalog.
     pub fn new(config: AppConfig) -> AppState {
+        // The interactive-serving SLO (ROADMAP item 3): p99 frozen window
+        // latency under 50 ms. Declared here so `profile` and `snapshot()`
+        // verdicts cover every session; 0.05 is a DurationSecs bucket
+        // bound, keeping the burn counter exact.
+        ds_obs::declare_budget(
+            "frozen_window_latency",
+            "app.frozen.window_latency_s",
+            ds_obs::Quantile::P99,
+            0.050,
+        );
         let catalog = Catalog::tiny(config.houses, config.days);
         AppState {
             config,

@@ -8,7 +8,11 @@
 //!
 //! Besides the criterion listing, the harness asserts the disabled-mode
 //! overhead stays under 2% (median over interleaved trials, with a small
-//! absolute floor so sub-microsecond jitter cannot fail the build).
+//! absolute floor so sub-microsecond jitter cannot fail the build), and
+//! that full event tracing (`DS_OBS=trace`: span begin/end into the
+//! per-thread trace buffers plus allocation attribution) costs under 5%
+//! on the frozen predict path — the latency-budgeted serving loop that
+//! tracing exists to diagnose.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ds_neural::conv::Conv1d;
@@ -54,18 +58,22 @@ fn instrumented_pass(conv: &Conv1d, x: &Tensor) -> f32 {
     y.data[0]
 }
 
-/// Median ns/iteration of `f`, over `trials` batches of `iters` calls.
-fn median_ns(trials: usize, iters: usize, mut f: impl FnMut() -> f32) -> f64 {
-    let mut samples = Vec::with_capacity(trials);
+/// Fastest observed ns/iteration of `f`, over `trials` batches of
+/// `iters` calls. The minimum estimator matches the perf harness
+/// (`crates/bench/src/perf.rs`): on a shared host every noise source
+/// only *adds* time, so the fastest batch is the one closest to the
+/// workload's intrinsic cost — medians made both overhead gates flaky
+/// whenever a neighbour spiked mid-run.
+fn best_ns(trials: usize, iters: usize, mut f: impl FnMut() -> f32) -> f64 {
+    let mut best = f64::INFINITY;
     for _ in 0..trials {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
         }
-        samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        best = best.min(start.elapsed().as_nanos() as f64 / iters as f64);
     }
-    samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+    best
 }
 
 fn overhead_bench(c: &mut Criterion) {
@@ -91,20 +99,22 @@ fn overhead_bench(c: &mut Criterion) {
 fn disabled_overhead_assertion(_c: &mut Criterion) {
     let (conv, x) = workload();
     ds_obs::set_level(ds_obs::Level::Off);
+    // Pin to one worker: `conv.infer` otherwise spawns a scoped ds-par
+    // team per call, and spawn-cost variance (~10% run to run) swamps
+    // the 2% resolution this gate needs. The instrumentation being
+    // measured is identical either way.
+    ds_par::set_threads(Some(1));
 
     // Interleave the two measurements so frequency scaling and cache
     // state hit both sides equally; warm up once first.
-    let _ = median_ns(3, 50, || bare_pass(&conv, &x));
-    let mut bare = Vec::new();
-    let mut inst = Vec::new();
+    let _ = best_ns(3, 50, || bare_pass(&conv, &x));
+    let mut bare_ns = f64::INFINITY;
+    let mut inst_ns = f64::INFINITY;
     for _ in 0..5 {
-        bare.push(median_ns(3, 100, || bare_pass(&conv, &x)));
-        inst.push(median_ns(3, 100, || instrumented_pass(&conv, &x)));
+        bare_ns = bare_ns.min(best_ns(3, 100, || bare_pass(&conv, &x)));
+        inst_ns = inst_ns.min(best_ns(3, 100, || instrumented_pass(&conv, &x)));
     }
-    bare.sort_by(|a, b| a.total_cmp(b));
-    inst.sort_by(|a, b| a.total_cmp(b));
-    let bare_ns = bare[bare.len() / 2];
-    let inst_ns = inst[inst.len() / 2];
+    ds_par::set_threads(None);
     let overhead = (inst_ns - bare_ns) / bare_ns;
     println!(
         "obs_overhead/disabled-gate: bare {bare_ns:.0} ns, instrumented-off {inst_ns:.0} ns, \
@@ -119,5 +129,75 @@ fn disabled_overhead_assertion(_c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, overhead_bench, disabled_overhead_assertion);
+/// The trace-mode gate: full event tracing must cost < 5% on the frozen
+/// predict path.
+fn trace_overhead_assertion(_c: &mut Criterion) {
+    use ds_camal::{CamalConfig, ResNetEnsemble};
+
+    let cfg = CamalConfig {
+        channels: vec![8, 16],
+        ..CamalConfig::default()
+    };
+    let ensemble = ResNetEnsemble::untrained(&cfg);
+    let windows: Vec<Vec<f32>> = (0..4)
+        .map(|w| {
+            (0..256)
+                .map(|i| ((w * 13 + i) % 29) as f32 * 55.0)
+                .collect()
+        })
+        .collect();
+    let x = Tensor::from_windows(&windows);
+    let mut frozen = ensemble.freeze();
+    // The frozen path is sequential by design, but pin anyway so no
+    // stray dispatch adds spawn noise (see the disabled gate).
+    ds_par::set_threads(Some(1));
+
+    let mut pass = move |level: ds_obs::Level| -> f64 {
+        ds_obs::set_level(level);
+        let _ = best_ns(3, 20, || {
+            frozen.predict_into(&x);
+            frozen.ensemble_probs()[0]
+        });
+        let ns = best_ns(5, 40, || {
+            frozen.predict_into(&x);
+            frozen.ensemble_probs()[0]
+        });
+        ds_obs::set_level(ds_obs::Level::Off);
+        ns
+    };
+
+    // Interleave off/trace trials like the disabled gate. The trace
+    // buffers absorb begin/end pairs each pass; reset between rounds so
+    // a filling buffer (then drop-counting) doesn't change the code path
+    // mid-measurement.
+    let mut off_ns = f64::INFINITY;
+    let mut trace_ns = f64::INFINITY;
+    for _ in 0..5 {
+        off_ns = off_ns.min(pass(ds_obs::Level::Off));
+        trace_ns = trace_ns.min(pass(ds_obs::Level::Trace));
+        ds_obs::reset();
+    }
+    ds_par::set_threads(None);
+    let overhead = (trace_ns - off_ns) / off_ns;
+    println!(
+        "obs_overhead/trace-gate: off {off_ns:.0} ns, trace {trace_ns:.0} ns, \
+         overhead {:+.3}%",
+        overhead * 100.0
+    );
+    ds_obs::reset();
+    ds_obs::set_level(ds_obs::Level::Off);
+    // < 5% relative, with a 2 µs absolute floor: the frozen pass is tens
+    // of microseconds, so clock jitter alone can fake a few percent.
+    assert!(
+        overhead < 0.05 || trace_ns - off_ns < 2_000.0,
+        "trace-mode ds-obs overhead too high: off {off_ns:.0} ns vs trace {trace_ns:.0} ns"
+    );
+}
+
+criterion_group!(
+    benches,
+    overhead_bench,
+    disabled_overhead_assertion,
+    trace_overhead_assertion
+);
 criterion_main!(benches);

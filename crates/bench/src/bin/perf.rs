@@ -11,20 +11,31 @@
 //! (bit-identity for parallel paths, 1e-4 probability tolerance and zero
 //! decision flips for frozen paths), and writes one sweep entry per
 //! thread count. `--threads` defaults to the ambient `DS_PAR_THREADS`
-//! resolution; `--smoke` shrinks the workloads for CI.
+//! resolution; `--smoke` shrinks the workloads for CI; `--trace-smoke`
+//! shrinks them much further (numbers are meaningless) so a
+//! `DS_OBS=trace` + `DS_TRACE=path.json` run finishes in seconds while
+//! still exercising every span across the worker team. When `DS_TRACE`
+//! is set the exported trace is re-parsed and structurally validated,
+//! and a `trace ok: ...` line is printed for CI to grep.
 
 use ds_bench::perf::{render, run_sweep, PerfScale};
 use ds_bench::{faultsmoke, report};
 use ds_timeseries::faults::FaultPlan;
 
 fn main() {
+    ds_obs::install_panic_hook();
     let mut smoke = false;
+    let mut trace_smoke = false;
     let mut out_path = String::from("results/BENCH_perf.json");
     let mut thread_counts: Vec<usize> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--trace-smoke" => {
+                smoke = true;
+                trace_smoke = true;
+            }
             "--out" => {
                 if let Some(p) = args.next() {
                     out_path = p;
@@ -48,7 +59,15 @@ fn main() {
     if thread_counts.is_empty() {
         thread_counts.push(ds_par::threads());
     }
-    let scale = if smoke {
+    let scale = if trace_smoke {
+        // Tiny: this configuration exists to produce a trace quickly,
+        // not to publish numbers.
+        PerfScale {
+            batch: 8,
+            window: 96,
+            iters: 1,
+        }
+    } else if smoke {
         PerfScale::smoke()
     } else {
         PerfScale::full()
@@ -81,5 +100,22 @@ fn main() {
     ds_obs::flush_sink();
     if ds_obs::enabled() {
         eprintln!("{}", ds_obs::render_summary());
+    }
+    if let Some((path, result)) = ds_obs::export_trace_from_env() {
+        let stats = result.unwrap_or_else(|e| panic!("cannot write trace {}: {e}", path.display()));
+        match ds_obs::validate_chrome_trace(&path) {
+            Ok(check) => println!(
+                "trace ok: {} events across {} threads (max depth {}, {} dropped) -> {}",
+                check.events,
+                check.threads,
+                check.max_depth,
+                stats.dropped_spans,
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("trace INVALID at {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

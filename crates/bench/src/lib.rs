@@ -24,6 +24,7 @@ pub mod experiments;
 pub mod faultsmoke;
 pub mod methods;
 pub mod perf;
+pub mod regress;
 pub mod report;
 pub mod speed;
 

@@ -37,7 +37,7 @@ use ds_neural::conv::Conv1d;
 use ds_neural::tensor::Tensor;
 use ds_neural::train::train_classifier_reference;
 use ds_neural::VisitParams;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One baseline-vs-optimized measurement. For ds-par cases the baseline
@@ -46,7 +46,7 @@ use std::time::Instant;
 /// the mutable reference path at the ambient team size and the optimized
 /// is the frozen plan (sequential by design — its dispatch-free inner
 /// loop is where the speedup lives).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfCase {
     /// Workload name (`conv_forward`, `ensemble_predict`, `e2e_localize`,
     /// `train_epoch`, `frozen_predict`, `frozen_localize`).
@@ -81,7 +81,7 @@ pub struct PerfCase {
 }
 
 /// The cases measured at one worker-team size.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfSweep {
     /// Worker-team size the sweep ran with.
     pub threads: usize,
@@ -91,7 +91,7 @@ pub struct PerfSweep {
 
 /// The full suite, as persisted to `results/BENCH_perf.json`: one sweep
 /// per requested thread count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfReport {
     /// Whether this was the reduced smoke configuration (CI) or the full
     /// benchmark configuration.

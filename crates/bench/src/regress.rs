@@ -1,0 +1,388 @@
+//! Perf-regression sentinel: diffs a fresh perf run against the
+//! committed `results/BENCH_perf.json` baseline and renders a
+//! machine-readable verdict.
+//!
+//! The perf suite's numbers gate real guarantees — the frozen plan's
+//! speedup over the mutable path, its zero-alloc steady state, and
+//! decision identity — but a one-shot CI grep only catches the cases it
+//! names. The sentinel instead walks every `(thread count, case)` pair
+//! present in **both** reports and applies per-case thresholds:
+//!
+//! - **Correctness is absolute**: `bit_identical` must hold and
+//!   `decision_flips` must be zero in the fresh run, full stop.
+//! - **Frozen cases** (`frozen_predict`, `frozen_localize`) carry an
+//!   *absolute* speedup floor ([`FROZEN_SPEEDUP_FLOOR`]) — the frozen
+//!   plan being meaningfully faster than the mutable path is a published
+//!   claim, not a relative trend — plus a relative floor against the
+//!   baseline, and an absolute allocs-per-window ceiling
+//!   ([`FROZEN_ALLOCS_CEILING`]) backing the zero-alloc contract.
+//! - **Flat cases** (conv/ensemble/e2e/train, whose parallel speedups
+//!   hover near 1.0×) get a relative floor only
+//!   ([`RELATIVE_SPEEDUP_FLOOR`] × baseline): they may drift with the
+//!   host, but a collapse against the committed numbers is a regression.
+//!   Their allocation ceiling is relative with an absolute grace
+//!   ([`ALLOCS_RELATIVE_CEILING`], [`ALLOCS_ABSOLUTE_GRACE`]) since
+//!   small counts are noisy.
+//!
+//! A case present in the baseline but missing from the fresh run fails
+//! (silent coverage loss reads as a pass otherwise); thread counts only
+//! in one report are skipped with a note (the CI smoke runs one sweep
+//! against a two-sweep baseline by design). The thresholds are loose
+//! enough that re-judging the committed baseline against itself passes —
+//! that self-check is a unit test below.
+
+use serde::Serialize;
+
+use crate::perf::{PerfCase, PerfReport};
+
+/// Absolute speedup floor for the frozen serving cases. Kept below the
+/// baseline's weakest frozen number (frozen_localize 1.147× at two
+/// workers) so the committed report self-passes, while still failing any
+/// run where the frozen plan's advantage collapses toward parity.
+pub const FROZEN_SPEEDUP_FLOOR: f64 = 1.10;
+
+/// Frozen cases must also hold this fraction of their baseline speedup.
+pub const FROZEN_RELATIVE_FLOOR: f64 = 0.85;
+
+/// Absolute allocs-per-window ceiling for frozen cases (baseline is 0.0;
+/// the margin absorbs one-off warmup traffic landing inside a short
+/// timed region).
+pub const FROZEN_ALLOCS_CEILING: f64 = 0.5;
+
+/// Flat cases must hold this fraction of their baseline speedup.
+pub const RELATIVE_SPEEDUP_FLOOR: f64 = 0.70;
+
+/// Flat-case allocation ceiling: `baseline × this`, …
+pub const ALLOCS_RELATIVE_CEILING: f64 = 1.5;
+
+/// … but never tighter than `baseline + this` (small counts are noisy).
+pub const ALLOCS_ABSOLUTE_GRACE: f64 = 4.0;
+
+fn is_frozen_case(name: &str) -> bool {
+    name.starts_with("frozen_")
+}
+
+/// One threshold evaluation on one `(threads, case)` pair.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegressCheck {
+    /// Worker-team size of the compared sweeps.
+    pub threads: usize,
+    /// Case name.
+    pub case: String,
+    /// Which threshold this row applied.
+    pub check: String,
+    /// Baseline value the threshold was derived from.
+    pub baseline: f64,
+    /// Fresh-run value under test.
+    pub fresh: f64,
+    /// The derived limit the fresh value was held to.
+    pub limit: f64,
+    pub pass: bool,
+}
+
+/// The sentinel's full verdict, serialized for CI and humans alike.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegressVerdict {
+    /// True iff every check passed.
+    pub pass: bool,
+    /// `(threads, case)` pairs compared.
+    pub compared: usize,
+    /// Every threshold evaluation, failures included.
+    pub checks: Vec<RegressCheck>,
+    /// Coverage notes: skipped thread counts, missing cases.
+    pub notes: Vec<String>,
+}
+
+/// Accumulates checks for one `(threads, case)` pair.
+struct CaseChecks<'a> {
+    checks: &'a mut Vec<RegressCheck>,
+    threads: usize,
+    case: &'a str,
+}
+
+impl CaseChecks<'_> {
+    fn push(&mut self, check: &str, baseline: f64, fresh: f64, limit: f64, pass: bool) {
+        self.checks.push(RegressCheck {
+            threads: self.threads,
+            case: self.case.to_string(),
+            check: check.to_string(),
+            baseline,
+            fresh,
+            limit,
+            pass,
+        });
+    }
+}
+
+fn judge_case(threads: usize, base: &PerfCase, fresh: &PerfCase, checks: &mut Vec<RegressCheck>) {
+    let name = &base.name;
+    let mut out = CaseChecks {
+        checks,
+        threads,
+        case: name,
+    };
+
+    // Correctness: absolute, regardless of baseline.
+    out.push(
+        "bit_identical",
+        1.0,
+        if fresh.bit_identical { 1.0 } else { 0.0 },
+        1.0,
+        fresh.bit_identical,
+    );
+    out.push(
+        "decision_flips == 0",
+        base.decision_flips as f64,
+        fresh.decision_flips as f64,
+        0.0,
+        fresh.decision_flips == 0,
+    );
+
+    // Speedup floor.
+    let floor = if is_frozen_case(name) {
+        FROZEN_SPEEDUP_FLOOR.max(base.speedup * FROZEN_RELATIVE_FLOOR)
+    } else {
+        base.speedup * RELATIVE_SPEEDUP_FLOOR
+    };
+    out.push(
+        "speedup floor",
+        base.speedup,
+        fresh.speedup,
+        floor,
+        fresh.speedup >= floor,
+    );
+
+    // Allocation ceiling.
+    let ceiling = if is_frozen_case(name) {
+        FROZEN_ALLOCS_CEILING
+    } else {
+        (base.allocs_per_window * ALLOCS_RELATIVE_CEILING)
+            .max(base.allocs_per_window + ALLOCS_ABSOLUTE_GRACE)
+    };
+    out.push(
+        "allocs ceiling",
+        base.allocs_per_window,
+        fresh.allocs_per_window,
+        ceiling,
+        fresh.allocs_per_window <= ceiling,
+    );
+}
+
+/// Judge `fresh` against `baseline`. Sweeps pair by thread count; cases
+/// pair by name within a paired sweep. See the module docs for the
+/// threshold policy.
+pub fn judge(baseline: &PerfReport, fresh: &PerfReport) -> RegressVerdict {
+    let mut checks = Vec::new();
+    let mut notes = Vec::new();
+    let mut compared = 0usize;
+
+    for base_sweep in &baseline.sweeps {
+        let Some(fresh_sweep) = fresh
+            .sweeps
+            .iter()
+            .find(|s| s.threads == base_sweep.threads)
+        else {
+            notes.push(format!(
+                "baseline sweep at {} thread(s) not present in fresh run; skipped",
+                base_sweep.threads
+            ));
+            continue;
+        };
+        for base_case in &base_sweep.cases {
+            match fresh_sweep.cases.iter().find(|c| c.name == base_case.name) {
+                Some(fresh_case) => {
+                    compared += 1;
+                    judge_case(base_sweep.threads, base_case, fresh_case, &mut checks);
+                }
+                None => {
+                    // Coverage loss is a failure, not a note: a vanished
+                    // case must not read as "no regression".
+                    CaseChecks {
+                        checks: &mut checks,
+                        threads: base_sweep.threads,
+                        case: &base_case.name,
+                    }
+                    .push("case present in fresh run", 1.0, 0.0, 1.0, false);
+                }
+            }
+        }
+    }
+    for fresh_sweep in &fresh.sweeps {
+        if !baseline
+            .sweeps
+            .iter()
+            .any(|s| s.threads == fresh_sweep.threads)
+        {
+            notes.push(format!(
+                "fresh sweep at {} thread(s) has no baseline; skipped",
+                fresh_sweep.threads
+            ));
+        }
+    }
+    if compared == 0 {
+        notes.push("no (threads, case) pair present in both reports".to_string());
+    }
+
+    RegressVerdict {
+        // Zero overlap is a failure: an incomparable run proves nothing.
+        pass: compared > 0 && checks.iter().all(|c| c.pass),
+        compared,
+        checks,
+        notes,
+    }
+}
+
+/// Render a verdict as an aligned text table (failures and passes).
+pub fn render(verdict: &RegressVerdict) -> String {
+    let mut out = String::new();
+    let rows: Vec<Vec<String>> = verdict
+        .checks
+        .iter()
+        .map(|c| {
+            vec![
+                if c.pass { "ok" } else { "FAIL" }.to_string(),
+                format!("{}", c.threads),
+                c.case.clone(),
+                c.check.clone(),
+                format!("{:.3}", c.baseline),
+                format!("{:.3}", c.fresh),
+                format!("{:.3}", c.limit),
+            ]
+        })
+        .collect();
+    out.push_str(&crate::report::text_table(
+        &[
+            "status", "threads", "case", "check", "baseline", "fresh", "limit",
+        ],
+        &rows,
+    ));
+    for note in &verdict.notes {
+        out.push_str(&format!("note: {note}\n"));
+    }
+    out.push_str(&format!(
+        "regress verdict: {} ({} case pairings, {} checks)\n",
+        if verdict.pass { "PASS" } else { "FAIL" },
+        verdict.compared,
+        verdict.checks.len(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> PerfReport {
+        let text = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/BENCH_perf.json"
+        ))
+        .expect("committed baseline exists");
+        serde_json::from_str(&text).expect("committed baseline parses")
+    }
+
+    #[test]
+    fn committed_baseline_self_passes() {
+        let report = baseline();
+        assert!(!report.sweeps.is_empty());
+        let verdict = judge(&report, &report);
+        assert!(
+            verdict.pass,
+            "baseline must pass against itself:\n{}",
+            render(&verdict)
+        );
+        // Every sweep × case compared, 4 checks each.
+        let cases: usize = report.sweeps.iter().map(|s| s.cases.len()).sum();
+        assert_eq!(verdict.compared, cases);
+        assert_eq!(verdict.checks.len(), cases * 4);
+    }
+
+    #[test]
+    fn degraded_frozen_speedup_fails() {
+        let report = baseline();
+        let mut fresh = report.clone();
+        for sweep in &mut fresh.sweeps {
+            for case in &mut sweep.cases {
+                if case.name == "frozen_predict" {
+                    case.speedup = 1.0; // advantage collapsed to parity
+                }
+            }
+        }
+        let verdict = judge(&report, &fresh);
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.case == "frozen_predict" && c.check == "speedup floor"));
+        // Unrelated cases stay green.
+        assert!(verdict
+            .checks
+            .iter()
+            .filter(|c| c.case == "conv_forward")
+            .all(|c| c.pass));
+        assert!(render(&verdict).contains("FAIL"));
+    }
+
+    #[test]
+    fn frozen_allocations_fail_the_zero_alloc_contract() {
+        let report = baseline();
+        let mut fresh = report.clone();
+        for sweep in &mut fresh.sweeps {
+            for case in &mut sweep.cases {
+                if case.name == "frozen_localize" {
+                    case.allocs_per_window = 3.0;
+                }
+            }
+        }
+        let verdict = judge(&report, &fresh);
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.case == "frozen_localize" && c.check == "allocs ceiling"));
+    }
+
+    #[test]
+    fn decision_flips_fail_absolutely() {
+        let report = baseline();
+        let mut fresh = report.clone();
+        fresh.sweeps[0].cases[0].decision_flips = 1;
+        fresh.sweeps[0].cases[0].bit_identical = false;
+        let verdict = judge(&report, &fresh);
+        assert!(!verdict.pass);
+    }
+
+    #[test]
+    fn missing_case_fails_and_missing_sweep_skips() {
+        let report = baseline();
+        let mut fresh = report.clone();
+        // Drop a case from the first sweep: coverage loss must fail.
+        fresh.sweeps[0].cases.retain(|c| c.name != "train_epoch");
+        let verdict = judge(&report, &fresh);
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.check == "case present in fresh run"));
+
+        // A fresh run covering only one of the baseline's thread counts
+        // still passes — CI's smoke sweeps one team size by design.
+        let mut partial = report.clone();
+        partial.sweeps.truncate(1);
+        let verdict = judge(&report, &partial);
+        assert!(verdict.pass, "{}", render(&verdict));
+        assert!(verdict.notes.iter().any(|n| n.contains("skipped")));
+    }
+
+    #[test]
+    fn zero_overlap_is_a_failure() {
+        let report = baseline();
+        let empty = PerfReport {
+            smoke: true,
+            sweeps: Vec::new(),
+        };
+        let verdict = judge(&report, &empty);
+        assert!(!verdict.pass);
+        assert_eq!(verdict.compared, 0);
+    }
+}

@@ -254,6 +254,7 @@ impl FrozenEnsemble {
     /// [`FrozenEnsemble::ensemble_probs`]. The mean accumulates in member
     /// order, matching [`ResNetEnsemble::ensemble_probability`] exactly.
     pub fn predict_into(&mut self, x: &Tensor) {
+        let _span = ds_obs::span!("frozen.predict");
         let b = x.batch;
         for m in &mut self.members {
             m.net.predict_into(x, &mut m.arena);

@@ -289,6 +289,7 @@ impl FrozenResNet {
     /// and logits ([`InferenceArena::logits_row`]). Zero heap allocations
     /// once the arena has seen the shape.
     pub fn predict_into(&self, x: &Tensor, arena: &mut InferenceArena) {
+        let _span = ds_obs::span!("frozen.forward");
         let (b, c, l) = x.shape();
         assert_eq!(c, self.in_channels, "frozen input channel mismatch");
         assert!(b > 0 && l > 0, "frozen forward needs a non-empty batch");

@@ -26,13 +26,15 @@ use std::cell::Cell;
 
 thread_local! {
     static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+    static ALLOC_BYTES: Cell<u64> = const { Cell::new(0) };
 }
 
 #[inline]
-fn bump() {
+fn bump(bytes: usize) {
     // `try_with` so allocations during thread teardown (after TLS
     // destruction) pass through uncounted instead of aborting.
     let _ = ALLOCATIONS.try_with(|n| n.set(n.get() + 1));
+    let _ = ALLOC_BYTES.try_with(|n| n.set(n.get() + bytes as u64));
 }
 
 /// The counting allocator type (installed below; public only so the docs
@@ -41,17 +43,17 @@ pub struct CountingAllocator;
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        bump();
+        bump(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        bump();
+        bump(layout.size());
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        bump();
+        bump(new_size);
         System.realloc(ptr, layout, new_size)
     }
 
@@ -71,6 +73,16 @@ pub fn alloc_count() -> u64 {
     ALLOCATIONS.try_with(Cell::get).unwrap_or(0)
 }
 
+/// Bytes requested by the **calling thread**'s allocation events since it
+/// started (`alloc`/`alloc_zeroed` count `layout.size()`, `realloc` counts
+/// the new size; frees subtract nothing). Monotonic; diff two reads to
+/// attribute a region's heap traffic. Always live, independent of
+/// `DS_OBS` — spans sample it to attach per-span byte deltas.
+#[inline]
+pub fn alloc_bytes() -> u64 {
+    ALLOC_BYTES.try_with(Cell::get).unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +96,19 @@ mod tests {
         drop(v);
         // Frees are not events, and sibling threads can't perturb us.
         assert_eq!(alloc_count(), mid);
+    }
+
+    #[test]
+    fn counts_allocation_bytes() {
+        let before = alloc_bytes();
+        let v: Vec<u64> = Vec::with_capacity(32);
+        let delta = alloc_bytes() - before;
+        assert!(
+            delta >= 32 * std::mem::size_of::<u64>() as u64,
+            "expected at least 256 requested bytes, saw {delta}"
+        );
+        drop(v);
+        assert_eq!(alloc_bytes() - before, delta, "frees subtract nothing");
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! SLO budgets: declared latency/quality limits on histogram quantiles,
+//! evaluated into pass/fail verdicts with cumulative burn counters.
+//!
+//! A budget names a histogram metric, a quantile, and a maximum (e.g.
+//! "`app.frozen.window_latency_s` p99 must stay <= 0.05 s"). Budgets are
+//! *declared* once (typically at app startup) and *evaluated* on demand —
+//! by [`crate::snapshot`], the REPL `profile` command, or tests — against
+//! whatever the global registry has accumulated. Evaluation is read-only
+//! except for the burn counters: each evaluation adds the number of
+//! *newly observed* over-budget samples since the previous evaluation to
+//! the `slo.<name>.burn` counter, so repeated evaluation is idempotent
+//! and the counter tracks cumulative violations, not evaluation count.
+//!
+//! Over-budget samples are counted at histogram-bucket resolution
+//! ([`crate::Registry::histogram_count_above`]); declare budget limits on
+//! bucket bounds (the 1–2–5 duration grid) to make the count exact.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use serde_json::{Map, Value};
+
+/// Which summary quantile a budget constrains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quantile {
+    P50,
+    P90,
+    P99,
+}
+
+impl Quantile {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Quantile::P50 => "p50",
+            Quantile::P90 => "p90",
+            Quantile::P99 => "p99",
+        }
+    }
+}
+
+struct Budget {
+    name: &'static str,
+    metric: &'static str,
+    quantile: Quantile,
+    max: f64,
+    /// Over-budget sample count at the last evaluation; the delta feeds
+    /// the burn counter.
+    last_over: AtomicU64,
+}
+
+static BUDGETS: Mutex<Vec<Budget>> = Mutex::new(Vec::new());
+
+/// Declares (or redeclares — last call wins) a named SLO budget: the
+/// `quantile` of histogram `metric` must stay `<= max`. Prefer a `max`
+/// on a bucket bound of the metric's layout so burn counting is exact.
+pub fn declare_budget(name: &'static str, metric: &'static str, quantile: Quantile, max: f64) {
+    let mut budgets = BUDGETS.lock();
+    if let Some(b) = budgets.iter_mut().find(|b| b.name == name) {
+        b.metric = metric;
+        b.quantile = quantile;
+        b.max = max;
+        b.last_over.store(0, Ordering::Relaxed);
+    } else {
+        budgets.push(Budget {
+            name,
+            metric,
+            quantile,
+            max,
+            last_over: AtomicU64::new(0),
+        });
+    }
+}
+
+/// One budget's evaluation against the current global registry.
+#[derive(Debug, Clone)]
+pub struct BudgetVerdict {
+    pub name: &'static str,
+    pub metric: &'static str,
+    pub quantile: Quantile,
+    /// The declared limit.
+    pub max: f64,
+    /// The metric's current value at the budgeted quantile (0 when the
+    /// histogram has no samples yet).
+    pub observed: f64,
+    /// Samples recorded into the metric so far.
+    pub samples: u64,
+    /// Cumulative samples that landed above the limit.
+    pub over_budget: u64,
+    /// `observed <= max`; vacuously true with no samples.
+    pub pass: bool,
+}
+
+impl BudgetVerdict {
+    pub(crate) fn to_value(&self) -> Value {
+        let mut obj = Map::new();
+        obj.insert("metric".to_string(), Value::from(self.metric));
+        obj.insert("quantile".to_string(), Value::from(self.quantile.as_str()));
+        obj.insert("max".to_string(), Value::from(self.max));
+        obj.insert("observed".to_string(), Value::from(self.observed));
+        obj.insert("samples".to_string(), Value::from(self.samples));
+        obj.insert("over_budget".to_string(), Value::from(self.over_budget));
+        obj.insert("pass".to_string(), Value::from(self.pass));
+        Value::Object(obj)
+    }
+}
+
+/// Evaluates every declared budget against the global registry, ticking
+/// burn counters for newly observed violations. Declaration order.
+pub fn budget_verdicts() -> Vec<BudgetVerdict> {
+    let registry = crate::global();
+    let budgets = BUDGETS.lock();
+    budgets
+        .iter()
+        .map(|b| {
+            let summary = registry.histogram_summary(b.metric);
+            let (observed, samples) = summary.map_or((0.0, 0), |s| {
+                let q = match b.quantile {
+                    Quantile::P50 => s.p50,
+                    Quantile::P90 => s.p90,
+                    Quantile::P99 => s.p99,
+                };
+                (q, s.count)
+            });
+            let over = registry.histogram_count_above(b.metric, b.max).unwrap_or(0);
+            let prev = b.last_over.swap(over, Ordering::Relaxed);
+            // The registry may have been reset since last evaluation, in
+            // which case `over` restarts below `prev`; burn only forward.
+            let newly = over.saturating_sub(prev);
+            if newly > 0 {
+                registry.counter_add(&format!("slo.{}.burn", b.name), newly);
+            }
+            BudgetVerdict {
+                name: b.name,
+                metric: b.metric,
+                quantile: b.quantile,
+                max: b.max,
+                observed,
+                samples,
+                over_budget: over,
+                pass: samples == 0 || observed <= b.max,
+            }
+        })
+        .collect()
+}
+
+/// `{name: {metric, quantile, max, observed, samples, over_budget, pass}}`
+/// — the `slo` section of [`crate::snapshot`].
+pub(crate) fn snapshot() -> Value {
+    let map: Map = budget_verdicts()
+        .into_iter()
+        .map(|v| (v.name.to_string(), v.to_value()))
+        .collect();
+    Value::Object(map)
+}
+
+/// Clears burn deltas (declarations survive; metrics were just wiped, so
+/// the next evaluation restarts from zero over-budget samples).
+pub(crate) fn reset() {
+    for b in BUDGETS.lock().iter() {
+        b.last_over.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_labels() {
+        assert_eq!(Quantile::P50.as_str(), "p50");
+        assert_eq!(Quantile::P90.as_str(), "p90");
+        assert_eq!(Quantile::P99.as_str(), "p99");
+    }
+
+    // Budget evaluation against the global registry is covered by the
+    // integration tests (obs_props), which serialize global state.
+}

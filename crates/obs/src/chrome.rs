@@ -1,0 +1,199 @@
+//! Chrome trace-event export: writes the per-thread trace buffers as a
+//! `chrome://tracing` / Perfetto-loadable JSON file, plus a validator
+//! the CI trace-smoke stage and tests use to check structure without a
+//! browser.
+//!
+//! The format is the JSON-object form of the [trace-event spec]: a
+//! `traceEvents` array of `B` (begin) / `E` (end) duration events with
+//! microsecond `ts` timestamps, grouped into rows by `(pid, tid)`, plus
+//! `M` metadata events naming each thread row. Span IDs and parent
+//! linkage ride in each begin event's `args`, allocation deltas in each
+//! end event's `args`, and the overflow drop count in `otherData` — so
+//! nothing the in-process buffers know is lost in export.
+//!
+//! [trace-event spec]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::BTreeMap;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use serde_json::{Map, Value};
+
+use crate::trace;
+
+/// Environment variable naming the Chrome trace output file. When set,
+/// instrumented binaries export on exit (and the panic hook exports on
+/// crash); `DS_OBS=trace` must also be active for anything to record.
+pub const TRACE_ENV: &str = "DS_TRACE";
+
+/// What an export wrote, for logging and CI assertions.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceStats {
+    /// Begin + end events exported (metadata rows not counted).
+    pub events: usize,
+    /// Threads contributing at least one event.
+    pub threads: usize,
+    /// Spans dropped on buffer overflow (still counted, never exported).
+    pub dropped_spans: u64,
+}
+
+fn event_obj(ph: &str, tid: u64, ts_us: f64, name: &str) -> Map {
+    let mut obj = Map::new();
+    obj.insert("ph".to_string(), Value::from(ph));
+    obj.insert("pid".to_string(), Value::from(1u64));
+    obj.insert("tid".to_string(), Value::from(tid));
+    obj.insert("ts".to_string(), Value::from(ts_us));
+    obj.insert("name".to_string(), Value::from(name));
+    obj
+}
+
+/// Serializes every thread's buffered events to `path` as Chrome
+/// trace-event JSON. Returns what was written. An empty trace (tracing
+/// never active, or everything reset) still writes a valid file with an
+/// empty `traceEvents` array.
+pub fn export_chrome_trace(path: &Path) -> io::Result<TraceStats> {
+    let per_thread = trace::events();
+    let dropped = trace::dropped_spans();
+
+    let mut events: Vec<Value> = Vec::new();
+    let mut threads = 0usize;
+    let mut total = 0usize;
+    for (tid, thread_events) in &per_thread {
+        if thread_events.is_empty() {
+            continue;
+        }
+        threads += 1;
+        let mut meta = event_obj("M", *tid, 0.0, "thread_name");
+        let mut args = Map::new();
+        args.insert("name".to_string(), Value::from(format!("worker-{tid}")));
+        meta.insert("args".to_string(), Value::Object(args));
+        events.push(Value::Object(meta));
+
+        for e in thread_events {
+            total += 1;
+            let ts_us = e.t_ns as f64 / 1e3;
+            let mut obj = event_obj(if e.begin { "B" } else { "E" }, *tid, ts_us, e.path);
+            let mut args = Map::new();
+            if e.begin {
+                args.insert("span_id".to_string(), Value::from(e.span_id));
+                args.insert("parent_id".to_string(), Value::from(e.parent_id));
+                args.insert("depth".to_string(), Value::from(e.depth as u64));
+            } else {
+                args.insert("span_id".to_string(), Value::from(e.span_id));
+                args.insert("allocs".to_string(), Value::from(e.allocs));
+                args.insert("alloc_bytes".to_string(), Value::from(e.alloc_bytes));
+            }
+            obj.insert("args".to_string(), Value::Object(args));
+            events.push(Value::Object(obj));
+        }
+    }
+
+    let mut root = Map::new();
+    root.insert("traceEvents".to_string(), Value::Array(events));
+    root.insert("displayTimeUnit".to_string(), Value::from("ms"));
+    let mut other = Map::new();
+    other.insert("dropped_spans".to_string(), Value::from(dropped));
+    root.insert("otherData".to_string(), Value::Object(other));
+
+    let text = serde_json::to_string(&Value::Object(root))
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(text.as_bytes())?;
+    file.flush()?;
+    Ok(TraceStats {
+        events: total,
+        threads,
+        dropped_spans: dropped,
+    })
+}
+
+/// If `DS_TRACE` names a path, exports the trace there and returns the
+/// path with the export result. Instrumented binaries call this on exit.
+pub fn export_trace_from_env() -> Option<(PathBuf, io::Result<TraceStats>)> {
+    let path = PathBuf::from(std::env::var(TRACE_ENV).ok()?.trim());
+    if path.as_os_str().is_empty() {
+        return None;
+    }
+    let result = export_chrome_trace(&path);
+    Some((path, result))
+}
+
+/// Structural facts a validated trace file exhibited.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCheck {
+    /// Begin/end events in the file.
+    pub events: usize,
+    /// Distinct tids contributing begin/end events.
+    pub threads: usize,
+    /// Maximum begin-nesting depth observed on any one thread.
+    pub max_depth: usize,
+}
+
+/// Parses a Chrome trace file and checks structural invariants: valid
+/// JSON with a `traceEvents` array, and per-tid begin/end events that
+/// nest — every `E` matches the `B` on top of its thread's stack (by
+/// name and `span_id`), and no stack is left open at end of file.
+pub fn validate_chrome_trace(path: &Path) -> Result<TraceCheck, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let root: Value = serde_json::from_str(&text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or("missing traceEvents array")?;
+
+    // Per-tid stack of (name, span_id) from begin events.
+    let mut stacks: BTreeMap<u64, Vec<(String, u64)>> = BTreeMap::new();
+    let mut counted = 0usize;
+    let mut max_depth = 0usize;
+    for e in events {
+        let ph = e.get("ph").and_then(|v| v.as_str()).unwrap_or("");
+        if ph != "B" && ph != "E" {
+            continue;
+        }
+        counted += 1;
+        let tid = e
+            .get("tid")
+            .and_then(|v| v.as_u64())
+            .ok_or("event missing tid")?;
+        let name = e
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("event missing name")?
+            .to_string();
+        let span_id = e
+            .get("args")
+            .and_then(|a| a.get("span_id"))
+            .and_then(|v| v.as_u64())
+            .ok_or("event missing args.span_id")?;
+        let stack = stacks.entry(tid).or_default();
+        if ph == "B" {
+            stack.push((name, span_id));
+            max_depth = max_depth.max(stack.len());
+        } else {
+            let (open_name, open_id) = stack
+                .pop()
+                .ok_or_else(|| format!("tid {tid}: end '{name}' with no open begin"))?;
+            if open_name != name || open_id != span_id {
+                return Err(format!(
+                    "tid {tid}: end '{name}' (span {span_id}) does not match \
+                     open begin '{open_name}' (span {open_id})"
+                ));
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid}: {} begin event(s) never closed",
+                stack.len()
+            ));
+        }
+    }
+    let threads = stacks.len();
+    Ok(TraceCheck {
+        events: counted,
+        threads,
+        max_depth,
+    })
+}

@@ -20,7 +20,7 @@
 //! |----------------------|---------------------------------------------------|
 //! | `off` / `0` / unset  | everything is a no-op                             |
 //! | `summary` / `1`      | metrics + spans aggregate; events go to the sink  |
-//! | `trace` / `2`        | as `summary`, plus every event echoes to stderr   |
+//! | `trace` / `2`        | as `summary`, plus events echo to stderr and every span begin/end is recorded into per-thread trace buffers (exportable to Chrome trace JSON via `DS_TRACE=path.json`) |
 //!
 //! Unrecognized values fall back to `off` so a typo can never break a
 //! pipeline. [`set_level`] overrides the environment programmatically
@@ -49,16 +49,28 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 mod alloc;
+mod budget;
+mod chrome;
 mod registry;
 mod render;
 mod sink;
 mod span;
+mod trace;
 
-pub use alloc::alloc_count;
+pub use alloc::{alloc_bytes, alloc_count};
+pub use budget::{budget_verdicts, declare_budget, BudgetVerdict, Quantile};
+pub use chrome::{
+    export_chrome_trace, export_trace_from_env, validate_chrome_trace, TraceCheck, TraceStats,
+    TRACE_ENV,
+};
 pub use registry::{Buckets, HistogramSummary, Registry};
-pub use render::render_summary;
+pub use render::{render_profile, render_summary};
 pub use sink::{event_record, events_snapshot, flush_sink, init_sink, sink_path};
-pub use span::{span, Span};
+pub use span::{current_span_id, span, Span};
+pub use trace::{
+    dropped_spans, events as trace_events, remote_parent_scope, set_trace_capacity,
+    thread_activity, RemoteParentGuard, ThreadActivity, TraceEvent, DEFAULT_CAPACITY,
+};
 
 /// Re-exported so callers (and the [`event!`] macro) can build event
 /// fields without depending on serde_json themselves.
@@ -168,12 +180,16 @@ pub fn observe(name: &str, value: f64, buckets: Buckets) {
 }
 
 /// Full state as a `serde_json::Value`:
-/// `{level, counters, gauges, histograms, spans, events_recorded}`.
-/// Benches embed this into their JSON reports.
+/// `{level, counters, gauges, histograms, spans, slo, events_recorded}`.
+/// Benches embed this into their JSON reports. Evaluating the `slo`
+/// section ticks budget burn counters first, so they appear coherently
+/// in the same snapshot.
 pub fn snapshot() -> Value {
+    let slo = budget::snapshot();
     let mut snap = global().snapshot();
     if let Value::Object(map) = &mut snap {
         map.insert("level".to_string(), Value::from(level().as_str()));
+        map.insert("slo".to_string(), slo);
         map.insert(
             "events_recorded".to_string(),
             Value::from(sink::events_recorded()),
@@ -182,12 +198,67 @@ pub fn snapshot() -> Value {
     snap
 }
 
-/// Clears all counters, gauges, histograms, span stats, and buffered
-/// events (the sink file, if any, is closed). Intended for tests and the
-/// app's `obs reset`.
+/// Clears all counters, gauges, histograms, span stats, trace buffers,
+/// budget burn state, and buffered events (the sink file, if any, is
+/// closed). SLO budget *declarations* survive. Intended for tests and
+/// the app's `obs reset`.
 pub fn reset() {
     global().reset();
     sink::reset();
+    trace::reset();
+    budget::reset();
+}
+
+/// Installs a process panic hook (once; chains any previously installed
+/// hook) that preserves telemetry from a crashing run: it records a
+/// `panic` event, appends a final full [`snapshot`] event, flushes the
+/// JSONL sink, and — when `DS_TRACE` is set — exports the Chrome trace.
+/// A run dying under `DS_FAULT` thus still leaves usable evidence on
+/// disk.
+pub fn install_panic_hook() {
+    static INSTALLED: std::sync::Once = std::sync::Once::new();
+    INSTALLED.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if enabled() {
+                let message = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string payload>".to_string());
+                let location = info
+                    .location()
+                    .map(|l| format!("{}:{}", l.file(), l.line()))
+                    .unwrap_or_else(|| "<unknown>".to_string());
+                event_record(
+                    "panic",
+                    vec![
+                        ("message", Value::from(message)),
+                        ("location", Value::from(location)),
+                    ],
+                );
+                event_record("final_snapshot", vec![("snapshot", snapshot())]);
+                flush_sink();
+                if let Some((path, result)) = export_trace_from_env() {
+                    match result {
+                        Ok(stats) => eprintln!(
+                            "ds-obs: panic trace exported to {} ({} events)",
+                            path.display(),
+                            stats.events
+                        ),
+                        Err(e) => {
+                            eprintln!(
+                                "ds-obs: panic trace export to {} failed: {e}",
+                                path.display()
+                            )
+                        }
+                    }
+                }
+            }
+            previous(info);
+        }));
+    });
 }
 
 /// Starts an RAII span timer: `let _guard = span!("conv1d_fwd");`.

@@ -98,6 +98,26 @@ impl Histogram {
         m.max = m.max.max(value);
     }
 
+    /// Observations that landed in buckets lying entirely at or above
+    /// `threshold` (bucket lower bound >= threshold). Resolution is the
+    /// bucket layout: a threshold on a bucket bound is exact; one inside
+    /// a bucket undercounts by at most that bucket's population. SLO
+    /// budgets declare their limits on bucket bounds to stay exact.
+    fn count_above(&self, threshold: f64) -> u64 {
+        let mut total = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            let lower = if i == 0 {
+                f64::NEG_INFINITY
+            } else {
+                self.bounds[i - 1]
+            };
+            if lower >= threshold {
+                total += c.load(Ordering::Relaxed);
+            }
+        }
+        total
+    }
+
     fn summary(&self) -> HistogramSummary {
         let counts: Vec<u64> = self
             .counts
@@ -246,6 +266,16 @@ impl Registry {
         self.histograms.read().get(name).map(|h| h.summary())
     }
 
+    /// Observations of `name` whose bucket lies entirely at or above
+    /// `threshold`. `None` if the histogram doesn't exist. Exact when
+    /// `threshold` is a bucket bound; see [`crate::declare_budget`].
+    pub fn histogram_count_above(&self, name: &str, threshold: f64) -> Option<u64> {
+        self.histograms
+            .read()
+            .get(name)
+            .map(|h| h.count_above(threshold))
+    }
+
     pub fn histogram_names(&self) -> Vec<String> {
         self.histograms.read().keys().cloned().collect()
     }
@@ -375,6 +405,20 @@ mod tests {
     fn custom_bounds_must_ascend() {
         let r = Registry::new();
         r.observe("bad", 1.0, Buckets::Custom(&[2.0, 1.0]));
+    }
+
+    #[test]
+    fn count_above_sums_buckets_at_or_past_threshold() {
+        let r = Registry::new();
+        for v in [0.01, 0.04, 0.06, 0.12, 0.9] {
+            r.observe("lat", v, Buckets::Unit); // bounds at 0.05 steps
+        }
+        // Threshold on a bound: exact. 0.06, 0.12, 0.9 live in buckets
+        // whose lower bound >= 0.05; 0.01 and 0.04 live in [0, 0.05].
+        assert_eq!(r.histogram_count_above("lat", 0.05), Some(3));
+        assert_eq!(r.histogram_count_above("lat", 0.5), Some(1));
+        assert_eq!(r.histogram_count_above("lat", 1.0), Some(0));
+        assert_eq!(r.histogram_count_above("missing", 0.5), None);
     }
 
     #[test]

@@ -21,8 +21,8 @@ pub(crate) fn render_registry(registry: &Registry, level: &str) -> String {
         let _ = writeln!(out, "\n-- spans (wall time) --");
         let _ = writeln!(
             out,
-            "{:<44} {:>7} {:>11} {:>11} {:>11}",
-            "span", "count", "total", "mean", "max"
+            "{:<44} {:>7} {:>11} {:>11} {:>11} {:>10}",
+            "span", "count", "total", "mean", "max", "allocs"
         );
         // Lexicographic order places children directly under parents;
         // indent by path depth and show only the leaf segment.
@@ -33,12 +33,13 @@ pub(crate) fn render_registry(registry: &Registry, level: &str) -> String {
             let mean = stat.total / stat.count.max(1) as u32;
             let _ = writeln!(
                 out,
-                "{:<44} {:>7} {:>11} {:>11} {:>11}",
+                "{:<44} {:>7} {:>11} {:>11} {:>11} {:>10}",
                 label,
                 stat.count,
                 fmt_duration(stat.total),
                 fmt_duration(mean),
                 fmt_duration(stat.max),
+                stat.allocs,
             );
         }
     }
@@ -100,6 +101,117 @@ pub(crate) fn render_registry(registry: &Registry, level: &str) -> String {
     out
 }
 
+/// How many hot spans the profile "top" view lists.
+const PROFILE_TOP: usize = 16;
+
+/// Renders the profiling view: hottest spans by total wall time (with
+/// per-call allocation attribution), per-worker busy/idle fractions from
+/// the trace buffers, and SLO budget verdicts. Backs the app's `profile`
+/// REPL command. Evaluating the budgets ticks their burn counters.
+pub fn render_profile() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== ds-obs profile (level={}) ==",
+        crate::level().as_str()
+    );
+
+    let mut spans = crate::global().spans.entries();
+    spans.sort_by_key(|(_, stat)| std::cmp::Reverse(stat.total));
+    if spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "(no spans recorded; set {}=summary|trace and run a workload)",
+            crate::ENV_VAR
+        );
+    } else {
+        let _ = writeln!(out, "\n-- hot spans (by total wall time) --");
+        let _ = writeln!(
+            out,
+            "{:<44} {:>7} {:>11} {:>11} {:>12} {:>12}",
+            "span", "count", "total", "mean", "allocs/call", "bytes/call"
+        );
+        for (path, stat) in spans.iter().take(PROFILE_TOP) {
+            let calls = stat.count.max(1);
+            let _ = writeln!(
+                out,
+                "{:<44} {:>7} {:>11} {:>11} {:>12.1} {:>12.0}",
+                path,
+                stat.count,
+                fmt_duration(stat.total),
+                fmt_duration(stat.total / calls as u32),
+                stat.allocs as f64 / calls as f64,
+                stat.alloc_bytes as f64 / calls as f64,
+            );
+        }
+        if spans.len() > PROFILE_TOP {
+            let _ = writeln!(out, "... and {} more spans", spans.len() - PROFILE_TOP);
+        }
+    }
+
+    let activity = crate::thread_activity();
+    let recorded: Vec<_> = activity.iter().filter(|a| a.spans_closed > 0).collect();
+    if recorded.is_empty() {
+        let _ = writeln!(
+            out,
+            "\n-- workers --\n(no trace data; set {}=trace to record per-worker timelines)",
+            crate::ENV_VAR
+        );
+    } else {
+        // Busy fraction is each worker's top-level span time over the
+        // global trace window, so idle = waiting while others worked.
+        let window_start = recorded.iter().map(|a| a.first_ns).min().unwrap_or(0);
+        let window_end = recorded.iter().map(|a| a.last_ns).max().unwrap_or(0);
+        let window_ns = window_end.saturating_sub(window_start).max(1);
+        let _ = writeln!(out, "\n-- workers (busy/idle over trace window) --");
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>11} {:>7} {:>7} {:>9}",
+            "worker", "spans", "busy", "busy%", "idle%", "dropped"
+        );
+        for a in &recorded {
+            let busy_frac = (a.busy_ns as f64 / window_ns as f64).min(1.0);
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>11} {:>6.1}% {:>6.1}% {:>9}",
+                format!("worker-{}", a.tid),
+                a.spans_closed,
+                fmt_duration(Duration::from_nanos(a.busy_ns)),
+                busy_frac * 100.0,
+                (1.0 - busy_frac) * 100.0,
+                a.dropped_spans,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "trace window: {}",
+            fmt_duration(Duration::from_nanos(window_ns))
+        );
+    }
+
+    let verdicts = crate::budget_verdicts();
+    if verdicts.is_empty() {
+        let _ = writeln!(out, "\n-- slo budgets --\n(no budgets declared)");
+    } else {
+        let _ = writeln!(out, "\n-- slo budgets --");
+        for v in &verdicts {
+            let status = if v.pass { "PASS" } else { "FAIL" };
+            let _ = writeln!(
+                out,
+                "[{status}] {:<28} {} {} <= {} (observed {}, {} samples, {} over budget)",
+                v.name,
+                v.metric,
+                v.quantile.as_str(),
+                fmt_value(v.max),
+                fmt_value(v.observed),
+                v.samples,
+                v.over_budget,
+            );
+        }
+    }
+    out
+}
+
 fn fmt_duration(d: Duration) -> String {
     let ns = d.as_secs_f64() * 1e9;
     if ns < 1e3 {
@@ -135,10 +247,9 @@ mod tests {
         r.counter_add("epochs", 7);
         r.gauge_set("lr", 1e-3);
         r.observe("prob", 0.4, Buckets::Unit);
+        r.spans.record("train", Duration::from_millis(5), 2, 64);
         r.spans
-            .record("train".to_string(), Duration::from_millis(5));
-        r.spans
-            .record("train/step".to_string(), Duration::from_micros(40));
+            .record("train/step", Duration::from_micros(40), 0, 0);
         let text = render_registry(&r, "summary");
         assert!(text.contains("== ds-obs summary (level=summary) =="));
         assert!(text.contains("-- spans (wall time) --"));

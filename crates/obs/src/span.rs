@@ -1,45 +1,125 @@
-//! RAII span timers aggregating into a hierarchical wall-time profile.
+//! RAII span timers aggregating into a hierarchical wall-time profile,
+//! with per-span allocation attribution and (at `DS_OBS=trace`) event
+//! emission into the per-thread trace buffers.
 //!
-//! Each thread keeps a stack of active span names; a span records under
+//! Each thread keeps a stack of active span frames; a span records under
 //! the `/`-joined path of that stack (e.g. `camal.train/member/epoch`),
 //! so the profile renders as a tree. Worker threads (ds-par ensemble
 //! members) start their own root, which is exactly the reading you want:
 //! per-member wall time, not a tangle through the parent's stack.
+//!
+//! # Interned paths
+//!
+//! Joined paths are interned into leaked `&'static str`s keyed by
+//! `(parent path identity, leaf name)`, so the steady state of a hot
+//! span — same call site, same stack shape — performs **zero heap
+//! allocations**: the path lookup hits the intern table, the stack frame
+//! is a `Copy` push into a pre-grown `Vec`, and [`SpanStore::record`]
+//! keys an existing `BTreeMap` entry by `&'static str`. This keeps the
+//! per-span allocation attribution honest: a span's alloc delta measures
+//! the *instrumented code*, not the instrumentation.
+//!
+//! # Span IDs and cross-thread linkage
+//!
+//! Every live span gets a process-unique nonzero ID from one atomic
+//! counter. A span's parent is the frame below it on its thread's stack,
+//! or — when the stack is empty — the ID installed by
+//! [`crate::remote_parent_scope`], which ds-par uses to carry the
+//! dispatching span's identity into worker closures. IDs only surface in
+//! the trace buffers; the aggregate profile stays keyed by path.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde_json::{Map, Value};
 
-thread_local! {
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+use crate::trace::{self, TraceState};
+
+/// One active span on a thread's stack.
+#[derive(Clone, Copy)]
+struct Frame {
+    path: &'static str,
+    id: u64,
 }
 
-/// Aggregated timings for one span path.
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Process-unique span IDs; 0 is reserved for "no parent".
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The span ID at the top of the calling thread's stack, or 0 if no span
+/// is active. Dispatch sites capture this and hand it to
+/// [`crate::remote_parent_scope`] inside worker closures so worker-side
+/// spans link back to the dispatching span in the trace.
+pub fn current_span_id() -> u64 {
+    SPAN_STACK
+        .try_with(|stack| stack.borrow().last().map_or(0, |f| f.id))
+        .unwrap_or(0)
+}
+
+/// `(parent path identity, leaf name identity) → interned full path`.
+/// Parent identity is the parent's interned pointer (0 for roots), so
+/// lookup compares two words — no string hashing, no allocation. Entries
+/// are leaked; the table is bounded by the number of distinct span-call
+/// stack shapes, which is static program structure.
+static INTERN: Mutex<BTreeMap<(usize, usize), &'static str>> = Mutex::new(BTreeMap::new());
+
+fn intern_path(parent: Option<&'static str>, name: &'static str) -> &'static str {
+    let key = (
+        parent.map_or(0, |p| p.as_ptr() as usize),
+        name.as_ptr() as usize,
+    );
+    let mut table = INTERN.lock();
+    if let Some(&path) = table.get(&key) {
+        return path;
+    }
+    let path: &'static str = match parent {
+        // Leak the joined path once per (parent, name) pair. Roots reuse
+        // the `&'static str` literal itself — nothing to build.
+        Some(p) => Box::leak(format!("{p}/{name}").into_boxed_str()),
+        None => name,
+    };
+    table.insert(key, path);
+    path
+}
+
+/// Aggregated timings and allocation attribution for one span path.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct SpanStat {
     pub count: u64,
     pub total: Duration,
     pub min: Duration,
     pub max: Duration,
+    /// Heap-allocation events inside this span on its own thread
+    /// (summed over all records).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
 }
 
 impl SpanStat {
-    fn absorb(&mut self, elapsed: Duration) {
+    fn absorb(&mut self, elapsed: Duration, allocs: u64, alloc_bytes: u64) {
         self.count += 1;
         self.total += elapsed;
         self.min = self.min.min(elapsed);
         self.max = self.max.max(elapsed);
+        self.allocs += allocs;
+        self.alloc_bytes += alloc_bytes;
     }
 
-    fn single(elapsed: Duration) -> SpanStat {
+    fn single(elapsed: Duration, allocs: u64, alloc_bytes: u64) -> SpanStat {
         SpanStat {
             count: 1,
             total: elapsed,
             min: elapsed,
             max: elapsed,
+            allocs,
+            alloc_bytes,
         }
     }
 }
@@ -47,16 +127,22 @@ impl SpanStat {
 /// Path → aggregated stats; lives inside [`crate::Registry`].
 #[derive(Default)]
 pub(crate) struct SpanStore {
-    stats: Mutex<BTreeMap<String, SpanStat>>,
+    stats: Mutex<BTreeMap<&'static str, SpanStat>>,
 }
 
 impl SpanStore {
-    pub(crate) fn record(&self, path: String, elapsed: Duration) {
+    pub(crate) fn record(
+        &self,
+        path: &'static str,
+        elapsed: Duration,
+        allocs: u64,
+        alloc_bytes: u64,
+    ) {
         let mut stats = self.stats.lock();
         stats
             .entry(path)
-            .and_modify(|s| s.absorb(elapsed))
-            .or_insert_with(|| SpanStat::single(elapsed));
+            .and_modify(|s| s.absorb(elapsed, allocs, alloc_bytes))
+            .or_insert_with(|| SpanStat::single(elapsed, allocs, alloc_bytes));
     }
 
     pub(crate) fn reset(&self) {
@@ -65,12 +151,8 @@ impl SpanStore {
 
     /// Sorted `(path, stat)` pairs; lexicographic order puts children
     /// right after their parent, which the renderer relies on.
-    pub(crate) fn entries(&self) -> Vec<(String, SpanStat)> {
-        self.stats
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect()
+    pub(crate) fn entries(&self) -> Vec<(&'static str, SpanStat)> {
+        self.stats.lock().iter().map(|(&k, &v)| (k, v)).collect()
     }
 
     pub(crate) fn snapshot(&self) -> Value {
@@ -90,7 +172,9 @@ impl SpanStore {
                 );
                 obj.insert("min_us".to_string(), Value::from(s.min.as_secs_f64() * 1e6));
                 obj.insert("max_us".to_string(), Value::from(s.max.as_secs_f64() * 1e6));
-                (path, Value::Object(obj))
+                obj.insert("allocs".to_string(), Value::from(s.allocs));
+                obj.insert("alloc_bytes".to_string(), Value::from(s.alloc_bytes));
+                (path.to_string(), Value::Object(obj))
             })
             .collect::<BTreeMap<_, _>>();
         Value::Object(map)
@@ -105,8 +189,13 @@ pub struct Span {
 }
 
 struct ActiveSpan {
+    link: trace::SpanRef,
+    trace: TraceState,
+    allocs0: u64,
+    bytes0: u64,
+    /// Read last in `span()` and first in `drop()`, so the measured
+    /// window excludes as much of the instrumentation as possible.
     start: Instant,
-    path: String,
 }
 
 /// Starts a span timer (prefer the [`crate::span!`] macro at call sites).
@@ -114,15 +203,29 @@ pub fn span(name: &'static str) -> Span {
     if !crate::enabled() {
         return Span { active: None };
     }
-    let path = SPAN_STACK.with(|stack| {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let link = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
-        stack.push(name);
-        stack.join("/")
+        let parent = stack.last().copied();
+        let path = intern_path(parent.map(|f| f.path), name);
+        let parent_id = parent.map_or_else(trace::inherited_parent, |f| f.id);
+        let depth = stack.len() as u32;
+        stack.push(Frame { path, id });
+        trace::SpanRef {
+            span_id: id,
+            parent_id,
+            path,
+            depth,
+        }
     });
+    let trace_state = trace::record_begin(link);
     Span {
         active: Some(ActiveSpan {
+            link,
+            trace: trace_state,
+            allocs0: crate::alloc_count(),
+            bytes0: crate::alloc_bytes(),
             start: Instant::now(),
-            path,
         }),
     }
 }
@@ -131,10 +234,15 @@ impl Drop for Span {
     fn drop(&mut self) {
         if let Some(active) = self.active.take() {
             let elapsed = active.start.elapsed();
-            SPAN_STACK.with(|stack| {
+            let allocs = crate::alloc_count() - active.allocs0;
+            let alloc_bytes = crate::alloc_bytes() - active.bytes0;
+            let _ = SPAN_STACK.try_with(|stack| {
                 stack.borrow_mut().pop();
             });
-            crate::global().spans.record(active.path, elapsed);
+            trace::record_end(active.trace, active.link, elapsed, allocs, alloc_bytes);
+            crate::global()
+                .spans
+                .record(active.link.path, elapsed, allocs, alloc_bytes);
         }
     }
 }
@@ -146,9 +254,9 @@ mod tests {
     #[test]
     fn store_aggregates_and_sorts() {
         let store = SpanStore::default();
-        store.record("a".to_string(), Duration::from_millis(2));
-        store.record("a".to_string(), Duration::from_millis(4));
-        store.record("a/b".to_string(), Duration::from_millis(1));
+        store.record("a", Duration::from_millis(2), 3, 96);
+        store.record("a", Duration::from_millis(4), 1, 32);
+        store.record("a/b", Duration::from_millis(1), 0, 0);
         let entries = store.entries();
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].0, "a");
@@ -156,18 +264,22 @@ mod tests {
         assert_eq!(entries[0].1.total, Duration::from_millis(6));
         assert_eq!(entries[0].1.min, Duration::from_millis(2));
         assert_eq!(entries[0].1.max, Duration::from_millis(4));
+        assert_eq!(entries[0].1.allocs, 4);
+        assert_eq!(entries[0].1.alloc_bytes, 128);
         assert_eq!(entries[1].0, "a/b");
     }
 
     #[test]
-    fn snapshot_reports_milliseconds() {
+    fn snapshot_reports_milliseconds_and_allocs() {
         let store = SpanStore::default();
-        store.record("x".to_string(), Duration::from_millis(10));
+        store.record("x", Duration::from_millis(10), 2, 64);
         let snap = store.snapshot();
         let x = snap.get("x").unwrap();
         assert_eq!(x.get("count").unwrap().as_u64(), Some(1));
         let total_ms = x.get("total_ms").unwrap().as_f64().unwrap();
         assert!((total_ms - 10.0).abs() < 1.0);
+        assert_eq!(x.get("allocs").unwrap().as_u64(), Some(2));
+        assert_eq!(x.get("alloc_bytes").unwrap().as_u64(), Some(64));
     }
 
     #[test]
@@ -177,5 +289,30 @@ mod tests {
         let guard = span("never");
         assert!(guard.active.is_none());
         drop(guard);
+    }
+
+    #[test]
+    fn interning_is_stable_and_allocation_free_on_repeat() {
+        let root = intern_path(None, "stable_root");
+        let child1 = intern_path(Some(root), "leaf");
+        let allocs_before = crate::alloc_count();
+        let child2 = intern_path(Some(root), "leaf");
+        let root2 = intern_path(None, "stable_root");
+        assert_eq!(
+            crate::alloc_count(),
+            allocs_before,
+            "repeat interning must not allocate"
+        );
+        assert!(std::ptr::eq(child1, child2));
+        assert!(std::ptr::eq(root, root2));
+        assert_eq!(child1, "stable_root/leaf");
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let a = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let b = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        assert!(a > 0);
+        assert!(b > a);
     }
 }

@@ -1,0 +1,464 @@
+//! Event-level tracing: per-thread fixed-capacity buffers of span
+//! begin/end events, enabled at `DS_OBS=trace`.
+//!
+//! Where the aggregate [`crate::Registry`] collapses every span into
+//! path → {count, total, min, max}, the trace keeps the *timeline*: each
+//! recording thread owns a bounded buffer of [`TraceEvent`]s (begin and
+//! end, timestamped against one process-wide epoch, carrying span IDs and
+//! parent linkage), so per-worker busy/idle structure, dispatch fan-out
+//! shape, and chunk-granularity pathologies become inspectable — directly
+//! via [`thread_activity`]/[`events`] or exported to a Chrome trace-event
+//! file ([`crate::export_chrome_trace`], loadable in Perfetto).
+//!
+//! # Overflow policy: drop-new, never block, never unpair
+//!
+//! Buffers are sized once at creation ([`set_trace_capacity`], default
+//! [`DEFAULT_CAPACITY`] events). A full buffer drops *newly beginning*
+//! spans and counts them (`dropped_spans`) instead of blocking the hot
+//! path or overwriting history. Pairing is preserved by reservation: a
+//! begin event is only recorded if its end event's slot can be reserved
+//! at the same time, so every recorded begin has a recorded end and the
+//! export never contains a dangling half of a span. Spans whose events
+//! were dropped still contribute to the per-thread busy accounting, so
+//! busy/idle fractions stay truthful past overflow.
+//!
+//! # Thread identity
+//!
+//! Each recording OS thread lazily acquires a buffer tagged with a small
+//! stable `tid`. Buffers outlive their threads (ds-par teams are scoped
+//! and re-spawned per dispatch); when a thread exits, its buffer is
+//! retired to a pool and the next new thread reuses it. Reuse is safe —
+//! the previous owner has exited, so one `tid` row never holds two
+//! overlapping timelines — and it keeps the buffer count bounded by the
+//! maximum *concurrent* thread count rather than the total spawned.
+//!
+//! # Cross-thread parent linkage
+//!
+//! A span beginning on a thread with an empty span stack adopts the
+//! *inherited* parent ID installed by [`remote_parent_scope`]; ds-par
+//! captures the dispatching thread's current span ID and installs it in
+//! every worker closure, so `par.chunk` spans on worker threads link
+//! back to the `par.dispatch` span that fanned them out.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Default per-thread event capacity (begin + end are separate events).
+pub const DEFAULT_CAPACITY: usize = 32_768;
+
+/// Per-thread buffer capacity for buffers created (or recycled) after
+/// this call. Intended for tests that exercise the overflow path with a
+/// tiny buffer; production runs keep [`DEFAULT_CAPACITY`].
+pub fn set_trace_capacity(events: usize) {
+    CAPACITY.store(events.max(4), Ordering::Relaxed);
+}
+
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// One span begin or end on one thread's timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Process-unique span ID (shared by the begin/end pair).
+    pub span_id: u64,
+    /// Span ID of the parent (`0` = root). For spans that begin on a
+    /// fresh worker stack this is the *dispatching* thread's span,
+    /// carried across by [`remote_parent_scope`].
+    pub parent_id: u64,
+    /// Interned hierarchical span path (same string the registry keys).
+    pub path: &'static str,
+    /// `true` for the begin event, `false` for the end event.
+    pub begin: bool,
+    /// Nanoseconds since the process-wide trace epoch.
+    pub t_ns: u64,
+    /// End events: wall duration of the span. Begin events: 0.
+    pub dur_ns: u64,
+    /// End events: heap-allocation events performed inside the span on
+    /// its thread. Begin events: 0.
+    pub allocs: u64,
+    /// End events: bytes requested by those allocations. Begin: 0.
+    pub alloc_bytes: u64,
+    /// Span-stack depth at begin (0 = top-level on its thread).
+    pub depth: u32,
+}
+
+struct BufferInner {
+    capacity: usize,
+    events: Vec<TraceEvent>,
+    /// End-event slots promised to already-recorded begin events.
+    reserved: usize,
+    /// Spans whose begin/end pair could not be recorded (buffer full).
+    dropped_spans: u64,
+    /// Completed spans (recorded or dropped) on this thread.
+    spans_closed: u64,
+    /// Σ duration of completed depth-0 spans — the thread's busy time
+    /// (top-level spans never overlap on one thread's stack).
+    busy_ns: u64,
+    first_ns: u64,
+    last_ns: u64,
+}
+
+impl BufferInner {
+    fn new(capacity: usize) -> BufferInner {
+        BufferInner {
+            capacity,
+            events: Vec::with_capacity(capacity),
+            reserved: 0,
+            dropped_spans: 0,
+            spans_closed: 0,
+            busy_ns: 0,
+            first_ns: u64::MAX,
+            last_ns: 0,
+        }
+    }
+
+    fn touch(&mut self, t: u64) {
+        self.first_ns = self.first_ns.min(t);
+        self.last_ns = self.last_ns.max(t);
+    }
+}
+
+pub(crate) struct ThreadBuffer {
+    tid: u64,
+    inner: Mutex<BufferInner>,
+}
+
+/// Every buffer ever created, in tid order. Buffers are never removed —
+/// exited threads' timelines remain exportable until [`reset`].
+static BUFFERS: Mutex<Vec<Arc<ThreadBuffer>>> = Mutex::new(Vec::new());
+
+/// Buffers whose owning thread exited, ready for reuse by new threads.
+static POOL: Mutex<Vec<Arc<ThreadBuffer>>> = Mutex::new(Vec::new());
+
+/// Returns a buffer to the pool when its thread exits (TLS destructor).
+struct LocalBuffer(Arc<ThreadBuffer>);
+
+impl Drop for LocalBuffer {
+    fn drop(&mut self) {
+        POOL.lock().push(self.0.clone());
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalBuffer>> = const { RefCell::new(None) };
+    /// Parent span ID inherited from a dispatching thread; adopted by
+    /// spans that begin with an empty local stack.
+    static INHERITED_PARENT: Cell<u64> = const { Cell::new(0) };
+}
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn acquire() -> Arc<ThreadBuffer> {
+    let want = CAPACITY.load(Ordering::Relaxed);
+    if let Some(buf) = POOL.lock().pop() {
+        let mut inner = buf.inner.lock();
+        if inner.capacity != want {
+            *inner = BufferInner::new(want);
+        }
+        drop(inner);
+        return buf;
+    }
+    let buf = Arc::new(ThreadBuffer {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        inner: Mutex::new(BufferInner::new(want)),
+    });
+    BUFFERS.lock().push(buf.clone());
+    buf
+}
+
+fn with_buffer<R>(f: impl FnOnce(&ThreadBuffer) -> R) -> Option<R> {
+    LOCAL
+        .try_with(|local| {
+            let mut local = local.borrow_mut();
+            let buf = local.get_or_insert_with(|| LocalBuffer(acquire()));
+            f(&buf.0)
+        })
+        .ok()
+}
+
+/// Whether event tracing is active (`DS_OBS=trace`).
+#[inline]
+pub(crate) fn tracing() -> bool {
+    crate::level() == crate::Level::Trace
+}
+
+/// Outcome of [`record_begin`], threaded through the span guard so the
+/// end side knows what bookkeeping it owes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TraceState {
+    /// Tracing was off at span begin; the end side does nothing.
+    Untraced,
+    /// Tracing was on but the buffer was full; the span is counted as
+    /// dropped and still feeds the busy accounting.
+    Dropped,
+    /// Begin recorded and the end slot reserved.
+    Recorded,
+}
+
+/// Identity of one span instance, shared verbatim by its begin and end
+/// events.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpanRef {
+    pub span_id: u64,
+    pub parent_id: u64,
+    pub path: &'static str,
+    pub depth: u32,
+}
+
+pub(crate) fn record_begin(span: SpanRef) -> TraceState {
+    if !tracing() {
+        return TraceState::Untraced;
+    }
+    with_buffer(|buf| {
+        let mut inner = buf.inner.lock();
+        if inner.events.len() + inner.reserved + 2 > inner.capacity {
+            inner.dropped_spans += 1;
+            return TraceState::Dropped;
+        }
+        inner.reserved += 1;
+        let t = now_ns();
+        inner.touch(t);
+        inner.events.push(TraceEvent {
+            span_id: span.span_id,
+            parent_id: span.parent_id,
+            path: span.path,
+            begin: true,
+            t_ns: t,
+            dur_ns: 0,
+            allocs: 0,
+            alloc_bytes: 0,
+            depth: span.depth,
+        });
+        TraceState::Recorded
+    })
+    .unwrap_or(TraceState::Untraced)
+}
+
+pub(crate) fn record_end(
+    state: TraceState,
+    span: SpanRef,
+    elapsed: Duration,
+    allocs: u64,
+    alloc_bytes: u64,
+) {
+    if state == TraceState::Untraced {
+        return;
+    }
+    let dur_ns = elapsed.as_nanos() as u64;
+    with_buffer(|buf| {
+        let mut inner = buf.inner.lock();
+        inner.spans_closed += 1;
+        if span.depth == 0 {
+            inner.busy_ns += dur_ns;
+        }
+        if state == TraceState::Recorded {
+            inner.reserved -= 1;
+            let t = now_ns();
+            inner.touch(t);
+            inner.events.push(TraceEvent {
+                span_id: span.span_id,
+                parent_id: span.parent_id,
+                path: span.path,
+                begin: false,
+                t_ns: t,
+                dur_ns,
+                allocs,
+                alloc_bytes,
+                depth: span.depth,
+            });
+        }
+    });
+}
+
+/// RAII guard installing an inherited parent span ID on this thread (see
+/// [`remote_parent_scope`]); restores the previous value on drop.
+pub struct RemoteParentGuard {
+    prev: u64,
+}
+
+/// Installs `parent_id` as this thread's inherited span parent for the
+/// guard's lifetime. Worker-pool dispatch sites capture
+/// [`crate::current_span_id`] on the dispatching thread and install it in
+/// each worker closure, so worker-side spans link back to the dispatch
+/// span in the trace. Cheap and safe at any level; `0` means "no parent".
+pub fn remote_parent_scope(parent_id: u64) -> RemoteParentGuard {
+    let prev = INHERITED_PARENT.with(|p| p.replace(parent_id));
+    RemoteParentGuard { prev }
+}
+
+impl Drop for RemoteParentGuard {
+    fn drop(&mut self) {
+        let _ = INHERITED_PARENT.try_with(|p| p.set(self.prev));
+    }
+}
+
+/// The inherited parent for spans rooting a fresh stack on this thread.
+pub(crate) fn inherited_parent() -> u64 {
+    INHERITED_PARENT.try_with(Cell::get).unwrap_or(0)
+}
+
+/// Point-in-time digest of one recording thread's timeline.
+#[derive(Debug, Clone)]
+pub struct ThreadActivity {
+    /// Small stable thread index (also the `tid` in the Chrome export).
+    pub tid: u64,
+    /// Buffered events (≤ the configured capacity).
+    pub events: usize,
+    /// Completed spans, recorded or dropped.
+    pub spans_closed: u64,
+    /// Spans whose events were dropped on overflow.
+    pub dropped_spans: u64,
+    /// Σ duration of completed top-level spans — the thread's busy time.
+    pub busy_ns: u64,
+    /// First event timestamp (ns since the trace epoch); `u64::MAX` if
+    /// the thread never recorded.
+    pub first_ns: u64,
+    /// Last event timestamp (ns since the trace epoch).
+    pub last_ns: u64,
+}
+
+/// Per-thread activity digests, in tid order. Empty unless `DS_OBS=trace`
+/// recorded something since the last [`crate::reset`].
+pub fn thread_activity() -> Vec<ThreadActivity> {
+    BUFFERS
+        .lock()
+        .iter()
+        .map(|buf| {
+            let inner = buf.inner.lock();
+            ThreadActivity {
+                tid: buf.tid,
+                events: inner.events.len(),
+                spans_closed: inner.spans_closed,
+                dropped_spans: inner.dropped_spans,
+                busy_ns: inner.busy_ns,
+                first_ns: inner.first_ns,
+                last_ns: inner.last_ns,
+            }
+        })
+        .collect()
+}
+
+/// Every thread's buffered events as `(tid, events)` pairs, in tid order.
+/// This clones the buffers — an export-path affordance, not a hot-path
+/// one.
+pub fn events() -> Vec<(u64, Vec<TraceEvent>)> {
+    BUFFERS
+        .lock()
+        .iter()
+        .map(|buf| (buf.tid, buf.inner.lock().events.clone()))
+        .collect()
+}
+
+/// Total spans dropped across all threads (buffer overflow).
+pub fn dropped_spans() -> u64 {
+    BUFFERS
+        .lock()
+        .iter()
+        .map(|buf| buf.inner.lock().dropped_spans)
+        .sum()
+}
+
+/// Clears every thread's buffered events and counters (capacity and tid
+/// assignments survive). Called by [`crate::reset`].
+pub(crate) fn reset() {
+    for buf in BUFFERS.lock().iter() {
+        let mut inner = buf.inner.lock();
+        let cap = inner.capacity;
+        *inner = BufferInner::new(cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exercises one buffer directly (the thread-local plumbing is
+    /// covered by the integration tests, which own the global level).
+    #[test]
+    fn reservation_keeps_pairs_and_counts_drops() {
+        let buf = ThreadBuffer {
+            tid: 99,
+            inner: Mutex::new(BufferInner::new(4)),
+        };
+        let begin = |id: u64| -> TraceState {
+            let mut inner = buf.inner.lock();
+            if inner.events.len() + inner.reserved + 2 > inner.capacity {
+                inner.dropped_spans += 1;
+                return TraceState::Dropped;
+            }
+            inner.reserved += 1;
+            inner.events.push(TraceEvent {
+                span_id: id,
+                parent_id: 0,
+                path: "t",
+                begin: true,
+                t_ns: id,
+                dur_ns: 0,
+                allocs: 0,
+                alloc_bytes: 0,
+                depth: 0,
+            });
+            TraceState::Recorded
+        };
+        let end = |id: u64, state: TraceState| {
+            let mut inner = buf.inner.lock();
+            inner.spans_closed += 1;
+            if state == TraceState::Recorded {
+                inner.reserved -= 1;
+                inner.events.push(TraceEvent {
+                    span_id: id,
+                    parent_id: 0,
+                    path: "t",
+                    begin: false,
+                    t_ns: id + 100,
+                    dur_ns: 100,
+                    allocs: 0,
+                    alloc_bytes: 0,
+                    depth: 0,
+                });
+            }
+        };
+        // Capacity 4 fits exactly two nested spans (each reserves its
+        // end slot at begin); the third begin must drop.
+        let a = begin(1);
+        let b = begin(2);
+        let c = begin(3);
+        assert_eq!(a, TraceState::Recorded);
+        assert_eq!(b, TraceState::Recorded);
+        assert_eq!(c, TraceState::Dropped);
+        end(3, c);
+        end(2, b);
+        end(1, a);
+        let inner = buf.inner.lock();
+        assert_eq!(inner.dropped_spans, 1);
+        assert_eq!(inner.spans_closed, 3);
+        assert_eq!(inner.reserved, 0);
+        // Every recorded begin has a recorded end: the dropped span
+        // contributes neither half, never a dangling begin.
+        let begins: Vec<u64> = inner
+            .events
+            .iter()
+            .filter(|e| e.begin)
+            .map(|e| e.span_id)
+            .collect();
+        let ends: Vec<u64> = inner
+            .events
+            .iter()
+            .filter(|e| !e.begin)
+            .map(|e| e.span_id)
+            .collect();
+        assert_eq!(begins, vec![1, 2]);
+        assert_eq!(ends, vec![2, 1]);
+    }
+}

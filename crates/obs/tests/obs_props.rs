@@ -177,6 +177,56 @@ fn disabled_mode_emits_nothing() {
     }
 }
 
+/// Overflowing a tiny trace ring drops whole spans (counted) but never
+/// unpairs: every recorded begin keeps its recorded end, and the buffer
+/// never exceeds its capacity.
+#[test]
+fn trace_ring_overflow_keeps_pairing() {
+    let _guard = GLOBAL_LOCK.lock();
+    ds_obs::reset();
+    ds_obs::set_trace_capacity(16);
+    ds_obs::set_level(ds_obs::Level::Trace);
+
+    const SPANS: u64 = 64;
+    // A fresh thread so the probe gets its own (16-event) buffer rather
+    // than the test thread's default-capacity one.
+    std::thread::spawn(|| {
+        for _ in 0..SPANS {
+            let _s = ds_obs::span!("ring_probe");
+        }
+    })
+    .join()
+    .expect("probe thread");
+    ds_obs::set_level(ds_obs::Level::Off);
+
+    let dropped = ds_obs::dropped_spans();
+    assert!(dropped > 0, "64 spans must overflow a 16-event ring");
+    let mut recorded_spans = 0u64;
+    for (tid, events) in ds_obs::trace_events() {
+        assert!(events.len() <= 16, "tid {tid} exceeded its capacity");
+        let mut begins: Vec<u64> = events
+            .iter()
+            .filter(|e| e.begin)
+            .map(|e| e.span_id)
+            .collect();
+        let mut ends: Vec<u64> = events
+            .iter()
+            .filter(|e| !e.begin)
+            .map(|e| e.span_id)
+            .collect();
+        recorded_spans += begins.len() as u64;
+        begins.sort_unstable();
+        ends.sort_unstable();
+        assert_eq!(begins, ends, "tid {tid} has an unpaired begin or end");
+    }
+    // Nothing vanished silently: every span is either in the buffer or
+    // in the drop counter.
+    assert_eq!(recorded_spans + dropped, SPANS);
+
+    ds_obs::set_trace_capacity(ds_obs::DEFAULT_CAPACITY);
+    ds_obs::reset();
+}
+
 /// Nested spans aggregate under slash-joined hierarchical paths.
 #[test]
 fn span_hierarchy_aggregates() {

@@ -151,6 +151,9 @@ where
         return out;
     }
     let _dispatch = ds_obs::span!("par.dispatch");
+    // Captured after the dispatch span begins, so worker-side spans (a
+    // fresh stack per spawned thread) trace back to it as their parent.
+    let parent_span = ds_obs::current_span_id();
     ds_obs::counter_add("par.chunks", n as u64);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
@@ -166,7 +169,10 @@ where
         for lane in lanes {
             std::thread::Builder::new()
                 .name("ds-par".to_string())
-                .spawn_scoped(scope, move || run_lane(lane, f))
+                .spawn_scoped(scope, move || {
+                    let _ctx = ds_obs::remote_parent_scope(parent_span);
+                    run_lane(lane, f)
+                })
                 .expect("spawning a ds-par worker");
         }
         run_lane(own, f);

@@ -1,0 +1,95 @@
+//! End-to-end trace pipeline: `DS_OBS=trace` spans flowing through a
+//! ds-par dispatch must land on multiple worker timelines with correct
+//! cross-thread parent linkage, and the Chrome trace-event export must
+//! parse back with properly nested begin/end pairs.
+//!
+//! One `#[test]` per concern would race on the process-global obs level,
+//! so this file holds a single test exercising the whole pipeline.
+
+use std::collections::BTreeSet;
+
+#[test]
+fn par_spans_link_across_threads_and_export_validates() {
+    ds_obs::reset();
+    ds_obs::set_level(ds_obs::Level::Trace);
+    ds_par::set_threads(Some(3));
+
+    // 12 indices in chunks of 4 → 3 chunks on 3 workers: worker 0 is
+    // the calling thread, the other two chunks run on spawned ds-par
+    // threads with fresh (empty) span stacks. The barrier keeps all
+    // three chunks in flight at once, so the spawned workers hold
+    // distinct trace buffers instead of the second recycling the
+    // first's retired one (which would merge their timelines).
+    let barrier = std::sync::Barrier::new(3);
+    let out = {
+        let _outer = ds_obs::span!("pipeline");
+        ds_par::par_ranges(12, 4, |_, range| {
+            barrier.wait();
+            range.map(|i| i as u32 * 2).sum::<u32>()
+        })
+    };
+    ds_par::set_threads(None);
+    ds_obs::set_level(ds_obs::Level::Off);
+    assert_eq!(out, vec![12, 44, 76]);
+
+    let per_thread = ds_obs::trace_events();
+
+    // The dispatch span begins on the calling thread, nested under the
+    // outer span.
+    let (dispatch_tid, dispatch_id, dispatch_parent) = per_thread
+        .iter()
+        .flat_map(|(tid, events)| events.iter().map(move |e| (*tid, e)))
+        .find(|(_, e)| e.begin && e.path.ends_with("par.dispatch"))
+        .map(|(tid, e)| (tid, e.span_id, e.parent_id))
+        .expect("a par.dispatch begin event");
+    assert_ne!(
+        dispatch_parent, 0,
+        "dispatch must nest under the outer span"
+    );
+
+    // Every par.chunk span — wherever it ran — must name the dispatch
+    // span as its parent: on the calling thread via the span stack, on
+    // spawned workers via the inherited remote parent.
+    let mut chunk_tids = BTreeSet::new();
+    let mut chunks = 0;
+    for (tid, events) in &per_thread {
+        for e in events
+            .iter()
+            .filter(|e| e.begin && e.path.ends_with("par.chunk"))
+        {
+            assert_eq!(
+                e.parent_id, dispatch_id,
+                "par.chunk on tid {tid} lost its dispatch parent"
+            );
+            chunk_tids.insert(*tid);
+            chunks += 1;
+        }
+    }
+    assert_eq!(chunks, 3, "three chunks, three chunk spans");
+    assert!(
+        chunk_tids.len() >= 3 && chunk_tids.contains(&dispatch_tid),
+        "chunks should span the calling thread plus ≥2 workers, got tids {chunk_tids:?}"
+    );
+
+    // The Chrome export of that same trace must parse and nest.
+    let path = std::env::temp_dir().join(format!("ds_trace_pipeline_{}.json", std::process::id()));
+    let stats = ds_obs::export_chrome_trace(&path).expect("export trace");
+    assert!(
+        stats.threads >= 3,
+        "expected ≥3 thread timelines, got {}",
+        stats.threads
+    );
+    assert_eq!(stats.dropped_spans, 0);
+    let check = ds_obs::validate_chrome_trace(&path).expect("trace validates");
+    assert_eq!(check.events, stats.events);
+    assert!(check.threads >= 3);
+    // pipeline (0) → par.dispatch (1) → calling-thread par.chunk (2).
+    assert!(
+        check.max_depth >= 2,
+        "max depth {} too shallow",
+        check.max_depth
+    );
+
+    let _ = std::fs::remove_file(&path);
+    ds_obs::reset();
+}
