@@ -42,18 +42,52 @@ grep -q '"name": *"train_epoch"' "$smoke_out" \
     || { echo "ci: perf smoke is missing the train_epoch case" >&2; exit 1; }
 grep -q '"name": *"frozen_predict"' "$smoke_out" \
     || { echo "ci: perf smoke is missing the frozen_predict case" >&2; exit 1; }
+grep -q '"name": *"frozen_conv"' "$smoke_out" \
+    || { echo "ci: perf smoke is missing the frozen_conv case" >&2; exit 1; }
+grep -q '"name": *"quantized_predict"' "$smoke_out" \
+    || { echo "ci: perf smoke is missing the quantized_predict case" >&2; exit 1; }
 if grep -q '"bit_identical": *false' "$smoke_out"; then
     echo "ci: perf smoke reports a bit-identity violation" >&2
     exit 1
 fi
 if grep -Eq '"decision_flips": *[1-9]' "$smoke_out"; then
-    echo "ci: frozen inference flipped a detection decision" >&2
+    echo "ci: frozen or quantized inference flipped a detection decision" >&2
     exit 1
 fi
+# The frozen floor is host-aware: 3.0x where the SIMD kernels dispatched,
+# the pre-SIMD 1.15x on scalar-only hosts.
+if grep -q '^simd: avx2' "$smoke_log"; then
+    frozen_floor=3.0
+else
+    frozen_floor=1.15
+fi
 frozen_speedup=$(awk '/"name": *"frozen_predict"/{f=1} f && /"speedup"/{gsub(/[",]/,""); print $2; exit}' "$smoke_out")
-echo "ci: frozen_predict speedup ${frozen_speedup}x (floor 1.15x)"
-awk -v s="$frozen_speedup" 'BEGIN { exit !(s + 0 >= 1.15) }' \
-    || { echo "ci: frozen_predict speedup ${frozen_speedup}x is below the 1.15x floor" >&2; exit 1; }
+echo "ci: frozen_predict speedup ${frozen_speedup}x (floor ${frozen_floor}x)"
+awk -v s="$frozen_speedup" -v f="$frozen_floor" 'BEGIN { exit !(s + 0 >= f + 0) }' \
+    || { echo "ci: frozen_predict speedup ${frozen_speedup}x is below the ${frozen_floor}x floor" >&2; exit 1; }
+
+echo "==> scalar twin: tier-1 + frozen goldens with DS_SIMD=off"
+DS_SIMD=off cargo test -q
+
+echo "==> scalar twin: perf smoke with DS_SIMD=off (frozen floor stays at the pre-SIMD 1.15x)"
+twin_out="target/ci_perf_twin.json"
+twin_log="target/ci_perf_twin.log"
+DS_SIMD=off DS_PAR_THREADS=2 \
+    cargo run -q --release -p ds-bench --bin perf -- --smoke --out "$twin_out" | tee "$twin_log"
+grep -q '^simd: scalar' "$twin_log" \
+    || { echo "ci: DS_SIMD=off run did not dispatch the scalar twins" >&2; exit 1; }
+if grep -q '"bit_identical": *false' "$twin_out"; then
+    echo "ci: scalar twin reports a bit-identity violation" >&2
+    exit 1
+fi
+if grep -Eq '"decision_flips": *[1-9]' "$twin_out"; then
+    echo "ci: scalar twin flipped a detection decision" >&2
+    exit 1
+fi
+twin_speedup=$(awk '/"name": *"frozen_predict"/{f=1} f && /"speedup"/{gsub(/[",]/,""); print $2; exit}' "$twin_out")
+echo "ci: scalar-twin frozen_predict speedup ${twin_speedup}x (floor 1.15x)"
+awk -v s="$twin_speedup" 'BEGIN { exit !(s + 0 >= 1.15) }' \
+    || { echo "ci: scalar-twin frozen_predict speedup ${twin_speedup}x is below the 1.15x floor" >&2; exit 1; }
 
 echo "==> obs: trace smoke (DS_OBS=trace export must validate)"
 trace_json="target/ci_trace.json"

@@ -74,6 +74,14 @@ impl<K: Ord + Clone, V> BoundedCache<K, V> {
         }
     }
 
+    /// Drop every entry (the bound is unchanged) — used when a global
+    /// setting the cached values depend on changes, e.g. the serving
+    /// precision invalidating prediction overlays.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
     /// Cached value for `key`, computing and inserting it on a miss.
     /// `compute` may fail; errors pass through without touching the cache.
     /// Hits and misses tick the given ds-obs counters so `DS_OBS=summary`
@@ -153,6 +161,20 @@ mod tests {
         c.insert(2, 2);
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_the_bound() {
+        let mut c = BoundedCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 2);
+        c.insert("c", 3);
+        c.insert("d", 4);
+        c.insert("e", 5);
+        assert_eq!(c.len(), 2);
     }
 
     const TEST_COUNTERS: CacheCounters = CacheCounters {

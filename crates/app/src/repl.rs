@@ -44,6 +44,7 @@ impl Repl {
          \x20 probs                    model detection probabilities\n\
          \x20 patterns [appliance]     example appliance signatures\n\
          \x20 insights                 per-appliance energy breakdown\n\
+         \x20 precision [f32|int8]     show or switch the serving precision\n\
          \x20 benchmark <dataset> [measure]   benchmark frame (B.1)\n\
          \x20 labels                   label-efficiency comparison (B.2)\n\
          \x20 scenario <1|2|3>         run a demonstration scenario\n\
@@ -171,6 +172,19 @@ impl Repl {
                     crate::insights::render(&usages, total)
                 }
             }
+            "precision" => match arg1 {
+                None => format!("serving precision: {}\n", self.state.precision().label()),
+                Some(spec) => match ds_camal::Precision::parse(spec) {
+                    Some(p) => {
+                        self.state.set_precision(p);
+                        format!(
+                            "serving precision set to {} (plans rebuild lazily per appliance)\n",
+                            p.label()
+                        )
+                    }
+                    None => format!("unknown precision {spec:?} (use f32 or int8)\n"),
+                },
+            },
             "benchmark" => match (&self.bench, arg1) {
                 (Some(bench), Some(dataset)) => {
                     benchmark_frame::render_dataset(bench, dataset, arg2.unwrap_or("F1"))
@@ -388,6 +402,34 @@ mod tests {
         assert!(run(&mut r, "select kettle").contains("kettle selected"));
         assert!(run(&mut r, "probs").contains("ensemble"));
         assert!(run(&mut r, "perdevice kettle").contains("Per device"));
+    }
+
+    #[test]
+    fn precision_command_switches_serving_plans() {
+        let mut r = repl();
+        assert!(run(&mut r, "help").contains("precision [f32|int8]"));
+        assert!(run(&mut r, "precision").contains("serving precision: f32"));
+        assert!(run(&mut r, "precision fp16").contains("unknown precision"));
+        assert!(run(&mut r, "precision int8").contains("set to int8"));
+        assert!(run(&mut r, "precision").contains("int8"));
+        // The int8 plan serves the playground end to end.
+        let houses = run(&mut r, "houses ukdale");
+        let first: u32 = houses
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        run(&mut r, &format!("load UKDALE {first}"));
+        run(&mut r, "window 6h");
+        assert!(run(&mut r, "select kettle").contains("kettle selected"));
+        assert!(run(&mut r, "show").contains("Playground"));
+        assert!(run(&mut r, "precision f32").contains("set to f32"));
+        assert!(run(&mut r, "show").contains("Playground"));
     }
 
     #[test]

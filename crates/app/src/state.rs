@@ -3,7 +3,7 @@
 //! the lazily trained per-(dataset, appliance) CamAL models.
 
 use crate::cache::BoundedCache;
-use ds_camal::{Camal, CamalConfig, CamalError, Detection, FrozenCamal, Localization};
+use ds_camal::{Camal, CamalConfig, CamalError, Detection, FrozenCamal, Localization, Precision};
 use ds_datasets::labels::Corpus;
 use ds_datasets::{ApplianceKind, Catalog, DatasetPreset};
 use ds_timeseries::missing::{impute, Imputation};
@@ -17,6 +17,19 @@ type SeriesKey = (String, u32, &'static str, usize);
 
 /// Key of one window's localization: a [`SeriesKey`] plus the window index.
 type WindowKey = (String, u32, &'static str, usize, usize);
+
+/// Key of a trained model: `(dataset, appliance, window samples)`.
+type ModelKey = (String, &'static str, usize);
+
+/// Key of a frozen serving plan: a [`ModelKey`] plus the numeric
+/// precision — the f32 and int8 plans of one model are distinct cache
+/// entries, so switching precision back and forth never re-quantizes.
+type PlanKey = (String, &'static str, usize, Precision);
+
+/// Held-out windows retained per trained model for int8 activation-scale
+/// calibration. A small set is enough to pin per-conv maxabs ranges; the
+/// flip-rate-vs-set-size study lives in EXPERIMENTS.md.
+const CALIBRATION_WINDOWS: usize = 32;
 
 /// Whole-series status predictions cached for the insights view. Small
 /// bound: each entry is one `u8` per sample of a loaded series.
@@ -104,14 +117,24 @@ impl From<CamalError> for AppError {
     }
 }
 
+/// A lazily trained CamAL model plus the held-out windows retained for
+/// int8 calibration — quantizing later must not rebuild the corpus.
+struct TrainedModel {
+    camal: Camal,
+    calib: Vec<Vec<f32>>,
+}
+
 /// The DeviceScope application state.
 pub struct AppState {
     config: AppConfig,
     catalog: Catalog,
-    models: BTreeMap<(String, &'static str, usize), Camal>,
-    frozen: BoundedCache<(String, &'static str, usize), FrozenCamal>,
+    models: BTreeMap<ModelKey, TrainedModel>,
+    frozen: BoundedCache<PlanKey, FrozenCamal>,
     status_cache: BoundedCache<SeriesKey, StatusSeries>,
     window_cache: BoundedCache<WindowKey, Localization>,
+    /// Numeric precision new frozen plans are built at (`precision`
+    /// REPL command); per-plan cache entries are keyed on it.
+    precision: Precision,
     /// Currently selected dataset.
     pub dataset: Option<DatasetPreset>,
     /// Currently loaded house.
@@ -149,6 +172,25 @@ impl AppState {
             cursor: None,
             window_length: WindowLength::TwelveHours,
             selected: Vec::new(),
+            precision: Precision::default(),
+        }
+    }
+
+    /// Numeric precision frozen plans are currently served at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Switch the serving precision. Whole-series and per-window caches
+    /// are invalidated: int8 and f32 agree on decisions by contract, but
+    /// CAM values differ within tolerance and a stale overlay must not
+    /// outlive the switch. Trained models and already-built plans (keyed
+    /// per precision) survive.
+    pub fn set_precision(&mut self, precision: Precision) {
+        if precision != self.precision {
+            self.precision = precision;
+            self.status_cache.clear();
+            self.window_cache.clear();
         }
     }
 
@@ -283,35 +325,67 @@ impl AppState {
     /// The CamAL model for `(current dataset, kind)` at the current window
     /// length, training it on the dataset's *train* houses on first use.
     pub fn model(&mut self, kind: ApplianceKind) -> Result<&Camal, AppError> {
+        Ok(&self.trained(kind)?.camal)
+    }
+
+    /// The trained model with its retained calibration windows, training
+    /// on first use. Calibration windows are held-out test windows (train
+    /// windows as fallback so a test-house-free corpus still quantizes) —
+    /// the activation ranges must reflect the serving distribution, not
+    /// the balanced training set.
+    fn trained(&mut self, kind: ApplianceKind) -> Result<&TrainedModel, AppError> {
         let (preset, _) = self.loaded()?;
         let window_samples = self
             .window_length
             .samples(self.current_window()?.interval_secs());
-        let key = (preset.name().to_string(), kind.slug(), window_samples);
+        let key: ModelKey = (preset.name().to_string(), kind.slug(), window_samples);
         if !self.models.contains_key(&key) {
             let ds = self.catalog.get(preset);
             let mut corpus = Corpus::build(ds, kind, window_samples);
             corpus.balance_train(3);
-            let model = Camal::try_train(&corpus, &self.config.camal)?;
-            self.models.insert(key.clone(), model);
+            let pool = if corpus.test.is_empty() {
+                &corpus.train
+            } else {
+                &corpus.test
+            };
+            let calib: Vec<Vec<f32>> = pool
+                .iter()
+                .take(CALIBRATION_WINDOWS)
+                .map(|w| w.values.clone())
+                .collect();
+            let camal = Camal::try_train(&corpus, &self.config.camal)?;
+            self.models
+                .insert(key.clone(), TrainedModel { camal, calib });
         }
         Ok(self.models.get(&key).expect("inserted above"))
     }
 
     /// The frozen serving plan for `(current dataset, kind)` at the current
-    /// window length: BN-folded, ReLU-fused, arena-backed. Built once per
-    /// trained model ([`Camal::freeze`]) and then reused — Prev/Next
-    /// navigation never re-folds, and the plan's warm arenas make repeat
-    /// predictions allocation-free.
+    /// window length and the session's [`AppState::precision`]: BN-folded,
+    /// ReLU-fused, arena-backed — int8-quantized on the retained
+    /// calibration windows when the precision is [`Precision::Int8`].
+    /// Built once per `(model, precision)` and then reused — Prev/Next
+    /// navigation never re-folds or re-quantizes, and the plan's warm
+    /// arenas make repeat predictions allocation-free.
     pub fn frozen_model(&mut self, kind: ApplianceKind) -> Result<&mut FrozenCamal, AppError> {
         let (preset, _) = self.loaded()?;
         let window_samples = self
             .window_length
             .samples(self.current_window()?.interval_secs());
-        let key = (preset.name().to_string(), kind.slug(), window_samples);
+        let precision = self.precision;
+        let key: PlanKey = (
+            preset.name().to_string(),
+            kind.slug(),
+            window_samples,
+            precision,
+        );
         if self.frozen.get(&key).is_none() {
             ds_obs::counter_add("cache.frozen_plan.misses", 1);
-            let plan = self.model(kind)?.freeze();
+            let trained = self.trained(kind)?;
+            let plan = match precision {
+                Precision::F32 => trained.camal.freeze(),
+                Precision::Int8 => trained.camal.freeze_quantized(&trained.calib),
+            };
             self.frozen.insert(key.clone(), plan);
         } else {
             ds_obs::counter_add("cache.frozen_plan.hits", 1);
@@ -583,6 +657,41 @@ mod tests {
         assert_eq!(u1.len(), u2.len());
         assert_eq!(u1[0].energy_kwh, u2[0].energy_kwh);
         assert_eq!(u1[0].activations, u2[0].activations);
+    }
+
+    #[test]
+    fn precision_switch_builds_separate_plans_and_preserves_decisions() {
+        let mut state = app();
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        state.toggle_appliance("kettle").unwrap();
+        assert_eq!(state.precision(), Precision::F32);
+        let f32_out = state.localize_selected().unwrap();
+
+        state.set_precision(Precision::Int8);
+        // Prediction caches are invalidated, the trained model survives.
+        assert_eq!(state.window_cache.len(), 0);
+        assert_eq!(state.models.len(), 1);
+        let int8_out = state.localize_selected().unwrap();
+        let plan = state.frozen_model(ApplianceKind::Kettle).unwrap();
+        assert_eq!(plan.precision(), Precision::Int8);
+        // The quantized contract: decisions match the f32 plan.
+        assert_eq!(f32_out[0].1.status, int8_out[0].1.status);
+
+        // Both plans stay cached under their own keys: switching back
+        // re-serves the f32 plan without re-folding or re-quantizing.
+        state.set_precision(Precision::F32);
+        assert_eq!(state.frozen.len(), 2);
+        let plan = state.frozen_model(ApplianceKind::Kettle).unwrap();
+        assert_eq!(plan.precision(), Precision::F32);
+        let back = state.localize_selected().unwrap();
+        assert_eq!(back[0].1, f32_out[0].1);
+
+        // Setting the current precision again is a no-op, not a flush.
+        let cached = state.window_cache.len();
+        state.set_precision(Precision::F32);
+        assert_eq!(state.window_cache.len(), cached);
     }
 
     #[test]

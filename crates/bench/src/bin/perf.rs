@@ -86,6 +86,9 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // The SIMD dispatch decision, for the report header and for ci.sh to
+    // grep (the frozen speedup floor is precision- and host-aware).
+    println!("simd: {}", ds_neural::simd::label());
     let report = {
         let _run = ds_obs::span!("perf");
         run_sweep(scale, smoke, &thread_counts)

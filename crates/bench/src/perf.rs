@@ -33,7 +33,10 @@
 
 use ds_camal::localizer::localize_batch;
 use ds_camal::{Camal, CamalConfig, LocalizerConfig, ResNetEnsemble};
+use ds_neural::batchnorm::BatchNorm1d;
 use ds_neural::conv::Conv1d;
+use ds_neural::frozen::FrozenConv;
+use ds_neural::simd::{self, SimdMode};
 use ds_neural::tensor::Tensor;
 use ds_neural::train::train_classifier_reference;
 use ds_neural::VisitParams;
@@ -48,8 +51,9 @@ use std::time::Instant;
 /// loop is where the speedup lives).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfCase {
-    /// Workload name (`conv_forward`, `ensemble_predict`, `e2e_localize`,
-    /// `train_epoch`, `frozen_predict`, `frozen_localize`).
+    /// Workload name (`conv_forward`, `frozen_conv`, `ensemble_predict`,
+    /// `e2e_localize`, `train_epoch`, `frozen_predict`,
+    /// `quantized_predict`, `frozen_localize`).
     pub name: String,
     /// Elements produced per iteration (output samples of the workload).
     pub elements_per_iter: u64,
@@ -96,6 +100,16 @@ pub struct PerfReport {
     /// Whether this was the reduced smoke configuration (CI) or the full
     /// benchmark configuration.
     pub smoke: bool,
+    /// SIMD dispatch decision the run was measured under
+    /// ([`simd::label`]): `"avx2"` on vectorized hosts, `"scalar"`
+    /// otherwise. The regression sentinel keys its absolute frozen and
+    /// quantized speedup floors on this, so a scalar host (or a
+    /// `DS_SIMD=off` twin run) is judged against the scalar contract
+    /// instead of the vectorized one. Reports written before the field
+    /// existed deserialize as the empty string, which the sentinel
+    /// treats like any non-"avx2" label: scalar floors.
+    #[serde(default)]
+    pub simd: String,
     /// One entry per `--threads` value, in request order.
     pub sweeps: Vec<PerfSweep>,
 }
@@ -257,14 +271,72 @@ fn conv_forward_case(scale: PerfScale) -> PerfCase {
     let identical = bits(&reference.data) == bits(&parallel.data);
     assert!(identical, "conv forward: parallel output diverged");
     let elements = (scale.batch * 16 * scale.window) as u64;
+    // The timed loop reuses one output tensor via `infer_into` — the hot
+    // serving paths never allocate per pass, so the measured loop must
+    // not either (`allocs_per_window` regressed to 0.0625 when this loop
+    // went through the allocating `infer`).
+    let mut y = Tensor::zeros(scale.batch, 16, scale.window);
+    assert_zero_alloc(|| conv.infer_into(&x, &mut y), "conv forward");
     let (seq_secs, par_secs, allocs) = sample_same_path(scale.iters, scale.batch as u64, || {
-        conv.infer(&x);
+        conv.infer_into(&x, &mut y);
     });
     build_case(
         "conv_forward",
         elements,
         scale.iters,
         identical,
+        0,
+        seq_secs,
+        par_secs,
+        allocs,
+    )
+}
+
+/// The frozen conv kernel in isolation (same 8→16 / k = 9 layer as
+/// [`conv_forward_case`], BN folded, ReLU fused): scalar determinism twin
+/// vs the AVX2/FMA SIMD path. On hosts without AVX2 (or with
+/// `DS_SIMD=off`) both paths run the scalar twin and the speedup reads
+/// 1.0×. `bit_identical` here means "within the `1e-6`-relative SIMD
+/// parity tolerance" — FMA contracts mul+add, so exact bit equality is
+/// not the contract.
+fn frozen_conv_case(scale: PerfScale) -> PerfCase {
+    let conv = Conv1d::new(8, 16, 9, 1);
+    let bn = BatchNorm1d::new(16);
+    let frozen = FrozenConv::fold(&conv, &bn);
+    let x: Vec<f32> = (0..scale.batch * 8 * scale.window)
+        .map(|i| ((i % 97) as f32 - 48.0) * 0.021)
+        .collect();
+    let n_out = scale.batch * 16 * scale.window;
+    let mut y_scalar = vec![0.0f32; n_out];
+    let mut y_simd = vec![0.0f32; n_out];
+    simd::set_mode(Some(SimdMode::Scalar));
+    frozen.infer_into(&x, scale.batch, scale.window, &mut y_scalar, true);
+    simd::set_mode(None);
+    frozen.infer_into(&x, scale.batch, scale.window, &mut y_simd, true);
+    let within_tolerance = y_scalar
+        .iter()
+        .zip(&y_simd)
+        .all(|(a, b)| (a - b).abs() <= 1e-6 * a.abs().max(1.0));
+    assert!(within_tolerance, "frozen conv: SIMD diverged from scalar");
+    let elements = n_out as u64;
+    let (seq_secs, par_secs, allocs) = sample_paths(
+        scale.iters,
+        scale.batch as u64,
+        false,
+        || {
+            simd::set_mode(Some(SimdMode::Scalar));
+            frozen.infer_into(&x, scale.batch, scale.window, &mut y_scalar, true);
+            simd::set_mode(None);
+        },
+        || {
+            frozen.infer_into(&x, scale.batch, scale.window, &mut y_simd, true);
+        },
+    );
+    build_case(
+        "frozen_conv",
+        elements,
+        scale.iters,
+        within_tolerance,
         0,
         seq_secs,
         par_secs,
@@ -569,6 +641,73 @@ fn frozen_predict_case(scale: PerfScale, model: &Camal) -> PerfCase {
     )
 }
 
+/// Held-out calibration windows for the quantized plan: same generator
+/// family (and therefore the same value range) as [`serving_windows`],
+/// phase-shifted so no calibration window equals a serving window.
+fn calibration_windows(scale: PerfScale) -> Vec<Vec<f32>> {
+    (0..scale.batch)
+        .map(|w| {
+            (0..scale.window)
+                .map(|i| {
+                    ((w * 13 + 7 * 13 + i) % 29) as f32 * 55.0
+                        + (i as f32 * 0.11 + 1.0).sin() * 20.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Int8-quantized frozen ensemble prediction against the mutable
+/// reference path. Calibrated on a held-out window set
+/// ([`calibration_windows`]); the contract is weaker on probabilities
+/// (int8 carries real quantization noise) but just as strict on
+/// decisions: zero flips in a published report.
+fn quantized_predict_case(scale: PerfScale, model: &Camal) -> PerfCase {
+    let ensemble = model.ensemble();
+    let windows = serving_windows(scale);
+    let x = Tensor::from_windows(&windows);
+    let calib = Tensor::from_windows(&calibration_windows(scale));
+    let mut quant = ensemble.freeze_quantized(&calib);
+    let reference = ensemble.predict(&x);
+    let ref_probs = ResNetEnsemble::ensemble_probability(&reference);
+    quant.predict_into(&x);
+    let mut flips = 0u64;
+    let mut max_abs = 0.0f32;
+    for (r, f) in ref_probs.iter().zip(quant.ensemble_probs()) {
+        max_abs = max_abs.max((r - f).abs());
+        if (*r > 0.5) != (*f > 0.5) {
+            flips += 1;
+        }
+    }
+    assert!(
+        max_abs <= 0.05,
+        "quantized predict: probabilities drifted by {max_abs}"
+    );
+    assert_zero_alloc(|| quant.predict_into(&x), "quantized predict");
+    let (seq_secs, par_secs, allocs) = sample_paths(
+        scale.iters,
+        scale.batch as u64,
+        false,
+        || {
+            ensemble.predict(&x);
+        },
+        || {
+            quant.predict_into(&x);
+        },
+    );
+    let elements = (scale.batch * scale.window * ensemble.len()) as u64;
+    build_case(
+        "quantized_predict",
+        elements,
+        scale.iters,
+        flips == 0,
+        flips,
+        seq_secs,
+        par_secs,
+        allocs,
+    )
+}
+
 /// Frozen end-to-end localization (steps 1–6 through the reused
 /// [`ds_camal::LocalizationBatch`] slabs) against the mutable batched
 /// reference path at the ambient team size.
@@ -623,10 +762,12 @@ fn frozen_localize_case(scale: PerfScale, model: &Camal) -> PerfCase {
 fn run_cases(scale: PerfScale, model: &Camal) -> Vec<PerfCase> {
     vec![
         conv_forward_case(scale),
+        frozen_conv_case(scale),
         ensemble_predict_case(scale),
         e2e_localize_case(scale),
         train_epoch_case(scale),
         frozen_predict_case(scale, model),
+        quantized_predict_case(scale, model),
         frozen_localize_case(scale, model),
     ]
 }
@@ -654,7 +795,11 @@ pub fn run_sweep(scale: PerfScale, smoke: bool, thread_counts: &[usize]) -> Perf
         });
     }
     ds_par::set_threads(None);
-    PerfReport { smoke, sweeps }
+    PerfReport {
+        smoke,
+        simd: simd::label().to_string(),
+        sweeps,
+    }
 }
 
 /// [`run_sweep`] at the single ambient team size.
@@ -719,7 +864,7 @@ mod tests {
         let report = run_suite(tiny, true);
         assert_eq!(report.sweeps.len(), 1);
         let cases = &report.sweeps[0].cases;
-        assert_eq!(cases.len(), 6);
+        assert_eq!(cases.len(), 8);
         for c in cases {
             assert!(c.bit_identical, "{} diverged", c.name);
             assert_eq!(c.decision_flips, 0, "{} flipped decisions", c.name);
@@ -728,7 +873,13 @@ mod tests {
         }
         // The frozen serving paths are allocation-free in steady state
         // (tests run with observability off).
-        for name in ["frozen_predict", "frozen_localize"] {
+        for name in [
+            "conv_forward",
+            "frozen_conv",
+            "frozen_predict",
+            "quantized_predict",
+            "frozen_localize",
+        ] {
             let c = cases.iter().find(|c| c.name == name).unwrap();
             assert_eq!(c.allocs_per_window, 0.0, "{name} allocated");
         }
@@ -737,6 +888,7 @@ mod tests {
         assert!(table.contains("e2e_localize"));
         assert!(table.contains("train_epoch"));
         assert!(table.contains("frozen_predict"));
+        assert!(table.contains("quantized_predict"));
         assert!(table.contains("frozen_localize"));
     }
 
@@ -752,7 +904,7 @@ mod tests {
         assert_eq!(report.sweeps[0].threads, 1);
         assert_eq!(report.sweeps[1].threads, 2);
         for sweep in &report.sweeps {
-            assert_eq!(sweep.cases.len(), 6);
+            assert_eq!(sweep.cases.len(), 8);
         }
     }
 }

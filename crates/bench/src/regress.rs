@@ -10,12 +10,25 @@
 //!
 //! - **Correctness is absolute**: `bit_identical` must hold and
 //!   `decision_flips` must be zero in the fresh run, full stop.
-//! - **Frozen cases** (`frozen_predict`, `frozen_localize`) carry an
-//!   *absolute* speedup floor ([`FROZEN_SPEEDUP_FLOOR`]) — the frozen
+//! - **Frozen cases** (`frozen_conv`, `frozen_predict`,
+//!   `frozen_localize`) carry an *absolute* speedup floor — the frozen
 //!   plan being meaningfully faster than the mutable path is a published
 //!   claim, not a relative trend — plus a relative floor against the
 //!   baseline, and an absolute allocs-per-window ceiling
-//!   ([`FROZEN_ALLOCS_CEILING`]) backing the zero-alloc contract.
+//!   ([`FROZEN_ALLOCS_CEILING`]) backing the zero-alloc contract. The
+//!   absolute floor is **host-aware**: [`FROZEN_SPEEDUP_FLOOR_SIMD`] on
+//!   hosts whose fresh run dispatched the AVX2 kernels, the pre-SIMD
+//!   [`FROZEN_SPEEDUP_FLOOR_SCALAR`] otherwise (scalar hosts and
+//!   `DS_SIMD=off` twin runs), keyed on the report's `simd` label.
+//! - **Quantized cases** (`quantized_predict`) are judged separately
+//!   from the f32 frozen cases: int8 trades raw speed for footprint and
+//!   integer determinism, so its floors ([`QUANT_SPEEDUP_FLOOR_SIMD`] /
+//!   [`QUANT_SPEEDUP_FLOOR_SCALAR`]) sit below the f32 ones while its
+//!   zero-alloc and zero-flip contracts stay just as absolute.
+//! - Relative floors only apply when the fresh run and the baseline were
+//!   measured under the same SIMD dispatch — comparing a scalar twin run
+//!   against a vectorized baseline ratio would fail every case for the
+//!   wrong reason.
 //! - **Flat cases** (conv/ensemble/e2e/train, whose parallel speedups
 //!   hover near 1.0×) get a relative floor only
 //!   ([`RELATIVE_SPEEDUP_FLOOR`] × baseline): they may drift with the
@@ -35,18 +48,44 @@ use serde::Serialize;
 
 use crate::perf::{PerfCase, PerfReport};
 
-/// Absolute speedup floor for the frozen serving cases. Kept below the
-/// baseline's weakest frozen number (frozen_localize 1.147× at two
-/// workers) so the committed report self-passes, while still failing any
-/// run where the frozen plan's advantage collapses toward parity.
-pub const FROZEN_SPEEDUP_FLOOR: f64 = 1.10;
+/// Absolute f32 frozen speedup floor on hosts where the fresh run
+/// dispatched the AVX2 kernels. The committed vectorized baseline
+/// measures 5.3–6.4× across the frozen cases; 3.0× is the published
+/// serving-path claim with room for slower AVX2 hosts.
+pub const FROZEN_SPEEDUP_FLOOR_SIMD: f64 = 3.0;
 
-/// Frozen cases must also hold this fraction of their baseline speedup.
-pub const FROZEN_RELATIVE_FLOOR: f64 = 0.85;
+/// Absolute f32 frozen speedup floor on scalar dispatch (no AVX2, or a
+/// `DS_SIMD=off` determinism-twin run): the pre-SIMD contract — the
+/// frozen plan's fold/fuse/arena advantage alone must not collapse
+/// toward parity.
+pub const FROZEN_SPEEDUP_FLOOR_SCALAR: f64 = 1.10;
 
-/// Absolute allocs-per-window ceiling for frozen cases (baseline is 0.0;
-/// the margin absorbs one-off warmup traffic landing inside a short
-/// timed region).
+/// Absolute int8 quantized speedup floor under AVX2 dispatch. The int8
+/// path re-quantizes activations per conv and AVX2 lacks VNNI-class
+/// integer-dot throughput, so it trails the f32 SIMD kernels (baseline
+/// ~2.5×); its value is footprint and integer determinism, and the
+/// floor only demands it stays clearly ahead of the mutable path.
+pub const QUANT_SPEEDUP_FLOOR_SIMD: f64 = 1.5;
+
+/// Absolute int8 quantized floor on scalar dispatch: scalar i32
+/// multiply-accumulate has no hardware advantage over scalar f32 FMA
+/// and still pays per-conv activation re-quantization (measured ~0.32×
+/// on the reference container), so only a collapse well below that
+/// fails.
+pub const QUANT_SPEEDUP_FLOOR_SCALAR: f64 = 0.2;
+
+/// Frozen cases must also hold this fraction of their baseline speedup
+/// (only when baseline and fresh ran under the same SIMD dispatch).
+/// Looser than the pre-SIMD 0.85: at 5–6× the absolute floor carries
+/// the contract and run-to-run variance is proportionally larger.
+pub const FROZEN_RELATIVE_FLOOR: f64 = 0.70;
+
+/// Quantized analogue of [`FROZEN_RELATIVE_FLOOR`].
+pub const QUANT_RELATIVE_FLOOR: f64 = 0.70;
+
+/// Absolute allocs-per-window ceiling for frozen and quantized cases
+/// (baseline is 0.0; the margin absorbs one-off warmup traffic landing
+/// inside a short timed region).
 pub const FROZEN_ALLOCS_CEILING: f64 = 0.5;
 
 /// Flat cases must hold this fraction of their baseline speedup.
@@ -60,6 +99,50 @@ pub const ALLOCS_ABSOLUTE_GRACE: f64 = 4.0;
 
 fn is_frozen_case(name: &str) -> bool {
     name.starts_with("frozen_")
+}
+
+/// `frozen_conv` compares the scalar twin against the *dispatched*
+/// kernel on the same folded conv — under scalar dispatch both sides
+/// run identical code, so its speedup is parity by construction and the
+/// plan-vs-mutable frozen floors don't apply.
+fn is_kernel_dispatch_case(name: &str) -> bool {
+    name == "frozen_conv"
+}
+
+/// Scalar floor for [`is_kernel_dispatch_case`] cases: twin-vs-twin must
+/// sit at parity; anything far below means the dispatch override leaked.
+pub const KERNEL_DISPATCH_FLOOR_SCALAR: f64 = 0.8;
+
+fn is_quant_case(name: &str) -> bool {
+    name.starts_with("quantized_")
+}
+
+/// Threshold policy resolved once per `judge` call from the two reports'
+/// SIMD labels.
+struct FloorPolicy {
+    /// Fresh run dispatched the vectorized kernels.
+    fresh_simd: bool,
+    /// Baseline and fresh ran under the same dispatch, so baseline
+    /// ratios are comparable and relative floors apply.
+    relative_comparable: bool,
+}
+
+impl FloorPolicy {
+    fn frozen_floor(&self) -> f64 {
+        if self.fresh_simd {
+            FROZEN_SPEEDUP_FLOOR_SIMD
+        } else {
+            FROZEN_SPEEDUP_FLOOR_SCALAR
+        }
+    }
+
+    fn quant_floor(&self) -> f64 {
+        if self.fresh_simd {
+            QUANT_SPEEDUP_FLOOR_SIMD
+        } else {
+            QUANT_SPEEDUP_FLOOR_SCALAR
+        }
+    }
 }
 
 /// One threshold evaluation on one `(threads, case)` pair.
@@ -114,7 +197,13 @@ impl CaseChecks<'_> {
     }
 }
 
-fn judge_case(threads: usize, base: &PerfCase, fresh: &PerfCase, checks: &mut Vec<RegressCheck>) {
+fn judge_case(
+    threads: usize,
+    base: &PerfCase,
+    fresh: &PerfCase,
+    policy: &FloorPolicy,
+    checks: &mut Vec<RegressCheck>,
+) {
     let name = &base.name;
     let mut out = CaseChecks {
         checks,
@@ -138,11 +227,28 @@ fn judge_case(threads: usize, base: &PerfCase, fresh: &PerfCase, checks: &mut Ve
         fresh.decision_flips == 0,
     );
 
-    // Speedup floor.
-    let floor = if is_frozen_case(name) {
-        FROZEN_SPEEDUP_FLOOR.max(base.speedup * FROZEN_RELATIVE_FLOOR)
+    // Speedup floor: absolute component keyed on the fresh run's SIMD
+    // dispatch, relative component only when the baseline ratio is
+    // comparable (same dispatch on both sides).
+    let relative = |fraction: f64| {
+        if policy.relative_comparable {
+            base.speedup * fraction
+        } else {
+            0.0
+        }
+    };
+    let floor = if is_quant_case(name) {
+        policy.quant_floor().max(relative(QUANT_RELATIVE_FLOOR))
+    } else if is_kernel_dispatch_case(name) {
+        if policy.fresh_simd {
+            FROZEN_SPEEDUP_FLOOR_SIMD.max(relative(FROZEN_RELATIVE_FLOOR))
+        } else {
+            KERNEL_DISPATCH_FLOOR_SCALAR
+        }
+    } else if is_frozen_case(name) {
+        policy.frozen_floor().max(relative(FROZEN_RELATIVE_FLOOR))
     } else {
-        base.speedup * RELATIVE_SPEEDUP_FLOOR
+        relative(RELATIVE_SPEEDUP_FLOOR)
     };
     out.push(
         "speedup floor",
@@ -152,8 +258,9 @@ fn judge_case(threads: usize, base: &PerfCase, fresh: &PerfCase, checks: &mut Ve
         fresh.speedup >= floor,
     );
 
-    // Allocation ceiling.
-    let ceiling = if is_frozen_case(name) {
+    // Allocation ceiling. Quantized serving shares the frozen plan's
+    // zero-alloc contract: the arena (qbuf included) is preallocated.
+    let ceiling = if is_frozen_case(name) || is_quant_case(name) {
         FROZEN_ALLOCS_CEILING
     } else {
         (base.allocs_per_window * ALLOCS_RELATIVE_CEILING)
@@ -176,6 +283,17 @@ pub fn judge(baseline: &PerfReport, fresh: &PerfReport) -> RegressVerdict {
     let mut notes = Vec::new();
     let mut compared = 0usize;
 
+    let policy = FloorPolicy {
+        fresh_simd: fresh.simd == "avx2",
+        relative_comparable: fresh.simd == baseline.simd,
+    };
+    if !policy.relative_comparable {
+        notes.push(format!(
+            "simd dispatch differs (baseline {:?}, fresh {:?}); absolute floors only",
+            baseline.simd, fresh.simd
+        ));
+    }
+
     for base_sweep in &baseline.sweeps {
         let Some(fresh_sweep) = fresh
             .sweeps
@@ -192,7 +310,13 @@ pub fn judge(baseline: &PerfReport, fresh: &PerfReport) -> RegressVerdict {
             match fresh_sweep.cases.iter().find(|c| c.name == base_case.name) {
                 Some(fresh_case) => {
                     compared += 1;
-                    judge_case(base_sweep.threads, base_case, fresh_case, &mut checks);
+                    judge_case(
+                        base_sweep.threads,
+                        base_case,
+                        fresh_case,
+                        &policy,
+                        &mut checks,
+                    );
                 }
                 None => {
                     // Coverage loss is a failure, not a note: a vanished
@@ -352,6 +476,106 @@ mod tests {
         assert!(!verdict.pass);
     }
 
+    fn synthetic_case(name: &str, speedup: f64) -> PerfCase {
+        PerfCase {
+            name: name.to_string(),
+            elements_per_iter: 1000,
+            iters: 5,
+            seq_secs: 1.0,
+            par_secs: 1.0 / speedup,
+            seq_elements_per_sec: 1000.0,
+            par_elements_per_sec: 1000.0 * speedup,
+            speedup,
+            bit_identical: true,
+            decision_flips: 0,
+            allocs_per_window: 0.0,
+        }
+    }
+
+    fn synthetic_report(simd: &str, cases: Vec<PerfCase>) -> PerfReport {
+        PerfReport {
+            smoke: true,
+            simd: simd.to_string(),
+            sweeps: vec![crate::perf::PerfSweep { threads: 1, cases }],
+        }
+    }
+
+    #[test]
+    fn quantized_floor_is_separate_from_frozen_floor() {
+        // 2.0× clears the int8 floor under AVX2 but would fail the f32
+        // frozen floor — the precision split is the point.
+        let base = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("frozen_predict", 5.5),
+                synthetic_case("quantized_predict", 2.4),
+            ],
+        );
+        let good = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("frozen_predict", 5.0),
+                synthetic_case("quantized_predict", 2.0),
+            ],
+        );
+        let verdict = judge(&base, &good);
+        assert!(verdict.pass, "{}", render(&verdict));
+
+        // A quantized collapse below its own floor fails even though the
+        // same number would be unreachable luxury for a flat case.
+        let collapsed = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("frozen_predict", 5.0),
+                synthetic_case("quantized_predict", 1.2),
+            ],
+        );
+        let verdict = judge(&base, &collapsed);
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.case == "quantized_predict" && c.check == "speedup floor"));
+    }
+
+    #[test]
+    fn scalar_twin_is_judged_on_scalar_floors_only() {
+        // A DS_SIMD=off twin run against a vectorized baseline: absolute
+        // scalar floors apply, relative ratios are skipped (a 1.2× scalar
+        // frozen number would fail 0.70 × 5.5 for the wrong reason).
+        let base = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("frozen_predict", 5.5),
+                synthetic_case("frozen_conv", 5.3),
+                synthetic_case("quantized_predict", 2.4),
+                synthetic_case("conv_forward", 1.1),
+            ],
+        );
+        // frozen_conv at 1.0×: twin-vs-twin is parity by construction
+        // under scalar dispatch, so the 1.10× frozen floor must not
+        // apply to it; quantized at 0.32× matches the measured scalar
+        // int8 cost and must clear its own floor.
+        let twin = synthetic_report(
+            "scalar",
+            vec![
+                synthetic_case("frozen_predict", 1.2),
+                synthetic_case("frozen_conv", 1.0),
+                synthetic_case("quantized_predict", 0.32),
+                synthetic_case("conv_forward", 0.5),
+            ],
+        );
+        let verdict = judge(&base, &twin);
+        assert!(verdict.pass, "{}", render(&verdict));
+        assert!(verdict.notes.iter().any(|n| n.contains("simd dispatch")));
+
+        // The scalar contract still has teeth: frozen parity fails.
+        let mut broken = twin.clone();
+        broken.sweeps[0].cases[0].speedup = 1.0;
+        let verdict = judge(&base, &broken);
+        assert!(!verdict.pass);
+    }
+
     #[test]
     fn missing_case_fails_and_missing_sweep_skips() {
         let report = baseline();
@@ -379,6 +603,7 @@ mod tests {
         let report = baseline();
         let empty = PerfReport {
             smoke: true,
+            simd: "scalar".to_string(),
             sweeps: Vec::new(),
         };
         let verdict = judge(&report, &empty);

@@ -6,8 +6,38 @@
 use crate::config::CamalConfig;
 use ds_neural::tensor::Tensor;
 use ds_neural::train::{train_classifier, TrainReport};
-use ds_neural::{FrozenResNet, InferenceArena, ResNet, ResNetConfig};
+use ds_neural::{FrozenResNet, InferenceArena, QuantizedResNet, ResNet, ResNetConfig};
 use serde::{Deserialize, Serialize};
+
+/// Numeric precision of a frozen serving plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Precision {
+    /// BN-folded f32 plan (the PR4 serving form).
+    #[default]
+    F32,
+    /// Int8 symmetric-quantized plan with calibrated activation scales.
+    Int8,
+}
+
+impl Precision {
+    /// Stable label, used in cache keys, reports and the REPL.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+        }
+    }
+
+    /// Parse a REPL/CLI spelling of a precision (the [`Precision::label`]
+    /// strings, case-insensitive).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s.to_ascii_lowercase().as_str() {
+            "f32" => Some(Precision::F32),
+            "int8" => Some(Precision::Int8),
+            _ => None,
+        }
+    }
+}
 
 /// An ensemble of independently trained ResNet detectors.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -138,14 +168,21 @@ impl ResNetEnsemble {
     /// bit-identical to a sequential loop at any `DS_PAR_THREADS`.
     pub fn predict(&self, x: &Tensor) -> Vec<MemberOutput> {
         let _span = ds_obs::span!("ensemble.predict");
-        ds_par::par_map_chunked(&self.members, 1, |_, m| {
+        let member_output = |m: &ResNet| {
             let (probs, cams) = m.infer_with_cam(x);
             MemberOutput {
                 kernel: m.kernel(),
                 probs,
                 cams,
             }
-        })
+        };
+        // Below the fan-out floor (total batch rows across members) the
+        // dispatch costs more than it buys — serve sequentially and skip
+        // the thread spawns entirely. Identical results either way.
+        if !ds_par::should_fanout(x.batch * self.members.len()) {
+            return self.members.iter().map(member_output).collect();
+        }
+        ds_par::par_map_chunked(&self.members, 1, |_, m| member_output(m))
     }
 
     /// Compile every member into its frozen inference plan (BN folded,
@@ -158,12 +195,38 @@ impl ResNetEnsemble {
                 .members
                 .iter()
                 .map(|m| FrozenMember {
-                    net: FrozenResNet::freeze(m),
+                    plan: MemberPlan::F32(FrozenResNet::freeze(m)),
                     arena: InferenceArena::new(),
                 })
                 .collect(),
             ens_probs: Vec::new(),
             batch: 0,
+            precision: Precision::F32,
+        }
+    }
+
+    /// Compile every member into an **int8** frozen plan: freeze (BN
+    /// folding as in [`ResNetEnsemble::freeze`]), then quantize with
+    /// activation scales calibrated per member on `calib` — a batch of
+    /// held-out windows pre-processed exactly like serving inputs
+    /// (z-normalized). The f32 frozen plan stays available; decision
+    /// parity between the two is gated by the golden tests.
+    pub fn freeze_quantized(&self, calib: &Tensor) -> FrozenEnsemble {
+        FrozenEnsemble {
+            members: self
+                .members
+                .iter()
+                .map(|m| {
+                    let frozen = FrozenResNet::freeze(m);
+                    FrozenMember {
+                        plan: MemberPlan::Int8(QuantizedResNet::quantize(&frozen, calib)),
+                        arena: InferenceArena::new(),
+                    }
+                })
+                .collect(),
+            ens_probs: Vec::new(),
+            batch: 0,
+            precision: Precision::Int8,
         }
     }
 
@@ -186,20 +249,51 @@ impl ResNetEnsemble {
     }
 }
 
+/// The compiled serving plan of one member, at either precision. Both
+/// variants serve through the same [`InferenceArena`] interface.
+#[derive(Debug)]
+enum MemberPlan {
+    F32(FrozenResNet),
+    Int8(QuantizedResNet),
+}
+
+impl MemberPlan {
+    fn predict_into(&self, x: &Tensor, arena: &mut InferenceArena) {
+        match self {
+            MemberPlan::F32(net) => net.predict_into(x, arena),
+            MemberPlan::Int8(net) => net.predict_into(x, arena),
+        }
+    }
+
+    fn kernel(&self) -> usize {
+        match self {
+            MemberPlan::F32(net) => net.kernel(),
+            MemberPlan::Int8(net) => net.kernel(),
+        }
+    }
+
+    fn param_bits(&self) -> Vec<u32> {
+        match self {
+            MemberPlan::F32(net) => net.param_bits(),
+            MemberPlan::Int8(net) => net.param_bits(),
+        }
+    }
+}
+
 /// One frozen member plus its private inference arena. The arena holds
 /// the member's most recent outputs (probabilities, CAMs, logits) in
 /// place — reading them costs nothing and writing the next batch reuses
 /// the same memory.
 #[derive(Debug)]
 pub struct FrozenMember {
-    net: FrozenResNet,
+    plan: MemberPlan,
     arena: InferenceArena,
 }
 
 impl FrozenMember {
     /// Kernel size of this member (the ensemble diversity knob).
     pub fn kernel(&self) -> usize {
-        self.net.kernel()
+        self.plan.kernel()
     }
 
     /// Positive-class probability per window of the most recent pass.
@@ -230,12 +324,19 @@ pub struct FrozenEnsemble {
     ens_probs: Vec<f32>,
     /// Window count of the most recent pass.
     batch: usize,
+    /// Numeric precision every member plan was compiled at.
+    precision: Precision,
 }
 
 impl FrozenEnsemble {
     /// Member count `N`.
     pub fn len(&self) -> usize {
         self.members.len()
+    }
+
+    /// Numeric precision of the member plans.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Whether the ensemble has no members (never true for a built one).
@@ -257,7 +358,7 @@ impl FrozenEnsemble {
         let _span = ds_obs::span!("frozen.predict");
         let b = x.batch;
         for m in &mut self.members {
-            m.net.predict_into(x, &mut m.arena);
+            m.plan.predict_into(x, &mut m.arena);
         }
         if self.ens_probs.len() < b {
             self.ens_probs.resize(b, 0.0);
@@ -290,7 +391,7 @@ impl FrozenEnsemble {
     pub fn param_bits(&self) -> Vec<u32> {
         let mut bits = Vec::new();
         for m in &self.members {
-            bits.extend(m.net.param_bits());
+            bits.extend(m.plan.param_bits());
         }
         bits
     }

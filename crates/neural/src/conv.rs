@@ -109,11 +109,34 @@ impl Conv1d {
     /// path); within a row, output channels are processed four at a time
     /// by the register-blocked kernels.
     pub fn infer(&self, x: &Tensor) -> Tensor {
+        let (b, _, l) = x.shape();
+        let mut y = Tensor::zeros(b, self.out_channels, l);
+        self.infer_into(x, &mut y);
+        y
+    }
+
+    /// [`Conv1d::infer`] into a caller-owned, pre-shaped output tensor —
+    /// the allocation-free variant for hot loops that reuse the output
+    /// across calls. Below the ds-par fan-out floor
+    /// ([`ds_par::should_fanout`]) batch rows run sequentially in place,
+    /// skipping even the dispatch bookkeeping; the result is bit-identical
+    /// either way.
+    pub fn infer_into(&self, x: &Tensor, y: &mut Tensor) {
         assert_eq!(x.channels, self.in_channels, "conv input channel mismatch");
         let _span = ds_obs::span!("conv.infer");
         let (b, _, l) = x.shape();
-        let mut y = Tensor::zeros(b, self.out_channels, l);
+        assert_eq!(
+            y.shape(),
+            (b, self.out_channels, l),
+            "conv output tensor shape mismatch"
+        );
         let row_stride = self.out_channels * l;
+        if !ds_par::should_fanout(b) {
+            for bi in 0..b {
+                self.infer_row(x, bi, &mut y.data[bi * row_stride..][..row_stride], l);
+            }
+            return;
+        }
         let rows_per_task = self.rows_per_task(b, l);
         ds_par::par_chunks_mut(&mut y.data, rows_per_task * row_stride, |ti, chunk| {
             let bi0 = ti * rows_per_task;
@@ -121,15 +144,22 @@ impl Conv1d {
                 self.infer_row(x, bi0 + j, y_rows, l);
             }
         });
-        y
     }
 
     /// Batch rows per parallel task: even split across workers, floored so
     /// a task always carries enough multiply-accumulates to amortize the
     /// dispatch. Grouping only sets granularity — row results are
     /// independent — so tracking the worker count here is safe.
+    ///
+    /// The 2²⁰-MAC floor comes from `par.chunk` span profiles: at the old
+    /// 2¹⁸ floor a serving-size chunk retired in tens of µs, the same
+    /// order as the dispatch (thread spawn + lane setup) that fed it —
+    /// the thread sweeps in `results/BENCH_perf.json` were flat at
+    /// 0.97–1.01× for exactly this reason. Four times coarser chunks keep
+    /// each task comfortably above the dispatch cost while still
+    /// splitting training-scale batches.
     fn rows_per_task(&self, b: usize, l: usize) -> usize {
-        const MIN_TASK_MACS: usize = 1 << 18;
+        const MIN_TASK_MACS: usize = 1 << 20;
         let row_macs = self.out_channels * self.in_channels * l * self.kernel;
         let per_worker = b.div_ceil(ds_par::threads().max(1)).max(1);
         per_worker

@@ -41,19 +41,21 @@ use crate::tensor::Tensor;
 /// weights and bias. Immutable by construction.
 #[derive(Debug, Clone)]
 pub struct FrozenConv {
-    in_channels: usize,
-    out_channels: usize,
-    kernel: usize,
-    dilation: usize,
+    pub(crate) in_channels: usize,
+    pub(crate) out_channels: usize,
+    pub(crate) kernel: usize,
+    pub(crate) dilation: usize,
     /// Folded weights `[out, in, k]`, row-major.
-    weight: Vec<f32>,
+    pub(crate) weight: Vec<f32>,
     /// Folded per-output-channel bias.
-    bias: Vec<f32>,
+    pub(crate) bias: Vec<f32>,
 }
 
 impl FrozenConv {
-    /// Fold `bn`'s inference affine into `conv`.
-    pub(crate) fn fold(conv: &Conv1d, bn: &BatchNorm1d) -> FrozenConv {
+    /// Fold `bn`'s inference affine into `conv`. Public as the building
+    /// block of the frozen plan — benches and tests fold single stages to
+    /// measure the kernels in isolation.
+    pub fn fold(conv: &Conv1d, bn: &BatchNorm1d) -> FrozenConv {
         assert_eq!(
             conv.out_channels, bn.channels,
             "fold requires conv output channels to match BN channels"
@@ -83,14 +85,14 @@ impl FrozenConv {
     }
 
     #[inline]
-    fn pad_left(&self) -> usize {
+    pub(crate) fn pad_left(&self) -> usize {
         (self.kernel - 1) * self.dilation / 2
     }
 
     /// Forward `batch` rows of `[in_channels, l]` from `x` into `y`
     /// (`[batch, out_channels, l]` region), optionally fusing a ReLU into
     /// the final accumulation pass. Sequential and allocation-free.
-    fn infer_into(&self, x: &[f32], batch: usize, l: usize, y: &mut [f32], relu: bool) {
+    pub fn infer_into(&self, x: &[f32], batch: usize, l: usize, y: &mut [f32], relu: bool) {
         debug_assert!(x.len() >= batch * self.in_channels * l);
         debug_assert!(y.len() >= batch * self.out_channels * l);
         let (in_stride, out_stride) = (self.in_channels * l, self.out_channels * l);
@@ -104,13 +106,33 @@ impl FrozenConv {
         }
     }
 
-    /// One batch row: bias fill, then blocks of four output channels
+    /// One batch row. On AVX2+FMA hosts (unless `DS_SIMD=off`) the
+    /// vectorized [`crate::simd::frozen_conv_rows`] kernel runs — eight
+    /// output positions per step, logits within `1e-4` of the scalar
+    /// path. Otherwise: bias fill, then blocks of four output channels
     /// accumulated against each input row via the two-position kernel
     /// ([`accumulate_conv4t2`]) — bit-identical to [`Conv1d::infer`]'s
     /// per-element tap order, with the weight loads shared across adjacent
     /// positions and the epilogue fused into the last input-channel pass.
+    /// The scalar path is the determinism twin the golden tests gate the
+    /// SIMD path against.
     fn infer_row(&self, x_rows: &[f32], y_rows: &mut [f32], l: usize, relu: bool) {
         let pad = self.pad_left();
+        if crate::simd::frozen_conv_rows(
+            &self.weight,
+            &self.bias,
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            pad,
+            self.dilation,
+            x_rows,
+            y_rows,
+            l,
+            relu,
+        ) {
+            return;
+        }
         let k = self.kernel;
         let mut oc = 0;
         while oc < self.out_channels {
@@ -164,10 +186,10 @@ impl FrozenConv {
 /// optional folded projection shortcut.
 #[derive(Debug, Clone)]
 pub struct FrozenBlock {
-    stage1: FrozenConv,
-    stage2: FrozenConv,
-    stage3: FrozenConv,
-    shortcut: Option<FrozenConv>,
+    pub(crate) stage1: FrozenConv,
+    pub(crate) stage2: FrozenConv,
+    pub(crate) stage3: FrozenConv,
+    pub(crate) shortcut: Option<FrozenConv>,
     /// Input channels.
     pub in_channels: usize,
     /// Output channels.
@@ -222,16 +244,16 @@ impl FrozenBlock {
 /// shares no state with the source network.
 #[derive(Debug, Clone)]
 pub struct FrozenResNet {
-    blocks: Vec<FrozenBlock>,
+    pub(crate) blocks: Vec<FrozenBlock>,
     /// Head weights `[num_classes, features]`, row-major.
-    head_weight: Vec<f32>,
+    pub(crate) head_weight: Vec<f32>,
     /// Head bias `[num_classes]`.
-    head_bias: Vec<f32>,
-    in_channels: usize,
-    features: usize,
-    num_classes: usize,
-    kernel: usize,
-    max_channels: usize,
+    pub(crate) head_bias: Vec<f32>,
+    pub(crate) in_channels: usize,
+    pub(crate) features: usize,
+    pub(crate) num_classes: usize,
+    pub(crate) kernel: usize,
+    pub(crate) max_channels: usize,
 }
 
 impl FrozenResNet {
@@ -294,7 +316,7 @@ impl FrozenResNet {
         assert_eq!(c, self.in_channels, "frozen input channel mismatch");
         assert!(b > 0 && l > 0, "frozen forward needs a non-empty batch");
         arena.ensure(b, l, self.max_channels, self.features, self.num_classes);
-        let (buf_a, buf_b, buf_c, pooled, logits, softmax, probs, cams) = arena.parts();
+        let (buf_a, buf_b, buf_c, _qbuf, pooled, logits, softmax, probs, cams) = arena.parts();
         buf_a[..b * c * l].copy_from_slice(&x.data[..b * c * l]);
         let mut c_in = self.in_channels;
         for block in &self.blocks {
@@ -303,49 +325,20 @@ impl FrozenResNet {
             c_in = block.out_channels;
         }
         let feats = &buf_a[..b * self.features * l];
-        // GAP — same summation order as `GlobalAvgPool::infer`.
-        for bi in 0..b {
-            for ci in 0..self.features {
-                let row = &feats[(bi * self.features + ci) * l..][..l];
-                pooled[bi * self.features + ci] = row.iter().sum::<f32>() / l as f32;
-            }
-        }
-        // Head — same accumulation order as `Linear::infer`.
-        for bi in 0..b {
-            let xr = &pooled[bi * self.features..(bi + 1) * self.features];
-            for o in 0..self.num_classes {
-                let w = &self.head_weight[o * self.features..(o + 1) * self.features];
-                let mut acc = self.head_bias[o];
-                for (wv, xv) in w.iter().zip(xr) {
-                    acc += wv * xv;
-                }
-                logits[bi * self.num_classes + o] = acc;
-            }
-        }
-        // Softmax → positive-class probability.
-        for bi in 0..b {
-            softmax_row(
-                &logits[bi * self.num_classes..(bi + 1) * self.num_classes],
-                softmax,
-            );
-            probs[bi] = softmax[1];
-        }
-        // Class-1 CAM — same accumulation order (ascending channel, zero
-        // weights skipped) as `cam_from_features`.
-        let w1 = &self.head_weight[self.features..2 * self.features];
-        for bi in 0..b {
-            let cam = &mut cams[bi * l..(bi + 1) * l];
-            cam.fill(0.0);
-            for (ki, &w) in w1.iter().enumerate() {
-                if w == 0.0 {
-                    continue;
-                }
-                let f = &feats[(bi * self.features + ki) * l..][..l];
-                for (cv, &fv) in cam.iter_mut().zip(f) {
-                    *cv += w * fv;
-                }
-            }
-        }
+        finish_forward(
+            feats,
+            &self.head_weight,
+            &self.head_bias,
+            self.features,
+            self.num_classes,
+            b,
+            l,
+            pooled,
+            logits,
+            softmax,
+            probs,
+            cams,
+        );
     }
 
     /// Every folded parameter as raw `f32` bits in a fixed traversal
@@ -365,6 +358,68 @@ impl FrozenResNet {
         bits.extend(self.head_weight.iter().map(|v| v.to_bits()));
         bits.extend(self.head_bias.iter().map(|v| v.to_bits()));
         bits
+    }
+}
+
+/// The network epilogue shared by the f32 and int8 frozen plans: GAP,
+/// head, softmax → positive-class probability, and the class-1 CAM, all
+/// reading `feats` (`[b, features, l]`) in place and writing into arena
+/// buffers. Accumulation orders match the mutable reference path
+/// (`GlobalAvgPool::infer`, `Linear::infer`, `cam_from_features`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_forward(
+    feats: &[f32],
+    head_weight: &[f32],
+    head_bias: &[f32],
+    features: usize,
+    num_classes: usize,
+    b: usize,
+    l: usize,
+    pooled: &mut [f32],
+    logits: &mut [f32],
+    softmax: &mut [f32],
+    probs: &mut [f32],
+    cams: &mut [f32],
+) {
+    // GAP — same summation order as `GlobalAvgPool::infer`.
+    for bi in 0..b {
+        for ci in 0..features {
+            let row = &feats[(bi * features + ci) * l..][..l];
+            pooled[bi * features + ci] = row.iter().sum::<f32>() / l as f32;
+        }
+    }
+    // Head — same accumulation order as `Linear::infer`.
+    for bi in 0..b {
+        let xr = &pooled[bi * features..(bi + 1) * features];
+        for o in 0..num_classes {
+            let w = &head_weight[o * features..(o + 1) * features];
+            let mut acc = head_bias[o];
+            for (wv, xv) in w.iter().zip(xr) {
+                acc += wv * xv;
+            }
+            logits[bi * num_classes + o] = acc;
+        }
+    }
+    // Softmax → positive-class probability.
+    for bi in 0..b {
+        softmax_row(&logits[bi * num_classes..(bi + 1) * num_classes], softmax);
+        probs[bi] = softmax[1];
+    }
+    // Class-1 CAM — same accumulation order (ascending channel, zero
+    // weights skipped) as `cam_from_features`.
+    let w1 = &head_weight[features..2 * features];
+    for bi in 0..b {
+        let cam = &mut cams[bi * l..(bi + 1) * l];
+        cam.fill(0.0);
+        for (ki, &w) in w1.iter().enumerate() {
+            if w == 0.0 {
+                continue;
+            }
+            let f = &feats[(bi * features + ki) * l..][..l];
+            for (cv, &fv) in cam.iter_mut().zip(f) {
+                *cv += w * fv;
+            }
+        }
     }
 }
 

@@ -35,6 +35,10 @@
 //! - [`frozen`], [`plan`]: the compiled serving form — BatchNorm folded into
 //!   conv weights, ReLU fused into the conv epilogue, and a ping-pong
 //!   inference arena that makes steady-state prediction allocation-free.
+//! - [`simd`]: runtime-dispatched AVX2/FMA kernels for the frozen path
+//!   (`DS_SIMD=off` forces the scalar determinism twins).
+//! - [`quant`]: the int8 symmetric-quantized frozen plan — per-channel
+//!   weight scales, calibrated activation scales, exact i32 accumulation.
 //! - [`serialize`]: JSON weight persistence for trained models.
 //!
 //! Every differentiable layer is covered by finite-difference gradient
@@ -51,16 +55,19 @@ pub mod loss;
 pub mod optim;
 pub mod plan;
 pub mod pool;
+pub mod quant;
 pub mod resblock;
 pub mod resnet;
 pub mod sample;
 pub mod serialize;
+pub mod simd;
 pub mod tensor;
 pub mod train;
 pub mod workspace;
 
 pub use frozen::FrozenResNet;
 pub use plan::InferenceArena;
+pub use quant::QuantizedResNet;
 pub use resnet::{ResNet, ResNetConfig};
 pub use tensor::{Matrix, Tensor};
 

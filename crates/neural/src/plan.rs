@@ -39,6 +39,9 @@ pub struct InferenceArena {
     probs: Vec<f32>,
     /// Class-1 CAM per batch row `[B, L]`.
     cams: Vec<f32>,
+    /// Quantized-input scratch `[B, C, L]` as `i8` — only grown by
+    /// [`InferenceArena::ensure_quant`]; stays empty for f32 plans.
+    qbuf: Vec<i8>,
     batch: usize,
     len: usize,
     classes: usize,
@@ -81,8 +84,26 @@ impl InferenceArena {
         self.classes = classes;
     }
 
-    /// The ping/pong/scratch activation buffers plus the output buffers,
-    /// borrowed simultaneously for one forward pass.
+    /// [`InferenceArena::ensure`] plus the `i8` input-quantization
+    /// scratch the int8 plan needs. Grow-only, like everything else here.
+    pub fn ensure_quant(
+        &mut self,
+        batch: usize,
+        len: usize,
+        max_channels: usize,
+        features: usize,
+        classes: usize,
+    ) {
+        self.ensure(batch, len, max_channels, features, classes);
+        let act = batch * max_channels * len;
+        if self.qbuf.len() < act {
+            self.qbuf.resize(act, 0);
+        }
+    }
+
+    /// The ping/pong/scratch activation buffers, the `i8` quantization
+    /// scratch, plus the output buffers, borrowed simultaneously for one
+    /// forward pass.
     #[allow(clippy::type_complexity)]
     pub(crate) fn parts(
         &mut self,
@@ -90,6 +111,7 @@ impl InferenceArena {
         &mut Vec<f32>,
         &mut Vec<f32>,
         &mut Vec<f32>,
+        &mut [i8],
         &mut [f32],
         &mut [f32],
         &mut [f32],
@@ -100,6 +122,7 @@ impl InferenceArena {
             &mut self.buf_a,
             &mut self.buf_b,
             &mut self.buf_c,
+            &mut self.qbuf,
             &mut self.pooled,
             &mut self.logits,
             &mut self.softmax,

@@ -103,6 +103,52 @@ pub fn in_worker() -> bool {
     DEPTH.with(|d| d.get() > 0)
 }
 
+/// Environment variable setting the fan-out batch floor (work-item count
+/// below which callers should skip ds-par dispatch entirely).
+pub const BATCH_FLOOR_ENV: &str = "DS_PAR_BATCH_FLOOR";
+
+/// Default fan-out floor. `par.chunk`/`par.dispatch` traces on
+/// serving-size batches show dispatch (thread spawn + slot/lane setup,
+/// tens of µs) costing more than the chunks it feeds once batches drop
+/// below a few dozen windows — the thread-sweep rows in
+/// `results/BENCH_perf.json` sat at 0.97–1.01× for exactly this reason.
+const DEFAULT_BATCH_FLOOR: usize = 64;
+
+/// Cached fan-out floor; `UNSET` until first resolution.
+static BATCH_FLOOR: AtomicUsize = AtomicUsize::new(UNSET);
+
+/// The configured fan-out floor. Resolves `DS_PAR_BATCH_FLOOR` on first
+/// call and caches; `0` disables the floor (always fan out).
+pub fn batch_floor() -> usize {
+    match BATCH_FLOOR.load(Ordering::Relaxed) {
+        UNSET => {
+            let resolved = match std::env::var(BATCH_FLOOR_ENV) {
+                Ok(v) => v.trim().parse::<usize>().unwrap_or(DEFAULT_BATCH_FLOOR),
+                Err(_) => DEFAULT_BATCH_FLOOR,
+            };
+            BATCH_FLOOR.store(resolved, Ordering::Relaxed);
+            resolved
+        }
+        n => n,
+    }
+}
+
+/// Overrides the fan-out floor for the rest of the process (`None`
+/// re-resolves `DS_PAR_BATCH_FLOOR` on the next [`batch_floor`] call).
+pub fn set_batch_floor(n: Option<usize>) {
+    BATCH_FLOOR.store(n.unwrap_or(UNSET), Ordering::Relaxed);
+}
+
+/// Whether fanning `items` independent work items across workers can pay
+/// for the dispatch. False below the batch floor, with a single worker
+/// configured, or inside a worker — callers take their sequential path
+/// directly and skip even the dispatch bookkeeping. Purely a performance
+/// hint: ds-par results are bit-identical either way, so consulting it
+/// can never change an outcome.
+pub fn should_fanout(items: usize) -> bool {
+    threads() > 1 && !in_worker() && items >= batch_floor()
+}
+
 /// RAII depth marker for a lane of chunks.
 struct LaneGuard;
 
