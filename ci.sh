@@ -89,6 +89,31 @@ echo "ci: scalar-twin frozen_predict speedup ${twin_speedup}x (floor 1.15x)"
 awk -v s="$twin_speedup" 'BEGIN { exit !(s + 0 >= 1.15) }' \
     || { echo "ci: scalar-twin frozen_predict speedup ${twin_speedup}x is below the 1.15x floor" >&2; exit 1; }
 
+echo "==> streaming: push-stride parity suite (streaming == batch, bitwise)"
+cargo test -q --test streaming_parity
+
+echo "==> streaming: amortized-speedup gate (ring-buffer reuse vs full recompute)"
+grep -q '"name": *"streaming_predict"' "$smoke_out" \
+    || { echo "ci: perf smoke is missing the streaming_predict case" >&2; exit 1; }
+grep -q '"name": *"streaming_predict"' "$twin_out" \
+    || { echo "ci: scalar twin is missing the streaming_predict case" >&2; exit 1; }
+# ≥5x amortized at 75% overlap where the SIMD kernels dispatched; the
+# advantage is work avoided rather than instructions vectorized, so the
+# scalar floor stays at 3x.
+if grep -q '^simd: avx2' "$smoke_log"; then
+    streaming_floor=5.0
+else
+    streaming_floor=3.0
+fi
+streaming_speedup=$(awk '/"name": *"streaming_predict"/{f=1} f && /"speedup"/{gsub(/[",]/,""); print $2; exit}' "$smoke_out")
+echo "ci: streaming_predict speedup ${streaming_speedup}x (floor ${streaming_floor}x)"
+awk -v s="$streaming_speedup" -v f="$streaming_floor" 'BEGIN { exit !(s + 0 >= f + 0) }' \
+    || { echo "ci: streaming_predict speedup ${streaming_speedup}x is below the ${streaming_floor}x floor" >&2; exit 1; }
+twin_streaming=$(awk '/"name": *"streaming_predict"/{f=1} f && /"speedup"/{gsub(/[",]/,""); print $2; exit}' "$twin_out")
+echo "ci: scalar-twin streaming_predict speedup ${twin_streaming}x (floor 3.0x)"
+awk -v s="$twin_streaming" 'BEGIN { exit !(s + 0 >= 3.0) }' \
+    || { echo "ci: scalar-twin streaming_predict speedup ${twin_streaming}x is below the 3.0x floor" >&2; exit 1; }
+
 echo "==> obs: trace smoke (DS_OBS=trace export must validate)"
 trace_json="target/ci_trace.json"
 trace_log="target/ci_trace.log"

@@ -2,21 +2,29 @@
 //! selection, series loading, window navigation, appliance selection, and
 //! the lazily trained per-(dataset, appliance) CamAL models.
 
-use crate::cache::BoundedCache;
-use ds_camal::{Camal, CamalConfig, CamalError, Detection, FrozenCamal, Localization, Precision};
+use crate::cache::{BoundedCache, CacheCounters};
+use ds_camal::{
+    Camal, CamalConfig, CamalError, Detection, FrozenCamal, Localization, Precision, StreamingCamal,
+};
 use ds_datasets::labels::Corpus;
 use ds_datasets::{ApplianceKind, Catalog, DatasetPreset};
 use ds_timeseries::missing::{impute, Imputation};
 use ds_timeseries::window::{WindowCursor, WindowLength};
-use ds_timeseries::{StatusSeries, TimeSeries};
+use ds_timeseries::{StatusSeries, StreamCursor, StreamEvent, TimeSeries};
 use std::collections::BTreeMap;
 
 /// Key of a whole-series status prediction: `(dataset, house, appliance,
-/// window samples)` — everything the prediction is a function of.
-type SeriesKey = (String, u32, &'static str, usize);
+/// window samples, push stride)` — everything the prediction is a function
+/// of. The stride distinguishes streaming-fed entries (stride > 0) from
+/// batch recomputes ([`BATCH_STRIDE`]), so the two can never alias.
+type SeriesKey = (String, u32, &'static str, usize, usize);
 
 /// Key of one window's localization: a [`SeriesKey`] plus the window index.
-type WindowKey = (String, u32, &'static str, usize, usize);
+type WindowKey = (String, u32, &'static str, usize, usize, usize);
+
+/// Key of a streaming engine: `(dataset, house, appliance, window samples,
+/// push stride, precision)` — one live stream per browsing context.
+type StreamKey = (String, u32, &'static str, usize, usize, Precision);
 
 /// Key of a trained model: `(dataset, appliance, window samples)`.
 type ModelKey = (String, &'static str, usize);
@@ -43,6 +51,29 @@ const WINDOW_CACHE_CAP: usize = 512;
 /// arenas (a few windows' worth of floats per member), so the bound stays
 /// small; a miss only re-folds BatchNorm — it never retrains.
 const FROZEN_CACHE_CAP: usize = 8;
+
+/// Live streaming engines cached per browsing context. Each holds
+/// per-window artifact slabs for one whole series, so the bound is tight;
+/// a miss re-folds a plan and replays the series through the stream.
+const STREAM_CACHE_CAP: usize = 4;
+
+/// Stride marker for batch-computed cache entries (no streaming push).
+const BATCH_STRIDE: usize = 0;
+
+/// Hit/miss counters of the streaming-engine cache.
+const STREAM_COUNTERS: CacheCounters = CacheCounters {
+    hits: "cache.streaming.hits",
+    misses: "cache.streaming.misses",
+};
+
+/// Push stride (samples) the app feeds its streaming engines with: w/4,
+/// i.e. successive emits overlap 75% — the regime the `streaming_predict`
+/// bench gates. Emitted artifacts are stride-invariant by contract; the
+/// stride still participates in cache keys so streaming entries and batch
+/// entries stay distinct.
+fn stream_stride(window_samples: usize) -> usize {
+    (window_samples / 4).max(1)
+}
 
 /// Application-wide configuration.
 #[derive(Debug, Clone)]
@@ -130,6 +161,7 @@ pub struct AppState {
     catalog: Catalog,
     models: BTreeMap<ModelKey, TrainedModel>,
     frozen: BoundedCache<PlanKey, FrozenCamal>,
+    streams: BoundedCache<StreamKey, StreamingCamal>,
     status_cache: BoundedCache<SeriesKey, StatusSeries>,
     window_cache: BoundedCache<WindowKey, Localization>,
     /// Numeric precision new frozen plans are built at (`precision`
@@ -165,6 +197,7 @@ impl AppState {
             catalog,
             models: BTreeMap::new(),
             frozen: BoundedCache::new(FROZEN_CACHE_CAP),
+            streams: BoundedCache::new(STREAM_CACHE_CAP),
             status_cache: BoundedCache::new(STATUS_CACHE_CAP),
             window_cache: BoundedCache::new(WINDOW_CACHE_CAP),
             dataset: None,
@@ -182,15 +215,17 @@ impl AppState {
     }
 
     /// Switch the serving precision. Whole-series and per-window caches
-    /// are invalidated: int8 and f32 agree on decisions by contract, but
-    /// CAM values differ within tolerance and a stale overlay must not
-    /// outlive the switch. Trained models and already-built plans (keyed
-    /// per precision) survive.
+    /// are invalidated, and live streaming engines are dropped — their
+    /// slabs hold artifacts of the outgoing precision's plan: int8 and
+    /// f32 agree on decisions by contract, but CAM values differ within
+    /// tolerance and a stale overlay must not outlive the switch. Trained
+    /// models and already-built plans (keyed per precision) survive.
     pub fn set_precision(&mut self, precision: Precision) {
         if precision != self.precision {
             self.precision = precision;
             self.status_cache.clear();
             self.window_cache.clear();
+            self.streams.clear();
         }
     }
 
@@ -455,7 +490,13 @@ impl AppState {
         let mut usages = Vec::with_capacity(selected.len());
         for kind in selected {
             let channel = self.full_channel(kind)?;
-            let key: SeriesKey = (preset.name().to_string(), house_id, kind.slug(), window);
+            let key: SeriesKey = (
+                preset.name().to_string(),
+                house_id,
+                kind.slug(),
+                window,
+                stream_stride(window),
+            );
             let status = self.cached_status_series(key, &series, window, kind)?;
             usages.push(crate::insights::appliance_usage(
                 kind,
@@ -468,7 +509,10 @@ impl AppState {
     }
 
     /// The whole-series status prediction for `key`, computed once and then
-    /// served from the bounded cache.
+    /// served from the bounded cache. Misses are served by the streaming
+    /// engine: absorbed windows replay from its slabs and only the
+    /// end-aligned tail runs the model — bit-identical to the batch
+    /// `predict_status_series` by the streaming contract.
     fn cached_status_series(
         &mut self,
         key: SeriesKey,
@@ -481,17 +525,60 @@ impl AppState {
             return Ok(hit.clone());
         }
         ds_obs::counter_add("cache.status_series.misses", 1);
-        let status = self
-            .frozen_model(kind)?
-            .predict_status_series(series, window);
+        let status = self.streaming_engine(kind, series, window)?.status_series();
         self.status_cache.insert(key, status.clone());
         Ok(status)
     }
 
+    /// The live streaming engine for the loaded house and `kind` at
+    /// `window_samples`, built on first use (cloning the cached frozen
+    /// plan at the session precision — never re-folding or retraining)
+    /// and fed the series suffix it has not seen yet as stride-sized
+    /// deltas and gap events.
+    fn streaming_engine(
+        &mut self,
+        kind: ApplianceKind,
+        series: &TimeSeries,
+        window_samples: usize,
+    ) -> Result<&mut StreamingCamal, AppError> {
+        let (preset, house_id) = self.loaded()?;
+        let stride = stream_stride(window_samples);
+        let precision = self.precision;
+        let key: StreamKey = (
+            preset.name().to_string(),
+            house_id,
+            kind.slug(),
+            window_samples,
+            stride,
+            precision,
+        );
+        if self.streams.get(&key).is_none() {
+            ds_obs::counter_add(STREAM_COUNTERS.misses, 1);
+            // Clone the plan out of the frozen cache: folding/quantization
+            // stays cached once per (model, precision), and the batch path
+            // keeps its own warm arenas.
+            let plan = self.frozen_model(kind)?.clone();
+            let max_windows = series.len().div_ceil(window_samples).max(1);
+            self.streams.insert(
+                key.clone(),
+                StreamingCamal::new(plan, window_samples, max_windows),
+            );
+        } else {
+            ds_obs::counter_add(STREAM_COUNTERS.hits, 1);
+        }
+        let stream = self
+            .streams
+            .get_mut(&key)
+            .expect("present or just inserted");
+        feed_stream(stream, series)?;
+        Ok(stream)
+    }
+
     /// Localize every selected appliance in the current window. Visited
-    /// `(window, appliance)` pairs are served from a bounded cache, so
-    /// Prev/Next navigation over seen windows skips ensemble inference
-    /// entirely.
+    /// `(window, appliance)` pairs are served from a bounded cache; unseen
+    /// gap-free windows come from the streaming engine's slabs (Prev/Next
+    /// pays at most one tail window of model work per step, not a full
+    /// recompute), and gappy windows fall back to the imputing batch path.
     pub fn localize_selected(
         &mut self,
     ) -> Result<Vec<(ApplianceKind, ds_camal::Localization)>, AppError> {
@@ -499,13 +586,29 @@ impl AppState {
         let (preset, house_id) = self.loaded()?;
         let (window_index, _) = self.page()?;
         let selected = self.selected.clone();
+        let w = window.len();
+        let clean_window = window.missing_count() == 0;
+        // Streaming-served and batch-served entries carry their stride in
+        // the key, so the two can never alias.
+        let stride = if clean_window {
+            stream_stride(w)
+        } else {
+            BATCH_STRIDE
+        };
+        let series = self
+            .cursor
+            .as_ref()
+            .ok_or(AppError::NothingLoaded)?
+            .series()
+            .clone();
         let mut out = Vec::with_capacity(selected.len());
         for kind in selected {
             let key: WindowKey = (
                 preset.name().to_string(),
                 house_id,
                 kind.slug(),
-                window.len(),
+                w,
+                stride,
                 window_index,
             );
             if let Some(hit) = self.window_cache.get(&key) {
@@ -514,23 +617,62 @@ impl AppState {
                 continue;
             }
             ds_obs::counter_add("cache.window_localization.misses", 1);
-            // Inference needs a gap-free input. Gaps are linearly
-            // interpolated — a zero fill would read as a real "all off"
-            // power level and silently bias the decision toward Off — and
-            // the views mask the gap timesteps back to `Unknown` at render
-            // time, so imputed decisions are never presented as certain.
-            let missing = window.missing_count();
-            if missing > 0 {
+            let localization = if clean_window {
+                // Clean aligned windows replay from the streaming slabs —
+                // bit-identical to the batch localization by the
+                // streaming contract.
+                self.streaming_engine(kind, &series, w)?
+                    .window_localization(window_index)
+            } else {
+                // Inference needs a gap-free input. Gaps are linearly
+                // interpolated — a zero fill would read as a real "all off"
+                // power level and silently bias the decision toward Off —
+                // and the views mask the gap timesteps back to `Unknown` at
+                // render time, so imputed decisions are never presented as
+                // certain.
+                let missing = window.missing_count();
                 ds_obs::counter_add("serve.degraded_windows", 1);
                 ds_obs::counter_add("serve.unknown_samples", missing as u64);
-            }
-            let clean = impute(&window, Imputation::Linear).into_values();
-            let localization = self.frozen_localize(kind, &clean)?;
+                let clean = impute(&window, Imputation::Linear).into_values();
+                self.frozen_localize(kind, &clean)?
+            };
             self.window_cache.insert(key, localization.clone());
             out.push((kind, localization));
         }
         Ok(out)
     }
+}
+
+/// Push the not-yet-streamed suffix of `series` into `stream` as suffix
+/// deltas: present runs in stride-sized pushes, gaps as explicit missing
+/// pushes — so the stream always covers the full series length and its
+/// emits line up index-for-index with the batch path.
+fn feed_stream(stream: &mut StreamingCamal, series: &TimeSeries) -> Result<(), AppError> {
+    let done = stream.len();
+    if done >= series.len() {
+        return Ok(());
+    }
+    let stride = stream_stride(stream.window_samples());
+    let interval = series.interval_secs();
+    let suffix = series
+        .slice(done, series.len())
+        .expect("suffix range is valid");
+    for event in StreamCursor::new(&suffix, stride) {
+        let push = match event {
+            StreamEvent::Samples { index, values } => TimeSeries::from_values(
+                suffix.start() + index as i64 * interval as i64,
+                interval,
+                values.to_vec(),
+            ),
+            StreamEvent::Gap { index, len } => TimeSeries::missing(
+                suffix.start() + index as i64 * interval as i64,
+                interval,
+                len,
+            ),
+        };
+        stream.try_push(&push)?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -670,8 +812,10 @@ mod tests {
         let f32_out = state.localize_selected().unwrap();
 
         state.set_precision(Precision::Int8);
-        // Prediction caches are invalidated, the trained model survives.
+        // Prediction caches and live streams are invalidated, the trained
+        // model survives.
         assert_eq!(state.window_cache.len(), 0);
+        assert_eq!(state.streams.len(), 0);
         assert_eq!(state.models.len(), 1);
         let int8_out = state.localize_selected().unwrap();
         let plan = state.frozen_model(ApplianceKind::Kettle).unwrap();
@@ -692,6 +836,56 @@ mod tests {
         let cached = state.window_cache.len();
         state.set_precision(Precision::F32);
         assert_eq!(state.window_cache.len(), cached);
+    }
+
+    #[test]
+    fn status_series_is_streamed_and_matches_batch_bitwise() {
+        let mut state = app();
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        state.toggle_appliance("kettle").unwrap();
+        let _ = state.insights().unwrap();
+        // The insights miss built and fed one streaming engine.
+        assert_eq!(state.streams.len(), 1);
+        let series = state.cursor.as_ref().unwrap().series().clone();
+        let batch = state
+            .frozen_model(ApplianceKind::Kettle)
+            .unwrap()
+            .predict_status_series(&series, 360);
+        let key: SeriesKey = (
+            "UKDALE".to_string(),
+            houses[0],
+            ApplianceKind::Kettle.slug(),
+            360,
+            stream_stride(360),
+        );
+        let cached = state.status_cache.get(&key).expect("streamed entry cached");
+        assert_eq!(cached.states(), batch.states());
+        assert_eq!(cached.start(), batch.start());
+    }
+
+    #[test]
+    fn navigation_windows_come_from_streaming_slabs_and_match_batch() {
+        let mut state = app();
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        state.toggle_appliance("kettle").unwrap();
+        state.next().unwrap();
+        let out = state.localize_selected().unwrap();
+        assert_eq!(state.streams.len(), 1);
+        // The slab-served localization equals a direct frozen call on the
+        // same window values (same weights, same kernels — bit-identical).
+        let window = state.current_window().unwrap();
+        let direct = state
+            .frozen_localize(ApplianceKind::Kettle, window.values())
+            .unwrap();
+        assert_eq!(out[0].1, direct);
+        // Revisiting reuses the engine (hit) instead of rebuilding it.
+        state.prev().unwrap();
+        let _ = state.localize_selected().unwrap();
+        assert_eq!(state.streams.len(), 1);
     }
 
     #[test]

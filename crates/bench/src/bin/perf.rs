@@ -6,10 +6,11 @@
 //! ```
 //!
 //! Runs each workload (conv forward, ensemble prediction, end-to-end
-//! localization, ensemble training, frozen predict, frozen localize)
-//! once per requested worker-team size, asserts the numeric contracts
-//! (bit-identity for parallel paths, 1e-4 probability tolerance and zero
-//! decision flips for frozen paths), and writes one sweep entry per
+//! localization, ensemble training, frozen predict, frozen localize,
+//! streaming predict) once per requested worker-team size, asserts the
+//! numeric contracts (bit-identity for parallel paths, 1e-4 probability
+//! tolerance and zero decision flips for frozen paths, bitwise
+//! streaming-vs-batch parity), and writes one sweep entry per
 //! thread count. `--threads` defaults to the ambient `DS_PAR_THREADS`
 //! resolution; `--smoke` shrinks the workloads for CI; `--trace-smoke`
 //! shrinks them much further (numbers are meaningless) so a

@@ -32,7 +32,7 @@
 //! tracking.
 
 use ds_camal::localizer::localize_batch;
-use ds_camal::{Camal, CamalConfig, LocalizerConfig, ResNetEnsemble};
+use ds_camal::{Camal, CamalConfig, LocalizerConfig, ResNetEnsemble, StreamingCamal};
 use ds_neural::batchnorm::BatchNorm1d;
 use ds_neural::conv::Conv1d;
 use ds_neural::frozen::FrozenConv;
@@ -40,6 +40,8 @@ use ds_neural::simd::{self, SimdMode};
 use ds_neural::tensor::Tensor;
 use ds_neural::train::train_classifier_reference;
 use ds_neural::VisitParams;
+use ds_timeseries::faults::FaultPlan;
+use ds_timeseries::{Status, TimeSeries};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -53,7 +55,7 @@ use std::time::Instant;
 pub struct PerfCase {
     /// Workload name (`conv_forward`, `frozen_conv`, `ensemble_predict`,
     /// `e2e_localize`, `train_epoch`, `frozen_predict`,
-    /// `quantized_predict`, `frozen_localize`).
+    /// `quantized_predict`, `frozen_localize`, `streaming_predict`).
     pub name: String,
     /// Elements produced per iteration (output samples of the workload).
     pub elements_per_iter: u64,
@@ -759,6 +761,119 @@ fn frozen_localize_case(scale: PerfScale, model: &Camal) -> PerfCase {
     )
 }
 
+/// Streaming incremental series prediction against the cost an
+/// interactive consumer would otherwise pay: a full
+/// [`ds_camal::FrozenCamal::predict_status_into`] recompute of the
+/// accumulated prefix on every arriving delta. The stream absorbs
+/// stride-sized pushes (stride = window / 4, i.e. consecutive emitted
+/// prefixes overlap by ≥ 75 %) and re-emits the whole status series
+/// after each one; absorbed windows replay from its slabs so only the
+/// end-aligned tail window runs the model per emit.
+///
+/// Contracts checked before timing: the streamed status equals the
+/// batch prediction on the same prefix at **every** push (bitwise, the
+/// tri-state merge included), every completed clean window's
+/// probability / CAM / status slab equals the batch plan's output
+/// bitwise, and a warm reset-and-replay cycle allocates nothing.
+/// `allocs_per_window` reads as allocations per *push* here. When CI's
+/// `DS_FAULT` smoke is active the same fault plan degrades this feed,
+/// so the gap/Unknown invalidation protocol is measured, not just the
+/// clean path.
+fn streaming_predict_case(scale: PerfScale, model: &Camal) -> PerfCase {
+    let w = (scale.window / 3).max(8);
+    let n_windows = 16usize;
+    let stride = (w / 4).max(1);
+    let built = n_windows * w;
+    let mut series = TimeSeries::from_values(
+        0,
+        60,
+        (0..built)
+            .map(|i| ((i * 13) % 29) as f32 * 55.0 + (i as f32 * 0.11).sin() * 20.0)
+            .collect(),
+    );
+    if let Some(plan) = FaultPlan::from_env().expect("DS_FAULT spec must parse") {
+        series = plan.apply(&series).series;
+    }
+    let len = series.len();
+    let values = series.values().to_vec();
+    let mut batch_plan = model.freeze();
+    let mut stream = StreamingCamal::new(model.freeze(), w, len.div_ceil(w).max(1));
+    let bounds: Vec<(usize, usize)> = (0..len)
+        .step_by(stride)
+        .map(|lo| (lo, (lo + stride).min(len)))
+        .collect();
+    let pushes = bounds.len();
+
+    let mut stream_states: Vec<Status> = Vec::new();
+    let mut batch_states: Vec<Status> = Vec::new();
+    let mut flips = 0u64;
+    for &(lo, hi) in &bounds {
+        stream
+            .push_values(&values[lo..hi])
+            .expect("stream sized for the full series");
+        stream.status_into(&mut stream_states);
+        let prefix = series.slice(0, hi).expect("prefix in range");
+        batch_plan.predict_status_into(&prefix, w, &mut batch_states);
+        flips += u64::from(stream_states != batch_states);
+    }
+    for i in 0..stream.windows_completed() {
+        if !stream.window_clean(i) {
+            continue;
+        }
+        let batch = batch_plan.localize_batch_into(&[&values[i * w..(i + 1) * w]]);
+        let same = stream.window_probability(i).to_bits() == batch.probability(0).to_bits()
+            && stream.window_detected(i) == batch.detected(0)
+            && bits(stream.window_cam(i)) == bits(batch.cam(0))
+            && stream.window_status(i) == batch.status(0);
+        flips += u64::from(!same);
+    }
+    let identical = flips == 0;
+    assert!(identical, "streaming predict: diverged from the batch path");
+
+    assert_zero_alloc(
+        || {
+            stream.reset();
+            for &(lo, hi) in &bounds {
+                stream.push_values(&values[lo..hi]).unwrap();
+                stream.status_into(&mut stream_states);
+            }
+        },
+        "streaming predict",
+    );
+
+    // The baseline replays a quadratic amount of window work, so cap the
+    // timed iterations — best-of-k converges quickly on a loop this long.
+    let iters = scale.iters.min(2);
+    let (seq_secs, par_secs, allocs) = sample_paths(
+        iters,
+        pushes as u64,
+        false,
+        || {
+            for &(_, hi) in &bounds {
+                let prefix = series.slice(0, hi).expect("prefix in range");
+                batch_plan.predict_status_into(&prefix, w, &mut batch_states);
+            }
+        },
+        || {
+            stream.reset();
+            for &(lo, hi) in &bounds {
+                stream.push_values(&values[lo..hi]).unwrap();
+                stream.status_into(&mut stream_states);
+            }
+        },
+    );
+    build_case(
+        "streaming_predict",
+        len as u64,
+        iters,
+        identical,
+        flips,
+        seq_secs,
+        par_secs,
+        allocs,
+    )
+}
+
 fn run_cases(scale: PerfScale, model: &Camal) -> Vec<PerfCase> {
     vec![
         conv_forward_case(scale),
@@ -769,6 +884,7 @@ fn run_cases(scale: PerfScale, model: &Camal) -> Vec<PerfCase> {
         frozen_predict_case(scale, model),
         quantized_predict_case(scale, model),
         frozen_localize_case(scale, model),
+        streaming_predict_case(scale, model),
     ]
 }
 
@@ -864,7 +980,7 @@ mod tests {
         let report = run_suite(tiny, true);
         assert_eq!(report.sweeps.len(), 1);
         let cases = &report.sweeps[0].cases;
-        assert_eq!(cases.len(), 8);
+        assert_eq!(cases.len(), 9);
         for c in cases {
             assert!(c.bit_identical, "{} diverged", c.name);
             assert_eq!(c.decision_flips, 0, "{} flipped decisions", c.name);
@@ -879,6 +995,7 @@ mod tests {
             "frozen_predict",
             "quantized_predict",
             "frozen_localize",
+            "streaming_predict",
         ] {
             let c = cases.iter().find(|c| c.name == name).unwrap();
             assert_eq!(c.allocs_per_window, 0.0, "{name} allocated");
@@ -890,6 +1007,7 @@ mod tests {
         assert!(table.contains("frozen_predict"));
         assert!(table.contains("quantized_predict"));
         assert!(table.contains("frozen_localize"));
+        assert!(table.contains("streaming_predict"));
     }
 
     #[test]
@@ -904,7 +1022,7 @@ mod tests {
         assert_eq!(report.sweeps[0].threads, 1);
         assert_eq!(report.sweeps[1].threads, 2);
         for sweep in &report.sweeps {
-            assert_eq!(sweep.cases.len(), 8);
+            assert_eq!(sweep.cases.len(), 9);
         }
     }
 }

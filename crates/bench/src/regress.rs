@@ -25,6 +25,16 @@
 //!   integer determinism, so its floors ([`QUANT_SPEEDUP_FLOOR_SIMD`] /
 //!   [`QUANT_SPEEDUP_FLOOR_SCALAR`]) sit below the f32 ones while its
 //!   zero-alloc and zero-flip contracts stay just as absolute.
+//! - **Streaming cases** (`streaming_predict`) gate the incremental
+//!   inference contract: the ring-buffer engine's amortized cost per
+//!   push must sit well below a full prefix recompute, so they carry
+//!   their own absolute floors ([`STREAMING_SPEEDUP_FLOOR_SIMD`] /
+//!   [`STREAMING_SPEEDUP_FLOOR_SCALAR`] — the speedup is mostly
+//!   work-proportional, so the scalar floor stays high) plus the frozen
+//!   relative floor and the frozen allocation ceiling. A fresh report
+//!   with **no** `streaming_predict` case at all fails outright, even
+//!   against a pre-streaming baseline — the streaming path losing its
+//!   perf coverage must never read as a pass.
 //! - Relative floors only apply when the fresh run and the baseline were
 //!   measured under the same SIMD dispatch — comparing a scalar twin run
 //!   against a vectorized baseline ratio would fail every case for the
@@ -117,6 +127,22 @@ fn is_quant_case(name: &str) -> bool {
     name.starts_with("quantized_")
 }
 
+fn is_streaming_case(name: &str) -> bool {
+    name.starts_with("streaming_")
+}
+
+/// Absolute streaming speedup floor under AVX2 dispatch: the published
+/// claim is ≥ 5× amortized vs per-push full recompute at ≥ 75 % overlap
+/// (the committed baseline measures well above this — the advantage is
+/// work-proportional, roughly the ratio of recomputed to reused window
+/// evaluations).
+pub const STREAMING_SPEEDUP_FLOOR_SIMD: f64 = 5.0;
+
+/// Scalar-dispatch streaming floor. Unlike the frozen plan's SIMD
+/// margin, the streaming advantage is *work avoided*, not instructions
+/// vectorized, so it survives `DS_SIMD=off` nearly intact.
+pub const STREAMING_SPEEDUP_FLOOR_SCALAR: f64 = 3.0;
+
 /// Threshold policy resolved once per `judge` call from the two reports'
 /// SIMD labels.
 struct FloorPolicy {
@@ -141,6 +167,14 @@ impl FloorPolicy {
             QUANT_SPEEDUP_FLOOR_SIMD
         } else {
             QUANT_SPEEDUP_FLOOR_SCALAR
+        }
+    }
+
+    fn streaming_floor(&self) -> f64 {
+        if self.fresh_simd {
+            STREAMING_SPEEDUP_FLOOR_SIMD
+        } else {
+            STREAMING_SPEEDUP_FLOOR_SCALAR
         }
     }
 }
@@ -245,6 +279,10 @@ fn judge_case(
         } else {
             KERNEL_DISPATCH_FLOOR_SCALAR
         }
+    } else if is_streaming_case(name) {
+        policy
+            .streaming_floor()
+            .max(relative(FROZEN_RELATIVE_FLOOR))
     } else if is_frozen_case(name) {
         policy.frozen_floor().max(relative(FROZEN_RELATIVE_FLOOR))
     } else {
@@ -260,7 +298,7 @@ fn judge_case(
 
     // Allocation ceiling. Quantized serving shares the frozen plan's
     // zero-alloc contract: the arena (qbuf included) is preallocated.
-    let ceiling = if is_frozen_case(name) || is_quant_case(name) {
+    let ceiling = if is_frozen_case(name) || is_quant_case(name) || is_streaming_case(name) {
         FROZEN_ALLOCS_CEILING
     } else {
         (base.allocs_per_window * ALLOCS_RELATIVE_CEILING)
@@ -345,6 +383,21 @@ pub fn judge(baseline: &PerfReport, fresh: &PerfReport) -> RegressVerdict {
     }
     if compared == 0 {
         notes.push("no (threads, case) pair present in both reports".to_string());
+    }
+    // The streaming perf case is load-bearing coverage: its absence from
+    // the fresh run fails even when the baseline predates it (the
+    // missing-case rule above only catches cases the baseline names).
+    if !fresh
+        .sweeps
+        .iter()
+        .any(|s| s.cases.iter().any(|c| c.name == "streaming_predict"))
+    {
+        CaseChecks {
+            checks: &mut checks,
+            threads: fresh.sweeps.first().map_or(0, |s| s.threads),
+            case: "streaming_predict",
+        }
+        .push("streaming case present in fresh run", 1.0, 0.0, 1.0, false);
     }
 
     RegressVerdict {
@@ -509,6 +562,7 @@ mod tests {
             vec![
                 synthetic_case("frozen_predict", 5.5),
                 synthetic_case("quantized_predict", 2.4),
+                synthetic_case("streaming_predict", 8.0),
             ],
         );
         let good = synthetic_report(
@@ -516,6 +570,7 @@ mod tests {
             vec![
                 synthetic_case("frozen_predict", 5.0),
                 synthetic_case("quantized_predict", 2.0),
+                synthetic_case("streaming_predict", 7.0),
             ],
         );
         let verdict = judge(&base, &good);
@@ -528,6 +583,7 @@ mod tests {
             vec![
                 synthetic_case("frozen_predict", 5.0),
                 synthetic_case("quantized_predict", 1.2),
+                synthetic_case("streaming_predict", 7.0),
             ],
         );
         let verdict = judge(&base, &collapsed);
@@ -549,6 +605,7 @@ mod tests {
                 synthetic_case("frozen_predict", 5.5),
                 synthetic_case("frozen_conv", 5.3),
                 synthetic_case("quantized_predict", 2.4),
+                synthetic_case("streaming_predict", 8.0),
                 synthetic_case("conv_forward", 1.1),
             ],
         );
@@ -562,6 +619,7 @@ mod tests {
                 synthetic_case("frozen_predict", 1.2),
                 synthetic_case("frozen_conv", 1.0),
                 synthetic_case("quantized_predict", 0.32),
+                synthetic_case("streaming_predict", 5.8),
                 synthetic_case("conv_forward", 0.5),
             ],
         );
@@ -574,6 +632,42 @@ mod tests {
         broken.sweeps[0].cases[0].speedup = 1.0;
         let verdict = judge(&base, &broken);
         assert!(!verdict.pass);
+    }
+
+    #[test]
+    fn streaming_floor_and_presence_have_teeth() {
+        let base = synthetic_report("avx2", vec![synthetic_case("streaming_predict", 8.0)]);
+        // 6.0× clears both the 5× AVX2 floor and the relative floor
+        // (0.70 × 8.0 = 5.6).
+        let good = synthetic_report("avx2", vec![synthetic_case("streaming_predict", 6.0)]);
+        assert!(judge(&base, &good).pass);
+
+        // Collapsing toward the full-recompute cost fails absolutely.
+        let collapsed = synthetic_report("avx2", vec![synthetic_case("streaming_predict", 3.0)]);
+        let verdict = judge(&base, &collapsed);
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.case == "streaming_predict" && c.check == "speedup floor"));
+
+        // The scalar floor is lower but still real: work avoided, not
+        // instructions vectorized.
+        let scalar = synthetic_report("scalar", vec![synthetic_case("streaming_predict", 3.5)]);
+        assert!(judge(&base, &scalar).pass);
+        let scalar_bad = synthetic_report("scalar", vec![synthetic_case("streaming_predict", 2.0)]);
+        assert!(!judge(&base, &scalar_bad).pass);
+
+        // A fresh run with no streaming case fails even against a
+        // baseline that never had one.
+        let pre_streaming = synthetic_report("avx2", vec![synthetic_case("frozen_predict", 5.5)]);
+        let fresh_without = synthetic_report("avx2", vec![synthetic_case("frozen_predict", 5.5)]);
+        let verdict = judge(&pre_streaming, &fresh_without);
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.check == "streaming case present in fresh run"));
     }
 
     #[test]

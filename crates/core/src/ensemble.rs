@@ -251,7 +251,7 @@ impl ResNetEnsemble {
 
 /// The compiled serving plan of one member, at either precision. Both
 /// variants serve through the same [`InferenceArena`] interface.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum MemberPlan {
     F32(FrozenResNet),
     Int8(QuantizedResNet),
@@ -284,7 +284,7 @@ impl MemberPlan {
 /// the member's most recent outputs (probabilities, CAMs, logits) in
 /// place — reading them costs nothing and writing the next batch reuses
 /// the same memory.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FrozenMember {
     plan: MemberPlan,
     arena: InferenceArena,
@@ -317,7 +317,7 @@ impl FrozenMember {
 /// here: the committed perf results show thread fan-out buys ~1.0× on
 /// this workload, and the dispatch itself allocates, which would break
 /// the steady-state zero-alloc contract.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FrozenEnsemble {
     members: Vec<FrozenMember>,
     /// `Prob_ens` per window of the most recent pass.

@@ -30,6 +30,30 @@ pub enum CamalError {
     ZeroWindow,
     /// CAM extraction was requested before any forward pass ran.
     NoForwardPass,
+    /// A streaming push started before the stream's write head — samples
+    /// must arrive in timestamp order, on the stream's sample grid.
+    OutOfOrderPush {
+        /// Next timestamp the stream expects (its write head).
+        expected: i64,
+        /// The offending push's start timestamp.
+        got: i64,
+    },
+    /// A streaming push arrived with a sampling interval different from
+    /// the one the stream was opened with.
+    IntervalMismatch {
+        /// Sampling interval the stream was opened with, in seconds.
+        expected: u32,
+        /// The offending push's sampling interval, in seconds.
+        got: u32,
+    },
+    /// A streaming push would grow the stream past its ring capacity.
+    /// The stream is unchanged; retire completed windows or reset first.
+    OverCapacity {
+        /// Stream capacity in samples.
+        capacity: usize,
+        /// Stream length the rejected push would have produced.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for CamalError {
@@ -50,6 +74,29 @@ impl fmt::Display for CamalError {
             }
             CamalError::NoForwardPass => {
                 write!(f, "CAM extraction requires a forward pass first")
+            }
+            CamalError::OutOfOrderPush { expected, got } => {
+                write!(
+                    f,
+                    "streaming pushes must be timestamp-ordered on the sample grid \
+                     (expected {expected}, got {got})"
+                )
+            }
+            CamalError::IntervalMismatch { expected, got } => {
+                write!(
+                    f,
+                    "streaming push interval mismatch (stream at {expected}s, push at {got}s)"
+                )
+            }
+            CamalError::OverCapacity {
+                capacity,
+                requested,
+            } => {
+                write!(
+                    f,
+                    "streaming push overflows stream capacity: {requested} samples requested, \
+                     capacity {capacity}"
+                )
             }
         }
     }

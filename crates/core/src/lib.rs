@@ -61,6 +61,7 @@ pub mod error;
 pub mod localizer;
 pub mod model_io;
 pub mod selection;
+pub mod streaming;
 pub mod train;
 
 pub use config::{CamalConfig, LocalizerConfig};
@@ -68,6 +69,7 @@ pub use detector::Detection;
 pub use ensemble::{FrozenEnsemble, Precision, ResNetEnsemble};
 pub use error::CamalError;
 pub use localizer::{Localization, LocalizationBatch};
+pub use streaming::StreamingCamal;
 
 use ds_datasets::labels::Corpus;
 use ds_neural::tensor::Tensor;
@@ -305,7 +307,7 @@ impl Camal {
 ///
 /// Methods take `&mut self` because the arenas are written in place; wrap
 /// in a lock if shared across threads.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FrozenCamal {
     ensemble: FrozenEnsemble,
     config: CamalConfig,

@@ -259,7 +259,7 @@ pub(crate) fn attention_and_status_into(
 /// Buffers only ever grow ([`LocalizationBatch::ensure`]); per-window views
 /// come back as slices into the slabs, and [`LocalizationBatch::to_localization`]
 /// materializes the classic owned [`Localization`] when a caller wants one.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct LocalizationBatch {
     windows: usize,
     len: usize,

@@ -1,0 +1,611 @@
+//! Streaming serving twin of the frozen series path: absorb a meter
+//! stream push-by-push, localize each completed window exactly once, and
+//! re-emit the tri-state status series incrementally.
+//!
+//! [`StreamingCamal`] wraps a [`FrozenCamal`] plus per-window artifact
+//! slabs sized at construction. The batch entry point
+//! [`FrozenCamal::predict_status_into`] evaluates **every** window of the
+//! series on **every** call — Prev/Next navigation and per-day views over
+//! overlapping ranges therefore pay the full conv stack per step. The
+//! streaming twin exploits the same window policy ("non-overlapping
+//! complete windows plus one end-aligned tail, earlier window wins"):
+//! aligned windows are immutable once complete, so their probability,
+//! CAM, attention and status mask are computed once at absorption and
+//! replayed from the slabs on every later emit. Only the end-aligned
+//! tail window — the one region whose content still changes as samples
+//! arrive — is recomputed per emit, bounding per-push model work to at
+//! most `(new samples)/window + 1` window evaluations regardless of how
+//! much history has accumulated.
+//!
+//! The contract, asserted bit-for-bit by this module's tests and the
+//! `streaming_parity` suite:
+//!
+//! - **Push-stride invariance.** After any sequence of in-order pushes
+//!   accumulating a prefix, [`StreamingCamal::status_into`] equals
+//!   `predict_status_into` on that prefix bit-for-bit — states, window
+//!   CAMs, probabilities — including NaN-degraded windows surfacing
+//!   [`Status::Unknown`] and the earlier-window-wins tail merge. Window
+//!   grouping is identity-neutral: the frozen path evaluates batch rows
+//!   independently (no cross-row reduction, no `ds-par` in the frozen
+//!   chunk loop), so absorbing windows one at a time reproduces the batch
+//!   chunk-of-16 results exactly.
+//! - **Gap awareness.** A push whose start timestamp jumps forward on the
+//!   sample grid NaN-fills the hole; the affected windows degrade to
+//!   `Unknown` exactly as the batch path scores them. Out-of-order and
+//!   off-grid pushes are typed [`CamalError::OutOfOrderPush`]; capacity
+//!   overflow is [`CamalError::OverCapacity`]; both reject atomically.
+//! - **Zero steady-state allocations.** All slabs are preallocated for
+//!   `max_windows`; a warm push + emit cycle performs no heap allocation
+//!   (asserted via the ds-obs counter).
+
+use crate::error::CamalError;
+use crate::FrozenCamal;
+use ds_timeseries::{Status, StatusSeries, TimeSeries};
+
+/// Streaming serving engine over a [`FrozenCamal`]: per-window artifact
+/// slabs plus an append-only sample ring. See the module docs for the
+/// contract.
+#[derive(Debug)]
+pub struct StreamingCamal {
+    model: FrozenCamal,
+    window_samples: usize,
+    /// Sample capacity (`max_windows × window_samples`).
+    capacity: usize,
+    /// Member kernel sizes, cached for the member-probability accessor.
+    kernels: Vec<usize>,
+    /// Stream origin timestamp, captured on the first timestamped push.
+    start: i64,
+    /// Sampling interval, captured on the first timestamped push.
+    interval_secs: u32,
+    opened: bool,
+    /// Accumulated samples (watts), NaN where the meter was silent.
+    values: Vec<f32>,
+    len: usize,
+    /// Number of completed aligned windows absorbed into the slabs.
+    absorbed: usize,
+    win_clean: Vec<bool>,
+    win_prob: Vec<f32>,
+    win_detected: Vec<bool>,
+    win_members: Vec<f32>,
+    /// `[max_windows × window_samples]` slabs of per-timestep artifacts.
+    win_status: Vec<u8>,
+    win_cam: Vec<f32>,
+    win_attention: Vec<f32>,
+}
+
+impl StreamingCamal {
+    /// Wrap a frozen model for streaming over windows of `window_samples`
+    /// samples, retaining up to `max_windows` completed windows.
+    pub fn new(model: FrozenCamal, window_samples: usize, max_windows: usize) -> StreamingCamal {
+        assert!(
+            window_samples > 0,
+            "series prediction requires a positive window length"
+        );
+        assert!(max_windows > 0, "streaming capacity must be positive");
+        let kernels: Vec<usize> = model
+            .ensemble()
+            .members()
+            .iter()
+            .map(|m| m.kernel())
+            .collect();
+        let members = kernels.len();
+        let capacity = max_windows * window_samples;
+        StreamingCamal {
+            model,
+            window_samples,
+            capacity,
+            kernels,
+            start: 0,
+            interval_secs: 1,
+            opened: false,
+            values: vec![0.0; capacity],
+            len: 0,
+            absorbed: 0,
+            win_clean: vec![false; max_windows],
+            win_prob: vec![f32::NAN; max_windows],
+            win_detected: vec![false; max_windows],
+            win_members: vec![f32::NAN; max_windows * members],
+            win_status: vec![0; capacity],
+            win_cam: vec![0.0; capacity],
+            win_attention: vec![0.0; capacity],
+        }
+    }
+
+    /// Current stream length in samples (including NaN gap fill).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before any samples arrive.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sample capacity of the stream.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Window length in samples.
+    pub fn window_samples(&self) -> usize {
+        self.window_samples
+    }
+
+    /// Stream origin timestamp (0 until a timestamped push opens it).
+    pub fn start(&self) -> i64 {
+        self.start
+    }
+
+    /// Sampling interval in seconds (1 until a timestamped push opens it).
+    pub fn interval_secs(&self) -> u32 {
+        self.interval_secs
+    }
+
+    /// Number of completed aligned windows absorbed so far.
+    pub fn windows_completed(&self) -> usize {
+        self.absorbed
+    }
+
+    /// The wrapped frozen model.
+    pub fn model(&self) -> &FrozenCamal {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model (for ad-hoc batch calls; the
+    /// slabs are untouched by them).
+    pub fn model_mut(&mut self) -> &mut FrozenCamal {
+        &mut self.model
+    }
+
+    /// Was absorbed window `i` free of missing samples?
+    pub fn window_clean(&self, i: usize) -> bool {
+        assert!(i < self.absorbed, "window {i} not absorbed yet");
+        self.win_clean[i]
+    }
+
+    /// Ensemble probability of absorbed window `i` (NaN when degraded).
+    pub fn window_probability(&self, i: usize) -> f32 {
+        assert!(i < self.absorbed, "window {i} not absorbed yet");
+        self.win_prob[i]
+    }
+
+    /// Detection flag of absorbed window `i` (false when degraded).
+    pub fn window_detected(&self, i: usize) -> bool {
+        assert!(i < self.absorbed, "window {i} not absorbed yet");
+        self.win_detected[i]
+    }
+
+    /// Averaged, min-max-normalized CAM of absorbed clean window `i`.
+    pub fn window_cam(&self, i: usize) -> &[f32] {
+        assert!(i < self.absorbed, "window {i} not absorbed yet");
+        let w = self.window_samples;
+        &self.win_cam[i * w..(i + 1) * w]
+    }
+
+    /// Attention scores of absorbed clean window `i`.
+    pub fn window_attention(&self, i: usize) -> &[f32] {
+        assert!(i < self.absorbed, "window {i} not absorbed yet");
+        let w = self.window_samples;
+        &self.win_attention[i * w..(i + 1) * w]
+    }
+
+    /// Per-timestep status mask of absorbed clean window `i`.
+    pub fn window_status(&self, i: usize) -> &[u8] {
+        assert!(i < self.absorbed, "window {i} not absorbed yet");
+        let w = self.window_samples;
+        &self.win_status[i * w..(i + 1) * w]
+    }
+
+    /// Per-member `(kernel, probability)` pairs of absorbed window `i`.
+    pub fn window_member_probabilities(&self, i: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(i < self.absorbed, "window {i} not absorbed yet");
+        let m = self.kernels.len();
+        self.kernels
+            .iter()
+            .copied()
+            .zip(self.win_members[i * m..(i + 1) * m].iter().copied())
+    }
+
+    /// Materialize an owned [`Localization`](crate::Localization) of
+    /// absorbed clean window `i` from the slabs (allocates; panics on a
+    /// degraded window — check [`StreamingCamal::window_clean`] first).
+    pub fn window_localization(&self, i: usize) -> crate::Localization {
+        assert!(
+            self.window_clean(i),
+            "window {i} is degraded; it has no localization"
+        );
+        crate::Localization {
+            detection: crate::Detection {
+                probability: self.window_probability(i),
+                member_probabilities: self.window_member_probabilities(i).collect(),
+                detected: self.window_detected(i),
+            },
+            cam: self.window_cam(i).to_vec(),
+            attention: self.window_attention(i).to_vec(),
+            status: self.window_status(i).to_vec(),
+        }
+    }
+
+    /// Raw accumulated samples (NaN where the meter was silent).
+    pub fn values(&self) -> &[f32] {
+        &self.values[..self.len]
+    }
+
+    /// Append a timestamped slice of the meter stream. The first push
+    /// opens the stream (origin + interval); later pushes must continue
+    /// it in order on the sample grid — a forward jump NaN-fills the gap,
+    /// a backward or off-grid start is [`CamalError::OutOfOrderPush`], a
+    /// mismatched interval is [`CamalError::IntervalMismatch`], overflow
+    /// is [`CamalError::OverCapacity`]. All rejections are atomic.
+    /// Returns the total number of completed windows absorbed so far.
+    pub fn try_push(&mut self, series: &TimeSeries) -> Result<usize, CamalError> {
+        if series.is_empty() {
+            return Ok(self.absorbed);
+        }
+        if !self.opened {
+            self.start = series.start();
+            self.interval_secs = series.interval_secs();
+            self.opened = true;
+        }
+        if series.interval_secs() != self.interval_secs {
+            return Err(CamalError::IntervalMismatch {
+                expected: self.interval_secs,
+                got: series.interval_secs(),
+            });
+        }
+        let interval = self.interval_secs as i64;
+        let expected = self.start + self.len as i64 * interval;
+        let got = series.start();
+        if got < expected || (got - expected) % interval != 0 {
+            return Err(CamalError::OutOfOrderPush { expected, got });
+        }
+        let gap = ((got - expected) / interval) as usize;
+        let requested = self.len + gap + series.len();
+        if requested > self.capacity {
+            return Err(CamalError::OverCapacity {
+                capacity: self.capacity,
+                requested,
+            });
+        }
+        self.values[self.len..self.len + gap].fill(f32::NAN);
+        self.values[self.len + gap..requested].copy_from_slice(series.values());
+        self.len = requested;
+        self.absorb();
+        Ok(self.absorbed)
+    }
+
+    /// Append raw contiguous samples (no timestamps — the stream's grid
+    /// advances by `samples.len()` intervals). Same capacity contract as
+    /// [`StreamingCamal::try_push`].
+    pub fn push_values(&mut self, samples: &[f32]) -> Result<usize, CamalError> {
+        let requested = self.len + samples.len();
+        if requested > self.capacity {
+            return Err(CamalError::OverCapacity {
+                capacity: self.capacity,
+                requested,
+            });
+        }
+        self.values[self.len..requested].copy_from_slice(samples);
+        self.len = requested;
+        self.absorb();
+        Ok(self.absorbed)
+    }
+
+    /// Forget the stream (origin included); keep every slab allocation.
+    pub fn reset(&mut self) {
+        self.len = 0;
+        self.absorbed = 0;
+        self.opened = false;
+        self.start = 0;
+        self.interval_secs = 1;
+    }
+
+    /// Localize every newly completed aligned window, exactly once.
+    fn absorb(&mut self) {
+        let w = self.window_samples;
+        let m = self.kernels.len();
+        while (self.absorbed + 1) * w <= self.len {
+            let i = self.absorbed;
+            let lo = i * w;
+            let clean = self.values[lo..lo + w].iter().all(|v| !v.is_nan());
+            self.win_clean[i] = clean;
+            if clean {
+                let batch = self.model.localize_batch_into(&[&self.values[lo..lo + w]]);
+                self.win_prob[i] = batch.probability(0);
+                self.win_detected[i] = batch.detected(0);
+                self.win_status[lo..lo + w].copy_from_slice(batch.status(0));
+                self.win_cam[lo..lo + w].copy_from_slice(batch.cam(0));
+                self.win_attention[lo..lo + w].copy_from_slice(batch.attention(0));
+                for (slot, (_, p)) in self.win_members[i * m..(i + 1) * m]
+                    .iter_mut()
+                    .zip(batch.member_probabilities(0))
+                {
+                    *slot = p;
+                }
+            } else {
+                // Degraded window: the batch path never evaluates it, its
+                // samples stay Unknown. Keep NaN/false sentinels.
+                self.win_prob[i] = f32::NAN;
+                self.win_detected[i] = false;
+            }
+            self.absorbed += 1;
+        }
+    }
+
+    /// Streaming twin of [`FrozenCamal::predict_status_into`]: write the
+    /// tri-state status of the accumulated prefix into `states`,
+    /// bit-identical to the batch call on the same samples. Absorbed
+    /// windows replay from the slabs; only the end-aligned tail window is
+    /// evaluated here ("earlier window wins" on the overlap, exactly the
+    /// batch merge). Ticks the same `serve.degraded_windows` /
+    /// `serve.unknown_samples` counters a batch call would.
+    pub fn status_into(&mut self, states: &mut Vec<Status>) {
+        let _span = ds_obs::span!("camal.streaming.status");
+        let w = self.window_samples;
+        let len = self.len;
+        states.clear();
+        states.resize(len, Status::Unknown);
+        let aligned_end = if len >= w { (len / w) * w } else { 0 };
+        let has_tail = len >= w && len > aligned_end;
+        let mut degraded = 0u64;
+        for i in 0..aligned_end / w {
+            if !self.win_clean[i] {
+                degraded += 1;
+                continue;
+            }
+            let lo = i * w;
+            for (state, &mask) in states[lo..lo + w]
+                .iter_mut()
+                .zip(&self.win_status[lo..lo + w])
+            {
+                *state = if mask == 1 { Status::On } else { Status::Off };
+            }
+        }
+        if has_tail {
+            let lo = len - w;
+            if self.values[lo..len].iter().all(|v| !v.is_nan()) {
+                let batch = self.model.localize_batch_into(&[&self.values[lo..len]]);
+                let status = batch.status(0);
+                for idx in aligned_end..len {
+                    states[idx] = if status[idx - lo] == 1 {
+                        Status::On
+                    } else {
+                        Status::Off
+                    };
+                }
+            } else {
+                degraded += 1;
+            }
+        }
+        let unknown = states.iter().filter(|s| s.is_unknown()).count();
+        ds_obs::counter_add("serve.degraded_windows", degraded);
+        ds_obs::counter_add("serve.unknown_samples", unknown as u64);
+    }
+
+    /// Streaming twin of [`FrozenCamal::predict_status_series`], returning
+    /// an owned [`StatusSeries`] anchored at the stream origin.
+    pub fn status_series(&mut self) -> StatusSeries {
+        let mut states = Vec::new();
+        self.status_into(&mut states);
+        StatusSeries::from_status(self.start, self.interval_secs, states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::localizer;
+    use crate::{Camal, CamalConfig, ResNetEnsemble};
+
+    fn toy_corpus(n: usize, len: usize) -> (Vec<Vec<f32>>, Vec<u8>) {
+        let mut windows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let mut w = vec![0.1f32; len];
+            if i % 2 == 1 {
+                for v in &mut w[len / 3..len / 2] {
+                    *v = 1.0;
+                }
+            }
+            for (j, v) in w.iter_mut().enumerate() {
+                *v += ((i * 5 + j * 3) % 7) as f32 * 0.01;
+            }
+            windows.push(w);
+            labels.push((i % 2) as u8);
+        }
+        (windows, labels)
+    }
+
+    fn trained_toy_camal(len: usize) -> (Camal, Vec<Vec<f32>>) {
+        let cfg = CamalConfig::fast_test();
+        let (windows, labels) = toy_corpus(24, len);
+        let mut ens = ResNetEnsemble::untrained(&cfg);
+        ens.train(&windows, &labels, &cfg);
+        (Camal::from_parts(ens, cfg), windows)
+    }
+
+    fn toy_series(windows: &[Vec<f32>]) -> TimeSeries {
+        // Several clean windows, one NaN-degraded window, a partial tail.
+        let mut values: Vec<f32> = windows.iter().take(4).flatten().copied().collect();
+        let mut gap = windows[1].clone();
+        gap[7] = f32::NAN;
+        values.extend(gap);
+        values.extend(&windows[2][..17]);
+        TimeSeries::from_values(0, 60, values)
+    }
+
+    #[test]
+    fn status_matches_batch_at_every_push_stride() {
+        let w = 40;
+        let (camal, windows) = trained_toy_camal(w);
+        let mut frozen = camal.freeze();
+        let series = toy_series(&windows);
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        for stride in [7usize, w / 4, w / 2, w, w + 13, series.len()] {
+            let mut stream = StreamingCamal::new(camal.freeze(), w, 8);
+            let mut lo = 0;
+            while lo < series.len() {
+                let hi = (lo + stride).min(series.len());
+                stream.try_push(&series.slice(lo, hi).unwrap()).unwrap();
+                lo = hi;
+                // Every intermediate emit matches the batch call on the
+                // accumulated prefix — push-stride invariance.
+                stream.status_into(&mut got);
+                frozen.predict_status_into(&series.slice(0, lo).unwrap(), w, &mut expected);
+                assert_eq!(got, expected, "stride {stride}, prefix {lo}");
+            }
+            let full = stream.status_series();
+            assert_eq!(full.start(), series.start());
+            assert_eq!(full.interval_secs(), series.interval_secs());
+        }
+    }
+
+    #[test]
+    fn absorbed_window_artifacts_match_grouped_batch_bitwise() {
+        let w = 40;
+        let (camal, windows) = trained_toy_camal(w);
+        let mut frozen = camal.freeze();
+        let series = toy_series(&windows);
+        let mut stream = StreamingCamal::new(camal.freeze(), w, 8);
+        stream.try_push(&series).unwrap();
+        assert_eq!(stream.windows_completed(), 5);
+        assert!(!stream.window_clean(4), "the NaN window must degrade");
+        assert!(stream.window_probability(4).is_nan());
+        // The batch path groups clean windows into one chunk; grouping is
+        // identity-neutral, so one-at-a-time absorption matches bit-wise.
+        let values = series.values();
+        let clean: Vec<usize> = (0..4).collect();
+        let refs: Vec<&[f32]> = clean.iter().map(|&i| &values[i * w..(i + 1) * w]).collect();
+        let batch = frozen.localize_batch_into(&refs);
+        for (j, &i) in clean.iter().enumerate() {
+            assert_eq!(
+                stream.window_probability(i).to_bits(),
+                batch.probability(j).to_bits(),
+                "window {i} probability"
+            );
+            assert_eq!(stream.window_detected(i), batch.detected(j));
+            assert_eq!(stream.window_status(i), batch.status(j));
+            for (t, (a, b)) in stream.window_cam(i).iter().zip(batch.cam(j)).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "window {i} cam[{t}]");
+            }
+            for (t, (a, b)) in stream
+                .window_attention(i)
+                .iter()
+                .zip(batch.attention(j))
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "window {i} attention[{t}]");
+            }
+            let got: Vec<(usize, f32)> = stream.window_member_probabilities(i).collect();
+            let want: Vec<(usize, f32)> = batch.member_probabilities(j).collect();
+            assert_eq!(got.len(), want.len());
+            for ((gk, gp), (wk, wp)) in got.iter().zip(&want) {
+                assert_eq!(gk, wk);
+                assert_eq!(gp.to_bits(), wp.to_bits());
+            }
+        }
+        let _ = localizer::WINDOW_CHUNK; // grouping constant under test
+    }
+
+    #[test]
+    fn gap_pushes_nan_fill_and_match_batch_on_the_filled_series() {
+        let w = 40;
+        let (camal, windows) = trained_toy_camal(w);
+        let mut frozen = camal.freeze();
+        let mut stream = StreamingCamal::new(camal.freeze(), w, 8);
+        // 70 samples, then a 25-sample hole, then 65 more.
+        let all: Vec<f32> = windows.iter().take(4).flatten().copied().collect();
+        let a = TimeSeries::from_values(1000, 30, all[..70].to_vec());
+        let b = TimeSeries::from_values(1000 + 95 * 30, 30, all[95..160].to_vec());
+        stream.try_push(&a).unwrap();
+        stream.try_push(&b).unwrap();
+        assert_eq!(stream.len(), 160);
+        let mut filled = all[..160].to_vec();
+        for v in &mut filled[70..95] {
+            *v = f32::NAN;
+        }
+        let reference = TimeSeries::from_values(1000, 30, filled);
+        let mut expected = Vec::new();
+        frozen.predict_status_into(&reference, w, &mut expected);
+        let mut got = Vec::new();
+        stream.status_into(&mut got);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn out_of_order_interval_and_capacity_errors_are_typed_and_atomic() {
+        let w = 40;
+        let (camal, _) = trained_toy_camal(w);
+        let mut stream = StreamingCamal::new(camal.freeze(), w, 2);
+        let a = TimeSeries::from_values(0, 60, vec![0.5; 50]);
+        stream.try_push(&a).unwrap();
+        assert_eq!(stream.len(), 50);
+        // Backward start.
+        let stale = TimeSeries::from_values(0, 60, vec![0.5; 10]);
+        assert_eq!(
+            stream.try_push(&stale).unwrap_err(),
+            CamalError::OutOfOrderPush {
+                expected: 3000,
+                got: 0
+            }
+        );
+        // Off-grid start.
+        let skew = TimeSeries::from_values(3030, 60, vec![0.5; 10]);
+        assert_eq!(
+            stream.try_push(&skew).unwrap_err(),
+            CamalError::OutOfOrderPush {
+                expected: 3000,
+                got: 3030
+            }
+        );
+        // Interval flip.
+        let fast = TimeSeries::from_values(3000, 30, vec![0.5; 10]);
+        assert_eq!(
+            stream.try_push(&fast).unwrap_err(),
+            CamalError::IntervalMismatch {
+                expected: 60,
+                got: 30
+            }
+        );
+        // Capacity overflow (capacity = 2 × 40 = 80 samples).
+        let big = TimeSeries::from_values(3000, 60, vec![0.5; 40]);
+        assert_eq!(
+            stream.try_push(&big).unwrap_err(),
+            CamalError::OverCapacity {
+                capacity: 80,
+                requested: 90
+            }
+        );
+        // Every rejection left the stream untouched.
+        assert_eq!(stream.len(), 50);
+        assert_eq!(stream.windows_completed(), 1);
+    }
+
+    #[test]
+    fn steady_state_push_and_emit_allocate_nothing() {
+        let w = 40;
+        let (camal, windows) = trained_toy_camal(w);
+        let mut stream = StreamingCamal::new(camal.freeze(), w, 8);
+        let all: Vec<f32> = windows.iter().take(8).flatten().copied().collect();
+        let mut states = Vec::with_capacity(all.len());
+        // Warm-up: absorb one full window and emit once (sizes the arenas
+        // and the tail shape).
+        stream.push_values(&all[..48]).unwrap();
+        stream.status_into(&mut states);
+        let before = ds_obs::alloc_count();
+        let mut off = 48;
+        while off < all.len() {
+            let end = (off + 13).min(all.len());
+            stream.push_values(&all[off..end]).unwrap();
+            stream.status_into(&mut states);
+            off = end;
+        }
+        assert_eq!(
+            ds_obs::alloc_count(),
+            before,
+            "steady-state streaming push/emit must not allocate"
+        );
+        assert_eq!(stream.windows_completed(), 8);
+    }
+}

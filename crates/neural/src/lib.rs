@@ -61,6 +61,7 @@ pub mod resnet;
 pub mod sample;
 pub mod serialize;
 pub mod simd;
+pub mod streaming;
 pub mod tensor;
 pub mod train;
 pub mod workspace;
@@ -69,6 +70,7 @@ pub use frozen::FrozenResNet;
 pub use plan::InferenceArena;
 pub use quant::QuantizedResNet;
 pub use resnet::{ResNet, ResNetConfig};
+pub use streaming::{StreamError, StreamingPlan};
 pub use tensor::{Matrix, Tensor};
 
 /// A standard-normal-based deviate via Box–Muller (local helper; this crate

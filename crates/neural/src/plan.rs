@@ -21,7 +21,7 @@
 /// can be re-used across networks of the same width — `ensure` only ever
 /// grows. All state is plain `Vec<f32>` + the dimensions of the most
 /// recent pass; accessors slice the valid region.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct InferenceArena {
     /// Ping buffer: block input / final feature maps `[B, C, L]`.
     buf_a: Vec<f32>,

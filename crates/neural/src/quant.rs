@@ -63,22 +63,22 @@ pub fn quantize_weights_per_channel(
 /// activation scale from calibration.
 #[derive(Debug, Clone)]
 pub struct QuantConv {
-    in_channels: usize,
-    out_channels: usize,
-    kernel: usize,
-    dilation: usize,
+    pub(crate) in_channels: usize,
+    pub(crate) out_channels: usize,
+    pub(crate) kernel: usize,
+    pub(crate) dilation: usize,
     /// Quantized weights `[out, in, k]`, row-major.
-    wq: Vec<i8>,
+    pub(crate) wq: Vec<i8>,
     /// Per-output-channel weight scales.
     w_scale: Vec<f32>,
     /// Input activation scale (one quantum in input units).
     x_scale: f32,
     /// `127/maxabs` — multiplier used to quantize inputs on the fly.
-    inv_x_scale: f32,
+    pub(crate) inv_x_scale: f32,
     /// Dequant multiplier per output channel: `w_scale[oc] · x_scale`.
-    combined: Vec<f32>,
+    pub(crate) combined: Vec<f32>,
     /// Folded f32 bias, applied after dequantization.
-    bias: Vec<f32>,
+    pub(crate) bias: Vec<f32>,
 }
 
 impl QuantConv {
@@ -114,7 +114,7 @@ impl QuantConv {
     }
 
     #[inline]
-    fn pad_left(&self) -> usize {
+    pub(crate) fn pad_left(&self) -> usize {
         (self.kernel - 1) * self.dilation / 2
     }
 
@@ -195,12 +195,12 @@ impl QuantConv {
 /// A residual block of quantized convolutions (same dataflow as
 /// [`FrozenBlock`], f32 activations between stages).
 #[derive(Debug, Clone)]
-struct QuantizedBlock {
-    stage1: QuantConv,
-    stage2: QuantConv,
-    stage3: QuantConv,
-    shortcut: Option<QuantConv>,
-    out_channels: usize,
+pub(crate) struct QuantizedBlock {
+    pub(crate) stage1: QuantConv,
+    pub(crate) stage2: QuantConv,
+    pub(crate) stage3: QuantConv,
+    pub(crate) shortcut: Option<QuantConv>,
+    pub(crate) out_channels: usize,
 }
 
 impl QuantizedBlock {
@@ -300,14 +300,14 @@ fn calibrate(frozen: &FrozenResNet, calib: &Tensor) -> Vec<BlockRanges> {
 /// [`InferenceArena`] interface as the f32 plan.
 #[derive(Debug, Clone)]
 pub struct QuantizedResNet {
-    blocks: Vec<QuantizedBlock>,
-    head_weight: Vec<f32>,
-    head_bias: Vec<f32>,
-    in_channels: usize,
-    features: usize,
-    num_classes: usize,
-    kernel: usize,
-    max_channels: usize,
+    pub(crate) blocks: Vec<QuantizedBlock>,
+    pub(crate) head_weight: Vec<f32>,
+    pub(crate) head_bias: Vec<f32>,
+    pub(crate) in_channels: usize,
+    pub(crate) features: usize,
+    pub(crate) num_classes: usize,
+    pub(crate) kernel: usize,
+    pub(crate) max_channels: usize,
 }
 
 impl QuantizedResNet {

@@ -1,0 +1,743 @@
+//! Streaming incremental inference over a growing prefix: ring-buffer
+//! feature-map reuse for the frozen plans.
+//!
+//! [`StreamingPlan`] wraps a [`FrozenResNet`] or [`QuantizedResNet`] and
+//! keeps, per residual block, persistent **feature-map rings** — one row
+//! per channel, laid out at ring capacity — holding the stage-1, stage-2,
+//! stage-3, shortcut, and post-residual activations of the prefix pushed
+//! so far. Each [`StreamingPlan::push`] appends samples and recomputes
+//! only the **suffix a fresh batch call could produce differently**:
+//!
+//! - Every conv stage dirties `pad = (k−1)·d/2` positions to the left of
+//!   its input taint (same-padded odd kernels), so the halo widens by one
+//!   receptive-field radius per stage — 6 convs deep, a taint at `t`
+//!   reaches back to `t − Σ pads`, still O(1) per push.
+//! - On the AVX2 f32 path, positions whose *code path* (FMA chunk vs
+//!   scalar edge) differs between the old and new length are recomputed
+//!   too, snapped to a chunk anchor — see
+//!   [`crate::simd::frozen_conv_rows_suffix`]. The int8 path has no churn
+//!   (exact i32 accumulation), so its halo is the value halo alone.
+//!
+//! The contract, asserted bit-for-bit by this module's tests and the
+//! `streaming_parity` suite: after any sequence of pushes accumulating a
+//! prefix of length `L`, the emitted probability, logits and CAM are
+//! **bit-identical** to `predict_into` on the full prefix — at every push
+//! granularity, in both `DS_SIMD` modes, at both precisions. Steady-state
+//! pushes perform **zero heap allocations**: every ring is sized at
+//! construction from the declared capacity.
+//!
+//! Gap-aware invalidation: [`StreamingPlan::invalidate_from`] logically
+//! truncates the stream at a fault boundary; the next push re-derives
+//! exactly the tainted halo (the rings keep the still-valid prefix). The
+//! "ring" is deliberately an *anchored* arena, not a circular one:
+//! detection pools over the whole prefix, so evicting the head would
+//! change the batch-equivalent answer. Capacity is therefore part of the
+//! API contract — [`StreamingPlan::push`] past it is a typed
+//! [`StreamError::OverCapacity`], and the serving layer retires completed
+//! windows instead of wrapping.
+
+use crate::frozen::{FrozenConv, FrozenResNet};
+use crate::loss::softmax_row;
+use crate::quant::{QuantConv, QuantizedResNet};
+use crate::simd::{self, SimdMode};
+
+/// Typed failures of the streaming push path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamError {
+    /// The push would grow the prefix past the ring capacity declared at
+    /// construction. The rings are unchanged; retire or reset first.
+    OverCapacity {
+        /// Ring capacity in samples.
+        capacity: usize,
+        /// Prefix length the rejected push would have produced.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::OverCapacity {
+                capacity,
+                requested,
+            } => write!(
+                f,
+                "streaming push overflows ring capacity: {requested} samples requested, \
+                 capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Per-block persistent feature rings, one `[channels × capacity]` slab
+/// per stage output. `sc` is empty for identity-shortcut blocks (the
+/// residual reads the input ring directly).
+#[derive(Debug)]
+struct BlockRings {
+    s1: Vec<f32>,
+    s2: Vec<f32>,
+    s3: Vec<f32>,
+    sc: Vec<f32>,
+    out: Vec<f32>,
+}
+
+#[derive(Debug)]
+enum StreamPlanKind {
+    F32(FrozenResNet),
+    Int8(QuantizedResNet),
+}
+
+/// Streaming twin of the frozen plans: anchored feature rings plus
+/// suffix-only recompute. See the module docs for the contract.
+#[derive(Debug)]
+pub struct StreamingPlan {
+    plan: StreamPlanKind,
+    capacity: usize,
+    /// Logical prefix length (samples pushed and not invalidated).
+    len: usize,
+    /// Ring consistency horizon: the prefix length at which every ring
+    /// row last matched a from-scratch batch call bit-for-bit. Differs
+    /// from `len` only between an `invalidate_from` and the next push.
+    computed_len: usize,
+    /// Dispatch decision captured at construction (or `reset`), so a
+    /// mid-stream `DS_SIMD` flip cannot split a ring between code paths.
+    use_avx2: bool,
+    /// Raw input ring `[in_channels × capacity]`.
+    input: Vec<f32>,
+    blocks: Vec<BlockRings>,
+    /// Quantization scratch ring (int8 plans only).
+    qbuf: Vec<i8>,
+    pooled: Vec<f32>,
+    logits: Vec<f32>,
+    softmax: Vec<f32>,
+    /// Class-1 CAM ring over the prefix.
+    cam: Vec<f32>,
+    prob: f32,
+}
+
+impl StreamingPlan {
+    /// Build streaming rings over a cloned f32 frozen plan.
+    pub fn for_frozen(net: &FrozenResNet, capacity: usize) -> StreamingPlan {
+        let shapes: Vec<(usize, bool)> = net
+            .blocks
+            .iter()
+            .map(|b| (b.out_channels, b.shortcut.is_some()))
+            .collect();
+        Self::with_rings(
+            StreamPlanKind::F32(net.clone()),
+            net.in_channels,
+            net.num_classes,
+            &shapes,
+            capacity,
+            false,
+        )
+    }
+
+    /// Build streaming rings over a cloned int8 quantized plan.
+    pub fn for_quantized(net: &QuantizedResNet, capacity: usize) -> StreamingPlan {
+        let shapes: Vec<(usize, bool)> = net
+            .blocks
+            .iter()
+            .map(|b| (b.out_channels, b.shortcut.is_some()))
+            .collect();
+        Self::with_rings(
+            StreamPlanKind::Int8(net.clone()),
+            net.in_channels,
+            net.num_classes,
+            &shapes,
+            capacity,
+            true,
+        )
+    }
+
+    fn with_rings(
+        plan: StreamPlanKind,
+        in_channels: usize,
+        num_classes: usize,
+        block_shapes: &[(usize, bool)],
+        capacity: usize,
+        quantized: bool,
+    ) -> StreamingPlan {
+        assert_eq!(
+            in_channels, 1,
+            "the streaming plan serves the univariate pipeline"
+        );
+        assert!(capacity > 0, "streaming ring capacity must be positive");
+        assert!(
+            num_classes >= 2,
+            "streaming emit reads the positive-class probability"
+        );
+        let blocks = block_shapes
+            .iter()
+            .map(|&(co, has_sc)| BlockRings {
+                s1: vec![0.0; co * capacity],
+                s2: vec![0.0; co * capacity],
+                s3: vec![0.0; co * capacity],
+                sc: if has_sc {
+                    vec![0.0; co * capacity]
+                } else {
+                    Vec::new()
+                },
+                out: vec![0.0; co * capacity],
+            })
+            .collect();
+        let max_channels = block_shapes
+            .iter()
+            .map(|&(co, _)| co)
+            .max()
+            .unwrap_or(1)
+            .max(in_channels);
+        let features = block_shapes.last().map_or(in_channels, |&(co, _)| co);
+        StreamingPlan {
+            plan,
+            capacity,
+            len: 0,
+            computed_len: 0,
+            use_avx2: simd::mode() == SimdMode::Avx2,
+            input: vec![0.0; in_channels * capacity],
+            blocks,
+            qbuf: if quantized {
+                vec![0; max_channels * capacity]
+            } else {
+                Vec::new()
+            },
+            pooled: vec![0.0; features],
+            logits: vec![0.0; num_classes],
+            softmax: vec![0.0; num_classes],
+            cam: vec![0.0; capacity],
+            prob: f32::NAN,
+        }
+    }
+
+    /// Current prefix length in samples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True before the first (non-empty) push.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Ring capacity in samples.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Positive-class probability of the current prefix (NaN before the
+    /// first sample arrives).
+    pub fn probability(&self) -> f32 {
+        self.prob
+    }
+
+    /// Class-1 CAM over the current prefix.
+    pub fn cam(&self) -> &[f32] {
+        &self.cam[..self.len]
+    }
+
+    /// Head logits of the current prefix.
+    pub fn logits(&self) -> &[f32] {
+        &self.logits
+    }
+
+    /// Append samples and re-emit: recomputes the tainted suffix of every
+    /// ring plus the full (cheap) pooled/head epilogue. After this call
+    /// the emitted probability, logits and CAM are bit-identical to a
+    /// from-scratch `predict_into` on the whole prefix. Zero heap
+    /// allocations. An over-capacity push is rejected atomically.
+    pub fn push(&mut self, samples: &[f32]) -> Result<(), StreamError> {
+        let old = self.len;
+        let requested = old + samples.len();
+        if requested > self.capacity {
+            return Err(StreamError::OverCapacity {
+                capacity: self.capacity,
+                requested,
+            });
+        }
+        self.input[old..requested].copy_from_slice(samples);
+        self.len = requested;
+        if requested == 0 {
+            return Ok(());
+        }
+        let (l, l_prev, cap) = (requested, self.computed_len, self.capacity);
+        let taint = match &self.plan {
+            StreamPlanKind::F32(net) => forward_f32(
+                net,
+                &mut self.blocks,
+                &self.input,
+                cap,
+                l,
+                l_prev,
+                old,
+                self.use_avx2,
+            ),
+            StreamPlanKind::Int8(net) => forward_int8(
+                net,
+                &mut self.blocks,
+                &mut self.qbuf,
+                &self.input,
+                cap,
+                l,
+                old,
+                self.use_avx2,
+            ),
+        };
+        self.computed_len = l;
+        let (head_weight, head_bias, features, num_classes) = match &self.plan {
+            StreamPlanKind::F32(net) => (
+                &net.head_weight,
+                &net.head_bias,
+                net.features,
+                net.num_classes,
+            ),
+            StreamPlanKind::Int8(net) => (
+                &net.head_weight,
+                &net.head_bias,
+                net.features,
+                net.num_classes,
+            ),
+        };
+        let feats: &[f32] = match self.blocks.last() {
+            Some(b) => &b.out,
+            None => &self.input,
+        };
+        // GAP — same per-row summation chain as `finish_forward` (ring
+        // rows are contiguous over `[0, l)`).
+        for ci in 0..features {
+            self.pooled[ci] = feats[ci * cap..ci * cap + l].iter().sum::<f32>() / l as f32;
+        }
+        // Head — same accumulation order as `finish_forward`.
+        for o in 0..num_classes {
+            let w = &head_weight[o * features..(o + 1) * features];
+            let mut acc = head_bias[o];
+            for (wv, xv) in w.iter().zip(&self.pooled[..features]) {
+                acc += wv * xv;
+            }
+            self.logits[o] = acc;
+        }
+        softmax_row(&self.logits[..num_classes], &mut self.softmax);
+        self.prob = self.softmax[1];
+        // Class-1 CAM, suffix only: per element the chain is the same
+        // ascending-channel, zero-skipping accumulation as
+        // `finish_forward`, and positions below the final taint are
+        // untouched (their feature columns did not change).
+        let w1 = &head_weight[features..2 * features];
+        for t in taint..l {
+            let mut acc = 0.0f32;
+            for (ki, &w) in w1.iter().enumerate() {
+                if w == 0.0 {
+                    continue;
+                }
+                acc += w * feats[ki * cap + t];
+            }
+            self.cam[t] = acc;
+        }
+        Ok(())
+    }
+
+    /// Gap-aware invalidation: logically truncate the stream at `pos`
+    /// (a fault boundary or `Status::Unknown` onset). The rings keep the
+    /// still-valid prefix; the next push recomputes exactly the tainted
+    /// halo from `pos` leftward — including the AVX2 chunk churn of a
+    /// *shrunk* row, which the suffix kernels derive from the consistency
+    /// horizon. No-op when `pos ≥ len`.
+    pub fn invalidate_from(&mut self, pos: usize) {
+        self.len = self.len.min(pos);
+    }
+
+    /// Forget the stream entirely and re-capture the SIMD dispatch
+    /// decision. Keeps every ring allocation.
+    pub fn reset(&mut self) {
+        self.len = 0;
+        self.computed_len = 0;
+        self.prob = f32::NAN;
+        self.use_avx2 = simd::mode() == SimdMode::Avx2;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_suffix_f32(
+    conv: &FrozenConv,
+    x: &[f32],
+    y: &mut [f32],
+    cap: usize,
+    l: usize,
+    l_prev: usize,
+    taint: usize,
+    use_avx2: bool,
+    relu: bool,
+) -> usize {
+    simd::frozen_conv_rows_suffix(
+        &conv.weight,
+        &conv.bias,
+        conv.in_channels,
+        conv.out_channels,
+        conv.kernel,
+        conv.pad_left(),
+        conv.dilation,
+        x,
+        cap,
+        y,
+        cap,
+        l,
+        l_prev,
+        taint,
+        use_avx2,
+        relu,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forward_f32(
+    net: &FrozenResNet,
+    blocks: &mut [BlockRings],
+    input: &[f32],
+    cap: usize,
+    l: usize,
+    l_prev: usize,
+    taint0: usize,
+    use_avx2: bool,
+) -> usize {
+    let mut taint = taint0;
+    for bi in 0..net.blocks.len() {
+        let (done, rest) = blocks.split_at_mut(bi);
+        let rings = &mut rest[0];
+        let x: &[f32] = if bi == 0 { input } else { &done[bi - 1].out };
+        let fb = &net.blocks[bi];
+        let f1 = conv_suffix_f32(
+            &fb.stage1,
+            x,
+            &mut rings.s1,
+            cap,
+            l,
+            l_prev,
+            taint,
+            use_avx2,
+            true,
+        );
+        let f2 = conv_suffix_f32(
+            &fb.stage2,
+            &rings.s1,
+            &mut rings.s2,
+            cap,
+            l,
+            l_prev,
+            f1,
+            use_avx2,
+            true,
+        );
+        let f3 = conv_suffix_f32(
+            &fb.stage3,
+            &rings.s2,
+            &mut rings.s3,
+            cap,
+            l,
+            l_prev,
+            f2,
+            use_avx2,
+            false,
+        );
+        let fsc = match &fb.shortcut {
+            Some(sc) => {
+                conv_suffix_f32(sc, x, &mut rings.sc, cap, l, l_prev, taint, use_avx2, false)
+            }
+            None => taint,
+        };
+        let fo = f3.min(fsc).min(l);
+        // Residual epilogue over the dirty suffix — the same
+        // `(stage3 + residual).max(0)` element op as the batch path.
+        let has_sc = fb.shortcut.is_some();
+        for c in 0..fb.out_channels {
+            let base = c * cap;
+            for t in fo..l {
+                let r = if has_sc {
+                    rings.sc[base + t]
+                } else {
+                    x[base + t]
+                };
+                rings.out[base + t] = (rings.s3[base + t] + r).max(0.0);
+            }
+        }
+        taint = fo;
+    }
+    taint
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_suffix_int8(
+    conv: &QuantConv,
+    x: &[f32],
+    y: &mut [f32],
+    qbuf: &mut [i8],
+    cap: usize,
+    l: usize,
+    taint: usize,
+    use_avx2: bool,
+    relu: bool,
+) -> usize {
+    let pad = conv.pad_left();
+    // Quantize only the input range the recomputed taps can reach — the
+    // same per-element code as the batch path, so codes are identical
+    // wherever both compute them.
+    let qlo = taint.saturating_sub(2 * pad).min(l);
+    for c in 0..conv.in_channels {
+        let x_row = &x[c * cap..c * cap + l];
+        let q_row = &mut qbuf[c * cap..c * cap + l];
+        for t in qlo..l {
+            q_row[t] = (x_row[t] * conv.inv_x_scale).round().clamp(-127.0, 127.0) as i8;
+        }
+    }
+    simd::quant_conv_rows_suffix(
+        &conv.wq,
+        &conv.combined,
+        &conv.bias,
+        conv.in_channels,
+        conv.out_channels,
+        conv.kernel,
+        pad,
+        conv.dilation,
+        qbuf,
+        cap,
+        y,
+        cap,
+        l,
+        taint,
+        use_avx2,
+        relu,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forward_int8(
+    net: &QuantizedResNet,
+    blocks: &mut [BlockRings],
+    qbuf: &mut [i8],
+    input: &[f32],
+    cap: usize,
+    l: usize,
+    taint0: usize,
+    use_avx2: bool,
+) -> usize {
+    let mut taint = taint0;
+    for bi in 0..net.blocks.len() {
+        let (done, rest) = blocks.split_at_mut(bi);
+        let rings = &mut rest[0];
+        let x: &[f32] = if bi == 0 { input } else { &done[bi - 1].out };
+        let qb = &net.blocks[bi];
+        let f1 = conv_suffix_int8(
+            &qb.stage1,
+            x,
+            &mut rings.s1,
+            qbuf,
+            cap,
+            l,
+            taint,
+            use_avx2,
+            true,
+        );
+        let f2 = conv_suffix_int8(
+            &qb.stage2,
+            &rings.s1,
+            &mut rings.s2,
+            qbuf,
+            cap,
+            l,
+            f1,
+            use_avx2,
+            true,
+        );
+        let f3 = conv_suffix_int8(
+            &qb.stage3,
+            &rings.s2,
+            &mut rings.s3,
+            qbuf,
+            cap,
+            l,
+            f2,
+            use_avx2,
+            false,
+        );
+        let fsc = match &qb.shortcut {
+            Some(sc) => {
+                conv_suffix_int8(sc, x, &mut rings.sc, qbuf, cap, l, taint, use_avx2, false)
+            }
+            None => taint,
+        };
+        let fo = f3.min(fsc).min(l);
+        let has_sc = qb.shortcut.is_some();
+        for c in 0..qb.out_channels {
+            let base = c * cap;
+            for t in fo..l {
+                let r = if has_sc {
+                    rings.sc[base + t]
+                } else {
+                    x[base + t]
+                };
+                rings.out[base + t] = (rings.s3[base + t] + r).max(0.0);
+            }
+        }
+        taint = fo;
+    }
+    taint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::InferenceArena;
+    use crate::resnet::{ResNet, ResNetConfig};
+    use crate::simd::set_mode;
+    use crate::tensor::Tensor;
+
+    fn sample_series(n: usize, seed: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (((i + seed) * 31 % 17) as f32 - 8.0) / 4.0)
+            .collect()
+    }
+
+    fn trained_frozen(kernel: usize) -> FrozenResNet {
+        let mut net = ResNet::new(ResNetConfig::tiny(kernel, 77));
+        let x = Tensor::from_data(6, 1, 40, sample_series(6 * 40, 3));
+        for _ in 0..4 {
+            let _ = net.forward(&x, true);
+        }
+        FrozenResNet::freeze(&net)
+    }
+
+    fn batch_reference(frozen: &FrozenResNet, prefix: &[f32], arena: &mut InferenceArena) {
+        let x = Tensor::from_data(1, 1, prefix.len(), prefix.to_vec());
+        frozen.predict_into(&x, arena);
+    }
+
+    fn assert_emit_matches(plan: &StreamingPlan, arena: &InferenceArena, ctx: &str) {
+        assert_eq!(
+            plan.probability().to_bits(),
+            arena.probs()[0].to_bits(),
+            "{ctx}: probability"
+        );
+        for (i, (a, b)) in plan.logits().iter().zip(arena.logits_row(0)).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: logit {i}");
+        }
+        for (t, (a, b)) in plan.cam().iter().zip(arena.cam(0)).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{ctx}: cam[{t}]");
+        }
+    }
+
+    #[test]
+    fn f32_stream_bit_identical_to_batch_at_every_push() {
+        let modes = [SimdMode::Scalar, SimdMode::Avx2];
+        for kernel in [3usize, 5] {
+            let frozen = trained_frozen(kernel);
+            let series = sample_series(120, 9);
+            for mode in modes {
+                set_mode(Some(mode));
+                let mut plan = StreamingPlan::for_frozen(&frozen, series.len());
+                let mut arena = InferenceArena::new();
+                let mut off = 0;
+                for chunk in [1usize, 3, 8, 2, 16, 5, 30, 1, 24, 30] {
+                    let end = (off + chunk).min(series.len());
+                    plan.push(&series[off..end]).unwrap();
+                    off = end;
+                    batch_reference(&frozen, &series[..off], &mut arena);
+                    assert_emit_matches(
+                        &plan,
+                        &arena,
+                        &format!("k={kernel} mode={mode:?} l={off}"),
+                    );
+                }
+                set_mode(None);
+            }
+        }
+    }
+
+    #[test]
+    fn int8_stream_bit_identical_to_batch_at_every_push() {
+        let frozen = trained_frozen(5);
+        let calib = Tensor::from_data(8, 1, 40, sample_series(8 * 40, 11));
+        let quant = QuantizedResNet::quantize(&frozen, &calib);
+        let series = sample_series(96, 4);
+        for mode in [SimdMode::Scalar, SimdMode::Avx2] {
+            set_mode(Some(mode));
+            let mut plan = StreamingPlan::for_quantized(&quant, series.len());
+            let mut arena = InferenceArena::new();
+            let mut off = 0;
+            for chunk in [2usize, 7, 8, 1, 14, 32, 32] {
+                let end = (off + chunk).min(series.len());
+                plan.push(&series[off..end]).unwrap();
+                off = end;
+                let x = Tensor::from_data(1, 1, off, series[..off].to_vec());
+                quant.predict_into(&x, &mut arena);
+                assert_emit_matches(&plan, &arena, &format!("int8 mode={mode:?} l={off}"));
+            }
+            set_mode(None);
+        }
+    }
+
+    #[test]
+    fn invalidation_flushes_exactly_the_tainted_halo() {
+        let frozen = trained_frozen(5);
+        let series = sample_series(80, 2);
+        let mut plan = StreamingPlan::for_frozen(&frozen, series.len());
+        plan.push(&series).unwrap();
+        // A fault at position 50 taints the suffix: truncate, then replay
+        // corrected samples. The result must match a from-scratch pass on
+        // the corrected series.
+        let mut corrected = series.clone();
+        for v in &mut corrected[50..] {
+            *v = -*v * 0.5 + 0.1;
+        }
+        plan.invalidate_from(50);
+        plan.push(&corrected[50..]).unwrap();
+        let mut arena = InferenceArena::new();
+        batch_reference(&frozen, &corrected, &mut arena);
+        assert_emit_matches(&plan, &arena, "after invalidate_from(50)");
+        // Shrink-only invalidation (no re-push yet) keeps a valid prefix.
+        plan.invalidate_from(23);
+        plan.push(&[]).unwrap();
+        batch_reference(&frozen, &corrected[..23], &mut arena);
+        assert_emit_matches(&plan, &arena, "after shrink to 23");
+    }
+
+    #[test]
+    fn steady_state_push_allocates_nothing() {
+        let frozen = trained_frozen(3);
+        let series = sample_series(256, 6);
+        let mut plan = StreamingPlan::for_frozen(&frozen, series.len());
+        plan.push(&series[..16]).unwrap();
+        let before = ds_obs::alloc_count();
+        let mut off = 16;
+        while off < series.len() {
+            let end = (off + 12).min(series.len());
+            plan.push(&series[off..end]).unwrap();
+            off = end;
+        }
+        assert_eq!(
+            ds_obs::alloc_count(),
+            before,
+            "steady-state streaming push must not allocate"
+        );
+    }
+
+    #[test]
+    fn over_capacity_push_is_a_typed_error_and_atomic() {
+        let frozen = trained_frozen(3);
+        let series = sample_series(40, 1);
+        let mut plan = StreamingPlan::for_frozen(&frozen, 32);
+        plan.push(&series[..30]).unwrap();
+        let err = plan.push(&series[30..40]).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::OverCapacity {
+                capacity: 32,
+                requested: 40
+            }
+        );
+        // The rejected push left the stream untouched.
+        assert_eq!(plan.len(), 30);
+        let mut arena = InferenceArena::new();
+        batch_reference(&frozen, &series[..30], &mut arena);
+        assert_emit_matches(&plan, &arena, "after rejected push");
+    }
+}

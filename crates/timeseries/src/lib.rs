@@ -54,10 +54,12 @@ pub mod normalize;
 pub mod resample;
 pub mod series;
 pub mod stats;
+pub mod stream;
 pub mod time;
 pub mod window;
 
 pub use series::{Status, StatusSeries, TimeSeries};
+pub use stream::{StreamCursor, StreamEvent};
 pub use window::{WindowCursor, WindowLength};
 
 /// Errors produced by the time-series substrate.

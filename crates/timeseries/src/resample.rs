@@ -9,6 +9,15 @@
 use crate::series::TimeSeries;
 use crate::{Result, TsError};
 
+/// The app's supported display/sampling rates in seconds — 30 s, 1 min and
+/// 10 min. Downsampling to any of these preserves NaN gap runs (an
+/// all-missing bucket stays NaN, and a `Sum` bucket with *any* missing
+/// reading goes NaN rather than under-counting), so streaming invalidation
+/// sees the same gap boundaries at every rate.
+pub fn frequency_list() -> [u32; 3] {
+    [30, 60, 600]
+}
+
 /// How to combine readings when downsampling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DownsampleAgg {
@@ -110,11 +119,13 @@ pub fn downsample_bucketed(
     let mut sums = vec![0.0f64; n_out];
     let mut maxs = vec![f32::NEG_INFINITY; n_out];
     let mut counts = vec![0u32; n_out];
+    let mut occupancy = vec![0u32; n_out];
     for (i, &v) in values.iter().enumerate() {
         let bucket = (i as u64 * src as u64 / target_interval_secs as u64) as usize;
         if bucket >= n_out {
             break; // trailing partial bucket
         }
+        occupancy[bucket] += 1;
         if !v.is_nan() {
             sums[bucket] += v as f64;
             if v > maxs[bucket] {
@@ -131,6 +142,10 @@ pub fn downsample_bucketed(
                 match agg {
                     DownsampleAgg::Mean => (sums[b] / counts[b] as f64) as f32,
                     DownsampleAgg::Max => maxs[b],
+                    // Same contract as the chunked path: a Sum bucket with
+                    // missing readings surfaces NaN instead of silently
+                    // zero-filling the gap.
+                    DownsampleAgg::Sum if counts[b] < occupancy[b] => f32::NAN,
                     DownsampleAgg::Sum => sums[b] as f32,
                 }
             }
@@ -180,6 +195,11 @@ fn downsample(series: &TimeSeries, factor: usize, agg: DownsampleAgg) -> TimeSer
             match agg {
                 DownsampleAgg::Mean => (acc / present as f64) as f32,
                 DownsampleAgg::Max => max,
+                // A partially-missing bucket must not masquerade as a
+                // (smaller) energy reading — that would zero-fill the gap
+                // and erase its boundary downstream. Only fully-present
+                // buckets sum; anything less surfaces as NaN.
+                DownsampleAgg::Sum if present < chunk.len() => f32::NAN,
                 DownsampleAgg::Sum => acc as f32,
             }
         };
@@ -318,6 +338,61 @@ mod tests {
                 .values(),
             &[6.0, 4.0]
         );
+    }
+
+    #[test]
+    fn sum_refuses_to_zero_fill_partial_buckets() {
+        // One missing reading inside the second bucket: Sum must surface
+        // NaN there, not a silently smaller total.
+        let ts = TimeSeries::from_values(0, 30, vec![1.0, 2.0, 3.0, f32::NAN]);
+        let r = resample(&ts, 60, DownsampleAgg::Sum, UpsampleFill::ForwardFill).unwrap();
+        assert_eq!(r.values()[0], 3.0);
+        assert!(r.values()[1].is_nan());
+        // Bucketed path: 8 s readings, one hole in the first minute.
+        let mut values = vec![1.0f32; 15];
+        values[3] = f32::NAN;
+        let b = downsample_bucketed(
+            &TimeSeries::from_values(0, 8, values),
+            60,
+            DownsampleAgg::Sum,
+        )
+        .unwrap();
+        assert!(b.values()[0].is_nan());
+        assert_eq!(b.values()[1], 7.0);
+        // Mean still aggregates present readings (unchanged policy).
+        let m = resample(&ts, 60, DownsampleAgg::Mean, UpsampleFill::ForwardFill).unwrap();
+        assert_eq!(m.values()[1], 3.0);
+    }
+
+    #[test]
+    fn gap_runs_survive_at_every_frequency_list_rate() {
+        // A 6 s source with a 20-minute hole: at 30 s, 1 min and 10 min the
+        // hole must come through as a NaN run with the same time extent —
+        // streaming invalidation keys off these boundaries.
+        let n = 60 * 60 / 6; // one hour of 6 s readings
+        let mut values: Vec<f32> = (0..n).map(|i| (i % 23) as f32).collect();
+        let gap_lo = 10 * 60 / 6; // minute 10
+        let gap_hi = 30 * 60 / 6; // minute 30
+        for v in &mut values[gap_lo..gap_hi] {
+            *v = f32::NAN;
+        }
+        let ts = TimeSeries::from_values(0, 6, values);
+        for (rate, agg) in frequency_list().into_iter().flat_map(|r| {
+            [DownsampleAgg::Mean, DownsampleAgg::Max, DownsampleAgg::Sum].map(move |a| (r, a))
+        }) {
+            let r = resample(&ts, rate, agg, UpsampleFill::ForwardFill).unwrap();
+            assert_eq!(r.interval_secs(), rate);
+            let per = rate as usize; // seconds per target reading
+            for (i, v) in r.values().iter().enumerate() {
+                let t = i * per;
+                let inside = t >= 10 * 60 && t + per <= 30 * 60;
+                if inside {
+                    assert!(v.is_nan(), "rate {rate}s {agg:?}: gap leaked at t={t}s");
+                } else if t + per <= 10 * 60 || t >= 30 * 60 {
+                    assert!(!v.is_nan(), "rate {rate}s {agg:?}: data lost at t={t}s");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Suffix-delta iteration over a series for streaming consumers.
+//!
+//! A streaming engine wants the series as an ordered feed of two event
+//! kinds: runs of present samples (to push into the model) and runs of
+//! missing samples (gap boundaries that degrade windows / invalidate
+//! halos). [`StreamCursor`] walks a [`TimeSeries`] once, splitting at
+//! every NaN-run boundary and additionally capping present runs at a
+//! caller-chosen chunk size — the push stride. Events partition the
+//! series exactly: indices are contiguous, nothing is dropped or
+//! reordered, and the cursor never allocates (present runs are borrowed
+//! slices of the underlying values).
+
+use crate::series::TimeSeries;
+
+/// One step of a streamed series: either a run of present samples or a
+/// run of missing ones.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamEvent<'a> {
+    /// A gap-free run of samples starting at `index`, at most the
+    /// cursor's chunk length.
+    Samples {
+        /// Offset of `values[0]` within the series.
+        index: usize,
+        /// The samples themselves (no NaN inside).
+        values: &'a [f32],
+    },
+    /// A run of missing samples — a gap boundary for invalidation.
+    Gap {
+        /// Offset of the first missing sample.
+        index: usize,
+        /// Number of consecutive missing samples.
+        len: usize,
+    },
+}
+
+impl StreamEvent<'_> {
+    /// Offset of the event's first sample within the series.
+    pub fn index(&self) -> usize {
+        match self {
+            StreamEvent::Samples { index, .. } | StreamEvent::Gap { index, .. } => *index,
+        }
+    }
+
+    /// Number of samples the event covers.
+    pub fn len(&self) -> usize {
+        match self {
+            StreamEvent::Samples { values, .. } => values.len(),
+            StreamEvent::Gap { len, .. } => *len,
+        }
+    }
+
+    /// True for zero-length events (never produced by the cursor).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Iterator of [`StreamEvent`]s over a series: suffix deltas for a
+/// streaming engine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct StreamCursor<'a> {
+    values: &'a [f32],
+    pos: usize,
+    chunk: usize,
+}
+
+impl<'a> StreamCursor<'a> {
+    /// Walk `series` in present-runs of at most `chunk` samples (the push
+    /// stride) and unbounded gap runs.
+    pub fn new(series: &'a TimeSeries, chunk: usize) -> StreamCursor<'a> {
+        assert!(chunk > 0, "stream chunk must be positive");
+        StreamCursor {
+            values: series.values(),
+            pos: 0,
+            chunk,
+        }
+    }
+
+    /// Offset of the next event (== series length when exhausted).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Samples not yet emitted.
+    pub fn remaining(&self) -> usize {
+        self.values.len() - self.pos
+    }
+}
+
+impl<'a> Iterator for StreamCursor<'a> {
+    type Item = StreamEvent<'a>;
+
+    fn next(&mut self) -> Option<StreamEvent<'a>> {
+        let start = self.pos;
+        let rest = &self.values[start..];
+        let first = *rest.first()?;
+        let run = if first.is_nan() {
+            let len = rest.iter().take_while(|v| v.is_nan()).count();
+            self.pos += len;
+            StreamEvent::Gap { index: start, len }
+        } else {
+            let len = rest
+                .iter()
+                .take(self.chunk)
+                .take_while(|v| !v.is_nan())
+                .count();
+            self.pos += len;
+            StreamEvent::Samples {
+                index: start,
+                values: &rest[..len],
+            }
+        };
+        Some(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: Vec<f32>) -> TimeSeries {
+        TimeSeries::from_values(0, 30, values)
+    }
+
+    #[test]
+    fn events_partition_the_series_exactly() {
+        let nan = f32::NAN;
+        let ts = series(vec![1.0, 2.0, nan, nan, nan, 3.0, 4.0, 5.0, nan, 6.0]);
+        let events: Vec<StreamEvent<'_>> = StreamCursor::new(&ts, 16).collect();
+        assert_eq!(events.len(), 5);
+        assert_eq!(
+            events[0],
+            StreamEvent::Samples {
+                index: 0,
+                values: &[1.0, 2.0]
+            }
+        );
+        assert_eq!(events[1], StreamEvent::Gap { index: 2, len: 3 });
+        assert_eq!(
+            events[2],
+            StreamEvent::Samples {
+                index: 5,
+                values: &[3.0, 4.0, 5.0]
+            }
+        );
+        assert_eq!(events[3], StreamEvent::Gap { index: 8, len: 1 });
+        assert_eq!(events[4].index(), 9);
+        // Contiguity: each event starts where the previous ended.
+        let mut at = 0;
+        for e in &events {
+            assert_eq!(e.index(), at);
+            assert!(!e.is_empty());
+            at += e.len();
+        }
+        assert_eq!(at, ts.len());
+    }
+
+    #[test]
+    fn chunk_caps_present_runs_but_not_gaps() {
+        let mut values = vec![1.0f32; 10];
+        values.extend([f32::NAN; 7]);
+        values.extend([2.0f32; 3]);
+        let ts = series(values);
+        let events: Vec<StreamEvent<'_>> = StreamCursor::new(&ts, 4).collect();
+        let lens: Vec<usize> = events.iter().map(|e| e.len()).collect();
+        assert_eq!(lens, vec![4, 4, 2, 7, 3]);
+        assert!(matches!(events[3], StreamEvent::Gap { len: 7, .. }));
+    }
+
+    #[test]
+    fn cursor_tracks_position_and_handles_edges() {
+        let ts = series(vec![f32::NAN, f32::NAN]);
+        let mut cur = StreamCursor::new(&ts, 8);
+        assert_eq!(cur.remaining(), 2);
+        assert_eq!(cur.next(), Some(StreamEvent::Gap { index: 0, len: 2 }));
+        assert_eq!(cur.pos(), 2);
+        assert_eq!(cur.next(), None);
+        let empty = series(Vec::new());
+        assert_eq!(StreamCursor::new(&empty, 1).next(), None);
+    }
+}
