@@ -114,6 +114,18 @@ echo "ci: scalar-twin streaming_predict speedup ${twin_streaming}x (floor 3.0x)"
 awk -v s="$twin_streaming" 'BEGIN { exit !(s + 0 >= 3.0) }' \
     || { echo "ci: scalar-twin streaming_predict speedup ${twin_streaming}x is below the 3.0x floor" >&2; exit 1; }
 
+echo "==> serve: concurrency contracts (exactly-once freeze, flip-free batching, backpressure)"
+cargo test -q --test serve_concurrency
+
+echo "==> serve: micro-batch loadtest smoke (>=1k req/s, p99 <= 50 ms, 0 flips)"
+serve_log="target/ci_serve.log"
+DS_PAR_THREADS=2 \
+    cargo run -q --release -p ds-bench --bin loadtest -- --smoke --out target/ci_serve.json | tee "$serve_log"
+grep -q 'serve smoke: PASS' "$serve_log" \
+    || { echo "ci: serve loadtest smoke did not pass its gates" >&2; exit 1; }
+grep -q '"name": *"serve_throughput"' "$smoke_out" \
+    || { echo "ci: perf smoke is missing the serve_throughput case" >&2; exit 1; }
+
 echo "==> obs: trace smoke (DS_OBS=trace export must validate)"
 trace_json="target/ci_trace.json"
 trace_log="target/ci_trace.log"

@@ -21,16 +21,28 @@ pub struct BoundedCache<K: Ord + Clone, V> {
     map: BTreeMap<K, V>,
     order: VecDeque<K>,
     capacity: usize,
+    counters: Option<CacheCounters>,
 }
 
 impl<K: Ord + Clone, V> BoundedCache<K, V> {
     /// An empty cache holding at most `capacity` entries (`capacity` is
-    /// clamped to ≥ 1).
+    /// clamped to ≥ 1), with no observability counters attached.
     pub fn new(capacity: usize) -> BoundedCache<K, V> {
         BoundedCache {
             map: BTreeMap::new(),
             order: VecDeque::new(),
             capacity: capacity.max(1),
+            counters: None,
+        }
+    }
+
+    /// Like [`BoundedCache::new`], with ds-obs counters attached:
+    /// evictions tick `counters.evictions` automatically, and
+    /// [`BoundedCache::get_or_try_insert_with`] ticks hits/misses.
+    pub fn with_counters(capacity: usize, counters: CacheCounters) -> BoundedCache<K, V> {
+        BoundedCache {
+            counters: Some(counters),
+            ..BoundedCache::new(capacity)
         }
     }
 
@@ -62,13 +74,19 @@ impl<K: Ord + Clone, V> BoundedCache<K, V> {
     }
 
     /// Insert (or replace) `key`, evicting the oldest entry if the cache
-    /// is full. Replacing an existing key keeps its original age.
+    /// is full. Replacing an existing key keeps its original age. Each
+    /// eviction ticks the cache's `evictions` counter (if attached), so
+    /// `DS_OBS=summary` exposes when a bound is too tight for the
+    /// navigation pattern.
     pub fn insert(&mut self, key: K, value: V) {
         if self.map.insert(key.clone(), value).is_none() {
             self.order.push_back(key);
             if self.order.len() > self.capacity {
                 if let Some(oldest) = self.order.pop_front() {
                     self.map.remove(&oldest);
+                    if let Some(counters) = self.counters {
+                        ds_obs::counter_add(counters.evictions, 1);
+                    }
                 }
             }
         }
@@ -84,18 +102,21 @@ impl<K: Ord + Clone, V> BoundedCache<K, V> {
 
     /// Cached value for `key`, computing and inserting it on a miss.
     /// `compute` may fail; errors pass through without touching the cache.
-    /// Hits and misses tick the given ds-obs counters so `DS_OBS=summary`
-    /// shows navigation cache efficiency.
+    /// Hits and misses tick the cache's ds-obs counters (if attached) so
+    /// `DS_OBS=summary` shows navigation cache efficiency.
     pub fn get_or_try_insert_with<E>(
         &mut self,
-        counters: CacheCounters,
         key: K,
         compute: impl FnOnce(&mut Self) -> Result<V, E>,
     ) -> Result<&V, E> {
         if self.map.contains_key(&key) {
-            ds_obs::counter_add(counters.hits, 1);
+            if let Some(counters) = self.counters {
+                ds_obs::counter_add(counters.hits, 1);
+            }
         } else {
-            ds_obs::counter_add(counters.misses, 1);
+            if let Some(counters) = self.counters {
+                ds_obs::counter_add(counters.misses, 1);
+            }
             let value = compute(self)?;
             self.insert(key.clone(), value);
         }
@@ -103,14 +124,17 @@ impl<K: Ord + Clone, V> BoundedCache<K, V> {
     }
 }
 
-/// The hit/miss counter names of one cache, declared once as `'static`
-/// strings so the hot lookup path never allocates a counter name.
+/// The counter names of one cache, declared once as `'static` strings so
+/// the hot lookup path never allocates a counter name.
 #[derive(Debug, Clone, Copy)]
 pub struct CacheCounters {
     /// Counter ticked on a cache hit, e.g. `"cache.status_series.hits"`.
     pub hits: &'static str,
     /// Counter ticked on a cache miss.
     pub misses: &'static str,
+    /// Counter ticked when the bound forces out the oldest entry, e.g.
+    /// `"cache.status_series.evictions"`.
+    pub evictions: &'static str,
 }
 
 #[cfg(test)]
@@ -180,15 +204,16 @@ mod tests {
     const TEST_COUNTERS: CacheCounters = CacheCounters {
         hits: "cache.test.hits",
         misses: "cache.test.misses",
+        evictions: "cache.test.evictions",
     };
 
     #[test]
     fn get_or_try_insert_computes_once() {
-        let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
+        let mut c: BoundedCache<u32, u32> = BoundedCache::with_counters(4, TEST_COUNTERS);
         let mut calls = 0;
         for _ in 0..3 {
             let v = c
-                .get_or_try_insert_with(TEST_COUNTERS, 7, |_| {
+                .get_or_try_insert_with(7, |_| {
                     calls += 1;
                     Ok::<u32, ()>(42)
                 })
@@ -205,7 +230,7 @@ mod tests {
         struct Opaque(#[allow(dead_code)] u32);
         let mut c: BoundedCache<u32, Opaque> = BoundedCache::new(4);
         let v = c
-            .get_or_try_insert_with(TEST_COUNTERS, 1, |_| Ok::<_, ()>(Opaque(9)))
+            .get_or_try_insert_with(1, |_| Ok::<_, ()>(Opaque(9)))
             .unwrap();
         assert_eq!(v.0, 9);
     }
@@ -213,8 +238,36 @@ mod tests {
     #[test]
     fn get_or_try_insert_propagates_errors() {
         let mut c: BoundedCache<u32, u32> = BoundedCache::new(4);
-        let err = c.get_or_try_insert_with(TEST_COUNTERS, 1, |_| Err::<u32, &str>("boom"));
+        let err = c.get_or_try_insert_with(1, |_| Err::<u32, &str>("boom"));
         assert_eq!(err.unwrap_err(), "boom");
         assert!(c.is_empty());
+    }
+
+    /// Eviction must tick the cache's `evictions` counter — the
+    /// observable difference between a comfortably sized bound and one
+    /// that is thrashing.
+    #[test]
+    fn eviction_ticks_the_evictions_counter() {
+        const COUNTERS: CacheCounters = CacheCounters {
+            hits: "cache.evict_test.hits",
+            misses: "cache.evict_test.misses",
+            evictions: "cache.evict_test.evictions",
+        };
+        // Counters only record when ds-obs is enabled; take the obs lock
+        // shared by level-changing tests in this crate.
+        let _guard = crate::obs_test_lock();
+        ds_obs::set_level(ds_obs::Level::Summary);
+        let before = ds_obs::global().counter_get(COUNTERS.evictions);
+        let mut c: BoundedCache<u32, u32> = BoundedCache::with_counters(2, COUNTERS);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(ds_obs::global().counter_get(COUNTERS.evictions), before);
+        c.insert(3, 3); // bound is 2: evicts key 1
+        assert_eq!(ds_obs::global().counter_get(COUNTERS.evictions), before + 1);
+        assert_eq!(c.get(&1), None);
+        // Replacement is not an eviction.
+        c.insert(3, 30);
+        assert_eq!(ds_obs::global().counter_get(COUNTERS.evictions), before + 1);
+        ds_obs::set_level(ds_obs::Level::Off);
     }
 }

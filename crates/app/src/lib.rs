@@ -35,3 +35,11 @@ pub mod scenarios;
 pub mod state;
 
 pub use state::AppState;
+
+/// Serializes tests that flip the process-global ds-obs level (shared by
+/// the repl and cache test modules; the level is a process global).
+#[cfg(test)]
+pub(crate) fn obs_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

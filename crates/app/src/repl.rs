@@ -13,6 +13,9 @@ use std::io::{BufRead, Write};
 pub struct Repl {
     state: AppState,
     bench: Option<BenchmarkTable>,
+    /// A running ds-serve HTTP server sharing this session's trained
+    /// models (`serve start`), if one has been started.
+    server: Option<ds_serve::ServerHandle>,
 }
 
 /// Outcome of executing one command.
@@ -26,7 +29,11 @@ pub enum Outcome {
 impl Repl {
     /// Create a REPL.
     pub fn new(state: AppState, bench: Option<BenchmarkTable>) -> Repl {
-        Repl { state, bench }
+        Repl {
+            state,
+            bench,
+            server: None,
+        }
     }
 
     /// The help text.
@@ -48,6 +55,7 @@ impl Repl {
          \x20 benchmark <dataset> [measure]   benchmark frame (B.1)\n\
          \x20 labels                   label-efficiency comparison (B.2)\n\
          \x20 scenario <1|2|3>         run a demonstration scenario\n\
+         \x20 serve <start [addr]|status|stop>  HTTP serving over the session's plans\n\
          \x20 obs [level|reset]        live observability profile (DS_OBS)\n\
          \x20 profile                  hot spans, worker busy/idle, SLO verdicts\n\
          \x20 help                     this text\n\
@@ -212,6 +220,86 @@ impl Repl {
                 },
                 _ => "usage: scenario <1|2|3> [appliance|dataset]\n".into(),
             },
+            "serve" => match arg1 {
+                Some("start") => match &self.server {
+                    Some(handle) => format!(
+                        "server already running at http://{} (serve stop first)\n",
+                        handle.addr()
+                    ),
+                    None => {
+                        let registry = std::sync::Arc::new(ds_serve::ModelRegistry::new());
+                        let plans = self.state.register_serving_models(&registry)?;
+                        if plans.is_empty() {
+                            "select at least one appliance first (select <appliance>), \
+                             then serve start\n"
+                                .into()
+                        } else {
+                            let config = ds_serve::ServeConfig {
+                                addr: arg2.unwrap_or("127.0.0.1:8732").to_string(),
+                                ..ds_serve::ServeConfig::default()
+                            };
+                            let workers = config.workers;
+                            match ds_serve::Server::start(config, registry) {
+                                Ok(handle) => {
+                                    let mut out = format!(
+                                        "serving {} model(s) at http://{} \
+                                         ({} worker(s), micro-batch up to {} windows)\n",
+                                        plans.len(),
+                                        handle.addr(),
+                                        workers.max(1),
+                                        handle.batch_windows(),
+                                    );
+                                    for (preset, appliance, window) in &plans {
+                                        out.push_str(&format!(
+                                            "  {preset}/{appliance} window {window}\n"
+                                        ));
+                                    }
+                                    out.push_str(
+                                        "endpoints: POST /api/v1/{detect,localize,\
+                                         status-series,push}, GET /api/v1/stats\n",
+                                    );
+                                    self.server = Some(handle);
+                                    out
+                                }
+                                Err(e) => format!("error: could not start server: {e}\n"),
+                            }
+                        }
+                    }
+                },
+                Some("status") => match &self.server {
+                    Some(handle) => {
+                        use std::sync::atomic::Ordering::Relaxed;
+                        let stats = handle.stats();
+                        format!(
+                            "serving at http://{}\n\
+                             \x20 requests {}  rejected {}  client errors {}\n\
+                             \x20 batches {} (full {}, deadline {})  \
+                             mean fill {:.2}/{}\n\
+                             \x20 steady-state allocs in the batch kernel: {}\n",
+                            handle.addr(),
+                            stats.requests.load(Relaxed),
+                            stats.rejected.load(Relaxed),
+                            stats.client_errors.load(Relaxed),
+                            stats.batches.load(Relaxed),
+                            stats.full_batches.load(Relaxed),
+                            stats.deadline_batches.load(Relaxed),
+                            stats.mean_batch_fill(handle.batch_windows()),
+                            handle.batch_windows(),
+                            stats.steady_allocs.load(Relaxed),
+                        )
+                    }
+                    None => "no server running (serve start [addr])\n".into(),
+                },
+                Some("stop") => match self.server.take() {
+                    Some(handle) => {
+                        let addr = handle.addr();
+                        handle.shutdown();
+                        format!("server at http://{addr} stopped\n")
+                    }
+                    None => "no server running\n".into(),
+                },
+                _ => "usage: serve <start [addr]|status|stop>\n".into(),
+            },
             "obs" => match arg1 {
                 None => {
                     let mut out = ds_obs::render_summary();
@@ -301,12 +389,9 @@ mod tests {
         assert_eq!(run(&mut r, "quit"), "<quit>");
     }
 
-    /// Serializes tests that flip the process-global observability level.
-    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
-
     #[test]
     fn obs_command_renders_profile_and_switches_level() {
-        let _guard = OBS_LOCK.lock().unwrap();
+        let _guard = crate::obs_test_lock();
         let mut r = repl();
         assert!(run(&mut r, "help").contains("obs [level|reset]"));
         // Default (tests run with observability off): the summary renders
@@ -340,7 +425,7 @@ mod tests {
 
     #[test]
     fn profile_command_reports_hot_spans_and_slo_verdicts() {
-        let _guard = OBS_LOCK.lock().unwrap();
+        let _guard = crate::obs_test_lock();
         // `repl()` builds an AppState, which declares the frozen-latency
         // budget.
         let mut r = repl();
@@ -402,6 +487,64 @@ mod tests {
         assert!(run(&mut r, "select kettle").contains("kettle selected"));
         assert!(run(&mut r, "probs").contains("ensemble"));
         assert!(run(&mut r, "perdevice kettle").contains("Per device"));
+    }
+
+    /// `serve start` exports the session's trained plans over HTTP; the
+    /// served decisions come from the same FrozenCamal plans the views
+    /// use, so a REPL session doubles as a serving endpoint.
+    #[test]
+    fn serve_command_starts_a_queryable_server() {
+        let mut r = repl();
+        assert!(run(&mut r, "serve status").contains("no server running"));
+        assert!(run(&mut r, "serve stop").contains("no server running"));
+        assert!(run(&mut r, "serve").contains("usage: serve"));
+        let houses = run(&mut r, "houses ukdale");
+        let first_house: u32 = houses
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let _ = run(&mut r, &format!("load UKDALE {first_house}"));
+        assert!(run(&mut r, "serve start 127.0.0.1:0").contains("select at least one appliance"));
+        let _ = run(&mut r, "select kettle");
+        let started = run(&mut r, "serve start 127.0.0.1:0");
+        assert!(started.contains("serving 1 model(s)"), "{started}");
+        let addr = started
+            .split("http://")
+            .nth(1)
+            .unwrap()
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .to_string();
+        let window: usize = started
+            .lines()
+            .find(|l| l.contains("/kettle window"))
+            .unwrap()
+            .rsplit(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(run(&mut r, "serve start").contains("already running"));
+
+        let mut client = ds_serve::Client::connect(&addr).unwrap();
+        let values = vec!["0.5"; window].join(",");
+        let body =
+            format!("{{\"preset\":\"UKDALE\",\"appliance\":\"kettle\",\"values\":[{values}]}}");
+        let (status, reply) = client.post("/api/v1/detect", &body).unwrap();
+        assert_eq!(status, 200, "{reply}");
+        assert!(reply.contains("\"probability\""), "{reply}");
+
+        let status_view = run(&mut r, "serve status");
+        assert!(status_view.contains("requests 1"), "{status_view}");
+        assert!(run(&mut r, "serve stop").contains("stopped"));
+        assert!(run(&mut r, "serve status").contains("no server running"));
     }
 
     #[test]

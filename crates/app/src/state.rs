@@ -60,10 +60,32 @@ const STREAM_CACHE_CAP: usize = 4;
 /// Stride marker for batch-computed cache entries (no streaming push).
 const BATCH_STRIDE: usize = 0;
 
-/// Hit/miss counters of the streaming-engine cache.
+/// Counters of the streaming-engine cache.
 const STREAM_COUNTERS: CacheCounters = CacheCounters {
     hits: "cache.streaming.hits",
     misses: "cache.streaming.misses",
+    evictions: "cache.streaming.evictions",
+};
+
+/// Counters of the frozen-plan cache.
+const FROZEN_COUNTERS: CacheCounters = CacheCounters {
+    hits: "cache.frozen_plan.hits",
+    misses: "cache.frozen_plan.misses",
+    evictions: "cache.frozen_plan.evictions",
+};
+
+/// Counters of the whole-series status cache.
+const STATUS_COUNTERS: CacheCounters = CacheCounters {
+    hits: "cache.status_series.hits",
+    misses: "cache.status_series.misses",
+    evictions: "cache.status_series.evictions",
+};
+
+/// Counters of the per-window localization cache.
+const WINDOW_COUNTERS: CacheCounters = CacheCounters {
+    hits: "cache.window_localization.hits",
+    misses: "cache.window_localization.misses",
+    evictions: "cache.window_localization.evictions",
 };
 
 /// Push stride (samples) the app feeds its streaming engines with: w/4,
@@ -196,10 +218,10 @@ impl AppState {
             config,
             catalog,
             models: BTreeMap::new(),
-            frozen: BoundedCache::new(FROZEN_CACHE_CAP),
-            streams: BoundedCache::new(STREAM_CACHE_CAP),
-            status_cache: BoundedCache::new(STATUS_CACHE_CAP),
-            window_cache: BoundedCache::new(WINDOW_CACHE_CAP),
+            frozen: BoundedCache::with_counters(FROZEN_CACHE_CAP, FROZEN_COUNTERS),
+            streams: BoundedCache::with_counters(STREAM_CACHE_CAP, STREAM_COUNTERS),
+            status_cache: BoundedCache::with_counters(STATUS_CACHE_CAP, STATUS_COUNTERS),
+            window_cache: BoundedCache::with_counters(WINDOW_CACHE_CAP, WINDOW_COUNTERS),
             dataset: None,
             house_id: None,
             cursor: None,
@@ -395,6 +417,38 @@ impl AppState {
         Ok(self.models.get(&key).expect("inserted above"))
     }
 
+    /// Export every *selected* appliance's trained model (training on
+    /// first use) into a ds-serve [`ds_serve::ModelRegistry`], so the
+    /// REPL's `serve` command shares the session's models — and their
+    /// int8 calibration sets — with the HTTP front. Returns the
+    /// registered `(preset, appliance, window_samples)` identities.
+    /// Frozen plans are *not* exported: the server freezes per
+    /// (plan key) on first request, exactly like the in-app cache.
+    pub fn register_serving_models(
+        &mut self,
+        registry: &ds_serve::ModelRegistry,
+    ) -> Result<Vec<(String, String, usize)>, AppError> {
+        let kinds = self.selected.clone();
+        let mut registered = Vec::with_capacity(kinds.len());
+        for kind in kinds {
+            let (preset, _) = self.loaded()?;
+            let preset_name = preset.name().to_string();
+            let window_samples = self
+                .window_length
+                .samples(self.current_window()?.interval_secs());
+            let trained = self.trained(kind)?;
+            registry.register(
+                &preset_name,
+                kind.slug(),
+                window_samples,
+                trained.camal.clone(),
+                trained.calib.clone(),
+            );
+            registered.push((preset_name, kind.slug().to_string(), window_samples));
+        }
+        Ok(registered)
+    }
+
     /// The frozen serving plan for `(current dataset, kind)` at the current
     /// window length and the session's [`AppState::precision`]: BN-folded,
     /// ReLU-fused, arena-backed — int8-quantized on the retained
@@ -415,7 +469,7 @@ impl AppState {
             precision,
         );
         if self.frozen.get(&key).is_none() {
-            ds_obs::counter_add("cache.frozen_plan.misses", 1);
+            ds_obs::counter_add(FROZEN_COUNTERS.misses, 1);
             let trained = self.trained(kind)?;
             let plan = match precision {
                 Precision::F32 => trained.camal.freeze(),
@@ -423,7 +477,7 @@ impl AppState {
             };
             self.frozen.insert(key.clone(), plan);
         } else {
-            ds_obs::counter_add("cache.frozen_plan.hits", 1);
+            ds_obs::counter_add(FROZEN_COUNTERS.hits, 1);
         }
         Ok(self.frozen.get_mut(&key).expect("present or just inserted"))
     }
@@ -521,10 +575,10 @@ impl AppState {
         kind: ApplianceKind,
     ) -> Result<StatusSeries, AppError> {
         if let Some(hit) = self.status_cache.get(&key) {
-            ds_obs::counter_add("cache.status_series.hits", 1);
+            ds_obs::counter_add(STATUS_COUNTERS.hits, 1);
             return Ok(hit.clone());
         }
-        ds_obs::counter_add("cache.status_series.misses", 1);
+        ds_obs::counter_add(STATUS_COUNTERS.misses, 1);
         let status = self.streaming_engine(kind, series, window)?.status_series();
         self.status_cache.insert(key, status.clone());
         Ok(status)
@@ -612,11 +666,11 @@ impl AppState {
                 window_index,
             );
             if let Some(hit) = self.window_cache.get(&key) {
-                ds_obs::counter_add("cache.window_localization.hits", 1);
+                ds_obs::counter_add(WINDOW_COUNTERS.hits, 1);
                 out.push((kind, hit.clone()));
                 continue;
             }
-            ds_obs::counter_add("cache.window_localization.misses", 1);
+            ds_obs::counter_add(WINDOW_COUNTERS.misses, 1);
             let localization = if clean_window {
                 // Clean aligned windows replay from the streaming slabs —
                 // bit-identical to the batch localization by the

@@ -1,0 +1,158 @@
+//! Load harness for the ds-serve micro-batching server: simulates a
+//! fleet of meters reporting at 30 s / 1 min / 10 min cadences over
+//! closed-loop keep-alive connections, diffs every response against a
+//! direct-call oracle, and probes the admission bound.
+//!
+//! ```text
+//! loadtest [--smoke] [--out target/serve_load.json]
+//!          [--requests N] [--meters N] [--window N] [--connections N]
+//! ```
+//!
+//! Under `--smoke` the run enforces the CI gates and prints a
+//! `serve smoke: PASS (...)` line for ci.sh to grep:
+//!
+//! - throughput ≥ 1000 req/s and p99 ≤ 50 ms on the smoke shape,
+//! - zero decision flips against the direct-call oracle,
+//! - zero non-200s in the main phase (admission never trips when the
+//!   server is provisioned for the schedule),
+//! - the overload probe sees both 503s (the queue bound works) and 200s
+//!   (it only sheds the excess), then recovers,
+//! - zero steady-state allocations inside batched kernels (asserted
+//!   whenever ds-obs recording is off).
+
+use ds_bench::perf::{trained_serving_model, PerfScale};
+use ds_bench::serveload::{self, LoadConfig};
+
+fn main() {
+    ds_obs::install_panic_hook();
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut requests: Option<usize> = None;
+    let mut meters: Option<usize> = None;
+    let mut window: Option<usize> = None;
+    let mut connections: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut usize_arg = |name: &str| match args.next().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("{name} wants a positive integer");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next(),
+            "--requests" => requests = Some(usize_arg("--requests")),
+            "--meters" => meters = Some(usize_arg("--meters")),
+            "--window" => window = Some(usize_arg("--window")),
+            "--connections" => connections = Some(usize_arg("--connections")),
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+    }
+
+    let scale = if smoke {
+        PerfScale::smoke()
+    } else {
+        PerfScale::full()
+    };
+    let mut config = LoadConfig::from_scale(scale);
+    if let Some(n) = requests {
+        config.requests = n;
+    }
+    if let Some(n) = meters {
+        config.meters = n;
+    }
+    if let Some(n) = window {
+        config.window = n;
+    }
+    if let Some(n) = connections {
+        config.connections = n;
+    }
+
+    println!(
+        "training serving model, then loading {} requests / {} meters / window {} over {} connection(s), {} worker(s)",
+        config.requests, config.meters, config.window, config.connections, config.workers
+    );
+    let model = trained_serving_model(scale);
+    let report = serveload::run(&config, &model);
+    print!("{}", serveload::render(&report));
+
+    if let Some(path) = &out_path {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        ds_bench::report::write_json(&report, path)
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    if smoke {
+        let mut failures: Vec<String> = Vec::new();
+        let mut gate = |pass: bool, what: String| {
+            if !pass {
+                failures.push(what);
+            }
+        };
+        gate(
+            report.req_per_sec >= 1000.0,
+            format!(
+                "throughput {:.0} req/s below the 1000 req/s floor",
+                report.req_per_sec
+            ),
+        );
+        gate(
+            report.p99_ms <= 50.0,
+            format!("p99 {:.2} ms over the 50 ms SLO", report.p99_ms),
+        );
+        gate(
+            report.flips == 0,
+            format!("{} decision flips vs the direct-call oracle", report.flips),
+        );
+        gate(
+            report.errors == 0,
+            format!("{} non-200s in the main phase", report.errors),
+        );
+        gate(
+            report.push_oks > 0,
+            "streaming push smoke got no 200s".to_string(),
+        );
+        gate(
+            report.overload_rejected > 0,
+            "overload probe never tripped the queue bound".to_string(),
+        );
+        gate(
+            report.overload_ok > 0,
+            "overload probe starved every request".to_string(),
+        );
+        gate(
+            report.recovered,
+            "server did not recover after the overload burst".to_string(),
+        );
+        if !ds_obs::enabled() {
+            gate(
+                report.steady_allocs == 0,
+                format!(
+                    "{} steady-state allocations in batched kernels",
+                    report.steady_allocs
+                ),
+            );
+        }
+        if failures.is_empty() {
+            println!(
+                "serve smoke: PASS ({:.0} req/s, p50 {:.2} ms, p99 {:.2} ms, {} flips, fill {:.2}, {} overload 503s)",
+                report.req_per_sec,
+                report.p50_ms,
+                report.p99_ms,
+                report.flips,
+                report.mean_batch_fill,
+                report.overload_rejected,
+            );
+        } else {
+            for failure in &failures {
+                eprintln!("serve smoke: FAIL — {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

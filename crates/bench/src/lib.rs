@@ -26,6 +26,7 @@ pub mod methods;
 pub mod perf;
 pub mod regress;
 pub mod report;
+pub mod serveload;
 pub mod speed;
 
 pub use methods::{fit_method, CamalMethod, MethodName, ALL_METHODS};

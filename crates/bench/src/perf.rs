@@ -84,6 +84,28 @@ pub struct PerfCase {
     /// thread, averaged over the timed iterations. Zero for the frozen
     /// cases in steady state (asserted when observability is off).
     pub allocs_per_window: f64,
+    /// Serving-specific measurements, present only on the
+    /// `serve_throughput` case (absent in reports written before it
+    /// existed).
+    #[serde(default)]
+    pub serve: Option<ServeStats>,
+}
+
+/// HTTP-serving measurements attached to the `serve_throughput` case.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Served requests per second over the timed closed-loop phase.
+    pub req_per_sec: f64,
+    /// Median per-request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency, milliseconds. The published
+    /// SLO is 50 ms; the regression sentinel enforces it.
+    pub p99_ms: f64,
+    /// Mean micro-batch fill ratio in `[0, 1]`.
+    pub mean_batch_fill: f64,
+    /// Non-200 responses during the timed phase (zero in a published
+    /// report: the main server is provisioned for the schedule).
+    pub errors: u64,
 }
 
 /// The cases measured at one worker-team size.
@@ -112,6 +134,17 @@ pub struct PerfReport {
     /// treats like any non-"avx2" label: scalar floors.
     #[serde(default)]
     pub simd: String,
+    /// Logical cores of the measuring host
+    /// (`std::thread::available_parallelism`), recorded once so a
+    /// report's numbers can be read against the hardware that produced
+    /// them. Zero in reports written before the field existed.
+    #[serde(default)]
+    pub host_cores: usize,
+    /// Ambient ds-par worker-team size the run started under (the
+    /// `DS_PAR_THREADS` resolution) before any `--threads` override.
+    /// Zero in reports written before the field existed.
+    #[serde(default)]
+    pub par_threads: usize,
     /// One entry per `--threads` value, in request order.
     pub sweeps: Vec<PerfSweep>,
 }
@@ -250,6 +283,7 @@ fn build_case(
         bit_identical,
         decision_flips,
         allocs_per_window,
+        serve: None,
     }
 }
 
@@ -548,11 +582,12 @@ fn train_epoch_case(scale: PerfScale) -> PerfCase {
 }
 
 /// A briefly trained paper-shape model (4 members, 8→16 channels) for the
-/// frozen serving cases. Training moves the BatchNorm running statistics
-/// off their initialization and pushes probabilities away from the 0.5
-/// threshold, so decision-identity is measured where it is meaningful —
-/// an untrained ensemble sits exactly on the decision boundary.
-fn trained_serving_model(scale: PerfScale) -> Camal {
+/// frozen serving cases (public: the `loadtest` binary reuses it).
+/// Training moves the BatchNorm running statistics off their
+/// initialization and pushes probabilities away from the 0.5 threshold,
+/// so decision-identity is measured where it is meaningful — an untrained
+/// ensemble sits exactly on the decision boundary.
+pub fn trained_serving_model(scale: PerfScale) -> Camal {
     let mut cfg = CamalConfig {
         channels: vec![8, 16],
         ..CamalConfig::default()
@@ -874,6 +909,41 @@ fn streaming_predict_case(scale: PerfScale, model: &Camal) -> PerfCase {
     )
 }
 
+/// HTTP serving throughput: the closed-loop loadtest
+/// ([`crate::serveload`]) against the direct-call baseline over the same
+/// request sequence. The "baseline" is sequential in-process
+/// single-window plan calls (what clients would pay with no server), the
+/// "optimized" path is the full micro-batching HTTP server — so the
+/// speedup reads as "what serving costs (HTTP + JSON framing) net of
+/// what cross-request batching recovers", and parity-ish values are the
+/// expected shape. `bit_identical` means the loadtest oracle saw zero
+/// decision flips; `allocs_per_window` is the server's own
+/// steady-allocation counter per request.
+fn serve_throughput_case(scale: PerfScale, model: &Camal) -> PerfCase {
+    let config = crate::serveload::LoadConfig::from_scale(scale);
+    let report = crate::serveload::run(&config, model);
+    let clean =
+        report.flips == 0 && report.errors == 0 && report.overload_rejected > 0 && report.recovered;
+    let mut case = build_case(
+        "serve_throughput",
+        report.requests,
+        1,
+        clean,
+        report.flips,
+        report.direct_secs,
+        report.elapsed_secs,
+        report.steady_allocs as f64 / report.requests.max(1) as f64,
+    );
+    case.serve = Some(ServeStats {
+        req_per_sec: report.req_per_sec,
+        p50_ms: report.p50_ms,
+        p99_ms: report.p99_ms,
+        mean_batch_fill: report.mean_batch_fill,
+        errors: report.errors,
+    });
+    case
+}
+
 fn run_cases(scale: PerfScale, model: &Camal) -> Vec<PerfCase> {
     vec![
         conv_forward_case(scale),
@@ -885,6 +955,7 @@ fn run_cases(scale: PerfScale, model: &Camal) -> Vec<PerfCase> {
         quantized_predict_case(scale, model),
         frozen_localize_case(scale, model),
         streaming_predict_case(scale, model),
+        serve_throughput_case(scale, model),
     ]
 }
 
@@ -914,6 +985,8 @@ pub fn run_sweep(scale: PerfScale, smoke: bool, thread_counts: &[usize]) -> Perf
     PerfReport {
         smoke,
         simd: simd::label().to_string(),
+        host_cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        par_threads: ds_par::threads(),
         sweeps,
     }
 }
@@ -923,9 +996,14 @@ pub fn run_suite(scale: PerfScale, smoke: bool) -> PerfReport {
     run_sweep(scale, smoke, &[ds_par::threads()])
 }
 
-/// Render a report as aligned text tables, one per sweep.
+/// Render a report as aligned text tables, one per sweep, under a header
+/// naming the host the numbers came from.
 pub fn render(report: &PerfReport) -> String {
     let mut out = String::new();
+    out.push_str(&format!(
+        "host: {} core(s), ds-par team {}, simd {}\n",
+        report.host_cores, report.par_threads, report.simd
+    ));
     for sweep in &report.sweeps {
         let rows: Vec<Vec<String>> = sweep
             .cases
@@ -962,6 +1040,19 @@ pub fn render(report: &PerfReport) -> String {
                 &rows,
             )
         ));
+        for case in &sweep.cases {
+            if let Some(serve) = &case.serve {
+                out.push_str(&format!(
+                    "serving: {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms (SLO 50 ms), \
+                     batch fill {:.2}, {} errors\n",
+                    serve.req_per_sec,
+                    serve.p50_ms,
+                    serve.p99_ms,
+                    serve.mean_batch_fill,
+                    serve.errors,
+                ));
+            }
+        }
     }
     out
 }
@@ -979,8 +1070,10 @@ mod tests {
         };
         let report = run_suite(tiny, true);
         assert_eq!(report.sweeps.len(), 1);
+        assert!(report.host_cores >= 1);
+        assert!(report.par_threads >= 1);
         let cases = &report.sweeps[0].cases;
-        assert_eq!(cases.len(), 9);
+        assert_eq!(cases.len(), 10);
         for c in cases {
             assert!(c.bit_identical, "{} diverged", c.name);
             assert_eq!(c.decision_flips, 0, "{} flipped decisions", c.name);
@@ -996,11 +1089,20 @@ mod tests {
             "quantized_predict",
             "frozen_localize",
             "streaming_predict",
+            "serve_throughput",
         ] {
             let c = cases.iter().find(|c| c.name == name).unwrap();
             assert_eq!(c.allocs_per_window, 0.0, "{name} allocated");
         }
+        let serve = cases
+            .iter()
+            .find(|c| c.name == "serve_throughput")
+            .and_then(|c| c.serve.as_ref())
+            .expect("serve case carries serving stats");
+        assert!(serve.req_per_sec > 0.0);
+        assert_eq!(serve.errors, 0);
         let table = render(&report);
+        assert!(table.contains("host:"));
         assert!(table.contains("conv_forward"));
         assert!(table.contains("e2e_localize"));
         assert!(table.contains("train_epoch"));
@@ -1008,6 +1110,8 @@ mod tests {
         assert!(table.contains("quantized_predict"));
         assert!(table.contains("frozen_localize"));
         assert!(table.contains("streaming_predict"));
+        assert!(table.contains("serve_throughput"));
+        assert!(table.contains("req/s"));
     }
 
     #[test]
@@ -1022,7 +1126,7 @@ mod tests {
         assert_eq!(report.sweeps[0].threads, 1);
         assert_eq!(report.sweeps[1].threads, 2);
         for sweep in &report.sweeps {
-            assert_eq!(sweep.cases.len(), 9);
+            assert_eq!(sweep.cases.len(), 10);
         }
     }
 }

@@ -35,6 +35,15 @@
 //!   with **no** `streaming_predict` case at all fails outright, even
 //!   against a pre-streaming baseline — the streaming path losing its
 //!   perf coverage must never read as a pass.
+//! - **Serving cases** (`serve_throughput`) compare the micro-batching
+//!   HTTP server against direct in-process calls over the same request
+//!   sequence, so parity-ish speedups are the expected shape: the
+//!   absolute floor ([`SERVE_SPEEDUP_FLOOR`]) only rejects a collapse,
+//!   the zero-alloc ceiling applies to the server's in-kernel
+//!   allocation counter, and a fifth check holds the recorded p99
+//!   against the published 50 ms SLO ([`SERVE_P99_SLO_MS`]). Like the
+//!   streaming case, a fresh run missing `serve_throughput` fails
+//!   outright.
 //! - Relative floors only apply when the fresh run and the baseline were
 //!   measured under the same SIMD dispatch — comparing a scalar twin run
 //!   against a vectorized baseline ratio would fail every case for the
@@ -130,6 +139,23 @@ fn is_quant_case(name: &str) -> bool {
 fn is_streaming_case(name: &str) -> bool {
     name.starts_with("streaming_")
 }
+
+fn is_serve_case(name: &str) -> bool {
+    name.starts_with("serve_")
+}
+
+/// Absolute floor for the `serve_throughput` speedup (direct sequential
+/// in-process calls vs the full micro-batching HTTP server over the same
+/// request sequence). Parity-ish values are the expected shape — the
+/// served path pays HTTP framing and JSON on every request and wins some
+/// back through cross-request batching — so the floor only rejects a
+/// collapse where serving costs several times the bare compute. Both
+/// sides run the same kernels, so no SIMD split.
+pub const SERVE_SPEEDUP_FLOOR: f64 = 0.4;
+
+/// Published serving latency SLO: p99 at or under 50 ms on the smoke
+/// shape. Enforced whenever the fresh run recorded serving stats.
+pub const SERVE_P99_SLO_MS: f64 = 50.0;
 
 /// Absolute streaming speedup floor under AVX2 dispatch: the published
 /// claim is ≥ 5× amortized vs per-push full recompute at ≥ 75 % overlap
@@ -283,6 +309,8 @@ fn judge_case(
         policy
             .streaming_floor()
             .max(relative(FROZEN_RELATIVE_FLOOR))
+    } else if is_serve_case(name) {
+        SERVE_SPEEDUP_FLOOR.max(relative(RELATIVE_SPEEDUP_FLOOR))
     } else if is_frozen_case(name) {
         policy.frozen_floor().max(relative(FROZEN_RELATIVE_FLOOR))
     } else {
@@ -298,7 +326,13 @@ fn judge_case(
 
     // Allocation ceiling. Quantized serving shares the frozen plan's
     // zero-alloc contract: the arena (qbuf included) is preallocated.
-    let ceiling = if is_frozen_case(name) || is_quant_case(name) || is_streaming_case(name) {
+    // The HTTP serving case reports allocations *inside batched kernel
+    // calls* per request, so it inherits the same contract.
+    let ceiling = if is_frozen_case(name)
+        || is_quant_case(name)
+        || is_streaming_case(name)
+        || is_serve_case(name)
+    {
         FROZEN_ALLOCS_CEILING
     } else {
         (base.allocs_per_window * ALLOCS_RELATIVE_CEILING)
@@ -311,6 +345,20 @@ fn judge_case(
         ceiling,
         fresh.allocs_per_window <= ceiling,
     );
+
+    // Serving cases additionally carry the latency SLO whenever the
+    // fresh run recorded serving stats (older reports have none).
+    if is_serve_case(name) {
+        if let Some(serve) = &fresh.serve {
+            out.push(
+                "p99 within SLO",
+                base.serve.as_ref().map_or(0.0, |s| s.p99_ms),
+                serve.p99_ms,
+                SERVE_P99_SLO_MS,
+                serve.p99_ms <= SERVE_P99_SLO_MS,
+            );
+        }
+    }
 }
 
 /// Judge `fresh` against `baseline`. Sweeps pair by thread count; cases
@@ -329,6 +377,12 @@ pub fn judge(baseline: &PerfReport, fresh: &PerfReport) -> RegressVerdict {
         notes.push(format!(
             "simd dispatch differs (baseline {:?}, fresh {:?}); absolute floors only",
             baseline.simd, fresh.simd
+        ));
+    }
+    if fresh.host_cores > 0 {
+        notes.push(format!(
+            "fresh run host: {} core(s), ds-par team {}, simd {:?}",
+            fresh.host_cores, fresh.par_threads, fresh.simd
         ));
     }
 
@@ -399,6 +453,21 @@ pub fn judge(baseline: &PerfReport, fresh: &PerfReport) -> RegressVerdict {
         }
         .push("streaming case present in fresh run", 1.0, 0.0, 1.0, false);
     }
+    // Same for the HTTP serving case: losing the serve_throughput
+    // measurement (and with it the flip-oracle and SLO gates) must never
+    // read as a pass.
+    if !fresh
+        .sweeps
+        .iter()
+        .any(|s| s.cases.iter().any(|c| c.name == "serve_throughput"))
+    {
+        CaseChecks {
+            checks: &mut checks,
+            threads: fresh.sweeps.first().map_or(0, |s| s.threads),
+            case: "serve_throughput",
+        }
+        .push("serve case present in fresh run", 1.0, 0.0, 1.0, false);
+    }
 
     RegressVerdict {
         // Zero overlap is a failure: an incomparable run proves nothing.
@@ -468,10 +537,18 @@ mod tests {
             "baseline must pass against itself:\n{}",
             render(&verdict)
         );
-        // Every sweep × case compared, 4 checks each.
+        // Every sweep × case compared, 4 checks each, plus the p99 SLO
+        // check on every serve case that recorded stats.
         let cases: usize = report.sweeps.iter().map(|s| s.cases.len()).sum();
+        let serve_stats: usize = report
+            .sweeps
+            .iter()
+            .flat_map(|s| &s.cases)
+            .filter(|c| c.serve.is_some())
+            .count();
+        assert!(serve_stats > 0, "committed baseline must carry serve stats");
         assert_eq!(verdict.compared, cases);
-        assert_eq!(verdict.checks.len(), cases * 4);
+        assert_eq!(verdict.checks.len(), cases * 4 + serve_stats);
     }
 
     #[test]
@@ -542,13 +619,28 @@ mod tests {
             bit_identical: true,
             decision_flips: 0,
             allocs_per_window: 0.0,
+            serve: None,
         }
+    }
+
+    fn synthetic_serve_case(speedup: f64, p99_ms: f64) -> PerfCase {
+        let mut case = synthetic_case("serve_throughput", speedup);
+        case.serve = Some(crate::perf::ServeStats {
+            req_per_sec: 2000.0,
+            p50_ms: 4.0,
+            p99_ms,
+            mean_batch_fill: 0.5,
+            errors: 0,
+        });
+        case
     }
 
     fn synthetic_report(simd: &str, cases: Vec<PerfCase>) -> PerfReport {
         PerfReport {
             smoke: true,
             simd: simd.to_string(),
+            host_cores: 1,
+            par_threads: 1,
             sweeps: vec![crate::perf::PerfSweep { threads: 1, cases }],
         }
     }
@@ -563,6 +655,7 @@ mod tests {
                 synthetic_case("frozen_predict", 5.5),
                 synthetic_case("quantized_predict", 2.4),
                 synthetic_case("streaming_predict", 8.0),
+                synthetic_serve_case(0.9, 6.0),
             ],
         );
         let good = synthetic_report(
@@ -571,6 +664,7 @@ mod tests {
                 synthetic_case("frozen_predict", 5.0),
                 synthetic_case("quantized_predict", 2.0),
                 synthetic_case("streaming_predict", 7.0),
+                synthetic_serve_case(0.8, 8.0),
             ],
         );
         let verdict = judge(&base, &good);
@@ -584,6 +678,7 @@ mod tests {
                 synthetic_case("frozen_predict", 5.0),
                 synthetic_case("quantized_predict", 1.2),
                 synthetic_case("streaming_predict", 7.0),
+                synthetic_serve_case(0.8, 8.0),
             ],
         );
         let verdict = judge(&base, &collapsed);
@@ -607,6 +702,7 @@ mod tests {
                 synthetic_case("quantized_predict", 2.4),
                 synthetic_case("streaming_predict", 8.0),
                 synthetic_case("conv_forward", 1.1),
+                synthetic_serve_case(0.9, 6.0),
             ],
         );
         // frozen_conv at 1.0×: twin-vs-twin is parity by construction
@@ -621,6 +717,10 @@ mod tests {
                 synthetic_case("quantized_predict", 0.32),
                 synthetic_case("streaming_predict", 5.8),
                 synthetic_case("conv_forward", 0.5),
+                // Serve has no SIMD split and the relative floor is
+                // skipped on the dispatch mismatch, so 0.5 only has to
+                // clear the absolute 0.4 collapse floor.
+                synthetic_serve_case(0.5, 10.0),
             ],
         );
         let verdict = judge(&base, &twin);
@@ -636,14 +736,32 @@ mod tests {
 
     #[test]
     fn streaming_floor_and_presence_have_teeth() {
-        let base = synthetic_report("avx2", vec![synthetic_case("streaming_predict", 8.0)]);
+        let base = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("streaming_predict", 8.0),
+                synthetic_serve_case(0.9, 6.0),
+            ],
+        );
         // 6.0× clears both the 5× AVX2 floor and the relative floor
         // (0.70 × 8.0 = 5.6).
-        let good = synthetic_report("avx2", vec![synthetic_case("streaming_predict", 6.0)]);
+        let good = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("streaming_predict", 6.0),
+                synthetic_serve_case(0.8, 8.0),
+            ],
+        );
         assert!(judge(&base, &good).pass);
 
         // Collapsing toward the full-recompute cost fails absolutely.
-        let collapsed = synthetic_report("avx2", vec![synthetic_case("streaming_predict", 3.0)]);
+        let collapsed = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("streaming_predict", 3.0),
+                synthetic_serve_case(0.8, 8.0),
+            ],
+        );
         let verdict = judge(&base, &collapsed);
         assert!(!verdict.pass);
         assert!(verdict
@@ -653,9 +771,21 @@ mod tests {
 
         // The scalar floor is lower but still real: work avoided, not
         // instructions vectorized.
-        let scalar = synthetic_report("scalar", vec![synthetic_case("streaming_predict", 3.5)]);
+        let scalar = synthetic_report(
+            "scalar",
+            vec![
+                synthetic_case("streaming_predict", 3.5),
+                synthetic_serve_case(0.5, 10.0),
+            ],
+        );
         assert!(judge(&base, &scalar).pass);
-        let scalar_bad = synthetic_report("scalar", vec![synthetic_case("streaming_predict", 2.0)]);
+        let scalar_bad = synthetic_report(
+            "scalar",
+            vec![
+                synthetic_case("streaming_predict", 2.0),
+                synthetic_serve_case(0.5, 10.0),
+            ],
+        );
         assert!(!judge(&base, &scalar_bad).pass);
 
         // A fresh run with no streaming case fails even against a
@@ -668,6 +798,71 @@ mod tests {
             .checks
             .iter()
             .any(|c| !c.pass && c.check == "streaming case present in fresh run"));
+    }
+
+    #[test]
+    fn serve_floor_slo_and_presence_have_teeth() {
+        let base = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("streaming_predict", 8.0),
+                synthetic_serve_case(0.9, 6.0),
+            ],
+        );
+        // Parity-ish serving clears both the collapse floor and the
+        // relative floor (0.70 × 0.9 = 0.63), and sits inside the SLO.
+        let good = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("streaming_predict", 7.0),
+                synthetic_serve_case(0.8, 12.0),
+            ],
+        );
+        assert!(judge(&base, &good).pass);
+
+        // Serving collapsing to several times the bare compute fails the
+        // absolute floor.
+        let collapsed = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("streaming_predict", 7.0),
+                synthetic_serve_case(0.3, 12.0),
+            ],
+        );
+        let verdict = judge(&base, &collapsed);
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.case == "serve_throughput" && c.check == "speedup floor"));
+
+        // A healthy throughput ratio with a blown tail still fails: the
+        // p99 SLO is its own check.
+        let slow_tail = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("streaming_predict", 7.0),
+                synthetic_serve_case(0.8, 80.0),
+            ],
+        );
+        let verdict = judge(&base, &slow_tail);
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.case == "serve_throughput" && c.check == "p99 within SLO"));
+
+        // A fresh run with no serve case fails even against a baseline
+        // that never had one.
+        let pre_serve = synthetic_report("avx2", vec![synthetic_case("streaming_predict", 8.0)]);
+        let fresh_without =
+            synthetic_report("avx2", vec![synthetic_case("streaming_predict", 7.0)]);
+        let verdict = judge(&pre_serve, &fresh_without);
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.check == "serve case present in fresh run"));
     }
 
     #[test]
@@ -698,6 +893,8 @@ mod tests {
         let empty = PerfReport {
             smoke: true,
             simd: "scalar".to_string(),
+            host_cores: 1,
+            par_threads: 1,
             sweeps: Vec::new(),
         };
         let verdict = judge(&report, &empty);

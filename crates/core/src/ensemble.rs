@@ -305,6 +305,11 @@ impl FrozenMember {
     pub fn cam(&self, w: usize) -> &[f32] {
         self.arena.cam(w)
     }
+
+    /// Heap footprint of this member's warm inference arena in bytes.
+    pub fn arena_bytes(&self) -> usize {
+        self.arena.heap_bytes()
+    }
 }
 
 /// The serving form of a [`ResNetEnsemble`]: every member compiled to a
@@ -347,6 +352,17 @@ impl FrozenEnsemble {
     /// Borrow the frozen members (and their most recent outputs).
     pub fn members(&self) -> &[FrozenMember] {
         &self.members
+    }
+
+    /// Total heap footprint of the warm member arenas plus the ensemble
+    /// probability buffer, in bytes. A serving front clones one plan per
+    /// worker, so its steady-state memory is roughly `workers ×` this.
+    pub fn arena_bytes(&self) -> usize {
+        self.members
+            .iter()
+            .map(FrozenMember::arena_bytes)
+            .sum::<usize>()
+            + self.ens_probs.capacity() * std::mem::size_of::<f32>()
     }
 
     /// Steps 1 & 3 on the frozen path: run every member over a `[B, 1, L]`

@@ -68,7 +68,7 @@ pub use config::{CamalConfig, LocalizerConfig};
 pub use detector::Detection;
 pub use ensemble::{FrozenEnsemble, Precision, ResNetEnsemble};
 pub use error::CamalError;
-pub use localizer::{Localization, LocalizationBatch};
+pub use localizer::{Localization, LocalizationBatch, WINDOW_CHUNK};
 pub use streaming::StreamingCamal;
 
 use ds_datasets::labels::Corpus;
@@ -349,6 +349,17 @@ impl FrozenCamal {
     /// The hyper-parameters the source model was trained with.
     pub fn config(&self) -> &CamalConfig {
         &self.config
+    }
+
+    /// Heap footprint of every reused inference buffer this plan owns —
+    /// member arenas, the z-scored input tensor, the localization output
+    /// slabs, and the series index buffer — in bytes. One serving worker
+    /// keeping this plan warm pays exactly this in steady state.
+    pub fn arena_bytes(&self) -> usize {
+        self.ensemble.arena_bytes()
+            + self.input.data.capacity() * std::mem::size_of::<f32>()
+            + self.batch.heap_bytes()
+            + self.starts.capacity() * std::mem::size_of::<usize>()
     }
 
     /// Steps 1–2 on a raw window (watts). Allocates only the detection

@@ -70,7 +70,12 @@ pub fn localize(ensemble: &ResNetEnsemble, window: &[f32], cfg: &LocalizerConfig
 /// Fixed number of windows per batched-localization task. Never derived
 /// from the worker count: chunk boundaries — and therefore the batches
 /// each network sees — are identical at any `DS_PAR_THREADS` setting.
-pub(crate) const WINDOW_CHUNK: usize = 16;
+///
+/// Public because the serving front (`ds-serve`) sizes its cross-request
+/// micro-batches to exactly one chunk: a full collector batch fills the
+/// arena slots one fused `localize_batch_into` call was already shaped
+/// for, so batching across requests cannot change any per-window result.
+pub const WINDOW_CHUNK: usize = 16;
 
 /// Run steps 1–6 over many raw windows (all sharing one length), chunked
 /// [`WINDOW_CHUNK`] windows per task across the ds-par worker team.
@@ -306,6 +311,20 @@ impl LocalizationBatch {
         grow(&mut self.scratch, len);
         self.kernels.clear();
         self.kernels.extend_from_slice(kernels);
+    }
+
+    /// Heap footprint of the output slabs in bytes (capacity, not live
+    /// length) — the per-plan arena cost a serving process pays to keep
+    /// one batch shape warm. Used by ds-serve's stats endpoint for
+    /// capacity planning.
+    pub fn heap_bytes(&self) -> usize {
+        self.probability.capacity() * std::mem::size_of::<f32>()
+            + self.detected.capacity() * std::mem::size_of::<bool>()
+            + (self.cam.capacity() + self.attention.capacity()) * std::mem::size_of::<f32>()
+            + self.status.capacity()
+            + self.member_probs.capacity() * std::mem::size_of::<f32>()
+            + self.kernels.capacity() * std::mem::size_of::<usize>()
+            + self.scratch.capacity() * std::mem::size_of::<f32>()
     }
 
     /// Number of windows localized into this batch.

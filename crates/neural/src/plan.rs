@@ -131,6 +131,21 @@ impl InferenceArena {
         )
     }
 
+    /// Heap footprint of every buffer in bytes (capacity, not live
+    /// length). Serving fronts report this per plan so operators can see
+    /// what one warm arena costs before cloning plans per worker.
+    pub fn heap_bytes(&self) -> usize {
+        let f32s = self.buf_a.capacity()
+            + self.buf_b.capacity()
+            + self.buf_c.capacity()
+            + self.pooled.capacity()
+            + self.logits.capacity()
+            + self.softmax.capacity()
+            + self.probs.capacity()
+            + self.cams.capacity();
+        f32s * std::mem::size_of::<f32>() + self.qbuf.capacity()
+    }
+
     /// Batch size of the most recent pass.
     pub fn batch(&self) -> usize {
         self.batch

@@ -1,0 +1,355 @@
+//! The cross-request micro-batch collector.
+//!
+//! Window jobs (detect/localize) for the same [`PlanKey`] accumulate in a
+//! per-key pending batch. A batch becomes dispatchable when it **fills**
+//! (`batch_windows` slots, sized to the arena chunk) or when its
+//! **deadline** expires (`max_wait` after the batch's first window
+//! arrived) — whichever comes first. Workers block on a condvar and take
+//! one dispatchable batch (or one unbatchable series job) at a time.
+//!
+//! Admission is bounded: `queue_depth` caps the total queued jobs across
+//! all keys; past it, submissions are rejected immediately and the HTTP
+//! layer answers 503. That makes overload visible to clients instead of
+//! letting latency collapse silently.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ds_camal::CamalError;
+use ds_timeseries::{Status, TimeSeries};
+
+use crate::registry::{PlanError, PlanKey};
+
+/// Everything a window job can come back with. Detect replies leave
+/// `status`/`cam` empty; localize fills `status` and, on request, `cam`.
+#[derive(Debug)]
+pub(crate) struct WindowReply {
+    pub probability: f32,
+    pub detected: bool,
+    /// (kernel size, member probability) per ensemble member.
+    pub members: Vec<(usize, f32)>,
+    pub status: Vec<u8>,
+    pub cam: Vec<f32>,
+}
+
+/// What the worker should extract from the batch for this job.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum JobKind {
+    Detect,
+    Localize { include_cam: bool },
+}
+
+/// Why a queued job failed after admission.
+#[derive(Debug, Clone)]
+pub(crate) enum JobError {
+    Camal(CamalError),
+    Plan(PlanError),
+}
+
+pub(crate) type WindowResult = Result<WindowReply, JobError>;
+pub(crate) type SeriesResult = Result<Vec<Status>, JobError>;
+
+/// One queued detect/localize window.
+pub(crate) struct WindowJob {
+    pub key: PlanKey,
+    pub window: Vec<f32>,
+    pub kind: JobKind,
+    pub tx: SyncSender<WindowResult>,
+}
+
+/// One queued status-series request (runs un-batched: its cost scales
+/// with the series length, not one window).
+pub(crate) struct SeriesJob {
+    pub key: PlanKey,
+    pub series: TimeSeries,
+    pub window: usize,
+    pub tx: SyncSender<SeriesResult>,
+}
+
+/// One unit a worker takes from the collector.
+pub(crate) enum Work {
+    Batch {
+        key: PlanKey,
+        jobs: Vec<WindowJob>,
+        /// True when the batch dispatched because it filled every slot
+        /// (vs its deadline expiring).
+        full: bool,
+    },
+    Series(SeriesJob),
+}
+
+/// Typed admission rejection → 503.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SubmitError {
+    /// `queue_depth` reached.
+    QueueFull { depth: usize },
+    /// Server is draining.
+    ShuttingDown,
+}
+
+struct Pending {
+    jobs: Vec<WindowJob>,
+    /// Dispatch-at-latest instant, armed when the first window arrived.
+    deadline: Instant,
+}
+
+struct State {
+    batches: BTreeMap<PlanKey, Pending>,
+    series: VecDeque<SeriesJob>,
+    /// Total queued jobs (windows + series) across all keys.
+    queued: usize,
+    shutdown: bool,
+}
+
+pub(crate) struct Collector {
+    state: Mutex<State>,
+    ready: Condvar,
+    batch_windows: usize,
+    max_wait: Duration,
+    queue_depth: usize,
+}
+
+impl Collector {
+    pub fn new(batch_windows: usize, max_wait: Duration, queue_depth: usize) -> Collector {
+        Collector {
+            state: Mutex::new(State {
+                batches: BTreeMap::new(),
+                series: VecDeque::new(),
+                queued: 0,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            batch_windows: batch_windows.clamp(1, ds_camal::WINDOW_CHUNK),
+            max_wait,
+            queue_depth: queue_depth.max(1),
+        }
+    }
+
+    /// Slots one micro-batch holds.
+    pub fn batch_windows(&self) -> usize {
+        self.batch_windows
+    }
+
+    /// Jobs currently queued (stats endpoint).
+    pub fn queued(&self) -> usize {
+        self.state.lock().unwrap().queued
+    }
+
+    pub fn submit_window(&self, job: WindowJob) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().unwrap();
+        self.admit(&mut state)?;
+        let deadline = Instant::now() + self.max_wait;
+        state
+            .batches
+            .entry(job.key.clone())
+            .or_insert_with(|| Pending {
+                jobs: Vec::with_capacity(self.batch_windows),
+                deadline,
+            })
+            .jobs
+            .push(job);
+        state.queued += 1;
+        ds_obs::gauge_set("serve.queue_depth", state.queued as f64);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    pub fn submit_series(&self, job: SeriesJob) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().unwrap();
+        self.admit(&mut state)?;
+        state.series.push_back(job);
+        state.queued += 1;
+        ds_obs::gauge_set("serve.queue_depth", state.queued as f64);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    fn admit(&self, state: &mut State) -> Result<(), SubmitError> {
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.queued >= self.queue_depth {
+            return Err(SubmitError::QueueFull {
+                depth: self.queue_depth,
+            });
+        }
+        Ok(())
+    }
+
+    /// Block until there is work (or shutdown drains the queue). Returns
+    /// `None` exactly when shutting down with nothing left; workers exit.
+    pub fn next_work(&self) -> Option<Work> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            let now = Instant::now();
+            // Full batches dispatch immediately, regardless of deadline.
+            if let Some(key) = state
+                .batches
+                .iter()
+                .find(|(_, p)| p.jobs.len() >= self.batch_windows)
+                .map(|(k, _)| k.clone())
+            {
+                return Some(self.take_batch(&mut state, key, true));
+            }
+            if state.shutdown {
+                // Draining: flush everything as it stands.
+                if let Some(key) = state.batches.keys().next().cloned() {
+                    return Some(self.take_batch(&mut state, key, false));
+                }
+                if let Some(job) = state.series.pop_front() {
+                    state.queued -= 1;
+                    return Some(Work::Series(job));
+                }
+                return None;
+            }
+            // Deadline-expired partial batches.
+            if let Some(key) = state
+                .batches
+                .iter()
+                .find(|(_, p)| p.deadline <= now)
+                .map(|(k, _)| k.clone())
+            {
+                return Some(self.take_batch(&mut state, key, false));
+            }
+            // Series jobs fill worker idle time between batch deadlines.
+            if let Some(job) = state.series.pop_front() {
+                state.queued -= 1;
+                ds_obs::gauge_set("serve.queue_depth", state.queued as f64);
+                return Some(Work::Series(job));
+            }
+            // Sleep until the earliest pending deadline or a submit.
+            let earliest = state.batches.values().map(|p| p.deadline).min();
+            state = match earliest {
+                Some(deadline) => {
+                    let wait = deadline.saturating_duration_since(now);
+                    self.ready.wait_timeout(state, wait).unwrap().0
+                }
+                None => self.ready.wait(state).unwrap(),
+            };
+        }
+    }
+
+    fn take_batch(&self, state: &mut State, key: PlanKey, full: bool) -> Work {
+        let mut pending = state.batches.remove(&key).expect("pending batch vanished");
+        let jobs = if pending.jobs.len() > self.batch_windows {
+            // More windows queued than one batch holds: take one chunk,
+            // keep the remainder (original deadline — they've waited).
+            let rest = pending.jobs.split_off(self.batch_windows);
+            let taken = std::mem::replace(&mut pending.jobs, rest);
+            state.batches.insert(key.clone(), pending);
+            taken
+        } else {
+            pending.jobs
+        };
+        state.queued -= jobs.len();
+        ds_obs::gauge_set("serve.queue_depth", state.queued as f64);
+        Work::Batch { key, jobs, full }
+    }
+
+    /// Begin draining: further submissions are rejected, queued work is
+    /// flushed immediately (no deadline waits), and workers exit once the
+    /// queue is empty.
+    pub fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_camal::Precision;
+    use std::sync::mpsc::sync_channel;
+
+    fn key(window: usize) -> PlanKey {
+        PlanKey {
+            preset: "TEST".into(),
+            appliance: "kettle".into(),
+            window,
+            precision: Precision::F32,
+        }
+    }
+
+    fn job(window: usize) -> (WindowJob, std::sync::mpsc::Receiver<WindowResult>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            WindowJob {
+                key: key(window),
+                window: vec![0.0; window],
+                kind: JobKind::Detect,
+                tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn full_batch_dispatches_before_deadline() {
+        let collector = Collector::new(4, Duration::from_secs(3600), 64);
+        for _ in 0..4 {
+            collector.submit_window(job(16).0).unwrap();
+        }
+        match collector.next_work().unwrap() {
+            Work::Batch { jobs, full, .. } => {
+                assert_eq!(jobs.len(), 4);
+                assert!(full);
+            }
+            Work::Series(_) => panic!("expected a batch"),
+        }
+        assert_eq!(collector.queued(), 0);
+    }
+
+    #[test]
+    fn deadline_flushes_a_partial_batch() {
+        let collector = Collector::new(16, Duration::from_millis(5), 64);
+        collector.submit_window(job(16).0).unwrap();
+        let started = Instant::now();
+        match collector.next_work().unwrap() {
+            Work::Batch { jobs, full, .. } => {
+                assert_eq!(jobs.len(), 1);
+                assert!(!full);
+            }
+            Work::Series(_) => panic!("expected a batch"),
+        }
+        assert!(started.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn queue_bound_rejects_with_a_typed_error() {
+        let collector = Collector::new(16, Duration::from_secs(1), 2);
+        collector.submit_window(job(16).0).unwrap();
+        collector.submit_window(job(16).0).unwrap();
+        let err = collector.submit_window(job(16).0).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { depth: 2 });
+    }
+
+    #[test]
+    fn distinct_keys_never_share_a_batch() {
+        let collector = Collector::new(16, Duration::from_millis(1), 64);
+        collector.submit_window(job(16).0).unwrap();
+        collector.submit_window(job(32).0).unwrap();
+        let mut sizes = Vec::new();
+        for _ in 0..2 {
+            match collector.next_work().unwrap() {
+                Work::Batch { jobs, .. } => sizes.push(jobs.len()),
+                Work::Series(_) => panic!("expected batches"),
+            }
+        }
+        assert_eq!(sizes, vec![1, 1]);
+    }
+
+    #[test]
+    fn shutdown_flushes_then_ends() {
+        let collector = Collector::new(16, Duration::from_secs(3600), 64);
+        collector.submit_window(job(16).0).unwrap();
+        collector.shutdown();
+        assert!(matches!(collector.next_work(), Some(Work::Batch { .. })));
+        assert!(collector.next_work().is_none());
+        let err = collector.submit_window(job(16).0).unwrap_err();
+        assert_eq!(err, SubmitError::ShuttingDown);
+    }
+}

@@ -1,0 +1,243 @@
+//! Minimal HTTP/1.1 framing: just enough protocol for a JSON API over
+//! keep-alive connections — request-line + headers + `Content-Length`
+//! bodies in, fixed-length JSON responses out. No chunked encoding, no
+//! TLS, no pipelining guarantees beyond strict request/response order.
+
+use std::io::{BufRead, ErrorKind, Write};
+
+/// Longest accepted request line or header line, in bytes.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per request.
+pub const MAX_HEADERS: usize = 64;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default unless `Connection: close`).
+    pub keep_alive: bool,
+}
+
+/// Why a read failed (maps to a response + close, or just a close).
+#[derive(Debug)]
+pub enum HttpError {
+    Io(std::io::Error),
+    /// Unparseable request line / headers / length field.
+    Malformed(&'static str),
+    /// Declared `Content-Length` exceeds the configured cap → 413.
+    BodyTooLarge {
+        limit: usize,
+    },
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// What one read attempt produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    Request(Request),
+    /// Peer closed the connection cleanly between requests.
+    Closed,
+    /// Read timeout fired while idle (no bytes of a next request yet):
+    /// the caller checks its shutdown flag and retries.
+    Idle,
+}
+
+/// Read one request. The idle/shutdown poll works through the reader's
+/// socket read timeout: a timeout *before any byte* of the next request is
+/// [`ReadOutcome::Idle`]; a timeout mid-request is an error (slow or stuck
+/// peer → close).
+pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<ReadOutcome, HttpError> {
+    match reader.fill_buf() {
+        Ok([]) => return Ok(ReadOutcome::Closed),
+        Ok(_) => {}
+        Err(e)
+            if matches!(
+                e.kind(),
+                ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+            ) =>
+        {
+            return Ok(ReadOutcome::Idle)
+        }
+        Err(e) => return Err(HttpError::Io(e)),
+    }
+
+    let line = read_line(reader)?;
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let mut keep_alive = version != "HTTP/1.0";
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let header = read_line(reader)?;
+        if header.is_empty() {
+            let mut body = vec![0u8; content_length];
+            if content_length > 0 {
+                reader.read_exact(&mut body)?;
+            }
+            return Ok(ReadOutcome::Request(Request {
+                method: method.to_string(),
+                path: path.to_string(),
+                body,
+                keep_alive,
+            }));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::Malformed("header line without a colon"));
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
+            if content_length > max_body {
+                return Err(HttpError::BodyTooLarge { limit: max_body });
+            }
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        }
+    }
+    Err(HttpError::Malformed("too many headers"))
+}
+
+/// One CRLF-terminated line, without the terminator.
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut buf = Vec::with_capacity(64);
+    loop {
+        let mut byte = [0u8; 1];
+        reader.read_exact(&mut byte)?;
+        if byte[0] == b'\n' {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return String::from_utf8(buf)
+                .map_err(|_| HttpError::Malformed("non-UTF-8 header bytes"));
+        }
+        if buf.len() >= MAX_LINE {
+            return Err(HttpError::Malformed("header line too long"));
+        }
+        buf.push(byte[0]);
+    }
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one fixed-length JSON response.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
+        status,
+        reason(status),
+        body.len(),
+        connection,
+        body
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<ReadOutcome, HttpError> {
+        read_request(&mut BufReader::new(raw), 1024)
+    }
+
+    #[test]
+    fn parses_post_with_body_and_keeps_alive() {
+        let raw = b"POST /api/v1/detect HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        match parse(raw).unwrap() {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/api/v1/detect");
+                assert_eq!(req.body, b"abcd");
+                assert!(req.keep_alive);
+            }
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_close_clears_keep_alive() {
+        let raw = b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+        match parse(raw).unwrap() {
+            ReadOutcome::Request(req) => assert!(!req.keep_alive),
+            other => panic!("expected a request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_between_requests_is_closed() {
+        assert!(matches!(parse(b"").unwrap(), ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_with_the_limit() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 9999\r\n\r\n";
+        match parse(raw) {
+            Err(HttpError::BodyTooLarge { limit }) => assert_eq!(limit, 1024),
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_request_line_is_malformed() {
+        assert!(matches!(
+            parse(b"NONSENSE\r\n\r\n"),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_is_length_framed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+}

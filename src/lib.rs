@@ -15,6 +15,7 @@
 //! - [`bench`] — the experiment harness (Figure 3, benchmark grid, claims,
 //!   ablations).
 //! - [`par`] — the data-parallel substrate behind batched inference.
+//! - [`serve`] — the micro-batching HTTP serving layer over frozen plans.
 
 pub use ds_app as app;
 pub use ds_baselines as baselines;
@@ -24,4 +25,5 @@ pub use ds_datasets as datasets;
 pub use ds_metrics as metrics;
 pub use ds_neural as neural;
 pub use ds_par as par;
+pub use ds_serve as serve;
 pub use ds_timeseries as timeseries;
