@@ -46,6 +46,10 @@ grep -q '"name": *"frozen_conv"' "$smoke_out" \
     || { echo "ci: perf smoke is missing the frozen_conv case" >&2; exit 1; }
 grep -q '"name": *"quantized_predict"' "$smoke_out" \
     || { echo "ci: perf smoke is missing the quantized_predict case" >&2; exit 1; }
+grep -q '"name": *"backbone_inception"' "$smoke_out" \
+    || { echo "ci: perf smoke is missing the backbone_inception case" >&2; exit 1; }
+grep -q '"name": *"backbone_transapp"' "$smoke_out" \
+    || { echo "ci: perf smoke is missing the backbone_transapp case" >&2; exit 1; }
 if grep -q '"bit_identical": *false' "$smoke_out"; then
     echo "ci: perf smoke reports a bit-identity violation" >&2
     exit 1
@@ -66,8 +70,12 @@ echo "ci: frozen_predict speedup ${frozen_speedup}x (floor ${frozen_floor}x)"
 awk -v s="$frozen_speedup" -v f="$frozen_floor" 'BEGIN { exit !(s + 0 >= f + 0) }' \
     || { echo "ci: frozen_predict speedup ${frozen_speedup}x is below the ${frozen_floor}x floor" >&2; exit 1; }
 
-echo "==> scalar twin: tier-1 + frozen goldens with DS_SIMD=off"
+echo "==> backbones: model-zoo golden parity suite (frozen/int8/checkpoint per backbone)"
+cargo test -q --test backbone_parity
+
+echo "==> scalar twin: tier-1 + frozen + backbone goldens with DS_SIMD=off"
 DS_SIMD=off cargo test -q
+DS_SIMD=off cargo test -q --test backbone_parity
 
 echo "==> scalar twin: perf smoke with DS_SIMD=off (frozen floor stays at the pre-SIMD 1.15x)"
 twin_out="target/ci_perf_twin.json"
@@ -97,6 +105,10 @@ grep -q '"name": *"streaming_predict"' "$smoke_out" \
     || { echo "ci: perf smoke is missing the streaming_predict case" >&2; exit 1; }
 grep -q '"name": *"streaming_predict"' "$twin_out" \
     || { echo "ci: scalar twin is missing the streaming_predict case" >&2; exit 1; }
+grep -q '"name": *"backbone_inception"' "$twin_out" \
+    || { echo "ci: scalar twin is missing the backbone_inception case" >&2; exit 1; }
+grep -q '"name": *"backbone_transapp"' "$twin_out" \
+    || { echo "ci: scalar twin is missing the backbone_transapp case" >&2; exit 1; }
 # ≥5x amortized at 75% overlap where the SIMD kernels dispatched; the
 # advantage is work avoided rather than instructions vectorized, so the
 # scalar floor stays at 3x.

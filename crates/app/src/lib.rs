@@ -22,6 +22,7 @@
 //! unit-testable; the `devicescope` binary wires the views to an
 //! interactive REPL ([`repl`]).
 
+pub mod backbones;
 pub mod benchmark_frame;
 pub mod cache;
 pub mod insights;

@@ -52,6 +52,8 @@ impl Repl {
          \x20 patterns [appliance]     example appliance signatures\n\
          \x20 insights                 per-appliance energy breakdown\n\
          \x20 precision [f32|int8]     show or switch the serving precision\n\
+         \x20 backbone [resnet|inception|transapp]  show or switch the detector backbone\n\
+         \x20 backbones                per-backbone accuracy vs serving latency\n\
          \x20 benchmark <dataset> [measure]   benchmark frame (B.1)\n\
          \x20 labels                   label-efficiency comparison (B.2)\n\
          \x20 scenario <1|2|3>         run a demonstration scenario\n\
@@ -193,6 +195,29 @@ impl Repl {
                     None => format!("unknown precision {spec:?} (use f32 or int8)\n"),
                 },
             },
+            "backbone" => match arg1 {
+                None => format!("detector backbone: {}\n", self.state.backbone().label()),
+                Some(spec) => match ds_camal::Backbone::parse(spec) {
+                    Some(b) => {
+                        self.state.set_backbone(b);
+                        format!(
+                            "detector backbone set to {} (models train lazily per appliance)\n",
+                            b.label()
+                        )
+                    }
+                    None => {
+                        format!("unknown backbone {spec:?} (use resnet, inception or transapp)\n")
+                    }
+                },
+            },
+            "backbones" => {
+                if self.state.selected.is_empty() {
+                    "select at least one appliance first (select <appliance>)\n".into()
+                } else {
+                    let kinds = self.state.selected.clone();
+                    crate::backbones::render(&mut self.state, &kinds)?
+                }
+            }
             "benchmark" => match (&self.bench, arg1) {
                 (Some(bench), Some(dataset)) => {
                     benchmark_frame::render_dataset(bench, dataset, arg2.unwrap_or("F1"))
@@ -249,9 +274,10 @@ impl Repl {
                                         workers.max(1),
                                         handle.batch_windows(),
                                     );
-                                    for (preset, appliance, window) in &plans {
+                                    for (preset, appliance, window, backbone) in &plans {
                                         out.push_str(&format!(
-                                            "  {preset}/{appliance} window {window}\n"
+                                            "  {preset}/{appliance} [{}] window {window}\n",
+                                            backbone.label()
                                         ));
                                     }
                                     out.push_str(
@@ -524,7 +550,7 @@ mod tests {
             .to_string();
         let window: usize = started
             .lines()
-            .find(|l| l.contains("/kettle window"))
+            .find(|l| l.contains("/kettle [resnet] window"))
             .unwrap()
             .rsplit(' ')
             .next()
@@ -573,6 +599,20 @@ mod tests {
         assert!(run(&mut r, "show").contains("Playground"));
         assert!(run(&mut r, "precision f32").contains("set to f32"));
         assert!(run(&mut r, "show").contains("Playground"));
+    }
+
+    #[test]
+    fn backbone_command_switches_the_detector_architecture() {
+        let mut r = repl();
+        assert!(run(&mut r, "help").contains("backbone [resnet|inception|transapp]"));
+        assert!(run(&mut r, "help").contains("backbones"));
+        assert!(run(&mut r, "backbone").contains("detector backbone: resnet"));
+        assert!(run(&mut r, "backbone vgg").contains("unknown backbone"));
+        assert!(run(&mut r, "backbone inception").contains("set to inception"));
+        assert!(run(&mut r, "backbone").contains("inception"));
+        assert!(run(&mut r, "backbone transapp").contains("set to transapp"));
+        // The comparison view needs a selection and a loaded series.
+        assert!(run(&mut r, "backbones").contains("select at least one appliance"));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 
 use crate::cache::{BoundedCache, CacheCounters};
 use ds_camal::{
-    Camal, CamalConfig, CamalError, Detection, FrozenCamal, Localization, Precision, StreamingCamal,
+    Backbone, Camal, CamalConfig, CamalError, Detection, FrozenCamal, Localization, Precision,
+    StreamingCamal,
 };
 use ds_datasets::labels::Corpus;
 use ds_datasets::{ApplianceKind, Catalog, DatasetPreset};
@@ -23,16 +24,20 @@ type SeriesKey = (String, u32, &'static str, usize, usize);
 type WindowKey = (String, u32, &'static str, usize, usize, usize);
 
 /// Key of a streaming engine: `(dataset, house, appliance, window samples,
-/// push stride, precision)` — one live stream per browsing context.
-type StreamKey = (String, u32, &'static str, usize, usize, Precision);
+/// push stride, backbone, precision)` — one live stream per browsing
+/// context.
+type StreamKey = (String, u32, &'static str, usize, usize, Backbone, Precision);
 
-/// Key of a trained model: `(dataset, appliance, window samples)`.
-type ModelKey = (String, &'static str, usize);
+/// Key of a trained model: `(dataset, appliance, window samples,
+/// backbone)` — one trained ensemble per architecture, so comparing
+/// backbones never retrains the ones already built.
+type ModelKey = (String, &'static str, usize, Backbone);
 
 /// Key of a frozen serving plan: a [`ModelKey`] plus the numeric
 /// precision — the f32 and int8 plans of one model are distinct cache
-/// entries, so switching precision back and forth never re-quantizes.
-type PlanKey = (String, &'static str, usize, Precision);
+/// entries, so switching precision (or backbone) back and forth never
+/// re-folds or re-quantizes.
+type PlanKey = (String, &'static str, usize, Backbone, Precision);
 
 /// Held-out windows retained per trained model for int8 activation-scale
 /// calibration. A small set is enough to pin per-conv maxabs ranges; the
@@ -189,6 +194,9 @@ pub struct AppState {
     /// Numeric precision new frozen plans are built at (`precision`
     /// REPL command); per-plan cache entries are keyed on it.
     precision: Precision,
+    /// Detector architecture newly trained ensembles use (`backbone`
+    /// REPL command); model/plan/stream cache entries are keyed on it.
+    backbone: Backbone,
     /// Currently selected dataset.
     pub dataset: Option<DatasetPreset>,
     /// Currently loaded house.
@@ -228,12 +236,32 @@ impl AppState {
             window_length: WindowLength::TwelveHours,
             selected: Vec::new(),
             precision: Precision::default(),
+            backbone: Backbone::default(),
         }
     }
 
     /// Numeric precision frozen plans are currently served at.
     pub fn precision(&self) -> Precision {
         self.precision
+    }
+
+    /// Detector architecture the session currently trains and serves.
+    pub fn backbone(&self) -> Backbone {
+        self.backbone
+    }
+
+    /// Switch the detector architecture. Prediction caches and live
+    /// streams are invalidated exactly as in [`AppState::set_precision`] —
+    /// they hold outputs of the outgoing backbone — while trained models
+    /// and frozen plans survive under their backbone-tagged keys, so
+    /// flipping back is instant.
+    pub fn set_backbone(&mut self, backbone: Backbone) {
+        if backbone != self.backbone {
+            self.backbone = backbone;
+            self.status_cache.clear();
+            self.window_cache.clear();
+            self.streams.clear();
+        }
     }
 
     /// Switch the serving precision. Whole-series and per-window caches
@@ -395,7 +423,12 @@ impl AppState {
         let window_samples = self
             .window_length
             .samples(self.current_window()?.interval_secs());
-        let key: ModelKey = (preset.name().to_string(), kind.slug(), window_samples);
+        let key: ModelKey = (
+            preset.name().to_string(),
+            kind.slug(),
+            window_samples,
+            self.backbone,
+        );
         if !self.models.contains_key(&key) {
             let ds = self.catalog.get(preset);
             let mut corpus = Corpus::build(ds, kind, window_samples);
@@ -410,7 +443,12 @@ impl AppState {
                 .take(CALIBRATION_WINDOWS)
                 .map(|w| w.values.clone())
                 .collect();
-            let camal = Camal::try_train(&corpus, &self.config.camal)?;
+            // Train at the session backbone: every ensemble member uses the
+            // selected architecture, so the model's lead backbone (and its
+            // serving registry identity) matches the cache key.
+            let mut camal_cfg = self.config.camal.clone();
+            camal_cfg.backbones = vec![self.backbone];
+            let camal = Camal::try_train(&corpus, &camal_cfg)?;
             self.models
                 .insert(key.clone(), TrainedModel { camal, calib });
         }
@@ -421,14 +459,16 @@ impl AppState {
     /// first use) into a ds-serve [`ds_serve::ModelRegistry`], so the
     /// REPL's `serve` command shares the session's models — and their
     /// int8 calibration sets — with the HTTP front. Returns the
-    /// registered `(preset, appliance, window_samples)` identities.
-    /// Frozen plans are *not* exported: the server freezes per
-    /// (plan key) on first request, exactly like the in-app cache.
+    /// registered `(preset, appliance, window_samples, backbone)`
+    /// identities (the backbone is the session backbone the models were
+    /// trained at). Frozen plans are *not* exported: the server freezes
+    /// per (plan key) on first request, exactly like the in-app cache.
     pub fn register_serving_models(
         &mut self,
         registry: &ds_serve::ModelRegistry,
-    ) -> Result<Vec<(String, String, usize)>, AppError> {
+    ) -> Result<Vec<(String, String, usize, Backbone)>, AppError> {
         let kinds = self.selected.clone();
+        let backbone = self.backbone;
         let mut registered = Vec::with_capacity(kinds.len());
         for kind in kinds {
             let (preset, _) = self.loaded()?;
@@ -444,7 +484,12 @@ impl AppState {
                 trained.camal.clone(),
                 trained.calib.clone(),
             );
-            registered.push((preset_name, kind.slug().to_string(), window_samples));
+            registered.push((
+                preset_name,
+                kind.slug().to_string(),
+                window_samples,
+                backbone,
+            ));
         }
         Ok(registered)
     }
@@ -466,6 +511,7 @@ impl AppState {
             preset.name().to_string(),
             kind.slug(),
             window_samples,
+            self.backbone,
             precision,
         );
         if self.frozen.get(&key).is_none() {
@@ -520,6 +566,38 @@ impl AppState {
             );
         }
         Ok(localization)
+    }
+
+    /// Whole-series binary ground-truth status of `kind` for the loaded
+    /// house — the evaluation axis of the backbone comparison view.
+    pub fn series_truth(&mut self, kind: ApplianceKind) -> Result<Vec<u8>, AppError> {
+        let (preset, house_id) = self.loaded()?;
+        let ds = self.catalog.get(preset);
+        let house = ds.house(house_id).ok_or(AppError::UnknownHouse(house_id))?;
+        Ok(house
+            .status(kind)
+            .states()
+            .iter()
+            .map(|s| s.as_binary())
+            .collect())
+    }
+
+    /// Whole-series predicted status of `kind` at the current window
+    /// length, served from the status cache (streaming-fed on a miss) —
+    /// the same entries the insights view uses.
+    pub fn predicted_status(&mut self, kind: ApplianceKind) -> Result<StatusSeries, AppError> {
+        let cursor = self.cursor.as_ref().ok_or(AppError::NothingLoaded)?;
+        let series = cursor.series().clone();
+        let window = cursor.window_size();
+        let (preset, house_id) = self.loaded()?;
+        let key: SeriesKey = (
+            preset.name().to_string(),
+            house_id,
+            kind.slug(),
+            window,
+            stream_stride(window),
+        );
+        self.cached_status_series(key, &series, window, kind)
     }
 
     /// The full submetered channel of `kind` for the loaded house (None if
@@ -604,6 +682,7 @@ impl AppState {
             kind.slug(),
             window_samples,
             stride,
+            self.backbone,
             precision,
         );
         if self.streams.get(&key).is_none() {
@@ -889,6 +968,45 @@ mod tests {
         // Setting the current precision again is a no-op, not a flush.
         let cached = state.window_cache.len();
         state.set_precision(Precision::F32);
+        assert_eq!(state.window_cache.len(), cached);
+    }
+
+    #[test]
+    fn backbone_switch_builds_separate_models_and_plans() {
+        let mut state = app();
+        let houses = state.browsable_houses(DatasetPreset::UkdaleLike);
+        state.load("UKDALE", houses[0]).unwrap();
+        state.set_window_length(WindowLength::SixHours).unwrap();
+        state.toggle_appliance("kettle").unwrap();
+        assert_eq!(state.backbone(), Backbone::ResNet);
+        let resnet_out = state.localize_selected().unwrap();
+
+        state.set_backbone(Backbone::Inception);
+        // Prediction caches and live streams are invalidated; the ResNet
+        // model and plan survive under their backbone-tagged keys.
+        assert_eq!(state.window_cache.len(), 0);
+        assert_eq!(state.streams.len(), 0);
+        assert_eq!(state.models.len(), 1);
+        let _ = state.localize_selected().unwrap();
+        assert_eq!(state.models.len(), 2, "Inception trains its own model");
+        let model = state.model(ApplianceKind::Kettle).unwrap();
+        assert!(model
+            .ensemble()
+            .members()
+            .iter()
+            .all(|m| m.backbone() == Backbone::Inception));
+        assert_eq!(state.frozen.len(), 2);
+
+        // Switching back re-serves the ResNet model without retraining and
+        // reproduces the original localization exactly.
+        state.set_backbone(Backbone::ResNet);
+        let back = state.localize_selected().unwrap();
+        assert_eq!(state.models.len(), 2);
+        assert_eq!(back[0].1, resnet_out[0].1);
+
+        // Re-setting the current backbone is a no-op, not a flush.
+        let cached = state.window_cache.len();
+        state.set_backbone(Backbone::ResNet);
         assert_eq!(state.window_cache.len(), cached);
     }
 

@@ -32,7 +32,7 @@
 //! tracking.
 
 use ds_camal::localizer::localize_batch;
-use ds_camal::{Camal, CamalConfig, LocalizerConfig, ResNetEnsemble, StreamingCamal};
+use ds_camal::{Backbone, Camal, CamalConfig, LocalizerConfig, ResNetEnsemble, StreamingCamal};
 use ds_neural::batchnorm::BatchNorm1d;
 use ds_neural::conv::Conv1d;
 use ds_neural::frozen::FrozenConv;
@@ -55,7 +55,8 @@ use std::time::Instant;
 pub struct PerfCase {
     /// Workload name (`conv_forward`, `frozen_conv`, `ensemble_predict`,
     /// `e2e_localize`, `train_epoch`, `frozen_predict`,
-    /// `quantized_predict`, `frozen_localize`, `streaming_predict`).
+    /// `quantized_predict`, `frozen_localize`, `backbone_inception`,
+    /// `backbone_transapp`, `streaming_predict`).
     pub name: String,
     /// Elements produced per iteration (output samples of the workload).
     pub elements_per_iter: u64,
@@ -545,7 +546,10 @@ fn train_epoch_case(scale: PerfScale) -> PerfCase {
             .map(|(i, member)| {
                 let mut tc = cfg.train.clone();
                 tc.shuffle_seed = cfg.train.shuffle_seed.wrapping_add(i as u64);
-                train_classifier_reference(member, &windows, &labels, &tc).epoch_losses
+                let resnet = member
+                    .as_resnet_mut()
+                    .expect("reference trainer oracle is ResNet-only");
+                train_classifier_reference(resnet, &windows, &labels, &tc).epoch_losses
             })
             .collect();
         ds_neural::workspace::set_buffer_reuse(true);
@@ -749,6 +753,14 @@ fn quantized_predict_case(scale: PerfScale, model: &Camal) -> PerfCase {
 /// [`ds_camal::LocalizationBatch`] slabs) against the mutable batched
 /// reference path at the ambient team size.
 fn frozen_localize_case(scale: PerfScale, model: &Camal) -> PerfCase {
+    localize_parity_case("frozen_localize", scale, model)
+}
+
+/// Shared body of [`frozen_localize_case`] and the per-backbone zoo
+/// cases: end-to-end frozen localization of `model` against its mutable
+/// path, holding the standard contracts (probabilities within `1e-4`,
+/// zero decision flips, zero steady-state allocations).
+fn localize_parity_case(name: &str, scale: PerfScale, model: &Camal) -> PerfCase {
     let windows = serving_windows(scale);
     let refs: Vec<&[f32]> = windows.iter().map(|w| w.as_slice()).collect();
     let mut frozen = model.freeze();
@@ -764,13 +776,13 @@ fn frozen_localize_case(scale: PerfScale, model: &Camal) -> PerfCase {
     }
     assert!(
         max_abs <= 1e-4,
-        "frozen localize: probabilities drifted by {max_abs}"
+        "{name}: probabilities drifted by {max_abs}"
     );
     assert_zero_alloc(
         || {
             frozen.localize_batch_into(&refs);
         },
-        "frozen localize",
+        name,
     );
     let (seq_secs, par_secs, allocs) = sample_paths(
         scale.iters,
@@ -785,7 +797,7 @@ fn frozen_localize_case(scale: PerfScale, model: &Camal) -> PerfCase {
     );
     let elements = (scale.batch * scale.window) as u64;
     build_case(
-        "frozen_localize",
+        name,
         elements,
         scale.iters,
         flips == 0,
@@ -794,6 +806,25 @@ fn frozen_localize_case(scale: PerfScale, model: &Camal) -> PerfCase {
         par_secs,
         allocs,
     )
+}
+
+/// A briefly trained single-backbone model for the backbone zoo cases —
+/// the same corpus and recipe as [`trained_serving_model`] with every
+/// ensemble member on `backbone`, so the case measures that backbone's
+/// frozen kernels end to end.
+fn trained_backbone_model(scale: PerfScale, backbone: Backbone) -> Camal {
+    let mut cfg = CamalConfig {
+        channels: vec![8, 16],
+        backbones: vec![backbone],
+        ..CamalConfig::default()
+    };
+    cfg.train.epochs = 2;
+    cfg.train.batch_size = 4;
+    cfg.train.patience = None;
+    let (windows, labels) = separable_corpus(scale);
+    let mut ensemble = ResNetEnsemble::untrained(&cfg);
+    ensemble.train(&windows, &labels, &cfg);
+    Camal::from_parts(ensemble, cfg)
 }
 
 /// Streaming incremental series prediction against the cost an
@@ -944,8 +975,8 @@ fn serve_throughput_case(scale: PerfScale, model: &Camal) -> PerfCase {
     case
 }
 
-fn run_cases(scale: PerfScale, model: &Camal) -> Vec<PerfCase> {
-    vec![
+fn run_cases(scale: PerfScale, model: &Camal, zoo: &[(&str, &Camal)]) -> Vec<PerfCase> {
+    let mut cases = vec![
         conv_forward_case(scale),
         frozen_conv_case(scale),
         ensemble_predict_case(scale),
@@ -954,9 +985,18 @@ fn run_cases(scale: PerfScale, model: &Camal) -> Vec<PerfCase> {
         frozen_predict_case(scale, model),
         quantized_predict_case(scale, model),
         frozen_localize_case(scale, model),
-        streaming_predict_case(scale, model),
-        serve_throughput_case(scale, model),
-    ]
+    ];
+    // The backbone zoo: the same frozen-vs-mutable localization contract,
+    // one case per non-ResNet architecture (ResNet is `frozen_localize`).
+    // Named `backbone_*`, not `frozen_*`: the regress sentinel's SIMD
+    // speedup floor calibrates to the ResNet conv stack and does not
+    // transfer to attention-heavy backbones.
+    for (name, backbone_model) in zoo {
+        cases.push(localize_parity_case(name, scale, backbone_model));
+    }
+    cases.push(streaming_predict_case(scale, model));
+    cases.push(serve_throughput_case(scale, model));
+    cases
 }
 
 /// Run every case at `scale` once per entry of `thread_counts`; panics if
@@ -968,10 +1008,16 @@ pub fn run_sweep(scale: PerfScale, smoke: bool, thread_counts: &[usize]) -> Perf
     let _span = ds_obs::span!("bench.perf_suite");
     assert!(!thread_counts.is_empty(), "need at least one thread count");
     let model = trained_serving_model(scale);
+    let inception = trained_backbone_model(scale, Backbone::Inception);
+    let transapp = trained_backbone_model(scale, Backbone::TransApp);
+    let zoo: [(&str, &Camal); 2] = [
+        ("backbone_inception", &inception),
+        ("backbone_transapp", &transapp),
+    ];
     let mut sweeps = Vec::with_capacity(thread_counts.len());
     for &t in thread_counts {
         ds_par::set_threads(Some(t));
-        let cases = run_cases(scale, &model);
+        let cases = run_cases(scale, &model, &zoo);
         if let Some(fp) = cases.iter().find(|c| c.name == "frozen_predict") {
             ds_obs::gauge_set("frozen.allocs_per_window", fp.allocs_per_window);
             ds_obs::gauge_set("frozen.speedup_x100", fp.speedup * 100.0);
@@ -1073,7 +1119,7 @@ mod tests {
         assert!(report.host_cores >= 1);
         assert!(report.par_threads >= 1);
         let cases = &report.sweeps[0].cases;
-        assert_eq!(cases.len(), 10);
+        assert_eq!(cases.len(), 12);
         for c in cases {
             assert!(c.bit_identical, "{} diverged", c.name);
             assert_eq!(c.decision_flips, 0, "{} flipped decisions", c.name);
@@ -1088,6 +1134,8 @@ mod tests {
             "frozen_predict",
             "quantized_predict",
             "frozen_localize",
+            "backbone_inception",
+            "backbone_transapp",
             "streaming_predict",
             "serve_throughput",
         ] {
@@ -1109,6 +1157,8 @@ mod tests {
         assert!(table.contains("frozen_predict"));
         assert!(table.contains("quantized_predict"));
         assert!(table.contains("frozen_localize"));
+        assert!(table.contains("backbone_inception"));
+        assert!(table.contains("backbone_transapp"));
         assert!(table.contains("streaming_predict"));
         assert!(table.contains("serve_throughput"));
         assert!(table.contains("req/s"));
@@ -1126,7 +1176,7 @@ mod tests {
         assert_eq!(report.sweeps[0].threads, 1);
         assert_eq!(report.sweeps[1].threads, 2);
         for sweep in &report.sweeps {
-            assert_eq!(sweep.cases.len(), 10);
+            assert_eq!(sweep.cases.len(), 12);
         }
     }
 }

@@ -44,6 +44,13 @@
 //!   against the published 50 ms SLO ([`SERVE_P99_SLO_MS`]). Like the
 //!   streaming case, a fresh run missing `serve_throughput` fails
 //!   outright.
+//! - **Backbone-zoo cases** (`backbone_inception`, `backbone_transapp`)
+//!   run the frozen-vs-mutable localization contract on the non-ResNet
+//!   architectures. Their absolute floor ([`BACKBONE_SPEEDUP_FLOOR`]) is
+//!   dispatch-independent — the frozen win they gate is folding and
+//!   arena reuse, not the ResNet conv stack's SIMD margin — and, like
+//!   the streaming and serving cases, a fresh run missing either zoo
+//!   case fails outright.
 //! - Relative floors only apply when the fresh run and the baseline were
 //!   measured under the same SIMD dispatch — comparing a scalar twin run
 //!   against a vectorized baseline ratio would fail every case for the
@@ -139,6 +146,25 @@ fn is_quant_case(name: &str) -> bool {
 fn is_streaming_case(name: &str) -> bool {
     name.starts_with("streaming_")
 }
+
+/// Backbone-zoo cases (`backbone_inception`, `backbone_transapp`):
+/// frozen-vs-mutable localization like `frozen_localize`, but on
+/// non-ResNet architectures. They deliberately do NOT ride the
+/// `frozen_*` floors: [`FROZEN_SPEEDUP_FLOOR_SIMD`] calibrates to the
+/// ResNet conv stack, and an attention-heavy backbone's frozen win is
+/// dominated by fold/arena savings, not vectorized convs.
+fn is_backbone_case(name: &str) -> bool {
+    name.starts_with("backbone_")
+}
+
+/// Absolute speedup floor for backbone-zoo cases under either dispatch:
+/// the frozen plan must not fall materially behind the mutable path.
+/// No conv-specific SIMD margin is assumed, and the floor sits below
+/// parity because the TransApp frozen win is thin (attention dominates
+/// and is not conv-folded; measured ~1.07x) — the gate exists to catch a
+/// frozen path that regresses to *slower* than mutable, with the
+/// relative-to-baseline floor tightening it when history is better.
+pub const BACKBONE_SPEEDUP_FLOOR: f64 = 0.90;
 
 fn is_serve_case(name: &str) -> bool {
     name.starts_with("serve_")
@@ -311,6 +337,8 @@ fn judge_case(
             .max(relative(FROZEN_RELATIVE_FLOOR))
     } else if is_serve_case(name) {
         SERVE_SPEEDUP_FLOOR.max(relative(RELATIVE_SPEEDUP_FLOOR))
+    } else if is_backbone_case(name) {
+        BACKBONE_SPEEDUP_FLOOR.max(relative(FROZEN_RELATIVE_FLOOR))
     } else if is_frozen_case(name) {
         policy.frozen_floor().max(relative(FROZEN_RELATIVE_FLOOR))
     } else {
@@ -332,6 +360,7 @@ fn judge_case(
         || is_quant_case(name)
         || is_streaming_case(name)
         || is_serve_case(name)
+        || is_backbone_case(name)
     {
         FROZEN_ALLOCS_CEILING
     } else {
@@ -467,6 +496,22 @@ pub fn judge(baseline: &PerfReport, fresh: &PerfReport) -> RegressVerdict {
             case: "serve_throughput",
         }
         .push("serve case present in fresh run", 1.0, 0.0, 1.0, false);
+    }
+    // And the backbone zoo: every non-ResNet backbone keeps its
+    // frozen-parity perf coverage even against a pre-zoo baseline.
+    for required in ["backbone_inception", "backbone_transapp"] {
+        if !fresh
+            .sweeps
+            .iter()
+            .any(|s| s.cases.iter().any(|c| c.name == required))
+        {
+            CaseChecks {
+                checks: &mut checks,
+                threads: fresh.sweeps.first().map_or(0, |s| s.threads),
+                case: required,
+            }
+            .push("backbone case present in fresh run", 1.0, 0.0, 1.0, false);
+        }
     }
 
     RegressVerdict {
@@ -635,7 +680,15 @@ mod tests {
         case
     }
 
-    fn synthetic_report(simd: &str, cases: Vec<PerfCase>) -> PerfReport {
+    fn synthetic_report(simd: &str, mut cases: Vec<PerfCase>) -> PerfReport {
+        // Every synthetic report carries healthy backbone-zoo cases unless
+        // the test supplies (or strips) its own — the presence gate has a
+        // dedicated test below.
+        for name in ["backbone_inception", "backbone_transapp"] {
+            if !cases.iter().any(|c| c.name == name) {
+                cases.push(synthetic_case(name, 2.0));
+            }
+        }
         PerfReport {
             smoke: true,
             simd: simd.to_string(),
@@ -863,6 +916,49 @@ mod tests {
             .checks
             .iter()
             .any(|c| !c.pass && c.check == "serve case present in fresh run"));
+    }
+
+    #[test]
+    fn backbone_zoo_floor_and_presence_have_teeth() {
+        let base = synthetic_report(
+            "avx2",
+            vec![
+                synthetic_case("streaming_predict", 8.0),
+                synthetic_serve_case(0.9, 6.0),
+            ],
+        );
+        assert!(judge(&base, &base.clone()).pass);
+
+        // A backbone plan falling materially behind its mutable path
+        // fails the absolute zoo floor.
+        let mut collapsed = base.clone();
+        for case in &mut collapsed.sweeps[0].cases {
+            if case.name == "backbone_transapp" {
+                case.speedup = 0.8;
+            }
+        }
+        let verdict = judge(&base, &collapsed);
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.case == "backbone_transapp" && c.check == "speedup floor"));
+
+        // A fresh run with no backbone cases fails even against a
+        // baseline that never had them (pre-zoo baseline).
+        let strip = |report: &PerfReport| {
+            let mut r = report.clone();
+            r.sweeps[0]
+                .cases
+                .retain(|c| !c.name.starts_with("backbone_"));
+            r
+        };
+        let verdict = judge(&strip(&base), &strip(&base));
+        assert!(!verdict.pass);
+        assert!(verdict
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.check == "backbone case present in fresh run"));
     }
 
     #[test]

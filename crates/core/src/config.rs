@@ -1,6 +1,7 @@
 //! CamAL hyper-parameters, defaulting to the paper's choices.
 
 use ds_neural::train::TrainConfig;
+use ds_neural::Backbone;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the localization pipeline (steps 2–6), with one switch per
@@ -40,6 +41,12 @@ impl Default for LocalizerConfig {
 pub struct CamalConfig {
     /// Kernel sizes of the ensemble members — the paper's `k ∈ {5, 7, 9, 15}`.
     pub kernel_sizes: Vec<usize>,
+    /// Backbone of each member: member `i` uses `backbones[i % backbones.len()]`,
+    /// so one entry makes a homogeneous ensemble and several entries cycle
+    /// for a mixed one. Empty (the default, and what pre-backbone configs
+    /// deserialize to) means all-ResNet — the paper's setup.
+    #[serde(default)]
+    pub backbones: Vec<Backbone>,
     /// Residual-block output channels of every member.
     pub channels: Vec<usize>,
     /// Training hyper-parameters shared by the members.
@@ -57,6 +64,7 @@ impl Default for CamalConfig {
     fn default() -> Self {
         CamalConfig {
             kernel_sizes: vec![5, 7, 9, 15],
+            backbones: Vec::new(),
             channels: vec![16, 32],
             train: TrainConfig::default(),
             localizer: LocalizerConfig::default(),
@@ -86,6 +94,23 @@ impl CamalConfig {
     pub fn ensemble_size(&self) -> usize {
         self.kernel_sizes.len()
     }
+
+    /// Backbone of member `i` (the `backbones` list cycles; empty means
+    /// ResNet for every member).
+    pub fn backbone_for(&self, i: usize) -> Backbone {
+        if self.backbones.is_empty() {
+            Backbone::ResNet
+        } else {
+            self.backbones[i % self.backbones.len()]
+        }
+    }
+
+    /// The backbone identifying this model in caches and registries: the
+    /// first member's. Homogeneous ensembles (the common case — selection
+    /// UIs build one model per backbone) are fully described by it.
+    pub fn lead_backbone(&self) -> Backbone {
+        self.backbone_for(0)
+    }
 }
 
 #[cfg(test)]
@@ -114,9 +139,34 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let cfg = CamalConfig::default();
+        let cfg = CamalConfig {
+            backbones: vec![Backbone::Inception, Backbone::TransApp],
+            ..CamalConfig::default()
+        };
         let json = serde_json::to_string(&cfg).unwrap();
         let back: CamalConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn backbones_cycle_and_default_to_resnet() {
+        let mut cfg = CamalConfig::default();
+        assert_eq!(cfg.backbone_for(3), Backbone::ResNet);
+        assert_eq!(cfg.lead_backbone(), Backbone::ResNet);
+        cfg.backbones = vec![Backbone::Inception, Backbone::TransApp];
+        assert_eq!(cfg.backbone_for(0), Backbone::Inception);
+        assert_eq!(cfg.backbone_for(1), Backbone::TransApp);
+        assert_eq!(cfg.backbone_for(2), Backbone::Inception);
+        assert_eq!(cfg.lead_backbone(), Backbone::Inception);
+        // Pre-backbone configs (no `backbones` key at all) deserialize to
+        // the all-ResNet default.
+        let json = serde_json::to_string(&CamalConfig::default())
+            .unwrap()
+            .replace("\"backbones\":[],", "")
+            .replace(",\"backbones\":[]", "");
+        assert!(!json.contains("backbones"), "key not stripped: {json}");
+        let legacy: CamalConfig = serde_json::from_str(&json).unwrap();
+        assert!(legacy.backbones.is_empty());
+        assert_eq!(legacy.lead_backbone(), Backbone::ResNet);
     }
 }

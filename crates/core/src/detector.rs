@@ -1,10 +1,113 @@
 //! Steps 1–2 of the pipeline: ensemble prediction and thresholded
-//! detection.
+//! detection — plus the [`Detector`] trait, the surface every ensemble
+//! member presents regardless of backbone.
 
 use crate::config::LocalizerConfig;
 use crate::ensemble::ResNetEnsemble;
 use crate::z_normalize_window;
 use ds_neural::tensor::Tensor;
+use ds_neural::train::{train_classifier, TrainConfig, TrainReport};
+use ds_neural::{Backbone, DetectorNet, FrozenDetector, QuantizedDetector, ResNet};
+
+/// The lifecycle surface of one ensemble member, independent of its
+/// architecture: train on weak labels, predict probability + class-1 CAM,
+/// and compile into the frozen / int8 serving plans. The ensemble drives
+/// its members exclusively through this trait, which is what lets
+/// ResNet, Inception and TransApp members coexist in one model.
+///
+/// Implementors: [`DetectorNet`] (the backbone-tagged member every
+/// checkpoint stores) and plain [`ResNet`] (retrofitted, so pre-zoo code
+/// and tests keep compiling against the same surface).
+pub trait Detector {
+    /// Architecture tag (plan caches key on it).
+    fn backbone(&self) -> Backbone;
+
+    /// Receptive-field knob — the paper's ensemble-diversity parameter.
+    fn kernel(&self) -> usize;
+
+    /// Train on z-normalized windows with weak labels.
+    fn train_member(
+        &mut self,
+        windows: &[Vec<f32>],
+        labels: &[u8],
+        cfg: &TrainConfig,
+    ) -> TrainReport;
+
+    /// Positive-class probability and class-1 CAM per window of a
+    /// `[B, 1, L]` batch (pure — shareable at prediction time).
+    fn infer_with_cam(&self, x: &Tensor) -> (Vec<f32>, Vec<Vec<f32>>);
+
+    /// Compile into the frozen f32 serving plan.
+    fn freeze(&self) -> FrozenDetector;
+
+    /// Compile into the int8 serving plan, calibrating on `calib`.
+    fn freeze_quantized(&self, calib: &Tensor) -> QuantizedDetector;
+}
+
+impl Detector for DetectorNet {
+    fn backbone(&self) -> Backbone {
+        DetectorNet::backbone(self)
+    }
+
+    fn kernel(&self) -> usize {
+        DetectorNet::kernel(self)
+    }
+
+    fn train_member(
+        &mut self,
+        windows: &[Vec<f32>],
+        labels: &[u8],
+        cfg: &TrainConfig,
+    ) -> TrainReport {
+        train_classifier(self, windows, labels, cfg)
+    }
+
+    fn infer_with_cam(&self, x: &Tensor) -> (Vec<f32>, Vec<Vec<f32>>) {
+        DetectorNet::infer_with_cam(self, x)
+    }
+
+    fn freeze(&self) -> FrozenDetector {
+        DetectorNet::freeze(self)
+    }
+
+    fn freeze_quantized(&self, calib: &Tensor) -> QuantizedDetector {
+        DetectorNet::freeze_quantized(self, calib)
+    }
+}
+
+impl Detector for ResNet {
+    fn backbone(&self) -> Backbone {
+        Backbone::ResNet
+    }
+
+    fn kernel(&self) -> usize {
+        ResNet::kernel(self)
+    }
+
+    fn train_member(
+        &mut self,
+        windows: &[Vec<f32>],
+        labels: &[u8],
+        cfg: &TrainConfig,
+    ) -> TrainReport {
+        train_classifier(self, windows, labels, cfg)
+    }
+
+    fn infer_with_cam(&self, x: &Tensor) -> (Vec<f32>, Vec<Vec<f32>>) {
+        ResNet::infer_with_cam(self, x)
+    }
+
+    fn freeze(&self) -> FrozenDetector {
+        FrozenDetector::ResNet(ds_neural::FrozenResNet::freeze(self))
+    }
+
+    fn freeze_quantized(&self, calib: &Tensor) -> QuantizedDetector {
+        QuantizedDetector::ResNet(ds_neural::QuantizedResNet::quantize(
+            &ds_neural::FrozenResNet::freeze(self),
+            calib,
+        ))
+    }
+}
 
 /// Outcome of the detection step for one window.
 #[derive(Debug, Clone, PartialEq)]

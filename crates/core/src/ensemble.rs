@@ -1,12 +1,20 @@
-//! The ResNet ensemble (paper §II-A): one network per kernel size, each
+//! The detector ensemble (paper §II-A): one network per kernel size, each
 //! trained independently on the same weak labels. *"This approach is based
 //! on the premise that varying kernel sizes change the receptive fields of
 //! the CNN, offering different levels of explainability."*
+//!
+//! Since the backbone-zoo change the ensemble is architecture-agnostic:
+//! members are [`DetectorNet`]s driven exclusively through the
+//! [`Detector`](crate::detector::Detector) trait, so ResNet, Inception and
+//! TransApp members mix freely in one model (the `backbones` list in
+//! [`CamalConfig`] cycles over members). [`ResNetEnsemble`] remains as an
+//! alias for the paper's all-ResNet default.
 
 use crate::config::CamalConfig;
+use crate::detector::Detector;
 use ds_neural::tensor::Tensor;
-use ds_neural::train::{train_classifier, TrainReport};
-use ds_neural::{FrozenResNet, InferenceArena, QuantizedResNet, ResNet, ResNetConfig};
+use ds_neural::train::TrainReport;
+use ds_neural::{Backbone, DetectorNet, FrozenDetector, InferenceArena, QuantizedDetector};
 use serde::{Deserialize, Serialize};
 
 /// Numeric precision of a frozen serving plan.
@@ -39,11 +47,16 @@ impl Precision {
     }
 }
 
-/// An ensemble of independently trained ResNet detectors.
+/// An ensemble of independently trained detectors, possibly of mixed
+/// backbones.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ResNetEnsemble {
-    members: Vec<ResNet>,
+pub struct DetectorEnsemble {
+    members: Vec<DetectorNet>,
 }
+
+/// The paper's all-ResNet ensemble is just a [`DetectorEnsemble`] whose
+/// every member happens to be a ResNet; pre-zoo call sites keep the name.
+pub type ResNetEnsemble = DetectorEnsemble;
 
 /// Per-member output for one window batch: the positive-class probability
 /// and the class-1 CAM of each window.
@@ -51,36 +64,41 @@ pub struct ResNetEnsemble {
 pub struct MemberOutput {
     /// Kernel size of the member that produced this output.
     pub kernel: usize,
+    /// Architecture of the member that produced this output.
+    pub backbone: Backbone,
     /// Positive-class probability per window.
     pub probs: Vec<f32>,
     /// Class-1 CAM per window.
     pub cams: Vec<Vec<f32>>,
 }
 
-impl ResNetEnsemble {
-    /// Build untrained members from a configuration.
-    pub fn untrained(config: &CamalConfig) -> ResNetEnsemble {
+impl DetectorEnsemble {
+    /// Build untrained members from a configuration. Member `i` gets
+    /// kernel `kernel_sizes[i]` and the backbone
+    /// [`CamalConfig::backbone_for`]`(i)` (all-ResNet unless configured).
+    pub fn untrained(config: &CamalConfig) -> DetectorEnsemble {
         let members = config
             .kernel_sizes
             .iter()
             .enumerate()
             .map(|(i, &k)| {
-                ResNet::new(ResNetConfig {
-                    in_channels: 1,
-                    channels: config.channels.clone(),
-                    kernel: k,
-                    num_classes: 2,
-                    seed: config.seed.wrapping_add(i as u64),
-                })
+                DetectorNet::for_backbone(
+                    config.backbone_for(i),
+                    1,
+                    &config.channels,
+                    k,
+                    2,
+                    config.seed.wrapping_add(i as u64),
+                )
             })
             .collect();
-        ResNetEnsemble { members }
+        DetectorEnsemble { members }
     }
 
     /// Wrap trained members.
-    pub fn from_members(members: Vec<ResNet>) -> ResNetEnsemble {
+    pub fn from_members(members: Vec<DetectorNet>) -> DetectorEnsemble {
         assert!(!members.is_empty(), "ensemble needs at least one member");
-        ResNetEnsemble { members }
+        DetectorEnsemble { members }
     }
 
     /// Member count `N`.
@@ -94,22 +112,22 @@ impl ResNetEnsemble {
     }
 
     /// Borrow the members.
-    pub fn members(&self) -> &[ResNet] {
+    pub fn members(&self) -> &[DetectorNet] {
         &self.members
     }
 
     /// Mutably borrow the members (weight inspection in benches/tests).
-    pub fn members_mut(&mut self) -> &mut [ResNet] {
+    pub fn members_mut(&mut self) -> &mut [DetectorNet] {
         &mut self.members
     }
 
     /// Drop every member except those at `keep` (selection step). Members
-    /// are moved out of the old vector, not cloned — a ResNet owns all of
+    /// are moved out of the old vector, not cloned — a member owns all of
     /// its weight/optimizer buffers, so cloning here used to double the
     /// ensemble's peak memory during selection.
     pub fn retain_indices(&mut self, keep: &[usize]) {
         assert!(!keep.is_empty(), "cannot retain zero members");
-        let mut slots: Vec<Option<ResNet>> = std::mem::take(&mut self.members)
+        let mut slots: Vec<Option<DetectorNet>> = std::mem::take(&mut self.members)
             .into_iter()
             .map(Some)
             .collect();
@@ -121,13 +139,13 @@ impl ResNetEnsemble {
 
     /// Train every member on the same `(windows, labels)` corpus,
     /// concurrently across the ds-par worker team (one task per member).
-    /// Members differ in kernel size and seed, exactly as in the paper;
-    /// each owns an independent shuffle RNG, so member-parallel training
-    /// is deterministic by construction. Inside a worker, nested ds-par
-    /// calls (the layer micro-batch fan-outs) run sequentially, so member
-    /// parallelism never oversubscribes the team the way the previous
-    /// one-OS-thread-per-member scheme did — and `DS_PAR_THREADS=1`
-    /// degrades to a plain sequential loop over members.
+    /// Members differ in kernel size and seed (and possibly backbone),
+    /// exactly as in the paper; each owns an independent shuffle RNG, so
+    /// member-parallel training is deterministic by construction. Inside a
+    /// worker, nested ds-par calls (the layer micro-batch fan-outs) run
+    /// sequentially, so member parallelism never oversubscribes the team
+    /// the way the previous one-OS-thread-per-member scheme did — and
+    /// `DS_PAR_THREADS=1` degrades to a plain sequential loop over members.
     ///
     /// Returns one [`TrainReport`] per member.
     pub fn train(
@@ -144,11 +162,12 @@ impl ResNetEnsemble {
             // Worker threads root their own span stack, so each member's
             // wall time aggregates under this path.
             let _span = ds_obs::span!("train.member");
-            let report = train_classifier(member, windows, labels, &cfg);
+            let report = member.train_member(windows, labels, &cfg);
             ds_obs::event!(
                 "ensemble_member_trained",
                 member = i,
                 kernel = member.kernel(),
+                backbone = member.backbone().label(),
                 epochs = report.epoch_losses.len(),
                 train_accuracy = report.train_accuracy,
                 early_stopped = report.early_stopped,
@@ -168,10 +187,11 @@ impl ResNetEnsemble {
     /// bit-identical to a sequential loop at any `DS_PAR_THREADS`.
     pub fn predict(&self, x: &Tensor) -> Vec<MemberOutput> {
         let _span = ds_obs::span!("ensemble.predict");
-        let member_output = |m: &ResNet| {
-            let (probs, cams) = m.infer_with_cam(x);
+        let member_output = |m: &DetectorNet| {
+            let (probs, cams) = Detector::infer_with_cam(m, x);
             MemberOutput {
                 kernel: m.kernel(),
+                backbone: m.backbone(),
                 probs,
                 cams,
             }
@@ -186,7 +206,7 @@ impl ResNetEnsemble {
     }
 
     /// Compile every member into its frozen inference plan (BN folded,
-    /// ReLU fused, arena-driven; see [`FrozenResNet`]). The source
+    /// ReLU fused, arena-driven; see [`FrozenDetector`]). The source
     /// ensemble is untouched — it remains the trainable form, and can be
     /// re-frozen after further training.
     pub fn freeze(&self) -> FrozenEnsemble {
@@ -195,7 +215,7 @@ impl ResNetEnsemble {
                 .members
                 .iter()
                 .map(|m| FrozenMember {
-                    plan: MemberPlan::F32(FrozenResNet::freeze(m)),
+                    plan: MemberPlan::F32(Detector::freeze(m)),
                     arena: InferenceArena::new(),
                 })
                 .collect(),
@@ -206,7 +226,7 @@ impl ResNetEnsemble {
     }
 
     /// Compile every member into an **int8** frozen plan: freeze (BN
-    /// folding as in [`ResNetEnsemble::freeze`]), then quantize with
+    /// folding as in [`DetectorEnsemble::freeze`]), then quantize with
     /// activation scales calibrated per member on `calib` — a batch of
     /// held-out windows pre-processed exactly like serving inputs
     /// (z-normalized). The f32 frozen plan stays available; decision
@@ -216,12 +236,9 @@ impl ResNetEnsemble {
             members: self
                 .members
                 .iter()
-                .map(|m| {
-                    let frozen = FrozenResNet::freeze(m);
-                    FrozenMember {
-                        plan: MemberPlan::Int8(QuantizedResNet::quantize(&frozen, calib)),
-                        arena: InferenceArena::new(),
-                    }
+                .map(|m| FrozenMember {
+                    plan: MemberPlan::Int8(Detector::freeze_quantized(m, calib)),
+                    arena: InferenceArena::new(),
                 })
                 .collect(),
             ens_probs: Vec::new(),
@@ -253,8 +270,8 @@ impl ResNetEnsemble {
 /// variants serve through the same [`InferenceArena`] interface.
 #[derive(Debug, Clone)]
 enum MemberPlan {
-    F32(FrozenResNet),
-    Int8(QuantizedResNet),
+    F32(FrozenDetector),
+    Int8(QuantizedDetector),
 }
 
 impl MemberPlan {
@@ -269,6 +286,13 @@ impl MemberPlan {
         match self {
             MemberPlan::F32(net) => net.kernel(),
             MemberPlan::Int8(net) => net.kernel(),
+        }
+    }
+
+    fn backbone(&self) -> Backbone {
+        match self {
+            MemberPlan::F32(net) => net.backbone(),
+            MemberPlan::Int8(net) => net.backbone(),
         }
     }
 
@@ -296,6 +320,11 @@ impl FrozenMember {
         self.plan.kernel()
     }
 
+    /// Architecture of this member's plan.
+    pub fn backbone(&self) -> Backbone {
+        self.plan.backbone()
+    }
+
     /// Positive-class probability per window of the most recent pass.
     pub fn probs(&self) -> &[f32] {
         self.arena.probs()
@@ -312,9 +341,10 @@ impl FrozenMember {
     }
 }
 
-/// The serving form of a [`ResNetEnsemble`]: every member compiled to a
-/// [`FrozenResNet`], plus reused output buffers. Built once per trained
-/// ensemble via [`ResNetEnsemble::freeze`].
+/// The serving form of a [`DetectorEnsemble`]: every member compiled to a
+/// [`FrozenDetector`] (or [`QuantizedDetector`] at int8), plus reused
+/// output buffers. Built once per trained ensemble via
+/// [`DetectorEnsemble::freeze`].
 ///
 /// Prediction is `&mut self` (it writes the member arenas), sequential
 /// over members, and — after the first call per window shape — performs
@@ -369,7 +399,7 @@ impl FrozenEnsemble {
     /// batch and compute `Prob_ens`. Results live in the member arenas
     /// ([`FrozenMember::probs`]/[`FrozenMember::cam`]) and
     /// [`FrozenEnsemble::ensemble_probs`]. The mean accumulates in member
-    /// order, matching [`ResNetEnsemble::ensemble_probability`] exactly.
+    /// order, matching [`DetectorEnsemble::ensemble_probability`] exactly.
     pub fn predict_into(&mut self, x: &Tensor) {
         let _span = ds_obs::span!("frozen.predict");
         let b = x.batch;
@@ -440,18 +470,33 @@ mod tests {
     #[test]
     fn untrained_members_match_config() {
         let cfg = CamalConfig::fast_test();
-        let ens = ResNetEnsemble::untrained(&cfg);
+        let ens = DetectorEnsemble::untrained(&cfg);
         assert_eq!(ens.len(), 2);
         assert!(!ens.is_empty());
         assert_eq!(ens.members()[0].kernel(), 3);
         assert_eq!(ens.members()[1].kernel(), 5);
+        assert!(ens
+            .members()
+            .iter()
+            .all(|m| m.backbone() == Backbone::ResNet));
+    }
+
+    #[test]
+    fn mixed_backbones_cycle_over_members() {
+        let cfg = CamalConfig {
+            backbones: vec![Backbone::Inception, Backbone::TransApp],
+            ..CamalConfig::fast_test()
+        };
+        let ens = DetectorEnsemble::untrained(&cfg);
+        assert_eq!(ens.members()[0].backbone(), Backbone::Inception);
+        assert_eq!(ens.members()[1].backbone(), Backbone::TransApp);
     }
 
     #[test]
     fn parallel_training_improves_all_members() {
         let cfg = CamalConfig::fast_test();
         let (windows, labels) = toy_corpus(24, 40);
-        let mut ens = ResNetEnsemble::untrained(&cfg);
+        let mut ens = DetectorEnsemble::untrained(&cfg);
         let reports = ens.train(&windows, &labels, &cfg);
         assert_eq!(reports.len(), 2);
         for r in &reports {
@@ -469,16 +514,18 @@ mod tests {
         let outputs = vec![
             MemberOutput {
                 kernel: 5,
+                backbone: Backbone::ResNet,
                 probs: vec![0.2, 0.8],
                 cams: vec![vec![], vec![]],
             },
             MemberOutput {
                 kernel: 7,
+                backbone: Backbone::Inception,
                 probs: vec![0.6, 0.4],
                 cams: vec![vec![], vec![]],
             },
         ];
-        let p = ResNetEnsemble::ensemble_probability(&outputs);
+        let p = DetectorEnsemble::ensemble_probability(&outputs);
         assert!((p[0] - 0.4).abs() < 1e-6);
         assert!((p[1] - 0.6).abs() < 1e-6);
     }
@@ -486,7 +533,7 @@ mod tests {
     #[test]
     fn predict_returns_member_outputs() {
         let cfg = CamalConfig::fast_test();
-        let ens = ResNetEnsemble::untrained(&cfg);
+        let ens = DetectorEnsemble::untrained(&cfg);
         let x = Tensor::from_windows(&[vec![0.5; 32], vec![0.2; 32]]);
         let outputs = ens.predict(&x);
         assert_eq!(outputs.len(), 2);
@@ -494,6 +541,7 @@ mod tests {
             assert_eq!(out.probs.len(), 2);
             assert_eq!(out.cams.len(), 2);
             assert_eq!(out.cams[0].len(), 32);
+            assert_eq!(out.backbone, Backbone::ResNet);
         }
         assert_eq!(outputs[0].kernel, 3);
     }
@@ -501,7 +549,7 @@ mod tests {
     #[test]
     fn retain_indices_selects_members() {
         let cfg = CamalConfig::fast_test();
-        let mut ens = ResNetEnsemble::untrained(&cfg);
+        let mut ens = DetectorEnsemble::untrained(&cfg);
         ens.retain_indices(&[1]);
         assert_eq!(ens.len(), 1);
         assert_eq!(ens.members()[0].kernel(), 5);
@@ -510,21 +558,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one member")]
     fn empty_ensemble_rejected() {
-        let _ = ResNetEnsemble::from_members(vec![]);
+        let _ = DetectorEnsemble::from_members(vec![]);
     }
 
     #[test]
     fn frozen_matches_reference_and_allocates_nothing() {
         let cfg = CamalConfig::fast_test();
         let (windows, labels) = toy_corpus(24, 40);
-        let mut ens = ResNetEnsemble::untrained(&cfg);
+        let mut ens = DetectorEnsemble::untrained(&cfg);
         // Training moves the BN running statistics (folding becomes
         // non-trivial) and pushes probabilities away from the 0.5 decision
         // boundary.
         ens.train(&windows, &labels, &cfg);
         let x = Tensor::from_windows(&windows[..5]);
         let outputs = ens.predict(&x);
-        let probs = ResNetEnsemble::ensemble_probability(&outputs);
+        let probs = DetectorEnsemble::ensemble_probability(&outputs);
         let mut frozen = ens.freeze();
         assert_eq!(frozen.len(), ens.len());
         assert!(!frozen.is_empty());
@@ -535,6 +583,7 @@ mod tests {
         }
         for (m, out) in frozen.members().iter().zip(&outputs) {
             assert_eq!(m.kernel(), out.kernel);
+            assert_eq!(m.backbone(), out.backbone);
             for i in 0..5 {
                 assert!((m.probs()[i] - out.probs[i]).abs() < 1e-4);
                 for (a, b) in m.cam(i).iter().zip(&out.cams[i]) {
@@ -552,17 +601,66 @@ mod tests {
     }
 
     #[test]
+    fn mixed_backbone_ensemble_trains_predicts_and_freezes() {
+        // One member per backbone — the zoo's core promise: heterogeneous
+        // members behind one `Detector` surface, frozen plans included.
+        let cfg = CamalConfig {
+            kernel_sizes: vec![3, 5, 5],
+            backbones: vec![Backbone::ResNet, Backbone::Inception, Backbone::TransApp],
+            ..CamalConfig::fast_test()
+        };
+        let (windows, labels) = toy_corpus(24, 40);
+        let mut ens = DetectorEnsemble::untrained(&cfg);
+        let reports = ens.train(&windows, &labels, &cfg);
+        assert_eq!(reports.len(), 3);
+        assert!(reports
+            .iter()
+            .all(|r| r.epoch_losses.iter().all(|l| l.is_finite())));
+        let x = Tensor::from_windows(&windows[..4]);
+        let outputs = ens.predict(&x);
+        let backbones: Vec<Backbone> = outputs.iter().map(|o| o.backbone).collect();
+        assert_eq!(
+            backbones,
+            vec![Backbone::ResNet, Backbone::Inception, Backbone::TransApp]
+        );
+        let probs = DetectorEnsemble::ensemble_probability(&outputs);
+        let mut frozen = ens.freeze();
+        frozen.predict_into(&x);
+        for (i, (&f, &r)) in frozen.ensemble_probs().iter().zip(&probs).enumerate() {
+            assert!((f - r).abs() < 1e-4, "window {i}: frozen {f} vs {r}");
+            assert_eq!(f > 0.5, r > 0.5, "decision flip at window {i}");
+        }
+        // Int8 plans of every backbone serve through the same arenas.
+        let mut quant = ens.freeze_quantized(&x);
+        assert_eq!(quant.precision(), Precision::Int8);
+        quant.predict_into(&x);
+        for (&q, &r) in quant.ensemble_probs().iter().zip(&probs) {
+            assert!((q - r).abs() < 0.05, "int8 drifted: {q} vs {r}");
+        }
+        let before = ds_obs::alloc_count();
+        for _ in 0..3 {
+            frozen.predict_into(&x);
+            quant.predict_into(&x);
+        }
+        assert_eq!(
+            ds_obs::alloc_count(),
+            before,
+            "mixed frozen predict allocated"
+        );
+    }
+
+    #[test]
     fn deterministic_parallel_training() {
         // Members train on separate threads but each is seeded; results must
         // be identical across runs.
         let cfg = CamalConfig::fast_test();
         let (windows, labels) = toy_corpus(12, 24);
         let run = || {
-            let mut ens = ResNetEnsemble::untrained(&cfg);
+            let mut ens = DetectorEnsemble::untrained(&cfg);
             ens.train(&windows, &labels, &cfg);
             let x = Tensor::from_windows(&[windows[0].clone()]);
             let outputs = ens.predict(&x);
-            ResNetEnsemble::ensemble_probability(&outputs)
+            DetectorEnsemble::ensemble_probability(&outputs)
         };
         assert_eq!(run(), run());
     }

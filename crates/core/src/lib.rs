@@ -65,8 +65,9 @@ pub mod streaming;
 pub mod train;
 
 pub use config::{CamalConfig, LocalizerConfig};
-pub use detector::Detection;
-pub use ensemble::{FrozenEnsemble, Precision, ResNetEnsemble};
+pub use detector::{Detection, Detector};
+pub use ds_neural::{Backbone, DetectorNet, FrozenDetector, QuantizedDetector};
+pub use ensemble::{DetectorEnsemble, FrozenEnsemble, MemberOutput, Precision, ResNetEnsemble};
 pub use error::CamalError;
 pub use localizer::{Localization, LocalizationBatch, WINDOW_CHUNK};
 pub use streaming::StreamingCamal;

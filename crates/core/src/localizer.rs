@@ -461,6 +461,7 @@ mod tests {
     fn member(probs: Vec<f32>, cams: Vec<Vec<f32>>) -> MemberOutput {
         MemberOutput {
             kernel: 5,
+            backbone: ds_neural::Backbone::ResNet,
             probs,
             cams,
         }

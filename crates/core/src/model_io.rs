@@ -1,20 +1,49 @@
 //! Persistence of trained CamAL models (ensemble weights + configuration)
 //! as versioned JSON, matching the substrate's checkpoint conventions.
+//!
+//! Two on-disk formats exist:
+//!
+//! - **v1** (pre-backbone-zoo): members are bare ResNets — the format
+//!   carried no backbone information because there was only one.
+//! - **v2** (current): members are externally tagged [`DetectorNet`]s, so
+//!   every member records its backbone (`{"ResNet": {...}}`,
+//!   `{"Inception": {...}}`, ...) and heterogeneous ensembles round-trip.
+//!
+//! [`from_json`] probes `format_version` before committing to a schema, so
+//! v1 files keep loading forever (mapped to all-ResNet ensembles,
+//! bit-identically — the fixture test freezes both sides and compares raw
+//! parameter bits). Unknown future versions are rejected with
+//! [`CamalIoError::Version`] instead of a confusing schema error.
 
 use crate::config::CamalConfig;
-use crate::ensemble::ResNetEnsemble;
+use crate::ensemble::DetectorEnsemble;
 use crate::Camal;
+use ds_neural::{DetectorNet, ResNet};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Current CamAL checkpoint format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct CamalCheckpoint {
     format_version: u32,
     config: CamalConfig,
-    ensemble: ResNetEnsemble,
+    ensemble: DetectorEnsemble,
+}
+
+/// The v1 schema: an ensemble of untagged ResNet members. `Serialize` is
+/// kept so the compatibility tests can author genuine v1 files.
+#[derive(Debug, Serialize, Deserialize)]
+struct CamalCheckpointV1 {
+    format_version: u32,
+    config: CamalConfig,
+    ensemble: EnsembleV1,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct EnsembleV1 {
+    members: Vec<ResNet>,
 }
 
 /// Errors from CamAL model persistence.
@@ -39,7 +68,7 @@ impl std::fmt::Display for CamalIoError {
             CamalIoError::Version { found } => {
                 write!(
                     f,
-                    "camal checkpoint version {found}, expected {FORMAT_VERSION}"
+                    "camal checkpoint version {found}, expected 1..={FORMAT_VERSION}"
                 )
             }
         }
@@ -54,7 +83,7 @@ impl From<std::io::Error> for CamalIoError {
     }
 }
 
-/// Serialize a trained model to JSON.
+/// Serialize a trained model to JSON (always the current format version).
 pub fn to_json(model: &Camal) -> String {
     serde_json::to_string(&CamalCheckpoint {
         format_version: FORMAT_VERSION,
@@ -64,16 +93,39 @@ pub fn to_json(model: &Camal) -> String {
     .expect("CamAL serialization is infallible")
 }
 
-/// Deserialize a model from JSON.
+/// Deserialize a model from JSON, accepting both the current format and
+/// the pre-backbone v1 format.
 pub fn from_json(json: &str) -> Result<Camal, CamalIoError> {
-    let ckpt: CamalCheckpoint =
-        serde_json::from_str(json).map_err(|e| CamalIoError::Format(e.to_string()))?;
-    if ckpt.format_version != FORMAT_VERSION {
-        return Err(CamalIoError::Version {
-            found: ckpt.format_version,
-        });
+    let value =
+        serde_json::parse_value_complete(json).map_err(|e| CamalIoError::Format(e.to_string()))?;
+    let version = value
+        .get("format_version")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| CamalIoError::Format("missing format_version".into()))?;
+    match version {
+        1 => {
+            let ckpt: CamalCheckpointV1 =
+                serde_json::from_value(&value).map_err(|e| CamalIoError::Format(e.to_string()))?;
+            let members = ckpt
+                .ensemble
+                .members
+                .into_iter()
+                .map(DetectorNet::ResNet)
+                .collect();
+            Ok(Camal::from_parts(
+                DetectorEnsemble::from_members(members),
+                ckpt.config,
+            ))
+        }
+        2 => {
+            let ckpt: CamalCheckpoint =
+                serde_json::from_value(&value).map_err(|e| CamalIoError::Format(e.to_string()))?;
+            Ok(Camal::from_parts(ckpt.ensemble, ckpt.config))
+        }
+        other => Err(CamalIoError::Version {
+            found: other as u32,
+        }),
     }
-    Ok(Camal::from_parts(ckpt.ensemble, ckpt.config))
 }
 
 /// Save a trained model to a file.
@@ -92,10 +144,33 @@ pub fn load(path: impl AsRef<Path>) -> Result<Camal, CamalIoError> {
 mod tests {
     use super::*;
     use crate::config::CamalConfig;
+    use ds_neural::Backbone;
 
     fn untrained_model() -> Camal {
         let cfg = CamalConfig::fast_test();
-        Camal::from_parts(ResNetEnsemble::untrained(&cfg), cfg)
+        Camal::from_parts(DetectorEnsemble::untrained(&cfg), cfg)
+    }
+
+    /// Author a genuine v1 checkpoint for `model` (all members must be
+    /// ResNets): untagged members, no `backbones` config key.
+    fn v1_json(model: &Camal) -> String {
+        let members: Vec<ResNet> = model
+            .ensemble()
+            .members()
+            .iter()
+            .map(|m| match m {
+                DetectorNet::ResNet(n) => n.clone(),
+                other => panic!("v1 cannot hold a {} member", other.backbone()),
+            })
+            .collect();
+        serde_json::to_string(&CamalCheckpointV1 {
+            format_version: 1,
+            config: model.config().clone(),
+            ensemble: EnsembleV1 { members },
+        })
+        .unwrap()
+        .replace("\"backbones\":[],", "")
+        .replace(",\"backbones\":[]", "")
     }
 
     #[test]
@@ -113,6 +188,32 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_preserves_mixed_backbones() {
+        let cfg = CamalConfig {
+            backbones: vec![Backbone::Inception, Backbone::TransApp],
+            ..CamalConfig::fast_test()
+        };
+        let model = Camal::from_parts(DetectorEnsemble::untrained(&cfg), cfg);
+        let json = to_json(&model);
+        // The externally tagged member form *is* the per-member backbone tag.
+        assert!(json.contains("\"Inception\""));
+        assert!(json.contains("\"TransApp\""));
+        let back = from_json(&json).unwrap();
+        let tags: Vec<Backbone> = back
+            .ensemble()
+            .members()
+            .iter()
+            .map(|m| m.backbone())
+            .collect();
+        assert_eq!(tags, vec![Backbone::Inception, Backbone::TransApp]);
+        assert_eq!(
+            model.freeze().ensemble().param_bits(),
+            back.freeze().ensemble().param_bits(),
+            "mixed-backbone frozen plan drifted across a round trip"
+        );
+    }
+
+    #[test]
     fn freeze_after_round_trip_is_bit_identical() {
         // BN folding consumes gamma/beta/running stats and conv weights;
         // if the checkpoint preserves those exactly (it serializes f32s
@@ -127,15 +228,52 @@ mod tests {
     }
 
     #[test]
+    fn v1_checkpoint_still_loads() {
+        // A file written by the pre-backbone format: untagged ResNet
+        // members, no `backbones` key anywhere.
+        let model = untrained_model();
+        let json = v1_json(&model);
+        assert!(json.contains("\"format_version\":1"));
+        assert!(!json.contains("backbones"));
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.ensemble().len(), model.ensemble().len());
+        assert!(back
+            .ensemble()
+            .members()
+            .iter()
+            .all(|m| m.backbone() == Backbone::ResNet));
+        // Bit-identical serving plans: v1 loading is lossless, not merely
+        // approximate.
+        assert_eq!(
+            model.freeze().ensemble().param_bits(),
+            back.freeze().ensemble().param_bits(),
+            "v1-loaded frozen plan drifted from the source model"
+        );
+        // And the loaded model re-saves as v2, round-tripping from there.
+        let rewritten = to_json(&back);
+        assert!(rewritten.contains("\"format_version\":2"));
+        let again = from_json(&rewritten).unwrap();
+        assert_eq!(
+            back.freeze().ensemble().param_bits(),
+            again.freeze().ensemble().param_bits()
+        );
+    }
+
+    #[test]
     fn version_and_format_guards() {
+        // Future versions are rejected by number, not by schema accident.
         let json =
-            to_json(&untrained_model()).replace("\"format_version\":1", "\"format_version\":2");
+            to_json(&untrained_model()).replace("\"format_version\":2", "\"format_version\":3");
         assert!(matches!(
             from_json(&json),
-            Err(CamalIoError::Version { found: 2 })
+            Err(CamalIoError::Version { found: 3 })
         ));
         assert!(matches!(
             from_json("not json"),
+            Err(CamalIoError::Format(_))
+        ));
+        assert!(matches!(
+            from_json("{\"config\":{}}"),
             Err(CamalIoError::Format(_))
         ));
     }

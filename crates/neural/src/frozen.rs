@@ -84,6 +84,50 @@ impl FrozenConv {
         }
     }
 
+    /// Fold an explicit per-output-channel affine (`scale`, `shift`) into
+    /// `conv` — the general form of [`FrozenConv::fold`] for BatchNorm
+    /// layers that normalize a *concatenation* of several convolutions'
+    /// outputs (the Inception block): each branch conv folds the slice of
+    /// the affine covering its output-channel range.
+    pub(crate) fn fold_affine(conv: &Conv1d, scale: &[f32], shift: &[f32]) -> FrozenConv {
+        assert_eq!(conv.out_channels, scale.len(), "affine length mismatch");
+        assert_eq!(conv.out_channels, shift.len(), "affine length mismatch");
+        let per_oc = conv.in_channels * conv.kernel;
+        let mut weight = conv.weight.clone();
+        for (oc, &s) in scale.iter().enumerate() {
+            for w in &mut weight[oc * per_oc..(oc + 1) * per_oc] {
+                *w *= s;
+            }
+        }
+        let bias = conv
+            .bias
+            .iter()
+            .zip(scale.iter().zip(shift))
+            .map(|(&b, (&s, &sh))| b * s + sh)
+            .collect();
+        FrozenConv {
+            in_channels: conv.in_channels,
+            out_channels: conv.out_channels,
+            kernel: conv.kernel,
+            dilation: conv.dilation,
+            weight,
+            bias,
+        }
+    }
+
+    /// Freeze a convolution that has no adjacent BatchNorm (identity
+    /// fold): attention projections, FFN convs, Inception bottlenecks.
+    pub(crate) fn from_conv(conv: &Conv1d) -> FrozenConv {
+        FrozenConv {
+            in_channels: conv.in_channels,
+            out_channels: conv.out_channels,
+            kernel: conv.kernel,
+            dilation: conv.dilation,
+            weight: conv.weight.clone(),
+            bias: conv.bias.clone(),
+        }
+    }
+
     #[inline]
     pub(crate) fn pad_left(&self) -> usize {
         (self.kernel - 1) * self.dilation / 2
@@ -176,7 +220,7 @@ impl FrozenConv {
         }
     }
 
-    fn push_bits(&self, bits: &mut Vec<u32>) {
+    pub(crate) fn push_bits(&self, bits: &mut Vec<u32>) {
         bits.extend(self.weight.iter().map(|v| v.to_bits()));
         bits.extend(self.bias.iter().map(|v| v.to_bits()));
     }
@@ -316,7 +360,8 @@ impl FrozenResNet {
         assert_eq!(c, self.in_channels, "frozen input channel mismatch");
         assert!(b > 0 && l > 0, "frozen forward needs a non-empty batch");
         arena.ensure(b, l, self.max_channels, self.features, self.num_classes);
-        let (buf_a, buf_b, buf_c, _qbuf, pooled, logits, softmax, probs, cams) = arena.parts();
+        let (buf_a, buf_b, buf_c, _qbuf, _aux, pooled, logits, softmax, probs, cams) =
+            arena.parts();
         buf_a[..b * c * l].copy_from_slice(&x.data[..b * c * l]);
         let mut c_in = self.in_channels;
         for block in &self.blocks {

@@ -45,10 +45,12 @@
 //! checks in its module tests.
 
 pub mod activations;
+pub mod backbone;
 pub mod batchnorm;
 pub mod cam;
 pub mod conv;
 pub mod frozen;
+pub mod inception;
 pub mod init;
 pub mod linear;
 pub mod loss;
@@ -64,14 +66,19 @@ pub mod simd;
 pub mod streaming;
 pub mod tensor;
 pub mod train;
+pub mod transapp;
 pub mod workspace;
 
+pub use backbone::{Backbone, DetectorNet, FrozenDetector, QuantizedDetector};
 pub use frozen::FrozenResNet;
+pub use inception::{FrozenInception, InceptionConfig, InceptionNet};
 pub use plan::InferenceArena;
 pub use quant::QuantizedResNet;
 pub use resnet::{ResNet, ResNetConfig};
 pub use streaming::{StreamError, StreamingPlan};
 pub use tensor::{Matrix, Tensor};
+pub use train::NeuralNet;
+pub use transapp::{FrozenTransApp, TransAppConfig, TransAppNet};
 
 /// A standard-normal-based deviate via Box–Muller (local helper; this crate
 /// is a leaf substrate and does not depend on the dataset crate's sampler).

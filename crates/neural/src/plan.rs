@@ -42,6 +42,10 @@ pub struct InferenceArena {
     /// Quantized-input scratch `[B, C, L]` as `i8` — only grown by
     /// [`InferenceArena::ensure_quant`]; stays empty for f32 plans.
     qbuf: Vec<i8>,
+    /// Backbone-specific scratch (Inception branch staging, TransApp
+    /// attention scores) — only grown by [`InferenceArena::ensure_aux`];
+    /// stays empty for plain ResNet plans.
+    aux: Vec<f32>,
     batch: usize,
     len: usize,
     classes: usize,
@@ -101,9 +105,19 @@ impl InferenceArena {
         }
     }
 
+    /// Grow the backbone-specific f32 scratch to at least `n` elements.
+    /// Grow-only, like everything else here; call before [`parts`].
+    ///
+    /// [`parts`]: InferenceArena::parts
+    pub(crate) fn ensure_aux(&mut self, n: usize) {
+        if self.aux.len() < n {
+            self.aux.resize(n, 0.0);
+        }
+    }
+
     /// The ping/pong/scratch activation buffers, the `i8` quantization
-    /// scratch, plus the output buffers, borrowed simultaneously for one
-    /// forward pass.
+    /// scratch, the backbone aux scratch, plus the output buffers,
+    /// borrowed simultaneously for one forward pass.
     #[allow(clippy::type_complexity)]
     pub(crate) fn parts(
         &mut self,
@@ -117,12 +131,14 @@ impl InferenceArena {
         &mut [f32],
         &mut [f32],
         &mut [f32],
+        &mut [f32],
     ) {
         (
             &mut self.buf_a,
             &mut self.buf_b,
             &mut self.buf_c,
             &mut self.qbuf,
+            &mut self.aux,
             &mut self.pooled,
             &mut self.logits,
             &mut self.softmax,
@@ -138,6 +154,7 @@ impl InferenceArena {
         let f32s = self.buf_a.capacity()
             + self.buf_b.capacity()
             + self.buf_c.capacity()
+            + self.aux.capacity()
             + self.pooled.capacity()
             + self.logits.capacity()
             + self.softmax.capacity()

@@ -184,7 +184,7 @@ impl QuantConv {
         }
     }
 
-    fn push_bits(&self, bits: &mut Vec<u32>) {
+    pub(crate) fn push_bits(&self, bits: &mut Vec<u32>) {
         bits.extend(self.wq.iter().map(|&c| c as i32 as u32));
         bits.extend(self.w_scale.iter().map(|v| v.to_bits()));
         bits.push(self.x_scale.to_bits());
@@ -385,7 +385,7 @@ impl QuantizedResNet {
         assert_eq!(c, self.in_channels, "quantized input channel mismatch");
         assert!(b > 0 && l > 0, "quantized forward needs a non-empty batch");
         arena.ensure_quant(b, l, self.max_channels, self.features, self.num_classes);
-        let (buf_a, buf_b, buf_c, qbuf, pooled, logits, softmax, probs, cams) = arena.parts();
+        let (buf_a, buf_b, buf_c, qbuf, _aux, pooled, logits, softmax, probs, cams) = arena.parts();
         buf_a[..b * c * l].copy_from_slice(&x.data[..b * c * l]);
         let mut c_in = self.in_channels;
         for block in &self.blocks {

@@ -4,15 +4,80 @@
 //! class-imbalance weighting (positive windows are rare for long-cycle
 //! appliances), Adam, and loss-plateau early stopping.
 
-use crate::loss::softmax_cross_entropy;
+use crate::inception::InceptionNet;
+use crate::loss::{softmax_cross_entropy, softmax_row};
 use crate::optim::Adam;
 use crate::resnet::ResNet;
+use crate::tensor::{Matrix, Tensor};
+use crate::transapp::TransAppNet;
 use crate::workspace::Workspace;
 use crate::VisitParams;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::ops::Range;
+
+/// The training surface a window classifier exposes: a cached-state
+/// forward, a backward from logit gradients, and parameter access via
+/// [`VisitParams`]. [`train_classifier`] drives any implementor, which is
+/// how every backbone (and the backbone-tagged [`DetectorNet`]) trains
+/// through one loop.
+///
+/// [`DetectorNet`]: crate::backbone::DetectorNet
+pub trait NeuralNet: VisitParams {
+    /// Forward pass to logits `[B, num_classes]`; `train` enables
+    /// batch-statistics and backward caches.
+    fn forward(&mut self, x: &Tensor, train: bool) -> Matrix;
+
+    /// Backward from logit gradients (after a training-mode forward).
+    fn backward(&mut self, grad_logits: &Matrix);
+
+    /// Positive-class probability per batch row, inference mode.
+    fn predict_positive_proba(&mut self, x: &Tensor) -> Vec<f32> {
+        let logits = self.forward(x, false);
+        let mut probs = Vec::with_capacity(logits.rows);
+        let mut row = vec![0.0f32; logits.cols];
+        for r in 0..logits.rows {
+            softmax_row(logits.row(r), &mut row);
+            probs.push(row[1]);
+        }
+        probs
+    }
+}
+
+impl NeuralNet for ResNet {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Matrix {
+        ResNet::forward(self, x, train)
+    }
+
+    fn backward(&mut self, grad_logits: &Matrix) {
+        ResNet::backward(self, grad_logits);
+    }
+
+    fn predict_positive_proba(&mut self, x: &Tensor) -> Vec<f32> {
+        ResNet::predict_positive_proba(self, x)
+    }
+}
+
+impl NeuralNet for InceptionNet {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Matrix {
+        InceptionNet::forward(self, x, train)
+    }
+
+    fn backward(&mut self, grad_logits: &Matrix) {
+        InceptionNet::backward(self, grad_logits);
+    }
+}
+
+impl NeuralNet for TransAppNet {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Matrix {
+        TransAppNet::forward(self, x, train)
+    }
+
+    fn backward(&mut self, grad_logits: &Matrix) {
+        TransAppNet::backward(self, grad_logits);
+    }
+}
 
 /// Hyper-parameters of a training run.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -104,12 +169,12 @@ pub fn inverse_frequency_weights(labels: &[u8]) -> [f32; 2] {
     [w0, w1]
 }
 
-/// Train a [`ResNet`] window classifier on `(windows, labels)`.
+/// Train a [`NeuralNet`] window classifier on `(windows, labels)`.
 ///
 /// # Panics
 /// Panics if `windows` is empty or lengths are inconsistent.
 pub fn train_classifier(
-    net: &mut ResNet,
+    net: &mut impl NeuralNet,
     windows: &[Vec<f32>],
     labels: &[u8],
     cfg: &TrainConfig,

@@ -10,7 +10,7 @@ use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use ds_camal::{CamalError, Precision, StreamingCamal};
+use ds_camal::{Backbone, CamalError, Precision, StreamingCamal};
 use ds_timeseries::{Status, TimeSeries};
 use serde_json::Value;
 
@@ -96,6 +96,25 @@ fn precision_field(body: &Value) -> Result<Precision, ApiError> {
     }
 }
 
+fn backbone_field(body: &Value) -> Result<Backbone, ApiError> {
+    match body.get("backbone") {
+        // Absent means the paper's default architecture, mirroring the
+        // pre-zoo behavior of every registered model being a ResNet.
+        None | Some(Value::Null) => Ok(Backbone::ResNet),
+        Some(v) => {
+            let label = v
+                .as_str()
+                .ok_or_else(|| bad("bad_backbone", "field 'backbone' must be a string"))?;
+            Backbone::parse(label).ok_or_else(|| {
+                bad(
+                    "bad_backbone",
+                    "backbone must be 'resnet', 'inception' or 'transapp'",
+                )
+            })
+        }
+    }
+}
+
 /// Parse the `values` array. `allow_gaps` maps JSON `null` to NaN (the
 /// series/stream paths treat NaN as a missing sample); the window paths
 /// reject non-finite samples outright — a NaN window would silently
@@ -132,6 +151,7 @@ fn plan_key(body: &Value, window: usize) -> Result<PlanKey, ApiError> {
         preset: str_field(body, "preset")?.to_string(),
         appliance: str_field(body, "appliance")?.to_string(),
         window,
+        backbone: backbone_field(body)?,
         precision: precision_field(body)?,
     })
 }
@@ -144,7 +164,7 @@ fn plan_error(err: PlanError) -> ApiError {
             404,
             error_body(
                 "unknown_plan",
-                "no model registered for (preset, appliance, window)",
+                "no model registered for (preset, appliance, window, backbone)",
             ),
         ),
         PlanError::NoCalibration => (
@@ -244,6 +264,7 @@ fn window_response(
     obj.insert("probability".to_string(), Value::from(reply.probability));
     obj.insert("detected".to_string(), Value::from(reply.detected));
     obj.insert("window".to_string(), Value::from(key.window));
+    obj.insert("backbone".to_string(), Value::from(key.backbone.label()));
     obj.insert("precision".to_string(), Value::from(key.precision.label()));
     let members: Vec<Value> = reply
         .members
@@ -478,6 +499,7 @@ fn stats_body(shared: &Arc<Shared>) -> String {
             p.insert("preset".to_string(), Value::from(key.preset));
             p.insert("appliance".to_string(), Value::from(key.appliance));
             p.insert("window".to_string(), Value::from(key.window));
+            p.insert("backbone".to_string(), Value::from(key.backbone.label()));
             p.insert("precision".to_string(), Value::from(key.precision.label()));
             p.insert("arena_bytes".to_string(), Value::from(arena_bytes));
             Value::Object(p)

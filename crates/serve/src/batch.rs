@@ -270,6 +270,7 @@ mod tests {
             preset: "TEST".into(),
             appliance: "kettle".into(),
             window,
+            backbone: ds_camal::Backbone::ResNet,
             precision: Precision::F32,
         }
     }

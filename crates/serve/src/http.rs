@@ -84,10 +84,11 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<ReadOu
         return Err(HttpError::Malformed("unsupported HTTP version"));
     }
     let mut keep_alive = version != "HTTP/1.0";
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     for _ in 0..MAX_HEADERS {
         let header = read_line(reader)?;
         if header.is_empty() {
+            let content_length = content_length.unwrap_or(0);
             let mut body = vec![0u8; content_length];
             if content_length > 0 {
                 reader.read_exact(&mut body)?;
@@ -104,12 +105,28 @@ pub fn read_request(reader: &mut impl BufRead, max_body: usize) -> Result<ReadOu
         };
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
+            let length = value
                 .parse::<usize>()
                 .map_err(|_| HttpError::Malformed("unparseable Content-Length"))?;
-            if content_length > max_body {
+            // Duplicate Content-Length headers are a request-smuggling
+            // vector (RFC 9112 §6.3): a proxy honoring the first and this
+            // server honoring the last would disagree on where the request
+            // ends. Reject rather than pick a winner — even when the
+            // copies agree, since a smuggling attempt is malformed either
+            // way and honest clients never send two.
+            if content_length.is_some() {
+                return Err(HttpError::Malformed("duplicate Content-Length"));
+            }
+            if length > max_body {
                 return Err(HttpError::BodyTooLarge { limit: max_body });
             }
+            content_length = Some(length);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            // Chunked bodies are unimplemented; silently ignoring the
+            // header would make this server read a body boundary different
+            // from what the client (or an intermediary) framed — the other
+            // half of the smuggling vector. Refuse loudly instead.
+            return Err(HttpError::Malformed("Transfer-Encoding not supported"));
         } else if name.eq_ignore_ascii_case("connection") {
             if value.eq_ignore_ascii_case("close") {
                 keep_alive = false;
@@ -220,6 +237,36 @@ mod tests {
             Err(HttpError::BodyTooLarge { limit }) => assert_eq!(limit, 1024),
             other => panic!("expected BodyTooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn duplicate_content_length_is_malformed() {
+        // Conflicting copies: last-wins would smuggle 4 bytes past a
+        // first-wins intermediary.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 4\r\n\r\nabcd";
+        match parse(raw) {
+            Err(HttpError::Malformed(msg)) => assert_eq!(msg, "duplicate Content-Length"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Even agreeing copies are rejected: two lengths never come from
+        // an honest client.
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        assert!(matches!(parse(raw), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected_not_ignored() {
+        let raw = b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+        match parse(raw) {
+            Err(HttpError::Malformed(msg)) => {
+                assert_eq!(msg, "Transfer-Encoding not supported")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Case-insensitive, and rejected even alongside a Content-Length.
+        let raw =
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\ntransfer-encoding: identity\r\n\r\nabcd";
+        assert!(matches!(parse(raw), Err(HttpError::Malformed(_))));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use ds_camal::{Camal, FrozenCamal, Precision, WINDOW_CHUNK};
+use ds_camal::{Backbone, Camal, FrozenCamal, Precision, WINDOW_CHUNK};
 
 /// Identity of one frozen serving plan. Requests carrying the same key
 /// share a plan and may share a micro-batch.
@@ -32,6 +32,10 @@ pub struct PlanKey {
     /// shape-homogeneous — a length-mismatched request can never poison a
     /// batch.
     pub window: usize,
+    /// Detector architecture of the registered model (its lead backbone).
+    /// Part of the key so plans of different backbones never alias in the
+    /// freeze cache, micro-batcher, or streaming sessions.
+    pub backbone: Backbone,
     /// Numeric precision of the frozen plan (f32 or int8).
     pub precision: Precision,
 }
@@ -50,7 +54,7 @@ struct ModelEntry {
     calib: Vec<Vec<f32>>,
 }
 
-type ModelId = (String, String, usize);
+type ModelId = (String, String, usize, Backbone);
 type PlanCell = Arc<OnceLock<Arc<FrozenCamal>>>;
 
 /// Registered models plus the frozen-plan cache derived from them.
@@ -66,10 +70,13 @@ impl ModelRegistry {
         ModelRegistry::default()
     }
 
-    /// Register a trained model under (preset, appliance, window).
-    /// `calib` enables int8 plans; pass an empty vec to serve f32 only.
-    /// Re-registering replaces the model but NOT already-frozen plans
-    /// (frozen plans are immutable for the server's lifetime).
+    /// Register a trained model under (preset, appliance, window,
+    /// backbone) — the backbone is read off the model itself (its lead
+    /// backbone), so one (preset, appliance, window) slot can hold one
+    /// model per architecture side by side. `calib` enables int8 plans;
+    /// pass an empty vec to serve f32 only. Re-registering replaces the
+    /// model but NOT already-frozen plans (frozen plans are immutable for
+    /// the server's lifetime).
     pub fn register(
         &self,
         preset: &str,
@@ -78,14 +85,15 @@ impl ModelRegistry {
         camal: Camal,
         calib: Vec<Vec<f32>>,
     ) {
+        let backbone = camal.config().lead_backbone();
         self.models.lock().unwrap().insert(
-            (preset.to_string(), appliance.to_string(), window),
+            (preset.to_string(), appliance.to_string(), window, backbone),
             ModelEntry { camal, calib },
         );
     }
 
     /// Registered model identities (for the REPL's `serve status`).
-    pub fn model_keys(&self) -> Vec<(String, String, usize)> {
+    pub fn model_keys(&self) -> Vec<(String, String, usize, Backbone)> {
         self.models.lock().unwrap().keys().cloned().collect()
     }
 
@@ -94,7 +102,12 @@ impl ModelRegistry {
     /// occupying queue slots.
     pub fn check(&self, key: &PlanKey) -> Result<(), PlanError> {
         let models = self.models.lock().unwrap();
-        let id = (key.preset.clone(), key.appliance.clone(), key.window);
+        let id = (
+            key.preset.clone(),
+            key.appliance.clone(),
+            key.window,
+            key.backbone,
+        );
         match models.get(&id) {
             None => Err(PlanError::UnknownModel),
             Some(entry) if key.precision == Precision::Int8 && entry.calib.is_empty() => {
@@ -136,7 +149,12 @@ impl ModelRegistry {
         }
         let (camal, calib) = {
             let models = self.models.lock().unwrap();
-            let id = (key.preset.clone(), key.appliance.clone(), key.window);
+            let id = (
+                key.preset.clone(),
+                key.appliance.clone(),
+                key.window,
+                key.backbone,
+            );
             let entry = models.get(&id).ok_or(PlanError::UnknownModel)?;
             (entry.camal.clone(), entry.calib.clone())
         };
@@ -199,6 +217,7 @@ mod tests {
             preset: "TEST".into(),
             appliance: "kettle".into(),
             window,
+            backbone: Backbone::ResNet,
             precision,
         }
     }
@@ -223,6 +242,32 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, PlanError::NoCalibration);
         assert!(registry.get_or_freeze(&key(32, Precision::F32)).is_ok());
+    }
+
+    #[test]
+    fn backbones_never_alias_in_the_registry() {
+        // A ResNet model registered under (preset, appliance, window) must
+        // not serve a request keyed to a different backbone — that request
+        // is an unknown plan, not a silent architecture swap.
+        let registry = ModelRegistry::new();
+        registry.register("TEST", "kettle", 32, tiny_model(32), Vec::new());
+        assert_eq!(
+            registry.model_keys(),
+            vec![(
+                "TEST".to_string(),
+                "kettle".to_string(),
+                32,
+                Backbone::ResNet
+            )]
+        );
+        let mut inception = key(32, Precision::F32);
+        inception.backbone = Backbone::Inception;
+        assert_eq!(
+            registry.get_or_freeze(&inception).unwrap_err(),
+            PlanError::UnknownModel
+        );
+        assert!(registry.get_or_freeze(&key(32, Precision::F32)).is_ok());
+        assert_eq!(registry.freeze_count(), 1);
     }
 
     #[test]

@@ -59,6 +59,7 @@ fn key(precision: Precision) -> PlanKey {
         preset: PRESET.to_string(),
         appliance: APPLIANCE.to_string(),
         window: WINDOW,
+        backbone: devicescope::camal::Backbone::ResNet,
         precision,
     }
 }

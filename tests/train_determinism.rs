@@ -36,7 +36,7 @@ fn across_worker_counts<R>(f: impl Fn() -> R) -> (R, Vec<(usize, R)>) {
     (reference, runs)
 }
 
-fn weight_bits(net: &mut ResNet) -> Vec<u32> {
+fn weight_bits(net: &mut impl VisitParams) -> Vec<u32> {
     let mut out = Vec::new();
     net.visit_params(&mut |params, _| out.extend(params.iter().map(|v| v.to_bits())));
     out
